@@ -1,0 +1,29 @@
+//! Micro-benchmarks of label operations: the per-tuple cost IFDB adds to
+//! every visibility decision (Section 8.3 attributes ~0.6–1% per tag to this
+//! plus the extra tuple bytes).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use ifdb_difc::{Label, TagId};
+
+fn bench_label_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("label_ops");
+    group.sample_size(20);
+    for tags in [1usize, 2, 4, 10] {
+        let tuple_label = Label::from_tags((0..tags as u64).map(TagId));
+        let process_label = Label::from_tags((0..(tags as u64 + 2)).map(TagId));
+        group.bench_with_input(BenchmarkId::new("is_subset_of", tags), &tags, |b, _| {
+            b.iter(|| black_box(&tuple_label).is_subset_of(black_box(&process_label)))
+        });
+        group.bench_with_input(BenchmarkId::new("union", tags), &tags, |b, _| {
+            b.iter(|| black_box(&tuple_label).union(black_box(&process_label)))
+        });
+        group.bench_with_input(BenchmarkId::new("from_array", tags), &tags, |b, _| {
+            let raw = tuple_label.to_array();
+            b.iter(|| Label::from_array(black_box(&raw)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_label_ops);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Query-by-Label scan cost: selecting from a labeled table with DIFC
+//! enforcement on versus the no-label baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ifdb::prelude::*;
+use ifdb::{DatabaseConfig, TableDef};
+
+fn setup(difc: bool, rows: i64, tags: usize) -> (Database, PrincipalId, Label) {
+    let db = Database::new(DatabaseConfig::in_memory().with_difc(difc).with_seed(1));
+    let user = db.create_principal("bench", PrincipalKind::User);
+    let label = Label::from_tags(
+        (0..tags)
+            .map(|i| db.create_tag(user, &format!("t{i}"), &[]).unwrap()),
+    );
+    db.create_table(
+        TableDef::new("data")
+            .column("id", DataType::Int)
+            .column("payload", DataType::Text)
+            .primary_key(&["id"]),
+    )
+    .unwrap();
+    let mut s = db.session(user);
+    s.raise_label(&label).unwrap();
+    s.begin().unwrap();
+    for i in 0..rows {
+        s.insert(&Insert::new(
+            "data",
+            vec![Datum::Int(i), Datum::Text(format!("row-{i}"))],
+        ))
+        .unwrap();
+    }
+    if !label.is_empty() {
+        s.declassify_all(&label).unwrap();
+    }
+    s.commit().unwrap();
+    (db, user, label)
+}
+
+fn bench_qbl_scan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("qbl_scan");
+    group.sample_size(15);
+    let rows = 2_000;
+    for (name, difc, tags) in [("baseline", false, 0), ("ifdb_1tag", true, 1), ("ifdb_4tags", true, 4)] {
+        let (db, user, label) = setup(difc, rows, tags);
+        group.bench_with_input(BenchmarkId::new("full_scan", name), &rows, |b, _| {
+            let mut s = db.session(user);
+            s.raise_label(&label).unwrap();
+            b.iter(|| {
+                let r = s.select(&Select::star("data")).unwrap();
+                assert_eq!(r.len(), rows as usize);
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("pk_lookup", name), &rows, |b, _| {
+            let mut s = db.session(user);
+            s.raise_label(&label).unwrap();
+            b.iter(|| {
+                let r = s
+                    .select(
+                        &Select::star("data")
+                            .filter(Predicate::Eq("id".into(), Datum::Int(rows / 2))),
+                    )
+                    .unwrap();
+                assert_eq!(r.len(), 1);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_qbl_scan);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! New-order transaction latency under different label sizes — the
+//! micro-level counterpart of Figure 6.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ifdb::{Database, DatabaseConfig};
+use ifdb_workloads::{TpccConfig, TpccDatabase, TpccTransaction};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn load(difc: bool, tags: usize) -> TpccDatabase {
+    let db = Database::new(DatabaseConfig::in_memory().with_difc(difc).with_seed(2));
+    TpccDatabase::load(
+        db,
+        TpccConfig {
+            warehouses: 1,
+            districts_per_warehouse: 2,
+            customers_per_district: 10,
+            items: 50,
+            initial_orders_per_district: 3,
+            tags_per_label: tags,
+            seed: 4,
+        },
+    )
+    .expect("load")
+}
+
+fn bench_new_order(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tpcc_new_order");
+    group.sample_size(15);
+    for (name, difc, tags) in [
+        ("baseline", false, 0),
+        ("ifdb_0tags", true, 0),
+        ("ifdb_1tag", true, 1),
+        ("ifdb_10tags", true, 10),
+    ] {
+        let tpcc = load(difc, tags);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &tags, |b, _| {
+            let mut session = tpcc.session().unwrap();
+            let mut rng = StdRng::seed_from_u64(7);
+            b.iter(|| {
+                tpcc.run_transaction(&mut session, &mut rng, TpccTransaction::NewOrder)
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_new_order);
+criterion_main!(benches);

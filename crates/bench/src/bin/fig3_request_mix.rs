@@ -1,0 +1,5 @@
+//! Regenerates Figure 3: the CarTel HTTP request mix.
+
+fn main() {
+    ifdb_bench::fig3_request_mix();
+}

@@ -1,0 +1,8 @@
+//! Regenerates Figure 4: CarTel web throughput (WIPS), database-bound and
+//! web-server-bound, baseline vs IFDB.
+
+use ifdb_bench::ExperimentScale;
+
+fn main() {
+    ifdb_bench::fig4_web_throughput(ExperimentScale::from_env());
+}

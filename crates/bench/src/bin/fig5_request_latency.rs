@@ -1,0 +1,7 @@
+//! Regenerates Figure 5: per-script CarTel request latency on an idle system.
+
+use ifdb_bench::ExperimentScale;
+
+fn main() {
+    ifdb_bench::fig5_request_latency(ExperimentScale::from_env());
+}

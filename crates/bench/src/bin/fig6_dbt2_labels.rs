@@ -1,0 +1,8 @@
+//! Regenerates Figure 6: DBT-2 (TPC-C) throughput as a function of tags per
+//! label, on an in-memory and a disk-bound database.
+
+use ifdb_bench::ExperimentScale;
+
+fn main() {
+    ifdb_bench::fig6_dbt2_labels(ExperimentScale::from_env());
+}

@@ -1,0 +1,19 @@
+//! Runs every experiment harness in sequence (one per paper table/figure).
+//!
+//! Set `IFDB_BENCH_SCALE=full` for longer measurement intervals and larger
+//! data sets.
+
+use ifdb_bench::ExperimentScale;
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    println!("IFDB reproduction — experiment suite (scale: {scale:?})");
+    ifdb_bench::fig3_request_mix();
+    ifdb_bench::fig4_web_throughput(scale);
+    ifdb_bench::fig5_request_latency(scale);
+    ifdb_bench::sensor_ingest_throughput(scale);
+    ifdb_bench::fig6_dbt2_labels(scale);
+    ifdb_bench::trusted_base_report();
+    println!();
+    println!("All experiments complete. JSON reports are in target/experiments/.");
+}

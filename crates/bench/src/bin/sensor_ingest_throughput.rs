@@ -1,0 +1,8 @@
+//! Regenerates the Section 8.2.2 measurement: sensor ingest throughput with
+//! and without labels.
+
+use ifdb_bench::ExperimentScale;
+
+fn main() {
+    ifdb_bench::sensor_ingest_throughput(ExperimentScale::from_env());
+}

@@ -1,0 +1,6 @@
+//! Regenerates the Section 6.3 trusted-base comparison for the ported
+//! CarTel and HotCRP applications.
+
+fn main() {
+    ifdb_bench::trusted_base_report();
+}

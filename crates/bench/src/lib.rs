@@ -1,0 +1,19 @@
+//! Experiment harnesses that regenerate every table and figure from the
+//! paper's evaluation (Section 8), plus shared reporting helpers.
+//!
+//! Each experiment is a library function returning a serializable report; the
+//! binaries in `src/bin/` are thin wrappers so that `run_all_experiments` can
+//! execute everything in one go and `EXPERIMENTS.md` can cite a single
+//! command per figure.
+//!
+//! Absolute numbers depend on the host; the quantities of interest are the
+//! *ratios* between the IFDB and baseline configurations and the *trend*
+//! across tags-per-label, which is what the paper's figures show.
+
+pub mod experiments;
+pub mod report;
+
+pub use experiments::{
+    fig3_request_mix, fig4_web_throughput, fig5_request_latency, fig6_dbt2_labels,
+    sensor_ingest_throughput, trusted_base_report, ExperimentScale,
+};

@@ -1,0 +1,335 @@
+//! The sensor ingest path (Section 8.2.2).
+//!
+//! For each GPS measurement a tuple is inserted into `Locations` and two
+//! triggers fire: one maintains `LocationsLatest`, the other maintains the
+//! `Drives` summary. CarTel issues 200 inserts per transaction. Both triggers
+//! run as stored authority closures so that they can do their work without
+//! leaving the inserting process contaminated; the ingest daemon itself is
+//! the small piece of trusted code that labels incoming data correctly.
+
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
+
+use ifdb::prelude::*;
+use ifdb::{IfdbResult, TriggerDef, TriggerEvent, TriggerTiming};
+
+use crate::gps::GpsMeasurement;
+use crate::policy::{CartelPolicy, UserHandle};
+
+/// Number of measurements inserted per transaction, as in the paper.
+pub const INSERTS_PER_TXN: usize = 200;
+
+/// A drive is split when consecutive points are farther apart than this many
+/// microseconds (10 minutes).
+const DRIVE_GAP_US: i64 = 10 * 60 * 1_000_000;
+
+/// Registers the two ingest triggers on the `Locations` table.
+pub fn register_triggers(db: &Database, policy: Arc<CartelPolicy>) -> IfdbResult<()> {
+    // Trigger 1: maintain LocationsLatest (labeled like the raw measurement).
+    let p1 = policy.clone();
+    db.create_trigger(TriggerDef {
+        name: "locations_latest".into(),
+        table: "Locations".into(),
+        events: vec![TriggerEvent::Insert],
+        timing: TriggerTiming::Immediate,
+        authority: Some(policy.driveupdate_principal),
+        body: Arc::new(move |session, inv| {
+            let new = inv.new.as_ref().expect("insert trigger has a new row");
+            let carid = new[1].clone();
+            let (lat, lon, ts) = (new[2].clone(), new[3].clone(), new[5].clone());
+            let _ = &p1;
+            let existing = session.select(
+                &Select::star("LocationsLatest")
+                    .filter(Predicate::Eq("carid".into(), carid.clone())),
+            )?;
+            if existing.is_empty() {
+                session.insert(&Insert::new(
+                    "LocationsLatest",
+                    vec![carid, lat, lon, ts],
+                ))?;
+            } else {
+                session.update(&Update::new(
+                    "LocationsLatest",
+                    Predicate::Eq("carid".into(), carid),
+                    vec![("lat", lat), ("lon", lon), ("ts", ts)],
+                ))?;
+            }
+            Ok(())
+        }),
+    })?;
+
+    // Trigger 2: maintain the Drives summary. The closure has authority for
+    // the location tags (via the all_locations compound) and declassifies
+    // them before writing, so Drives rows carry only the drives tag — and it
+    // cannot declassify the drives tag, so whatever it writes stays protected
+    // (the property highlighted in Section 6.1).
+    let p2 = policy.clone();
+    db.create_trigger(TriggerDef {
+        name: "driveupdate".into(),
+        table: "Locations".into(),
+        events: vec![TriggerEvent::Insert],
+        timing: TriggerTiming::Immediate,
+        authority: Some(policy.driveupdate_principal),
+        body: Arc::new(move |session, inv| {
+            let new = inv.new.as_ref().expect("insert trigger has a new row");
+            let carid = new[1].as_int().unwrap_or(0);
+            let speed = new[4].as_float().unwrap_or(0.0);
+            let ts = new[5].as_timestamp().unwrap_or(0);
+            let Some((_, location_tag)) = p2.tags_for_car(carid) else {
+                return Ok(());
+            };
+            let Some(owner) = p2.owner_of_car(carid) else {
+                return Ok(());
+            };
+            // Drop the location contamination so the Drives write carries
+            // only the drives tag.
+            if session.label().contains(location_tag) {
+                session.declassify(location_tag)?;
+            }
+            let drives = session.select(
+                &Select::star("Drives")
+                    .filter(Predicate::Eq("carid".into(), Datum::Int(carid)))
+                    .order("end_ts", Order::Desc),
+            )?;
+            let latest = drives.first();
+            let start_new_drive = match latest {
+                None => true,
+                Some(row) => {
+                    let end = row.get("end_ts").and_then(Datum::as_timestamp).unwrap_or(0);
+                    ts - end > DRIVE_GAP_US
+                }
+            };
+            if start_new_drive {
+                let driveid = carid * 100_000 + drives.len() as i64 + 1;
+                session.insert(&Insert::new(
+                    "Drives",
+                    vec![
+                        Datum::Int(driveid),
+                        Datum::Int(carid),
+                        Datum::Int(owner),
+                        Datum::Int(1),
+                        Datum::Float(0.0),
+                        Datum::Timestamp(ts),
+                        Datum::Timestamp(ts),
+                    ],
+                ))?;
+            } else {
+                let row = latest.expect("non-empty");
+                let driveid = row.get_int("driveid").unwrap_or(0);
+                let points = row.get_int("points").unwrap_or(0) + 1;
+                let end_prev = row.get("end_ts").and_then(Datum::as_timestamp).unwrap_or(ts);
+                let dt_hours = (ts - end_prev).max(0) as f64 / 3.6e9;
+                let distance = row.get_float("distance").unwrap_or(0.0) + speed * dt_hours;
+                session.update(&Update::new(
+                    "Drives",
+                    Predicate::Eq("driveid".into(), Datum::Int(driveid)),
+                    vec![
+                        ("points", Datum::Int(points)),
+                        ("distance", Datum::Float(distance)),
+                        ("end_ts", Datum::Timestamp(ts)),
+                    ],
+                ))?;
+            }
+            Ok(())
+        }),
+    })?;
+    Ok(())
+}
+
+/// The ingest daemon: trusted code that labels incoming measurements and
+/// replays them into the database.
+pub struct SensorIngest {
+    db: Database,
+    policy: Arc<CartelPolicy>,
+    next_locid: AtomicI64,
+}
+
+impl SensorIngest {
+    /// Creates an ingest daemon.
+    pub fn new(db: Database, policy: Arc<CartelPolicy>) -> Self {
+        SensorIngest {
+            db,
+            policy,
+            next_locid: AtomicI64::new(1),
+        }
+    }
+
+    /// Registers a user's car (and the user row itself, if missing). Account
+    /// and car registration data are public in this deployment.
+    pub fn register_car(&self, user: &UserHandle, carid: i64, name: &str) -> IfdbResult<()> {
+        let mut session = self.db.session(self.policy.ingest_principal);
+        let existing = session.select(
+            &Select::star("Users")
+                .filter(Predicate::Eq("userid".into(), Datum::Int(user.userid))),
+        )?;
+        if existing.is_empty() {
+            session.insert(&Insert::new(
+                "Users",
+                vec![
+                    Datum::Int(user.userid),
+                    Datum::from(user.username.as_str()),
+                    Datum::Text(format!("{}@cartel.example", user.username)),
+                ],
+            ))?;
+        }
+        session.insert(&Insert::new(
+            "Cars",
+            vec![Datum::Int(carid), Datum::Int(user.userid), Datum::from(name)],
+        ))?;
+        self.policy.record_car(carid, user.userid);
+        Ok(())
+    }
+
+    /// Replays measurements into the database, [`INSERTS_PER_TXN`] at a time,
+    /// labeling each tuple `{<owner>_drives, <owner>_location}` and vouching
+    /// for the foreign-key reference to the (public) Cars row with a
+    /// `DECLASSIFYING` clause. Returns the number of measurements ingested.
+    pub fn ingest(&self, measurements: &[GpsMeasurement]) -> IfdbResult<usize> {
+        let mut session = self.db.session(self.policy.ingest_principal);
+        let mut ingested = 0;
+        for batch in measurements.chunks(INSERTS_PER_TXN) {
+            session.begin()?;
+            for m in batch {
+                let Some(user) = self.policy.user_by_id(m.userid) else {
+                    continue;
+                };
+                let target = Label::from_tags([user.drives_tag, user.location_tag]);
+                self.set_label(&mut session, &target)?;
+                let locid = self.next_locid.fetch_add(1, Ordering::Relaxed);
+                session.insert(
+                    &Insert::new(
+                        "Locations",
+                        vec![
+                            Datum::Int(locid),
+                            Datum::Int(m.carid),
+                            Datum::Float(m.lat),
+                            Datum::Float(m.lon),
+                            Datum::Float(m.speed),
+                            Datum::Timestamp(m.ts),
+                        ],
+                    )
+                    .declassifying(&[user.drives_tag, user.location_tag]),
+                )?;
+                ingested += 1;
+            }
+            // The daemon holds authority for every tag it raised; it must
+            // return to an empty label before the commit point (commit label
+            // rule).
+            self.set_label(&mut session, &Label::empty())?;
+            session.commit()?;
+        }
+        Ok(ingested)
+    }
+
+    /// Moves the session label to exactly `target`, declassifying tags that
+    /// must be removed (the daemon holds the necessary authority) and raising
+    /// the ones that must be added.
+    fn set_label(&self, session: &mut ifdb::Session, target: &Label) -> IfdbResult<()> {
+        let current = session.label().clone();
+        let to_remove = current.difference(target);
+        if !to_remove.is_empty() {
+            session.declassify_all(&to_remove)?;
+        }
+        let to_add = target.difference(&current);
+        if !to_add.is_empty() {
+            session.raise_label(&to_add)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gps::TraceGenerator;
+    use crate::schema::create_schema;
+
+    fn setup() -> (Database, Arc<CartelPolicy>, SensorIngest) {
+        let db = Database::in_memory();
+        create_schema(&db).unwrap();
+        let policy = Arc::new(CartelPolicy::bootstrap(&db, 2, 9));
+        register_triggers(&db, policy.clone()).unwrap();
+        let ingest = SensorIngest::new(db.clone(), policy.clone());
+        (db, policy, ingest)
+    }
+
+    #[test]
+    fn ingest_labels_locations_and_maintains_summaries() {
+        let (db, policy, ingest) = setup();
+        let user = policy.users()[0].clone();
+        ingest.register_car(&user, 101, "car").unwrap();
+        let mut gen = TraceGenerator::new(3);
+        let trace = gen.trace(101, user.userid, 30);
+        assert_eq!(ingest.ingest(&trace).unwrap(), 30);
+
+        // The owner can read everything back.
+        let mut s = db.session(user.principal);
+        s.add_secrecy(user.drives_tag).unwrap();
+        s.add_secrecy(user.location_tag).unwrap();
+        let locations = s.select(&Select::star("Locations")).unwrap();
+        assert_eq!(locations.len(), 30);
+        assert_eq!(
+            locations.first().unwrap().label,
+            Label::from_tags([user.drives_tag, user.location_tag])
+        );
+        let latest = s.select(&Select::star("LocationsLatest")).unwrap();
+        assert_eq!(latest.len(), 1);
+        let drives = s.select(&Select::star("Drives")).unwrap();
+        assert!(!drives.is_empty());
+        // Drives carry only the drives tag.
+        assert_eq!(
+            drives.first().unwrap().label,
+            Label::singleton(user.drives_tag)
+        );
+
+        // An outsider sees none of it.
+        let mut anon = db.anonymous_session();
+        assert!(anon.select(&Select::star("Locations")).unwrap().is_empty());
+        assert!(anon.select(&Select::star("Drives")).unwrap().is_empty());
+    }
+
+    #[test]
+    fn ingest_interleaves_users_without_label_bleed() {
+        let (db, policy, ingest) = setup();
+        let u0 = policy.users()[0].clone();
+        let u1 = policy.users()[1].clone();
+        ingest.register_car(&u0, 100, "a").unwrap();
+        ingest.register_car(&u1, 200, "b").unwrap();
+        let mut gen = TraceGenerator::new(4);
+        let mut trace = gen.trace(100, u0.userid, 5);
+        trace.extend(gen.trace(200, u1.userid, 5));
+        ingest.ingest(&trace).unwrap();
+
+        // Each user's session sees only their own measurements.
+        let mut s0 = db.session(u0.principal);
+        s0.add_secrecy(u0.drives_tag).unwrap();
+        s0.add_secrecy(u0.location_tag).unwrap();
+        let rows = s0.select(&Select::star("Locations")).unwrap();
+        assert_eq!(rows.len(), 5);
+        for r in rows.iter() {
+            assert_eq!(r.get_int("carid"), Some(100));
+        }
+    }
+
+    #[test]
+    fn drives_split_on_time_gaps() {
+        let (db, policy, ingest) = setup();
+        let user = policy.users()[0].clone();
+        ingest.register_car(&user, 300, "car").unwrap();
+        // Two clusters of points separated by a huge gap → two drives.
+        let mut gen = TraceGenerator::new(5);
+        let mut trace = gen.trace(300, user.userid, 5);
+        let mut second = gen.trace(300, user.userid, 5);
+        let gap = DRIVE_GAP_US * 3;
+        for m in &mut second {
+            m.ts += gap;
+        }
+        trace.extend(second);
+        ingest.ingest(&trace).unwrap();
+
+        let mut s = db.session(user.principal);
+        s.add_secrecy(user.drives_tag).unwrap();
+        let drives = s.select(&Select::star("Drives")).unwrap();
+        assert_eq!(drives.len(), 2, "the time gap should split the drive");
+    }
+}

@@ -1,0 +1,255 @@
+//! CarTel: the mobile sensor network case study (Section 6.1).
+//!
+//! CarTel collects GPS measurements from users' cars and shows each user maps
+//! and statistics about their drives and their friends' drives. This crate is
+//! the ported, IFDB-backed version of the application described in the paper:
+//!
+//! * [`schema`] — the Users / Cars / Locations / LocationsLatest / Drives /
+//!   Friends tables and their constraints.
+//! * [`policy`] — tags (`<user>_drives`, `<user>_location`), the
+//!   `all_drives` / `all_locations` compound tags, closure principals, and
+//!   the delegations that define the confidentiality policy.
+//! * [`gps`] — a synthetic GPS trace generator standing in for the paper's
+//!   18 GB of real CarTel data.
+//! * [`ingest`] — the sensor-ingest path: 200 inserts per transaction, two
+//!   authority-closure triggers maintaining Drives and LocationsLatest.
+//! * [`scripts`] — the web scripts of Figure 3 (`get_cars.php`, `cars.php`,
+//!   `drives.php`, `drives_top.php`, `friends.php`, `edit_account.php`,
+//!   `login.php`), registered on the platform's [`ifdb_platform::AppServer`].
+
+pub mod gps;
+pub mod ingest;
+pub mod policy;
+pub mod schema;
+pub mod scripts;
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use ifdb::{Database, DatabaseConfig};
+use ifdb_platform::{AppServer, Authenticator, ServerConfig};
+
+pub use gps::{GpsMeasurement, TraceGenerator};
+pub use ingest::SensorIngest;
+pub use policy::{CartelPolicy, UserHandle};
+
+/// Configuration for building a CarTel deployment.
+#[derive(Debug, Clone)]
+pub struct CartelConfig {
+    /// Number of registered users.
+    pub users: usize,
+    /// Cars per user.
+    pub cars_per_user: usize,
+    /// GPS measurements to preload per car.
+    pub measurements_per_car: usize,
+    /// Whether DIFC is enabled (false reproduces the PostgreSQL+PHP
+    /// baseline).
+    pub difc: bool,
+    /// Simulated per-request platform CPU cost (base).
+    pub base_request_cost: Duration,
+    /// Simulated additional per-request cost of the IF platform layer.
+    pub ifc_request_cost: Duration,
+    /// RNG seed for users, traces and the authority state.
+    pub seed: u64,
+}
+
+impl Default for CartelConfig {
+    fn default() -> Self {
+        CartelConfig {
+            users: 8,
+            cars_per_user: 2,
+            measurements_per_car: 50,
+            difc: true,
+            base_request_cost: Duration::ZERO,
+            ifc_request_cost: Duration::ZERO,
+            seed: 0xCA87E1,
+        }
+    }
+}
+
+/// A complete CarTel deployment: database, policy, ingest daemon, and web
+/// application server.
+pub struct CartelApp {
+    /// The IFDB (or baseline) database.
+    pub db: Database,
+    /// The confidentiality policy: users, tags, closures, delegations.
+    pub policy: Arc<CartelPolicy>,
+    /// The sensor ingest daemon.
+    pub ingest: SensorIngest,
+    /// The web application server with all scripts registered.
+    pub server: Arc<AppServer>,
+}
+
+impl CartelApp {
+    /// Builds a deployment: creates the schema, the policy, the triggers, the
+    /// web scripts, and preloads synthetic users, cars and GPS history.
+    pub fn build(config: &CartelConfig) -> Self {
+        let db = Database::new(
+            DatabaseConfig::in_memory()
+                .with_difc(config.difc)
+                .with_seed(config.seed),
+        );
+        schema::create_schema(&db).expect("schema creation");
+        let policy = Arc::new(CartelPolicy::bootstrap(&db, config.users, config.seed));
+        ingest::register_triggers(&db, policy.clone()).expect("trigger registration");
+
+        // Register cars and load GPS history through the real ingest path.
+        let ingest = SensorIngest::new(db.clone(), policy.clone());
+        let mut generator = TraceGenerator::new(config.seed);
+        for user in policy.users() {
+            for c in 0..config.cars_per_user {
+                let carid = user.userid * 100 + c as i64;
+                ingest
+                    .register_car(&user, carid, &format!("{}-car-{}", user.username, c))
+                    .expect("car registration");
+                if config.measurements_per_car > 0 {
+                    let trace =
+                        generator.trace(carid, user.userid, config.measurements_per_car);
+                    ingest.ingest(&trace).expect("trace ingest");
+                }
+            }
+        }
+
+        let authenticator = Arc::new(Authenticator::new());
+        for user in policy.users() {
+            authenticator.register(&user.username, &user.password, user.principal);
+        }
+        let server = Arc::new(AppServer::new(
+            db.clone(),
+            authenticator,
+            ServerConfig {
+                base_request_cost: config.base_request_cost,
+                ifc_request_cost: config.ifc_request_cost,
+                ifc_enabled: config.difc,
+            },
+        ));
+        scripts::register_scripts(&server, policy.clone());
+
+        CartelApp {
+            db,
+            policy,
+            ingest,
+            server,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ifdb_platform::Request;
+
+    fn small_app() -> CartelApp {
+        CartelApp::build(&CartelConfig {
+            users: 3,
+            cars_per_user: 1,
+            measurements_per_car: 10,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn build_loads_users_cars_and_history() {
+        let app = small_app();
+        assert_eq!(app.policy.users().len(), 3);
+        let stats = app.db.engine().stats();
+        // 3 users * 1 car * 10 measurements inserted, plus cars/users rows
+        // and trigger-maintained Drives/LocationsLatest rows.
+        assert!(stats.tuples_inserted >= 30);
+    }
+
+    #[test]
+    fn owner_sees_their_drives_via_web() {
+        let app = small_app();
+        let user = &app.policy.users()[0];
+        let resp = app.server.handle(
+            &Request::new("drives.php")
+                .as_user(&user.username)
+                .param("user", &user.username),
+        );
+        assert!(resp.is_ok(), "error: {:?}", resp.error);
+        assert!(!resp.body.is_empty(), "owner should see drive rows");
+    }
+
+    #[test]
+    fn url_manipulation_cannot_reveal_non_friend_drives() {
+        // The Section 6.1 "friend" bug: manipulating the URL to request
+        // another user's drives. Under IFDB the script becomes contaminated
+        // with a tag it cannot declassify and produces no output.
+        let app = small_app();
+        let alice = &app.policy.users()[0];
+        let bob = &app.policy.users()[1];
+        let resp = app.server.handle(
+            &Request::new("drives.php")
+                .as_user(&alice.username)
+                .param("user", &bob.username),
+        );
+        assert!(resp.body.is_empty(), "no drive data may be revealed");
+    }
+
+    #[test]
+    fn friends_can_see_each_others_drives_after_delegation() {
+        let app = small_app();
+        let alice = &app.policy.users()[0];
+        let bob = &app.policy.users()[1];
+        // Bob adds Alice as a friend, delegating his drives tag to her.
+        let resp = app.server.handle(
+            &Request::new("friends.php")
+                .as_user(&bob.username)
+                .param("add", &alice.username),
+        );
+        assert!(resp.is_ok(), "error: {:?}", resp.error);
+        // Now Alice may view Bob's drives.
+        let resp = app.server.handle(
+            &Request::new("drives.php")
+                .as_user(&alice.username)
+                .param("user", &bob.username),
+        );
+        assert!(resp.is_ok(), "error: {:?}", resp.error);
+        assert!(!resp.body.is_empty());
+    }
+
+    #[test]
+    fn unauthenticated_scripts_produce_no_location_data() {
+        let app = small_app();
+        let user = &app.policy.users()[0];
+        for script in ["cars.php", "get_cars.php", "drives.php"] {
+            let resp = app
+                .server
+                .handle(&Request::new(script).param("user", &user.username));
+            assert!(
+                resp.body.is_empty(),
+                "{script} must not leak to unauthenticated clients"
+            );
+        }
+    }
+
+    #[test]
+    fn traffic_summary_is_declassified_for_everyone() {
+        let app = small_app();
+        let user = &app.policy.users()[0];
+        let resp = app
+            .server
+            .handle(&Request::new("drives_top.php").as_user(&user.username));
+        assert!(resp.is_ok(), "error: {:?}", resp.error);
+        assert!(!resp.body.is_empty(), "aggregate statistics are public");
+    }
+
+    #[test]
+    fn baseline_mode_runs_the_same_workload() {
+        let app = CartelApp::build(&CartelConfig {
+            users: 2,
+            cars_per_user: 1,
+            measurements_per_car: 5,
+            difc: false,
+            ..Default::default()
+        });
+        let user = &app.policy.users()[0];
+        let resp = app.server.handle(
+            &Request::new("drives.php")
+                .as_user(&user.username)
+                .param("user", &user.username),
+        );
+        assert!(resp.is_ok());
+    }
+}

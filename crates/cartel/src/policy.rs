@@ -1,0 +1,214 @@
+//! The CarTel confidentiality policy: principals, tags and delegations.
+//!
+//! Each user owns two tags: `<user>_drives` for historical drives and
+//! `<user>_location` for current location (Section 6.1). The tags are members
+//! of the `all_drives` and `all_locations` compound tags owned by the CarTel
+//! service principal, which lets service-side closures (the drive-update
+//! trigger, the traffic-statistics procedure, the ingest daemon) operate over
+//! every user's data with a single delegation while individual users keep
+//! control of their own tags.
+
+use std::collections::HashMap;
+
+use ifdb::prelude::*;
+use ifdb::Database;
+use parking_lot::RwLock;
+
+/// Everything the application needs to know about one registered user.
+#[derive(Debug, Clone)]
+pub struct UserHandle {
+    /// The user's row id in the Users table.
+    pub userid: i64,
+    /// The username (also the login name).
+    pub username: String,
+    /// The password registered with the authenticator.
+    pub password: String,
+    /// The principal the user's requests act as.
+    pub principal: PrincipalId,
+    /// Tag protecting the user's historical drives.
+    pub drives_tag: TagId,
+    /// Tag protecting the user's current location.
+    pub location_tag: TagId,
+}
+
+/// The instantiated authority schema of a CarTel deployment.
+pub struct CartelPolicy {
+    users: Vec<UserHandle>,
+    by_userid: HashMap<i64, usize>,
+    by_username: HashMap<String, usize>,
+    /// The CarTel service principal (owns the compound tags).
+    pub service: PrincipalId,
+    /// Principal bound into the drive-update trigger closure.
+    pub driveupdate_principal: PrincipalId,
+    /// Principal bound into the traffic-statistics closure.
+    pub traffic_stats_principal: PrincipalId,
+    /// Principal the ingest daemon acts as.
+    pub ingest_principal: PrincipalId,
+    /// Compound tag over every user's drives tag.
+    pub all_drives: TagId,
+    /// Compound tag over every user's location tag.
+    pub all_locations: TagId,
+    /// Maps a car to its owner, maintained as cars are registered. The
+    /// mapping mirrors the public Cars table and exists so triggers can
+    /// resolve tags without re-reading the catalog.
+    car_owner: RwLock<HashMap<i64, i64>>,
+}
+
+impl std::fmt::Debug for CartelPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CartelPolicy")
+            .field("users", &self.users.len())
+            .finish()
+    }
+}
+
+impl CartelPolicy {
+    /// Creates the principals, tags and delegations for `user_count` users.
+    ///
+    /// This is the ~50 lines of trusted setup code the paper describes: it
+    /// labels nothing itself, but it defines who may declassify what.
+    pub fn bootstrap(db: &Database, user_count: usize, _seed: u64) -> Self {
+        let service = db.create_principal("cartel_service", PrincipalKind::Service);
+        let driveupdate_principal = db.create_principal("driveupdate", PrincipalKind::Closure);
+        let traffic_stats_principal = db.create_principal("traffic_stats", PrincipalKind::Closure);
+        let ingest_principal = db.create_principal("cartel_ingest", PrincipalKind::Service);
+        let all_drives = db
+            .create_compound_tag(service, "all_drives", &[])
+            .expect("compound tag");
+        let all_locations = db
+            .create_compound_tag(service, "all_locations", &[])
+            .expect("compound tag");
+
+        // The service delegates its compound-tag authority to the closures
+        // and the ingest daemon. All delegation happens with an empty label.
+        let mut service_session = db.session(service);
+        service_session
+            .delegate(driveupdate_principal, all_locations)
+            .expect("delegate all_locations to driveupdate");
+        service_session
+            .delegate(traffic_stats_principal, all_drives)
+            .expect("delegate all_drives to traffic_stats");
+        service_session
+            .delegate(traffic_stats_principal, all_locations)
+            .expect("delegate all_locations to traffic_stats");
+        service_session
+            .delegate(ingest_principal, all_drives)
+            .expect("delegate all_drives to ingest");
+        service_session
+            .delegate(ingest_principal, all_locations)
+            .expect("delegate all_locations to ingest");
+
+        let mut users = Vec::new();
+        let mut by_userid = HashMap::new();
+        let mut by_username = HashMap::new();
+        for i in 0..user_count {
+            let username = format!("user{i}");
+            let principal = db.create_principal(&username, PrincipalKind::User);
+            let drives_tag = db
+                .create_tag(principal, &format!("{username}_drives"), &[all_drives])
+                .expect("drives tag");
+            let location_tag = db
+                .create_tag(principal, &format!("{username}_location"), &[all_locations])
+                .expect("location tag");
+            let handle = UserHandle {
+                userid: i as i64 + 1,
+                username: username.clone(),
+                password: format!("pw-{username}"),
+                principal,
+                drives_tag,
+                location_tag,
+            };
+            by_userid.insert(handle.userid, users.len());
+            by_username.insert(username, users.len());
+            users.push(handle);
+        }
+
+        CartelPolicy {
+            users,
+            by_userid,
+            by_username,
+            service,
+            driveupdate_principal,
+            traffic_stats_principal,
+            ingest_principal,
+            all_drives,
+            all_locations,
+            car_owner: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// The registered users.
+    pub fn users(&self) -> &[UserHandle] {
+        &self.users
+    }
+
+    /// Looks up a user by numeric id.
+    pub fn user_by_id(&self, userid: i64) -> Option<&UserHandle> {
+        self.by_userid.get(&userid).map(|i| &self.users[*i])
+    }
+
+    /// Looks up a user by username.
+    pub fn user_by_name(&self, username: &str) -> Option<&UserHandle> {
+        self.by_username.get(username).map(|i| &self.users[*i])
+    }
+
+    /// Records that `carid` belongs to `userid`.
+    pub fn record_car(&self, carid: i64, userid: i64) {
+        self.car_owner.write().insert(carid, userid);
+    }
+
+    /// The owner of a car, if known.
+    pub fn owner_of_car(&self, carid: i64) -> Option<i64> {
+        self.car_owner.read().get(&carid).copied()
+    }
+
+    /// The (drives, location) tags protecting data about `carid`.
+    pub fn tags_for_car(&self, carid: i64) -> Option<(TagId, TagId)> {
+        let owner = self.owner_of_car(carid)?;
+        let user = self.user_by_id(owner)?;
+        Some((user.drives_tag, user.location_tag))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::create_schema;
+
+    #[test]
+    fn bootstrap_creates_users_tags_and_delegations() {
+        let db = Database::in_memory();
+        create_schema(&db).unwrap();
+        let policy = CartelPolicy::bootstrap(&db, 4, 1);
+        assert_eq!(policy.users().len(), 4);
+        let u = policy.user_by_name("user2").unwrap();
+        assert_eq!(u.userid, 3);
+        assert!(policy.user_by_name("nobody").is_none());
+
+        // The closures received compound authority: driveupdate may
+        // declassify any user's location tag but not their drives tag.
+        assert!(db.has_authority(policy.driveupdate_principal, u.location_tag));
+        assert!(!db.has_authority(policy.driveupdate_principal, u.drives_tag));
+        // The ingest daemon holds both; the traffic-stats closure holds both.
+        assert!(db.has_authority(policy.ingest_principal, u.drives_tag));
+        assert!(db.has_authority(policy.ingest_principal, u.location_tag));
+        assert!(db.has_authority(policy.traffic_stats_principal, u.drives_tag));
+        // Users keep full authority over their own tags and none over others.
+        assert!(db.has_authority(u.principal, u.drives_tag));
+        let other = policy.user_by_name("user0").unwrap();
+        assert!(!db.has_authority(u.principal, other.drives_tag));
+    }
+
+    #[test]
+    fn car_ownership_mapping() {
+        let db = Database::in_memory();
+        create_schema(&db).unwrap();
+        let policy = CartelPolicy::bootstrap(&db, 2, 1);
+        policy.record_car(101, 1);
+        assert_eq!(policy.owner_of_car(101), Some(1));
+        assert!(policy.owner_of_car(999).is_none());
+        let (d, l) = policy.tags_for_car(101).unwrap();
+        let u = policy.user_by_id(1).unwrap();
+        assert_eq!((d, l), (u.drives_tag, u.location_tag));
+    }
+}

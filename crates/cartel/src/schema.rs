@@ -1,0 +1,100 @@
+//! The CarTel database schema.
+
+use ifdb::prelude::*;
+use ifdb::{IfdbResult, TableDef};
+
+/// Creates every CarTel table.
+///
+/// Labeling strategy (Section 6.1): raw `Locations` measurements carry
+/// `{<user>_drives, <user>_location}`; the derived `Drives` summaries carry
+/// `{<user>_drives}`; `LocationsLatest` carries both (it *is* current
+/// location data); `Users`, `Cars` and `Friends` are public.
+pub fn create_schema(db: &Database) -> IfdbResult<()> {
+    db.create_table(
+        TableDef::new("Users")
+            .column("userid", DataType::Int)
+            .column("username", DataType::Text)
+            .column("email", DataType::Text)
+            .primary_key(&["userid"])
+            .unique("users_username_key", &["username"]),
+    )?;
+    db.create_table(
+        TableDef::new("Cars")
+            .column("carid", DataType::Int)
+            .column("userid", DataType::Int)
+            .column("name", DataType::Text)
+            .primary_key(&["carid"])
+            .foreign_key("cars_userid_fkey", &["userid"], "Users", &["userid"]),
+    )?;
+    db.create_table(
+        TableDef::new("Locations")
+            .column("locid", DataType::Int)
+            .column("carid", DataType::Int)
+            .column("lat", DataType::Float)
+            .column("lon", DataType::Float)
+            .column("speed", DataType::Float)
+            .column("ts", DataType::Timestamp)
+            .primary_key(&["locid"])
+            .foreign_key("locations_carid_fkey", &["carid"], "Cars", &["carid"]),
+    )?;
+    db.create_table(
+        TableDef::new("LocationsLatest")
+            .column("carid", DataType::Int)
+            .column("lat", DataType::Float)
+            .column("lon", DataType::Float)
+            .column("ts", DataType::Timestamp)
+            .primary_key(&["carid"]),
+    )?;
+    db.create_table(
+        TableDef::new("Drives")
+            .column("driveid", DataType::Int)
+            .column("carid", DataType::Int)
+            .column("userid", DataType::Int)
+            .column("points", DataType::Int)
+            .column("distance", DataType::Float)
+            .column("start_ts", DataType::Timestamp)
+            .column("end_ts", DataType::Timestamp)
+            .primary_key(&["driveid"]),
+    )?;
+    db.create_table(
+        TableDef::new("Friends")
+            .column("userid", DataType::Int)
+            .column("friendid", DataType::Int)
+            .primary_key(&["userid", "friendid"])
+            .foreign_key("friends_userid_fkey", &["userid"], "Users", &["userid"])
+            .foreign_key("friends_friendid_fkey", &["friendid"], "Users", &["userid"]),
+    )?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_creates_all_tables() {
+        let db = Database::in_memory();
+        create_schema(&db).unwrap();
+        let mut names = db.engine().table_names();
+        names.sort();
+        assert_eq!(
+            names,
+            vec![
+                "Cars",
+                "Drives",
+                "Friends",
+                "Locations",
+                "LocationsLatest",
+                "Users"
+            ]
+        );
+    }
+
+    #[test]
+    fn schema_is_not_reentrant_but_engine_allows_lookup() {
+        let db = Database::in_memory();
+        create_schema(&db).unwrap();
+        assert!(db.engine().table_by_name("Drives").is_ok());
+        assert!(db.engine().table_by_name("Nope").is_err());
+    }
+}

@@ -1,0 +1,277 @@
+//! The CarTel web scripts (the request mix of Figure 3).
+//!
+//! Every script is untrusted application code: it receives a session already
+//! bound to the authenticated principal (or the anonymous principal) and can
+//! only emit output through the platform's gate. The scripts follow the
+//! methodology of Section 6.4: raise the label to read, declassify with the
+//! *user's own* authority to respond, and delegate trusted computations over
+//! many users' data to stored authority closures.
+
+use std::sync::Arc;
+
+use ifdb::prelude::*;
+use ifdb::{IfdbError, StoredProcedure};
+use ifdb_platform::{AppServer, Request};
+
+use crate::policy::{CartelPolicy, UserHandle};
+
+fn requesting_user<'a>(
+    policy: &'a CartelPolicy,
+    session: &ifdb::Session,
+    request: &Request,
+) -> Option<&'a UserHandle> {
+    // The trusted platform already mapped credentials to a principal; the
+    // script identifies the user by matching that principal, never by
+    // trusting a query parameter.
+    let principal = session.principal();
+    request
+        .user
+        .as_ref()
+        .and_then(|u| policy.user_by_name(u))
+        .filter(|u| u.principal == principal)
+        .or_else(|| policy.users().iter().find(|u| u.principal == principal))
+}
+
+/// Registers every CarTel script on the server, plus the `traffic_stats`
+/// stored authority closure used by `drives_top.php`.
+pub fn register_scripts(server: &Arc<AppServer>, policy: Arc<CartelPolicy>) {
+    let db = server.database().clone();
+
+    // drives_top.php is backed by a stored authority closure that may read
+    // every user's drives (via the all_drives compound) and declassifies the
+    // aggregate it returns.
+    let stats_policy = policy.clone();
+    db.create_procedure(StoredProcedure {
+        name: "traffic_stats".into(),
+        authority: Some(policy.traffic_stats_principal),
+        body: Arc::new(move |session, _args| {
+            let all: Vec<TagId> = stats_policy
+                .users()
+                .iter()
+                .flat_map(|u| [u.drives_tag, u.location_tag])
+                .collect();
+            let label = Label::from_tags(all.iter().copied());
+            session.raise_label(&label)?;
+            let result = session.select_aggregate(&Aggregate {
+                from: "Drives".into(),
+                predicate: Predicate::True,
+                group_by: Some("carid".into()),
+                aggregates: vec![
+                    (AggFunc::Count, "driveid".into()),
+                    (AggFunc::Sum, "distance".into()),
+                ],
+            })?;
+            session.declassify_all(&label)?;
+            Ok(result)
+        }),
+    })
+    .expect("register traffic_stats");
+
+    // login.php — the trusted platform performed authentication; the script
+    // only confirms it.
+    let p = policy.clone();
+    server.register_script(
+        "login.php",
+        Arc::new(move |session, request, out| {
+            match requesting_user(&p, session, request) {
+                Some(user) => out.emit(session, format!("Welcome, {}", user.username)),
+                None => Err(IfdbError::InvalidStatement("authentication required".into())),
+            }
+        }),
+    );
+
+    // cars.php / get_cars.php — current locations of the user's cars.
+    for name in ["cars.php", "get_cars.php"] {
+        let p = policy.clone();
+        server.register_script(
+            name,
+            Arc::new(move |session, request, out| {
+                let Some(user) = requesting_user(&p, session, request) else {
+                    return Err(IfdbError::InvalidStatement("authentication required".into()));
+                };
+                let cars = session.select(
+                    &Select::star("Cars")
+                        .filter(Predicate::Eq("userid".into(), Datum::Int(user.userid))),
+                )?;
+                session.add_secrecy(user.drives_tag)?;
+                session.add_secrecy(user.location_tag)?;
+                let mut lines = Vec::new();
+                for car in cars.iter() {
+                    let carid = car.get_int("carid").unwrap_or(0);
+                    let latest = session.select(
+                        &Select::star("LocationsLatest")
+                            .filter(Predicate::Eq("carid".into(), Datum::Int(carid))),
+                    )?;
+                    if let Some(row) = latest.first() {
+                        lines.push(format!(
+                            "car {carid} at ({:.4}, {:.4})",
+                            row.get_float("lat").unwrap_or(0.0),
+                            row.get_float("lon").unwrap_or(0.0)
+                        ));
+                    }
+                }
+                // The user owns both tags, so releasing their own current
+                // location to them is an authorized declassification.
+                session.declassify(user.location_tag)?;
+                session.declassify(user.drives_tag)?;
+                for line in lines {
+                    out.emit(session, line)?;
+                }
+                Ok(())
+            }),
+        );
+    }
+
+    // drives.php — the user's drive log, or a friend's if they delegated.
+    let p = policy.clone();
+    server.register_script(
+        "drives.php",
+        Arc::new(move |session, request, out| {
+            let Some(me) = requesting_user(&p, session, request) else {
+                return Err(IfdbError::InvalidStatement("authentication required".into()));
+            };
+            let target = request
+                .params
+                .get("user")
+                .and_then(|u| p.user_by_name(u))
+                .unwrap_or(me);
+            session.add_secrecy(target.drives_tag)?;
+            let drives = session.select(
+                &Select::star("Drives")
+                    .filter(Predicate::Eq("userid".into(), Datum::Int(target.userid)))
+                    .order("end_ts", Order::Desc),
+            )?;
+            let lines: Vec<String> = drives
+                .iter()
+                .map(|d| {
+                    format!(
+                        "drive {} points={} distance={:.2}km",
+                        d.get_int("driveid").unwrap_or(0),
+                        d.get_int("points").unwrap_or(0),
+                        d.get_float("distance").unwrap_or(0.0)
+                    )
+                })
+                .collect();
+            // Releasing the drives requires authority for the *target's*
+            // drives tag: the owner has it, friends get it by delegation, and
+            // anyone else fails here — the URL-manipulation bug of
+            // Section 6.1 becomes a silent empty page.
+            session.declassify(target.drives_tag)?;
+            for line in lines {
+                out.emit(session, line)?;
+            }
+            Ok(())
+        }),
+    );
+
+    // drives_top.php — common driving patterns across all users, computed by
+    // the traffic_stats authority closure.
+    server.register_script(
+        "drives_top.php",
+        Arc::new(move |session, _request, out| {
+            let stats = session.call_procedure("traffic_stats", &[])?;
+            let mut rows: Vec<(i64, i64, f64)> = stats
+                .iter()
+                .map(|r| {
+                    (
+                        r.get_int("carid").unwrap_or(0),
+                        r.get_int("count").unwrap_or(0),
+                        r.get_float("sum_distance").unwrap_or(0.0),
+                    )
+                })
+                .collect();
+            rows.sort_by(|a, b| b.1.cmp(&a.1));
+            for (carid, drives, km) in rows.into_iter().take(10) {
+                out.emit(
+                    session,
+                    format!("car {carid}: {drives} drives, {km:.1} km total"),
+                )?;
+            }
+            Ok(())
+        }),
+    );
+
+    // friends.php — list friends, or add one (which delegates the drives tag
+    // so the new friend can see past drives).
+    let p = policy.clone();
+    server.register_script(
+        "friends.php",
+        Arc::new(move |session, request, out| {
+            let Some(me) = requesting_user(&p, session, request) else {
+                return Err(IfdbError::InvalidStatement("authentication required".into()));
+            };
+            if let Some(friend_name) = request.params.get("add") {
+                let Some(friend) = p.user_by_name(friend_name) else {
+                    return Err(IfdbError::InvalidStatement("no such user".into()));
+                };
+                session.insert(&Insert::new(
+                    "Friends",
+                    vec![Datum::Int(me.userid), Datum::Int(friend.userid)],
+                ))?;
+                // The delegation is the policy decision: the friend may now
+                // declassify (and therefore view) my past drives.
+                session.delegate(friend.principal, me.drives_tag)?;
+                out.emit(session, format!("{} added as friend", friend.username))?;
+                return Ok(());
+            }
+            let friends = session.select(
+                &Select::star("Friends")
+                    .filter(Predicate::Eq("userid".into(), Datum::Int(me.userid))),
+            )?;
+            out.emit(session, format!("{} friends", friends.len()))?;
+            for f in friends.iter() {
+                if let Some(friend) = p.user_by_id(f.get_int("friendid").unwrap_or(0)) {
+                    out.emit(session, friend.username.clone())?;
+                }
+            }
+            Ok(())
+        }),
+    );
+
+    // edit_account.php — update the user's (public) account row.
+    let p = policy.clone();
+    server.register_script(
+        "edit_account.php",
+        Arc::new(move |session, request, out| {
+            let Some(me) = requesting_user(&p, session, request) else {
+                return Err(IfdbError::InvalidStatement("authentication required".into()));
+            };
+            let email = request
+                .params
+                .get("email")
+                .cloned()
+                .unwrap_or_else(|| format!("{}@cartel.example", me.username));
+            session.update(&Update::new(
+                "Users",
+                Predicate::Eq("userid".into(), Datum::Int(me.userid)),
+                vec![("email", Datum::Text(email.clone()))],
+            ))?;
+            out.emit(session, format!("account updated: {email}"))?;
+            Ok(())
+        }),
+    );
+}
+
+/// The HTTP request mix of Figure 3 (excluding login).
+pub fn figure3_mix() -> Vec<(f64, String)> {
+    vec![
+        (0.50, "get_cars.php".to_string()),
+        (0.30, "cars.php".to_string()),
+        (0.08, "drives.php".to_string()),
+        (0.08, "drives_top.php".to_string()),
+        (0.03, "friends.php".to_string()),
+        (0.01, "edit_account.php".to_string()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure3_mix_sums_to_one() {
+        let total: f64 = figure3_mix().iter().map(|(w, _)| w).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert_eq!(figure3_mix().len(), 6);
+    }
+}

@@ -1,0 +1,614 @@
+//! The catalog: tables, constraints, views, triggers and stored procedures.
+//!
+//! Schema definition is the administrator's job; note that per Section 3.3
+//! the administrator defines tables and constraints but receives no authority
+//! to declassify anything — authority comes only from tag ownership and
+//! delegation.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use ifdb_difc::{Label, PrincipalId};
+use ifdb_storage::{ColumnDef, DataType, Datum, TableId, TableSchema};
+
+use crate::error::{IfdbError, IfdbResult};
+use crate::query::{Join, Select};
+use crate::row::ResultSet;
+use crate::session::Session;
+
+/// A uniqueness constraint over one or more columns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UniqueConstraint {
+    /// Constraint name.
+    pub name: String,
+    /// The constrained columns.
+    pub columns: Vec<String>,
+}
+
+/// A foreign-key (referential) constraint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ForeignKey {
+    /// Constraint name.
+    pub name: String,
+    /// Referencing columns (in this table).
+    pub columns: Vec<String>,
+    /// Referenced table.
+    pub ref_table: String,
+    /// Referenced columns.
+    pub ref_columns: Vec<String>,
+}
+
+/// A label constraint (Section 5.2.4): a rule about what label tuples of a
+/// table must carry. Simple constraints double as anti-polyinstantiation
+/// rules when combined with a uniqueness constraint.
+#[derive(Clone)]
+pub enum LabelConstraint {
+    /// Every tuple's label must contain all of these tags.
+    MustContain {
+        /// Constraint name.
+        name: String,
+        /// Tags that must appear in every tuple label.
+        label: Label,
+    },
+    /// Every tuple's label must be exactly the label computed from its
+    /// values (e.g. "a record for Alice must have the label
+    /// {alice_medical}").
+    ExactFromRow {
+        /// Constraint name.
+        name: String,
+        /// Computes the required label from the tuple's values.
+        func: Arc<dyn Fn(&[Datum]) -> Label + Send + Sync>,
+    },
+}
+
+impl LabelConstraint {
+    /// The constraint's name.
+    pub fn name(&self) -> &str {
+        match self {
+            LabelConstraint::MustContain { name, .. } => name,
+            LabelConstraint::ExactFromRow { name, .. } => name,
+        }
+    }
+
+    /// Checks a tuple against the constraint.
+    pub fn check(&self, table: &str, values: &[Datum], label: &Label) -> IfdbResult<()> {
+        match self {
+            LabelConstraint::MustContain { label: required, .. } => {
+                if required.is_subset_of(label) {
+                    Ok(())
+                } else {
+                    Err(IfdbError::LabelConstraintViolation {
+                        table: table.to_string(),
+                        detail: format!("label {label} must contain {required}"),
+                    })
+                }
+            }
+            LabelConstraint::ExactFromRow { func, .. } => {
+                let required = func(values);
+                if &required == label {
+                    Ok(())
+                } else {
+                    Err(IfdbError::LabelConstraintViolation {
+                        table: table.to_string(),
+                        detail: format!("label {label} must be exactly {required}"),
+                    })
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Debug for LabelConstraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LabelConstraint::MustContain { name, label } => f
+                .debug_struct("MustContain")
+                .field("name", name)
+                .field("label", label)
+                .finish(),
+            LabelConstraint::ExactFromRow { name, .. } => f
+                .debug_struct("ExactFromRow")
+                .field("name", name)
+                .finish_non_exhaustive(),
+        }
+    }
+}
+
+/// The event a trigger fires on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TriggerEvent {
+    /// After a row is inserted.
+    Insert,
+    /// After a row is updated.
+    Update,
+    /// After a row is deleted.
+    Delete,
+}
+
+/// When the trigger body runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TriggerTiming {
+    /// Immediately, as part of the triggering statement.
+    Immediate,
+    /// At transaction commit. Deferred triggers still run with the *label of
+    /// the query* that queued them, not the commit label (Section 5.2.3).
+    Deferred,
+}
+
+/// The data passed to a trigger body.
+#[derive(Debug, Clone)]
+pub struct TriggerInvocation {
+    /// The table the statement targeted.
+    pub table: String,
+    /// The event.
+    pub event: TriggerEvent,
+    /// The new row (for inserts and updates).
+    pub new: Option<Vec<Datum>>,
+    /// The old row (for updates and deletes).
+    pub old: Option<Vec<Datum>>,
+    /// The process label at the time of the triggering query.
+    pub label: Label,
+}
+
+/// The body of a trigger: arbitrary code that may issue further statements
+/// through the session it is handed.
+pub type TriggerBody = Arc<dyn Fn(&mut Session, &TriggerInvocation) -> IfdbResult<()> + Send + Sync>;
+
+/// A trigger definition.
+#[derive(Clone)]
+pub struct TriggerDef {
+    /// Trigger name.
+    pub name: String,
+    /// Table it is attached to.
+    pub table: String,
+    /// Events it fires on.
+    pub events: Vec<TriggerEvent>,
+    /// When the body runs.
+    pub timing: TriggerTiming,
+    /// If set, the trigger is a *stored authority closure* (Section 4.3): the
+    /// body runs with this principal's authority instead of the caller's.
+    pub authority: Option<PrincipalId>,
+    /// The body.
+    pub body: TriggerBody,
+}
+
+impl fmt::Debug for TriggerDef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TriggerDef")
+            .field("name", &self.name)
+            .field("table", &self.table)
+            .field("events", &self.events)
+            .field("timing", &self.timing)
+            .field("authority", &self.authority)
+            .finish_non_exhaustive()
+    }
+}
+
+/// What a view selects from.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ViewSource {
+    /// A single-table (or single-view) select.
+    Select(Select),
+    /// A two-way join.
+    Join(Join),
+}
+
+/// A view definition. Ordinary views have an empty `declassifies` label;
+/// *declassifying views* (Section 4.3) additionally remove the given tags
+/// from the labels of the tuples they expose, exercising the authority of the
+/// principal that was bound into the view at creation time.
+#[derive(Debug, Clone)]
+pub struct ViewDef {
+    /// View name.
+    pub name: String,
+    /// The underlying query.
+    pub source: ViewSource,
+    /// Tags this view declassifies.
+    pub declassifies: Label,
+    /// The principal whose authority was bound into the view (checked at
+    /// creation).
+    pub authority: Option<PrincipalId>,
+}
+
+impl ViewDef {
+    /// Returns `true` if this is a declassifying view.
+    pub fn is_declassifying(&self) -> bool {
+        !self.declassifies.is_empty()
+    }
+}
+
+/// The body of a stored procedure.
+pub type ProcedureBody = Arc<dyn Fn(&mut Session, &[Datum]) -> IfdbResult<ResultSet> + Send + Sync>;
+
+/// A stored procedure. With `authority: Some(p)` it is a *stored authority
+/// closure* and runs as `p`; otherwise it runs with the caller's authority.
+#[derive(Clone)]
+pub struct StoredProcedure {
+    /// Procedure name.
+    pub name: String,
+    /// Bound principal, if this is an authority closure.
+    pub authority: Option<PrincipalId>,
+    /// The body.
+    pub body: ProcedureBody,
+}
+
+impl fmt::Debug for StoredProcedure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("StoredProcedure")
+            .field("name", &self.name)
+            .field("authority", &self.authority)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Everything the catalog records about one table.
+#[derive(Debug, Clone)]
+pub struct TableInfo {
+    /// Storage-engine table id.
+    pub id: TableId,
+    /// The schema.
+    pub schema: TableSchema,
+    /// Primary-key columns (always unique).
+    pub primary_key: Vec<String>,
+    /// Additional uniqueness constraints.
+    pub uniques: Vec<UniqueConstraint>,
+    /// Foreign keys from this table.
+    pub foreign_keys: Vec<ForeignKey>,
+    /// Label constraints.
+    pub label_constraints: Vec<LabelConstraint>,
+    /// Name of the primary-key index, if one was created.
+    pub pk_index: Option<String>,
+}
+
+/// A declarative table definition handed to
+/// [`crate::database::Database::create_table`].
+#[derive(Debug, Clone, Default)]
+pub struct TableDef {
+    /// Table name.
+    pub name: String,
+    /// Columns.
+    pub columns: Vec<ColumnDef>,
+    /// Primary-key columns.
+    pub primary_key: Vec<String>,
+    /// Extra uniqueness constraints.
+    pub uniques: Vec<UniqueConstraint>,
+    /// Foreign keys.
+    pub foreign_keys: Vec<ForeignKey>,
+    /// Label constraints.
+    pub label_constraints: Vec<LabelConstraint>,
+}
+
+impl TableDef {
+    /// Starts a definition with the given name.
+    pub fn new(name: &str) -> Self {
+        TableDef {
+            name: name.to_string(),
+            ..Default::default()
+        }
+    }
+
+    /// Adds a non-nullable column.
+    pub fn column(mut self, name: &str, ty: DataType) -> Self {
+        self.columns.push(ColumnDef::new(name, ty));
+        self
+    }
+
+    /// Adds a nullable column.
+    pub fn nullable_column(mut self, name: &str, ty: DataType) -> Self {
+        self.columns.push(ColumnDef::nullable(name, ty));
+        self
+    }
+
+    /// Sets the primary key.
+    pub fn primary_key(mut self, columns: &[&str]) -> Self {
+        self.primary_key = columns.iter().map(|c| c.to_string()).collect();
+        self
+    }
+
+    /// Adds a uniqueness constraint.
+    pub fn unique(mut self, name: &str, columns: &[&str]) -> Self {
+        self.uniques.push(UniqueConstraint {
+            name: name.to_string(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+        });
+        self
+    }
+
+    /// Adds a foreign key.
+    pub fn foreign_key(
+        mut self,
+        name: &str,
+        columns: &[&str],
+        ref_table: &str,
+        ref_columns: &[&str],
+    ) -> Self {
+        self.foreign_keys.push(ForeignKey {
+            name: name.to_string(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            ref_table: ref_table.to_string(),
+            ref_columns: ref_columns.iter().map(|c| c.to_string()).collect(),
+        });
+        self
+    }
+
+    /// Adds a must-contain label constraint.
+    pub fn label_must_contain(mut self, name: &str, label: Label) -> Self {
+        self.label_constraints.push(LabelConstraint::MustContain {
+            name: name.to_string(),
+            label,
+        });
+        self
+    }
+
+    /// Adds an exact label constraint computed from the row.
+    pub fn label_exact_from_row(
+        mut self,
+        name: &str,
+        func: impl Fn(&[Datum]) -> Label + Send + Sync + 'static,
+    ) -> Self {
+        self.label_constraints.push(LabelConstraint::ExactFromRow {
+            name: name.to_string(),
+            func: Arc::new(func),
+        });
+        self
+    }
+}
+
+/// The catalog proper.
+#[derive(Debug, Default)]
+pub struct Catalog {
+    tables: HashMap<String, Arc<TableInfo>>,
+    views: HashMap<String, Arc<ViewDef>>,
+    triggers: HashMap<String, Vec<Arc<TriggerDef>>>,
+    procedures: HashMap<String, Arc<StoredProcedure>>,
+}
+
+impl Catalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a table.
+    pub fn add_table(&mut self, info: TableInfo) {
+        self.tables.insert(info.schema.name.clone(), Arc::new(info));
+    }
+
+    /// Looks up a table.
+    pub fn table(&self, name: &str) -> IfdbResult<Arc<TableInfo>> {
+        self.tables
+            .get(name)
+            .cloned()
+            .ok_or_else(|| IfdbError::UnknownTable(name.to_string()))
+    }
+
+    /// Returns `true` if a table with this name exists.
+    pub fn has_table(&self, name: &str) -> bool {
+        self.tables.contains_key(name)
+    }
+
+    /// Every table name.
+    pub fn table_names(&self) -> Vec<String> {
+        self.tables.keys().cloned().collect()
+    }
+
+    /// Tables whose foreign keys reference `table`.
+    pub fn referencing(&self, table: &str) -> Vec<(Arc<TableInfo>, ForeignKey)> {
+        let mut out = Vec::new();
+        for info in self.tables.values() {
+            for fk in &info.foreign_keys {
+                if fk.ref_table == table {
+                    out.push((info.clone(), fk.clone()));
+                }
+            }
+        }
+        out
+    }
+
+    /// Registers a view.
+    pub fn add_view(&mut self, view: ViewDef) {
+        self.views.insert(view.name.clone(), Arc::new(view));
+    }
+
+    /// Looks up a view.
+    pub fn view(&self, name: &str) -> IfdbResult<Arc<ViewDef>> {
+        self.views
+            .get(name)
+            .cloned()
+            .ok_or_else(|| IfdbError::UnknownView(name.to_string()))
+    }
+
+    /// Returns `true` if a view with this name exists.
+    pub fn has_view(&self, name: &str) -> bool {
+        self.views.contains_key(name)
+    }
+
+    /// Registers a trigger on its table.
+    pub fn add_trigger(&mut self, trigger: TriggerDef) {
+        self.triggers
+            .entry(trigger.table.clone())
+            .or_default()
+            .push(Arc::new(trigger));
+    }
+
+    /// Triggers attached to `table` that fire on `event`.
+    pub fn triggers_for(&self, table: &str, event: TriggerEvent) -> Vec<Arc<TriggerDef>> {
+        self.triggers
+            .get(table)
+            .map(|v| {
+                v.iter()
+                    .filter(|t| t.events.contains(&event))
+                    .cloned()
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Registers a stored procedure.
+    pub fn add_procedure(&mut self, proc: StoredProcedure) {
+        self.procedures.insert(proc.name.clone(), Arc::new(proc));
+    }
+
+    /// Looks up a stored procedure.
+    pub fn procedure(&self, name: &str) -> IfdbResult<Arc<StoredProcedure>> {
+        self.procedures
+            .get(name)
+            .cloned()
+            .ok_or_else(|| IfdbError::UnknownProcedure(name.to_string()))
+    }
+
+    /// Number of registered views that declassify, plus authority-closure
+    /// triggers and procedures — the "code that runs with authority" counted
+    /// by the trusted-base report (Section 6.3).
+    pub fn trusted_component_count(&self) -> usize {
+        let declassifying_views = self
+            .views
+            .values()
+            .filter(|v| v.is_declassifying())
+            .count();
+        let closure_triggers = self
+            .triggers
+            .values()
+            .flatten()
+            .filter(|t| t.authority.is_some())
+            .count();
+        let closure_procs = self
+            .procedures
+            .values()
+            .filter(|p| p.authority.is_some())
+            .count();
+        declassifying_views + closure_triggers + closure_procs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ifdb_difc::TagId;
+
+    #[test]
+    fn table_def_builder() {
+        let def = TableDef::new("Drives")
+            .column("driveid", DataType::Int)
+            .column("carid", DataType::Int)
+            .nullable_column("distance", DataType::Float)
+            .primary_key(&["driveid"])
+            .unique("drives_unique_car_start", &["carid", "driveid"])
+            .foreign_key("drives_carid_fkey", &["carid"], "Cars", &["carid"])
+            .label_must_contain("drives_labeled", Label::singleton(TagId(1)));
+        assert_eq!(def.columns.len(), 3);
+        assert_eq!(def.primary_key, vec!["driveid"]);
+        assert_eq!(def.uniques.len(), 1);
+        assert_eq!(def.foreign_keys.len(), 1);
+        assert_eq!(def.label_constraints.len(), 1);
+    }
+
+    #[test]
+    fn label_constraints_check() {
+        let must = LabelConstraint::MustContain {
+            name: "c".into(),
+            label: Label::singleton(TagId(7)),
+        };
+        assert!(must
+            .check("t", &[], &Label::from_tags([TagId(7), TagId(8)]))
+            .is_ok());
+        assert!(must.check("t", &[], &Label::empty()).is_err());
+
+        let exact = LabelConstraint::ExactFromRow {
+            name: "e".into(),
+            func: Arc::new(|row: &[Datum]| {
+                // Tag id derived from the first column.
+                Label::singleton(TagId(row[0].as_int().unwrap() as u64))
+            }),
+        };
+        assert!(exact
+            .check("t", &[Datum::Int(5)], &Label::singleton(TagId(5)))
+            .is_ok());
+        assert!(exact
+            .check("t", &[Datum::Int(5)], &Label::singleton(TagId(6)))
+            .is_err());
+        assert_eq!(exact.name(), "e");
+    }
+
+    #[test]
+    fn referencing_lookup() {
+        let mut cat = Catalog::new();
+        cat.add_table(TableInfo {
+            id: TableId(1),
+            schema: TableSchema::new("Cars", vec![ColumnDef::new("carid", DataType::Int)]),
+            primary_key: vec!["carid".into()],
+            uniques: vec![],
+            foreign_keys: vec![],
+            label_constraints: vec![],
+            pk_index: None,
+        });
+        cat.add_table(TableInfo {
+            id: TableId(2),
+            schema: TableSchema::new(
+                "Drives",
+                vec![
+                    ColumnDef::new("driveid", DataType::Int),
+                    ColumnDef::new("carid", DataType::Int),
+                ],
+            ),
+            primary_key: vec!["driveid".into()],
+            uniques: vec![],
+            foreign_keys: vec![ForeignKey {
+                name: "drives_carid_fkey".into(),
+                columns: vec!["carid".into()],
+                ref_table: "Cars".into(),
+                ref_columns: vec!["carid".into()],
+            }],
+            label_constraints: vec![],
+            pk_index: None,
+        });
+        let refs = cat.referencing("Cars");
+        assert_eq!(refs.len(), 1);
+        assert_eq!(refs[0].1.name, "drives_carid_fkey");
+        assert!(cat.referencing("Drives").is_empty());
+        assert!(cat.has_table("Cars"));
+        assert!(!cat.has_table("Nope"));
+        assert!(cat.table("Nope").is_err());
+    }
+
+    #[test]
+    fn trusted_component_count_counts_authority_bearing_objects() {
+        let mut cat = Catalog::new();
+        cat.add_view(ViewDef {
+            name: "PCMembers".into(),
+            source: ViewSource::Select(Select::star("ContactInfo")),
+            declassifies: Label::singleton(TagId(3)),
+            authority: Some(PrincipalId(1)),
+        });
+        cat.add_view(ViewDef {
+            name: "PlainView".into(),
+            source: ViewSource::Select(Select::star("ContactInfo")),
+            declassifies: Label::empty(),
+            authority: None,
+        });
+        cat.add_trigger(TriggerDef {
+            name: "driveupdate".into(),
+            table: "Locations".into(),
+            events: vec![TriggerEvent::Insert],
+            timing: TriggerTiming::Immediate,
+            authority: Some(PrincipalId(2)),
+            body: Arc::new(|_, _| Ok(())),
+        });
+        cat.add_procedure(StoredProcedure {
+            name: "traffic_stats".into(),
+            authority: None,
+            body: Arc::new(|_, _| Ok(ResultSet::default())),
+        });
+        assert_eq!(cat.trusted_component_count(), 2);
+        assert_eq!(
+            cat.triggers_for("Locations", TriggerEvent::Insert).len(),
+            1
+        );
+        assert!(cat.triggers_for("Locations", TriggerEvent::Delete).is_empty());
+        assert!(cat.view("PCMembers").unwrap().is_declassifying());
+        assert!(!cat.view("PlainView").unwrap().is_declassifying());
+        assert!(cat.procedure("traffic_stats").is_ok());
+        assert!(cat.procedure("missing").is_err());
+    }
+}

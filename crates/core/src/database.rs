@@ -1,0 +1,387 @@
+//! The [`Database`] handle: storage, authority state, catalog and sessions.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use ifdb_difc::audit::AuditLog;
+use ifdb_difc::authority::AuthorityState;
+use ifdb_difc::principal::PrincipalKind;
+use ifdb_difc::{Label, PrincipalId, TagId};
+use ifdb_storage::{StorageEngine, StorageKind, TableSchema};
+use parking_lot::RwLock;
+
+use crate::catalog::{
+    Catalog, StoredProcedure, TableDef, TableInfo, TriggerDef, ViewDef, ViewSource,
+};
+use crate::error::{IfdbError, IfdbResult};
+use crate::session::Session;
+
+/// Configuration for creating a [`Database`].
+#[derive(Debug, Clone)]
+pub struct DatabaseConfig {
+    /// Where tables keep their pages.
+    pub storage: StorageKind,
+    /// Whether DIFC enforcement is enabled. With `false` the engine behaves
+    /// like the unmodified PostgreSQL baseline of the paper's evaluation:
+    /// labels are neither stored nor checked.
+    pub difc_enabled: bool,
+    /// Whether sessions default to the (stricter) serializable clearance
+    /// rule of Section 5.1. The prototype in the paper runs snapshot
+    /// isolation, which does not need the rule, so the default is `false`.
+    pub serializable: bool,
+    /// Seed for the authority state's id generator (deterministic tests).
+    pub authority_seed: Option<u64>,
+}
+
+impl Default for DatabaseConfig {
+    fn default() -> Self {
+        DatabaseConfig {
+            storage: StorageKind::InMemory,
+            difc_enabled: true,
+            serializable: false,
+            authority_seed: None,
+        }
+    }
+}
+
+impl DatabaseConfig {
+    /// An in-memory IFDB instance.
+    pub fn in_memory() -> Self {
+        Self::default()
+    }
+
+    /// An in-memory instance with DIFC disabled (the "PostgreSQL" baseline).
+    pub fn baseline() -> Self {
+        DatabaseConfig {
+            difc_enabled: false,
+            ..Self::default()
+        }
+    }
+
+    /// An on-disk instance with the given heap directory and buffer pool
+    /// size (in pages).
+    pub fn on_disk(dir: PathBuf, buffer_pages: usize) -> Self {
+        DatabaseConfig {
+            storage: StorageKind::OnDisk { dir, buffer_pages },
+            ..Self::default()
+        }
+    }
+
+    /// Fixes the authority-state PRNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.authority_seed = Some(seed);
+        self
+    }
+
+    /// Enables or disables DIFC enforcement.
+    pub fn with_difc(mut self, enabled: bool) -> Self {
+        self.difc_enabled = enabled;
+        self
+    }
+}
+
+pub(crate) struct DbInner {
+    pub(crate) engine: StorageEngine,
+    pub(crate) auth: RwLock<AuthorityState>,
+    pub(crate) catalog: RwLock<Catalog>,
+    pub(crate) audit: AuditLog,
+    pub(crate) difc_enabled: bool,
+    pub(crate) serializable: bool,
+}
+
+/// A handle to an IFDB database. Cloning the handle is cheap; all clones
+/// refer to the same database.
+#[derive(Clone)]
+pub struct Database {
+    pub(crate) inner: Arc<DbInner>,
+}
+
+impl std::fmt::Debug for Database {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Database")
+            .field("difc_enabled", &self.inner.difc_enabled)
+            .field("tables", &self.inner.catalog.read().table_names().len())
+            .finish()
+    }
+}
+
+impl Database {
+    /// Creates a database with the given configuration.
+    pub fn new(config: DatabaseConfig) -> Self {
+        let auth = match config.authority_seed {
+            Some(seed) => AuthorityState::with_seed(seed),
+            None => AuthorityState::new(),
+        };
+        Database {
+            inner: Arc::new(DbInner {
+                engine: StorageEngine::with_kind(config.storage),
+                auth: RwLock::new(auth),
+                catalog: RwLock::new(Catalog::new()),
+                audit: AuditLog::new(),
+                difc_enabled: config.difc_enabled,
+                serializable: config.serializable,
+            }),
+        }
+    }
+
+    /// Shorthand for an in-memory IFDB instance with a fixed seed.
+    pub fn in_memory() -> Self {
+        Self::new(DatabaseConfig::in_memory().with_seed(0x1FDB))
+    }
+
+    /// Returns `true` if DIFC enforcement is enabled.
+    pub fn difc_enabled(&self) -> bool {
+        self.inner.difc_enabled
+    }
+
+    /// The underlying storage engine (exposed for statistics and benches).
+    pub fn engine(&self) -> &StorageEngine {
+        &self.inner.engine
+    }
+
+    /// The audit log.
+    pub fn audit(&self) -> &AuditLog {
+        &self.inner.audit
+    }
+
+    // ------------------------------------------------------------------
+    // Principals and tags
+    // ------------------------------------------------------------------
+
+    /// Creates a principal.
+    pub fn create_principal(&self, name: &str, kind: PrincipalKind) -> PrincipalId {
+        self.inner.auth.write().create_principal(name, kind)
+    }
+
+    /// The distinguished anonymous principal.
+    pub fn anonymous(&self) -> PrincipalId {
+        self.inner.auth.read().anonymous()
+    }
+
+    /// Creates an ordinary tag owned by `owner`.
+    pub fn create_tag(
+        &self,
+        owner: PrincipalId,
+        name: &str,
+        compounds: &[TagId],
+    ) -> IfdbResult<TagId> {
+        Ok(self.inner.auth.write().create_tag(owner, name, compounds)?)
+    }
+
+    /// Creates a compound tag owned by `owner`.
+    pub fn create_compound_tag(
+        &self,
+        owner: PrincipalId,
+        name: &str,
+        parents: &[TagId],
+    ) -> IfdbResult<TagId> {
+        Ok(self
+            .inner
+            .auth
+            .write()
+            .create_compound_tag(owner, name, parents)?)
+    }
+
+    /// Returns `true` if `principal` has authority for `tag` in the current
+    /// authority state.
+    pub fn has_authority(&self, principal: PrincipalId, tag: TagId) -> bool {
+        self.inner.auth.read().has_authority(principal, tag)
+    }
+
+    // ------------------------------------------------------------------
+    // Schema (the administrator's job)
+    // ------------------------------------------------------------------
+
+    /// Creates a table from a declarative definition, along with a
+    /// primary-key index when a primary key is declared.
+    pub fn create_table(&self, def: TableDef) -> IfdbResult<()> {
+        let schema = TableSchema::new(&def.name, def.columns.clone());
+        // Validate constraint columns exist before touching storage.
+        for pk in &def.primary_key {
+            schema.column_index(pk)?;
+        }
+        for u in &def.uniques {
+            for c in &u.columns {
+                schema.column_index(c)?;
+            }
+        }
+        for fk in &def.foreign_keys {
+            for c in &fk.columns {
+                schema.column_index(c)?;
+            }
+        }
+        let id = self.inner.engine.create_table(schema.clone())?;
+        let pk_index = if def.primary_key.is_empty() {
+            None
+        } else {
+            let index_name = format!("{}_pkey", def.name);
+            let cols: Vec<&str> = def.primary_key.iter().map(String::as_str).collect();
+            self.inner.engine.create_index(id, &index_name, &cols)?;
+            Some(index_name)
+        };
+        let info = TableInfo {
+            id,
+            schema,
+            primary_key: def.primary_key,
+            uniques: def.uniques,
+            foreign_keys: def.foreign_keys,
+            label_constraints: def.label_constraints,
+            pk_index,
+        };
+        self.inner.catalog.write().add_table(info);
+        Ok(())
+    }
+
+    /// Creates an ordinary (non-declassifying) view.
+    pub fn create_view(&self, name: &str, source: ViewSource) -> IfdbResult<()> {
+        self.inner.catalog.write().add_view(ViewDef {
+            name: name.to_string(),
+            source,
+            declassifies: Label::empty(),
+            authority: None,
+        });
+        Ok(())
+    }
+
+    /// Creates a *declassifying view* (`CREATE VIEW ... WITH DECLASSIFYING`):
+    /// the view removes `declassifies` from the labels of the tuples it
+    /// exposes. The creator must hold authority for every declassified tag;
+    /// that authority is bound into the view definition (Section 4.3).
+    pub fn create_declassifying_view(
+        &self,
+        creator: PrincipalId,
+        name: &str,
+        source: ViewSource,
+        declassifies: Label,
+    ) -> IfdbResult<()> {
+        {
+            let auth = self.inner.auth.read();
+            for tag in declassifies.iter() {
+                if !auth.has_authority(creator, tag) {
+                    return Err(IfdbError::Difc(ifdb_difc::DifcError::NoAuthority {
+                        principal: creator,
+                        tag,
+                    }));
+                }
+            }
+        }
+        self.inner.catalog.write().add_view(ViewDef {
+            name: name.to_string(),
+            source,
+            declassifies,
+            authority: Some(creator),
+        });
+        Ok(())
+    }
+
+    /// Registers a trigger. For a trigger that is a stored authority closure
+    /// (`authority: Some(p)`), the creator must be the bound principal or
+    /// hold every tag the closure principal holds; in this reproduction the
+    /// check is that a delegation path exists is established separately via
+    /// [`Session::delegate`], mirroring how closure principals are set up in
+    /// the paper's applications.
+    pub fn create_trigger(&self, trigger: TriggerDef) -> IfdbResult<()> {
+        if !self.inner.catalog.read().has_table(&trigger.table) {
+            return Err(IfdbError::UnknownTable(trigger.table.clone()));
+        }
+        self.inner.catalog.write().add_trigger(trigger);
+        Ok(())
+    }
+
+    /// Registers a stored procedure (or stored authority closure).
+    pub fn create_procedure(&self, proc: StoredProcedure) -> IfdbResult<()> {
+        self.inner.catalog.write().add_procedure(proc);
+        Ok(())
+    }
+
+    /// Number of catalog objects that carry authority (declassifying views,
+    /// authority-closure triggers and procedures). Used by the trusted-base
+    /// report.
+    pub fn trusted_component_count(&self) -> usize {
+        self.inner.catalog.read().trusted_component_count()
+    }
+
+    // ------------------------------------------------------------------
+    // Sessions
+    // ------------------------------------------------------------------
+
+    /// Opens a session acting for `principal`.
+    pub fn session(&self, principal: PrincipalId) -> Session {
+        Session::new(self.clone(), principal)
+    }
+
+    /// Opens a session for the anonymous principal (unauthenticated
+    /// requests).
+    pub fn anonymous_session(&self) -> Session {
+        let anon = self.anonymous();
+        self.session(anon)
+    }
+
+    /// Runs vacuum: physically reclaims versions no snapshot can see.
+    pub fn vacuum(&self) -> IfdbResult<usize> {
+        Ok(self.inner.engine.vacuum()?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ifdb_storage::DataType;
+
+    #[test]
+    fn create_table_validates_constraint_columns() {
+        let db = Database::in_memory();
+        let bad = TableDef::new("t")
+            .column("a", DataType::Int)
+            .primary_key(&["nonexistent"]);
+        assert!(db.create_table(bad).is_err());
+        let good = TableDef::new("t")
+            .column("a", DataType::Int)
+            .primary_key(&["a"]);
+        assert!(db.create_table(good).is_ok());
+    }
+
+    #[test]
+    fn declassifying_view_requires_creator_authority() {
+        let db = Database::in_memory();
+        let alice = db.create_principal("alice", PrincipalKind::User);
+        let mallory = db.create_principal("mallory", PrincipalKind::User);
+        let tag = db.create_tag(alice, "alice_contact", &[]).unwrap();
+        db.create_table(
+            TableDef::new("ContactInfo")
+                .column("id", DataType::Int)
+                .column("name", DataType::Text)
+                .primary_key(&["id"]),
+        )
+        .unwrap();
+        let src = ViewSource::Select(crate::query::Select::star("ContactInfo"));
+        assert!(db
+            .create_declassifying_view(mallory, "Leak", src.clone(), Label::singleton(tag))
+            .is_err());
+        assert!(db
+            .create_declassifying_view(alice, "PCMembers", src, Label::singleton(tag))
+            .is_ok());
+        assert_eq!(db.trusted_component_count(), 1);
+    }
+
+    #[test]
+    fn trigger_requires_existing_table() {
+        let db = Database::in_memory();
+        let t = TriggerDef {
+            name: "t".into(),
+            table: "Missing".into(),
+            events: vec![crate::catalog::TriggerEvent::Insert],
+            timing: crate::catalog::TriggerTiming::Immediate,
+            authority: None,
+            body: Arc::new(|_, _| Ok(())),
+        };
+        assert!(db.create_trigger(t).is_err());
+    }
+
+    #[test]
+    fn baseline_database_reports_difc_disabled() {
+        let db = Database::new(DatabaseConfig::baseline());
+        assert!(!db.difc_enabled());
+        assert!(Database::in_memory().difc_enabled());
+    }
+}

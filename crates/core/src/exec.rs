@@ -1,0 +1,933 @@
+//! Statement execution: Query by Label, constraints, triggers and views.
+//!
+//! This module implements the heart of the paper:
+//!
+//! * the **Label Confinement Rule** — a query runs on the subset of the
+//!   database whose tuple labels are subsets of the process label;
+//! * the **Write Rule** — inserts are labeled exactly with the process label,
+//!   and updates/deletes may touch only tuples labeled exactly the process
+//!   label (lower-labeled tuples cause an error, higher-labeled tuples are
+//!   invisible and unaffected);
+//! * **declassifying views**, which evaluate their underlying query with the
+//!   view's bound authority and strip the declassified tags from result
+//!   labels;
+//! * **uniqueness constraints with polyinstantiation**, the **Foreign Key
+//!   Rule** with the `DECLASSIFYING` clause, **label constraints**, and
+//!   **triggers** (ordinary and stored authority closures, immediate and
+//!   deferred).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use ifdb_difc::audit::AuditEvent;
+use ifdb_difc::Label;
+use ifdb_storage::{Datum, RowId, Snapshot, TableId};
+
+use crate::catalog::{TableInfo, TriggerEvent, TriggerInvocation, TriggerTiming, ViewSource};
+use crate::error::{IfdbError, IfdbResult};
+use crate::query::{AggFunc, Aggregate, Delete, Insert, Join, JoinKind, Order, Predicate, Select, Update};
+use crate::row::{ResultSet, Row};
+use crate::session::Session;
+
+/// An intermediate row produced by a scan, before projection.
+#[derive(Debug, Clone)]
+pub(crate) struct ScanRow {
+    /// Physical location, when the row comes directly from a base table.
+    pub(crate) row_id: Option<(TableId, RowId)>,
+    /// The stored (original) label of the tuple.
+    pub(crate) stored_label: Label,
+    /// The effective label after any declassifying views were applied.
+    pub(crate) label: Label,
+    /// The values.
+    pub(crate) values: Vec<Datum>,
+}
+
+/// The rows and column names produced by scanning a table, view, or join.
+#[derive(Debug, Clone)]
+pub(crate) struct SourceRows {
+    pub(crate) columns: Vec<String>,
+    pub(crate) rows: Vec<ScanRow>,
+}
+
+fn col_index(columns: &[String], name: &str) -> IfdbResult<usize> {
+    columns
+        .iter()
+        .position(|c| c == name)
+        .ok_or_else(|| IfdbError::UnknownColumn(name.to_string()))
+}
+
+/// Evaluates a predicate against a row.
+fn eval_predicate(
+    pred: &Predicate,
+    columns: &[String],
+    values: &[Datum],
+    label: &Label,
+) -> IfdbResult<bool> {
+    let cmp = |col: &str, val: &Datum| -> IfdbResult<Option<std::cmp::Ordering>> {
+        let idx = col_index(columns, col)?;
+        Ok(values[idx].compare(val))
+    };
+    Ok(match pred {
+        Predicate::True => true,
+        Predicate::Eq(c, v) => cmp(c, v)? == Some(std::cmp::Ordering::Equal),
+        Predicate::Ne(c, v) => {
+            let o = cmp(c, v)?;
+            o.is_some() && o != Some(std::cmp::Ordering::Equal)
+        }
+        Predicate::Lt(c, v) => cmp(c, v)? == Some(std::cmp::Ordering::Less),
+        Predicate::Le(c, v) => matches!(
+            cmp(c, v)?,
+            Some(std::cmp::Ordering::Less) | Some(std::cmp::Ordering::Equal)
+        ),
+        Predicate::Gt(c, v) => cmp(c, v)? == Some(std::cmp::Ordering::Greater),
+        Predicate::Ge(c, v) => matches!(
+            cmp(c, v)?,
+            Some(std::cmp::Ordering::Greater) | Some(std::cmp::Ordering::Equal)
+        ),
+        Predicate::IsNull(c) => values[col_index(columns, c)?].is_null(),
+        Predicate::IsNotNull(c) => !values[col_index(columns, c)?].is_null(),
+        Predicate::And(a, b) => {
+            eval_predicate(a, columns, values, label)? && eval_predicate(b, columns, values, label)?
+        }
+        Predicate::Or(a, b) => {
+            eval_predicate(a, columns, values, label)? || eval_predicate(b, columns, values, label)?
+        }
+        Predicate::Not(a) => !eval_predicate(a, columns, values, label)?,
+        Predicate::LabelContains(tag) => label.contains(*tag),
+        Predicate::LabelEquals(l) => label == l,
+    })
+}
+
+impl Session {
+    // ==================================================================
+    // Scanning tables, views and joins
+    // ==================================================================
+
+    /// Scans a table or view, applying Query by Label confinement with the
+    /// accumulated set of tags that enclosing declassifying views may remove.
+    pub(crate) fn scan_source(
+        &mut self,
+        from: &str,
+        declassify: &Label,
+        hint: &Predicate,
+    ) -> IfdbResult<SourceRows> {
+        let (table_info, view_def) = {
+            let catalog = self.db.inner.catalog.read();
+            if catalog.has_table(from) {
+                (Some(catalog.table(from)?), None)
+            } else if catalog.has_view(from) {
+                (None, Some(catalog.view(from)?))
+            } else {
+                return Err(IfdbError::UnknownTable(from.to_string()));
+            }
+        };
+        if let Some(info) = table_info {
+            return self.scan_base_table(&info, declassify, hint);
+        }
+        let view = view_def.expect("either table or view");
+        let nested_declassify = declassify.union(&view.declassifies);
+        if view.is_declassifying() {
+            self.db.audit().record(AuditEvent::DeclassifyingView {
+                name: view.name.clone(),
+                tags: view.declassifies.clone(),
+            });
+        }
+        match &view.source {
+            ViewSource::Select(sel) => {
+                let src = self.scan_source(&sel.from, &nested_declassify, &sel.predicate)?;
+                let mut rows = Vec::new();
+                for r in src.rows {
+                    if eval_predicate(&sel.predicate, &src.columns, &r.values, &r.label)? {
+                        rows.push(r);
+                    }
+                }
+                // Apply the view's projection, if any.
+                let (columns, rows) = match &sel.columns {
+                    None => (src.columns, rows),
+                    Some(cols) => {
+                        let idx: Vec<usize> = cols
+                            .iter()
+                            .map(|c| col_index(&src.columns, c))
+                            .collect::<IfdbResult<_>>()?;
+                        let projected = rows
+                            .into_iter()
+                            .map(|r| ScanRow {
+                                row_id: None,
+                                stored_label: r.stored_label.clone(),
+                                label: r.label.clone(),
+                                values: idx.iter().map(|i| r.values[*i].clone()).collect(),
+                            })
+                            .collect();
+                        (cols.clone(), projected)
+                    }
+                };
+                Ok(SourceRows { columns, rows })
+            }
+            ViewSource::Join(join) => self.scan_join(join, &nested_declassify),
+        }
+    }
+
+    fn scan_base_table(
+        &mut self,
+        info: &Arc<TableInfo>,
+        declassify: &Label,
+        hint: &Predicate,
+    ) -> IfdbResult<SourceRows> {
+        let (_, snapshot) = self.current_txn()?;
+        let process_label = self.process.label().clone();
+        let difc = self.db.difc_enabled();
+        let columns: Vec<String> = info.schema.columns.iter().map(|c| c.name.clone()).collect();
+
+        // A declassifying view that declassifies a *compound* tag covers every
+        // member of the compound (the PCMembers view holds authority for
+        // all_contacts and thereby declassifies each user's contact tag).
+        let auth = self.db.inner.auth.read();
+        let declassify_covers = |tag: ifdb_difc::TagId| {
+            declassify.contains(tag)
+                || auth
+                    .enclosing_compounds(tag)
+                    .iter()
+                    .any(|c| declassify.contains(*c))
+        };
+
+        let mut rows = Vec::new();
+        let mut consider = |stored_label: Label, values: Vec<Datum>, rid: (TableId, RowId)| {
+            let effective = if declassify.is_empty() {
+                stored_label.clone()
+            } else {
+                Label::from_tags(stored_label.iter().filter(|t| !declassify_covers(*t)))
+            };
+            if difc && !effective.is_subset_of(&process_label) {
+                return;
+            }
+            rows.push(ScanRow {
+                row_id: Some(rid),
+                stored_label,
+                label: effective,
+                values,
+            });
+        };
+
+        // Planner: use the primary-key index when the predicate pins every
+        // key column by equality.
+        let use_index = info.pk_index.as_ref().and_then(|idx| {
+            let key: Option<Vec<Datum>> = info
+                .primary_key
+                .iter()
+                .map(|c| hint.equality_on(c).cloned())
+                .collect();
+            key.map(|k| (idx.clone(), k))
+        });
+
+        if let Some((index_name, key)) = use_index {
+            let row_ids = self
+                .db
+                .inner
+                .engine
+                .index_lookup(info.id, &index_name, &key)?;
+            for rid in row_ids {
+                if let Some(version) = self
+                    .db
+                    .inner
+                    .engine
+                    .fetch_visible(&snapshot, info.id, rid)?
+                {
+                    consider(
+                        Label::from_array(&version.header.label),
+                        version.data,
+                        (info.id, rid),
+                    );
+                }
+            }
+        } else {
+            self.db
+                .inner
+                .engine
+                .scan_visible(&snapshot, info.id, |rid, version| {
+                    consider(
+                        Label::from_array(&version.header.label),
+                        version.data,
+                        (info.id, rid),
+                    );
+                    true
+                })?;
+        }
+        Ok(SourceRows { columns, rows })
+    }
+
+    fn scan_join(&mut self, join: &Join, declassify: &Label) -> IfdbResult<SourceRows> {
+        let left = self.scan_source(&join.left, declassify, &Predicate::True)?;
+        let right = self.scan_source(&join.right, declassify, &Predicate::True)?;
+        let left_on = col_index(&left.columns, &join.on.0)?;
+        let right_on = col_index(&right.columns, &join.on.1)?;
+
+        // Output columns: left names as-is, right names prefixed on collision.
+        let mut columns = left.columns.clone();
+        let right_names: Vec<String> = right
+            .columns
+            .iter()
+            .map(|c| {
+                if left.columns.contains(c) {
+                    format!("{}.{}", join.right, c)
+                } else {
+                    c.clone()
+                }
+            })
+            .collect();
+        columns.extend(right_names);
+
+        // Hash the right side on its join column.
+        let mut table: HashMap<Datum, Vec<&ScanRow>> = HashMap::new();
+        for r in &right.rows {
+            table.entry(r.values[right_on].clone()).or_default().push(r);
+        }
+
+        let right_width = right.columns.len();
+        let mut rows = Vec::new();
+        for l in &left.rows {
+            let matches = table.get(&l.values[left_on]);
+            match matches {
+                Some(rs) if !rs.is_empty() => {
+                    for r in rs {
+                        let mut values = l.values.clone();
+                        values.extend(r.values.iter().cloned());
+                        let label = l.label.union(&r.label);
+                        let row = ScanRow {
+                            row_id: None,
+                            stored_label: l.stored_label.union(&r.stored_label),
+                            label: label.clone(),
+                            values,
+                        };
+                        if eval_predicate(&join.predicate, &columns, &row.values, &row.label)? {
+                            rows.push(row);
+                        }
+                    }
+                }
+                _ => {
+                    if join.kind == JoinKind::LeftOuter {
+                        let mut values = l.values.clone();
+                        values.extend(std::iter::repeat(Datum::Null).take(right_width));
+                        let row = ScanRow {
+                            row_id: None,
+                            stored_label: l.stored_label.clone(),
+                            label: l.label.clone(),
+                            values,
+                        };
+                        if eval_predicate(&join.predicate, &columns, &row.values, &row.label)? {
+                            rows.push(row);
+                        }
+                    }
+                }
+            }
+        }
+        Ok(SourceRows { columns, rows })
+    }
+
+    // ==================================================================
+    // SELECT
+    // ==================================================================
+
+    /// Executes a single-source SELECT.
+    pub fn select(&mut self, q: &Select) -> IfdbResult<ResultSet> {
+        let implicit = self.ensure_txn()?;
+        let r = self.select_inner(q);
+        self.finish_statement(implicit, r)
+    }
+
+    fn select_inner(&mut self, q: &Select) -> IfdbResult<ResultSet> {
+        let src = self.scan_source(&q.from, &Label::empty(), &q.predicate)?;
+        let mut selected: Vec<ScanRow> = Vec::new();
+        for r in src.rows {
+            if let Some(exact) = &q.exact_label {
+                if &r.label != exact {
+                    continue;
+                }
+            }
+            if eval_predicate(&q.predicate, &src.columns, &r.values, &r.label)? {
+                selected.push(r);
+            }
+        }
+        if let Some((col, order)) = &q.order_by {
+            let idx = col_index(&src.columns, col)?;
+            selected.sort_by(|a, b| {
+                let o = a.values[idx].cmp(&b.values[idx]);
+                match order {
+                    Order::Asc => o,
+                    Order::Desc => o.reverse(),
+                }
+            });
+        }
+        if let Some(limit) = q.limit {
+            selected.truncate(limit);
+        }
+        let (out_columns, projector): (Vec<String>, Option<Vec<usize>>) = match &q.columns {
+            None => (src.columns.clone(), None),
+            Some(cols) => {
+                let idx: Vec<usize> = cols
+                    .iter()
+                    .map(|c| col_index(&src.columns, c))
+                    .collect::<IfdbResult<_>>()?;
+                (cols.clone(), Some(idx))
+            }
+        };
+        let columns = Arc::new(out_columns);
+        let rows = selected
+            .into_iter()
+            .map(|r| {
+                let values = match &projector {
+                    None => r.values,
+                    Some(idx) => idx.iter().map(|i| r.values[*i].clone()).collect(),
+                };
+                Row {
+                    columns: columns.clone(),
+                    label: r.label,
+                    values,
+                }
+            })
+            .collect();
+        Ok(ResultSet::new(rows))
+    }
+
+    /// Executes a two-way join query.
+    pub fn select_join(&mut self, join: &Join) -> IfdbResult<ResultSet> {
+        let implicit = self.ensure_txn()?;
+        let r = (|| {
+            let src = self.scan_join(join, &Label::empty())?;
+            let columns = Arc::new(src.columns);
+            Ok(ResultSet::new(
+                src.rows
+                    .into_iter()
+                    .map(|r| Row {
+                        columns: columns.clone(),
+                        label: r.label,
+                        values: r.values,
+                    })
+                    .collect(),
+            ))
+        })();
+        self.finish_statement(implicit, r)
+    }
+
+    /// Executes an aggregate query.
+    pub fn select_aggregate(&mut self, agg: &Aggregate) -> IfdbResult<ResultSet> {
+        let implicit = self.ensure_txn()?;
+        let r = self.aggregate_inner(agg);
+        self.finish_statement(implicit, r)
+    }
+
+    fn aggregate_inner(&mut self, agg: &Aggregate) -> IfdbResult<ResultSet> {
+        let src = self.scan_source(&agg.from, &Label::empty(), &agg.predicate)?;
+        let mut filtered = Vec::new();
+        for r in src.rows {
+            if eval_predicate(&agg.predicate, &src.columns, &r.values, &r.label)? {
+                filtered.push(r);
+            }
+        }
+        // Group.
+        let group_idx = match &agg.group_by {
+            Some(c) => Some(col_index(&src.columns, c)?),
+            None => None,
+        };
+        let mut groups: Vec<(Datum, Vec<&ScanRow>)> = Vec::new();
+        for r in &filtered {
+            let key = match group_idx {
+                Some(i) => r.values[i].clone(),
+                None => Datum::Null,
+            };
+            match groups.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, v)) => v.push(r),
+                None => groups.push((key, vec![r])),
+            }
+        }
+        if groups.is_empty() && group_idx.is_none() {
+            groups.push((Datum::Null, Vec::new()));
+        }
+        // Output columns.
+        let mut out_columns = Vec::new();
+        if let Some(c) = &agg.group_by {
+            out_columns.push(c.clone());
+        }
+        for (f, c) in &agg.aggregates {
+            out_columns.push(match f {
+                AggFunc::Count => "count".to_string(),
+                AggFunc::Sum => format!("sum_{c}"),
+                AggFunc::Avg => format!("avg_{c}"),
+                AggFunc::Min => format!("min_{c}"),
+                AggFunc::Max => format!("max_{c}"),
+            });
+        }
+        let columns = Arc::new(out_columns);
+        let mut rows = Vec::new();
+        for (key, members) in groups {
+            let mut values = Vec::new();
+            if group_idx.is_some() {
+                values.push(key);
+            }
+            let label = members
+                .iter()
+                .fold(Label::empty(), |acc, r| acc.union(&r.label));
+            for (f, c) in &agg.aggregates {
+                let datum = match f {
+                    AggFunc::Count => Datum::Int(members.len() as i64),
+                    _ => {
+                        let idx = col_index(&src.columns, c)?;
+                        let nums: Vec<f64> = members
+                            .iter()
+                            .filter_map(|r| r.values[idx].as_float())
+                            .collect();
+                        match f {
+                            AggFunc::Sum => Datum::Float(nums.iter().sum()),
+                            AggFunc::Avg => {
+                                if nums.is_empty() {
+                                    Datum::Null
+                                } else {
+                                    Datum::Float(nums.iter().sum::<f64>() / nums.len() as f64)
+                                }
+                            }
+                            AggFunc::Min => nums
+                                .iter()
+                                .copied()
+                                .fold(None::<f64>, |m, x| Some(m.map_or(x, |m| m.min(x))))
+                                .map(Datum::Float)
+                                .unwrap_or(Datum::Null),
+                            AggFunc::Max => nums
+                                .iter()
+                                .copied()
+                                .fold(None::<f64>, |m, x| Some(m.map_or(x, |m| m.max(x))))
+                                .map(Datum::Float)
+                                .unwrap_or(Datum::Null),
+                            AggFunc::Count => unreachable!(),
+                        }
+                    }
+                };
+                values.push(datum);
+            }
+            rows.push(Row {
+                columns: columns.clone(),
+                label,
+                values,
+            });
+        }
+        Ok(ResultSet::new(rows))
+    }
+
+    // ==================================================================
+    // INSERT
+    // ==================================================================
+
+    /// Executes an INSERT. The new tuple's label is exactly the process label
+    /// (Write Rule); the `DECLASSIFYING` clause covers foreign-key label
+    /// differences per Section 5.2.2.
+    pub fn insert(&mut self, ins: &Insert) -> IfdbResult<()> {
+        let implicit = self.ensure_txn()?;
+        let r = self.insert_inner(ins);
+        self.finish_statement(implicit, r)
+    }
+
+    fn insert_inner(&mut self, ins: &Insert) -> IfdbResult<()> {
+        let info = {
+            let catalog = self.db.inner.catalog.read();
+            catalog.table(&ins.table)?
+        };
+        let difc = self.db.difc_enabled();
+        let label = if difc {
+            self.process.label().clone()
+        } else {
+            Label::empty()
+        };
+        info.schema.check_tuple(&ins.values)?;
+
+        // Label constraints.
+        if difc {
+            for c in &info.label_constraints {
+                c.check(&info.schema.name, &ins.values, &label)?;
+            }
+        }
+        // Uniqueness with polyinstantiation: only conflicts *visible to this
+        // process* are errors.
+        self.check_unique(&info, &ins.values, None)?;
+        // Foreign keys with the DECLASSIFYING clause.
+        self.check_foreign_keys(&info, &ins.values, &label, &ins.declassifying)?;
+
+        let (txn, _) = self.current_txn()?;
+        self.db
+            .inner
+            .engine
+            .insert(txn, info.id, label.to_array(), ins.values.clone())?;
+        self.record_write(&info.schema.name, label.clone());
+        self.fire_triggers(&info, TriggerEvent::Insert, Some(ins.values.clone()), None)?;
+        Ok(())
+    }
+
+    fn check_unique(
+        &mut self,
+        info: &Arc<TableInfo>,
+        values: &[Datum],
+        exclude: Option<RowId>,
+    ) -> IfdbResult<()> {
+        let mut constraints: Vec<(String, Vec<String>)> = Vec::new();
+        if !info.primary_key.is_empty() {
+            constraints.push((format!("{}_pkey", info.schema.name), info.primary_key.clone()));
+        }
+        for u in &info.uniques {
+            constraints.push((u.name.clone(), u.columns.clone()));
+        }
+        if constraints.is_empty() {
+            return Ok(());
+        }
+        let columns: Vec<String> = info.schema.columns.iter().map(|c| c.name.clone()).collect();
+        let existing = self.scan_base_table(info, &Label::empty(), &Predicate::True)?;
+        for (name, cols) in constraints {
+            let idx: Vec<usize> = cols
+                .iter()
+                .map(|c| col_index(&columns, c))
+                .collect::<IfdbResult<_>>()?;
+            let key: Vec<&Datum> = idx.iter().map(|i| &values[*i]).collect();
+            for r in &existing.rows {
+                if let (Some((_, rid)), Some(ex)) = (r.row_id, exclude) {
+                    if rid == ex {
+                        continue;
+                    }
+                }
+                if idx.iter().zip(&key).all(|(i, k)| &&r.values[*i] == k) {
+                    return Err(IfdbError::UniqueViolation { constraint: name });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn check_foreign_keys(
+        &mut self,
+        info: &Arc<TableInfo>,
+        values: &[Datum],
+        label: &Label,
+        declassifying: &[ifdb_difc::TagId],
+    ) -> IfdbResult<()> {
+        if info.foreign_keys.is_empty() {
+            return Ok(());
+        }
+        let difc = self.db.difc_enabled();
+        let columns: Vec<String> = info.schema.columns.iter().map(|c| c.name.clone()).collect();
+        let declassify_label = Label::from_tags(declassifying.iter().copied());
+        let (_, snapshot) = self.current_txn()?;
+        for fk in &info.foreign_keys {
+            let key: Vec<Datum> = fk
+                .columns
+                .iter()
+                .map(|c| col_index(&columns, c).map(|i| values[i].clone()))
+                .collect::<IfdbResult<_>>()?;
+            if key.iter().any(Datum::is_null) {
+                continue;
+            }
+            let ref_info = {
+                let catalog = self.db.inner.catalog.read();
+                catalog.table(&fk.ref_table)?
+            };
+            let referenced_label =
+                self.find_referenced(&snapshot, &ref_info, &fk.ref_columns, &key)?;
+            let Some(referenced_label) = referenced_label else {
+                return Err(IfdbError::ForeignKeyViolation {
+                    constraint: fk.name.clone(),
+                });
+            };
+            if !difc {
+                continue;
+            }
+            // Foreign Key Rule: the inserter must have authority for, and
+            // explicitly declassify, every tag in the symmetric difference of
+            // the two labels.
+            let symdiff = label.symmetric_difference(&referenced_label);
+            if symdiff.is_empty() {
+                continue;
+            }
+            let missing = symdiff.difference(&declassify_label);
+            if !missing.is_empty() {
+                return Err(IfdbError::DeclassifyingRequired {
+                    constraint: fk.name.clone(),
+                    missing,
+                });
+            }
+            {
+                let auth = self.db.inner.auth.read();
+                for tag in symdiff.iter() {
+                    if !auth.has_authority(self.process.principal(), tag) {
+                        return Err(IfdbError::Difc(ifdb_difc::DifcError::NoAuthority {
+                            principal: self.process.principal(),
+                            tag,
+                        }));
+                    }
+                }
+            }
+            self.db.audit().record(AuditEvent::DeclassifyingView {
+                name: fk.name.clone(),
+                tags: symdiff,
+            });
+        }
+        Ok(())
+    }
+
+    /// Finds a tuple in `ref_info` whose `ref_columns` equal `key`,
+    /// *irrespective of its label* (the constraint must hold across labels;
+    /// the Foreign Key Rule governs what the requester must vouch for).
+    fn find_referenced(
+        &mut self,
+        snapshot: &Snapshot,
+        ref_info: &Arc<TableInfo>,
+        ref_columns: &[String],
+        key: &[Datum],
+    ) -> IfdbResult<Option<Label>> {
+        let columns: Vec<String> = ref_info
+            .schema
+            .columns
+            .iter()
+            .map(|c| c.name.clone())
+            .collect();
+        let idx: Vec<usize> = ref_columns
+            .iter()
+            .map(|c| col_index(&columns, c))
+            .collect::<IfdbResult<_>>()?;
+        // Use the PK index when the FK targets the primary key.
+        if let (Some(index_name), true) = (
+            ref_info.pk_index.as_ref(),
+            ref_columns == ref_info.primary_key.as_slice(),
+        ) {
+            let rows = self
+                .db
+                .inner
+                .engine
+                .index_lookup(ref_info.id, index_name, &key.to_vec())?;
+            for rid in rows {
+                if let Some(v) = self
+                    .db
+                    .inner
+                    .engine
+                    .fetch_visible(snapshot, ref_info.id, rid)?
+                {
+                    return Ok(Some(Label::from_array(&v.header.label)));
+                }
+            }
+            return Ok(None);
+        }
+        let mut found = None;
+        self.db
+            .inner
+            .engine
+            .scan_visible(snapshot, ref_info.id, |_, v| {
+                if idx.iter().zip(key).all(|(i, k)| &v.data[*i] == k) {
+                    found = Some(Label::from_array(&v.header.label));
+                    false
+                } else {
+                    true
+                }
+            })?;
+        Ok(found)
+    }
+
+    // ==================================================================
+    // UPDATE and DELETE
+    // ==================================================================
+
+    /// Executes an UPDATE. Only tuples labeled exactly the process label are
+    /// affected; visible lower-labeled tuples cause a Write Rule error, and
+    /// higher-labeled tuples are invisible and untouched. Returns the number
+    /// of updated rows.
+    pub fn update(&mut self, upd: &Update) -> IfdbResult<usize> {
+        let implicit = self.ensure_txn()?;
+        let r = self.update_inner(upd);
+        self.finish_statement(implicit, r)
+    }
+
+    fn update_inner(&mut self, upd: &Update) -> IfdbResult<usize> {
+        let info = {
+            let catalog = self.db.inner.catalog.read();
+            catalog.table(&upd.table)?
+        };
+        let difc = self.db.difc_enabled();
+        let process_label = self.process.label().clone();
+        let columns: Vec<String> = info.schema.columns.iter().map(|c| c.name.clone()).collect();
+        let set_idx: Vec<(usize, Datum)> = upd
+            .set
+            .iter()
+            .map(|(c, v)| col_index(&columns, c).map(|i| (i, v.clone())))
+            .collect::<IfdbResult<_>>()?;
+
+        let candidates = self.scan_base_table(&info, &Label::empty(), &upd.predicate)?;
+        let mut matched = Vec::new();
+        for r in candidates.rows {
+            if eval_predicate(&upd.predicate, &candidates.columns, &r.values, &r.label)? {
+                matched.push(r);
+            }
+        }
+        let (txn, _) = self.current_txn()?;
+        let mut updated = 0;
+        for r in matched {
+            if difc && r.stored_label != process_label {
+                // The tuple is visible (its label is a subset of ours) but
+                // not exactly ours: the Write Rule forbids the update.
+                return Err(IfdbError::WriteRuleViolation {
+                    tuple_label: r.stored_label,
+                    process_label,
+                });
+            }
+            let (table_id, rid) = r.row_id.expect("base-table scan provides row ids");
+            let mut new_values = r.values.clone();
+            for (i, v) in &set_idx {
+                new_values[*i] = v.clone();
+            }
+            info.schema.check_tuple(&new_values)?;
+            if difc {
+                for c in &info.label_constraints {
+                    c.check(&info.schema.name, &new_values, &process_label)?;
+                }
+            }
+            let write_label = if difc {
+                process_label.clone()
+            } else {
+                Label::empty()
+            };
+            self.db
+                .inner
+                .engine
+                .update(txn, table_id, rid, write_label.to_array(), new_values.clone())?;
+            self.record_write(&info.schema.name, write_label);
+            self.fire_triggers(
+                &info,
+                TriggerEvent::Update,
+                Some(new_values),
+                Some(r.values),
+            )?;
+            updated += 1;
+        }
+        Ok(updated)
+    }
+
+    /// Executes a DELETE, subject to the Write Rule and to referential
+    /// integrity (a delete fails while referencing rows exist — the channel
+    /// this opens was vouched for by the referencing inserter's
+    /// `DECLASSIFYING` clause, Section 5.2.2). Returns the number of deleted
+    /// rows.
+    pub fn delete(&mut self, del: &Delete) -> IfdbResult<usize> {
+        let implicit = self.ensure_txn()?;
+        let r = self.delete_inner(del);
+        self.finish_statement(implicit, r)
+    }
+
+    fn delete_inner(&mut self, del: &Delete) -> IfdbResult<usize> {
+        let info = {
+            let catalog = self.db.inner.catalog.read();
+            catalog.table(&del.table)?
+        };
+        let difc = self.db.difc_enabled();
+        let process_label = self.process.label().clone();
+        let referencing = {
+            let catalog = self.db.inner.catalog.read();
+            catalog.referencing(&info.schema.name)
+        };
+        let columns: Vec<String> = info.schema.columns.iter().map(|c| c.name.clone()).collect();
+
+        let candidates = self.scan_base_table(&info, &Label::empty(), &del.predicate)?;
+        let mut matched = Vec::new();
+        for r in candidates.rows {
+            if eval_predicate(&del.predicate, &candidates.columns, &r.values, &r.label)? {
+                matched.push(r);
+            }
+        }
+        let (txn, snapshot) = self.current_txn()?;
+        let mut deleted = 0;
+        for r in matched {
+            if difc && r.stored_label != process_label {
+                return Err(IfdbError::WriteRuleViolation {
+                    tuple_label: r.stored_label,
+                    process_label,
+                });
+            }
+            // Referential integrity: no referencing rows may remain,
+            // regardless of their labels.
+            for (ref_info, fk) in &referencing {
+                let key: Vec<Datum> = fk
+                    .ref_columns
+                    .iter()
+                    .map(|c| col_index(&columns, c).map(|i| r.values[i].clone()))
+                    .collect::<IfdbResult<_>>()?;
+                let ref_cols: Vec<String> = ref_info
+                    .schema
+                    .columns
+                    .iter()
+                    .map(|c| c.name.clone())
+                    .collect();
+                let idx: Vec<usize> = fk
+                    .columns
+                    .iter()
+                    .map(|c| col_index(&ref_cols, c))
+                    .collect::<IfdbResult<_>>()?;
+                let mut exists = false;
+                self.db
+                    .inner
+                    .engine
+                    .scan_visible(&snapshot, ref_info.id, |_, v| {
+                        if idx.iter().zip(&key).all(|(i, k)| &v.data[*i] == k) {
+                            exists = true;
+                            false
+                        } else {
+                            true
+                        }
+                    })?;
+                if exists {
+                    return Err(IfdbError::RestrictViolation {
+                        constraint: fk.name.clone(),
+                    });
+                }
+            }
+            let (table_id, rid) = r.row_id.expect("base-table scan provides row ids");
+            self.db.inner.engine.delete(txn, table_id, rid)?;
+            let write_label = if difc {
+                process_label.clone()
+            } else {
+                Label::empty()
+            };
+            self.record_write(&info.schema.name, write_label);
+            self.fire_triggers(&info, TriggerEvent::Delete, None, Some(r.values))?;
+            deleted += 1;
+        }
+        Ok(deleted)
+    }
+
+    // ==================================================================
+    // Triggers
+    // ==================================================================
+
+    fn fire_triggers(
+        &mut self,
+        info: &Arc<TableInfo>,
+        event: TriggerEvent,
+        new: Option<Vec<Datum>>,
+        old: Option<Vec<Datum>>,
+    ) -> IfdbResult<()> {
+        let triggers = {
+            let catalog = self.db.inner.catalog.read();
+            catalog.triggers_for(&info.schema.name, event)
+        };
+        if triggers.is_empty() {
+            return Ok(());
+        }
+        let inv = TriggerInvocation {
+            table: info.schema.name.clone(),
+            event,
+            new,
+            old,
+            label: self.process.label().clone(),
+        };
+        for trigger in triggers {
+            match trigger.timing {
+                TriggerTiming::Immediate => self.run_trigger(&trigger, &inv)?,
+                TriggerTiming::Deferred => {
+                    if let Some(txn) = self.txn.as_mut() {
+                        txn.deferred.push((trigger, inv.clone()));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,136 @@
+//! Query results: rows and result sets.
+
+use std::sync::Arc;
+
+use ifdb_difc::Label;
+use ifdb_storage::Datum;
+
+/// One row of a query result. The row carries the tuple's label so that
+/// applications (and the platform's output gate) can reason about what they
+/// read; under Query by Label every returned label is already a subset of the
+/// process label.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// Column names, shared across the result set.
+    pub columns: Arc<Vec<String>>,
+    /// The tuple's label.
+    pub label: Label,
+    /// The field values, in column order.
+    pub values: Vec<Datum>,
+}
+
+impl Row {
+    /// The value of the named column.
+    pub fn get(&self, column: &str) -> Option<&Datum> {
+        let idx = self.columns.iter().position(|c| c == column)?;
+        self.values.get(idx)
+    }
+
+    /// The value of the named column as an integer.
+    pub fn get_int(&self, column: &str) -> Option<i64> {
+        self.get(column).and_then(Datum::as_int)
+    }
+
+    /// The value of the named column as text.
+    pub fn get_text(&self, column: &str) -> Option<&str> {
+        self.get(column).and_then(Datum::as_text)
+    }
+
+    /// The value of the named column as a float.
+    pub fn get_float(&self, column: &str) -> Option<f64> {
+        self.get(column).and_then(Datum::as_float)
+    }
+}
+
+/// A complete query result.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ResultSet {
+    /// The rows, in result order.
+    pub rows: Vec<Row>,
+}
+
+impl ResultSet {
+    /// Builds a result set from rows.
+    pub fn new(rows: Vec<Row>) -> Self {
+        ResultSet { rows }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Returns `true` if the result is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The first row, if any.
+    pub fn first(&self) -> Option<&Row> {
+        self.rows.first()
+    }
+
+    /// Iterates over the rows.
+    pub fn iter(&self) -> impl Iterator<Item = &Row> {
+        self.rows.iter()
+    }
+
+    /// The union of the labels of every returned row: the contamination a
+    /// caller acquires by looking at the whole result.
+    pub fn combined_label(&self) -> Label {
+        self.rows
+            .iter()
+            .fold(Label::empty(), |acc, r| acc.union(&r.label))
+    }
+}
+
+impl IntoIterator for ResultSet {
+    type Item = Row;
+    type IntoIter = std::vec::IntoIter<Row>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.rows.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ifdb_difc::TagId;
+
+    fn row(cols: &[&str], vals: Vec<Datum>, label: Label) -> Row {
+        Row {
+            columns: Arc::new(cols.iter().map(|c| c.to_string()).collect()),
+            label,
+            values: vals,
+        }
+    }
+
+    #[test]
+    fn column_access_by_name() {
+        let r = row(
+            &["id", "name", "score"],
+            vec![Datum::Int(7), Datum::from("alice"), Datum::Float(1.5)],
+            Label::empty(),
+        );
+        assert_eq!(r.get_int("id"), Some(7));
+        assert_eq!(r.get_text("name"), Some("alice"));
+        assert_eq!(r.get_float("score"), Some(1.5));
+        assert!(r.get("missing").is_none());
+    }
+
+    #[test]
+    fn combined_label_unions_row_labels() {
+        let rs = ResultSet::new(vec![
+            row(&["x"], vec![Datum::Int(1)], Label::singleton(TagId(1))),
+            row(&["x"], vec![Datum::Int(2)], Label::singleton(TagId(2))),
+        ]);
+        assert_eq!(rs.len(), 2);
+        assert_eq!(
+            rs.combined_label(),
+            Label::from_tags([TagId(1), TagId(2)])
+        );
+        assert!(!rs.is_empty());
+        assert_eq!(rs.first().unwrap().get_int("x"), Some(1));
+    }
+}

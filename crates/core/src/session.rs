@@ -1,0 +1,489 @@
+//! Sessions: the per-process connection to the database.
+//!
+//! A [`Session`] corresponds to one client process in the paper's
+//! architecture: it carries the process's DIFC state (principal and label),
+//! shares that state with the database on every statement (the coalesced,
+//! lazy label synchronization of Section 7.2 is modelled by the
+//! `label_syncs` counter), and manages transactions, including the commit
+//! label rule and deferred triggers of Section 5.
+
+use ifdb_difc::audit::AuditEvent;
+use ifdb_difc::{AuthorityCache, Label, PrincipalId, ProcessState, TagId};
+use ifdb_storage::{Snapshot, TxnId};
+use std::sync::Arc;
+
+use crate::catalog::{TriggerDef, TriggerInvocation};
+use crate::database::Database;
+use crate::error::{IfdbError, IfdbResult};
+
+/// A record of one tuple written during a transaction, kept for the commit
+/// label rule (Section 5.1).
+#[derive(Debug, Clone)]
+pub struct WriteRecord {
+    /// The table written.
+    pub table: String,
+    /// The label the tuple was written with.
+    pub label: Label,
+}
+
+/// State of the transaction a session currently has open.
+pub(crate) struct TxnState {
+    pub(crate) id: TxnId,
+    pub(crate) snapshot: Snapshot,
+    pub(crate) write_set: Vec<WriteRecord>,
+    pub(crate) deferred: Vec<(Arc<TriggerDef>, TriggerInvocation)>,
+    pub(crate) implicit: bool,
+}
+
+/// Counters exposed by a session, used by the performance harnesses.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Statements executed.
+    pub statements: u64,
+    /// Number of times the process label had to be re-synchronized with the
+    /// database (i.e. the label changed since the previous statement).
+    pub label_syncs: u64,
+    /// Transactions committed.
+    pub commits: u64,
+    /// Transactions aborted.
+    pub aborts: u64,
+}
+
+/// A database session acting on behalf of one principal.
+pub struct Session {
+    pub(crate) db: Database,
+    pub(crate) process: ProcessState,
+    pub(crate) cache: AuthorityCache,
+    pub(crate) txn: Option<TxnState>,
+    pub(crate) serializable: bool,
+    pub(crate) stats: SessionStats,
+    last_synced_epoch: u64,
+}
+
+impl std::fmt::Debug for Session {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session")
+            .field("principal", &self.process.principal())
+            .field("label", &self.process.label())
+            .field("in_txn", &self.txn.is_some())
+            .finish()
+    }
+}
+
+impl Session {
+    pub(crate) fn new(db: Database, principal: PrincipalId) -> Self {
+        let serializable = db.inner.serializable;
+        Session {
+            db,
+            process: ProcessState::new(principal),
+            cache: AuthorityCache::new(),
+            txn: None,
+            serializable,
+            stats: SessionStats::default(),
+            last_synced_epoch: 0,
+        }
+    }
+
+    /// The database this session is connected to.
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// The acting principal.
+    pub fn principal(&self) -> PrincipalId {
+        self.process.principal()
+    }
+
+    /// The current process label.
+    pub fn label(&self) -> &Label {
+        self.process.label()
+    }
+
+    /// The process's DIFC state.
+    pub fn process(&self) -> &ProcessState {
+        &self.process
+    }
+
+    /// Session statistics.
+    pub fn stats(&self) -> SessionStats {
+        self.stats
+    }
+
+    /// Switches the acting principal. In a deployment this is done by the
+    /// trusted authentication component after verifying credentials.
+    pub fn login(&mut self, principal: PrincipalId) {
+        self.process.set_principal(principal);
+    }
+
+    /// Enables or disables the serializable-mode transaction clearance rule.
+    pub fn set_serializable(&mut self, on: bool) {
+        self.serializable = on;
+    }
+
+    // ------------------------------------------------------------------
+    // Label and authority operations
+    // ------------------------------------------------------------------
+
+    /// Adds `tag` to the process label (`addsecrecy`). Under the serializable
+    /// clearance rule (Section 5.1), a transaction may add a tag only if the
+    /// principal is authoritative for it.
+    pub fn add_secrecy(&mut self, tag: TagId) -> IfdbResult<()> {
+        if self.serializable && self.txn.is_some() {
+            let auth = self.db.inner.auth.read();
+            if !self.cache.has_authority(&auth, self.process.principal(), tag) {
+                return Err(IfdbError::ClearanceViolation { tag });
+            }
+        }
+        self.process.add_secrecy(tag)?;
+        Ok(())
+    }
+
+    /// Raises the process label to its union with `other`.
+    pub fn raise_label(&mut self, other: &Label) -> IfdbResult<()> {
+        if self.serializable && self.txn.is_some() {
+            let auth = self.db.inner.auth.read();
+            for tag in other.difference(self.process.label()).iter() {
+                if !self.cache.has_authority(&auth, self.process.principal(), tag) {
+                    return Err(IfdbError::ClearanceViolation { tag });
+                }
+            }
+        }
+        self.process.raise_to(other)?;
+        Ok(())
+    }
+
+    /// Removes `tag` from the process label. Requires authority.
+    pub fn declassify(&mut self, tag: TagId) -> IfdbResult<()> {
+        let before = self.process.label().clone();
+        {
+            let auth = self.db.inner.auth.read();
+            self.process.declassify(tag, &auth)?;
+        }
+        self.db.audit().record(AuditEvent::Declassify {
+            principal: self.process.principal(),
+            tag,
+            label_before: before,
+        });
+        Ok(())
+    }
+
+    /// Removes every tag of `tags`, checking authority for each first.
+    pub fn declassify_all(&mut self, tags: &Label) -> IfdbResult<()> {
+        let auth = self.db.inner.auth.read();
+        self.process.declassify_all(tags, &auth)?;
+        Ok(())
+    }
+
+    /// Creates a tag owned by the acting principal.
+    pub fn create_tag(&mut self, name: &str, compounds: &[TagId]) -> IfdbResult<TagId> {
+        Ok(self
+            .db
+            .inner
+            .auth
+            .write()
+            .create_tag(self.process.principal(), name, compounds)?)
+    }
+
+    /// Delegates authority for `tag` from the acting principal to `grantee`.
+    /// The process must have an empty label (the authority state is an
+    /// empty-labeled object, Section 3.2).
+    pub fn delegate(&mut self, grantee: PrincipalId, tag: TagId) -> IfdbResult<()> {
+        let grantor = self.process.principal();
+        self.db
+            .inner
+            .auth
+            .write()
+            .delegate(grantor, grantee, tag, self.process.label())?;
+        self.db.audit().record(AuditEvent::Delegate {
+            grantor,
+            grantee,
+            tag,
+        });
+        Ok(())
+    }
+
+    /// Revokes a delegation previously made by the acting principal.
+    pub fn revoke(&mut self, grantee: PrincipalId, tag: TagId) -> IfdbResult<()> {
+        let grantor = self.process.principal();
+        self.db
+            .inner
+            .auth
+            .write()
+            .revoke(grantor, grantee, tag, self.process.label())?;
+        self.db.audit().record(AuditEvent::Revoke {
+            grantor,
+            grantee,
+            tag,
+        });
+        Ok(())
+    }
+
+    /// Checks that the process may release information to the outside world
+    /// (an empty-labeled destination). Application platforms call this before
+    /// writing to the client; a contaminated process is blocked and the
+    /// attempt is audited.
+    pub fn check_release_to_world(&self) -> IfdbResult<()> {
+        match self.process.check_release_to_world() {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                self.db.audit().record(AuditEvent::BlockedRelease {
+                    principal: self.process.principal(),
+                    label: self.process.label().clone(),
+                });
+                Err(e.into())
+            }
+        }
+    }
+
+    /// Returns `true` if the acting principal has authority for `tag`,
+    /// consulting the session's authority cache.
+    pub fn has_authority(&self, tag: TagId) -> bool {
+        let auth = self.db.inner.auth.read();
+        self.cache
+            .has_authority(&auth, self.process.principal(), tag)
+    }
+
+    // ------------------------------------------------------------------
+    // Transactions
+    // ------------------------------------------------------------------
+
+    /// Returns `true` if an explicit transaction is open.
+    pub fn in_transaction(&self) -> bool {
+        self.txn.as_ref().map(|t| !t.implicit).unwrap_or(false)
+    }
+
+    /// Starts an explicit transaction.
+    pub fn begin(&mut self) -> IfdbResult<()> {
+        if self.txn.is_some() {
+            return Err(IfdbError::InvalidStatement(
+                "transaction already in progress".into(),
+            ));
+        }
+        self.start_txn(false)?;
+        Ok(())
+    }
+
+    pub(crate) fn start_txn(&mut self, implicit: bool) -> IfdbResult<()> {
+        let id = self.db.inner.engine.begin()?;
+        let snapshot = self.db.inner.engine.snapshot(id);
+        self.txn = Some(TxnState {
+            id,
+            snapshot,
+            write_set: Vec::new(),
+            deferred: Vec::new(),
+            implicit,
+        });
+        Ok(())
+    }
+
+    /// Ensures a transaction is open; returns `true` if an implicit one was
+    /// started (and should be committed when the statement finishes).
+    pub(crate) fn ensure_txn(&mut self) -> IfdbResult<bool> {
+        if self.txn.is_some() {
+            return Ok(false);
+        }
+        self.start_txn(true)?;
+        Ok(true)
+    }
+
+    pub(crate) fn note_statement(&mut self) {
+        self.stats.statements += 1;
+        let epoch = self.process.label_epoch();
+        if epoch != self.last_synced_epoch {
+            // The platform piggybacks label changes on the next statement
+            // (Section 7.2); each such change is one protocol-level sync.
+            self.stats.label_syncs += 1;
+            self.last_synced_epoch = epoch;
+        }
+    }
+
+    /// Commits the current transaction.
+    ///
+    /// Commit enforces the *transaction commit label* rule of Section 5.1:
+    /// the process label at the commit point must be a subset of the label of
+    /// every tuple in the transaction's write set. Otherwise committing would
+    /// encode information about high-labeled data in the existence of
+    /// lower-labeled tuples (the "Alice has HIV" example), so the transaction
+    /// is aborted and an error is returned.
+    pub fn commit(&mut self) -> IfdbResult<()> {
+        let state = self
+            .txn
+            .take()
+            .ok_or_else(|| IfdbError::InvalidStatement("no transaction to commit".into()))?;
+        // Deferred triggers run first; they may add writes. They run with the
+        // label of the query that queued them, not the commit label
+        // (Section 5.2.3).
+        let mut state = state;
+        if !state.deferred.is_empty() {
+            let deferred = std::mem::take(&mut state.deferred);
+            self.txn = Some(state);
+            for (trigger, inv) in deferred {
+                let result = self.run_trigger(&trigger, &inv);
+                if let Err(e) = result {
+                    let _ = self.abort();
+                    return Err(e);
+                }
+            }
+            state = self.txn.take().expect("txn restored for deferred triggers");
+        }
+        // Commit label rule.
+        if self.db.difc_enabled() {
+            let commit_label = self.process.label().clone();
+            for w in &state.write_set {
+                if !commit_label.is_subset_of(&w.label) {
+                    self.db.inner.engine.abort(state.id)?;
+                    self.stats.aborts += 1;
+                    return Err(IfdbError::CommitLabelViolation {
+                        commit_label,
+                        tuple_label: w.label.clone(),
+                    });
+                }
+            }
+        }
+        self.db.inner.engine.commit(state.id)?;
+        self.stats.commits += 1;
+        Ok(())
+    }
+
+    /// Aborts the current transaction.
+    pub fn abort(&mut self) -> IfdbResult<()> {
+        let state = self
+            .txn
+            .take()
+            .ok_or_else(|| IfdbError::InvalidStatement("no transaction to abort".into()))?;
+        self.db.inner.engine.abort(state.id)?;
+        self.stats.aborts += 1;
+        Ok(())
+    }
+
+    pub(crate) fn finish_statement<T>(&mut self, implicit: bool, r: IfdbResult<T>) -> IfdbResult<T> {
+        self.note_statement();
+        if implicit {
+            match &r {
+                Ok(_) => {
+                    self.commit()?;
+                }
+                Err(_) => {
+                    let _ = self.abort();
+                }
+            }
+        }
+        r
+    }
+
+    pub(crate) fn current_txn(&self) -> IfdbResult<(TxnId, Snapshot)> {
+        let t = self
+            .txn
+            .as_ref()
+            .ok_or_else(|| IfdbError::InvalidStatement("no active transaction".into()))?;
+        Ok((t.id, t.snapshot.clone()))
+    }
+
+    pub(crate) fn record_write(&mut self, table: &str, label: Label) {
+        if let Some(t) = self.txn.as_mut() {
+            t.write_set.push(WriteRecord {
+                table: table.to_string(),
+                label,
+            });
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Triggers, closures and procedures
+    // ------------------------------------------------------------------
+
+    /// Runs a trigger body, honouring stored-authority-closure semantics: the
+    /// body runs as the bound principal, and any contamination it picked up
+    /// that the bound principal may declassify is removed when it returns, so
+    /// the calling process is not contaminated by data the closure read
+    /// internally (the CarTel `driveupdate` pattern of Section 6.1).
+    pub(crate) fn run_trigger(
+        &mut self,
+        trigger: &TriggerDef,
+        inv: &TriggerInvocation,
+    ) -> IfdbResult<()> {
+        // Deferred triggers run with the label of the query that queued them.
+        let saved_label = self.process.label().clone();
+        if inv.label != saved_label {
+            self.process.set_label_unchecked(inv.label.clone());
+        }
+        let result = match trigger.authority {
+            Some(principal) => self.with_principal(principal, |s| (trigger.body)(s, inv)),
+            None => (trigger.body)(self, inv),
+        };
+        // Restore the label the query ran with, discarding contamination the
+        // closure was allowed to remove.
+        self.unwind_label(saved_label, trigger.authority);
+        result.map_err(|e| match e {
+            IfdbError::TriggerRejected { .. } => e,
+            other => IfdbError::TriggerRejected {
+                trigger: trigger.name.clone(),
+                reason: other.to_string(),
+            },
+        })
+    }
+
+    /// Calls a stored procedure (or stored authority closure) by name.
+    pub fn call_procedure(
+        &mut self,
+        name: &str,
+        args: &[ifdb_storage::Datum],
+    ) -> IfdbResult<crate::row::ResultSet> {
+        let proc = {
+            let catalog = self.db.inner.catalog.read();
+            catalog.procedure(name)?
+        };
+        let saved_label = self.process.label().clone();
+        let result = match proc.authority {
+            Some(principal) => self.with_principal(principal, |s| (proc.body)(s, args)),
+            None => (proc.body)(self, args),
+        };
+        if proc.authority.is_some() {
+            self.unwind_label(saved_label, proc.authority);
+        }
+        result
+    }
+
+    /// Runs `body` with the process temporarily acting as `principal`
+    /// (a reduced-authority call when `principal` holds less authority).
+    pub fn with_principal<T>(
+        &mut self,
+        principal: PrincipalId,
+        body: impl FnOnce(&mut Session) -> IfdbResult<T>,
+    ) -> IfdbResult<T> {
+        let saved = self.process.principal();
+        self.process.set_principal(principal);
+        let result = body(self);
+        self.process.set_principal(saved);
+        result
+    }
+
+    /// After an authority closure returns, restore the caller's label: the
+    /// closure's internal contamination is discarded where the closure
+    /// principal holds the authority to declassify it, and kept (propagated
+    /// to the caller) where it does not. Ordinary (non-closure) bodies leave
+    /// the label untouched — their contamination is the caller's.
+    fn unwind_label(&mut self, saved: Label, closure_principal: Option<PrincipalId>) {
+        let Some(principal) = closure_principal else {
+            return;
+        };
+        let current = self.process.label().clone();
+        let extra = current.difference(&saved);
+        let mut kept = Label::empty();
+        if !extra.is_empty() {
+            let auth = self.db.inner.auth.read();
+            for tag in extra.iter() {
+                if auth.has_authority(principal, tag) {
+                    self.db.audit().record(AuditEvent::Declassify {
+                        principal,
+                        tag,
+                        label_before: current.clone(),
+                    });
+                } else {
+                    kept = kept.with_tag(tag);
+                }
+            }
+        }
+        self.process.set_label_unchecked(saved.union(&kept));
+    }
+}

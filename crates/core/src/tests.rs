@@ -1,0 +1,815 @@
+//! Engine-level tests exercising the paper's scenarios.
+
+use crate::prelude::*;
+use ifdb_storage::{DataType, Datum};
+
+/// Builds the HIVPatients example database of Figure 2.
+fn medical_db() -> (Database, PrincipalId, PrincipalId, TagId, TagId) {
+    let db = Database::in_memory();
+    let alice = db.create_principal("alice", PrincipalKind::User);
+    let bob = db.create_principal("bob", PrincipalKind::User);
+    let alice_medical = db.create_tag(alice, "alice_medical", &[]).unwrap();
+    let bob_medical = db.create_tag(bob, "bob_medical", &[]).unwrap();
+    db.create_table(
+        TableDef::new("HIVPatients")
+            .column("patient_name", DataType::Text)
+            .column("patient_dob", DataType::Text)
+            .primary_key(&["patient_name", "patient_dob"]),
+    )
+    .unwrap();
+    (db, alice, bob, alice_medical, bob_medical)
+}
+
+fn insert_patient(db: &Database, who: PrincipalId, tag: TagId, name: &str, dob: &str) {
+    let mut s = db.session(who);
+    s.add_secrecy(tag).unwrap();
+    s.insert(&Insert::new(
+        "HIVPatients",
+        vec![Datum::from(name), Datum::from(dob)],
+    ))
+    .unwrap();
+}
+
+#[test]
+fn label_confinement_rule_filters_queries() {
+    let (db, alice, bob, alice_medical, bob_medical) = medical_db();
+    insert_patient(&db, alice, alice_medical, "Alice", "2/1/60");
+    insert_patient(&db, bob, bob_medical, "Bob", "6/26/78");
+
+    // A process with {bob_medical} sees only Bob's tuple.
+    let mut s = db.session(bob);
+    s.add_secrecy(bob_medical).unwrap();
+    let rows = s.select(&Select::star("HIVPatients")).unwrap();
+    assert_eq!(rows.len(), 1);
+    assert_eq!(rows.first().unwrap().get_text("patient_name"), Some("Bob"));
+
+    // An empty-labeled process sees nothing.
+    let mut anon = db.anonymous_session();
+    assert!(anon.select(&Select::star("HIVPatients")).unwrap().is_empty());
+
+    // A process with both tags sees both.
+    let mut both = db.session(alice);
+    both.add_secrecy(alice_medical).unwrap();
+    both.add_secrecy(bob_medical).unwrap();
+    assert_eq!(both.select(&Select::star("HIVPatients")).unwrap().len(), 2);
+}
+
+#[test]
+fn write_rule_blocks_lower_labeled_updates() {
+    let (db, alice, _bob, alice_medical, bob_medical) = medical_db();
+    insert_patient(&db, alice, alice_medical, "Alice", "2/1/60");
+
+    // A process with a *larger* label sees Alice's tuple but may not modify
+    // it (that would move data to a label that doesn't reflect the process's
+    // contamination).
+    let mut s = db.session(alice);
+    s.add_secrecy(alice_medical).unwrap();
+    s.add_secrecy(bob_medical).unwrap();
+    let err = s
+        .update(&Update::new(
+            "HIVPatients",
+            Predicate::Eq("patient_name".into(), Datum::from("Alice")),
+            vec![("patient_dob", Datum::from("1/1/99"))],
+        ))
+        .unwrap_err();
+    assert!(matches!(err, IfdbError::WriteRuleViolation { .. }));
+
+    // With exactly Alice's label, the update succeeds.
+    let mut ok = db.session(alice);
+    ok.add_secrecy(alice_medical).unwrap();
+    assert_eq!(
+        ok.update(&Update::new(
+            "HIVPatients",
+            Predicate::Eq("patient_name".into(), Datum::from("Alice")),
+            vec![("patient_dob", Datum::from("1/1/99"))],
+        ))
+        .unwrap(),
+        1
+    );
+}
+
+#[test]
+fn inserts_carry_exactly_the_process_label() {
+    let (db, alice, _bob, alice_medical, _bob_medical) = medical_db();
+    insert_patient(&db, alice, alice_medical, "Alice", "2/1/60");
+    let mut s = db.session(alice);
+    s.add_secrecy(alice_medical).unwrap();
+    let rows = s.select(&Select::star("HIVPatients")).unwrap();
+    assert_eq!(rows.first().unwrap().label, Label::singleton(alice_medical));
+}
+
+#[test]
+fn polyinstantiation_instead_of_leaking_uniqueness_conflicts() {
+    let (db, alice, bob, alice_medical, _bob_medical) = medical_db();
+    // Insert (Alice, 2/1/60) with {alice_medical}.
+    insert_patient(&db, alice, alice_medical, "Alice", "2/1/60");
+
+    // Insert 2 of Section 5.2.1: same key, conflicting tuple *visible* →
+    // uniqueness error (reveals nothing new).
+    let mut visible = db.session(alice);
+    visible.add_secrecy(alice_medical).unwrap();
+    let err = visible
+        .insert(&Insert::new(
+            "HIVPatients",
+            vec![Datum::from("Alice"), Datum::from("2/1/60")],
+        ))
+        .unwrap_err();
+    assert!(matches!(err, IfdbError::UniqueViolation { .. }));
+
+    // Insert 3: an empty-labeled process cannot see the conflict; rejecting
+    // it would leak, so the insert succeeds (polyinstantiation).
+    let mut lower = db.session(bob);
+    lower
+        .insert(&Insert::new(
+            "HIVPatients",
+            vec![Datum::from("Alice"), Datum::from("2/1/60")],
+        ))
+        .unwrap();
+
+    // A high-labeled reader now sees both tuples, distinguished by label.
+    let mut reader = db.session(alice);
+    reader.add_secrecy(alice_medical).unwrap();
+    let rows = reader.select(&Select::star("HIVPatients")).unwrap();
+    let alice_rows: Vec<_> = rows
+        .iter()
+        .filter(|r| r.get_text("patient_name") == Some("Alice"))
+        .collect();
+    assert_eq!(alice_rows.len(), 2, "polyinstantiated duplicate is visible");
+
+    // Requesting an exact label hides the erroneous empty-labeled tuple.
+    let exact = reader
+        .select(
+            &Select::star("HIVPatients")
+                .with_exact_label(Label::singleton(alice_medical)),
+        )
+        .unwrap();
+    assert_eq!(exact.len(), 1);
+}
+
+#[test]
+fn label_constraints_prevent_polyinstantiation_and_mislabeling() {
+    let db = Database::in_memory();
+    let alice = db.create_principal("alice", PrincipalKind::User);
+    let alice_medical = db.create_tag(alice, "alice_medical", &[]).unwrap();
+    let required = Label::singleton(alice_medical);
+    let required_clone = required.clone();
+    db.create_table(
+        TableDef::new("HIVPatients")
+            .column("patient_name", DataType::Text)
+            .column("patient_dob", DataType::Text)
+            .primary_key(&["patient_name"])
+            .label_exact_from_row("hiv_label_constraint", move |_row| required_clone.clone()),
+    )
+    .unwrap();
+
+    // Correctly labeled insert succeeds.
+    let mut s = db.session(alice);
+    s.add_secrecy(alice_medical).unwrap();
+    s.insert(&Insert::new(
+        "HIVPatients",
+        vec![Datum::from("Alice"), Datum::from("2/1/60")],
+    ))
+    .unwrap();
+
+    // A mislabeled (empty-label) insert is rejected by the constraint, which
+    // also prevents the polyinstantiated duplicate.
+    let mut wrong = db.anonymous_session();
+    let err = wrong
+        .insert(&Insert::new(
+            "HIVPatients",
+            vec![Datum::from("Alice"), Datum::from("2/1/60")],
+        ))
+        .unwrap_err();
+    assert!(matches!(err, IfdbError::LabelConstraintViolation { .. }));
+}
+
+#[test]
+fn transaction_commit_label_rule_blocks_the_hiv_leak() {
+    // The Section 5.1 example: write a public tuple, then raise the label and
+    // decide whether to commit based on secret data. The commit must fail.
+    let (db, alice, bob, alice_medical, _bob) = medical_db();
+    insert_patient(&db, alice, alice_medical, "Alice", "2/1/60");
+    db.create_table(
+        TableDef::new("Foo")
+            .column("note", DataType::Text)
+            .primary_key(&["note"]),
+    )
+    .unwrap();
+
+    let mut s = db.session(bob);
+    s.begin().unwrap();
+    s.insert(&Insert::new("Foo", vec![Datum::from("Alice has HIV")]))
+        .unwrap();
+    s.add_secrecy(alice_medical).unwrap();
+    let found = s
+        .select(
+            &Select::star("HIVPatients")
+                .filter(Predicate::Eq("patient_name".into(), Datum::from("Alice"))),
+        )
+        .unwrap();
+    assert_eq!(found.len(), 1, "the secret condition is observable in-txn");
+    // The transaction tries to commit while contaminated; the commit label
+    // rule rejects it and the public tuple is never exposed.
+    let err = s.commit().unwrap_err();
+    assert!(matches!(err, IfdbError::CommitLabelViolation { .. }));
+
+    let mut reader = db.anonymous_session();
+    assert!(reader.select(&Select::star("Foo")).unwrap().is_empty());
+}
+
+#[test]
+fn commit_succeeds_after_declassification() {
+    let (db, alice, _bob, alice_medical, _bobm) = medical_db();
+    db.create_table(
+        TableDef::new("Foo")
+            .column("note", DataType::Text)
+            .primary_key(&["note"]),
+    )
+    .unwrap();
+    let mut s = db.session(alice);
+    s.begin().unwrap();
+    s.insert(&Insert::new("Foo", vec![Datum::from("public note")]))
+        .unwrap();
+    s.add_secrecy(alice_medical).unwrap();
+    // Alice owns the tag, so she may declassify before committing.
+    s.declassify(alice_medical).unwrap();
+    s.commit().unwrap();
+    let mut reader = db.anonymous_session();
+    assert_eq!(reader.select(&Select::star("Foo")).unwrap().len(), 1);
+}
+
+#[test]
+fn serializable_clearance_rule_requires_authority_to_raise_label() {
+    let (db, _alice, bob, alice_medical, bob_medical) = medical_db();
+    let mut s = db.session(bob);
+    s.set_serializable(true);
+    s.begin().unwrap();
+    // Bob owns bob_medical, so he may raise to it.
+    s.add_secrecy(bob_medical).unwrap();
+    // But not to Alice's tag.
+    let err = s.add_secrecy(alice_medical).unwrap_err();
+    assert!(matches!(err, IfdbError::ClearanceViolation { .. }));
+    s.abort().unwrap();
+}
+
+#[test]
+fn foreign_key_rule_demands_declassifying_clause() {
+    let db = Database::in_memory();
+    let alice = db.create_principal("alice", PrincipalKind::User);
+    let ingest = db.create_principal("ingest", PrincipalKind::Service);
+    let alice_cars = db.create_tag(alice, "alice_cars", &[]).unwrap();
+    let alice_drives = db.create_tag(alice, "alice_drives", &[]).unwrap();
+    db.create_table(
+        TableDef::new("Cars")
+            .column("carid", DataType::Int)
+            .column("owner", DataType::Text)
+            .primary_key(&["carid"]),
+    )
+    .unwrap();
+    db.create_table(
+        TableDef::new("Drives")
+            .column("driveid", DataType::Int)
+            .column("carid", DataType::Int)
+            .primary_key(&["driveid"])
+            .foreign_key("drives_carid_fkey", &["carid"], "Cars", &["carid"]),
+    )
+    .unwrap();
+
+    // Alice registers her car under {alice_cars}.
+    let mut alice_session = db.session(alice);
+    alice_session.add_secrecy(alice_cars).unwrap();
+    alice_session
+        .insert(&Insert::new(
+            "Cars",
+            vec![Datum::Int(1), Datum::from("alice")],
+        ))
+        .unwrap();
+    // Alice delegates both tags to the ingest service (empty label required).
+    let mut alice_clean = db.session(alice);
+    alice_clean.delegate(ingest, alice_cars).unwrap();
+    alice_clean.delegate(ingest, alice_drives).unwrap();
+
+    // The ingest service inserts a drive labeled {alice_drives} referencing
+    // the {alice_cars}-labeled car. The symmetric difference is
+    // {alice_drives, alice_cars}, so both must be declassified explicitly.
+    let mut svc = db.session(ingest);
+    svc.add_secrecy(alice_drives).unwrap();
+    let plain = Insert::new("Drives", vec![Datum::Int(10), Datum::Int(1)]);
+    let err = svc.insert(&plain).unwrap_err();
+    assert!(matches!(err, IfdbError::DeclassifyingRequired { .. }));
+
+    let ok = Insert::new("Drives", vec![Datum::Int(10), Datum::Int(1)])
+        .declassifying(&[alice_drives, alice_cars]);
+    svc.insert(&ok).unwrap();
+
+    // A referencing insert to a nonexistent car is a plain FK violation.
+    let missing = Insert::new("Drives", vec![Datum::Int(11), Datum::Int(99)])
+        .declassifying(&[alice_drives, alice_cars]);
+    assert!(matches!(
+        svc.insert(&missing).unwrap_err(),
+        IfdbError::ForeignKeyViolation { .. }
+    ));
+
+    // And a principal without authority cannot vouch for the tags even if it
+    // names them.
+    let mallory = db.create_principal("mallory", PrincipalKind::User);
+    let mut m = db.session(mallory);
+    m.add_secrecy(alice_drives).unwrap();
+    let attempt = Insert::new("Drives", vec![Datum::Int(12), Datum::Int(1)])
+        .declassifying(&[alice_drives, alice_cars]);
+    assert!(m.insert(&attempt).is_err());
+}
+
+#[test]
+fn delete_restricted_while_references_exist() {
+    let db = Database::in_memory();
+    let admin = db.create_principal("admin", PrincipalKind::Administrator);
+    db.create_table(
+        TableDef::new("Users")
+            .column("userid", DataType::Int)
+            .primary_key(&["userid"]),
+    )
+    .unwrap();
+    db.create_table(
+        TableDef::new("Friends")
+            .column("userid", DataType::Int)
+            .column("friendid", DataType::Int)
+            .primary_key(&["userid", "friendid"])
+            .foreign_key("friends_userid_fkey", &["userid"], "Users", &["userid"]),
+    )
+    .unwrap();
+    let mut s = db.session(admin);
+    s.insert(&Insert::new("Users", vec![Datum::Int(1)])).unwrap();
+    s.insert(&Insert::new("Friends", vec![Datum::Int(1), Datum::Int(2)]))
+        .unwrap();
+    let err = s
+        .delete(&Delete::new(
+            "Users",
+            Predicate::Eq("userid".into(), Datum::Int(1)),
+        ))
+        .unwrap_err();
+    assert!(matches!(err, IfdbError::RestrictViolation { .. }));
+    // After the referencing row goes away, the delete succeeds.
+    s.delete(&Delete::new("Friends", Predicate::True)).unwrap();
+    assert_eq!(
+        s.delete(&Delete::new(
+            "Users",
+            Predicate::Eq("userid".into(), Datum::Int(1)),
+        ))
+        .unwrap(),
+        1
+    );
+}
+
+#[test]
+fn declassifying_view_exposes_projection_of_sensitive_table() {
+    // The PCMembers example of Section 4.3.
+    let db = Database::in_memory();
+    let chair = db.create_principal("chair", PrincipalKind::Role);
+    let all_contacts = db.create_compound_tag(chair, "all_contacts", &[]).unwrap();
+    let cathy = db.create_principal("cathy", PrincipalKind::User);
+    let cathy_contact = db
+        .create_tag(cathy, "cathy_contact", &[all_contacts])
+        .unwrap();
+    db.create_table(
+        TableDef::new("ContactInfo")
+            .column("contactId", DataType::Int)
+            .column("firstName", DataType::Text)
+            .column("lastName", DataType::Text)
+            .column("email", DataType::Text)
+            .column("isPCMember", DataType::Bool)
+            .primary_key(&["contactId"]),
+    )
+    .unwrap();
+    // The chair owns the all_contacts compound, so it can create the
+    // declassifying view.
+    db.create_declassifying_view(
+        chair,
+        "PCMembers",
+        ViewSource::Select(
+            Select::star("ContactInfo")
+                .filter(Predicate::Eq("isPCMember".into(), Datum::Bool(true)))
+                .project(&["firstName", "lastName"]),
+        ),
+        Label::singleton(all_contacts),
+    )
+    .unwrap();
+
+    // Cathy registers; her row is protected by her contact tag.
+    let mut cs = db.session(cathy);
+    cs.add_secrecy(cathy_contact).unwrap();
+    cs.insert(&Insert::new(
+        "ContactInfo",
+        vec![
+            Datum::Int(1),
+            Datum::from("Cathy"),
+            Datum::from("Jones"),
+            Datum::from("cathy@example.org"),
+            Datum::Bool(true),
+        ],
+    ))
+    .unwrap();
+
+    // An uncontaminated, unprivileged session cannot read ContactInfo...
+    let mut anon = db.anonymous_session();
+    assert!(anon.select(&Select::star("ContactInfo")).unwrap().is_empty());
+    // ...but sees the PC membership through the declassifying view, because
+    // cathy_contact is a member of all_contacts, which the view declassifies.
+    let pc = anon.select(&Select::star("PCMembers")).unwrap();
+    assert_eq!(pc.len(), 1);
+    assert_eq!(pc.first().unwrap().get_text("firstName"), Some("Cathy"));
+    // The full contact information (email) is not part of the view.
+    assert!(pc.first().unwrap().get("email").is_none());
+}
+
+#[test]
+fn ordinary_views_and_outer_joins_simulate_field_level_labels() {
+    // The PaymentContact example of Section 4.4: a standard outer-join view
+    // shows NULLs for the fields the process may not see.
+    let db = Database::in_memory();
+    let user = db.create_principal("dana", PrincipalKind::User);
+    let pay_tag = db.create_tag(user, "dana_payment", &[]).unwrap();
+    let contact_tag = db.create_tag(user, "dana_contact", &[]).unwrap();
+    db.create_table(
+        TableDef::new("Payment")
+            .column("userid", DataType::Int)
+            .column("card", DataType::Text)
+            .primary_key(&["userid"]),
+    )
+    .unwrap();
+    db.create_table(
+        TableDef::new("Contact")
+            .column("userid", DataType::Int)
+            .column("email", DataType::Text)
+            .primary_key(&["userid"]),
+    )
+    .unwrap();
+    db.create_view(
+        "PaymentContact",
+        ViewSource::Join(Join::left_outer("Payment", "Contact", ("userid", "userid"))),
+    )
+    .unwrap();
+
+    let mut s = db.session(user);
+    s.add_secrecy(pay_tag).unwrap();
+    s.insert(&Insert::new(
+        "Payment",
+        vec![Datum::Int(1), Datum::from("4111-....")],
+    ))
+    .unwrap();
+    s.declassify(pay_tag).unwrap();
+    s.add_secrecy(contact_tag).unwrap();
+    s.insert(&Insert::new(
+        "Contact",
+        vec![Datum::Int(1), Datum::from("dana@example.org")],
+    ))
+    .unwrap();
+    s.declassify(contact_tag).unwrap();
+
+    // A process holding only the payment tag sees the payment fields and
+    // NULLs where the contact fields would be.
+    let mut pay_only = db.session(user);
+    pay_only.add_secrecy(pay_tag).unwrap();
+    let rows = pay_only.select(&Select::star("PaymentContact")).unwrap();
+    assert_eq!(rows.len(), 1);
+    let row = rows.first().unwrap();
+    assert_eq!(row.get_text("card"), Some("4111-...."));
+    assert!(row.get("email").unwrap().is_null());
+
+    // A process holding both tags sees the joined row in full.
+    let mut both = db.session(user);
+    both.add_secrecy(pay_tag).unwrap();
+    both.add_secrecy(contact_tag).unwrap();
+    let rows = both.select(&Select::star("PaymentContact")).unwrap();
+    assert_eq!(rows.first().unwrap().get_text("email"), Some("dana@example.org"));
+}
+
+#[test]
+fn stored_authority_closure_declassifies_without_contaminating_caller() {
+    use crate::catalog::StoredProcedure;
+    use std::sync::Arc;
+
+    let db = Database::in_memory();
+    let alice = db.create_principal("alice", PrincipalKind::User);
+    let stats_principal = db.create_principal("traffic_stats", PrincipalKind::Closure);
+    let alice_location = db.create_tag(alice, "alice_location", &[]).unwrap();
+    db.create_table(
+        TableDef::new("Locations")
+            .column("userid", DataType::Int)
+            .column("speed", DataType::Float)
+            .primary_key(&["userid"]),
+    )
+    .unwrap();
+    let mut setup = db.session(alice);
+    setup.delegate(stats_principal, alice_location).unwrap();
+    setup.add_secrecy(alice_location).unwrap();
+    setup
+        .insert(&Insert::new(
+            "Locations",
+            vec![Datum::Int(1), Datum::Float(61.0)],
+        ))
+        .unwrap();
+
+    // The stored authority closure raises its label to read everyone's
+    // locations, computes the average speed, and declassifies the result.
+    db.create_procedure(StoredProcedure {
+        name: "avg_speed".into(),
+        authority: Some(stats_principal),
+        body: Arc::new(move |session, _args| {
+            session.add_secrecy(alice_location)?;
+            let result = session.select_aggregate(&Aggregate {
+                from: "Locations".into(),
+                predicate: Predicate::True,
+                group_by: None,
+                aggregates: vec![(AggFunc::Avg, "speed".into())],
+            })?;
+            session.declassify(alice_location)?;
+            Ok(result)
+        }),
+    })
+    .unwrap();
+
+    // An uncontaminated, unprivileged caller invokes the closure and can
+    // release its declassified result to the outside world.
+    let mut caller = db.anonymous_session();
+    let avg = caller.call_procedure("avg_speed", &[]).unwrap();
+    assert_eq!(avg.first().unwrap().get_float("avg_speed"), Some(61.0));
+    assert!(caller.label().is_empty());
+    assert!(caller.check_release_to_world().is_ok());
+
+    // Calling the same computation *without* the closure's authority leaves
+    // the caller contaminated and unable to release what it read.
+    let mut direct = db.anonymous_session();
+    direct.add_secrecy(alice_location).unwrap();
+    direct
+        .select_aggregate(&Aggregate {
+            from: "Locations".into(),
+            predicate: Predicate::True,
+            group_by: None,
+            aggregates: vec![(AggFunc::Avg, "speed".into())],
+        })
+        .unwrap();
+    assert!(direct.check_release_to_world().is_err());
+}
+
+#[test]
+fn triggers_run_as_authority_closures_do_not_contaminate_caller() {
+    use crate::catalog::{TriggerDef, TriggerEvent, TriggerTiming};
+    use std::sync::Arc;
+
+    // The CarTel ingest pattern: inserting a Location fires a trigger that
+    // reads Cars (labeled with the owner's car tag) and updates Drives. The
+    // trigger is an authority closure for the location tag, so the inserting
+    // process is not left contaminated by what the trigger read.
+    let db = Database::in_memory();
+    let alice = db.create_principal("alice", PrincipalKind::User);
+    let closure_principal = db.create_principal("driveupdate", PrincipalKind::Closure);
+    let alice_drives = db.create_tag(alice, "alice_drives", &[]).unwrap();
+    let alice_location = db.create_tag(alice, "alice_location", &[]).unwrap();
+    db.create_table(
+        TableDef::new("Locations")
+            .column("seq", DataType::Int)
+            .column("userid", DataType::Int)
+            .primary_key(&["seq"]),
+    )
+    .unwrap();
+    db.create_table(
+        TableDef::new("Drives")
+            .column("userid", DataType::Int)
+            .column("points", DataType::Int)
+            .primary_key(&["userid"]),
+    )
+    .unwrap();
+    let mut setup = db.session(alice);
+    setup.delegate(closure_principal, alice_location).unwrap();
+
+    db.create_trigger(TriggerDef {
+        name: "driveupdate".into(),
+        table: "Locations".into(),
+        events: vec![TriggerEvent::Insert],
+        timing: TriggerTiming::Immediate,
+        authority: Some(closure_principal),
+        body: Arc::new(move |session, inv| {
+            let userid = inv.new.as_ref().unwrap()[1].clone();
+            // Maintain the per-user drive summary in the Drives table.
+            let existing = session.select(
+                &Select::star("Drives")
+                    .filter(Predicate::Eq("userid".into(), userid.clone())),
+            )?;
+            if existing.is_empty() {
+                session.insert(&Insert::new("Drives", vec![userid, Datum::Int(1)]))?;
+            } else {
+                let points = existing.first().unwrap().get_int("points").unwrap() + 1;
+                session.update(&Update::new(
+                    "Drives",
+                    Predicate::Eq("userid".into(), userid),
+                    vec![("points", Datum::Int(points))],
+                ))?;
+            }
+            Ok(())
+        }),
+    })
+    .unwrap();
+
+    // Alice's ingest process inserts raw locations with the location+drives
+    // labels.
+    let mut ingest = db.session(alice);
+    ingest.add_secrecy(alice_drives).unwrap();
+    ingest.add_secrecy(alice_location).unwrap();
+    ingest
+        .insert(&Insert::new("Locations", vec![Datum::Int(1), Datum::Int(7)]))
+        .unwrap();
+    ingest
+        .insert(&Insert::new("Locations", vec![Datum::Int(2), Datum::Int(7)]))
+        .unwrap();
+
+    // The Drives table was maintained by the trigger.
+    let drives = ingest.select(&Select::star("Drives")).unwrap();
+    assert_eq!(drives.len(), 1);
+    assert_eq!(drives.first().unwrap().get_int("points"), Some(2));
+}
+
+#[test]
+fn baseline_mode_skips_label_enforcement() {
+    let db = Database::new(DatabaseConfig::baseline());
+    let user = db.create_principal("u", PrincipalKind::User);
+    db.create_table(
+        TableDef::new("T")
+            .column("a", DataType::Int)
+            .primary_key(&["a"]),
+    )
+    .unwrap();
+    let mut s = db.session(user);
+    s.insert(&Insert::new("T", vec![Datum::Int(1)])).unwrap();
+    // Any other session sees the row; there are no labels.
+    let mut o = db.anonymous_session();
+    let rows = o.select(&Select::star("T")).unwrap();
+    assert_eq!(rows.len(), 1);
+    assert!(rows.first().unwrap().label.is_empty());
+}
+
+#[test]
+fn aggregates_and_ordering_work_under_confinement() {
+    let db = Database::in_memory();
+    let user = db.create_principal("u", PrincipalKind::User);
+    let t1 = db.create_tag(user, "t1", &[]).unwrap();
+    db.create_table(
+        TableDef::new("Scores")
+            .column("player", DataType::Text)
+            .column("score", DataType::Int)
+            .primary_key(&["player"]),
+    )
+    .unwrap();
+    let mut s = db.session(user);
+    s.add_secrecy(t1).unwrap();
+    for (p, v) in [("a", 10), ("b", 30), ("c", 20)] {
+        s.insert(&Insert::new("Scores", vec![Datum::from(p), Datum::Int(v)]))
+            .unwrap();
+    }
+    let ordered = s
+        .select(&Select::star("Scores").order("score", Order::Desc).take(2))
+        .unwrap();
+    assert_eq!(ordered.len(), 2);
+    assert_eq!(ordered.first().unwrap().get_text("player"), Some("b"));
+
+    let agg = s
+        .select_aggregate(&Aggregate {
+            from: "Scores".into(),
+            predicate: Predicate::True,
+            group_by: None,
+            aggregates: vec![
+                (AggFunc::Count, "score".into()),
+                (AggFunc::Sum, "score".into()),
+                (AggFunc::Max, "score".into()),
+            ],
+        })
+        .unwrap();
+    let row = agg.first().unwrap();
+    assert_eq!(row.get_int("count"), Some(3));
+    assert_eq!(row.get_float("sum_score"), Some(60.0));
+    assert_eq!(row.get_float("max_score"), Some(30.0));
+    // The aggregate's label reflects the data it covered.
+    assert_eq!(row.label, Label::singleton(t1));
+
+    // An uncontaminated session aggregates over nothing.
+    let mut anon = db.anonymous_session();
+    let empty = anon
+        .select_aggregate(&Aggregate {
+            from: "Scores".into(),
+            predicate: Predicate::True,
+            group_by: None,
+            aggregates: vec![(AggFunc::Count, "score".into())],
+        })
+        .unwrap();
+    assert_eq!(empty.first().unwrap().get_int("count"), Some(0));
+}
+
+#[test]
+fn write_conflicts_surface_as_storage_errors() {
+    let db = Database::in_memory();
+    let user = db.create_principal("u", PrincipalKind::User);
+    db.create_table(
+        TableDef::new("Counter")
+            .column("id", DataType::Int)
+            .column("n", DataType::Int)
+            .primary_key(&["id"]),
+    )
+    .unwrap();
+    let mut setup = db.session(user);
+    setup
+        .insert(&Insert::new("Counter", vec![Datum::Int(1), Datum::Int(0)]))
+        .unwrap();
+
+    let mut s1 = db.session(user);
+    let mut s2 = db.session(user);
+    s1.begin().unwrap();
+    s2.begin().unwrap();
+    s1.update(&Update::new(
+        "Counter",
+        Predicate::Eq("id".into(), Datum::Int(1)),
+        vec![("n", Datum::Int(1))],
+    ))
+    .unwrap();
+    let err = s2
+        .update(&Update::new(
+            "Counter",
+            Predicate::Eq("id".into(), Datum::Int(1)),
+            vec![("n", Datum::Int(2))],
+        ))
+        .unwrap_err();
+    assert!(matches!(err, IfdbError::Storage(_)));
+    s1.commit().unwrap();
+    s2.abort().unwrap();
+}
+
+#[test]
+fn unauthenticated_session_cannot_release_what_it_reads() {
+    let (db, alice, _bob, alice_medical, _bm) = medical_db();
+    insert_patient(&db, alice, alice_medical, "Alice", "2/1/60");
+    let mut anon = db.anonymous_session();
+    // The anonymous session raises its label trying to read everything.
+    anon.add_secrecy(alice_medical).unwrap();
+    let rows = anon.select(&Select::star("HIVPatients")).unwrap();
+    assert_eq!(rows.len(), 1, "contaminated process can read");
+    // But it can never send the data to the outside world.
+    assert!(anon.check_release_to_world().is_err());
+    assert!(anon.declassify(alice_medical).is_err());
+    assert!(db.audit().len() > 0);
+}
+
+#[test]
+fn deferred_triggers_run_with_query_label_at_commit() {
+    use crate::catalog::{TriggerDef, TriggerEvent, TriggerTiming};
+    use parking_lot::Mutex;
+    use std::sync::Arc;
+
+    let db = Database::in_memory();
+    let user = db.create_principal("u", PrincipalKind::User);
+    let tag = db.create_tag(user, "t", &[]).unwrap();
+    db.create_table(
+        TableDef::new("Events")
+            .column("id", DataType::Int)
+            .primary_key(&["id"]),
+    )
+    .unwrap();
+    let observed: Arc<Mutex<Vec<Label>>> = Arc::new(Mutex::new(Vec::new()));
+    let observed_clone = observed.clone();
+    db.create_trigger(TriggerDef {
+        name: "audit_events".into(),
+        table: "Events".into(),
+        events: vec![TriggerEvent::Insert],
+        timing: TriggerTiming::Deferred,
+        authority: None,
+        body: Arc::new(move |session, _inv| {
+            observed_clone.lock().push(session.label().clone());
+            Ok(())
+        }),
+    })
+    .unwrap();
+
+    let mut s = db.session(user);
+    s.begin().unwrap();
+    s.add_secrecy(tag).unwrap();
+    s.insert(&Insert::new("Events", vec![Datum::Int(1)])).unwrap();
+    // Declassify before commit so the commit label rule passes; the deferred
+    // trigger must still observe the label of the *query*, not the commit
+    // label.
+    s.declassify(tag).unwrap();
+    s.commit().unwrap();
+    let labels = observed.lock();
+    assert_eq!(labels.len(), 1);
+    assert_eq!(labels[0], Label::singleton(tag));
+}
+
+#[test]
+fn session_stats_count_statements_and_label_syncs() {
+    let (db, alice, _bob, alice_medical, _bm) = medical_db();
+    let mut s = db.session(alice);
+    s.select(&Select::star("HIVPatients")).unwrap();
+    s.add_secrecy(alice_medical).unwrap();
+    s.select(&Select::star("HIVPatients")).unwrap();
+    s.select(&Select::star("HIVPatients")).unwrap();
+    let stats = s.stats();
+    assert_eq!(stats.statements, 3);
+    assert_eq!(stats.label_syncs, 1, "only the label change forces a sync");
+}

@@ -1,0 +1,168 @@
+//! A read-through cache of authority decisions.
+//!
+//! The PHP-IF platform keeps a shared-memory cache of recently used principal
+//! and tag values and authority state (Section 7.2), because the platform
+//! frequently needs to check whether the current principal may release
+//! information given its contamination. This module models that cache: it
+//! memoizes `(principal, tag) → bool` authority decisions and invalidates
+//! itself whenever the authority-state version changes.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::RwLock;
+
+use crate::authority::AuthorityState;
+use crate::label::Label;
+use crate::principal::PrincipalId;
+use crate::tag::TagId;
+
+/// Statistics maintained by the cache, useful for the latency benchmarks
+/// (cache hits avoid a round trip to the authority state / database).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Number of lookups answered from the cache.
+    pub hits: u64,
+    /// Number of lookups that had to consult the authority state.
+    pub misses: u64,
+    /// Number of times the cache was flushed due to an authority-state
+    /// version change.
+    pub invalidations: u64,
+}
+
+/// A concurrency-safe, version-checked cache of authority decisions.
+#[derive(Debug, Default)]
+pub struct AuthorityCache {
+    entries: RwLock<HashMap<(PrincipalId, TagId), bool>>,
+    cached_version: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    invalidations: AtomicU64,
+}
+
+impl AuthorityCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Checks whether `principal` has authority for `tag`, consulting the
+    /// cache first and falling back to the authority state on a miss.
+    pub fn has_authority(
+        &self,
+        auth: &AuthorityState,
+        principal: PrincipalId,
+        tag: TagId,
+    ) -> bool {
+        self.maybe_invalidate(auth);
+        if let Some(v) = self.entries.read().get(&(principal, tag)) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return *v;
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let v = auth.has_authority(principal, tag);
+        self.entries.write().insert((principal, tag), v);
+        v
+    }
+
+    /// Checks whether `principal` may declassify every tag in `label`.
+    pub fn has_authority_for_label(
+        &self,
+        auth: &AuthorityState,
+        principal: PrincipalId,
+        label: &Label,
+    ) -> bool {
+        label.iter().all(|t| self.has_authority(auth, principal, t))
+    }
+
+    /// Drops every cached entry.
+    pub fn clear(&self) {
+        self.entries.write().clear();
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+        }
+    }
+
+    fn maybe_invalidate(&self, auth: &AuthorityState) {
+        let current = auth.version();
+        let cached = self.cached_version.load(Ordering::Acquire);
+        if cached != current {
+            // Another thread may invalidate concurrently; that is harmless.
+            self.entries.write().clear();
+            self.cached_version.store(current, Ordering::Release);
+            self.invalidations.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::principal::PrincipalKind;
+
+    #[test]
+    fn caches_positive_and_negative_decisions() {
+        let mut auth = AuthorityState::with_seed(11);
+        let alice = auth.create_principal("alice", PrincipalKind::User);
+        let bob = auth.create_principal("bob", PrincipalKind::User);
+        let tag = auth.create_tag(alice, "alice_medical", &[]).unwrap();
+
+        let cache = AuthorityCache::new();
+        assert!(cache.has_authority(&auth, alice, tag));
+        assert!(!cache.has_authority(&auth, bob, tag));
+        // Second lookups are hits.
+        assert!(cache.has_authority(&auth, alice, tag));
+        assert!(!cache.has_authority(&auth, bob, tag));
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 2);
+        assert_eq!(stats.misses, 2);
+    }
+
+    #[test]
+    fn invalidates_on_authority_change() {
+        let mut auth = AuthorityState::with_seed(12);
+        let alice = auth.create_principal("alice", PrincipalKind::User);
+        let bob = auth.create_principal("bob", PrincipalKind::User);
+        let tag = auth.create_tag(alice, "alice_drives", &[]).unwrap();
+
+        let cache = AuthorityCache::new();
+        assert!(!cache.has_authority(&auth, bob, tag));
+        // Delegating bumps the version; the stale negative entry must not be
+        // served afterwards.
+        auth.delegate(alice, bob, tag, &Label::empty()).unwrap();
+        assert!(cache.has_authority(&auth, bob, tag));
+        assert!(cache.stats().invalidations >= 1);
+    }
+
+    #[test]
+    fn label_check_uses_cache() {
+        let mut auth = AuthorityState::with_seed(13);
+        let alice = auth.create_principal("alice", PrincipalKind::User);
+        let t1 = auth.create_tag(alice, "a", &[]).unwrap();
+        let t2 = auth.create_tag(alice, "b", &[]).unwrap();
+        let cache = AuthorityCache::new();
+        let label = Label::from_tags([t1, t2]);
+        assert!(cache.has_authority_for_label(&auth, alice, &label));
+        assert!(cache.has_authority_for_label(&auth, alice, &label));
+        assert_eq!(cache.stats().misses, 2);
+        assert_eq!(cache.stats().hits, 2);
+    }
+
+    #[test]
+    fn clear_resets_entries_but_not_stats() {
+        let mut auth = AuthorityState::with_seed(14);
+        let alice = auth.create_principal("alice", PrincipalKind::User);
+        let tag = auth.create_tag(alice, "t", &[]).unwrap();
+        let cache = AuthorityCache::new();
+        cache.has_authority(&auth, alice, tag);
+        cache.clear();
+        cache.has_authority(&auth, alice, tag);
+        assert_eq!(cache.stats().misses, 2);
+    }
+}

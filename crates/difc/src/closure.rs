@@ -1,0 +1,254 @@
+//! Authority closures and reduced-authority calls (Section 3.3).
+//!
+//! An *authority closure* is a procedure bound to a principal: it receives
+//! its authority when it is created (and the creator must hold that
+//! authority), and whenever it is invoked it runs with the closure principal
+//! rather than the caller's principal. A *reduced-authority call* runs code
+//! with less authority than the caller — typically the anonymous principal —
+//! so that untrusted helpers cannot declassify anything.
+//!
+//! Both mechanisms restore the caller's principal when the call returns, and
+//! both leave the process *label* alone: contamination picked up inside the
+//! call remains on the caller, which is exactly what makes the mechanisms
+//! safe to expose to untrusted code.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::authority::AuthorityState;
+use crate::error::{DifcError, DifcResult};
+use crate::principal::PrincipalId;
+use crate::process::ProcessState;
+use crate::tag::TagId;
+
+/// Identifier of a registered authority closure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ClosureId(pub u64);
+
+/// Metadata for an authority closure: a named procedure bound to a principal
+/// whose authority it exercises when invoked.
+#[derive(Debug, Clone)]
+pub struct AuthorityClosure {
+    /// The closure's identifier.
+    pub id: ClosureId,
+    /// Human-readable name (e.g. `"driveupdate"`).
+    pub name: String,
+    /// The principal whose authority the closure runs with.
+    pub principal: PrincipalId,
+    /// The tags the closure was certified for at creation time. This is
+    /// informational: authority is always resolved against the live
+    /// authority state, so revoking the closure principal's authority
+    /// disables the closure.
+    pub certified_tags: Vec<TagId>,
+}
+
+/// Registry of authority closures.
+///
+/// The registry checks, at creation time, that the creator actually holds the
+/// authority being bound into the closure, and provides the call-with-bound
+/// principal / call-with-reduced-authority entry points.
+#[derive(Debug, Default)]
+pub struct ClosureRegistry {
+    closures: HashMap<ClosureId, AuthorityClosure>,
+    next_id: AtomicU64,
+}
+
+impl ClosureRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        ClosureRegistry {
+            closures: HashMap::new(),
+            next_id: AtomicU64::new(1),
+        }
+    }
+
+    /// Registers an authority closure.
+    ///
+    /// `creator` must hold authority for every tag in `certified_tags`
+    /// (Section 3.3: "the code that creates it must have the authority being
+    /// granted"). The closure runs as `closure_principal`; typically this is
+    /// a dedicated principal to which the creator delegates exactly the
+    /// needed tags.
+    pub fn create(
+        &mut self,
+        auth: &AuthorityState,
+        creator: PrincipalId,
+        closure_principal: PrincipalId,
+        name: &str,
+        certified_tags: &[TagId],
+    ) -> DifcResult<ClosureId> {
+        for t in certified_tags {
+            if !auth.has_authority(creator, *t) {
+                return Err(DifcError::NoAuthority {
+                    principal: creator,
+                    tag: *t,
+                });
+            }
+        }
+        let id = ClosureId(self.next_id.fetch_add(1, Ordering::Relaxed));
+        self.closures.insert(
+            id,
+            AuthorityClosure {
+                id,
+                name: name.to_string(),
+                principal: closure_principal,
+                certified_tags: certified_tags.to_vec(),
+            },
+        );
+        Ok(id)
+    }
+
+    /// Looks up a closure by id.
+    pub fn get(&self, id: ClosureId) -> DifcResult<&AuthorityClosure> {
+        self.closures.get(&id).ok_or(DifcError::UnknownClosure(id.0))
+    }
+
+    /// Looks up a closure by name.
+    pub fn get_by_name(&self, name: &str) -> Option<&AuthorityClosure> {
+        self.closures.values().find(|c| c.name == name)
+    }
+
+    /// Number of registered closures.
+    pub fn len(&self) -> usize {
+        self.closures.len()
+    }
+
+    /// Returns `true` if no closures are registered.
+    pub fn is_empty(&self) -> bool {
+        self.closures.is_empty()
+    }
+
+    /// Invokes `body` as the authority closure `id`: the process principal is
+    /// switched to the closure principal for the duration of the call and
+    /// restored afterwards (even if the body fails). Contamination acquired
+    /// by the body stays on the process.
+    pub fn call<T>(
+        &self,
+        id: ClosureId,
+        process: &mut ProcessState,
+        body: impl FnOnce(&mut ProcessState) -> DifcResult<T>,
+    ) -> DifcResult<T> {
+        let closure = self.get(id)?;
+        let saved = process.principal();
+        process.set_principal(closure.principal);
+        let result = body(process);
+        process.set_principal(saved);
+        result
+    }
+}
+
+/// Runs `body` with the process temporarily acting as `reduced`, restoring
+/// the original principal afterwards. This is the reduced-authority call of
+/// Section 3.3; passing the anonymous principal removes all authority.
+pub fn call_with_reduced_authority<T>(
+    process: &mut ProcessState,
+    reduced: PrincipalId,
+    body: impl FnOnce(&mut ProcessState) -> DifcResult<T>,
+) -> DifcResult<T> {
+    let saved = process.principal();
+    process.set_principal(reduced);
+    let result = body(process);
+    process.set_principal(saved);
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::label::Label;
+    use crate::principal::PrincipalKind;
+
+    fn setup() -> (AuthorityState, ClosureRegistry, PrincipalId, TagId) {
+        let mut auth = AuthorityState::with_seed(3);
+        let alice = auth.create_principal("alice", PrincipalKind::User);
+        let tag = auth.create_tag(alice, "alice_location", &[]).unwrap();
+        (auth, ClosureRegistry::new(), alice, tag)
+    }
+
+    #[test]
+    fn creation_requires_authority() {
+        let (mut auth, mut reg, alice, tag) = setup();
+        let mallory = auth.create_principal("mallory", PrincipalKind::User);
+        let closure_principal = auth.create_principal("cl", PrincipalKind::Closure);
+        // Mallory does not hold alice's tag, so she cannot bind it.
+        let err = reg
+            .create(&auth, mallory, closure_principal, "bad", &[tag])
+            .unwrap_err();
+        assert!(matches!(err, DifcError::NoAuthority { .. }));
+        // Alice can.
+        assert!(reg
+            .create(&auth, alice, closure_principal, "good", &[tag])
+            .is_ok());
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn call_switches_and_restores_principal() {
+        let (mut auth, mut reg, alice, tag) = setup();
+        let closure_principal = auth.create_principal("driveupdate", PrincipalKind::Closure);
+        auth.delegate(alice, closure_principal, tag, &Label::empty())
+            .unwrap();
+        let id = reg
+            .create(&auth, alice, closure_principal, "driveupdate", &[tag])
+            .unwrap();
+
+        let mut proc = ProcessState::new(auth.anonymous());
+        proc.add_secrecy(tag).unwrap();
+        // Outside the closure, the anonymous process cannot declassify.
+        assert!(proc.declassify(tag, &auth).is_err());
+        // Inside the closure it can, because it runs as the closure principal.
+        reg.call(id, &mut proc, |p| p.declassify(tag, &auth)).unwrap();
+        assert!(proc.label().is_empty());
+        // The principal was restored.
+        assert_eq!(proc.principal(), auth.anonymous());
+    }
+
+    #[test]
+    fn call_restores_principal_on_error() {
+        let (mut auth, mut reg, alice, tag) = setup();
+        let closure_principal = auth.create_principal("cl", PrincipalKind::Closure);
+        let id = reg
+            .create(&auth, alice, closure_principal, "failing", &[tag])
+            .unwrap();
+        let mut proc = ProcessState::new(alice);
+        let result: DifcResult<()> = reg.call(id, &mut proc, |_p| {
+            Err(DifcError::UnknownClosure(999))
+        });
+        assert!(result.is_err());
+        assert_eq!(proc.principal(), alice);
+    }
+
+    #[test]
+    fn reduced_authority_call_drops_authority() {
+        let (auth, _reg, alice, tag) = setup();
+        let mut proc = ProcessState::new(alice);
+        proc.add_secrecy(tag).unwrap();
+        let result = call_with_reduced_authority(&mut proc, auth.anonymous(), |p| {
+            p.declassify(tag, &auth)
+        });
+        assert!(result.is_err(), "reduced call must not declassify alice's tag");
+        assert_eq!(proc.principal(), alice);
+        // Outside the reduced call, Alice can declassify again.
+        let mut proc2 = proc.clone();
+        assert!(proc2.declassify(tag, &auth).is_ok());
+    }
+
+    #[test]
+    fn unknown_closure_errors() {
+        let (_auth, reg, alice, _tag) = setup();
+        let mut proc = ProcessState::new(alice);
+        let err = reg
+            .call(ClosureId(404), &mut proc, |_p| Ok(()))
+            .unwrap_err();
+        assert!(matches!(err, DifcError::UnknownClosure(404)));
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let (mut auth, mut reg, alice, tag) = setup();
+        let cp = auth.create_principal("cl", PrincipalKind::Closure);
+        reg.create(&auth, alice, cp, "traffic_stats", &[tag]).unwrap();
+        assert!(reg.get_by_name("traffic_stats").is_some());
+        assert!(reg.get_by_name("nonexistent").is_none());
+    }
+}

@@ -1,0 +1,153 @@
+//! Error types for the DIFC model.
+
+use std::fmt;
+
+use crate::label::Label;
+use crate::principal::PrincipalId;
+use crate::tag::TagId;
+
+/// Result alias used throughout the DIFC crate.
+pub type DifcResult<T> = Result<T, DifcError>;
+
+/// Errors raised by the DIFC model.
+///
+/// Every error corresponds to a rule in the paper: information-flow
+/// violations, missing authority for a declassification or delegation, or
+/// attempts to modify the authority state while contaminated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DifcError {
+    /// An information flow from `source` to `destination` would violate the
+    /// Information Flow Rule (`source ⊆ destination` is required).
+    FlowViolation {
+        /// Label of the data being moved.
+        source: Label,
+        /// Label of the destination.
+        destination: Label,
+    },
+    /// The principal lacks authority for the given tag.
+    NoAuthority {
+        /// The acting principal.
+        principal: PrincipalId,
+        /// The tag the principal attempted to declassify or delegate.
+        tag: TagId,
+    },
+    /// The authority state may only be modified by a process with an empty
+    /// label (Section 3.2: the authority state is an object with an empty
+    /// label, so contaminated processes must not be able to write it).
+    ContaminatedAuthorityUpdate {
+        /// The label of the process attempting the update.
+        label: Label,
+    },
+    /// A tag id was used that does not exist in the registry.
+    UnknownTag(TagId),
+    /// A principal id was used that does not exist in the registry.
+    UnknownPrincipal(PrincipalId),
+    /// A compound tag was used where an ordinary tag is required, or vice
+    /// versa.
+    WrongTagKind {
+        /// The offending tag.
+        tag: TagId,
+        /// Human-readable explanation.
+        expected: &'static str,
+    },
+    /// The delegation being revoked does not exist.
+    NoSuchDelegation {
+        /// Grantor of the delegation.
+        grantor: PrincipalId,
+        /// Grantee of the delegation.
+        grantee: PrincipalId,
+        /// Tag covered by the delegation.
+        tag: TagId,
+    },
+    /// Adding a tag to the process label would exceed the process clearance
+    /// (used for the transaction clearance rule of Section 5.1).
+    ClearanceExceeded {
+        /// The tag being added.
+        tag: TagId,
+    },
+    /// An output channel with an empty label rejected data from a
+    /// contaminated process.
+    ContaminatedOutput {
+        /// The label of the process attempting the release.
+        label: Label,
+    },
+    /// A closure was invoked that is not registered.
+    UnknownClosure(u64),
+}
+
+impl fmt::Display for DifcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DifcError::FlowViolation {
+                source,
+                destination,
+            } => write!(
+                f,
+                "information flow violation: {source} does not flow to {destination}"
+            ),
+            DifcError::NoAuthority { principal, tag } => {
+                write!(f, "principal {principal} has no authority for tag {tag}")
+            }
+            DifcError::ContaminatedAuthorityUpdate { label } => write!(
+                f,
+                "authority state may only be modified with an empty label (process label is {label})"
+            ),
+            DifcError::UnknownTag(t) => write!(f, "unknown tag {t}"),
+            DifcError::UnknownPrincipal(p) => write!(f, "unknown principal {p}"),
+            DifcError::WrongTagKind { tag, expected } => {
+                write!(f, "tag {tag} has the wrong kind; expected {expected}")
+            }
+            DifcError::NoSuchDelegation {
+                grantor,
+                grantee,
+                tag,
+            } => write!(
+                f,
+                "no delegation of tag {tag} from {grantor} to {grantee} exists"
+            ),
+            DifcError::ClearanceExceeded { tag } => write!(
+                f,
+                "adding tag {tag} would exceed the process clearance (transaction clearance rule)"
+            ),
+            DifcError::ContaminatedOutput { label } => write!(
+                f,
+                "process with label {label} cannot release information to an empty-labeled channel"
+            ),
+            DifcError::UnknownClosure(id) => write!(f, "unknown authority closure {id}"),
+        }
+    }
+}
+
+impl std::error::Error for DifcError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_rule_details() {
+        let err = DifcError::NoAuthority {
+            principal: PrincipalId(7),
+            tag: TagId(42),
+        };
+        let s = err.to_string();
+        assert!(s.contains("principal"));
+        assert!(s.contains(&TagId(42).to_string()));
+    }
+
+    #[test]
+    fn flow_violation_displays_both_labels() {
+        let err = DifcError::FlowViolation {
+            source: Label::from_tags([TagId(1), TagId(2)]),
+            destination: Label::empty(),
+        };
+        let s = err.to_string();
+        assert!(s.contains("does not flow"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(DifcError::UnknownTag(TagId(3)), DifcError::UnknownTag(TagId(3)));
+        assert_ne!(DifcError::UnknownTag(TagId(3)), DifcError::UnknownTag(TagId(4)));
+    }
+}

@@ -1,0 +1,46 @@
+//! Decentralized information flow control (DIFC) model used by IFDB.
+//!
+//! This crate implements the Aeolus-style DIFC model described in Section 3
+//! of *IFDB: Decentralized Information Flow Control for Databases*
+//! (Schultz & Liskov, EuroSys 2013):
+//!
+//! * [`tag`] — tags and compound tags, the unit of sensitivity.
+//! * [`label`] — labels, i.e. sets of tags, with the subset ordering that
+//!   defines permitted information flows.
+//! * [`principal`] — principals, the entities that own tags and hold
+//!   authority.
+//! * [`authority`] — the authority state: tag ownership, delegation and
+//!   revocation, and the rules for when a principal may declassify a tag.
+//! * [`process`] — per-process label state: contamination, explicit label
+//!   changes, declassification and clearance.
+//! * [`closure`] — authority closures and reduced-authority calls, the two
+//!   least-privilege mechanisms of Section 3.3.
+//! * [`cache`] — a read-through authority cache modelling the shared-memory
+//!   cache used by PHP-IF (Section 7.2).
+//! * [`audit`] — an audit trail of declassifications and authority changes.
+//!
+//! The crate is deliberately independent of the database: the same model
+//! objects are shared by the storage engine, the query engine, and the
+//! application platform, mirroring the paper's uniform set of abstractions.
+
+pub mod audit;
+pub mod authority;
+pub mod cache;
+pub mod closure;
+pub mod error;
+pub mod label;
+pub mod principal;
+pub mod process;
+pub mod tag;
+
+pub use authority::{AuthorityState, Delegation};
+pub use cache::AuthorityCache;
+pub use closure::{AuthorityClosure, ClosureRegistry};
+pub use error::{DifcError, DifcResult};
+pub use label::Label;
+pub use principal::{Principal, PrincipalId};
+pub use process::ProcessState;
+pub use tag::{Tag, TagId, TagKind};
+
+#[cfg(test)]
+mod model_tests;

@@ -1,0 +1,191 @@
+//! Cross-module and property-based tests for the DIFC model.
+
+use proptest::prelude::*;
+
+use crate::authority::AuthorityState;
+use crate::label::Label;
+use crate::principal::PrincipalKind;
+use crate::process::ProcessState;
+use crate::tag::TagId;
+
+fn lbl(ids: &[u64]) -> Label {
+    Label::from_tags(ids.iter().copied().map(TagId))
+}
+
+// ---------------------------------------------------------------------
+// Scenario tests exercising the paper's running examples.
+// ---------------------------------------------------------------------
+
+/// The medical example of Section 3.2: Bob delegates authority for his
+/// medical tag to his doctor, who may then declassify Bob's record to send it
+/// to the doctor's browser.
+#[test]
+fn medical_delegation_scenario() {
+    let mut auth = AuthorityState::with_seed(1001);
+    let bob = auth.create_principal("bob", PrincipalKind::User);
+    let doctor = auth.create_principal("dr_jones", PrincipalKind::User);
+    let bob_medical = auth.create_tag(bob, "bob_medical", &[]).unwrap();
+
+    // The doctor's request handler reads Bob's record and becomes
+    // contaminated.
+    let mut handler = ProcessState::new(doctor);
+    handler.add_secrecy(bob_medical).unwrap();
+    assert!(handler.check_release_to_world().is_err());
+
+    // Without a delegation the doctor cannot declassify.
+    assert!(handler.declassify(bob_medical, &auth).is_err());
+
+    // Bob delegates; now the handler can declassify and respond.
+    auth.delegate(bob, doctor, bob_medical, &Label::empty())
+        .unwrap();
+    handler.declassify(bob_medical, &auth).unwrap();
+    assert!(handler.check_release_to_world().is_ok());
+}
+
+/// The CarTel labeling scheme of Section 6.1: raw GPS points carry
+/// {alice_drives, alice_location}; the drive-update closure may declassify
+/// only alice_location, so anything it writes stays contaminated with
+/// alice_drives.
+#[test]
+fn cartel_drive_processing_scenario() {
+    let mut auth = AuthorityState::with_seed(1002);
+    let alice = auth.create_principal("alice", PrincipalKind::User);
+    let closure_principal = auth.create_principal("driveupdate", PrincipalKind::Closure);
+    let alice_drives = auth.create_tag(alice, "alice_drives", &[]).unwrap();
+    let alice_location = auth.create_tag(alice, "alice_location", &[]).unwrap();
+    auth.delegate(alice, closure_principal, alice_location, &Label::empty())
+        .unwrap();
+
+    let mut proc = ProcessState::new(closure_principal);
+    proc.raise_to(&Label::from_tags([alice_drives, alice_location]))
+        .unwrap();
+    // The closure may drop the location tag (it only writes drive summaries)...
+    proc.declassify(alice_location, &auth).unwrap();
+    // ...but not the drives tag, so its output remains protected.
+    assert!(proc.declassify(alice_drives, &auth).is_err());
+    assert_eq!(proc.label(), &Label::singleton(alice_drives));
+}
+
+/// Unauthenticated CarTel scripts run as the anonymous principal: they can
+/// read (raising their label) but can never produce output, which is how the
+/// ported application fixed the missing-authentication bugs (Section 6.1).
+#[test]
+fn unauthenticated_script_cannot_release() {
+    let mut auth = AuthorityState::with_seed(1003);
+    let alice = auth.create_principal("alice", PrincipalKind::User);
+    let alice_drives = auth.create_tag(alice, "alice_drives", &[]).unwrap();
+
+    let mut script = ProcessState::new(auth.anonymous());
+    script.add_secrecy(alice_drives).unwrap();
+    assert!(script.declassify(alice_drives, &auth).is_err());
+    assert!(script.check_release_to_world().is_err());
+}
+
+// ---------------------------------------------------------------------
+// Property-based tests of the label lattice.
+// ---------------------------------------------------------------------
+
+fn arb_label() -> impl Strategy<Value = Label> {
+    proptest::collection::vec(0u64..32, 0..8).prop_map(|v| lbl(&v))
+}
+
+proptest! {
+    /// The subset relation is a partial order: reflexive and transitive, and
+    /// antisymmetric because labels are canonical (sorted, deduplicated).
+    #[test]
+    fn prop_subset_partial_order(a in arb_label(), b in arb_label(), c in arb_label()) {
+        prop_assert!(a.is_subset_of(&a));
+        if a.is_subset_of(&b) && b.is_subset_of(&c) {
+            prop_assert!(a.is_subset_of(&c));
+        }
+        if a.is_subset_of(&b) && b.is_subset_of(&a) {
+            prop_assert_eq!(a.clone(), b.clone());
+        }
+    }
+
+    /// Union is the least upper bound of the lattice: both operands flow to
+    /// the union, and the union flows to anything both operands flow to.
+    #[test]
+    fn prop_union_is_least_upper_bound(a in arb_label(), b in arb_label(), c in arb_label()) {
+        let u = a.union(&b);
+        prop_assert!(a.can_flow_to(&u));
+        prop_assert!(b.can_flow_to(&u));
+        if a.can_flow_to(&c) && b.can_flow_to(&c) {
+            prop_assert!(u.can_flow_to(&c));
+        }
+    }
+
+    /// Union is commutative, associative and idempotent.
+    #[test]
+    fn prop_union_semilattice(a in arb_label(), b in arb_label(), c in arb_label()) {
+        prop_assert_eq!(a.union(&b), b.union(&a));
+        prop_assert_eq!(a.union(&b).union(&c), a.union(&b.union(&c)));
+        prop_assert_eq!(a.union(&a), a.clone());
+    }
+
+    /// Difference and union interact as expected: (a \ b) ∪ (a ∩ b) = a.
+    #[test]
+    fn prop_difference_partition(a in arb_label(), b in arb_label()) {
+        let diff = a.difference(&b);
+        let inter = a.intersection(&b);
+        prop_assert_eq!(diff.union(&inter), a.clone());
+        // The difference shares no tags with b.
+        prop_assert!(diff.intersection(&b).is_empty());
+    }
+
+    /// Symmetric difference is commutative and empty exactly when the labels
+    /// are equal — the property the Foreign Key Rule relies on (no authority
+    /// needed when the two tuples have identical labels).
+    #[test]
+    fn prop_symmetric_difference(a in arb_label(), b in arb_label()) {
+        prop_assert_eq!(a.symmetric_difference(&b), b.symmetric_difference(&a));
+        prop_assert_eq!(a.symmetric_difference(&b).is_empty(), a == b);
+    }
+
+    /// Array round-trips preserve labels (the `_label` column encoding).
+    #[test]
+    fn prop_label_array_round_trip(a in arb_label()) {
+        prop_assert_eq!(Label::from_array(&a.to_array()), a.clone());
+    }
+
+    /// Adding then removing a tag returns to the original label when the tag
+    /// was absent; removing is always the inverse of adding for fresh tags.
+    #[test]
+    fn prop_with_without_inverse(a in arb_label(), t in 100u64..200) {
+        let tag = TagId(t);
+        prop_assert!(!a.contains(tag));
+        prop_assert_eq!(a.with_tag(tag).without_tag(tag), a.clone());
+    }
+}
+
+proptest! {
+    /// Declassification only ever removes tags the principal is authoritative
+    /// for, and never adds tags.
+    #[test]
+    fn prop_declassify_monotone(owned_count in 0usize..5, extra_count in 0usize..5) {
+        let mut auth = AuthorityState::with_seed(2000);
+        let user = auth.create_principal("user", PrincipalKind::User);
+        let other = auth.create_principal("other", PrincipalKind::User);
+        let owned: Vec<TagId> = (0..owned_count)
+            .map(|i| auth.create_tag(user, &format!("own{i}"), &[]).unwrap())
+            .collect();
+        let extra: Vec<TagId> = (0..extra_count)
+            .map(|i| auth.create_tag(other, &format!("ext{i}"), &[]).unwrap())
+            .collect();
+
+        let mut proc = ProcessState::new(user);
+        let full = Label::from_tags(owned.iter().chain(extra.iter()).copied());
+        proc.raise_to(&full).unwrap();
+
+        for t in owned.iter().chain(extra.iter()) {
+            let _ = proc.declassify(*t, &auth);
+        }
+        // Every owned tag was removed; every foreign tag remains.
+        for t in &owned {
+            prop_assert!(!proc.label().contains(*t));
+        }
+        for t in &extra {
+            prop_assert!(proc.label().contains(*t));
+        }
+    }
+}

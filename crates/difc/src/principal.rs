@@ -1,0 +1,91 @@
+//! Principals: the entities with security interests.
+//!
+//! Authority in IFDB is bound to principals — users, roles, closures, and
+//! services. Every process runs on behalf of some principal, and tags are
+//! owned by the principal that created them (Section 3.2).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a principal.
+///
+/// Like tag ids, principal ids are allocated from a cryptographic PRNG to
+/// avoid allocation-order covert channels (Section 7.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PrincipalId(pub u64);
+
+impl fmt::Display for PrincipalId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{:x}", self.0)
+    }
+}
+
+/// The role a principal plays in the system. This is purely descriptive; the
+/// authority rules treat all principals uniformly, which is exactly the point
+/// of decentralized IFC (even the administrator gets no implicit authority to
+/// declassify, Section 3.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PrincipalKind {
+    /// A human user of an application (e.g. Alice).
+    User,
+    /// An application-defined role (e.g. the HotCRP program chair).
+    Role,
+    /// A principal created to hold the authority of an authority closure.
+    Closure,
+    /// A service or daemon principal (e.g. the CarTel ingest daemon).
+    Service,
+    /// The database administrator. Administrators define schemas but have no
+    /// authority to declassify tags they do not own.
+    Administrator,
+}
+
+/// Metadata describing a principal.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Principal {
+    /// The principal's identifier.
+    pub id: PrincipalId,
+    /// Human-readable name, e.g. `"alice"`.
+    pub name: String,
+    /// The descriptive kind of the principal.
+    pub kind: PrincipalKind,
+}
+
+impl Principal {
+    /// Returns `true` if the principal is the distinguished "anonymous"
+    /// principal used for unauthenticated requests. Anonymous principals own
+    /// no tags and hold no delegations, so (as in the CarTel case study) an
+    /// unauthenticated script cannot declassify anything.
+    pub fn is_anonymous(&self) -> bool {
+        self.name == ANONYMOUS_NAME
+    }
+}
+
+/// The reserved name of the anonymous principal.
+pub const ANONYMOUS_NAME: &str = "<anonymous>";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(PrincipalId(16).to_string(), "p10");
+    }
+
+    #[test]
+    fn anonymous_detection() {
+        let p = Principal {
+            id: PrincipalId(1),
+            name: ANONYMOUS_NAME.to_string(),
+            kind: PrincipalKind::User,
+        };
+        assert!(p.is_anonymous());
+        let q = Principal {
+            id: PrincipalId(2),
+            name: "alice".to_string(),
+            kind: PrincipalKind::User,
+        };
+        assert!(!q.is_anonymous());
+    }
+}

@@ -1,0 +1,264 @@
+//! Per-process label state.
+//!
+//! Every process (an application request handler, a database session, a
+//! stored procedure invocation) carries a secrecy label that grows as the
+//! process reads sensitive data, and shrinks only through explicit
+//! declassification backed by authority. IFDB requires all label changes to
+//! be explicit (Section 4.2): implicit contamination is still *tracked*, but
+//! a query only sees tuples already covered by the label the process chose.
+
+use serde::{Deserialize, Serialize};
+
+use crate::authority::AuthorityState;
+use crate::error::{DifcError, DifcResult};
+use crate::label::Label;
+use crate::principal::PrincipalId;
+use crate::tag::TagId;
+
+/// The DIFC state of a single process.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProcessState {
+    /// The principal on whose behalf the process runs.
+    principal: PrincipalId,
+    /// The current secrecy label of the process.
+    label: Label,
+    /// Optional clearance: an upper bound on the label. Used to implement
+    /// the transaction clearance rule of Section 5.1 when serializable
+    /// isolation is requested.
+    clearance: Option<Label>,
+    /// Count of explicit label changes, used by the wire protocol to decide
+    /// when the label must be re-synchronized with the database.
+    label_epoch: u64,
+}
+
+impl ProcessState {
+    /// Creates a new process running with an empty label on behalf of
+    /// `principal`.
+    pub fn new(principal: PrincipalId) -> Self {
+        ProcessState {
+            principal,
+            label: Label::empty(),
+            clearance: None,
+            label_epoch: 0,
+        }
+    }
+
+    /// The principal the process acts for.
+    pub fn principal(&self) -> PrincipalId {
+        self.principal
+    }
+
+    /// Switches the acting principal (e.g. after authentication, or for a
+    /// reduced-authority call). The label is unaffected.
+    pub fn set_principal(&mut self, principal: PrincipalId) {
+        self.principal = principal;
+    }
+
+    /// The current secrecy label.
+    pub fn label(&self) -> &Label {
+        &self.label
+    }
+
+    /// Monotonic counter of explicit label changes.
+    pub fn label_epoch(&self) -> u64 {
+        self.label_epoch
+    }
+
+    /// The clearance (upper bound on the label), if any.
+    pub fn clearance(&self) -> Option<&Label> {
+        self.clearance.as_ref()
+    }
+
+    /// Installs a clearance. Subsequent [`ProcessState::add_secrecy`] calls
+    /// that would exceed the clearance fail with
+    /// [`DifcError::ClearanceExceeded`].
+    pub fn set_clearance(&mut self, clearance: Option<Label>) {
+        self.clearance = clearance;
+    }
+
+    /// Adds `tag` to the process label ("addsecrecy" in the paper's SQL API).
+    ///
+    /// Raising the label requires no authority — any process may contaminate
+    /// itself — unless a clearance is installed.
+    pub fn add_secrecy(&mut self, tag: TagId) -> DifcResult<()> {
+        if let Some(clr) = &self.clearance {
+            if !clr.contains(tag) {
+                return Err(DifcError::ClearanceExceeded { tag });
+            }
+        }
+        self.label = self.label.with_tag(tag);
+        self.label_epoch += 1;
+        Ok(())
+    }
+
+    /// Raises the label to the union with `other` (e.g. after reading data
+    /// labeled `other` through a channel that performs implicit tracking).
+    pub fn raise_to(&mut self, other: &Label) -> DifcResult<()> {
+        if let Some(clr) = &self.clearance {
+            for t in other.iter() {
+                if !clr.contains(t) {
+                    return Err(DifcError::ClearanceExceeded { tag: t });
+                }
+            }
+        }
+        let next = self.label.union(other);
+        if next != self.label {
+            self.label = next;
+            self.label_epoch += 1;
+        }
+        Ok(())
+    }
+
+    /// Removes `tag` from the process label.
+    ///
+    /// Declassification requires the acting principal to be authoritative for
+    /// the tag (directly, through delegation, or through an enclosing
+    /// compound tag).
+    pub fn declassify(&mut self, tag: TagId, auth: &AuthorityState) -> DifcResult<()> {
+        if !auth.has_authority(self.principal, tag) {
+            return Err(DifcError::NoAuthority {
+                principal: self.principal,
+                tag,
+            });
+        }
+        self.label = self.label.without_tag(tag);
+        self.label_epoch += 1;
+        Ok(())
+    }
+
+    /// Removes every tag of `tags` from the label, checking authority for
+    /// each. Either all are removed or none (the check happens up front).
+    pub fn declassify_all(&mut self, tags: &Label, auth: &AuthorityState) -> DifcResult<()> {
+        for t in tags.iter() {
+            if !auth.has_authority(self.principal, t) {
+                return Err(DifcError::NoAuthority {
+                    principal: self.principal,
+                    tag: t,
+                });
+            }
+        }
+        for t in tags.iter() {
+            self.label = self.label.without_tag(t);
+        }
+        self.label_epoch += 1;
+        Ok(())
+    }
+
+    /// Replaces the label wholesale. The caller must ensure the change is
+    /// legal; this is used by authority closures to restore the caller's
+    /// label state on return and by tests.
+    pub fn set_label_unchecked(&mut self, label: Label) {
+        if label != self.label {
+            self.label = label;
+            self.label_epoch += 1;
+        }
+    }
+
+    /// Checks that the process may release information to a destination with
+    /// the given label (the web client and other external channels have an
+    /// empty label).
+    pub fn check_release(&self, destination: &Label) -> DifcResult<()> {
+        if self.label.can_flow_to(destination) {
+            Ok(())
+        } else {
+            Err(DifcError::ContaminatedOutput {
+                label: self.label.clone(),
+            })
+        }
+    }
+
+    /// Convenience: checks release to the outside world (empty label).
+    pub fn check_release_to_world(&self) -> DifcResult<()> {
+        self.check_release(&Label::empty())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::principal::PrincipalKind;
+
+    fn setup() -> (AuthorityState, ProcessState, TagId, TagId) {
+        let mut auth = AuthorityState::with_seed(7);
+        let alice = auth.create_principal("alice", PrincipalKind::User);
+        let bob = auth.create_principal("bob", PrincipalKind::User);
+        let alice_tag = auth.create_tag(alice, "alice_medical", &[]).unwrap();
+        let bob_tag = auth.create_tag(bob, "bob_medical", &[]).unwrap();
+        (auth, ProcessState::new(alice), alice_tag, bob_tag)
+    }
+
+    #[test]
+    fn starts_uncontaminated() {
+        let (_, p, _, _) = setup();
+        assert!(p.label().is_empty());
+        assert!(p.check_release_to_world().is_ok());
+    }
+
+    #[test]
+    fn contamination_blocks_release() {
+        let (_, mut p, alice_tag, _) = setup();
+        p.add_secrecy(alice_tag).unwrap();
+        assert!(matches!(
+            p.check_release_to_world().unwrap_err(),
+            DifcError::ContaminatedOutput { .. }
+        ));
+        // Release to an equally-contaminated destination is fine.
+        assert!(p.check_release(&Label::singleton(alice_tag)).is_ok());
+    }
+
+    #[test]
+    fn declassify_requires_authority() {
+        let (auth, mut p, alice_tag, bob_tag) = setup();
+        p.add_secrecy(alice_tag).unwrap();
+        p.add_secrecy(bob_tag).unwrap();
+        // Alice owns alice_tag, so she may remove it...
+        p.declassify(alice_tag, &auth).unwrap();
+        assert!(!p.label().contains(alice_tag));
+        // ...but not Bob's tag.
+        let err = p.declassify(bob_tag, &auth).unwrap_err();
+        assert!(matches!(err, DifcError::NoAuthority { .. }));
+        assert!(p.label().contains(bob_tag));
+    }
+
+    #[test]
+    fn declassify_all_is_atomic() {
+        let (auth, mut p, alice_tag, bob_tag) = setup();
+        p.add_secrecy(alice_tag).unwrap();
+        p.add_secrecy(bob_tag).unwrap();
+        let both = Label::from_tags([alice_tag, bob_tag]);
+        assert!(p.declassify_all(&both, &auth).is_err());
+        // Nothing was removed because the authority check failed up front.
+        assert_eq!(p.label(), &both);
+    }
+
+    #[test]
+    fn clearance_limits_contamination() {
+        let (_, mut p, alice_tag, bob_tag) = setup();
+        p.set_clearance(Some(Label::singleton(alice_tag)));
+        p.add_secrecy(alice_tag).unwrap();
+        let err = p.add_secrecy(bob_tag).unwrap_err();
+        assert!(matches!(err, DifcError::ClearanceExceeded { .. }));
+    }
+
+    #[test]
+    fn raise_to_unions_labels() {
+        let (_, mut p, alice_tag, bob_tag) = setup();
+        p.raise_to(&Label::from_tags([alice_tag, bob_tag])).unwrap();
+        assert_eq!(p.label().len(), 2);
+    }
+
+    #[test]
+    fn label_epoch_tracks_changes() {
+        let (auth, mut p, alice_tag, _) = setup();
+        let e0 = p.label_epoch();
+        p.add_secrecy(alice_tag).unwrap();
+        assert!(p.label_epoch() > e0);
+        let e1 = p.label_epoch();
+        // Re-adding the same tag changes nothing but still counts as an
+        // explicit label operation only when the label actually changes.
+        p.raise_to(&Label::singleton(alice_tag)).unwrap();
+        assert_eq!(p.label_epoch(), e1);
+        p.declassify(alice_tag, &auth).unwrap();
+        assert!(p.label_epoch() > e1);
+    }
+}

@@ -1,0 +1,105 @@
+//! Tags and compound tags.
+//!
+//! A *tag* is an opaque identifier attached to data to denote a particular
+//! sensitivity concern, e.g. `alice-location` or `bob-contact` (Section 3.1).
+//! Tags can be grouped into *compound tags* so that computations over many
+//! users' data can be described with a single tag (e.g. `all-locations`).
+//! Membership of a tag in its compounds is fixed at creation time: IFDB does
+//! not allow the links to change later, because doing so would effectively
+//! relabel all data protected by the tag.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a tag.
+///
+/// Tag ids are allocated from a cryptographic pseudorandom number generator
+/// (see [`crate::authority::AuthorityState::create_tag`]) so that the
+/// allocation order does not become a covert channel (Section 7.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TagId(pub u64);
+
+impl fmt::Display for TagId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{:x}", self.0)
+    }
+}
+
+/// Whether a tag is an ordinary (leaf) tag or a compound tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TagKind {
+    /// An ordinary tag attached directly to data.
+    Ordinary,
+    /// A compound tag grouping a set of member tags.
+    Compound,
+}
+
+/// Metadata describing a tag.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Tag {
+    /// The tag's identifier.
+    pub id: TagId,
+    /// Human-readable name, e.g. `"alice_medical"`.
+    pub name: String,
+    /// Whether this is an ordinary or compound tag.
+    pub kind: TagKind,
+    /// The principal that owns this tag (owners have complete authority).
+    pub owner: crate::principal::PrincipalId,
+    /// The compound tags this tag is a member of (immutable after creation).
+    pub compounds: Vec<TagId>,
+}
+
+impl Tag {
+    /// Returns `true` if this tag is a compound tag.
+    pub fn is_compound(&self) -> bool {
+        self.kind == TagKind::Compound
+    }
+
+    /// Returns `true` if this tag is a direct member of `compound`.
+    pub fn is_member_of(&self, compound: TagId) -> bool {
+        self.compounds.contains(&compound)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::principal::PrincipalId;
+
+    fn mk(id: u64, kind: TagKind, compounds: Vec<TagId>) -> Tag {
+        Tag {
+            id: TagId(id),
+            name: format!("tag{id}"),
+            kind,
+            owner: PrincipalId(1),
+            compounds,
+        }
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(TagId(255).to_string(), "tff");
+    }
+
+    #[test]
+    fn compound_membership() {
+        let compound = TagId(99);
+        let t = mk(1, TagKind::Ordinary, vec![compound]);
+        assert!(t.is_member_of(compound));
+        assert!(!t.is_member_of(TagId(98)));
+        assert!(!t.is_compound());
+    }
+
+    #[test]
+    fn compound_kind() {
+        let c = mk(99, TagKind::Compound, vec![]);
+        assert!(c.is_compound());
+    }
+
+    #[test]
+    fn tag_ids_order_by_value() {
+        assert!(TagId(1) < TagId(2));
+        assert_eq!(TagId(7), TagId(7));
+    }
+}

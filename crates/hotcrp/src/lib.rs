@@ -1,0 +1,210 @@
+//! HotCRP: the conference-management case study (Section 6.2).
+//!
+//! Authors submit papers, reviewers enter evaluations, and the program
+//! committee records acceptance decisions. The IFDB port protects contact
+//! information, reviews and decisions with tags:
+//!
+//! * each user's `ContactInfo` tuple carries `<user>_contact`, a member of
+//!   the `all_contacts` compound tag;
+//! * the `PCMembers` declassifying view (authority: the chair, who owns
+//!   `all_contacts`) distills the public list of PC members from the
+//!   sensitive table;
+//! * each acceptance decision carries a per-paper tag owned by the chair and
+//!   is released by delegating that tag to the authors when results go out;
+//! * each review carries a per-review tag that only the review author and the
+//!   chair control; a chair closure later delegates it to non-conflicted PC
+//!   members.
+
+pub mod policy;
+pub mod schema;
+pub mod scripts;
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use ifdb::{Database, DatabaseConfig};
+use ifdb_platform::{AppServer, Authenticator, ServerConfig};
+
+pub use policy::{HotcrpPolicy, PaperHandle, PersonHandle};
+
+/// Configuration for building a HotCRP deployment.
+#[derive(Debug, Clone)]
+pub struct HotcrpConfig {
+    /// Number of registered users (the first `pc_members` of them are on the
+    /// program committee; user 0 is the chair).
+    pub users: usize,
+    /// Number of PC members.
+    pub pc_members: usize,
+    /// Number of submitted papers.
+    pub papers: usize,
+    /// Whether DIFC is enabled.
+    pub difc: bool,
+    /// RNG / authority seed.
+    pub seed: u64,
+}
+
+impl Default for HotcrpConfig {
+    fn default() -> Self {
+        HotcrpConfig {
+            users: 8,
+            pc_members: 3,
+            papers: 4,
+            difc: true,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+/// A complete HotCRP deployment.
+pub struct HotcrpApp {
+    /// The database.
+    pub db: Database,
+    /// Principals, tags and delegations.
+    pub policy: Arc<HotcrpPolicy>,
+    /// The web application server.
+    pub server: Arc<AppServer>,
+}
+
+impl HotcrpApp {
+    /// Builds a deployment with synthetic users, papers and reviews.
+    pub fn build(config: &HotcrpConfig) -> Self {
+        let db = Database::new(
+            DatabaseConfig::in_memory()
+                .with_difc(config.difc)
+                .with_seed(config.seed),
+        );
+        schema::create_schema(&db).expect("schema");
+        let policy = Arc::new(HotcrpPolicy::bootstrap(&db, config));
+        let auth = Arc::new(Authenticator::new());
+        for person in policy.people() {
+            auth.register(&person.username, &person.password, person.principal);
+        }
+        let server = Arc::new(AppServer::new(
+            db.clone(),
+            auth,
+            ServerConfig {
+                base_request_cost: Duration::ZERO,
+                ifc_request_cost: Duration::ZERO,
+                ifc_enabled: config.difc,
+            },
+        ));
+        scripts::register_scripts(&server, policy.clone());
+        HotcrpApp { db, policy, server }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ifdb_platform::Request;
+
+    fn app() -> HotcrpApp {
+        HotcrpApp::build(&HotcrpConfig::default())
+    }
+
+    #[test]
+    fn pc_member_list_is_public_via_declassifying_view() {
+        let app = app();
+        // Even an unauthenticated client may see who is on the PC.
+        let resp = app.server.handle(&Request::new("pc_members.php"));
+        assert!(resp.is_ok(), "error: {:?}", resp.error);
+        assert_eq!(resp.body.len(), 3, "three PC members are listed");
+    }
+
+    #[test]
+    fn contact_info_leak_is_blocked() {
+        // The historical bug: a script that dumped full contact information
+        // for every registered user. Under IFDB the script contaminates
+        // itself with tags it cannot declassify and produces nothing.
+        let app = app();
+        let outsider = &app.policy.people()[5];
+        let resp = app
+            .server
+            .handle(&Request::new("users.php").as_user(&outsider.username));
+        assert!(
+            resp.body.is_empty(),
+            "full contact info must never be released"
+        );
+    }
+
+    #[test]
+    fn decisions_hidden_until_released_even_via_search() {
+        let app = app();
+        let paper = &app.policy.papers()[0];
+        let author = app.policy.person(paper.author).unwrap();
+        // The chair has recorded a decision, but results are not released:
+        // the author's search/status pages show no decision tuples at all
+        // (the premature-visibility bugs of Section 6.2).
+        for script in ["paper_status.php", "search.php"] {
+            let resp = app.server.handle(
+                &Request::new(script)
+                    .as_user(&author.username)
+                    .param("paper", &paper.paperid.to_string())
+                    .param("q", "accept"),
+            );
+            assert!(
+                !resp.body.iter().any(|l| l.contains("accept") || l.contains("reject")),
+                "{script} leaked a decision: {:?}",
+                resp.body
+            );
+        }
+        // After the chair releases decisions, the author sees the outcome.
+        app.policy.release_decisions(&app.db).unwrap();
+        let resp = app.server.handle(
+            &Request::new("paper_status.php")
+                .as_user(&author.username)
+                .param("paper", &paper.paperid.to_string()),
+        );
+        assert!(resp.is_ok(), "error: {:?}", resp.error);
+        assert!(resp
+            .body
+            .iter()
+            .any(|l| l.contains("accept") || l.contains("reject")));
+    }
+
+    #[test]
+    fn reviews_visible_only_to_chair_and_review_author_before_delegation() {
+        let app = app();
+        let paper = &app.policy.papers()[0];
+        let reviewer = app.policy.person(paper.reviewer).unwrap();
+        let chair = &app.policy.people()[0];
+        let other_pc = &app.policy.people()[2];
+
+        // The review author and the chair can read the review.
+        for user in [reviewer, chair] {
+            let resp = app.server.handle(
+                &Request::new("review.php")
+                    .as_user(&user.username)
+                    .param("paper", &paper.paperid.to_string()),
+            );
+            assert!(!resp.body.is_empty(), "{} should see the review", user.username);
+        }
+        // Another PC member cannot, until the chair's closure delegates the
+        // review tag to eligible members.
+        let resp = app.server.handle(
+            &Request::new("review.php")
+                .as_user(&other_pc.username)
+                .param("paper", &paper.paperid.to_string()),
+        );
+        assert!(resp.body.is_empty());
+
+        app.policy
+            .delegate_reviews_to_pc(&app.db, paper.paperid)
+            .unwrap();
+        let resp = app.server.handle(
+            &Request::new("review.php")
+                .as_user(&other_pc.username)
+                .param("paper", &paper.paperid.to_string()),
+        );
+        assert!(!resp.body.is_empty());
+    }
+
+    #[test]
+    fn trusted_base_is_small() {
+        let app = app();
+        // Exactly the declassifying view plus the authority-bearing closures
+        // count as trusted catalog objects.
+        assert!(app.db.trusted_component_count() >= 1);
+        assert!(app.db.trusted_component_count() <= 5);
+    }
+}

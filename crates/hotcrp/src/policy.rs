@@ -1,0 +1,305 @@
+//! The HotCRP confidentiality policy: principals, tags, views and
+//! delegations.
+
+use std::sync::Arc;
+
+use ifdb::prelude::*;
+use ifdb::{Database, IfdbResult, ViewSource};
+
+use crate::HotcrpConfig;
+
+/// A registered user (author, reviewer or chair).
+#[derive(Debug, Clone)]
+pub struct PersonHandle {
+    /// The contactId in the ContactInfo table.
+    pub id: i64,
+    /// Login name.
+    pub username: String,
+    /// Password registered with the authenticator.
+    pub password: String,
+    /// The principal requests act as.
+    pub principal: PrincipalId,
+    /// Tag protecting the person's ContactInfo tuple.
+    pub contact_tag: TagId,
+    /// Whether the person is on the program committee.
+    pub is_pc: bool,
+}
+
+/// A submitted paper, its review, and its protected decision.
+#[derive(Debug, Clone)]
+pub struct PaperHandle {
+    /// Paper id.
+    pub paperid: i64,
+    /// Title.
+    pub title: String,
+    /// contactId of the author.
+    pub author: i64,
+    /// contactId of the assigned reviewer (a PC member).
+    pub reviewer: i64,
+    /// Tag protecting the acceptance decision (owned by the chair).
+    pub decision_tag: TagId,
+    /// Tag protecting the review (owned by the reviewer, delegated to the
+    /// chair).
+    pub review_tag: TagId,
+}
+
+/// The instantiated authority schema plus loaded sample data.
+pub struct HotcrpPolicy {
+    people: Vec<PersonHandle>,
+    papers: Vec<PaperHandle>,
+    /// The chair's principal (person 0).
+    pub chair: PrincipalId,
+    /// Compound tag over every contact tag, owned by the chair.
+    pub all_contacts: TagId,
+}
+
+impl std::fmt::Debug for HotcrpPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HotcrpPolicy")
+            .field("people", &self.people.len())
+            .field("papers", &self.papers.len())
+            .finish()
+    }
+}
+
+impl HotcrpPolicy {
+    /// Creates principals, tags, the PCMembers declassifying view, and loads
+    /// contact info, papers, reviews and (unreleased) decisions.
+    pub fn bootstrap(db: &Database, config: &HotcrpConfig) -> Self {
+        assert!(config.pc_members >= 1 && config.users > config.pc_members);
+        let mut people = Vec::new();
+
+        // Person 0 is the chair and owns the all_contacts compound.
+        let chair_principal = db.create_principal("chair", PrincipalKind::Role);
+        let all_contacts = db
+            .create_compound_tag(chair_principal, "all_contacts", &[])
+            .expect("compound");
+
+        for i in 0..config.users {
+            let username = if i == 0 {
+                "chair".to_string()
+            } else {
+                format!("person{i}")
+            };
+            let principal = if i == 0 {
+                chair_principal
+            } else {
+                db.create_principal(&username, PrincipalKind::User)
+            };
+            let contact_tag = db
+                .create_tag(principal, &format!("{username}_contact"), &[all_contacts])
+                .expect("contact tag");
+            people.push(PersonHandle {
+                id: i as i64 + 1,
+                username: username.clone(),
+                password: format!("pw-{username}"),
+                principal,
+                contact_tag,
+                is_pc: i < config.pc_members,
+            });
+        }
+
+        // The PCMembers declassifying view: the chair owns all_contacts and
+        // binds that authority into the view (Section 4.3).
+        db.create_declassifying_view(
+            chair_principal,
+            "PCMembers",
+            ViewSource::Select(
+                Select::star("ContactInfo")
+                    .filter(Predicate::Eq("isPCMember".into(), Datum::Bool(true)))
+                    .project(&["firstName", "lastName"]),
+            ),
+            Label::singleton(all_contacts),
+        )
+        .expect("PCMembers view");
+
+        // Load contact info: each person writes their own row under their
+        // contact tag.
+        for person in &people {
+            let mut s = db.session(person.principal);
+            s.add_secrecy(person.contact_tag).expect("raise contact tag");
+            s.insert(&Insert::new(
+                "ContactInfo",
+                vec![
+                    Datum::Int(person.id),
+                    Datum::Text(format!("First{}", person.id)),
+                    Datum::Text(format!("Last{}", person.id)),
+                    Datum::Text(format!("{}@example.org", person.username)),
+                    Datum::from("Example University"),
+                    Datum::Bool(person.is_pc),
+                ],
+            ))
+            .expect("contact insert");
+        }
+
+        // Papers, reviews and decisions.
+        let mut papers = Vec::new();
+        let authors: Vec<&PersonHandle> = people.iter().filter(|p| !p.is_pc).collect();
+        let reviewers: Vec<&PersonHandle> = people.iter().filter(|p| p.is_pc).collect();
+        for i in 0..config.papers {
+            let paperid = i as i64 + 1;
+            let author = authors[i % authors.len()];
+            let reviewer = reviewers[1 % reviewers.len().max(1)];
+            let title = format!("Paper {paperid}: Information Flow for Fun and Profit");
+
+            // Paper metadata is public; the chair records it.
+            let mut chair_session = db.session(chair_principal);
+            chair_session
+                .insert(&Insert::new(
+                    "Papers",
+                    vec![Datum::Int(paperid), Datum::Text(title.clone()), Datum::Int(author.id)],
+                ))
+                .expect("paper insert");
+
+            // The decision tag is owned by the chair; the decision is entered
+            // but not yet released.
+            let decision_tag = db
+                .create_tag(chair_principal, &format!("paper{paperid}_decision"), &[])
+                .expect("decision tag");
+            chair_session.add_secrecy(decision_tag).expect("raise decision");
+            chair_session
+                .insert(&Insert::new(
+                    "Decisions",
+                    vec![
+                        Datum::Int(paperid),
+                        Datum::from(if paperid % 2 == 0 { "reject" } else { "accept" }),
+                    ],
+                ))
+                .expect("decision insert");
+
+            // The review tag is owned by the reviewer, who delegates it to
+            // the chair ("only the review author and the chair are
+            // authoritative for it").
+            let review_tag = db
+                .create_tag(reviewer.principal, &format!("paper{paperid}_review"), &[])
+                .expect("review tag");
+            let mut reviewer_session = db.session(reviewer.principal);
+            reviewer_session
+                .delegate(chair_principal, review_tag)
+                .expect("delegate review tag to chair");
+            reviewer_session.add_secrecy(review_tag).expect("raise review tag");
+            reviewer_session
+                .insert(&Insert::new(
+                    "PaperReview",
+                    vec![
+                        Datum::Int(paperid * 10),
+                        Datum::Int(paperid),
+                        Datum::Int(reviewer.id),
+                        Datum::Int(((paperid % 5) + 1) as i64),
+                        Datum::Text(format!("Review of paper {paperid}")),
+                    ],
+                ))
+                .expect("review insert");
+
+            papers.push(PaperHandle {
+                paperid,
+                title,
+                author: author.id,
+                reviewer: reviewer.id,
+                decision_tag,
+                review_tag,
+            });
+        }
+
+        HotcrpPolicy {
+            people,
+            papers,
+            chair: chair_principal,
+            all_contacts,
+        }
+    }
+
+    /// Every registered person.
+    pub fn people(&self) -> &[PersonHandle] {
+        &self.people
+    }
+
+    /// Looks up a person by contactId.
+    pub fn person(&self, id: i64) -> Option<&PersonHandle> {
+        self.people.iter().find(|p| p.id == id)
+    }
+
+    /// Looks up a person by username.
+    pub fn person_by_name(&self, username: &str) -> Option<&PersonHandle> {
+        self.people.iter().find(|p| p.username == username)
+    }
+
+    /// Every submitted paper.
+    pub fn papers(&self) -> &[PaperHandle] {
+        &self.papers
+    }
+
+    /// Looks up a paper by id.
+    pub fn paper(&self, paperid: i64) -> Option<&PaperHandle> {
+        self.papers.iter().find(|p| p.paperid == paperid)
+    }
+
+    /// Releases decisions: the chair delegates each paper's decision tag to
+    /// its author, so the author's status page can declassify the outcome.
+    pub fn release_decisions(&self, db: &Database) -> IfdbResult<()> {
+        let mut chair_session = db.session(self.chair);
+        for paper in &self.papers {
+            if let Some(author) = self.person(paper.author) {
+                chair_session.delegate(author.principal, paper.decision_tag)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// The chair's authority closure that delegates a paper's review tag to
+    /// every non-conflicted PC member (Section 6.2).
+    pub fn delegate_reviews_to_pc(&self, db: &Database, paperid: i64) -> IfdbResult<()> {
+        let Some(paper) = self.paper(paperid) else {
+            return Ok(());
+        };
+        let mut chair_session = db.session(self.chair);
+        for pc in self.people.iter().filter(|p| p.is_pc) {
+            // Conflict of interest: the paper's author never receives the tag.
+            if pc.id == paper.author {
+                continue;
+            }
+            chair_session.delegate(pc.principal, paper.review_tag)?;
+        }
+        Ok(())
+    }
+}
+
+/// Convenience alias used by scripts.
+pub type SharedPolicy = Arc<HotcrpPolicy>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::create_schema;
+
+    #[test]
+    fn bootstrap_builds_policy_and_data() {
+        let db = Database::in_memory();
+        create_schema(&db).unwrap();
+        let policy = HotcrpPolicy::bootstrap(
+            &db,
+            &HotcrpConfig {
+                users: 6,
+                pc_members: 2,
+                papers: 3,
+                difc: true,
+                seed: 1,
+            },
+        );
+        assert_eq!(policy.people().len(), 6);
+        assert_eq!(policy.papers().len(), 3);
+        let chair = &policy.people()[0];
+        assert!(chair.is_pc);
+        // The chair holds authority over every contact tag via the compound,
+        // and over decisions; reviewers hold their review tags.
+        let someone = &policy.people()[4];
+        assert!(db.has_authority(policy.chair, someone.contact_tag));
+        let paper = &policy.papers()[0];
+        assert!(db.has_authority(policy.chair, paper.decision_tag));
+        assert!(db.has_authority(policy.chair, paper.review_tag));
+        let author = policy.person(paper.author).unwrap();
+        assert!(!db.has_authority(author.principal, paper.decision_tag));
+        policy.release_decisions(&db).unwrap();
+        assert!(db.has_authority(author.principal, paper.decision_tag));
+    }
+}

@@ -1,0 +1,60 @@
+//! The HotCRP database schema.
+
+use ifdb::prelude::*;
+use ifdb::{IfdbResult, TableDef};
+
+/// Creates the HotCRP tables.
+///
+/// Labeling strategy (Section 6.2): `ContactInfo` tuples carry the owning
+/// user's contact tag; `PaperReview` tuples carry a per-review tag;
+/// `Decisions` tuples carry a per-paper decision tag; `Papers` metadata
+/// (title, author link) is public in this deployment.
+pub fn create_schema(db: &Database) -> IfdbResult<()> {
+    db.create_table(
+        TableDef::new("ContactInfo")
+            .column("contactId", DataType::Int)
+            .column("firstName", DataType::Text)
+            .column("lastName", DataType::Text)
+            .column("email", DataType::Text)
+            .column("affiliation", DataType::Text)
+            .column("isPCMember", DataType::Bool)
+            .primary_key(&["contactId"]),
+    )?;
+    db.create_table(
+        TableDef::new("Papers")
+            .column("paperId", DataType::Int)
+            .column("title", DataType::Text)
+            .column("authorContactId", DataType::Int)
+            .primary_key(&["paperId"]),
+    )?;
+    db.create_table(
+        TableDef::new("PaperReview")
+            .column("reviewId", DataType::Int)
+            .column("paperId", DataType::Int)
+            .column("reviewerContactId", DataType::Int)
+            .column("score", DataType::Int)
+            .column("comments", DataType::Text)
+            .primary_key(&["reviewId"]),
+    )?;
+    db.create_table(
+        TableDef::new("Decisions")
+            .column("paperId", DataType::Int)
+            .column("outcome", DataType::Text)
+            .primary_key(&["paperId"]),
+    )?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn creates_all_tables() {
+        let db = Database::in_memory();
+        create_schema(&db).unwrap();
+        let mut names = db.engine().table_names();
+        names.sort();
+        assert_eq!(names, vec!["ContactInfo", "Decisions", "PaperReview", "Papers"]);
+    }
+}

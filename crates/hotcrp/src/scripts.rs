@@ -1,0 +1,193 @@
+//! The HotCRP web scripts.
+//!
+//! The original application enforced visibility with hundreds of conditionals
+//! in PHP; the IFDB port relies on Query by Label to keep tuples the user may
+//! not see out of query results entirely, and on explicit declassification
+//! (backed by delegation) for the places where sensitive data is legitimately
+//! released.
+
+use std::sync::Arc;
+
+use ifdb::prelude::*;
+use ifdb::IfdbError;
+use ifdb_platform::AppServer;
+
+use crate::policy::HotcrpPolicy;
+
+fn requesting_person<'a>(
+    policy: &'a HotcrpPolicy,
+    session: &ifdb::Session,
+) -> Option<&'a crate::policy::PersonHandle> {
+    let principal = session.principal();
+    policy.people().iter().find(|p| p.principal == principal)
+}
+
+/// Registers the HotCRP scripts on the server.
+pub fn register_scripts(server: &Arc<AppServer>, policy: Arc<HotcrpPolicy>) {
+    // pc_members.php — backed by the PCMembers declassifying view.
+    server.register_script(
+        "pc_members.php",
+        Arc::new(move |session, _request, out| {
+            let rows = session.select(&Select::star("PCMembers"))?;
+            for r in rows.iter() {
+                out.emit(
+                    session,
+                    format!(
+                        "{} {}",
+                        r.get_text("firstName").unwrap_or(""),
+                        r.get_text("lastName").unwrap_or("")
+                    ),
+                )?;
+            }
+            Ok(())
+        }),
+    );
+
+    // users.php — the historical leak: dump full contact information for
+    // every registered user. The script deliberately raises its label to read
+    // everything (as the PHP code effectively could), and is then unable to
+    // release any of it.
+    let p = policy.clone();
+    server.register_script(
+        "users.php",
+        Arc::new(move |session, _request, out| {
+            let every_contact = Label::from_tags(p.people().iter().map(|u| u.contact_tag));
+            session.raise_label(&every_contact)?;
+            let rows = session.select(&Select::star("ContactInfo"))?;
+            for r in rows.iter() {
+                // Blocked by the output gate: the process cannot declassify
+                // the other users' contact tags.
+                out.emit(
+                    session,
+                    format!(
+                        "{} <{}>",
+                        r.get_text("lastName").unwrap_or(""),
+                        r.get_text("email").unwrap_or("")
+                    ),
+                )?;
+            }
+            Ok(())
+        }),
+    );
+
+    // paper_status.php — the author's status page. The decision is shown only
+    // if the chair has delegated the paper's decision tag (i.e. results were
+    // released).
+    let p = policy.clone();
+    server.register_script(
+        "paper_status.php",
+        Arc::new(move |session, request, out| {
+            let paperid: i64 = request
+                .params
+                .get("paper")
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(0);
+            let Some(paper) = p.paper(paperid) else {
+                return Err(IfdbError::InvalidStatement("no such paper".into()));
+            };
+            let papers = session.select(
+                &Select::star("Papers")
+                    .filter(Predicate::Eq("paperId".into(), Datum::Int(paperid))),
+            )?;
+            if let Some(row) = papers.first() {
+                out.emit(session, format!("title: {}", row.get_text("title").unwrap_or("")))?;
+            }
+            session.add_secrecy(paper.decision_tag)?;
+            let decision = session.select(
+                &Select::star("Decisions")
+                    .filter(Predicate::Eq("paperId".into(), Datum::Int(paperid))),
+            )?;
+            // Releasing the decision requires authority for the decision tag,
+            // which authors receive only when results are released.
+            session.declassify(paper.decision_tag)?;
+            for d in decision.iter() {
+                out.emit(
+                    session,
+                    format!("decision: {}", d.get_text("outcome").unwrap_or("")),
+                )?;
+            }
+            Ok(())
+        }),
+    );
+
+    // search.php — the "sort papers by status" / search abuse: the query
+    // over Decisions simply returns nothing for users who may not see them.
+    server.register_script(
+        "search.php",
+        Arc::new(move |session, request, out| {
+            let q = request.params.get("q").cloned().unwrap_or_default();
+            let hits = session.select(
+                &Select::star("Decisions")
+                    .filter(Predicate::Eq("outcome".into(), Datum::Text(q.clone()))),
+            )?;
+            for h in hits.iter() {
+                out.emit(
+                    session,
+                    format!("paper {} is {}", h.get_int("paperId").unwrap_or(0), q),
+                )?;
+            }
+            out.emit(session, format!("{} results", hits.len()))?;
+            Ok(())
+        }),
+    );
+
+    // review.php — show the review for a paper. Works for the review author,
+    // the chair, and PC members the chair has delegated to.
+    let p = policy.clone();
+    server.register_script(
+        "review.php",
+        Arc::new(move |session, request, out| {
+            if requesting_person(&p, session).is_none() {
+                return Err(IfdbError::InvalidStatement("authentication required".into()));
+            }
+            let paperid: i64 = request
+                .params
+                .get("paper")
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(0);
+            let Some(paper) = p.paper(paperid) else {
+                return Err(IfdbError::InvalidStatement("no such paper".into()));
+            };
+            session.add_secrecy(paper.review_tag)?;
+            let reviews = session.select(
+                &Select::star("PaperReview")
+                    .filter(Predicate::Eq("paperId".into(), Datum::Int(paperid))),
+            )?;
+            session.declassify(paper.review_tag)?;
+            for r in reviews.iter() {
+                out.emit(
+                    session,
+                    format!(
+                        "score {}: {}",
+                        r.get_int("score").unwrap_or(0),
+                        r.get_text("comments").unwrap_or("")
+                    ),
+                )?;
+            }
+            Ok(())
+        }),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{HotcrpApp, HotcrpConfig};
+    use ifdb_platform::Request as Req;
+
+    #[test]
+    fn search_counts_only_visible_decisions() {
+        let app = HotcrpApp::build(&HotcrpConfig::default());
+        let chair = &app.policy.people()[0];
+        // Even the chair, acting through the web script without raising
+        // decision tags, sees no decision rows — Query by Label hides them
+        // unless the script explicitly raises and declassifies.
+        let resp = app.server.handle(
+            &Req::new("search.php")
+                .as_user(&chair.username)
+                .param("q", "accept"),
+        );
+        assert!(resp.is_ok());
+        assert!(resp.body.iter().any(|l| l.contains("0 results")));
+    }
+}

@@ -1,0 +1,69 @@
+//! The trusted authentication component.
+//!
+//! Authentication is part of the trusted base (Figure 1): it is the code that
+//! decides which principal a request acts for. Everything downstream of it —
+//! the request scripts themselves — is untrusted, which is exactly why the
+//! missing-authentication bugs found in CarTel were harmless once the
+//! application ran on the platform: an unauthenticated script acts as the
+//! anonymous principal and can never declassify or release anything.
+
+use std::collections::HashMap;
+
+use ifdb_difc::PrincipalId;
+use parking_lot::RwLock;
+
+/// Maps external credentials to principals.
+#[derive(Debug, Default)]
+pub struct Authenticator {
+    users: RwLock<HashMap<String, (String, PrincipalId)>>,
+}
+
+impl Authenticator {
+    /// Creates an empty authenticator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a user with a password and the principal it acts as.
+    pub fn register(&self, username: &str, password: &str, principal: PrincipalId) {
+        self.users
+            .write()
+            .insert(username.to_string(), (password.to_string(), principal));
+    }
+
+    /// Verifies credentials, returning the principal on success.
+    pub fn authenticate(&self, username: &str, password: &str) -> Option<PrincipalId> {
+        let users = self.users.read();
+        match users.get(username) {
+            Some((stored, principal)) if stored == password => Some(*principal),
+            _ => None,
+        }
+    }
+
+    /// Looks up a user's principal without checking a password (used by
+    /// benchmark drivers that simulate already-authenticated sessions).
+    pub fn principal_of(&self, username: &str) -> Option<PrincipalId> {
+        self.users.read().get(username).map(|(_, p)| *p)
+    }
+
+    /// Number of registered users.
+    pub fn user_count(&self) -> usize {
+        self.users.read().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn authenticates_only_with_correct_password() {
+        let auth = Authenticator::new();
+        auth.register("alice", "hunter2", PrincipalId(7));
+        assert_eq!(auth.authenticate("alice", "hunter2"), Some(PrincipalId(7)));
+        assert_eq!(auth.authenticate("alice", "wrong"), None);
+        assert_eq!(auth.authenticate("bob", "hunter2"), None);
+        assert_eq!(auth.principal_of("alice"), Some(PrincipalId(7)));
+        assert_eq!(auth.user_count(), 1);
+    }
+}

@@ -1,0 +1,95 @@
+//! The output gate: interposition on everything sent to the client.
+//!
+//! PHP-IF and Python-IF "interpose on output, so programs that are too
+//! contaminated can't release information" (Section 7.2). The
+//! [`ResponseWriter`] is the only way request scripts can produce output, and
+//! every write is checked against the process label; a contaminated process
+//! produces no output regardless of what it read.
+
+use ifdb::{IfdbResult, Session};
+
+/// Collects the output of one request, enforcing the release check on every
+/// write.
+#[derive(Debug, Default)]
+pub struct ResponseWriter {
+    lines: Vec<String>,
+    blocked_writes: usize,
+}
+
+impl ResponseWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Emits a line of output on behalf of `session`. Fails (and records a
+    /// blocked write) if the session's label is not empty.
+    pub fn emit(&mut self, session: &Session, line: impl Into<String>) -> IfdbResult<()> {
+        match session.check_release_to_world() {
+            Ok(()) => {
+                self.lines.push(line.into());
+                Ok(())
+            }
+            Err(e) => {
+                self.blocked_writes += 1;
+                Err(e)
+            }
+        }
+    }
+
+    /// Emits a line, swallowing a blocked-release error (the paper's
+    /// behaviour: the contaminated script simply produces no output). Returns
+    /// `true` if the line was delivered.
+    pub fn emit_or_drop(&mut self, session: &Session, line: impl Into<String>) -> bool {
+        self.emit(session, line).is_ok()
+    }
+
+    /// The delivered output lines.
+    pub fn lines(&self) -> &[String] {
+        &self.lines
+    }
+
+    /// Number of writes that were blocked by the gate.
+    pub fn blocked_writes(&self) -> usize {
+        self.blocked_writes
+    }
+
+    /// Total number of delivered lines.
+    pub fn len(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// Returns `true` if nothing was delivered.
+    pub fn is_empty(&self) -> bool {
+        self.lines.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ifdb::prelude::*;
+
+    #[test]
+    fn gate_blocks_contaminated_output() {
+        let db = Database::in_memory();
+        let alice = db.create_principal("alice", PrincipalKind::User);
+        let tag = db.create_tag(alice, "alice_secret", &[]).unwrap();
+
+        let mut session = db.session(alice);
+        let mut out = ResponseWriter::new();
+        out.emit(&session, "public greeting").unwrap();
+
+        session.add_secrecy(tag).unwrap();
+        assert!(out.emit(&session, "secret detail").is_err());
+        assert!(!out.emit_or_drop(&session, "secret detail"));
+
+        session.declassify(tag).unwrap();
+        out.emit(&session, "released detail").unwrap();
+
+        assert_eq!(out.lines(), &["public greeting", "released detail"]);
+        assert_eq!(out.blocked_writes(), 2);
+        assert_eq!(out.len(), 2);
+        assert!(!out.is_empty());
+    }
+}

@@ -1,0 +1,741 @@
+//! The storage engine facade: tables, transactions, indexes, WAL, vacuum.
+//!
+//! [`StorageEngine`] is what the `ifdb` crate (and, transitively, the SQL
+//! front end, application platform and benchmarks) builds on. It corresponds
+//! to the unmodified parts of PostgreSQL in the paper's architecture: it has
+//! no notion of labels beyond storing them in tuple headers — the label
+//! *semantics* (Query by Label, Write Rule, polyinstantiation, the Foreign
+//! Key Rule) are implemented by the layer above.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::buffer::BufferPool;
+use crate::error::{StorageError, StorageResult};
+use crate::heap::{RowId, TableHeap};
+use crate::index::{IndexKey, OrderedIndex};
+use crate::mvcc::{Snapshot, TransactionManager, TxnId, TxnStatus};
+use crate::schema::TableSchema;
+use crate::stats::EngineStats;
+use crate::store::{FilePageStore, MemPageStore, PageStore};
+use crate::tuple::{TupleHeader, TupleVersion};
+use crate::value::Datum;
+use crate::wal::{LogRecord, Wal};
+
+/// Identifier of a table within the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TableId(pub u32);
+
+/// Where tables keep their pages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageKind {
+    /// All pages in memory; the buffer pool is effectively a formality.
+    InMemory,
+    /// Pages live in heap files under the given directory and are cached by a
+    /// buffer pool of `buffer_pages` pages. Used for the disk-bound
+    /// configuration of Figure 6.
+    OnDisk {
+        /// Directory for heap files and the WAL.
+        dir: PathBuf,
+        /// Buffer pool capacity in pages.
+        buffer_pages: usize,
+    },
+}
+
+/// An index registered on a table.
+struct IndexEntry {
+    name: String,
+    columns: Vec<usize>,
+    index: OrderedIndex,
+}
+
+/// A table: schema, heap, and secondary indexes.
+pub struct Table {
+    id: TableId,
+    schema: TableSchema,
+    heap: TableHeap,
+    indexes: RwLock<Vec<IndexEntry>>,
+}
+
+impl Table {
+    /// The table's id.
+    pub fn id(&self) -> TableId {
+        self.id
+    }
+
+    /// The table's schema.
+    pub fn schema(&self) -> &TableSchema {
+        &self.schema
+    }
+
+    /// The underlying heap (exposed for statistics and tests).
+    pub fn heap(&self) -> &TableHeap {
+        &self.heap
+    }
+
+    fn index_key(&self, columns: &[usize], values: &[Datum]) -> IndexKey {
+        columns.iter().map(|c| values[*c].clone()).collect()
+    }
+}
+
+/// The storage engine.
+pub struct StorageEngine {
+    kind: StorageKind,
+    buffer: Arc<BufferPool>,
+    txns: TransactionManager,
+    wal: Wal,
+    tables: RwLock<HashMap<TableId, Arc<Table>>>,
+    by_name: RwLock<HashMap<String, TableId>>,
+    stores: RwLock<HashMap<TableId, Arc<dyn PageStore>>>,
+    next_table: AtomicU64,
+    tuples_inserted: AtomicU64,
+    tuples_deleted: AtomicU64,
+    tuples_scanned: AtomicU64,
+}
+
+impl std::fmt::Debug for StorageEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StorageEngine")
+            .field("kind", &self.kind)
+            .field("tables", &self.tables.read().len())
+            .finish()
+    }
+}
+
+impl StorageEngine {
+    /// Creates an in-memory engine with a large buffer pool.
+    pub fn in_memory() -> Self {
+        Self::with_kind(StorageKind::InMemory)
+    }
+
+    /// Creates an engine with the given storage kind.
+    pub fn with_kind(kind: StorageKind) -> Self {
+        let (buffer, wal) = match &kind {
+            StorageKind::InMemory => (BufferPool::new(1 << 20), Wal::in_memory()),
+            StorageKind::OnDisk { dir, buffer_pages } => {
+                std::fs::create_dir_all(dir).ok();
+                let wal = Wal::file_backed(&dir.join("wal.log"), false)
+                    .unwrap_or_else(|_| Wal::in_memory());
+                (BufferPool::new(*buffer_pages), wal)
+            }
+        };
+        StorageEngine {
+            kind,
+            buffer,
+            txns: TransactionManager::new(),
+            wal,
+            tables: RwLock::new(HashMap::new()),
+            by_name: RwLock::new(HashMap::new()),
+            stores: RwLock::new(HashMap::new()),
+            next_table: AtomicU64::new(1),
+            tuples_inserted: AtomicU64::new(0),
+            tuples_deleted: AtomicU64::new(0),
+            tuples_scanned: AtomicU64::new(0),
+        }
+    }
+
+    /// The engine's storage kind.
+    pub fn kind(&self) -> &StorageKind {
+        &self.kind
+    }
+
+    /// The transaction manager.
+    pub fn txns(&self) -> &TransactionManager {
+        &self.txns
+    }
+
+    /// The write-ahead log.
+    pub fn wal(&self) -> &Wal {
+        &self.wal
+    }
+
+    // ------------------------------------------------------------------
+    // DDL
+    // ------------------------------------------------------------------
+
+    /// Creates a table with the given schema.
+    pub fn create_table(&self, schema: TableSchema) -> StorageResult<TableId> {
+        let id = TableId(self.next_table.fetch_add(1, Ordering::SeqCst) as u32);
+        let store: Arc<dyn PageStore> = match &self.kind {
+            StorageKind::InMemory => Arc::new(MemPageStore::new()),
+            StorageKind::OnDisk { dir, .. } => {
+                let path = dir.join(format!("{}_{}.heap", schema.name, id.0));
+                Arc::new(FilePageStore::create(&path)?)
+            }
+        };
+        let heap = TableHeap::new(id.0, store.clone(), self.buffer.clone());
+        let table = Arc::new(Table {
+            id,
+            schema: schema.clone(),
+            heap,
+            indexes: RwLock::new(Vec::new()),
+        });
+        self.tables.write().insert(id, table);
+        self.by_name.write().insert(schema.name.clone(), id);
+        self.stores.write().insert(id, store);
+        Ok(id)
+    }
+
+    /// Looks up a table by id.
+    pub fn table(&self, id: TableId) -> StorageResult<Arc<Table>> {
+        self.tables
+            .read()
+            .get(&id)
+            .cloned()
+            .ok_or(StorageError::UnknownTableId(id.0))
+    }
+
+    /// Looks up a table by name.
+    pub fn table_by_name(&self, name: &str) -> StorageResult<Arc<Table>> {
+        let id = *self
+            .by_name
+            .read()
+            .get(name)
+            .ok_or_else(|| StorageError::UnknownTable(name.to_string()))?;
+        self.table(id)
+    }
+
+    /// Names of all tables.
+    pub fn table_names(&self) -> Vec<String> {
+        self.by_name.read().keys().cloned().collect()
+    }
+
+    /// Creates an ordered index named `name` over `columns` of `table`,
+    /// back-filling it from the existing heap contents.
+    pub fn create_index(&self, table: TableId, name: &str, columns: &[&str]) -> StorageResult<()> {
+        let t = self.table(table)?;
+        let col_idx: Vec<usize> = columns
+            .iter()
+            .map(|c| t.schema.column_index(c))
+            .collect::<StorageResult<_>>()?;
+        let index = OrderedIndex::new();
+        t.heap.scan(|row, version| {
+            let key = t.index_key(&col_idx, &version.data);
+            index.insert(key, row);
+            true
+        })?;
+        t.indexes.write().push(IndexEntry {
+            name: name.to_string(),
+            columns: col_idx,
+            index,
+        });
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Transactions
+    // ------------------------------------------------------------------
+
+    /// Starts a transaction.
+    pub fn begin(&self) -> StorageResult<TxnId> {
+        let txn = self.txns.begin();
+        self.wal.append(LogRecord::Begin { txn })?;
+        Ok(txn)
+    }
+
+    /// Commits a transaction.
+    pub fn commit(&self, txn: TxnId) -> StorageResult<()> {
+        self.txns.commit(txn)?;
+        self.wal.append(LogRecord::Commit { txn })?;
+        Ok(())
+    }
+
+    /// Aborts a transaction. The tuple versions it wrote remain in the heap
+    /// but are never visible; vacuum reclaims them.
+    pub fn abort(&self, txn: TxnId) -> StorageResult<()> {
+        self.txns.abort(txn)?;
+        self.wal.append(LogRecord::Abort { txn })?;
+        Ok(())
+    }
+
+    /// Takes a snapshot for `txn`.
+    pub fn snapshot(&self, txn: TxnId) -> Snapshot {
+        self.txns.snapshot(txn)
+    }
+
+    // ------------------------------------------------------------------
+    // DML
+    // ------------------------------------------------------------------
+
+    /// Inserts a tuple with the given label, returning its row id.
+    pub fn insert(
+        &self,
+        txn: TxnId,
+        table: TableId,
+        label: Vec<u64>,
+        values: Vec<Datum>,
+    ) -> StorageResult<RowId> {
+        let t = self.table(table)?;
+        t.schema.check_tuple(&values)?;
+        let version = TupleVersion::new(TupleHeader::new(txn, label), values);
+        let row = t.heap.insert(&version)?;
+        self.wal.append(LogRecord::Insert {
+            txn,
+            table: table.0,
+            row,
+            bytes: version.encode(),
+        })?;
+        for entry in t.indexes.read().iter() {
+            let key = t.index_key(&entry.columns, &version.data);
+            entry.index.insert(key, row);
+        }
+        self.tuples_inserted.fetch_add(1, Ordering::Relaxed);
+        Ok(row)
+    }
+
+    /// Marks the version at `row` deleted by `txn`, enforcing
+    /// first-updater-wins: if another transaction already deleted or
+    /// superseded the version (and did not abort), the call fails with
+    /// [`StorageError::WriteConflict`].
+    pub fn delete(&self, txn: TxnId, table: TableId, row: RowId) -> StorageResult<()> {
+        let t = self.table(table)?;
+        let current = t.heap.fetch(row)?;
+        if let Some(holder) = current.header.xmax {
+            match self.txns.status(holder) {
+                TxnStatus::Aborted => {
+                    // The previous deleter rolled back; we may proceed.
+                }
+                _ if holder == txn => {
+                    // Deleting twice in the same transaction is a no-op.
+                    return Ok(());
+                }
+                _ => {
+                    return Err(StorageError::WriteConflict {
+                        txn: txn.0,
+                        holder: holder.0,
+                    })
+                }
+            }
+        }
+        t.heap.set_xmax(row, Some(txn))?;
+        self.wal.append(LogRecord::Delete {
+            txn,
+            table: table.0,
+            row,
+        })?;
+        self.tuples_deleted.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Updates the version at `row`: marks it superseded and inserts a new
+    /// version with `values` and `label`. Returns the new row id.
+    pub fn update(
+        &self,
+        txn: TxnId,
+        table: TableId,
+        row: RowId,
+        label: Vec<u64>,
+        values: Vec<Datum>,
+    ) -> StorageResult<RowId> {
+        self.delete(txn, table, row)?;
+        self.insert(txn, table, label, values)
+    }
+
+    /// Fetches the version at `row` if it is visible to `snapshot`.
+    pub fn fetch_visible(
+        &self,
+        snapshot: &Snapshot,
+        table: TableId,
+        row: RowId,
+    ) -> StorageResult<Option<TupleVersion>> {
+        let t = self.table(table)?;
+        let v = t.heap.fetch(row)?;
+        if self.txns.is_visible(snapshot, &v.header) {
+            Ok(Some(v))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Scans every version visible to `snapshot`, invoking `f` for each.
+    /// Returning `false` from `f` stops the scan.
+    pub fn scan_visible(
+        &self,
+        snapshot: &Snapshot,
+        table: TableId,
+        mut f: impl FnMut(RowId, TupleVersion) -> bool,
+    ) -> StorageResult<()> {
+        let t = self.table(table)?;
+        let mut scanned = 0u64;
+        t.heap.scan(|row, version| {
+            scanned += 1;
+            if self.txns.is_visible(snapshot, &version.header) {
+                f(row, version)
+            } else {
+                true
+            }
+        })?;
+        self.tuples_scanned.fetch_add(scanned, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Point lookup through the named index: returns the row ids whose
+    /// indexed columns equal `key`. Visibility is *not* applied here.
+    pub fn index_lookup(
+        &self,
+        table: TableId,
+        index: &str,
+        key: &IndexKey,
+    ) -> StorageResult<Vec<RowId>> {
+        let t = self.table(table)?;
+        let indexes = t.indexes.read();
+        let entry = indexes
+            .iter()
+            .find(|e| e.name == index)
+            .ok_or_else(|| StorageError::UnknownIndex(index.to_string()))?;
+        Ok(entry.index.get(key))
+    }
+
+    /// Range lookup through the named index (inclusive bounds).
+    pub fn index_range(
+        &self,
+        table: TableId,
+        index: &str,
+        low: Option<&IndexKey>,
+        high: Option<&IndexKey>,
+    ) -> StorageResult<Vec<(IndexKey, RowId)>> {
+        let t = self.table(table)?;
+        let indexes = t.indexes.read();
+        let entry = indexes
+            .iter()
+            .find(|e| e.name == index)
+            .ok_or_else(|| StorageError::UnknownIndex(index.to_string()))?;
+        Ok(entry.index.range(low, high))
+    }
+
+    /// Names of the indexes on `table`.
+    pub fn index_names(&self, table: TableId) -> StorageResult<Vec<String>> {
+        let t = self.table(table)?;
+        let names = t.indexes.read().iter().map(|e| e.name.clone()).collect();
+        Ok(names)
+    }
+
+    // ------------------------------------------------------------------
+    // Maintenance
+    // ------------------------------------------------------------------
+
+    /// Removes tuple versions that no snapshot can ever see again: versions
+    /// written by aborted transactions, and versions deleted by transactions
+    /// that committed before every active transaction. Index entries for the
+    /// removed versions are dropped as well.
+    pub fn vacuum(&self) -> StorageResult<usize> {
+        let tables: Vec<Arc<Table>> = self.tables.read().values().cloned().collect();
+        let mut removed_total = 0;
+        for t in tables {
+            let mut removed_rows: Vec<(IndexKey, RowId)> = Vec::new();
+            // First pass: collect what to remove per index so we can fix
+            // indexes after the heap pass.
+            let removed = t.heap.vacuum(|v| {
+                let dead_insert = self.txns.status(v.header.xmin) == TxnStatus::Aborted;
+                dead_insert || self.txns.is_dead_for_all(&v.header)
+            })?;
+            if removed > 0 {
+                // Rebuild indexes wholesale: simpler than tracking per-row
+                // removals and safe because vacuum runs rarely.
+                let indexes = t.indexes.read();
+                for entry in indexes.iter() {
+                    // Clear by constructing a fresh index.
+                    let fresh = OrderedIndex::new();
+                    t.heap.scan(|row, version| {
+                        let key = t.index_key(&entry.columns, &version.data);
+                        fresh.insert(key, row);
+                        true
+                    })?;
+                    // Swap contents: OrderedIndex has interior mutability, so
+                    // emulate a swap by draining and re-inserting.
+                    let old_entries = entry.index.range(None, None);
+                    for (k, r) in old_entries {
+                        entry.index.remove(&k, r);
+                    }
+                    for (k, r) in fresh.range(None, None) {
+                        entry.index.insert(k, r);
+                    }
+                }
+                drop(indexes);
+                removed_rows.clear();
+            }
+            removed_total += removed;
+        }
+        Ok(removed_total)
+    }
+
+    /// Flushes all dirty pages and the WAL.
+    pub fn flush(&self) -> StorageResult<()> {
+        for t in self.tables.read().values() {
+            t.heap.flush()?;
+        }
+        self.wal.flush()
+    }
+
+    /// A snapshot of engine statistics.
+    pub fn stats(&self) -> EngineStats {
+        let mut s = EngineStats::default().with_buffer(self.buffer.stats());
+        s.tuples_inserted = self.tuples_inserted.load(Ordering::Relaxed);
+        s.tuples_deleted = self.tuples_deleted.load(Ordering::Relaxed);
+        s.tuples_scanned = self.tuples_scanned.load(Ordering::Relaxed);
+        s.txns_started = self.txns.started_count();
+        s.wal_bytes = self.wal.bytes_written();
+        let stores = self.stores.read();
+        s.store_reads = stores.values().map(|st| st.reads()).sum();
+        s.store_writes = stores.values().map(|st| st.writes()).sum();
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnDef;
+    use crate::value::DataType;
+
+    fn engine_with_table() -> (StorageEngine, TableId) {
+        let eng = StorageEngine::in_memory();
+        let id = eng
+            .create_table(TableSchema::new(
+                "people",
+                vec![
+                    ColumnDef::new("id", DataType::Int),
+                    ColumnDef::new("name", DataType::Text),
+                ],
+            ))
+            .unwrap();
+        (eng, id)
+    }
+
+    fn visible_rows(eng: &StorageEngine, table: TableId) -> Vec<Vec<Datum>> {
+        let txn = eng.begin().unwrap();
+        let snap = eng.snapshot(txn);
+        let mut out = Vec::new();
+        eng.scan_visible(&snap, table, |_, v| {
+            out.push(v.data);
+            true
+        })
+        .unwrap();
+        eng.commit(txn).unwrap();
+        out
+    }
+
+    #[test]
+    fn insert_commit_visible() {
+        let (eng, table) = engine_with_table();
+        let txn = eng.begin().unwrap();
+        eng.insert(txn, table, vec![], vec![Datum::Int(1), Datum::from("alice")])
+            .unwrap();
+        eng.commit(txn).unwrap();
+        assert_eq!(visible_rows(&eng, table).len(), 1);
+    }
+
+    #[test]
+    fn aborted_insert_invisible() {
+        let (eng, table) = engine_with_table();
+        let txn = eng.begin().unwrap();
+        eng.insert(txn, table, vec![], vec![Datum::Int(1), Datum::from("ghost")])
+            .unwrap();
+        eng.abort(txn).unwrap();
+        assert!(visible_rows(&eng, table).is_empty());
+    }
+
+    #[test]
+    fn snapshot_isolation_hides_concurrent_commits() {
+        let (eng, table) = engine_with_table();
+        let reader = eng.begin().unwrap();
+        let snap = eng.snapshot(reader);
+
+        let writer = eng.begin().unwrap();
+        eng.insert(
+            writer,
+            table,
+            vec![],
+            vec![Datum::Int(2), Datum::from("late")],
+        )
+        .unwrap();
+        eng.commit(writer).unwrap();
+
+        let mut seen = 0;
+        eng.scan_visible(&snap, table, |_, _| {
+            seen += 1;
+            true
+        })
+        .unwrap();
+        assert_eq!(seen, 0, "reader's snapshot predates the writer's commit");
+        eng.commit(reader).unwrap();
+    }
+
+    #[test]
+    fn update_creates_new_version_and_hides_old() {
+        let (eng, table) = engine_with_table();
+        let t1 = eng.begin().unwrap();
+        let row = eng
+            .insert(t1, table, vec![], vec![Datum::Int(1), Datum::from("v1")])
+            .unwrap();
+        eng.commit(t1).unwrap();
+
+        let t2 = eng.begin().unwrap();
+        eng.update(t2, table, row, vec![], vec![Datum::Int(1), Datum::from("v2")])
+            .unwrap();
+        eng.commit(t2).unwrap();
+
+        let rows = visible_rows(&eng, table);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0][1], Datum::from("v2"));
+    }
+
+    #[test]
+    fn write_conflict_detected() {
+        let (eng, table) = engine_with_table();
+        let t0 = eng.begin().unwrap();
+        let row = eng
+            .insert(t0, table, vec![], vec![Datum::Int(1), Datum::from("target")])
+            .unwrap();
+        eng.commit(t0).unwrap();
+
+        let t1 = eng.begin().unwrap();
+        let t2 = eng.begin().unwrap();
+        eng.delete(t1, table, row).unwrap();
+        let err = eng.delete(t2, table, row).unwrap_err();
+        assert!(matches!(err, StorageError::WriteConflict { .. }));
+        // After t1 aborts, t2 may retry successfully.
+        eng.abort(t1).unwrap();
+        eng.delete(t2, table, row).unwrap();
+        eng.commit(t2).unwrap();
+    }
+
+    #[test]
+    fn index_lookup_finds_rows() {
+        let (eng, table) = engine_with_table();
+        let txn = eng.begin().unwrap();
+        for i in 0..20 {
+            eng.insert(
+                txn,
+                table,
+                vec![],
+                vec![Datum::Int(i), Datum::Text(format!("user{i}"))],
+            )
+            .unwrap();
+        }
+        eng.commit(txn).unwrap();
+        eng.create_index(table, "people_pk", &["id"]).unwrap();
+        let rows = eng
+            .index_lookup(table, "people_pk", &vec![Datum::Int(7)])
+            .unwrap();
+        assert_eq!(rows.len(), 1);
+        let snap = eng.snapshot(eng.begin().unwrap());
+        let v = eng.fetch_visible(&snap, table, rows[0]).unwrap().unwrap();
+        assert_eq!(v.data[1], Datum::from("user7"));
+        // Index created before inserts also stays maintained.
+        let t2 = eng.begin().unwrap();
+        eng.insert(t2, table, vec![], vec![Datum::Int(99), Datum::from("new")])
+            .unwrap();
+        eng.commit(t2).unwrap();
+        assert_eq!(
+            eng.index_lookup(table, "people_pk", &vec![Datum::Int(99)])
+                .unwrap()
+                .len(),
+            1
+        );
+        assert!(eng.index_lookup(table, "nope", &vec![]).is_err());
+    }
+
+    #[test]
+    fn vacuum_reclaims_aborted_and_deleted_versions() {
+        let (eng, table) = engine_with_table();
+        let t1 = eng.begin().unwrap();
+        let kept = eng
+            .insert(t1, table, vec![], vec![Datum::Int(1), Datum::from("keep")])
+            .unwrap();
+        eng.insert(t1, table, vec![], vec![Datum::Int(2), Datum::from("drop")])
+            .unwrap();
+        eng.commit(t1).unwrap();
+
+        let t2 = eng.begin().unwrap();
+        eng.insert(t2, table, vec![], vec![Datum::Int(3), Datum::from("aborted")])
+            .unwrap();
+        eng.abort(t2).unwrap();
+
+        let t3 = eng.begin().unwrap();
+        // Delete the second row (find it by scan).
+        let snap = eng.snapshot(t3);
+        let mut victim = None;
+        eng.scan_visible(&snap, table, |row, v| {
+            if v.data[0] == Datum::Int(2) {
+                victim = Some(row);
+            }
+            true
+        })
+        .unwrap();
+        eng.delete(t3, table, victim.unwrap()).unwrap();
+        eng.commit(t3).unwrap();
+
+        let removed = eng.vacuum().unwrap();
+        assert!(removed >= 2, "aborted insert and deleted row are reclaimed");
+        // The kept row is still there.
+        let snap = eng.snapshot(eng.begin().unwrap());
+        assert!(eng.fetch_visible(&snap, table, kept).unwrap().is_some());
+    }
+
+    #[test]
+    fn stats_reflect_activity() {
+        let (eng, table) = engine_with_table();
+        let txn = eng.begin().unwrap();
+        eng.insert(txn, table, vec![1, 2], vec![Datum::Int(1), Datum::from("x")])
+            .unwrap();
+        eng.commit(txn).unwrap();
+        visible_rows(&eng, table);
+        let s = eng.stats();
+        assert_eq!(s.tuples_inserted, 1);
+        assert!(s.tuples_scanned >= 1);
+        assert!(s.wal_bytes > 0);
+        assert!(s.txns_started >= 2);
+    }
+
+    #[test]
+    fn on_disk_engine_round_trips() {
+        let dir = std::env::temp_dir().join(format!("ifdb-engine-test-{}", std::process::id()));
+        let eng = StorageEngine::with_kind(StorageKind::OnDisk {
+            dir: dir.clone(),
+            buffer_pages: 8,
+        });
+        let table = eng
+            .create_table(TableSchema::new(
+                "disk_table",
+                vec![
+                    ColumnDef::new("k", DataType::Int),
+                    ColumnDef::new("payload", DataType::Text),
+                ],
+            ))
+            .unwrap();
+        let txn = eng.begin().unwrap();
+        let payload = "z".repeat(500);
+        for i in 0..200 {
+            eng.insert(
+                txn,
+                table,
+                vec![i as u64 % 3],
+                vec![Datum::Int(i), Datum::Text(payload.clone())],
+            )
+            .unwrap();
+        }
+        eng.commit(txn).unwrap();
+        eng.flush().unwrap();
+        let rows = visible_rows(&eng, table);
+        assert_eq!(rows.len(), 200);
+        let s = eng.stats();
+        assert!(s.store_reads > 0, "small buffer pool must cause physical reads");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn schema_violations_rejected() {
+        let (eng, table) = engine_with_table();
+        let txn = eng.begin().unwrap();
+        assert!(eng
+            .insert(txn, table, vec![], vec![Datum::from("wrong"), Datum::Int(1)])
+            .is_err());
+        assert!(eng.insert(txn, table, vec![], vec![Datum::Int(1)]).is_err());
+        eng.abort(txn).unwrap();
+    }
+}

@@ -1,0 +1,210 @@
+//! Secondary indexes: ordered (B-tree style) and hash.
+//!
+//! Indexes map key tuples to the row ids of every version carrying that key.
+//! They are *not* MVCC-aware: visibility (and, in IFDB, label filtering) is
+//! applied when the heap tuple is fetched. This mirrors the paper's
+//! observation that polyinstantiation "required no special support, since the
+//! indexes that enforce uniqueness constraints already had to be prepared to
+//! deal with multiple versions" (Section 7.1).
+
+use std::collections::{BTreeMap, HashMap};
+use std::ops::Bound;
+
+use parking_lot::RwLock;
+
+use crate::heap::RowId;
+use crate::value::Datum;
+
+/// An index key: the values of the indexed columns.
+pub type IndexKey = Vec<Datum>;
+
+/// An ordered index supporting point and range lookups.
+#[derive(Debug, Default)]
+pub struct OrderedIndex {
+    map: RwLock<BTreeMap<IndexKey, Vec<RowId>>>,
+}
+
+impl OrderedIndex {
+    /// Creates an empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an entry.
+    pub fn insert(&self, key: IndexKey, row: RowId) {
+        self.map.write().entry(key).or_default().push(row);
+    }
+
+    /// Removes an entry (used by vacuum).
+    pub fn remove(&self, key: &IndexKey, row: RowId) {
+        let mut map = self.map.write();
+        if let Some(rows) = map.get_mut(key) {
+            rows.retain(|r| *r != row);
+            if rows.is_empty() {
+                map.remove(key);
+            }
+        }
+    }
+
+    /// Row ids recorded under exactly `key`.
+    pub fn get(&self, key: &IndexKey) -> Vec<RowId> {
+        self.map.read().get(key).cloned().unwrap_or_default()
+    }
+
+    /// Row ids whose keys fall within `[low, high]` (inclusive bounds; `None`
+    /// means unbounded).
+    pub fn range(&self, low: Option<&IndexKey>, high: Option<&IndexKey>) -> Vec<(IndexKey, RowId)> {
+        let map = self.map.read();
+        let lower = match low {
+            Some(k) => Bound::Included(k.clone()),
+            None => Bound::Unbounded,
+        };
+        let upper = match high {
+            Some(k) => Bound::Included(k.clone()),
+            None => Bound::Unbounded,
+        };
+        let mut out = Vec::new();
+        for (k, rows) in map.range((lower, upper)) {
+            for r in rows {
+                out.push((k.clone(), *r));
+            }
+        }
+        out
+    }
+
+    /// Row ids whose key starts with `prefix` (useful for composite keys such
+    /// as `(warehouse, district)` scans in TPC-C).
+    pub fn prefix(&self, prefix: &[Datum]) -> Vec<(IndexKey, RowId)> {
+        let map = self.map.read();
+        let mut out = Vec::new();
+        for (k, rows) in map.iter() {
+            if k.len() >= prefix.len() && &k[..prefix.len()] == prefix {
+                for r in rows {
+                    out.push((k.clone(), *r));
+                }
+            } else if !out.is_empty() && k.len() >= prefix.len() && &k[..prefix.len()] > prefix {
+                break;
+            }
+        }
+        out
+    }
+
+    /// Number of distinct keys.
+    pub fn key_count(&self) -> usize {
+        self.map.read().len()
+    }
+
+    /// Total number of entries.
+    pub fn entry_count(&self) -> usize {
+        self.map.read().values().map(Vec::len).sum()
+    }
+}
+
+/// A hash index supporting point lookups only.
+#[derive(Debug, Default)]
+pub struct HashIndex {
+    map: RwLock<HashMap<IndexKey, Vec<RowId>>>,
+}
+
+impl HashIndex {
+    /// Creates an empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an entry.
+    pub fn insert(&self, key: IndexKey, row: RowId) {
+        self.map.write().entry(key).or_default().push(row);
+    }
+
+    /// Removes an entry.
+    pub fn remove(&self, key: &IndexKey, row: RowId) {
+        let mut map = self.map.write();
+        if let Some(rows) = map.get_mut(key) {
+            rows.retain(|r| *r != row);
+            if rows.is_empty() {
+                map.remove(key);
+            }
+        }
+    }
+
+    /// Row ids recorded under exactly `key`.
+    pub fn get(&self, key: &IndexKey) -> Vec<RowId> {
+        self.map.read().get(key).cloned().unwrap_or_default()
+    }
+
+    /// Number of distinct keys.
+    pub fn key_count(&self) -> usize {
+        self.map.read().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(n: u32) -> RowId {
+        RowId { page: n, slot: 0 }
+    }
+
+    fn key(vals: &[i64]) -> IndexKey {
+        vals.iter().map(|v| Datum::Int(*v)).collect()
+    }
+
+    #[test]
+    fn ordered_point_lookup_and_duplicates() {
+        let idx = OrderedIndex::new();
+        idx.insert(key(&[1]), row(10));
+        idx.insert(key(&[1]), row(11));
+        idx.insert(key(&[2]), row(20));
+        assert_eq!(idx.get(&key(&[1])), vec![row(10), row(11)]);
+        assert_eq!(idx.get(&key(&[3])), Vec::<RowId>::new());
+        assert_eq!(idx.key_count(), 2);
+        assert_eq!(idx.entry_count(), 3);
+    }
+
+    #[test]
+    fn ordered_range_scan() {
+        let idx = OrderedIndex::new();
+        for i in 0..10 {
+            idx.insert(key(&[i]), row(i as u32));
+        }
+        let hits = idx.range(Some(&key(&[3])), Some(&key(&[6])));
+        let keys: Vec<i64> = hits.iter().map(|(k, _)| k[0].as_int().unwrap()).collect();
+        assert_eq!(keys, vec![3, 4, 5, 6]);
+        assert_eq!(idx.range(None, Some(&key(&[1]))).len(), 2);
+        assert_eq!(idx.range(Some(&key(&[8])), None).len(), 2);
+    }
+
+    #[test]
+    fn ordered_prefix_scan() {
+        let idx = OrderedIndex::new();
+        idx.insert(key(&[1, 1]), row(1));
+        idx.insert(key(&[1, 2]), row(2));
+        idx.insert(key(&[2, 1]), row(3));
+        let hits = idx.prefix(&key(&[1]));
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn removal_cleans_up_empty_keys() {
+        let idx = OrderedIndex::new();
+        idx.insert(key(&[5]), row(1));
+        idx.remove(&key(&[5]), row(1));
+        assert_eq!(idx.key_count(), 0);
+        // Removing a nonexistent entry is a no-op.
+        idx.remove(&key(&[5]), row(2));
+    }
+
+    #[test]
+    fn hash_index_point_lookup() {
+        let idx = HashIndex::new();
+        idx.insert(vec![Datum::Text("alice".into())], row(1));
+        idx.insert(vec![Datum::Text("alice".into())], row(2));
+        idx.insert(vec![Datum::Text("bob".into())], row(3));
+        assert_eq!(idx.get(&vec![Datum::Text("alice".into())]).len(), 2);
+        assert_eq!(idx.key_count(), 2);
+        idx.remove(&vec![Datum::Text("bob".into())], row(3));
+        assert_eq!(idx.key_count(), 1);
+    }
+}

@@ -1,0 +1,310 @@
+//! Multi-version concurrency control with snapshot isolation.
+//!
+//! The transaction manager hands out monotonically increasing transaction
+//! ids, tracks commit/abort status, and builds snapshots. A snapshot captures
+//! the set of transactions that were in flight when it was taken; a tuple
+//! version is visible to the snapshot iff its creating transaction committed
+//! before the snapshot and its deleting transaction (if any) did not.
+//!
+//! This is the same MVCC structure that made the IFDB changes easy in
+//! PostgreSQL (Section 7.1): the visibility check is the single place where
+//! irrelevant versions are skipped, so it is also where the `ifdb` crate
+//! hooks in the Query-by-Label filtering.
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+
+use crate::error::{StorageError, StorageResult};
+use crate::tuple::TupleHeader;
+
+/// Transaction identifier. Ids increase monotonically; id 0 is reserved as
+/// "bootstrap" and is always treated as committed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TxnId(pub u64);
+
+/// The reserved bootstrap transaction used for data loaded outside any
+/// explicit transaction (e.g. benchmark loaders).
+pub const BOOTSTRAP_TXN: TxnId = TxnId(0);
+
+impl fmt::Display for TxnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "txn{}", self.0)
+    }
+}
+
+/// Lifecycle state of a transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TxnStatus {
+    /// Still running.
+    InProgress,
+    /// Committed; its effects are durable and visible to later snapshots.
+    Committed,
+    /// Aborted; its effects must be ignored.
+    Aborted,
+}
+
+/// A snapshot of transaction state, defining tuple visibility.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Snapshot {
+    /// The transaction this snapshot belongs to (its own writes are visible).
+    pub txn: TxnId,
+    /// Every id `>= horizon` was not yet started when the snapshot was taken.
+    pub horizon: TxnId,
+    /// Transactions that were in progress when the snapshot was taken.
+    pub active: HashSet<TxnId>,
+}
+
+impl Snapshot {
+    /// Returns `true` if the effects of `other` are visible to this snapshot.
+    pub fn sees(&self, other: TxnId, status: TxnStatus) -> bool {
+        if other == self.txn {
+            return true;
+        }
+        if other == BOOTSTRAP_TXN {
+            return true;
+        }
+        if other >= self.horizon {
+            return false;
+        }
+        if self.active.contains(&other) {
+            return false;
+        }
+        status == TxnStatus::Committed
+    }
+}
+
+/// The transaction manager: id allocation, status tracking, snapshots.
+#[derive(Debug)]
+pub struct TransactionManager {
+    next_id: AtomicU64,
+    status: RwLock<HashMap<TxnId, TxnStatus>>,
+}
+
+impl Default for TransactionManager {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TransactionManager {
+    /// Creates a manager with no transactions.
+    pub fn new() -> Self {
+        TransactionManager {
+            next_id: AtomicU64::new(1),
+            status: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// Starts a transaction, returning its id.
+    pub fn begin(&self) -> TxnId {
+        let id = TxnId(self.next_id.fetch_add(1, Ordering::SeqCst));
+        self.status.write().insert(id, TxnStatus::InProgress);
+        id
+    }
+
+    /// Commits a transaction.
+    pub fn commit(&self, txn: TxnId) -> StorageResult<()> {
+        self.finish(txn, TxnStatus::Committed)
+    }
+
+    /// Aborts a transaction.
+    pub fn abort(&self, txn: TxnId) -> StorageResult<()> {
+        self.finish(txn, TxnStatus::Aborted)
+    }
+
+    fn finish(&self, txn: TxnId, to: TxnStatus) -> StorageResult<()> {
+        let mut status = self.status.write();
+        match status.get(&txn) {
+            Some(TxnStatus::InProgress) => {
+                status.insert(txn, to);
+                Ok(())
+            }
+            _ => Err(StorageError::InvalidTransaction(txn.0)),
+        }
+    }
+
+    /// The status of a transaction. The bootstrap transaction is always
+    /// committed; unknown ids report as aborted (their effects are ignored).
+    pub fn status(&self, txn: TxnId) -> TxnStatus {
+        if txn == BOOTSTRAP_TXN {
+            return TxnStatus::Committed;
+        }
+        self.status
+            .read()
+            .get(&txn)
+            .copied()
+            .unwrap_or(TxnStatus::Aborted)
+    }
+
+    /// Returns `true` if the transaction is currently in progress.
+    pub fn is_active(&self, txn: TxnId) -> bool {
+        self.status(txn) == TxnStatus::InProgress
+    }
+
+    /// Takes a snapshot on behalf of `txn`.
+    pub fn snapshot(&self, txn: TxnId) -> Snapshot {
+        let status = self.status.read();
+        let horizon = TxnId(self.next_id.load(Ordering::SeqCst));
+        let active = status
+            .iter()
+            .filter(|(id, s)| **s == TxnStatus::InProgress && **id != txn)
+            .map(|(id, _)| *id)
+            .collect();
+        Snapshot {
+            txn,
+            horizon,
+            active,
+        }
+    }
+
+    /// Decides whether a tuple version is visible to `snapshot`.
+    ///
+    /// A version is visible iff its inserting transaction is visible and its
+    /// deleting transaction (if any) is not.
+    pub fn is_visible(&self, snapshot: &Snapshot, header: &TupleHeader) -> bool {
+        if !snapshot.sees(header.xmin, self.status(header.xmin)) {
+            return false;
+        }
+        match header.xmax {
+            None => true,
+            Some(xmax) => !snapshot.sees(xmax, self.status(xmax)),
+        }
+    }
+
+    /// Returns `true` if a version whose `xmax` is set can be physically
+    /// removed: the deleter committed and no active transaction might still
+    /// need the old version. Used by vacuum.
+    pub fn is_dead_for_all(&self, header: &TupleHeader) -> bool {
+        let Some(xmax) = header.xmax else {
+            return false;
+        };
+        if self.status(xmax) != TxnStatus::Committed {
+            return false;
+        }
+        let status = self.status.read();
+        let oldest_active = status
+            .iter()
+            .filter(|(_, s)| **s == TxnStatus::InProgress)
+            .map(|(id, _)| *id)
+            .min();
+        match oldest_active {
+            None => true,
+            Some(oldest) => xmax < oldest,
+        }
+    }
+
+    /// Number of transactions ever started.
+    pub fn started_count(&self) -> u64 {
+        self.next_id.load(Ordering::SeqCst) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn header(xmin: TxnId, xmax: Option<TxnId>) -> TupleHeader {
+        TupleHeader {
+            xmin,
+            xmax,
+            label: vec![],
+        }
+    }
+
+    #[test]
+    fn committed_inserts_become_visible() {
+        let mgr = TransactionManager::new();
+        let writer = mgr.begin();
+        let reader = mgr.begin();
+
+        // Before the writer commits, its insert is invisible to the reader.
+        let snap = mgr.snapshot(reader);
+        assert!(!mgr.is_visible(&snap, &header(writer, None)));
+
+        mgr.commit(writer).unwrap();
+        // A snapshot taken while the writer was active still cannot see it
+        // (snapshot isolation), but a fresh snapshot can.
+        assert!(!mgr.is_visible(&snap, &header(writer, None)));
+        let reader2 = mgr.begin();
+        let snap2 = mgr.snapshot(reader2);
+        assert!(mgr.is_visible(&snap2, &header(writer, None)));
+    }
+
+    #[test]
+    fn own_writes_are_visible() {
+        let mgr = TransactionManager::new();
+        let t = mgr.begin();
+        let snap = mgr.snapshot(t);
+        assert!(mgr.is_visible(&snap, &header(t, None)));
+        // A tuple the transaction itself deleted is no longer visible to it.
+        assert!(!mgr.is_visible(&snap, &header(TxnId(0), Some(t))));
+    }
+
+    #[test]
+    fn aborted_transactions_are_invisible() {
+        let mgr = TransactionManager::new();
+        let t = mgr.begin();
+        mgr.abort(t).unwrap();
+        let reader = mgr.begin();
+        let snap = mgr.snapshot(reader);
+        assert!(!mgr.is_visible(&snap, &header(t, None)));
+        // A delete by an aborted transaction does not hide the tuple.
+        assert!(mgr.is_visible(&snap, &header(TxnId(0), Some(t))));
+    }
+
+    #[test]
+    fn deleted_tuples_visible_to_older_snapshots() {
+        let mgr = TransactionManager::new();
+        let reader = mgr.begin();
+        let snap = mgr.snapshot(reader);
+        let deleter = mgr.begin();
+        mgr.commit(deleter).unwrap();
+        // The delete committed after the reader's snapshot, so the reader
+        // still sees the old version.
+        assert!(mgr.is_visible(&snap, &header(TxnId(0), Some(deleter))));
+        // A new snapshot does not.
+        let reader2 = mgr.begin();
+        let snap2 = mgr.snapshot(reader2);
+        assert!(!mgr.is_visible(&snap2, &header(TxnId(0), Some(deleter))));
+    }
+
+    #[test]
+    fn double_commit_rejected() {
+        let mgr = TransactionManager::new();
+        let t = mgr.begin();
+        mgr.commit(t).unwrap();
+        assert!(mgr.commit(t).is_err());
+        assert!(mgr.abort(t).is_err());
+        assert!(mgr.commit(TxnId(9999)).is_err());
+    }
+
+    #[test]
+    fn bootstrap_always_committed() {
+        let mgr = TransactionManager::new();
+        assert_eq!(mgr.status(BOOTSTRAP_TXN), TxnStatus::Committed);
+        let r = mgr.begin();
+        let snap = mgr.snapshot(r);
+        assert!(mgr.is_visible(&snap, &header(BOOTSTRAP_TXN, None)));
+    }
+
+    #[test]
+    fn vacuum_eligibility() {
+        let mgr = TransactionManager::new();
+        let deleter = mgr.begin();
+        let h = header(BOOTSTRAP_TXN, Some(deleter));
+        assert!(!mgr.is_dead_for_all(&h), "deleter still in progress");
+        mgr.commit(deleter).unwrap();
+        assert!(mgr.is_dead_for_all(&h), "no active transactions remain");
+        // A live tuple is never dead.
+        assert!(!mgr.is_dead_for_all(&header(BOOTSTRAP_TXN, None)));
+        // An older active transaction keeps the version alive.
+        let _old = mgr.begin();
+        let deleter2 = mgr.begin();
+        mgr.commit(deleter2).unwrap();
+        assert!(!mgr.is_dead_for_all(&header(BOOTSTRAP_TXN, Some(deleter2))));
+    }
+}

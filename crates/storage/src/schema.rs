@@ -1,0 +1,174 @@
+//! Table schemas.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{StorageError, StorageResult};
+use crate::value::{DataType, Datum};
+
+/// Definition of one column.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ColumnDef {
+    /// Column name.
+    pub name: String,
+    /// Declared type.
+    pub ty: DataType,
+    /// Whether NULL is allowed.
+    pub nullable: bool,
+}
+
+impl ColumnDef {
+    /// Creates a non-nullable column.
+    pub fn new(name: &str, ty: DataType) -> Self {
+        ColumnDef {
+            name: name.to_string(),
+            ty,
+            nullable: false,
+        }
+    }
+
+    /// Creates a nullable column.
+    pub fn nullable(name: &str, ty: DataType) -> Self {
+        ColumnDef {
+            name: name.to_string(),
+            ty,
+            nullable: true,
+        }
+    }
+}
+
+/// A table schema: an ordered list of columns.
+///
+/// The `_label` system column of IFDB is *not* part of the schema — it lives
+/// in the tuple header alongside the MVCC fields, mirroring the paper's
+/// implementation where labels are stored "along with each tuple in a new,
+/// immutable system column" at the storage layer (Section 7.1).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TableSchema {
+    /// Table name.
+    pub name: String,
+    /// Ordered column definitions.
+    pub columns: Vec<ColumnDef>,
+}
+
+impl TableSchema {
+    /// Creates a schema.
+    pub fn new(name: &str, columns: Vec<ColumnDef>) -> Self {
+        TableSchema {
+            name: name.to_string(),
+            columns,
+        }
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Index of the named column.
+    pub fn column_index(&self, name: &str) -> StorageResult<usize> {
+        self.columns
+            .iter()
+            .position(|c| c.name == name)
+            .ok_or_else(|| StorageError::UnknownColumn(name.to_string()))
+    }
+
+    /// The definition of the named column.
+    pub fn column(&self, name: &str) -> StorageResult<&ColumnDef> {
+        let idx = self.column_index(name)?;
+        Ok(&self.columns[idx])
+    }
+
+    /// Checks that `values` conforms to the schema: correct arity, types
+    /// match, and no NULLs in non-nullable columns.
+    pub fn check_tuple(&self, values: &[Datum]) -> StorageResult<()> {
+        if values.len() != self.columns.len() {
+            return Err(StorageError::SchemaMismatch {
+                detail: format!(
+                    "table {} expects {} columns, got {}",
+                    self.name,
+                    self.columns.len(),
+                    values.len()
+                ),
+            });
+        }
+        for (col, val) in self.columns.iter().zip(values) {
+            if val.is_null() {
+                if !col.nullable {
+                    return Err(StorageError::SchemaMismatch {
+                        detail: format!("column {} of {} is not nullable", col.name, self.name),
+                    });
+                }
+                continue;
+            }
+            if !val.matches_type(col.ty) {
+                return Err(StorageError::SchemaMismatch {
+                    detail: format!(
+                        "column {} of {} expects {:?}, got {:?}",
+                        col.name,
+                        self.name,
+                        col.ty,
+                        val.data_type()
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> TableSchema {
+        TableSchema::new(
+            "patients",
+            vec![
+                ColumnDef::new("name", DataType::Text),
+                ColumnDef::new("dob", DataType::Text),
+                ColumnDef::nullable("condition", DataType::Text),
+                ColumnDef::new("visits", DataType::Int),
+            ],
+        )
+    }
+
+    #[test]
+    fn column_lookup() {
+        let s = schema();
+        assert_eq!(s.arity(), 4);
+        assert_eq!(s.column_index("dob").unwrap(), 1);
+        assert!(s.column_index("missing").is_err());
+        assert_eq!(s.column("visits").unwrap().ty, DataType::Int);
+    }
+
+    #[test]
+    fn tuple_validation() {
+        let s = schema();
+        let good = vec![
+            Datum::from("Alice"),
+            Datum::from("2/1/60"),
+            Datum::Null,
+            Datum::Int(3),
+        ];
+        assert!(s.check_tuple(&good).is_ok());
+
+        let wrong_arity = vec![Datum::from("Alice")];
+        assert!(s.check_tuple(&wrong_arity).is_err());
+
+        let wrong_type = vec![
+            Datum::from("Alice"),
+            Datum::from("2/1/60"),
+            Datum::Null,
+            Datum::from("three"),
+        ];
+        assert!(s.check_tuple(&wrong_type).is_err());
+
+        let bad_null = vec![
+            Datum::Null,
+            Datum::from("2/1/60"),
+            Datum::Null,
+            Datum::Int(0),
+        ];
+        assert!(s.check_tuple(&bad_null).is_err());
+    }
+}

@@ -1,0 +1,81 @@
+//! Engine-wide statistics.
+
+use serde::{Deserialize, Serialize};
+
+use crate::buffer::BufferStats;
+
+/// A snapshot of the storage engine's counters, combined across subsystems.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EngineStats {
+    /// Buffer pool hits.
+    pub buffer_hits: u64,
+    /// Buffer pool misses (physical page reads).
+    pub buffer_misses: u64,
+    /// Dirty pages written back.
+    pub writebacks: u64,
+    /// Pages evicted from the pool.
+    pub evictions: u64,
+    /// Tuple versions inserted.
+    pub tuples_inserted: u64,
+    /// Tuple versions deleted or superseded.
+    pub tuples_deleted: u64,
+    /// Tuple versions examined by scans.
+    pub tuples_scanned: u64,
+    /// Transactions started.
+    pub txns_started: u64,
+    /// Bytes appended to the write-ahead log.
+    pub wal_bytes: u64,
+    /// Physical page reads performed by page stores.
+    pub store_reads: u64,
+    /// Physical page writes performed by page stores.
+    pub store_writes: u64,
+}
+
+impl EngineStats {
+    /// Incorporates buffer-pool counters.
+    pub fn with_buffer(mut self, b: BufferStats) -> Self {
+        self.buffer_hits = b.hits;
+        self.buffer_misses = b.misses;
+        self.writebacks = b.writebacks;
+        self.evictions = b.evictions;
+        self
+    }
+
+    /// Buffer hit ratio in `[0, 1]`; 1.0 when there has been no traffic.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.buffer_hits + self.buffer_misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.buffer_hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_ratio_handles_zero_traffic() {
+        assert_eq!(EngineStats::default().hit_ratio(), 1.0);
+        let s = EngineStats {
+            buffer_hits: 3,
+            buffer_misses: 1,
+            ..Default::default()
+        };
+        assert!((s.hit_ratio() - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn with_buffer_copies_counters() {
+        let s = EngineStats::default().with_buffer(BufferStats {
+            hits: 5,
+            misses: 2,
+            writebacks: 1,
+            evictions: 1,
+        });
+        assert_eq!(s.buffer_hits, 5);
+        assert_eq!(s.buffer_misses, 2);
+    }
+}

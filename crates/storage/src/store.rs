@@ -1,0 +1,206 @@
+//! Page stores: where pages live when they are not in the buffer pool.
+//!
+//! Two implementations are provided, mirroring the two configurations of the
+//! Figure 6 experiment: an in-memory store (the "in-memory database") and a
+//! file-backed store with real read/write system calls (the "on-disk,
+//! disk-bound database").
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+use crate::error::StorageResult;
+use crate::page::{Page, PageId, PAGE_SIZE};
+
+/// Abstract backing store for a table's pages.
+pub trait PageStore: Send + Sync {
+    /// Allocates a fresh, empty page and returns its id.
+    fn allocate(&self) -> StorageResult<PageId>;
+    /// Reads the page with the given id.
+    fn read_page(&self, id: PageId) -> StorageResult<Page>;
+    /// Writes the page with the given id.
+    fn write_page(&self, id: PageId, page: &Page) -> StorageResult<()>;
+    /// Number of allocated pages.
+    fn page_count(&self) -> u32;
+    /// Number of physical reads served so far (for statistics).
+    fn reads(&self) -> u64;
+    /// Number of physical writes served so far (for statistics).
+    fn writes(&self) -> u64;
+}
+
+/// An in-memory page store: "disk" reads and writes are memcpys.
+#[derive(Default)]
+pub struct MemPageStore {
+    pages: Mutex<Vec<Page>>,
+    reads: AtomicU64,
+    writes: AtomicU64,
+}
+
+impl MemPageStore {
+    /// Creates an empty in-memory store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl PageStore for MemPageStore {
+    fn allocate(&self) -> StorageResult<PageId> {
+        let mut pages = self.pages.lock();
+        pages.push(Page::new());
+        Ok(PageId(pages.len() as u32 - 1))
+    }
+
+    fn read_page(&self, id: PageId) -> StorageResult<Page> {
+        self.reads.fetch_add(1, Ordering::Relaxed);
+        let pages = self.pages.lock();
+        pages
+            .get(id.0 as usize)
+            .cloned()
+            .ok_or(crate::error::StorageError::Corruption {
+                detail: format!("page {} not allocated", id.0),
+            })
+    }
+
+    fn write_page(&self, id: PageId, page: &Page) -> StorageResult<()> {
+        self.writes.fetch_add(1, Ordering::Relaxed);
+        let mut pages = self.pages.lock();
+        if let Some(slot) = pages.get_mut(id.0 as usize) {
+            *slot = page.clone();
+            Ok(())
+        } else {
+            Err(crate::error::StorageError::Corruption {
+                detail: format!("page {} not allocated", id.0),
+            })
+        }
+    }
+
+    fn page_count(&self) -> u32 {
+        self.pages.lock().len() as u32
+    }
+
+    fn reads(&self) -> u64 {
+        self.reads.load(Ordering::Relaxed)
+    }
+
+    fn writes(&self) -> u64 {
+        self.writes.load(Ordering::Relaxed)
+    }
+}
+
+/// A file-backed page store: each page occupies an 8 KiB extent of a heap
+/// file, and reads/writes are real system calls, so evictions from the buffer
+/// pool have a genuine I/O cost.
+pub struct FilePageStore {
+    file: Mutex<File>,
+    page_count: AtomicU64,
+    reads: AtomicU64,
+    writes: AtomicU64,
+}
+
+impl FilePageStore {
+    /// Creates (or truncates) a heap file at `path`.
+    pub fn create(path: &Path) -> StorageResult<Self> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(FilePageStore {
+            file: Mutex::new(file),
+            page_count: AtomicU64::new(0),
+            reads: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+        })
+    }
+}
+
+impl PageStore for FilePageStore {
+    fn allocate(&self) -> StorageResult<PageId> {
+        let id = self.page_count.fetch_add(1, Ordering::SeqCst) as u32;
+        // Materialize the extent immediately so reads of freshly allocated
+        // pages succeed.
+        let page = Page::new();
+        let mut file = self.file.lock();
+        file.seek(SeekFrom::Start(id as u64 * PAGE_SIZE as u64))?;
+        file.write_all(page.as_bytes())?;
+        Ok(PageId(id))
+    }
+
+    fn read_page(&self, id: PageId) -> StorageResult<Page> {
+        self.reads.fetch_add(1, Ordering::Relaxed);
+        let mut buf = vec![0u8; PAGE_SIZE];
+        let mut file = self.file.lock();
+        file.seek(SeekFrom::Start(id.0 as u64 * PAGE_SIZE as u64))?;
+        file.read_exact(&mut buf)?;
+        Page::from_bytes(buf)
+    }
+
+    fn write_page(&self, id: PageId, page: &Page) -> StorageResult<()> {
+        self.writes.fetch_add(1, Ordering::Relaxed);
+        let mut file = self.file.lock();
+        file.seek(SeekFrom::Start(id.0 as u64 * PAGE_SIZE as u64))?;
+        file.write_all(page.as_bytes())?;
+        Ok(())
+    }
+
+    fn page_count(&self) -> u32 {
+        self.page_count.load(Ordering::SeqCst) as u32
+    }
+
+    fn reads(&self) -> u64 {
+        self.reads.load(Ordering::Relaxed)
+    }
+
+    fn writes(&self) -> u64 {
+        self.writes.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise(store: &dyn PageStore) {
+        let a = store.allocate().unwrap();
+        let b = store.allocate().unwrap();
+        assert_ne!(a, b);
+        assert_eq!(store.page_count(), 2);
+
+        let mut page = store.read_page(a).unwrap();
+        page.insert(b"durable bytes").unwrap();
+        store.write_page(a, &page).unwrap();
+
+        let again = store.read_page(a).unwrap();
+        assert_eq!(again.read(0).unwrap(), b"durable bytes");
+        // Page b is still empty.
+        assert_eq!(store.read_page(b).unwrap().slot_count(), 0);
+        assert!(store.reads() >= 2);
+        assert!(store.writes() >= 1);
+    }
+
+    #[test]
+    fn mem_store_round_trip() {
+        exercise(&MemPageStore::new());
+    }
+
+    #[test]
+    fn file_store_round_trip() {
+        let dir = std::env::temp_dir().join(format!("ifdb-store-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("heap.dat");
+        let store = FilePageStore::create(&path).unwrap();
+        exercise(&store);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn mem_store_rejects_unallocated_pages() {
+        let store = MemPageStore::new();
+        assert!(store.read_page(PageId(3)).is_err());
+        assert!(store.write_page(PageId(3), &Page::new()).is_err());
+    }
+}

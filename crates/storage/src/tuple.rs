@@ -1,0 +1,206 @@
+//! Tuple versions: header (MVCC fields + label) plus field data.
+//!
+//! As in PostgreSQL, every update creates a new *version* of a tuple. The
+//! header of each version records the creating transaction (`xmin`), the
+//! deleting/superseding transaction (`xmax`, if any), and — the IFDB addition
+//! — the tuple's immutable label, stored as an array of 64-bit tag ids with a
+//! one-byte length (the paper stores the label length "in a byte in the tuple
+//! header, which was previously unused for alignment reasons", and each tag
+//! adds to the tuple size with corresponding I/O implications; Section 8.3).
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{StorageError, StorageResult};
+use crate::mvcc::TxnId;
+use crate::value::Datum;
+
+/// The field values of a tuple (no header).
+pub type TupleData = Vec<Datum>;
+
+/// MVCC + label header of a tuple version.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TupleHeader {
+    /// Transaction that created this version.
+    pub xmin: TxnId,
+    /// Transaction that deleted or superseded this version, if any.
+    pub xmax: Option<TxnId>,
+    /// The tuple's label as raw tag ids (sorted). Immutable once written.
+    pub label: Vec<u64>,
+}
+
+impl TupleHeader {
+    /// Creates a header for a freshly inserted tuple.
+    pub fn new(xmin: TxnId, label: Vec<u64>) -> Self {
+        TupleHeader {
+            xmin,
+            xmax: None,
+            label,
+        }
+    }
+
+    /// Size of the encoded header in bytes: xmin (8) + xmax (8) + label
+    /// length byte + 8 bytes per tag.
+    pub fn encoded_len(&self) -> usize {
+        8 + 8 + 1 + 8 * self.label.len()
+    }
+}
+
+/// A complete tuple version: header plus data.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TupleVersion {
+    /// The MVCC/label header.
+    pub header: TupleHeader,
+    /// The field values.
+    pub data: TupleData,
+}
+
+impl TupleVersion {
+    /// Creates a new version.
+    pub fn new(header: TupleHeader, data: TupleData) -> Self {
+        TupleVersion { header, data }
+    }
+
+    /// Encodes the version into bytes for storage in a page slot.
+    ///
+    /// Layout: `xmin u64 | xmax u64 (0 = none) | label_len u8 | tags... |
+    /// field_count u16 | encoded fields...`
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.encoded_len());
+        out.extend_from_slice(&self.header.xmin.0.to_le_bytes());
+        out.extend_from_slice(&self.header.xmax.map(|x| x.0).unwrap_or(0).to_le_bytes());
+        debug_assert!(self.header.label.len() <= u8::MAX as usize);
+        out.push(self.header.label.len() as u8);
+        for t in &self.header.label {
+            out.extend_from_slice(&t.to_le_bytes());
+        }
+        out.extend_from_slice(&(self.data.len() as u16).to_le_bytes());
+        for d in &self.data {
+            d.encode(&mut out);
+        }
+        out
+    }
+
+    /// Decodes a version previously produced by [`TupleVersion::encode`].
+    pub fn decode(buf: &[u8]) -> StorageResult<TupleVersion> {
+        let corrupt = |d: &str| StorageError::Corruption {
+            detail: d.to_string(),
+        };
+        if buf.len() < 17 {
+            return Err(corrupt("tuple shorter than header"));
+        }
+        let xmin = TxnId(u64::from_le_bytes(buf[0..8].try_into().unwrap()));
+        let raw_xmax = u64::from_le_bytes(buf[8..16].try_into().unwrap());
+        let xmax = if raw_xmax == 0 {
+            None
+        } else {
+            Some(TxnId(raw_xmax))
+        };
+        let label_len = buf[16] as usize;
+        let mut pos = 17;
+        if pos + label_len * 8 + 2 > buf.len() {
+            return Err(corrupt("truncated label"));
+        }
+        let mut label = Vec::with_capacity(label_len);
+        for _ in 0..label_len {
+            label.push(u64::from_le_bytes(buf[pos..pos + 8].try_into().unwrap()));
+            pos += 8;
+        }
+        let field_count = u16::from_le_bytes(buf[pos..pos + 2].try_into().unwrap()) as usize;
+        pos += 2;
+        let mut data = Vec::with_capacity(field_count);
+        for _ in 0..field_count {
+            let (d, next) = Datum::decode(buf, pos)?;
+            data.push(d);
+            pos = next;
+        }
+        Ok(TupleVersion {
+            header: TupleHeader { xmin, xmax, label },
+            data,
+        })
+    }
+
+    /// Total encoded size in bytes.
+    pub fn encoded_len(&self) -> usize {
+        self.header.encoded_len()
+            + 2
+            + self.data.iter().map(|d| 5 + d.encoded_len()).sum::<usize>()
+    }
+}
+
+/// Overwrites the `xmax` field of an encoded tuple in place. Used by the heap
+/// to mark a version deleted/superseded without rewriting the whole slot.
+pub fn patch_xmax(slot: &mut [u8], xmax: Option<TxnId>) -> StorageResult<()> {
+    if slot.len() < 16 {
+        return Err(StorageError::Corruption {
+            detail: "slot too small to patch xmax".into(),
+        });
+    }
+    let raw = xmax.map(|x| x.0).unwrap_or(0);
+    slot[8..16].copy_from_slice(&raw.to_le_bytes());
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(label: Vec<u64>) -> TupleVersion {
+        TupleVersion::new(
+            TupleHeader::new(TxnId(7), label),
+            vec![
+                Datum::Int(1),
+                Datum::Text("Bob".into()),
+                Datum::Null,
+                Datum::Float(2.5),
+            ],
+        )
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        for label in [vec![], vec![3], vec![1, 2, 3, 4, 5]] {
+            let v = sample(label);
+            let bytes = v.encode();
+            assert_eq!(bytes.len(), v.encoded_len());
+            let decoded = TupleVersion::decode(&bytes).unwrap();
+            assert_eq!(decoded, v);
+        }
+    }
+
+    #[test]
+    fn xmax_round_trip() {
+        let mut v = sample(vec![9]);
+        v.header.xmax = Some(TxnId(11));
+        let decoded = TupleVersion::decode(&v.encode()).unwrap();
+        assert_eq!(decoded.header.xmax, Some(TxnId(11)));
+    }
+
+    #[test]
+    fn label_increases_size_by_8_bytes_per_tag() {
+        let base = sample(vec![]).encoded_len();
+        let one = sample(vec![1]).encoded_len();
+        let five = sample(vec![1, 2, 3, 4, 5]).encoded_len();
+        assert_eq!(one - base, 8);
+        assert_eq!(five - base, 40);
+    }
+
+    #[test]
+    fn patch_xmax_in_place() {
+        let v = sample(vec![1, 2]);
+        let mut bytes = v.encode();
+        patch_xmax(&mut bytes, Some(TxnId(99))).unwrap();
+        let decoded = TupleVersion::decode(&bytes).unwrap();
+        assert_eq!(decoded.header.xmax, Some(TxnId(99)));
+        assert_eq!(decoded.data, v.data);
+        patch_xmax(&mut bytes, None).unwrap();
+        assert_eq!(TupleVersion::decode(&bytes).unwrap().header.xmax, None);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(TupleVersion::decode(&[1, 2, 3]).is_err());
+        let v = sample(vec![1]);
+        let bytes = v.encode();
+        assert!(TupleVersion::decode(&bytes[..bytes.len() - 3]).is_err());
+    }
+}

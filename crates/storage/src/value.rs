@@ -1,0 +1,451 @@
+//! Datums: the values stored in tuple fields.
+//!
+//! The type system is the small subset of SQL types that CarTel, HotCRP and
+//! TPC-C need: integers, floats, text, booleans, timestamps (as microseconds
+//! since the epoch) and arrays of unsigned integers (used only for the
+//! `_label` system column).
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{StorageError, StorageResult};
+
+/// The declared type of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DataType {
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit IEEE float.
+    Float,
+    /// UTF-8 string.
+    Text,
+    /// Boolean.
+    Bool,
+    /// Microseconds since the Unix epoch.
+    Timestamp,
+    /// Array of unsigned 64-bit integers (the `_label` column type).
+    IntArray,
+}
+
+/// A single field value.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Datum {
+    /// SQL NULL.
+    Null,
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit IEEE float.
+    Float(f64),
+    /// UTF-8 string.
+    Text(String),
+    /// Boolean.
+    Bool(bool),
+    /// Microseconds since the Unix epoch.
+    Timestamp(i64),
+    /// Array of unsigned 64-bit integers.
+    IntArray(Vec<u64>),
+}
+
+impl Datum {
+    /// Returns `true` for [`Datum::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, Datum::Null)
+    }
+
+    /// The dynamic type of this datum, or `None` for NULL (which has every
+    /// type).
+    pub fn data_type(&self) -> Option<DataType> {
+        match self {
+            Datum::Null => None,
+            Datum::Int(_) => Some(DataType::Int),
+            Datum::Float(_) => Some(DataType::Float),
+            Datum::Text(_) => Some(DataType::Text),
+            Datum::Bool(_) => Some(DataType::Bool),
+            Datum::Timestamp(_) => Some(DataType::Timestamp),
+            Datum::IntArray(_) => Some(DataType::IntArray),
+        }
+    }
+
+    /// Returns `true` if the datum may be stored in a column of type `ty`.
+    pub fn matches_type(&self, ty: DataType) -> bool {
+        match self.data_type() {
+            None => true,
+            Some(t) => t == ty,
+        }
+    }
+
+    /// Extracts an integer, if this is an [`Datum::Int`].
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Datum::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Extracts a float (also accepting integers).
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Datum::Float(v) => Some(*v),
+            Datum::Int(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// Extracts a string slice, if this is a [`Datum::Text`].
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            Datum::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Extracts a boolean, if this is a [`Datum::Bool`].
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Datum::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Extracts a timestamp, if this is a [`Datum::Timestamp`].
+    pub fn as_timestamp(&self) -> Option<i64> {
+        match self {
+            Datum::Timestamp(t) => Some(*t),
+            _ => None,
+        }
+    }
+
+    /// Extracts the integer array, if this is a [`Datum::IntArray`].
+    pub fn as_int_array(&self) -> Option<&[u64]> {
+        match self {
+            Datum::IntArray(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The number of bytes this datum occupies in the on-page encoding
+    /// (excluding the per-field length prefix).
+    pub fn encoded_len(&self) -> usize {
+        match self {
+            Datum::Null => 0,
+            Datum::Int(_) | Datum::Float(_) | Datum::Timestamp(_) => 8,
+            Datum::Bool(_) => 1,
+            Datum::Text(s) => s.len(),
+            Datum::IntArray(v) => v.len() * 8,
+        }
+    }
+
+    /// Appends the binary encoding of this datum to `out`.
+    ///
+    /// The encoding is `[type_byte][u32 length][payload]`; it is not meant to
+    /// be a stable on-disk format, just a compact, deterministic one so that
+    /// tuple sizes (and therefore I/O) scale realistically.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Datum::Null => {
+                out.push(0);
+                out.extend_from_slice(&0u32.to_le_bytes());
+            }
+            Datum::Int(v) => {
+                out.push(1);
+                out.extend_from_slice(&8u32.to_le_bytes());
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+            Datum::Float(v) => {
+                out.push(2);
+                out.extend_from_slice(&8u32.to_le_bytes());
+                out.extend_from_slice(&v.to_bits().to_le_bytes());
+            }
+            Datum::Text(s) => {
+                out.push(3);
+                out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+                out.extend_from_slice(s.as_bytes());
+            }
+            Datum::Bool(b) => {
+                out.push(4);
+                out.extend_from_slice(&1u32.to_le_bytes());
+                out.push(u8::from(*b));
+            }
+            Datum::Timestamp(v) => {
+                out.push(5);
+                out.extend_from_slice(&8u32.to_le_bytes());
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+            Datum::IntArray(v) => {
+                out.push(6);
+                out.extend_from_slice(&((v.len() * 8) as u32).to_le_bytes());
+                for x in v {
+                    out.extend_from_slice(&x.to_le_bytes());
+                }
+            }
+        }
+    }
+
+    /// Decodes a datum from `buf` starting at `pos`, returning the datum and
+    /// the new position.
+    pub fn decode(buf: &[u8], pos: usize) -> StorageResult<(Datum, usize)> {
+        let corrupt = |d: &str| StorageError::Corruption {
+            detail: d.to_string(),
+        };
+        if pos + 5 > buf.len() {
+            return Err(corrupt("truncated datum header"));
+        }
+        let kind = buf[pos];
+        let len = u32::from_le_bytes(buf[pos + 1..pos + 5].try_into().unwrap()) as usize;
+        let start = pos + 5;
+        let end = start + len;
+        if end > buf.len() {
+            return Err(corrupt("truncated datum payload"));
+        }
+        let payload = &buf[start..end];
+        let datum = match kind {
+            0 => Datum::Null,
+            1 => Datum::Int(i64::from_le_bytes(
+                payload.try_into().map_err(|_| corrupt("bad int"))?,
+            )),
+            2 => Datum::Float(f64::from_bits(u64::from_le_bytes(
+                payload.try_into().map_err(|_| corrupt("bad float"))?,
+            ))),
+            3 => Datum::Text(
+                String::from_utf8(payload.to_vec()).map_err(|_| corrupt("bad utf8"))?,
+            ),
+            4 => Datum::Bool(payload.first().copied().unwrap_or(0) != 0),
+            5 => Datum::Timestamp(i64::from_le_bytes(
+                payload.try_into().map_err(|_| corrupt("bad timestamp"))?,
+            )),
+            6 => {
+                if len % 8 != 0 {
+                    return Err(corrupt("bad array length"));
+                }
+                let mut v = Vec::with_capacity(len / 8);
+                for chunk in payload.chunks_exact(8) {
+                    v.push(u64::from_le_bytes(chunk.try_into().unwrap()));
+                }
+                Datum::IntArray(v)
+            }
+            _ => return Err(corrupt("unknown datum kind")),
+        };
+        Ok((datum, end))
+    }
+}
+
+impl PartialEq for Datum {
+    fn eq(&self, other: &Self) -> bool {
+        self.compare(other) == Some(Ordering::Equal)
+    }
+}
+
+impl Eq for Datum {}
+
+impl Datum {
+    /// Three-way comparison with SQL-ish semantics: NULL compares equal to
+    /// NULL and less than everything else (a total order convenient for
+    /// index keys); numeric types compare numerically; mixed non-numeric
+    /// types return `None`.
+    pub fn compare(&self, other: &Datum) -> Option<Ordering> {
+        use Datum::*;
+        match (self, other) {
+            (Null, Null) => Some(Ordering::Equal),
+            (Null, _) => Some(Ordering::Less),
+            (_, Null) => Some(Ordering::Greater),
+            (Int(a), Int(b)) => Some(a.cmp(b)),
+            (Float(a), Float(b)) => a.partial_cmp(b).or(Some(Ordering::Equal)),
+            (Int(a), Float(b)) => (*a as f64).partial_cmp(b),
+            (Float(a), Int(b)) => a.partial_cmp(&(*b as f64)),
+            (Text(a), Text(b)) => Some(a.cmp(b)),
+            (Bool(a), Bool(b)) => Some(a.cmp(b)),
+            (Timestamp(a), Timestamp(b)) => Some(a.cmp(b)),
+            (Timestamp(a), Int(b)) => Some(a.cmp(b)),
+            (Int(a), Timestamp(b)) => Some(a.cmp(b)),
+            (IntArray(a), IntArray(b)) => Some(a.cmp(b)),
+            _ => None,
+        }
+    }
+}
+
+impl PartialOrd for Datum {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        self.compare(other)
+    }
+}
+
+impl Ord for Datum {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Fall back to comparing type discriminants for incomparable kinds so
+        // that index keys always have a total order.
+        self.compare(other).unwrap_or_else(|| {
+            let rank = |d: &Datum| match d {
+                Datum::Null => 0u8,
+                Datum::Bool(_) => 1,
+                Datum::Int(_) => 2,
+                Datum::Float(_) => 3,
+                Datum::Timestamp(_) => 4,
+                Datum::Text(_) => 5,
+                Datum::IntArray(_) => 6,
+            };
+            rank(self).cmp(&rank(other))
+        })
+    }
+}
+
+impl std::hash::Hash for Datum {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        match self {
+            Datum::Null => 0u8.hash(state),
+            Datum::Int(v) => {
+                1u8.hash(state);
+                v.hash(state);
+            }
+            Datum::Float(v) => {
+                2u8.hash(state);
+                v.to_bits().hash(state);
+            }
+            Datum::Text(s) => {
+                3u8.hash(state);
+                s.hash(state);
+            }
+            Datum::Bool(b) => {
+                4u8.hash(state);
+                b.hash(state);
+            }
+            Datum::Timestamp(t) => {
+                5u8.hash(state);
+                t.hash(state);
+            }
+            Datum::IntArray(v) => {
+                6u8.hash(state);
+                v.hash(state);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Datum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Datum::Null => write!(f, "NULL"),
+            Datum::Int(v) => write!(f, "{v}"),
+            Datum::Float(v) => write!(f, "{v}"),
+            Datum::Text(s) => write!(f, "'{s}'"),
+            Datum::Bool(b) => write!(f, "{b}"),
+            Datum::Timestamp(t) => write!(f, "ts:{t}"),
+            Datum::IntArray(v) => write!(f, "{v:?}"),
+        }
+    }
+}
+
+impl From<i64> for Datum {
+    fn from(v: i64) -> Self {
+        Datum::Int(v)
+    }
+}
+
+impl From<i32> for Datum {
+    fn from(v: i32) -> Self {
+        Datum::Int(v as i64)
+    }
+}
+
+impl From<f64> for Datum {
+    fn from(v: f64) -> Self {
+        Datum::Float(v)
+    }
+}
+
+impl From<&str> for Datum {
+    fn from(v: &str) -> Self {
+        Datum::Text(v.to_string())
+    }
+}
+
+impl From<String> for Datum {
+    fn from(v: String) -> Self {
+        Datum::Text(v)
+    }
+}
+
+impl From<bool> for Datum {
+    fn from(v: bool) -> Self {
+        Datum::Bool(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let values = vec![
+            Datum::Null,
+            Datum::Int(-42),
+            Datum::Float(3.25),
+            Datum::Text("hello world".into()),
+            Datum::Bool(true),
+            Datum::Timestamp(1_700_000_000_000_000),
+            Datum::IntArray(vec![1, 2, 3]),
+        ];
+        let mut buf = Vec::new();
+        for v in &values {
+            v.encode(&mut buf);
+        }
+        let mut pos = 0;
+        for v in &values {
+            let (decoded, next) = Datum::decode(&buf, pos).unwrap();
+            assert_eq!(&decoded, v);
+            pos = next;
+        }
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let mut buf = Vec::new();
+        Datum::Text("abcdef".into()).encode(&mut buf);
+        assert!(Datum::decode(&buf[..buf.len() - 2], 0).is_err());
+        assert!(Datum::decode(&buf[..3], 0).is_err());
+    }
+
+    #[test]
+    fn comparisons() {
+        assert!(Datum::Int(1) < Datum::Int(2));
+        assert!(Datum::Text("a".into()) < Datum::Text("b".into()));
+        assert_eq!(Datum::Null, Datum::Null);
+        assert!(Datum::Null < Datum::Int(0));
+        assert_eq!(Datum::Int(2), Datum::Float(2.0));
+    }
+
+    #[test]
+    fn type_checking() {
+        assert!(Datum::Int(1).matches_type(DataType::Int));
+        assert!(!Datum::Int(1).matches_type(DataType::Text));
+        assert!(Datum::Null.matches_type(DataType::Text));
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Datum::Int(5).as_int(), Some(5));
+        assert_eq!(Datum::Int(5).as_float(), Some(5.0));
+        assert_eq!(Datum::Text("x".into()).as_text(), Some("x"));
+        assert_eq!(Datum::Bool(true).as_bool(), Some(true));
+        assert_eq!(Datum::Timestamp(9).as_timestamp(), Some(9));
+        assert_eq!(Datum::IntArray(vec![7]).as_int_array(), Some(&[7u64][..]));
+        assert_eq!(Datum::Text("x".into()).as_int(), None);
+    }
+
+    #[test]
+    fn encoded_len_tracks_payload() {
+        assert_eq!(Datum::Int(1).encoded_len(), 8);
+        assert_eq!(Datum::Text("abc".into()).encoded_len(), 3);
+        assert_eq!(Datum::IntArray(vec![1, 2]).encoded_len(), 16);
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Datum::from(3i32), Datum::Int(3));
+        assert_eq!(Datum::from("hi"), Datum::Text("hi".into()));
+        assert_eq!(Datum::from(true), Datum::Bool(true));
+    }
+}

@@ -1,0 +1,353 @@
+//! Write-ahead log.
+//!
+//! Every mutation is appended to the log before the in-place heap change is
+//! made durable; on startup the log can be replayed to rebuild committed
+//! state. The log is deliberately simple — logical records, a single file,
+//! whole-file replay — because the paper's evaluation depends on the *cost*
+//! of logging label-bearing tuples (bigger tuples, more log bytes) rather
+//! than on sophisticated recovery.
+
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Read, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use crate::error::StorageResult;
+use crate::heap::RowId;
+use crate::mvcc::TxnId;
+
+/// A logical log record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum LogRecord {
+    /// A transaction started.
+    Begin {
+        /// The transaction.
+        txn: TxnId,
+    },
+    /// A transaction committed.
+    Commit {
+        /// The transaction.
+        txn: TxnId,
+    },
+    /// A transaction aborted.
+    Abort {
+        /// The transaction.
+        txn: TxnId,
+    },
+    /// A tuple version was inserted.
+    Insert {
+        /// The writing transaction.
+        txn: TxnId,
+        /// The table.
+        table: u32,
+        /// Where the version was placed.
+        row: RowId,
+        /// The encoded tuple version.
+        bytes: Vec<u8>,
+    },
+    /// A tuple version's `xmax` was set (delete or supersede).
+    Delete {
+        /// The writing transaction.
+        txn: TxnId,
+        /// The table.
+        table: u32,
+        /// The affected version.
+        row: RowId,
+    },
+    /// A checkpoint marker (everything before it is already in the heap
+    /// files).
+    Checkpoint,
+}
+
+/// Where the log keeps its records.
+enum Sink {
+    Memory,
+    File(BufWriter<File>),
+}
+
+/// The write-ahead log.
+pub struct Wal {
+    records: Mutex<Vec<LogRecord>>,
+    sink: Mutex<Sink>,
+    bytes_written: AtomicU64,
+    sync_on_commit: bool,
+}
+
+impl std::fmt::Debug for Wal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Wal")
+            .field("records", &self.records.lock().len())
+            .field("bytes_written", &self.bytes_written.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl Wal {
+    /// Creates an in-memory log (no file backing).
+    pub fn in_memory() -> Self {
+        Wal {
+            records: Mutex::new(Vec::new()),
+            sink: Mutex::new(Sink::Memory),
+            bytes_written: AtomicU64::new(0),
+            sync_on_commit: false,
+        }
+    }
+
+    /// Creates (or truncates) a file-backed log at `path`.
+    pub fn file_backed(path: &Path, sync_on_commit: bool) -> StorageResult<Self> {
+        let file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(Wal {
+            records: Mutex::new(Vec::new()),
+            sink: Mutex::new(Sink::File(BufWriter::new(file))),
+            bytes_written: AtomicU64::new(0),
+            sync_on_commit,
+        })
+    }
+
+    /// Appends a record.
+    pub fn append(&self, record: LogRecord) -> StorageResult<()> {
+        let encoded = Self::encode(&record);
+        self.bytes_written
+            .fetch_add(encoded.len() as u64, Ordering::Relaxed);
+        {
+            let mut sink = self.sink.lock();
+            if let Sink::File(w) = &mut *sink {
+                w.write_all(&(encoded.len() as u32).to_le_bytes())?;
+                w.write_all(&encoded)?;
+                if self.sync_on_commit && matches!(record, LogRecord::Commit { .. }) {
+                    w.flush()?;
+                }
+            }
+        }
+        self.records.lock().push(record);
+        Ok(())
+    }
+
+    fn encode(record: &LogRecord) -> Vec<u8> {
+        // serde_json would be heavier than needed; a compact ad-hoc encoding
+        // via the Debug-stable serde derive is avoided by using bincode-like
+        // manual encoding. For simplicity we reuse the JSON-ish encoding from
+        // serde only when available; here a minimal framing of the Debug
+        // output suffices because replay uses the in-memory copy when
+        // present. File replay re-parses this framing.
+        let mut out = Vec::new();
+        match record {
+            LogRecord::Begin { txn } => {
+                out.push(1);
+                out.extend_from_slice(&txn.0.to_le_bytes());
+            }
+            LogRecord::Commit { txn } => {
+                out.push(2);
+                out.extend_from_slice(&txn.0.to_le_bytes());
+            }
+            LogRecord::Abort { txn } => {
+                out.push(3);
+                out.extend_from_slice(&txn.0.to_le_bytes());
+            }
+            LogRecord::Insert {
+                txn,
+                table,
+                row,
+                bytes,
+            } => {
+                out.push(4);
+                out.extend_from_slice(&txn.0.to_le_bytes());
+                out.extend_from_slice(&table.to_le_bytes());
+                out.extend_from_slice(&row.page.to_le_bytes());
+                out.extend_from_slice(&row.slot.to_le_bytes());
+                out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+                out.extend_from_slice(bytes);
+            }
+            LogRecord::Delete { txn, table, row } => {
+                out.push(5);
+                out.extend_from_slice(&txn.0.to_le_bytes());
+                out.extend_from_slice(&table.to_le_bytes());
+                out.extend_from_slice(&row.page.to_le_bytes());
+                out.extend_from_slice(&row.slot.to_le_bytes());
+            }
+            LogRecord::Checkpoint => out.push(6),
+        }
+        out
+    }
+
+    fn decode(buf: &[u8]) -> Option<LogRecord> {
+        let kind = *buf.first()?;
+        let u64_at = |o: usize| -> Option<u64> {
+            buf.get(o..o + 8)
+                .map(|b| u64::from_le_bytes(b.try_into().unwrap()))
+        };
+        let u32_at = |o: usize| -> Option<u32> {
+            buf.get(o..o + 4)
+                .map(|b| u32::from_le_bytes(b.try_into().unwrap()))
+        };
+        let u16_at = |o: usize| -> Option<u16> {
+            buf.get(o..o + 2)
+                .map(|b| u16::from_le_bytes(b.try_into().unwrap()))
+        };
+        match kind {
+            1 => Some(LogRecord::Begin {
+                txn: TxnId(u64_at(1)?),
+            }),
+            2 => Some(LogRecord::Commit {
+                txn: TxnId(u64_at(1)?),
+            }),
+            3 => Some(LogRecord::Abort {
+                txn: TxnId(u64_at(1)?),
+            }),
+            4 => {
+                let txn = TxnId(u64_at(1)?);
+                let table = u32_at(9)?;
+                let page = u32_at(13)?;
+                let slot = u16_at(17)?;
+                let len = u32_at(19)? as usize;
+                let bytes = buf.get(23..23 + len)?.to_vec();
+                Some(LogRecord::Insert {
+                    txn,
+                    table,
+                    row: RowId { page, slot },
+                    bytes,
+                })
+            }
+            5 => Some(LogRecord::Delete {
+                txn: TxnId(u64_at(1)?),
+                table: u32_at(9)?,
+                row: RowId {
+                    page: u32_at(13)?,
+                    slot: u16_at(17)?,
+                },
+            }),
+            6 => Some(LogRecord::Checkpoint),
+            _ => None,
+        }
+    }
+
+    /// Reads back every record from a file-backed log.
+    pub fn replay_file(path: &Path) -> StorageResult<Vec<LogRecord>> {
+        let mut file = File::open(path)?;
+        let mut data = Vec::new();
+        file.read_to_end(&mut data)?;
+        let mut out = Vec::new();
+        let mut pos = 0;
+        while pos + 4 <= data.len() {
+            let len = u32::from_le_bytes(data[pos..pos + 4].try_into().unwrap()) as usize;
+            pos += 4;
+            if pos + len > data.len() {
+                break;
+            }
+            if let Some(r) = Self::decode(&data[pos..pos + len]) {
+                out.push(r);
+            }
+            pos += len;
+        }
+        Ok(out)
+    }
+
+    /// Records appended so far (in-memory copy).
+    pub fn records(&self) -> Vec<LogRecord> {
+        self.records.lock().clone()
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.lock().len()
+    }
+
+    /// Returns `true` if nothing has been logged.
+    pub fn is_empty(&self) -> bool {
+        self.records.lock().is_empty()
+    }
+
+    /// Total log volume in bytes (the quantity that grows with label size).
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written.load(Ordering::Relaxed)
+    }
+
+    /// Flushes the file sink, if any.
+    pub fn flush(&self) -> StorageResult<()> {
+        if let Sink::File(w) = &mut *self.sink.lock() {
+            w.flush()?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_memory_append_and_read() {
+        let wal = Wal::in_memory();
+        wal.append(LogRecord::Begin { txn: TxnId(1) }).unwrap();
+        wal.append(LogRecord::Insert {
+            txn: TxnId(1),
+            table: 2,
+            row: RowId { page: 0, slot: 3 },
+            bytes: vec![1, 2, 3],
+        })
+        .unwrap();
+        wal.append(LogRecord::Commit { txn: TxnId(1) }).unwrap();
+        assert_eq!(wal.len(), 3);
+        assert!(wal.bytes_written() > 0);
+        assert!(matches!(wal.records()[2], LogRecord::Commit { .. }));
+    }
+
+    #[test]
+    fn file_backed_replay_round_trip() {
+        let dir = std::env::temp_dir().join(format!("ifdb-wal-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("wal.log");
+        let wal = Wal::file_backed(&path, true).unwrap();
+        let records = vec![
+            LogRecord::Begin { txn: TxnId(5) },
+            LogRecord::Insert {
+                txn: TxnId(5),
+                table: 9,
+                row: RowId { page: 1, slot: 2 },
+                bytes: vec![9, 9, 9, 9],
+            },
+            LogRecord::Delete {
+                txn: TxnId(5),
+                table: 9,
+                row: RowId { page: 1, slot: 1 },
+            },
+            LogRecord::Commit { txn: TxnId(5) },
+            LogRecord::Checkpoint,
+        ];
+        for r in &records {
+            wal.append(r.clone()).unwrap();
+        }
+        wal.flush().unwrap();
+        let replayed = Wal::replay_file(&path).unwrap();
+        assert_eq!(replayed, records);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn larger_tuples_produce_more_log_bytes() {
+        let wal = Wal::in_memory();
+        wal.append(LogRecord::Insert {
+            txn: TxnId(1),
+            table: 1,
+            row: RowId { page: 0, slot: 0 },
+            bytes: vec![0; 100],
+        })
+        .unwrap();
+        let small = wal.bytes_written();
+        wal.append(LogRecord::Insert {
+            txn: TxnId(1),
+            table: 1,
+            row: RowId { page: 0, slot: 1 },
+            bytes: vec![0; 200],
+        })
+        .unwrap();
+        assert!(wal.bytes_written() - small > small / 2);
+    }
+}

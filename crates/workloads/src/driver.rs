@@ -1,0 +1,172 @@
+//! The DBT-2-style transaction driver.
+//!
+//! DBT-2, as configured in Section 8.3, uses zero think time and a constant
+//! number of warehouses, and reports NOTPM (new-order transactions per
+//! minute). The driver here runs one or more client threads in a closed loop
+//! over the standard mix for a fixed duration.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::tpcc::{TpccDatabase, TpccTransaction};
+
+/// Driver configuration.
+#[derive(Debug, Clone)]
+pub struct TpccDriverConfig {
+    /// Concurrent client threads.
+    pub clients: usize,
+    /// How long to run.
+    pub duration: Duration,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TpccDriverConfig {
+    fn default() -> Self {
+        TpccDriverConfig {
+            clients: 1,
+            duration: Duration::from_millis(500),
+            seed: 42,
+        }
+    }
+}
+
+/// The outcome of a driver run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriverOutcome {
+    /// New-order transactions committed per minute (the Figure 6 metric).
+    pub notpm: f64,
+    /// Total transactions committed (all five types).
+    pub committed: u64,
+    /// Transactions rolled back due to write conflicts.
+    pub conflicts: u64,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+}
+
+/// Runs the TPC-C mix against a loaded database.
+pub struct TpccDriver<'a> {
+    tpcc: &'a TpccDatabase,
+}
+
+impl<'a> TpccDriver<'a> {
+    /// Creates a driver over a loaded database.
+    pub fn new(tpcc: &'a TpccDatabase) -> Self {
+        TpccDriver { tpcc }
+    }
+
+    /// Runs the closed loop and reports NOTPM.
+    pub fn run(&self, config: &TpccDriverConfig) -> DriverOutcome {
+        let stop = Arc::new(AtomicBool::new(false));
+        let new_orders = Arc::new(AtomicU64::new(0));
+        let committed = Arc::new(AtomicU64::new(0));
+        let conflicts = Arc::new(AtomicU64::new(0));
+        let start = Instant::now();
+
+        std::thread::scope(|scope| {
+            for client in 0..config.clients {
+                let stop = stop.clone();
+                let new_orders = new_orders.clone();
+                let committed = committed.clone();
+                let conflicts = conflicts.clone();
+                let tpcc = self.tpcc;
+                let seed = config.seed ^ (client as u64).wrapping_mul(0x9E37_79B9);
+                scope.spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(seed);
+                    let mut session = match tpcc.session() {
+                        Ok(s) => s,
+                        Err(_) => return,
+                    };
+                    while !stop.load(Ordering::Relaxed) {
+                        let kind = TpccTransaction::draw(&mut rng);
+                        match tpcc.run_transaction(&mut session, &mut rng, kind) {
+                            Ok(true) => {
+                                committed.fetch_add(1, Ordering::Relaxed);
+                                if kind == TpccTransaction::NewOrder {
+                                    new_orders.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                            Ok(false) => {
+                                conflicts.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(_) => {
+                                conflicts.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                });
+            }
+            std::thread::sleep(config.duration);
+            stop.store(true, Ordering::Relaxed);
+        });
+
+        let elapsed = start.elapsed();
+        let no = new_orders.load(Ordering::Relaxed);
+        DriverOutcome {
+            notpm: no as f64 * 60.0 / elapsed.as_secs_f64(),
+            committed: committed.load(Ordering::Relaxed),
+            conflicts: conflicts.load(Ordering::Relaxed),
+            elapsed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tpcc::TpccConfig;
+    use ifdb::Database;
+
+    #[test]
+    fn driver_reports_nonzero_throughput() {
+        let db = Database::in_memory();
+        let tpcc = TpccDatabase::load(
+            db,
+            TpccConfig {
+                warehouses: 1,
+                districts_per_warehouse: 2,
+                customers_per_district: 5,
+                items: 20,
+                initial_orders_per_district: 2,
+                tags_per_label: 1,
+                seed: 7,
+            },
+        )
+        .unwrap();
+        let outcome = TpccDriver::new(&tpcc).run(&TpccDriverConfig {
+            clients: 1,
+            duration: Duration::from_millis(300),
+            seed: 1,
+        });
+        assert!(outcome.committed > 0);
+        assert!(outcome.notpm > 0.0);
+    }
+
+    #[test]
+    fn concurrent_clients_make_progress_despite_conflicts() {
+        let db = Database::in_memory();
+        let tpcc = TpccDatabase::load(
+            db,
+            TpccConfig {
+                warehouses: 1,
+                districts_per_warehouse: 2,
+                customers_per_district: 5,
+                items: 20,
+                initial_orders_per_district: 2,
+                tags_per_label: 1,
+                seed: 8,
+            },
+        )
+        .unwrap();
+        let outcome = TpccDriver::new(&tpcc).run(&TpccDriverConfig {
+            clients: 3,
+            duration: Duration::from_millis(300),
+            seed: 2,
+        });
+        assert!(outcome.committed > 0);
+    }
+}

@@ -1,0 +1,20 @@
+//! Workload generators for the IFDB evaluation.
+//!
+//! * [`rng`] — TPC-C's non-uniform random (NURand) helpers and other
+//!   distributions.
+//! * [`tpcc`] — a scaled-down TPC-C / DBT-2 implementation: schema, loader,
+//!   the five transaction types, and the standard mix. Used to reproduce
+//!   Figure 6 (throughput vs. tags per label).
+//! * [`driver`] — a closed-loop transaction driver measuring NOTPM
+//!   (new-order transactions per minute) with zero think time, as DBT-2 is
+//!   configured in Section 8.3.
+//!
+//! The CarTel web workload (Figure 3 mix, TPC-W think times) lives in
+//! `ifdb-cartel::scripts::figure3_mix` and `ifdb-platform::httpsim`.
+
+pub mod driver;
+pub mod rng;
+pub mod tpcc;
+
+pub use driver::{DriverOutcome, TpccDriver, TpccDriverConfig};
+pub use tpcc::{TpccConfig, TpccDatabase, TpccTransaction};

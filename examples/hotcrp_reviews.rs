@@ -1,0 +1,63 @@
+//! The HotCRP case study: declassifying views, per-paper decision tags, and
+//! review delegation (Section 6.2).
+//!
+//! Run with: `cargo run --example hotcrp_reviews`
+
+use ifdb_repro::hotcrp::{HotcrpApp, HotcrpConfig};
+use ifdb_repro::platform::Request;
+
+fn main() {
+    let app = HotcrpApp::build(&HotcrpConfig::default());
+    let paper = app.policy.papers()[0].clone();
+    let author = app.policy.person(paper.author).unwrap().clone();
+    let chair = app.policy.people()[0].clone();
+
+    println!("== PC member list (public, via the PCMembers declassifying view) ==");
+    let resp = app.server.handle(&Request::new("pc_members.php"));
+    for line in &resp.body {
+        println!("  {line}");
+    }
+
+    println!();
+    println!("== the historical contact-info leak is blocked ==");
+    let resp = app
+        .server
+        .handle(&Request::new("users.php").as_user(&author.username));
+    println!("users.php body: {:?} (error: {:?})", resp.body, resp.error);
+    assert!(resp.body.is_empty());
+
+    println!();
+    println!("== decisions are invisible before release ==");
+    let status = |who: &str| {
+        app.server.handle(
+            &Request::new("paper_status.php")
+                .as_user(who)
+                .param("paper", &paper.paperid.to_string()),
+        )
+    };
+    let resp = status(&author.username);
+    println!("author before release: {:?}", resp.body);
+    let resp = status(&chair.username);
+    println!("chair (owns the decision tag): {:?}", resp.body);
+
+    app.policy.release_decisions(&app.db).unwrap();
+    let resp = status(&author.username);
+    println!("author after release:  {:?}", resp.body);
+    assert!(resp.body.iter().any(|l| l.starts_with("decision:")));
+
+    println!();
+    println!("== review visibility follows delegation ==");
+    let other_pc = app.policy.people()[2].clone();
+    let review = |who: &str| {
+        app.server.handle(
+            &Request::new("review.php")
+                .as_user(who)
+                .param("paper", &paper.paperid.to_string()),
+        )
+    };
+    println!("other PC member before delegation: {:?}", review(&other_pc.username).body);
+    app.policy
+        .delegate_reviews_to_pc(&app.db, paper.paperid)
+        .unwrap();
+    println!("other PC member after delegation:  {:?}", review(&other_pc.username).body);
+}

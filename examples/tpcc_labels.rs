@@ -1,0 +1,38 @@
+//! Runs the TPC-C workload at several label sizes and prints the throughput
+//! trend — a miniature of the Figure 6 experiment.
+//!
+//! Run with: `cargo run --release --example tpcc_labels`
+
+use std::time::Duration;
+
+use ifdb_repro::ifdb::{Database, DatabaseConfig};
+use ifdb_repro::workloads::{TpccConfig, TpccDatabase, TpccDriver, TpccDriverConfig};
+
+fn main() {
+    println!("tags/label   NOTPM (in-memory)");
+    for tags in [0usize, 1, 4, 10] {
+        let db = Database::new(DatabaseConfig::in_memory().with_seed(tags as u64 + 1));
+        let tpcc = TpccDatabase::load(
+            db,
+            TpccConfig {
+                warehouses: 1,
+                districts_per_warehouse: 4,
+                customers_per_district: 20,
+                items: 60,
+                initial_orders_per_district: 5,
+                tags_per_label: tags,
+                seed: 3,
+            },
+        )
+        .expect("load TPC-C");
+        let outcome = TpccDriver::new(&tpcc).run(&TpccDriverConfig {
+            clients: 1,
+            duration: Duration::from_millis(500),
+            seed: 9,
+        });
+        println!(
+            "{tags:>10}   {:>8.0}   ({} committed, {} conflicts)",
+            outcome.notpm, outcome.committed, outcome.conflicts
+        );
+    }
+}

@@ -1,0 +1,12 @@
+//! Facade crate for the IFDB reproduction workspace.
+//!
+//! Re-exports the individual crates under short names so examples and
+//! integration tests can use a single dependency.
+
+pub use ifdb;
+pub use ifdb_cartel as cartel;
+pub use ifdb_difc as difc;
+pub use ifdb_hotcrp as hotcrp;
+pub use ifdb_platform as platform;
+pub use ifdb_storage as storage;
+pub use ifdb_workloads as workloads;
