@@ -52,7 +52,7 @@ impl TraceGenerator {
             lat += self.rng.gen_range(-0.001..0.001);
             lon += self.rng.gen_range(-0.001..0.001);
             let speed = self.rng.gen_range(0.0..110.0);
-            self.next_ts += self.rng.gen_range(1_000_000..30_000_000);
+            self.next_ts += self.rng.gen_range(1_000_000i64..30_000_000);
             out.push(GpsMeasurement {
                 carid,
                 userid,

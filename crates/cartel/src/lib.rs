@@ -100,7 +100,7 @@ impl CartelApp {
             for c in 0..config.cars_per_user {
                 let carid = user.userid * 100 + c as i64;
                 ingest
-                    .register_car(&user, carid, &format!("{}-car-{}", user.username, c))
+                    .register_car(user, carid, &format!("{}-car-{}", user.username, c))
                     .expect("car registration");
                 if config.measurements_per_car > 0 {
                     let trace =

@@ -180,7 +180,7 @@ pub fn register_scripts(server: &Arc<AppServer>, policy: Arc<CartelPolicy>) {
                     )
                 })
                 .collect();
-            rows.sort_by(|a, b| b.1.cmp(&a.1));
+            rows.sort_by_key(|r| std::cmp::Reverse(r.1));
             for (carid, drives, km) in rows.into_iter().take(10) {
                 out.emit(
                     session,

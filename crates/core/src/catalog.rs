@@ -39,6 +39,9 @@ pub struct ForeignKey {
     pub ref_columns: Vec<String>,
 }
 
+/// Computes the label a tuple must carry from the tuple's values.
+pub type LabelFromRowFn = Arc<dyn Fn(&[Datum]) -> Label + Send + Sync>;
+
 /// A label constraint (Section 5.2.4): a rule about what label tuples of a
 /// table must carry. Simple constraints double as anti-polyinstantiation
 /// rules when combined with a uniqueness constraint.
@@ -58,7 +61,7 @@ pub enum LabelConstraint {
         /// Constraint name.
         name: String,
         /// Computes the required label from the tuple's values.
-        func: Arc<dyn Fn(&[Datum]) -> Label + Send + Sync>,
+        func: LabelFromRowFn,
     },
 }
 

@@ -306,7 +306,7 @@ impl Session {
                 _ => {
                     if join.kind == JoinKind::LeftOuter {
                         let mut values = l.values.clone();
-                        values.extend(std::iter::repeat(Datum::Null).take(right_width));
+                        values.extend(std::iter::repeat_n(Datum::Null, right_width));
                         let row = ScanRow {
                             row_id: None,
                             stored_label: l.stored_label.clone(),

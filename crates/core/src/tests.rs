@@ -754,7 +754,7 @@ fn unauthenticated_session_cannot_release_what_it_reads() {
     // But it can never send the data to the outside world.
     assert!(anon.check_release_to_world().is_err());
     assert!(anon.declassify(alice_medical).is_err());
-    assert!(db.audit().len() > 0);
+    assert!(!db.audit().is_empty());
 }
 
 #[test]

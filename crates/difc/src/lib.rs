@@ -38,7 +38,7 @@ pub use cache::AuthorityCache;
 pub use closure::{AuthorityClosure, ClosureRegistry};
 pub use error::{DifcError, DifcResult};
 pub use label::Label;
-pub use principal::{Principal, PrincipalId};
+pub use principal::{Principal, PrincipalId, PrincipalKind};
 pub use process::ProcessState;
 pub use tag::{Tag, TagId, TagKind};
 

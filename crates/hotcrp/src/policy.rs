@@ -185,7 +185,7 @@ impl HotcrpPolicy {
                         Datum::Int(paperid * 10),
                         Datum::Int(paperid),
                         Datum::Int(reviewer.id),
-                        Datum::Int(((paperid % 5) + 1) as i64),
+                        Datum::Int((paperid % 5) + 1),
                         Datum::Text(format!("Review of paper {paperid}")),
                     ],
                 ))

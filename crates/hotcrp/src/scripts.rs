@@ -171,7 +171,7 @@ pub fn register_scripts(server: &Arc<AppServer>, policy: Arc<HotcrpPolicy>) {
 
 #[cfg(test)]
 mod tests {
-    use super::*;
+
     use crate::{HotcrpApp, HotcrpConfig};
     use ifdb_platform::Request as Req;
 

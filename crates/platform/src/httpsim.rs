@@ -94,11 +94,14 @@ pub struct DriverReport {
     pub per_script: Vec<(String, LatencyStats)>,
 }
 
+/// Builds a concrete request given (script, user, rng).
+pub type RequestBuilderFn = Arc<dyn Fn(&str, &str, &mut StdRng) -> Request + Send + Sync>;
+
 /// The closed-loop driver.
 pub struct ClosedLoopDriver {
     server: Arc<AppServer>,
     /// Builds a concrete request given (script, user).
-    request_builder: Arc<dyn Fn(&str, &str, &mut StdRng) -> Request + Send + Sync>,
+    request_builder: RequestBuilderFn,
 }
 
 impl ClosedLoopDriver {

@@ -106,7 +106,7 @@ mod tests {
 
     #[test]
     fn io_error_converts() {
-        let e: StorageError = std::io::Error::new(std::io::ErrorKind::Other, "boom").into();
+        let e: StorageError = std::io::Error::other("boom").into();
         assert!(matches!(e, StorageError::Io { .. }));
     }
 }

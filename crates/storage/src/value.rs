@@ -216,7 +216,7 @@ impl Datum {
                 payload.try_into().map_err(|_| corrupt("bad timestamp"))?,
             )),
             6 => {
-                if len % 8 != 0 {
+                if !len.is_multiple_of(8) {
                     return Err(corrupt("bad array length"));
                 }
                 let mut v = Vec::with_capacity(len / 8);
@@ -251,9 +251,9 @@ impl Datum {
             (Null, _) => Some(Ordering::Less),
             (_, Null) => Some(Ordering::Greater),
             (Int(a), Int(b)) => Some(a.cmp(b)),
-            (Float(a), Float(b)) => a.partial_cmp(b).or(Some(Ordering::Equal)),
-            (Int(a), Float(b)) => (*a as f64).partial_cmp(b),
-            (Float(a), Int(b)) => a.partial_cmp(&(*b as f64)),
+            (Float(a), Float(b)) => Some(cmp_f64_total(*a, *b)),
+            (Int(a) | Timestamp(a), Float(b)) => Some(cmp_i64_f64(*a, *b)),
+            (Float(a), Int(b) | Timestamp(b)) => Some(cmp_i64_f64(*b, *a).reverse()),
             (Text(a), Text(b)) => Some(a.cmp(b)),
             (Bool(a), Bool(b)) => Some(a.cmp(b)),
             (Timestamp(a), Timestamp(b)) => Some(a.cmp(b)),
@@ -265,9 +265,67 @@ impl Datum {
     }
 }
 
+/// Total order on floats: the usual IEEE order, with every NaN equal to
+/// every other NaN and greater than every number (NaN sorts last).
+fn cmp_f64_total(a: f64, b: f64) -> Ordering {
+    a.partial_cmp(&b).unwrap_or_else(|| match (a.is_nan(), b.is_nan()) {
+        (true, true) => Ordering::Equal,
+        (true, false) => Ordering::Greater,
+        (false, true) => Ordering::Less,
+        (false, false) => unreachable!("partial_cmp on non-NaN floats"),
+    })
+}
+
+/// Exact mathematical comparison of an `i64` against an `f64`, without the
+/// precision loss of casting the integer to `f64` first (which would make
+/// e.g. `2^53 + 1` compare equal to `2^53.0` and break `Eq` transitivity).
+/// NaN compares greater than every integer, matching [`cmp_f64_total`].
+fn cmp_i64_f64(i: i64, f: f64) -> Ordering {
+    const TWO_POW_63: f64 = 9_223_372_036_854_775_808.0;
+    if f.is_nan() || f >= TWO_POW_63 {
+        return Ordering::Less;
+    }
+    if f < -TWO_POW_63 {
+        return Ordering::Greater;
+    }
+    // |f| < 2^63, so its truncation is an exactly representable i64.
+    let trunc = f.trunc();
+    match i.cmp(&(trunc as i64)) {
+        Ordering::Equal if f > trunc => Ordering::Less,
+        Ordering::Equal if f < trunc => Ordering::Greater,
+        ord => ord,
+    }
+}
+
+/// The canonical numeric key used by `Hash`: mathematically equal numerics
+/// (`Int`, `Float`, `Timestamp`) must produce the same key.
+enum NumericKey {
+    /// An integer value, or a float that is exactly an in-range integer
+    /// (covers `-0.0` and all `Int`/`Float`/`Timestamp` cross-equalities).
+    Integer(i64),
+    /// A float equal to no `i64`: fractional, out of range, or infinite.
+    /// Equal floats share bits, so the bits are canonical here.
+    Bits(u64),
+    /// Any NaN (all NaNs are equal under [`cmp_f64_total`]).
+    Nan,
+}
+
+fn numeric_key(f: f64) -> NumericKey {
+    const TWO_POW_63: f64 = 9_223_372_036_854_775_808.0;
+    if f.is_nan() {
+        NumericKey::Nan
+    } else if f.trunc() == f && (-TWO_POW_63..TWO_POW_63).contains(&f) {
+        NumericKey::Integer(f as i64)
+    } else {
+        NumericKey::Bits(f.to_bits())
+    }
+}
+
 impl PartialOrd for Datum {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        self.compare(other)
+        // Must agree with `Ord` (total over the type-rank fallback); the
+        // SQL-ish partial comparison remains available as [`Datum::compare`].
+        Some(self.cmp(other))
     }
 }
 
@@ -292,16 +350,27 @@ impl Ord for Datum {
 
 impl std::hash::Hash for Datum {
     fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        // `compare` makes Int/Float/Timestamp cross-type equal when they are
+        // mathematically equal (e.g. `Int(1) == Float(1.0) == Timestamp(1)`),
+        // so the whole numeric family must hash through one canonical key or
+        // hash-join and HashMap lookups on mixed-type columns silently miss.
         match self {
             Datum::Null => 0u8.hash(state),
-            Datum::Int(v) => {
+            Datum::Int(v) | Datum::Timestamp(v) => {
                 1u8.hash(state);
                 v.hash(state);
             }
-            Datum::Float(v) => {
-                2u8.hash(state);
-                v.to_bits().hash(state);
-            }
+            Datum::Float(v) => match numeric_key(*v) {
+                NumericKey::Integer(i) => {
+                    1u8.hash(state);
+                    i.hash(state);
+                }
+                NumericKey::Bits(bits) => {
+                    2u8.hash(state);
+                    bits.hash(state);
+                }
+                NumericKey::Nan => 7u8.hash(state),
+            },
             Datum::Text(s) => {
                 3u8.hash(state);
                 s.hash(state);
@@ -309,10 +378,6 @@ impl std::hash::Hash for Datum {
             Datum::Bool(b) => {
                 4u8.hash(state);
                 b.hash(state);
-            }
-            Datum::Timestamp(t) => {
-                5u8.hash(state);
-                t.hash(state);
             }
             Datum::IntArray(v) => {
                 6u8.hash(state);
@@ -447,5 +512,79 @@ mod tests {
         assert_eq!(Datum::from(3i32), Datum::Int(3));
         assert_eq!(Datum::from("hi"), Datum::Text("hi".into()));
         assert_eq!(Datum::from(true), Datum::Bool(true));
+    }
+
+    fn hash_of(d: &Datum) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        d.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn equal_datums_hash_equal() {
+        let classes: &[&[Datum]] = &[
+            &[Datum::Int(1), Datum::Float(1.0), Datum::Timestamp(1)],
+            &[Datum::Int(0), Datum::Float(0.0), Datum::Float(-0.0)],
+            &[Datum::Int(i64::MIN), Datum::Float(i64::MIN as f64)],
+            &[Datum::Float(f64::NAN), Datum::Float(-f64::NAN)],
+        ];
+        for class in classes {
+            for a in class.iter() {
+                for b in class.iter() {
+                    assert_eq!(a, b, "{a:?} vs {b:?}");
+                    assert_eq!(hash_of(a), hash_of(b), "{a:?} vs {b:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn int_float_comparison_is_exact() {
+        // 2^53 + 1 is not representable as f64; a rounding cast would call
+        // these equal and break Eq transitivity through the Float bridge.
+        let big = (1i64 << 53) + 1;
+        assert_ne!(Datum::Int(big), Datum::Float((1i64 << 53) as f64));
+        assert_eq!(
+            Datum::Int(big).compare(&Datum::Float((1i64 << 53) as f64)),
+            Some(Ordering::Greater)
+        );
+        // Out-of-range and fractional floats never equal any integer.
+        assert_eq!(
+            Datum::Int(i64::MAX).compare(&Datum::Float(1e300)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(
+            Datum::Int(2).compare(&Datum::Float(1.5)),
+            Some(Ordering::Greater)
+        );
+    }
+
+    #[test]
+    fn mixed_numeric_hash_join_lookup() {
+        // The scenario behind the Hash/Eq contract: a map keyed on one
+        // numeric type must be hit by an equal value of another.
+        let mut map = std::collections::HashMap::new();
+        map.insert(Datum::Int(42), "row");
+        assert_eq!(map.get(&Datum::Float(42.0)), Some(&"row"));
+        assert_eq!(map.get(&Datum::Timestamp(42)), Some(&"row"));
+        assert_eq!(map.get(&Datum::Float(42.5)), None);
+    }
+
+    #[test]
+    fn nan_sorts_last_and_equals_only_nan() {
+        assert_ne!(Datum::Float(f64::NAN), Datum::Float(1.0));
+        assert_ne!(Datum::Float(f64::NAN), Datum::Int(1));
+        let mut v = [
+            Datum::Float(f64::NAN),
+            Datum::Float(1.0),
+            Datum::Int(3),
+            Datum::Float(2.0),
+        ];
+        v.sort();
+        assert_eq!(v[0], Datum::Float(1.0));
+        assert_eq!(v[1], Datum::Float(2.0));
+        assert_eq!(v[2], Datum::Int(3));
+        assert!(matches!(v[3], Datum::Float(f) if f.is_nan()));
     }
 }

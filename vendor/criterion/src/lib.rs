@@ -1,0 +1,254 @@
+//! Minimal in-tree stand-in for `criterion`.
+//!
+//! The build environment has no access to crates.io, so this crate provides
+//! the subset of the criterion API the workspace's benches use —
+//! `criterion_group!`/`criterion_main!`, `Criterion::benchmark_group`,
+//! `sample_size`, `bench_with_input`/`bench_function`, `BenchmarkId`, and
+//! `Bencher::iter` — with a simple wall-clock measurement loop: per sample,
+//! the closure is run for a calibrated iteration count and the median
+//! nanoseconds-per-iteration across samples is reported to stdout.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    /// Target measurement time per benchmark, split across samples.
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 20,
+            measurement: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\nbenchmark group: {name}");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            sample_size: None,
+        }
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement = t;
+        self
+    }
+
+    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, f: impl FnMut(&mut Bencher)) {
+        let id = id.into();
+        let samples = self.sample_size;
+        let measurement = self.measurement;
+        run_benchmark(&id.0, samples, measurement, f);
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(2));
+        self
+    }
+
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.criterion.measurement = t;
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id.0);
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        run_benchmark(&label, samples, self.criterion.measurement, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id.0);
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        run_benchmark(&label, samples, self.criterion.measurement, |b| f(b));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        Self(format!("{function}/{parameter}"))
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self(s)
+    }
+}
+
+/// Passed to the benchmark closure; [`Bencher::iter`] does the timing.
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: Vec<f64>,
+    recorded: bool,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let mut total = Duration::ZERO;
+        let start = Instant::now();
+        for _ in 0..self.iters_per_sample {
+            black_box(f());
+        }
+        total += start.elapsed();
+        self.samples
+            .push(total.as_nanos() as f64 / self.iters_per_sample as f64);
+        self.recorded = true;
+    }
+}
+
+fn run_benchmark(label: &str, samples: usize, measurement: Duration, mut f: impl FnMut(&mut Bencher)) {
+    // Calibration pass: find an iteration count that makes one sample take
+    // roughly measurement/samples, so fast and slow benchmarks both finish.
+    let mut calib = Bencher {
+        iters_per_sample: 1,
+        samples: Vec::new(),
+        recorded: false,
+    };
+    f(&mut calib);
+    if !calib.recorded {
+        println!("  {label:<40} (no measurement recorded)");
+        return;
+    }
+    let per_iter_ns = calib.samples[0].max(1.0);
+    let target_ns = (measurement.as_nanos() as f64 / samples as f64).max(1.0);
+    let iters = ((target_ns / per_iter_ns) as u64).clamp(1, 10_000_000);
+
+    let mut bencher = Bencher {
+        iters_per_sample: iters,
+        samples: Vec::new(),
+        recorded: false,
+    };
+    for _ in 0..samples {
+        f(&mut bencher);
+    }
+    let mut times = bencher.samples;
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = times[times.len() / 2];
+    let (lo, hi) = (times[0], times[times.len() - 1]);
+    println!(
+        "  {label:<40} median {} / iter (range {} .. {}, {} samples x {} iters)",
+        fmt_ns(median),
+        fmt_ns(lo),
+        fmt_ns(hi),
+        times.len(),
+        iters,
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} us", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a benchmark group function, as in real criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench `main` that runs the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default();
+        c.measurement_time(Duration::from_millis(10));
+        let mut group = c.benchmark_group("test");
+        group.sample_size(3);
+        let mut runs = 0u64;
+        group.bench_with_input(BenchmarkId::new("count", 1), &1u64, |b, &x| {
+            b.iter(|| {
+                runs += 1;
+                x + 1
+            })
+        });
+        group.finish();
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 4).0, "f/4");
+        assert_eq!(BenchmarkId::from_parameter("p").0, "p");
+    }
+}

@@ -1,0 +1,211 @@
+//! Minimal in-tree stand-in for `proptest`.
+//!
+//! Supports the subset the workspace's property tests use: the `proptest!`
+//! macro over functions with `arg in strategy` bindings, integer-range
+//! strategies, `proptest::collection::vec`, `Strategy::prop_map`, and the
+//! `prop_assert!`/`prop_assert_eq!` macros. Each property runs a fixed
+//! number of deterministic random cases (no shrinking); a failing case
+//! panics with the ordinary assert message.
+
+pub mod strategy {
+    use std::ops::Range;
+
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Generates values of `Value` from a random source.
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// The strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn generate(&self, rng: &mut StdRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    macro_rules! range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+
+        fn generate(&self, rng: &mut StdRng) -> f64 {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    /// A strategy producing a constant value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+}
+
+pub mod collection {
+    use std::ops::Range;
+
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    use crate::strategy::Strategy;
+
+    /// Generates `Vec`s whose length is drawn from `size` and whose elements
+    /// come from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    /// The strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = if self.size.is_empty() {
+                self.size.start
+            } else {
+                rng.gen_range(self.size.clone())
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    /// Number of random cases each property runs.
+    pub const CASES: u64 = 256;
+}
+
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Runs each contained `fn name(arg in strategy, ...) { body }` as a test
+/// over [`test_runner::CASES`] deterministic random cases.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            // Deterministic but distinct per property: seed from the name.
+            let seed = $crate::seed_from_name(stringify!($name));
+            let mut __rng = <::rand::rngs::StdRng as ::rand::SeedableRng>::seed_from_u64(seed);
+            for __case in 0..$crate::test_runner::CASES {
+                $(let $arg = $crate::strategy::Strategy::generate(&$strategy, &mut __rng);)+
+                $body
+            }
+        }
+    )*};
+}
+
+/// FNV-1a hash of the property name, used as its RNG seed.
+pub fn seed_from_name(name: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in name.bytes() {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// `assert!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// `assert_eq!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// `assert_ne!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_and_vecs(x in 0u64..32, v in collection::vec(0u64..32, 0..8)) {
+            prop_assert!(x < 32);
+            prop_assert!(v.len() < 8);
+            prop_assert!(v.iter().all(|&e| e < 32));
+        }
+
+        #[test]
+        fn prop_map_applies(s in (1usize..5).prop_map(|n| "x".repeat(n))) {
+            prop_assert!((1..5).contains(&s.len()));
+        }
+    }
+
+    #[test]
+    fn deterministic_seed_per_name() {
+        assert_eq!(
+            crate::seed_from_name("prop_a"),
+            crate::seed_from_name("prop_a")
+        );
+        assert_ne!(
+            crate::seed_from_name("prop_a"),
+            crate::seed_from_name("prop_b")
+        );
+    }
+}

@@ -1,0 +1,208 @@
+//! Minimal in-tree stand-in for `serde`.
+//!
+//! The build environment has no access to crates.io. The workspace only ever
+//! serializes (reports written by `ifdb-bench` via `serde_json`), so this
+//! stand-in collapses serde's data model to a single JSON [`Value`] tree:
+//! [`Serialize`] renders a value into a [`Value`], and `Deserialize` exists
+//! only so `#[derive(Deserialize)]` on the seed types compiles (nothing in
+//! the workspace parses serialized data back yet).
+//!
+//! `serde_derive` generates field-aware impls for structs and enums using the
+//! same externally-tagged encoding real serde defaults to.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON-shaped value tree — the entire data model of this stand-in.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Int(i64),
+    UInt(u64),
+    Float(f64),
+    String(String),
+    Array(Vec<Value>),
+    /// Insertion-ordered object, matching struct field declaration order.
+    Object(Vec<(String, Value)>),
+}
+
+/// Render `self` as a [`Value`].
+pub trait Serialize {
+    fn to_json_value(&self) -> Value;
+}
+
+/// Marker so `#[derive(Deserialize)]` compiles; no workspace code
+/// deserializes yet.
+pub trait Deserialize<'de>: Sized {}
+
+macro_rules! serialize_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+    )*};
+}
+
+macro_rules! serialize_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+    )*};
+}
+
+serialize_signed!(i8, i16, i32, i64, isize);
+serialize_unsigned!(u8, u16, u32, u64, usize);
+
+impl Serialize for f32 {
+    fn to_json_value(&self) -> Value {
+        Value::Float(*self as f64)
+    }
+}
+
+impl Serialize for f64 {
+    fn to_json_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Serialize for bool {
+    fn to_json_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for str {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Serialize for char {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for () {
+    fn to_json_value(&self) -> Value {
+        Value::Null
+    }
+}
+
+impl Serialize for std::time::Duration {
+    fn to_json_value(&self) -> Value {
+        Value::Object(vec![
+            ("secs".to_string(), Value::UInt(self.as_secs())),
+            ("nanos".to_string(), Value::UInt(self.subsec_nanos() as u64)),
+        ])
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json_value(&self) -> Value {
+        (**self).to_json_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_json_value(&self) -> Value {
+        (**self).to_json_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_json_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json_value(&self) -> Value {
+        self.as_slice().to_json_value()
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_json_value(&self) -> Value {
+        self.as_slice().to_json_value()
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_json_value(&self) -> Value {
+        Value::Array(vec![self.0.to_json_value(), self.1.to_json_value()])
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_json_value(&self) -> Value {
+        Value::Array(vec![
+            self.0.to_json_value(),
+            self.1.to_json_value(),
+            self.2.to_json_value(),
+        ])
+    }
+}
+
+impl<K: ToString, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_json_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.to_string(), v.to_json_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: ToString, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_json_value(&self) -> Value {
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_json_value()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(entries)
+    }
+}
+
+impl<T: Serialize + Ord> Serialize for BTreeSet<T> {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Serialize, S> Serialize for HashSet<T, S> {
+    fn to_json_value(&self) -> Value {
+        // Hash iteration order is nondeterministic; render as-is (callers
+        // needing stable output should use ordered containers).
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl Serialize for Value {
+    fn to_json_value(&self) -> Value {
+        self.clone()
+    }
+}

@@ -1,0 +1,297 @@
+//! Minimal in-tree stand-in for `serde_derive`.
+//!
+//! Generates field-aware `serde::Serialize` impls (and marker
+//! `serde::Deserialize` impls) for the shapes the workspace actually uses:
+//! structs with named fields, tuple/unit structs, and enums with unit, tuple
+//! and struct variants. Parsing is done directly on the `proc_macro` token
+//! stream — `syn`/`quote` are unavailable offline. Generics are not
+//! supported (no workspace type needs them); deriving on a generic type
+//! panics with a clear message rather than emitting wrong code.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Input {
+    Struct(Shape),
+    Enum(Vec<Variant>),
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, parsed) = parse(input);
+    let body = match parsed {
+        Input::Struct(shape) => struct_body(&shape, "self."),
+        Input::Enum(variants) => enum_body(&name, &variants),
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_json_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde_derive: generated impl failed to parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, _) = parse(input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .expect("serde_derive: generated impl failed to parse")
+}
+
+fn struct_body(shape: &Shape, access: &str) -> String {
+    match shape {
+        Shape::Unit => "::serde::Value::Null".to_string(),
+        // Newtype structs serialize transparently, as real serde does.
+        Shape::Tuple(1) => format!("::serde::Serialize::to_json_value(&{access}0)"),
+        Shape::Tuple(n) => {
+            let items = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_json_value(&{access}{i})"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("::serde::Value::Array(::std::vec![{items}])")
+        }
+        Shape::Named(fields) => {
+            let items = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_json_value(&{access}{f}))"
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("::serde::Value::Object(::std::vec![{items}])")
+        }
+    }
+}
+
+fn enum_body(name: &str, variants: &[Variant]) -> String {
+    // Externally tagged, serde's default: "Var", {"Var": x}, {"Var": [..]},
+    // {"Var": {..}}.
+    let arms = variants
+        .iter()
+        .map(|v| {
+            let vname = &v.name;
+            match &v.shape {
+                Shape::Unit => format!(
+                    "{name}::{vname} => \
+                     ::serde::Value::String(::std::string::String::from(\"{vname}\")),"
+                ),
+                Shape::Tuple(n) => {
+                    let binds = (0..*n)
+                        .map(|i| format!("__f{i}"))
+                        .collect::<Vec<_>>()
+                        .join(", ");
+                    let inner = if *n == 1 {
+                        "::serde::Serialize::to_json_value(__f0)".to_string()
+                    } else {
+                        let items = (0..*n)
+                            .map(|i| format!("::serde::Serialize::to_json_value(__f{i})"))
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        format!("::serde::Value::Array(::std::vec![{items}])")
+                    };
+                    format!(
+                        "{name}::{vname}({binds}) => ::serde::Value::Object(::std::vec![\
+                         (::std::string::String::from(\"{vname}\"), {inner})]),"
+                    )
+                }
+                Shape::Named(fields) => {
+                    let binds = fields.join(", ");
+                    let items = fields
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "(::std::string::String::from(\"{f}\"), \
+                                 ::serde::Serialize::to_json_value({f}))"
+                            )
+                        })
+                        .collect::<Vec<_>>()
+                        .join(", ");
+                    format!(
+                        "{name}::{vname} {{ {binds} }} => ::serde::Value::Object(::std::vec![\
+                         (::std::string::String::from(\"{vname}\"), \
+                         ::serde::Value::Object(::std::vec![{items}]))]),"
+                    )
+                }
+            }
+        })
+        .collect::<Vec<_>>()
+        .join("\n");
+    format!("match self {{\n{arms}\n}}")
+}
+
+// --------------------------------------------------------------------------
+// Token-stream parsing
+// --------------------------------------------------------------------------
+
+fn parse(input: TokenStream) -> (String, Input) {
+    let mut tokens = input.into_iter().peekable();
+    let mut kind = None;
+    while let Some(tt) = tokens.next() {
+        match tt {
+            // Outer attribute or doc comment: `#` followed by a [...] group.
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                tokens.next();
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                // `pub(crate)` and friends carry a parenthesized group.
+                if matches!(tokens.peek(), Some(TokenTree::Group(g))
+                    if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    tokens.next();
+                }
+            }
+            TokenTree::Ident(id) if id.to_string() == "struct" || id.to_string() == "enum" => {
+                kind = Some(id.to_string());
+                break;
+            }
+            _ => {}
+        }
+    }
+    let kind = kind.expect("serde_derive: expected `struct` or `enum`");
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected type name, got {other:?}"),
+    };
+    if matches!(&tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive (in-tree stand-in): generic types are not supported");
+    }
+    let parsed = if kind == "struct" {
+        match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Input::Struct(Shape::Named(parse_named_fields(g.stream())))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Input::Struct(Shape::Tuple(count_tuple_fields(g.stream())))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Input::Struct(Shape::Unit),
+            other => panic!("serde_derive: unexpected struct body {other:?}"),
+        }
+    } else {
+        match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Input::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde_derive: unexpected enum body {other:?}"),
+        }
+    };
+    (name, parsed)
+}
+
+/// Parses `[attrs] [vis] name: Type, ...`, returning the field names. Commas
+/// inside angle brackets (e.g. `HashMap<String, u64>`) are not separators.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut tokens);
+        match tokens.next() {
+            Some(TokenTree::Ident(id)) => fields.push(id.to_string()),
+            None => break,
+            other => panic!("serde_derive: expected field name, got {other:?}"),
+        }
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive: expected `:` after field name, got {other:?}"),
+        }
+        skip_type(&mut tokens);
+    }
+    fields
+}
+
+/// Counts the fields of a tuple struct/variant body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut tokens = stream.into_iter().peekable();
+    let mut count = 0;
+    loop {
+        skip_attrs_and_vis(&mut tokens);
+        if tokens.peek().is_none() {
+            break;
+        }
+        count += 1;
+        skip_type(&mut tokens);
+    }
+    count
+}
+
+/// Parses `[attrs] Name [(..) | {..}] [, ...]` enum variants.
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut tokens);
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive: expected variant name, got {other:?}"),
+        };
+        let shape = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let s = Shape::Tuple(count_tuple_fields(g.stream()));
+                tokens.next();
+                s
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let s = Shape::Named(parse_named_fields(g.stream()));
+                tokens.next();
+                s
+            }
+            _ => Shape::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) and the trailing comma.
+        skip_type(&mut tokens);
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+/// Skips `#[...]` attributes (including doc comments) and `pub`/`pub(...)`.
+fn skip_attrs_and_vis(
+    tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>,
+) {
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                tokens.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                tokens.next();
+                if matches!(tokens.peek(), Some(TokenTree::Group(g))
+                    if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    tokens.next();
+                }
+            }
+            _ => break,
+        }
+    }
+}
+
+/// Consumes tokens up to and including the next comma at angle-bracket depth
+/// zero (the end of a type or discriminant expression).
+fn skip_type(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    let mut depth: i64 = 0;
+    for tt in tokens.by_ref() {
+        if let TokenTree::Punct(p) = tt { match p.as_char() {
+            '<' => depth += 1,
+            '>' => depth -= 1,
+            ',' if depth == 0 => return,
+            _ => {}
+        } }
+    }
+}
