@@ -1,0 +1,35 @@
+//! Emits the PR 2 performance snapshot as `BENCH_pr2.json` in the current
+//! directory (plus the usual copy under `target/experiments/`): Figure 4
+//! WIPS at smoke scale, the `scan_hot` seed-vs-streaming comparison, and
+//! the indexed-range access-path check. CI uploads the file to seed the
+//! perf trajectory across PRs.
+
+use ifdb_bench::ExperimentScale;
+
+fn main() {
+    let report = ifdb_bench::bench_pr2_report(ExperimentScale::from_env());
+    match serde_json::to_string_pretty(&report) {
+        Ok(json) => {
+            if std::fs::write("BENCH_pr2.json", &json).is_ok() {
+                println!("\n[BENCH_pr2.json written]");
+            } else {
+                eprintln!("could not write BENCH_pr2.json");
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("could not serialize report: {e}");
+            std::process::exit(1);
+        }
+    }
+    if report.scan_hot.speedup < 2.0 {
+        eprintln!(
+            "WARNING: scan_hot speedup {:.2}x is below the 2x target",
+            report.scan_hot.speedup
+        );
+    }
+    if report.indexed_range.full_table_scans_delta != 0 {
+        eprintln!("ERROR: indexed range query fell back to a full scan");
+        std::process::exit(1);
+    }
+}

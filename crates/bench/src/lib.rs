@@ -11,9 +11,11 @@
 //! across tags-per-label, which is what the paper's figures show.
 
 pub mod experiments;
+pub mod pr2;
 pub mod report;
 
 pub use experiments::{
     fig3_request_mix, fig4_web_throughput, fig5_request_latency, fig6_dbt2_labels,
     sensor_ingest_throughput, trusted_base_report, ExperimentScale,
 };
+pub use pr2::{bench_pr2_report, measure_indexed_range, measure_scan_hot, BenchPr2Report};

@@ -1,0 +1,208 @@
+//! The PR 2 performance snapshot: the `scan_hot` workload comparing the
+//! seed executor to the streaming, label-memoized pipeline, an
+//! indexed-range access-path check, and the Figure 4 throughput numbers,
+//! all emitted as one machine-readable `BENCH_pr2.json`.
+//!
+//! The `scan_hot` workload is the paper's flagship Query-by-Label path: a
+//! filtered scan through a *declassifying view* over a table whose tuples
+//! carry a small number of distinct labels. The seed executor re-resolves
+//! the declassify cover and the Information Flow Rule per tuple under the
+//! authority lock; the streaming executor decides each distinct label once.
+
+use std::time::Instant;
+
+use ifdb::prelude::*;
+use ifdb::{TableDef, ViewSource};
+use serde::Serialize;
+
+use crate::experiments::{fig4_web_throughput, ExperimentScale, Fig4Report};
+use crate::report::{header, row, write_json};
+
+/// `scan_hot` measurements, in nanoseconds per scanned row.
+#[derive(Debug, Clone, Serialize)]
+pub struct ScanHotReport {
+    /// Table size.
+    pub rows: usize,
+    /// Number of distinct stored labels in the table.
+    pub distinct_labels: usize,
+    /// Rows matching the filter.
+    pub matching_rows: usize,
+    /// Seed executor cost (per-tuple label decisions under the authority
+    /// lock, materializing, name-resolving per row).
+    pub seed_ns_per_row: f64,
+    /// Streaming executor cost (bound plan, per-scan label memo).
+    pub streaming_ns_per_row: f64,
+    /// `seed_ns_per_row / streaming_ns_per_row`.
+    pub speedup: f64,
+}
+
+/// Access-path check: a bounded primary-key range must be served by the
+/// index, not a full scan.
+#[derive(Debug, Clone, Serialize)]
+pub struct IndexedRangeReport {
+    /// Rows the range query returned.
+    pub rows_returned: usize,
+    /// Full-table scans the query performed (must be zero).
+    pub full_table_scans_delta: u64,
+    /// Index range scans the query performed (must be positive).
+    pub index_range_scans_delta: u64,
+}
+
+/// Everything `BENCH_pr2.json` records.
+#[derive(Debug, Clone, Serialize)]
+pub struct BenchPr2Report {
+    /// Figure 4 web throughput (WIPS) at the chosen scale.
+    pub fig4: Fig4Report,
+    /// The executor comparison.
+    pub scan_hot: ScanHotReport,
+    /// The access-path check.
+    pub indexed_range: IndexedRangeReport,
+}
+
+/// Builds the `scan_hot` database: `rows` tuples spread over
+/// `distinct_labels` single-tag labels (each tag a member of one compound),
+/// plus the declassifying view `AllData` that strips the compound.
+pub fn scan_hot_db(rows: i64, distinct_labels: usize) -> (Database, Select) {
+    let db = Database::new(ifdb::DatabaseConfig::in_memory().with_seed(2));
+    let service = db.create_principal("service", PrincipalKind::Service);
+    let owner = db.create_principal("owner", PrincipalKind::User);
+    let all_data = db.create_compound_tag(service, "all_data", &[]).unwrap();
+    let tags: Vec<TagId> = (0..distinct_labels)
+        .map(|i| {
+            db.create_tag(owner, &format!("group{i}"), &[all_data])
+                .unwrap()
+        })
+        .collect();
+    db.create_table(
+        TableDef::new("data")
+            .column("id", DataType::Int)
+            .column("grp", DataType::Int)
+            .column("val", DataType::Int)
+            .primary_key(&["id"]),
+    )
+    .unwrap();
+    for (g, tag) in tags.iter().enumerate() {
+        let mut s = db.session(owner);
+        s.add_secrecy(*tag).unwrap();
+        s.begin().unwrap();
+        let mut i = g as i64;
+        while i < rows {
+            s.insert(&Insert::new(
+                "data",
+                vec![Datum::Int(i), Datum::Int(g as i64), Datum::Int(i)],
+            ))
+            .unwrap();
+            i += distinct_labels as i64;
+        }
+        s.commit().unwrap();
+    }
+    db.create_declassifying_view(
+        service,
+        "AllData",
+        ViewSource::Select(Select::star("data")),
+        Label::singleton(all_data),
+    )
+    .unwrap();
+    let query = Select::star("AllData")
+        .filter(Predicate::Ge("val".into(), Datum::Int(rows / 2)));
+    (db, query)
+}
+
+/// Times the seed and streaming executors over the `scan_hot` workload.
+pub fn measure_scan_hot(rows: i64, distinct_labels: usize, iters: u32) -> ScanHotReport {
+    let (db, query) = scan_hot_db(rows, distinct_labels);
+    let expect = (rows - rows / 2) as usize;
+    let mut s = db.anonymous_session();
+    // Warm-up and sanity: both executors agree on the result.
+    assert_eq!(s.select(&query).unwrap().len(), expect);
+    assert_eq!(s.select_reference(&query).unwrap().len(), expect);
+
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        assert_eq!(s.select_reference(&query).unwrap().len(), expect);
+    }
+    let seed_ns_per_row = t0.elapsed().as_nanos() as f64 / iters as f64 / rows as f64;
+
+    let t1 = Instant::now();
+    for _ in 0..iters {
+        assert_eq!(s.select(&query).unwrap().len(), expect);
+    }
+    let streaming_ns_per_row = t1.elapsed().as_nanos() as f64 / iters as f64 / rows as f64;
+
+    ScanHotReport {
+        rows: rows as usize,
+        distinct_labels,
+        matching_rows: expect,
+        seed_ns_per_row,
+        streaming_ns_per_row,
+        speedup: seed_ns_per_row / streaming_ns_per_row,
+    }
+}
+
+/// Runs a bounded primary-key range query and reports the access-path
+/// counters around it.
+pub fn measure_indexed_range() -> IndexedRangeReport {
+    let (db, _) = scan_hot_db(2_000, 4);
+    let mut s = db.anonymous_session();
+    let query = Select::star("AllData").filter(
+        Predicate::Ge("id".into(), Datum::Int(500))
+            .and(Predicate::Lt("id".into(), Datum::Int(600))),
+    );
+    let before = db.engine().stats();
+    let got = s.select(&query).unwrap();
+    let after = db.engine().stats();
+    IndexedRangeReport {
+        rows_returned: got.len(),
+        full_table_scans_delta: after.full_table_scans - before.full_table_scans,
+        index_range_scans_delta: after.index_range_scans - before.index_range_scans,
+    }
+}
+
+/// Produces (and prints) the complete PR 2 snapshot.
+pub fn bench_pr2_report(scale: ExperimentScale) -> BenchPr2Report {
+    let fig4 = fig4_web_throughput(scale);
+    let (rows, iters) = match scale {
+        ExperimentScale::Quick => (10_000, 20),
+        ExperimentScale::Full => (10_000, 100),
+    };
+    header("scan_hot: seed executor vs streaming + label memo");
+    let scan_hot = measure_scan_hot(rows, 4, iters);
+    row(
+        "seed executor",
+        format!("{:.1} ns/row", scan_hot.seed_ns_per_row),
+    );
+    row(
+        "streaming + memo",
+        format!("{:.1} ns/row", scan_hot.streaming_ns_per_row),
+    );
+    row("speedup", format!("{:.2}x", scan_hot.speedup));
+
+    header("indexed range access path");
+    let indexed_range = measure_indexed_range();
+    row("rows returned", indexed_range.rows_returned);
+    row("full table scans", indexed_range.full_table_scans_delta);
+    row("index range scans", indexed_range.index_range_scans_delta);
+
+    let report = BenchPr2Report {
+        fig4,
+        scan_hot,
+        indexed_range,
+    };
+    write_json("bench_pr2", &report);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scan_hot_executors_agree_and_range_uses_index() {
+        let report = measure_scan_hot(600, 4, 2);
+        assert_eq!(report.matching_rows, 300);
+        let range = measure_indexed_range();
+        assert_eq!(range.rows_returned, 100);
+        assert_eq!(range.full_table_scans_delta, 0);
+        assert!(range.index_range_scans_delta > 0);
+    }
+}

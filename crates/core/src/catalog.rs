@@ -245,6 +245,15 @@ impl fmt::Debug for StoredProcedure {
     }
 }
 
+/// A secondary index registered on a table, visible to the planner.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndexSpec {
+    /// Index name (unique per table).
+    pub name: String,
+    /// Indexed columns, in key order.
+    pub columns: Vec<String>,
+}
+
 /// Everything the catalog records about one table.
 #[derive(Debug, Clone)]
 pub struct TableInfo {
@@ -262,6 +271,37 @@ pub struct TableInfo {
     pub label_constraints: Vec<LabelConstraint>,
     /// Name of the primary-key index, if one was created.
     pub pk_index: Option<String>,
+    /// Secondary indexes available to the planner.
+    pub indexes: Vec<IndexSpec>,
+}
+
+impl TableInfo {
+    /// Every index available on this table: the primary-key index first
+    /// (point lookups on it are unique), then secondary indexes in creation
+    /// order.
+    pub fn index_specs(&self) -> Vec<(&str, &[String])> {
+        let mut out = Vec::new();
+        if let Some(pk) = &self.pk_index {
+            out.push((pk.as_str(), self.primary_key.as_slice()));
+        }
+        for idx in &self.indexes {
+            out.push((idx.name.as_str(), idx.columns.as_slice()));
+        }
+        out
+    }
+
+    /// The name of an index whose key is exactly `cols`, if one exists.
+    pub fn index_on(&self, cols: &[String]) -> Option<&str> {
+        self.index_specs()
+            .into_iter()
+            .find(|(_, c)| *c == cols)
+            .map(|(n, _)| n)
+    }
+
+    /// The schema's column names, in order.
+    pub fn column_names(&self) -> Vec<String> {
+        self.schema.columns.iter().map(|c| c.name.clone()).collect()
+    }
 }
 
 /// A declarative table definition handed to
@@ -280,6 +320,8 @@ pub struct TableDef {
     pub foreign_keys: Vec<ForeignKey>,
     /// Label constraints.
     pub label_constraints: Vec<LabelConstraint>,
+    /// Secondary indexes to create with the table.
+    pub indexes: Vec<IndexSpec>,
 }
 
 impl TableDef {
@@ -306,6 +348,15 @@ impl TableDef {
     /// Sets the primary key.
     pub fn primary_key(mut self, columns: &[&str]) -> Self {
         self.primary_key = columns.iter().map(|c| c.to_string()).collect();
+        self
+    }
+
+    /// Adds a secondary index over the given columns.
+    pub fn secondary_index(mut self, name: &str, columns: &[&str]) -> Self {
+        self.indexes.push(IndexSpec {
+            name: name.to_string(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+        });
         self
     }
 
@@ -545,6 +596,7 @@ mod tests {
             foreign_keys: vec![],
             label_constraints: vec![],
             pk_index: None,
+            indexes: vec![],
         });
         cat.add_table(TableInfo {
             id: TableId(2),
@@ -565,6 +617,7 @@ mod tests {
             }],
             label_constraints: vec![],
             pk_index: None,
+            indexes: vec![],
         });
         let refs = cat.referencing("Cars");
         assert_eq!(refs.len(), 1);

@@ -210,6 +210,11 @@ impl Database {
                 schema.column_index(c)?;
             }
         }
+        for idx in &def.indexes {
+            for c in &idx.columns {
+                schema.column_index(c)?;
+            }
+        }
         let id = self.inner.engine.create_table(schema.clone())?;
         let pk_index = if def.primary_key.is_empty() {
             None
@@ -219,6 +224,10 @@ impl Database {
             self.inner.engine.create_index(id, &index_name, &cols)?;
             Some(index_name)
         };
+        for idx in &def.indexes {
+            let cols: Vec<&str> = idx.columns.iter().map(String::as_str).collect();
+            self.inner.engine.create_index(id, &idx.name, &cols)?;
+        }
         let info = TableInfo {
             id,
             schema,
@@ -227,8 +236,37 @@ impl Database {
             foreign_keys: def.foreign_keys,
             label_constraints: def.label_constraints,
             pk_index,
+            indexes: def.indexes,
         };
         self.inner.catalog.write().add_table(info);
+        Ok(())
+    }
+
+    /// Creates a secondary ordered index over `columns` of an existing
+    /// table, back-filled from the current heap contents and registered with
+    /// the planner, which will use it for equality, prefix and range access
+    /// paths.
+    pub fn create_secondary_index(
+        &self,
+        table: &str,
+        name: &str,
+        columns: &[&str],
+    ) -> IfdbResult<()> {
+        // The catalog write lock is held across the engine-side creation and
+        // the TableInfo swap, so concurrent index DDL on the same table
+        // cannot lose a registration; the engine rejects duplicate names.
+        let mut catalog = self.inner.catalog.write();
+        let info = catalog.table(table)?;
+        for c in columns {
+            info.schema.column_index(c)?;
+        }
+        self.inner.engine.create_index(info.id, name, columns)?;
+        let mut updated = (*info).clone();
+        updated.indexes.push(crate::catalog::IndexSpec {
+            name: name.to_string(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+        });
+        catalog.add_table(updated);
         Ok(())
     }
 

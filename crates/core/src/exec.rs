@@ -15,39 +15,66 @@
 //!   Rule** with the `DECLASSIFYING` clause, **label constraints**, and
 //!   **triggers** (ordinary and stored authority closures, immediate and
 //!   deferred).
+//!
+//! # Execution pipeline
+//!
+//! Statements are *bound* once (names → offsets, predicates compiled,
+//! access path chosen — see [`crate::plan`]) and then *streamed*: rows flow
+//! from the storage engine through per-scan filter/projection callbacks into
+//! the statement's sink without materializing intermediate row sets.
+//! Predicate hints push down through views and into both sides of joins, so
+//! index access paths fire below view and join boundaries.
+//!
+//! The Query-by-Label decision itself — strip the tags covered by enclosing
+//! declassifying views, then test the Information Flow Rule — is memoized
+//! per scan by stored label ([`LabelDecisionMemo`]): each distinct label is
+//! decided once, and the authority lock is taken only to expand the
+//! declassify cover before the scan, never across it.
 
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use ifdb_difc::memo::{LabelDecision, LabelDecisionMemo};
 use ifdb_difc::audit::AuditEvent;
 use ifdb_difc::Label;
-use ifdb_storage::{Datum, RowId, Snapshot, TableId};
+use ifdb_storage::{Datum, RowId, Snapshot, TableId, TupleVersion};
 
 use crate::catalog::{TableInfo, TriggerEvent, TriggerInvocation, TriggerTiming, ViewSource};
 use crate::error::{IfdbError, IfdbResult};
+use crate::plan::{plan_table_scan, AccessPath, CompiledPredicate, TableScanPlan};
 use crate::query::{AggFunc, Aggregate, Delete, Insert, Join, JoinKind, Order, Predicate, Select, Update};
 use crate::row::{ResultSet, Row};
 use crate::session::Session;
 
 /// An intermediate row produced by a scan, before projection.
+///
+/// The row carries only the *effective* label (after any declassifying
+/// views stripped their tags). The stored label is not materialized per
+/// row: the consumers that need it — the Write Rule checks in UPDATE and
+/// DELETE — scan with an empty declassify set, where the effective label
+/// *is* the stored label.
 #[derive(Debug, Clone)]
 pub(crate) struct ScanRow {
     /// Physical location, when the row comes directly from a base table.
     pub(crate) row_id: Option<(TableId, RowId)>,
-    /// The stored (original) label of the tuple.
-    pub(crate) stored_label: Label,
     /// The effective label after any declassifying views were applied.
     pub(crate) label: Label,
     /// The values.
     pub(crate) values: Vec<Datum>,
 }
 
-/// The rows and column names produced by scanning a table, view, or join.
+/// The rows and column names produced by a materializing scan. Only the
+/// reference (seed) executor still produces these; the streaming pipeline
+/// pushes [`ScanRow`]s into sinks instead.
 #[derive(Debug, Clone)]
 pub(crate) struct SourceRows {
     pub(crate) columns: Vec<String>,
     pub(crate) rows: Vec<ScanRow>,
 }
+
+/// A streaming row consumer. Returning `Ok(false)` stops the scan early
+/// (used by LIMIT and existence checks).
+type RowSink<'a> = dyn FnMut(ScanRow) -> IfdbResult<bool> + 'a;
 
 fn col_index(columns: &[String], name: &str) -> IfdbResult<usize> {
     columns
@@ -56,7 +83,10 @@ fn col_index(columns: &[String], name: &str) -> IfdbResult<usize> {
         .ok_or_else(|| IfdbError::UnknownColumn(name.to_string()))
 }
 
-/// Evaluates a predicate against a row.
+/// Evaluates a predicate against a row by column name. The streaming
+/// pipeline compiles predicates to offsets instead
+/// ([`CompiledPredicate`]); this interpreter remains for the reference
+/// executor.
 fn eval_predicate(
     pred: &Predicate,
     columns: &[String],
@@ -98,33 +128,111 @@ fn eval_predicate(
     })
 }
 
+/// The resolved column layout of a two-way join: left columns keep their
+/// names, colliding right columns are prefixed with `"<table>."`.
+struct JoinLayout {
+    left: Vec<String>,
+    right: Vec<String>,
+    out: Vec<String>,
+}
+
+/// What a `FROM` name resolved to.
+enum ResolvedSource {
+    Table(Arc<TableInfo>),
+    View(Arc<crate::catalog::ViewDef>),
+}
+
 impl Session {
     // ==================================================================
-    // Scanning tables, views and joins
+    // Binding: resolving source column layouts
     // ==================================================================
 
-    /// Scans a table or view, applying Query by Label confinement with the
-    /// accumulated set of tags that enclosing declassifying views may remove.
-    pub(crate) fn scan_source(
+    fn resolve_source(&self, from: &str) -> IfdbResult<ResolvedSource> {
+        let catalog = self.db.inner.catalog.read();
+        if catalog.has_table(from) {
+            Ok(ResolvedSource::Table(catalog.table(from)?))
+        } else if catalog.has_view(from) {
+            Ok(ResolvedSource::View(catalog.view(from)?))
+        } else {
+            Err(IfdbError::UnknownTable(from.to_string()))
+        }
+    }
+
+    /// Resolves the output columns of a table, view or join without
+    /// scanning anything.
+    pub(crate) fn source_columns(&self, from: &str) -> IfdbResult<Vec<String>> {
+        let view = match self.resolve_source(from)? {
+            ResolvedSource::Table(info) => return Ok(info.column_names()),
+            ResolvedSource::View(view) => view,
+        };
+        match &view.source {
+            ViewSource::Select(sel) => {
+                let inner = self.source_columns(&sel.from)?;
+                match &sel.columns {
+                    None => Ok(inner),
+                    Some(cols) => {
+                        for c in cols {
+                            col_index(&inner, c)?;
+                        }
+                        Ok(cols.clone())
+                    }
+                }
+            }
+            ViewSource::Join(join) => Ok(self.join_layout(join)?.out),
+        }
+    }
+
+    /// Returns `true` if the source resolves through tables and
+    /// single-source views only (no join anywhere in the chain). Join
+    /// boundaries may drop pushed-down conjuncts, so only join-free chains
+    /// guarantee that a fully-pushed predicate was applied below.
+    fn source_is_join_free(&self, from: &str) -> IfdbResult<bool> {
+        let view = match self.resolve_source(from)? {
+            ResolvedSource::Table(_) => return Ok(true),
+            ResolvedSource::View(view) => view,
+        };
+        match &view.source {
+            ViewSource::Select(sel) => self.source_is_join_free(&sel.from),
+            ViewSource::Join(_) => Ok(false),
+        }
+    }
+
+    fn join_layout(&self, join: &Join) -> IfdbResult<JoinLayout> {
+        let left = self.source_columns(&join.left)?;
+        let right = self.source_columns(&join.right)?;
+        let mut out = left.clone();
+        out.extend(right.iter().map(|c| {
+            if left.contains(c) {
+                format!("{}.{}", join.right, c)
+            } else {
+                c.clone()
+            }
+        }));
+        Ok(JoinLayout { left, right, out })
+    }
+
+    // ==================================================================
+    // Streaming scans over tables, views and joins
+    // ==================================================================
+
+    /// Streams a table or view into `sink`, applying Query by Label
+    /// confinement with the accumulated set of tags that enclosing
+    /// declassifying views may remove. `hint` is a predicate implied by the
+    /// enclosing statement; it steers access-path choice and is pushed down
+    /// as a pre-filter, while the statement re-applies its full predicate.
+    pub(crate) fn stream_source(
         &mut self,
         from: &str,
         declassify: &Label,
         hint: &Predicate,
-    ) -> IfdbResult<SourceRows> {
-        let (table_info, view_def) = {
-            let catalog = self.db.inner.catalog.read();
-            if catalog.has_table(from) {
-                (Some(catalog.table(from)?), None)
-            } else if catalog.has_view(from) {
-                (None, Some(catalog.view(from)?))
-            } else {
-                return Err(IfdbError::UnknownTable(from.to_string()));
+        sink: &mut RowSink<'_>,
+    ) -> IfdbResult<()> {
+        let view = match self.resolve_source(from)? {
+            ResolvedSource::Table(info) => {
+                return self.stream_base_table(&info, declassify, hint, sink)
             }
+            ResolvedSource::View(view) => view,
         };
-        if let Some(info) = table_info {
-            return self.scan_base_table(&info, declassify, hint);
-        }
-        let view = view_def.expect("either table or view");
         let nested_declassify = declassify.union(&view.declassifies);
         if view.is_declassifying() {
             self.db.audit().record(AuditEvent::DeclassifyingView {
@@ -134,193 +242,253 @@ impl Session {
         }
         match &view.source {
             ViewSource::Select(sel) => {
-                let src = self.scan_source(&sel.from, &nested_declassify, &sel.predicate)?;
-                let mut rows = Vec::new();
-                for r in src.rows {
-                    if eval_predicate(&sel.predicate, &src.columns, &r.values, &r.label)? {
-                        rows.push(r);
-                    }
-                }
-                // Apply the view's projection, if any.
-                let (columns, rows) = match &sel.columns {
-                    None => (src.columns, rows),
-                    Some(cols) => {
-                        let idx: Vec<usize> = cols
-                            .iter()
-                            .map(|c| col_index(&src.columns, c))
-                            .collect::<IfdbResult<_>>()?;
-                        let projected = rows
-                            .into_iter()
-                            .map(|r| ScanRow {
-                                row_id: None,
-                                stored_label: r.stored_label.clone(),
-                                label: r.label.clone(),
-                                values: idx.iter().map(|i| r.values[*i].clone()).collect(),
-                            })
-                            .collect();
-                        (cols.clone(), projected)
-                    }
+                let inner_cols = self.source_columns(&sel.from)?;
+                let view_filter = CompiledPredicate::compile(&sel.predicate, &inner_cols)?;
+                let projection: Option<Vec<usize>> = match &sel.columns {
+                    None => None,
+                    Some(cols) => Some(
+                        cols.iter()
+                            .map(|c| col_index(&inner_cols, c))
+                            .collect::<IfdbResult<_>>()?,
+                    ),
                 };
-                Ok(SourceRows { columns, rows })
+                // The view's projection keeps column names, so outer hint
+                // conjuncts over view outputs push straight through to the
+                // inner source, joined with the view's own predicate.
+                let pushed = hint.push_down(&|c| {
+                    inner_cols.iter().any(|n| n == c).then(|| c.to_string())
+                });
+                let combined = sel.predicate.clone().and_compact(pushed);
+                self.stream_source(&sel.from, &nested_declassify, &combined, &mut |r| {
+                    if !view_filter.matches(&r.values, &r.label) {
+                        return Ok(true);
+                    }
+                    let row = match &projection {
+                        None => r,
+                        Some(idx) => ScanRow {
+                            row_id: None,
+                            label: r.label,
+                            values: idx.iter().map(|i| r.values[*i].clone()).collect(),
+                        },
+                    };
+                    sink(row)
+                })
             }
-            ViewSource::Join(join) => self.scan_join(join, &nested_declassify),
+            ViewSource::Join(join) => self.stream_join(join, &nested_declassify, hint, sink),
         }
     }
 
-    fn scan_base_table(
+    /// Streams a base table through its bound scan plan. The Query-by-Label
+    /// decision is memoized per distinct stored label; the authority lock is
+    /// taken only to expand the declassify cover up front and is released
+    /// before the first tuple is visited.
+    fn stream_base_table(
         &mut self,
         info: &Arc<TableInfo>,
         declassify: &Label,
         hint: &Predicate,
-    ) -> IfdbResult<SourceRows> {
+        sink: &mut RowSink<'_>,
+    ) -> IfdbResult<()> {
+        let plan = plan_table_scan(info, hint)?;
+        self.stream_base_table_plan(info, declassify, plan, sink)
+    }
+
+    fn stream_base_table_plan(
+        &mut self,
+        info: &Arc<TableInfo>,
+        declassify: &Label,
+        plan: TableScanPlan,
+        sink: &mut RowSink<'_>,
+    ) -> IfdbResult<()> {
         let (_, snapshot) = self.current_txn()?;
         let process_label = self.process.label().clone();
         let difc = self.db.difc_enabled();
-        let columns: Vec<String> = info.schema.columns.iter().map(|c| c.name.clone()).collect();
-
-        // A declassifying view that declassifies a *compound* tag covers every
-        // member of the compound (the PCMembers view holds authority for
-        // all_contacts and thereby declassifies each user's contact tag).
-        let auth = self.db.inner.auth.read();
-        let declassify_covers = |tag: ifdb_difc::TagId| {
-            declassify.contains(tag)
-                || auth
-                    .enclosing_compounds(tag)
-                    .iter()
-                    .any(|c| declassify.contains(*c))
-        };
-
-        let mut rows = Vec::new();
-        let mut consider = |stored_label: Label, values: Vec<Datum>, rid: (TableId, RowId)| {
-            let effective = if declassify.is_empty() {
-                stored_label.clone()
-            } else {
-                Label::from_tags(stored_label.iter().filter(|t| !declassify_covers(*t)))
-            };
-            if difc && !effective.is_subset_of(&process_label) {
-                return;
-            }
-            rows.push(ScanRow {
-                row_id: Some(rid),
-                stored_label,
-                label: effective,
-                values,
-            });
-        };
-
-        // Planner: use the primary-key index when the predicate pins every
-        // key column by equality.
-        let use_index = info.pk_index.as_ref().and_then(|idx| {
-            let key: Option<Vec<Datum>> = info
-                .primary_key
-                .iter()
-                .map(|c| hint.equality_on(c).cloned())
-                .collect();
-            key.map(|k| (idx.clone(), k))
-        });
-
-        if let Some((index_name, key)) = use_index {
-            let row_ids = self
-                .db
-                .inner
-                .engine
-                .index_lookup(info.id, &index_name, &key)?;
-            for rid in row_ids {
-                if let Some(version) = self
-                    .db
-                    .inner
-                    .engine
-                    .fetch_visible(&snapshot, info.id, rid)?
-                {
-                    consider(
-                        Label::from_array(&version.header.label),
-                        version.data,
-                        (info.id, rid),
-                    );
-                }
-            }
+        // A declassifying view that declassifies a *compound* tag covers
+        // every (transitive) member of the compound. Expanding the cover to
+        // a plain tag set here means the per-tuple decision below never
+        // consults the authority state — the lock is dropped at the end of
+        // this statement, not held across the scan.
+        let expanded = if declassify.is_empty() {
+            Label::empty()
         } else {
-            self.db
-                .inner
-                .engine
-                .scan_visible(&snapshot, info.id, |rid, version| {
-                    consider(
-                        Label::from_array(&version.header.label),
-                        version.data,
-                        (info.id, rid),
-                    );
-                    true
+            self.db.inner.auth.read().expand_declassify(declassify)
+        };
+        let db = self.db.clone();
+        let engine = &db.inner.engine;
+        let table_id = info.id;
+
+        let mut memo = LabelDecisionMemo::new();
+        let mut visit = |rid: RowId, version: TupleVersion| -> IfdbResult<bool> {
+            let (_, decision) = memo.decide_raw(&version.header.label, |stored| {
+                let effective = if expanded.is_empty() {
+                    stored.clone()
+                } else {
+                    stored.difference(&expanded)
+                };
+                let admit = !difc || effective.is_subset_of(&process_label);
+                LabelDecision { effective, admit }
+            });
+            if !decision.admit || !plan.filter.matches(&version.data, &decision.effective) {
+                return Ok(true);
+            }
+            sink(ScanRow {
+                row_id: Some((table_id, rid)),
+                label: decision.effective.clone(),
+                values: version.data,
+            })
+        };
+
+        match &plan.access {
+            AccessPath::FullScan => {
+                let mut result: IfdbResult<()> = Ok(());
+                engine.scan_visible(&snapshot, table_id, |rid, version| {
+                    match visit(rid, version) {
+                        Ok(more) => more,
+                        Err(e) => {
+                            result = Err(e);
+                            false
+                        }
+                    }
                 })?;
+                result
+            }
+            AccessPath::IndexEq { index, key } => {
+                for rid in engine.index_lookup(table_id, index, key)? {
+                    if let Some(v) = engine.fetch_visible(&snapshot, table_id, rid)? {
+                        if !visit(rid, v)? {
+                            break;
+                        }
+                    }
+                }
+                Ok(())
+            }
+            AccessPath::IndexPrefix { index, prefix } => {
+                for (_, rid) in engine.index_prefix(table_id, index, prefix)? {
+                    if let Some(v) = engine.fetch_visible(&snapshot, table_id, rid)? {
+                        if !visit(rid, v)? {
+                            break;
+                        }
+                    }
+                }
+                Ok(())
+            }
+            AccessPath::IndexRange { index, low, high } => {
+                for (_, rid) in
+                    engine.index_range(table_id, index, low.as_ref(), high.as_ref())?
+                {
+                    if let Some(v) = engine.fetch_visible(&snapshot, table_id, rid)? {
+                        if !visit(rid, v)? {
+                            break;
+                        }
+                    }
+                }
+                Ok(())
+            }
         }
-        Ok(SourceRows { columns, rows })
     }
 
-    fn scan_join(&mut self, join: &Join, declassify: &Label) -> IfdbResult<SourceRows> {
-        let left = self.scan_source(&join.left, declassify, &Predicate::True)?;
-        let right = self.scan_source(&join.right, declassify, &Predicate::True)?;
-        let left_on = col_index(&left.columns, &join.on.0)?;
-        let right_on = col_index(&right.columns, &join.on.1)?;
+    /// Streams a hash join: the right side is built into a hash table (its
+    /// hint pushed down), the left side streams through it. Equality hints
+    /// propagate across the join key in both directions, so pinning either
+    /// side's key turns the other side's scan into an index lookup.
+    fn stream_join(
+        &mut self,
+        join: &Join,
+        declassify: &Label,
+        outer_hint: &Predicate,
+        sink: &mut RowSink<'_>,
+    ) -> IfdbResult<()> {
+        let layout = self.join_layout(join)?;
+        let join_filter = CompiledPredicate::compile(&join.predicate, &layout.out)?;
+        let left_on = col_index(&layout.left, &join.on.0)?;
+        let right_on = col_index(&layout.right, &join.on.1)?;
 
-        // Output columns: left names as-is, right names prefixed on collision.
-        let mut columns = left.columns.clone();
-        let right_names: Vec<String> = right
-            .columns
-            .iter()
-            .map(|c| {
-                if left.columns.contains(c) {
-                    format!("{}.{}", join.right, c)
+        // Everything known to hold of the joined row at this level.
+        let combined = join.predicate.clone().and_compact(
+            outer_hint.push_down(&|c| layout.out.iter().any(|n| n == c).then(|| c.to_string())),
+        );
+        // Left side: plain names resolve to the left on collisions.
+        let mut left_hint = combined
+            .push_down(&|c| layout.left.iter().any(|n| n == c).then(|| c.to_string()));
+        // Right side: prefixed names map to their right column; plain names
+        // only when they are unambiguously right-side. For LEFT OUTER joins
+        // a right-side pre-filter would turn dropped matches into
+        // NULL-padded rows, so only the join-key propagation below applies.
+        let right_prefix = format!("{}.", join.right);
+        let mut right_hint = if join.kind == JoinKind::Inner {
+            combined.push_down(&|c: &str| {
+                if let Some(s) = c.strip_prefix(&right_prefix) {
+                    layout.right.iter().any(|n| n == s).then(|| s.to_string())
+                } else if layout.right.iter().any(|n| n == c)
+                    && !layout.left.iter().any(|n| n == c)
+                {
+                    Some(c.to_string())
                 } else {
-                    c.clone()
+                    None
                 }
             })
-            .collect();
-        columns.extend(right_names);
-
-        // Hash the right side on its join column.
-        let mut table: HashMap<Datum, Vec<&ScanRow>> = HashMap::new();
-        for r in &right.rows {
-            table.entry(r.values[right_on].clone()).or_default().push(r);
+        } else {
+            Predicate::True
+        };
+        // Join-key equality propagation: pinning one side's key pins the
+        // other side's too.
+        if let Some(v) = combined.equality_on(&join.on.0) {
+            right_hint = right_hint.and_compact(Predicate::Eq(join.on.1.clone(), v.clone()));
+        }
+        let right_on_out = if layout.left.contains(&join.on.1) {
+            format!("{}.{}", join.right, join.on.1)
+        } else {
+            join.on.1.clone()
+        };
+        if let Some(v) = combined.equality_on(&right_on_out) {
+            left_hint = left_hint.and_compact(Predicate::Eq(join.on.0.clone(), v.clone()));
         }
 
-        let right_width = right.columns.len();
-        let mut rows = Vec::new();
-        for l in &left.rows {
-            let matches = table.get(&l.values[left_on]);
-            match matches {
+        // Build phase: hash the right side on its join column.
+        let mut table: HashMap<Datum, Vec<ScanRow>> = HashMap::new();
+        self.stream_source(&join.right, declassify, &right_hint, &mut |r| {
+            table.entry(r.values[right_on].clone()).or_default().push(r);
+            Ok(true)
+        })?;
+
+        // Probe phase: stream the left side through the hash table.
+        let right_width = layout.right.len();
+        self.stream_source(&join.left, declassify, &left_hint, &mut |l| {
+            match table.get(&l.values[left_on]) {
                 Some(rs) if !rs.is_empty() => {
                     for r in rs {
                         let mut values = l.values.clone();
                         values.extend(r.values.iter().cloned());
                         let label = l.label.union(&r.label);
-                        let row = ScanRow {
-                            row_id: None,
-                            stored_label: l.stored_label.union(&r.stored_label),
-                            label: label.clone(),
-                            values,
-                        };
-                        if eval_predicate(&join.predicate, &columns, &row.values, &row.label)? {
-                            rows.push(row);
+                        if join_filter.matches(&values, &label) {
+                            let keep = sink(ScanRow {
+                                row_id: None,
+                                label,
+                                values,
+                            })?;
+                            if !keep {
+                                return Ok(false);
+                            }
                         }
                     }
+                    Ok(true)
                 }
                 _ => {
                     if join.kind == JoinKind::LeftOuter {
                         let mut values = l.values.clone();
                         values.extend(std::iter::repeat_n(Datum::Null, right_width));
-                        let row = ScanRow {
-                            row_id: None,
-                            stored_label: l.stored_label.clone(),
-                            label: l.label.clone(),
-                            values,
-                        };
-                        if eval_predicate(&join.predicate, &columns, &row.values, &row.label)? {
-                            rows.push(row);
+                        if join_filter.matches(&values, &l.label) {
+                            return sink(ScanRow {
+                                row_id: None,
+                                label: l.label.clone(),
+                                values,
+                            });
                         }
                     }
+                    Ok(true)
                 }
             }
-        }
-        Ok(SourceRows { columns, rows })
+        })
     }
 
     // ==================================================================
@@ -335,20 +503,49 @@ impl Session {
     }
 
     fn select_inner(&mut self, q: &Select) -> IfdbResult<ResultSet> {
-        let src = self.scan_source(&q.from, &Label::empty(), &q.predicate)?;
+        // Bind once: columns, predicate, ordering and projection offsets.
+        let src_cols = self.source_columns(&q.from)?;
+        let filter = CompiledPredicate::compile(&q.predicate, &src_cols)?;
+        let order_idx = match &q.order_by {
+            Some((col, order)) => Some((col_index(&src_cols, col)?, *order)),
+            None => None,
+        };
+        let (out_columns, projector): (Vec<String>, Option<Vec<usize>>) = match &q.columns {
+            None => (src_cols.clone(), None),
+            Some(cols) => {
+                let idx: Vec<usize> = cols
+                    .iter()
+                    .map(|c| col_index(&src_cols, c))
+                    .collect::<IfdbResult<_>>()?;
+                (cols.clone(), Some(idx))
+            }
+        };
+        // Without ORDER BY, LIMIT can stop the scan as soon as it is
+        // satisfied.
+        let stop_at = if order_idx.is_none() { q.limit } else { None };
+        let exact = q.exact_label.as_ref();
+        // If every conjunct survives push-down (no label predicates) and the
+        // source chain has no join boundary that could drop conjuncts, the
+        // scan below already applied the whole predicate — skip re-checking
+        // it per row.
+        let prefiltered = self.source_is_join_free(&q.from)?
+            && q.predicate.push_down(&|c| {
+                src_cols.iter().any(|n| n == c).then(|| c.to_string())
+            }) == q.predicate;
         let mut selected: Vec<ScanRow> = Vec::new();
-        for r in src.rows {
-            if let Some(exact) = &q.exact_label {
-                if &r.label != exact {
-                    continue;
+        self.stream_source(&q.from, &Label::empty(), &q.predicate, &mut |r| {
+            if let Some(e) = exact {
+                if &r.label != e {
+                    return Ok(true);
                 }
             }
-            if eval_predicate(&q.predicate, &src.columns, &r.values, &r.label)? {
-                selected.push(r);
+            if !prefiltered && !filter.matches(&r.values, &r.label) {
+                return Ok(true);
             }
-        }
-        if let Some((col, order)) = &q.order_by {
-            let idx = col_index(&src.columns, col)?;
+            selected.push(r);
+            Ok(stop_at.is_none_or(|limit| selected.len() < limit))
+        })?;
+        if let Some((idx, order)) = order_idx {
             selected.sort_by(|a, b| {
                 let o = a.values[idx].cmp(&b.values[idx]);
                 match order {
@@ -360,16 +557,6 @@ impl Session {
         if let Some(limit) = q.limit {
             selected.truncate(limit);
         }
-        let (out_columns, projector): (Vec<String>, Option<Vec<usize>>) = match &q.columns {
-            None => (src.columns.clone(), None),
-            Some(cols) => {
-                let idx: Vec<usize> = cols
-                    .iter()
-                    .map(|c| col_index(&src.columns, c))
-                    .collect::<IfdbResult<_>>()?;
-                (cols.clone(), Some(idx))
-            }
-        };
         let columns = Arc::new(out_columns);
         let rows = selected
             .into_iter()
@@ -392,18 +579,18 @@ impl Session {
     pub fn select_join(&mut self, join: &Join) -> IfdbResult<ResultSet> {
         let implicit = self.ensure_txn()?;
         let r = (|| {
-            let src = self.scan_join(join, &Label::empty())?;
-            let columns = Arc::new(src.columns);
-            Ok(ResultSet::new(
-                src.rows
-                    .into_iter()
-                    .map(|r| Row {
-                        columns: columns.clone(),
-                        label: r.label,
-                        values: r.values,
-                    })
-                    .collect(),
-            ))
+            let layout = self.join_layout(join)?;
+            let columns = Arc::new(layout.out);
+            let mut rows = Vec::new();
+            self.stream_join(join, &Label::empty(), &Predicate::True, &mut |r| {
+                rows.push(Row {
+                    columns: columns.clone(),
+                    label: r.label,
+                    values: r.values,
+                });
+                Ok(true)
+            })?;
+            Ok(ResultSet::new(rows))
         })();
         self.finish_statement(implicit, r)
     }
@@ -416,32 +603,68 @@ impl Session {
     }
 
     fn aggregate_inner(&mut self, agg: &Aggregate) -> IfdbResult<ResultSet> {
-        let src = self.scan_source(&agg.from, &Label::empty(), &agg.predicate)?;
-        let mut filtered = Vec::new();
-        for r in src.rows {
-            if eval_predicate(&agg.predicate, &src.columns, &r.values, &r.label)? {
-                filtered.push(r);
-            }
+        /// Running state for one aggregate within one group.
+        #[derive(Default, Clone)]
+        struct Acc {
+            rows: u64,
+            sum: f64,
+            numeric: u64,
+            min: Option<f64>,
+            max: Option<f64>,
         }
-        // Group.
+
+        let src_cols = self.source_columns(&agg.from)?;
+        let filter = CompiledPredicate::compile(&agg.predicate, &src_cols)?;
         let group_idx = match &agg.group_by {
-            Some(c) => Some(col_index(&src.columns, c)?),
+            Some(c) => Some(col_index(&src_cols, c)?),
             None => None,
         };
-        let mut groups: Vec<(Datum, Vec<&ScanRow>)> = Vec::new();
-        for r in &filtered {
+        let agg_cols: Vec<Option<usize>> = agg
+            .aggregates
+            .iter()
+            .map(|(f, c)| match f {
+                AggFunc::Count => Ok(None),
+                _ => col_index(&src_cols, c).map(Some),
+            })
+            .collect::<IfdbResult<_>>()?;
+
+        // Groups accumulate in first-seen order; group counts are small, so
+        // the linear key search is cheaper than hashing.
+        let mut groups: Vec<(Datum, Label, Vec<Acc>)> = Vec::new();
+        let n_aggs = agg.aggregates.len();
+        self.stream_source(&agg.from, &Label::empty(), &agg.predicate, &mut |r| {
+            if !filter.matches(&r.values, &r.label) {
+                return Ok(true);
+            }
             let key = match group_idx {
                 Some(i) => r.values[i].clone(),
                 None => Datum::Null,
             };
-            match groups.iter_mut().find(|(k, _)| *k == key) {
-                Some((_, v)) => v.push(r),
-                None => groups.push((key, vec![r])),
+            let entry = match groups.iter_mut().position(|(k, _, _)| *k == key) {
+                Some(pos) => &mut groups[pos],
+                None => {
+                    groups.push((key, Label::empty(), vec![Acc::default(); n_aggs]));
+                    groups.last_mut().expect("just pushed")
+                }
+            };
+            entry.1 = entry.1.union(&r.label);
+            for (acc, col) in entry.2.iter_mut().zip(&agg_cols) {
+                acc.rows += 1;
+                if let Some(i) = col {
+                    if let Some(x) = r.values[*i].as_float() {
+                        acc.sum += x;
+                        acc.numeric += 1;
+                        acc.min = Some(acc.min.map_or(x, |m| m.min(x)));
+                        acc.max = Some(acc.max.map_or(x, |m| m.max(x)));
+                    }
+                }
             }
-        }
+            Ok(true)
+        })?;
         if groups.is_empty() && group_idx.is_none() {
-            groups.push((Datum::Null, Vec::new()));
+            groups.push((Datum::Null, Label::empty(), vec![Acc::default(); n_aggs]));
         }
+
         // Output columns.
         let mut out_columns = Vec::new();
         if let Some(c) = &agg.group_by {
@@ -458,47 +681,24 @@ impl Session {
         }
         let columns = Arc::new(out_columns);
         let mut rows = Vec::new();
-        for (key, members) in groups {
+        for (key, label, accs) in groups {
             let mut values = Vec::new();
             if group_idx.is_some() {
                 values.push(key);
             }
-            let label = members
-                .iter()
-                .fold(Label::empty(), |acc, r| acc.union(&r.label));
-            for (f, c) in &agg.aggregates {
+            for ((f, _), acc) in agg.aggregates.iter().zip(accs) {
                 let datum = match f {
-                    AggFunc::Count => Datum::Int(members.len() as i64),
-                    _ => {
-                        let idx = col_index(&src.columns, c)?;
-                        let nums: Vec<f64> = members
-                            .iter()
-                            .filter_map(|r| r.values[idx].as_float())
-                            .collect();
-                        match f {
-                            AggFunc::Sum => Datum::Float(nums.iter().sum()),
-                            AggFunc::Avg => {
-                                if nums.is_empty() {
-                                    Datum::Null
-                                } else {
-                                    Datum::Float(nums.iter().sum::<f64>() / nums.len() as f64)
-                                }
-                            }
-                            AggFunc::Min => nums
-                                .iter()
-                                .copied()
-                                .fold(None::<f64>, |m, x| Some(m.map_or(x, |m| m.min(x))))
-                                .map(Datum::Float)
-                                .unwrap_or(Datum::Null),
-                            AggFunc::Max => nums
-                                .iter()
-                                .copied()
-                                .fold(None::<f64>, |m, x| Some(m.map_or(x, |m| m.max(x))))
-                                .map(Datum::Float)
-                                .unwrap_or(Datum::Null),
-                            AggFunc::Count => unreachable!(),
+                    AggFunc::Count => Datum::Int(acc.rows as i64),
+                    AggFunc::Sum => Datum::Float(acc.sum),
+                    AggFunc::Avg => {
+                        if acc.numeric == 0 {
+                            Datum::Null
+                        } else {
+                            Datum::Float(acc.sum / acc.numeric as f64)
                         }
                     }
+                    AggFunc::Min => acc.min.map(Datum::Float).unwrap_or(Datum::Null),
+                    AggFunc::Max => acc.max.map(Datum::Float).unwrap_or(Datum::Null),
                 };
                 values.push(datum);
             }
@@ -575,23 +775,33 @@ impl Session {
         if constraints.is_empty() {
             return Ok(());
         }
-        let columns: Vec<String> = info.schema.columns.iter().map(|c| c.name.clone()).collect();
-        let existing = self.scan_base_table(info, &Label::empty(), &Predicate::True)?;
+        let columns = info.column_names();
         for (name, cols) in constraints {
             let idx: Vec<usize> = cols
                 .iter()
                 .map(|c| col_index(&columns, c))
                 .collect::<IfdbResult<_>>()?;
-            let key: Vec<&Datum> = idx.iter().map(|i| &values[*i]).collect();
-            for r in &existing.rows {
+            // An equality hint over the key columns: the planner turns it
+            // into an index lookup (always, for the primary key), replacing
+            // the seed executor's full table scan per constraint.
+            let hint = idx.iter().zip(&cols).fold(Predicate::True, |acc, (i, c)| {
+                acc.and_compact(Predicate::Eq(c.clone(), values[*i].clone()))
+            });
+            let mut conflict = false;
+            self.stream_base_table(info, &Label::empty(), &hint, &mut |r| {
                 if let (Some((_, rid)), Some(ex)) = (r.row_id, exclude) {
                     if rid == ex {
-                        continue;
+                        return Ok(true);
                     }
                 }
-                if idx.iter().zip(&key).all(|(i, k)| &&r.values[*i] == k) {
-                    return Err(IfdbError::UniqueViolation { constraint: name });
+                if idx.iter().all(|i| r.values[*i] == values[*i]) {
+                    conflict = true;
+                    return Ok(false);
                 }
+                Ok(true)
+            })?;
+            if conflict {
+                return Err(IfdbError::UniqueViolation { constraint: name });
             }
         }
         Ok(())
@@ -608,7 +818,7 @@ impl Session {
             return Ok(());
         }
         let difc = self.db.difc_enabled();
-        let columns: Vec<String> = info.schema.columns.iter().map(|c| c.name.clone()).collect();
+        let columns = info.column_names();
         let declassify_label = Label::from_tags(declassifying.iter().copied());
         let (_, snapshot) = self.current_txn()?;
         for fk in &info.foreign_keys {
@@ -668,8 +878,10 @@ impl Session {
     }
 
     /// Finds a tuple in `ref_info` whose `ref_columns` equal `key`,
-    /// *irrespective of its label* (the constraint must hold across labels;
-    /// the Foreign Key Rule governs what the requester must vouch for).
+    /// *irrespective of its label* (referential constraints hold across
+    /// labels; the Foreign Key Rule governs what the requester must vouch
+    /// for). Served by any index on exactly those columns. Shared by the
+    /// INSERT foreign-key check and the DELETE restrict check.
     fn find_referenced(
         &mut self,
         snapshot: &Snapshot,
@@ -677,21 +889,12 @@ impl Session {
         ref_columns: &[String],
         key: &[Datum],
     ) -> IfdbResult<Option<Label>> {
-        let columns: Vec<String> = ref_info
-            .schema
-            .columns
-            .iter()
-            .map(|c| c.name.clone())
-            .collect();
+        let columns = ref_info.column_names();
         let idx: Vec<usize> = ref_columns
             .iter()
             .map(|c| col_index(&columns, c))
             .collect::<IfdbResult<_>>()?;
-        // Use the PK index when the FK targets the primary key.
-        if let (Some(index_name), true) = (
-            ref_info.pk_index.as_ref(),
-            ref_columns == ref_info.primary_key.as_slice(),
-        ) {
+        if let Some(index_name) = ref_info.index_on(ref_columns) {
             let rows = self
                 .db
                 .inner
@@ -728,6 +931,26 @@ impl Session {
     // UPDATE and DELETE
     // ==================================================================
 
+    /// Streams the base-table rows matching `predicate` (fully evaluated,
+    /// not just the push-down) into a vector. Writes happen after the scan
+    /// completes, so mutation never runs under an active heap traversal.
+    fn collect_matching(
+        &mut self,
+        info: &Arc<TableInfo>,
+        predicate: &Predicate,
+    ) -> IfdbResult<Vec<ScanRow>> {
+        let columns = info.column_names();
+        let filter = CompiledPredicate::compile(predicate, &columns)?;
+        let mut rows = Vec::new();
+        self.stream_base_table(info, &Label::empty(), predicate, &mut |r| {
+            if filter.matches(&r.values, &r.label) {
+                rows.push(r);
+            }
+            Ok(true)
+        })?;
+        Ok(rows)
+    }
+
     /// Executes an UPDATE. Only tuples labeled exactly the process label are
     /// affected; visible lower-labeled tuples cause a Write Rule error, and
     /// higher-labeled tuples are invisible and untouched. Returns the number
@@ -745,28 +968,24 @@ impl Session {
         };
         let difc = self.db.difc_enabled();
         let process_label = self.process.label().clone();
-        let columns: Vec<String> = info.schema.columns.iter().map(|c| c.name.clone()).collect();
+        let columns = info.column_names();
         let set_idx: Vec<(usize, Datum)> = upd
             .set
             .iter()
             .map(|(c, v)| col_index(&columns, c).map(|i| (i, v.clone())))
             .collect::<IfdbResult<_>>()?;
 
-        let candidates = self.scan_base_table(&info, &Label::empty(), &upd.predicate)?;
-        let mut matched = Vec::new();
-        for r in candidates.rows {
-            if eval_predicate(&upd.predicate, &candidates.columns, &r.values, &r.label)? {
-                matched.push(r);
-            }
-        }
+        let matched = self.collect_matching(&info, &upd.predicate)?;
         let (txn, _) = self.current_txn()?;
         let mut updated = 0;
         for r in matched {
-            if difc && r.stored_label != process_label {
-                // The tuple is visible (its label is a subset of ours) but
-                // not exactly ours: the Write Rule forbids the update.
+            // The scan ran with an empty declassify set, so `r.label` is the
+            // tuple's stored label. The tuple is visible (its label is a
+            // subset of ours) but unless it is exactly ours the Write Rule
+            // forbids the update.
+            if difc && r.label != process_label {
                 return Err(IfdbError::WriteRuleViolation {
-                    tuple_label: r.stored_label,
+                    tuple_label: r.label,
                     process_label,
                 });
             }
@@ -824,21 +1043,17 @@ impl Session {
             let catalog = self.db.inner.catalog.read();
             catalog.referencing(&info.schema.name)
         };
-        let columns: Vec<String> = info.schema.columns.iter().map(|c| c.name.clone()).collect();
+        let columns = info.column_names();
 
-        let candidates = self.scan_base_table(&info, &Label::empty(), &del.predicate)?;
-        let mut matched = Vec::new();
-        for r in candidates.rows {
-            if eval_predicate(&del.predicate, &candidates.columns, &r.values, &r.label)? {
-                matched.push(r);
-            }
-        }
+        let matched = self.collect_matching(&info, &del.predicate)?;
         let (txn, snapshot) = self.current_txn()?;
         let mut deleted = 0;
         for r in matched {
-            if difc && r.stored_label != process_label {
+            // As in UPDATE: empty declassify set, so `r.label` is the stored
+            // label, and the Write Rule demands an exact match.
+            if difc && r.label != process_label {
                 return Err(IfdbError::WriteRuleViolation {
-                    tuple_label: r.stored_label,
+                    tuple_label: r.label,
                     process_label,
                 });
             }
@@ -850,30 +1065,10 @@ impl Session {
                     .iter()
                     .map(|c| col_index(&columns, c).map(|i| r.values[i].clone()))
                     .collect::<IfdbResult<_>>()?;
-                let ref_cols: Vec<String> = ref_info
-                    .schema
-                    .columns
-                    .iter()
-                    .map(|c| c.name.clone())
-                    .collect();
-                let idx: Vec<usize> = fk
-                    .columns
-                    .iter()
-                    .map(|c| col_index(&ref_cols, c))
-                    .collect::<IfdbResult<_>>()?;
-                let mut exists = false;
-                self.db
-                    .inner
-                    .engine
-                    .scan_visible(&snapshot, ref_info.id, |_, v| {
-                        if idx.iter().zip(&key).all(|(i, k)| &v.data[*i] == k) {
-                            exists = true;
-                            false
-                        } else {
-                            true
-                        }
-                    })?;
-                if exists {
+                if self
+                    .find_referenced(&snapshot, ref_info, &fk.columns, &key)?
+                    .is_some()
+                {
                     return Err(IfdbError::RestrictViolation {
                         constraint: fk.name.clone(),
                     });
@@ -929,5 +1124,285 @@ impl Session {
             }
         }
         Ok(())
+    }
+
+    // ==================================================================
+    // Reference executor (the seed implementation)
+    // ==================================================================
+
+    /// The seed executor's SELECT over a base table, retained verbatim as a
+    /// reference implementation: it materializes the whole scan, resolves
+    /// column names by per-row string search, and re-decides the declassify
+    /// cover and Information Flow Rule for every tuple while holding the
+    /// authority lock across the scan. Differential tests pin the streaming
+    /// pipeline to it, and the `scan_hot` benchmark quantifies the gap.
+    #[doc(hidden)]
+    pub fn select_reference(&mut self, q: &Select) -> IfdbResult<ResultSet> {
+        let implicit = self.ensure_txn()?;
+        let r = self.select_reference_inner(q);
+        self.finish_statement(implicit, r)
+    }
+
+    fn select_reference_inner(&mut self, q: &Select) -> IfdbResult<ResultSet> {
+        let src = self.scan_source_reference(&q.from, &Label::empty(), &q.predicate)?;
+        let mut selected: Vec<ScanRow> = Vec::new();
+        for r in src.rows {
+            if let Some(exact) = &q.exact_label {
+                if &r.label != exact {
+                    continue;
+                }
+            }
+            if eval_predicate(&q.predicate, &src.columns, &r.values, &r.label)? {
+                selected.push(r);
+            }
+        }
+        if let Some((col, order)) = &q.order_by {
+            let idx = col_index(&src.columns, col)?;
+            selected.sort_by(|a, b| {
+                let o = a.values[idx].cmp(&b.values[idx]);
+                match order {
+                    Order::Asc => o,
+                    Order::Desc => o.reverse(),
+                }
+            });
+        }
+        if let Some(limit) = q.limit {
+            selected.truncate(limit);
+        }
+        let (out_columns, projector): (Vec<String>, Option<Vec<usize>>) = match &q.columns {
+            None => (src.columns.clone(), None),
+            Some(cols) => {
+                let idx: Vec<usize> = cols
+                    .iter()
+                    .map(|c| col_index(&src.columns, c))
+                    .collect::<IfdbResult<_>>()?;
+                (cols.clone(), Some(idx))
+            }
+        };
+        let columns = Arc::new(out_columns);
+        let rows = selected
+            .into_iter()
+            .map(|r| {
+                let values = match &projector {
+                    None => r.values,
+                    Some(idx) => idx.iter().map(|i| r.values[*i].clone()).collect(),
+                };
+                Row {
+                    columns: columns.clone(),
+                    label: r.label,
+                    values,
+                }
+            })
+            .collect();
+        Ok(ResultSet::new(rows))
+    }
+
+    /// The seed executor's recursive materializing scan over tables, views
+    /// and joins.
+    fn scan_source_reference(
+        &mut self,
+        from: &str,
+        declassify: &Label,
+        hint: &Predicate,
+    ) -> IfdbResult<SourceRows> {
+        let view = match self.resolve_source(from)? {
+            ResolvedSource::Table(info) => {
+                return self.scan_base_table_reference(&info, declassify, hint)
+            }
+            ResolvedSource::View(view) => view,
+        };
+        let nested_declassify = declassify.union(&view.declassifies);
+        if view.is_declassifying() {
+            self.db.audit().record(AuditEvent::DeclassifyingView {
+                name: view.name.clone(),
+                tags: view.declassifies.clone(),
+            });
+        }
+        match &view.source {
+            ViewSource::Select(sel) => {
+                let src =
+                    self.scan_source_reference(&sel.from, &nested_declassify, &sel.predicate)?;
+                let mut rows = Vec::new();
+                for r in src.rows {
+                    if eval_predicate(&sel.predicate, &src.columns, &r.values, &r.label)? {
+                        rows.push(r);
+                    }
+                }
+                // Apply the view's projection, if any.
+                let (columns, rows) = match &sel.columns {
+                    None => (src.columns, rows),
+                    Some(cols) => {
+                        let idx: Vec<usize> = cols
+                            .iter()
+                            .map(|c| col_index(&src.columns, c))
+                            .collect::<IfdbResult<_>>()?;
+                        let projected = rows
+                            .into_iter()
+                            .map(|r| ScanRow {
+                                row_id: None,
+                                label: r.label.clone(),
+                                values: idx.iter().map(|i| r.values[*i].clone()).collect(),
+                            })
+                            .collect();
+                        (cols.clone(), projected)
+                    }
+                };
+                Ok(SourceRows { columns, rows })
+            }
+            ViewSource::Join(join) => self.scan_join_reference(join, &nested_declassify),
+        }
+    }
+
+    fn scan_join_reference(&mut self, join: &Join, declassify: &Label) -> IfdbResult<SourceRows> {
+        let left = self.scan_source_reference(&join.left, declassify, &Predicate::True)?;
+        let right = self.scan_source_reference(&join.right, declassify, &Predicate::True)?;
+        let left_on = col_index(&left.columns, &join.on.0)?;
+        let right_on = col_index(&right.columns, &join.on.1)?;
+
+        // Output columns: left names as-is, right names prefixed on collision.
+        let mut columns = left.columns.clone();
+        let right_names: Vec<String> = right
+            .columns
+            .iter()
+            .map(|c| {
+                if left.columns.contains(c) {
+                    format!("{}.{}", join.right, c)
+                } else {
+                    c.clone()
+                }
+            })
+            .collect();
+        columns.extend(right_names);
+
+        // Hash the right side on its join column.
+        let mut table: HashMap<Datum, Vec<&ScanRow>> = HashMap::new();
+        for r in &right.rows {
+            table.entry(r.values[right_on].clone()).or_default().push(r);
+        }
+
+        let right_width = right.columns.len();
+        let mut rows = Vec::new();
+        for l in &left.rows {
+            let matches = table.get(&l.values[left_on]);
+            match matches {
+                Some(rs) if !rs.is_empty() => {
+                    for r in rs {
+                        let mut values = l.values.clone();
+                        values.extend(r.values.iter().cloned());
+                        let label = l.label.union(&r.label);
+                        let row = ScanRow {
+                            row_id: None,
+                            label: label.clone(),
+                            values,
+                        };
+                        if eval_predicate(&join.predicate, &columns, &row.values, &row.label)? {
+                            rows.push(row);
+                        }
+                    }
+                }
+                _ => {
+                    if join.kind == JoinKind::LeftOuter {
+                        let mut values = l.values.clone();
+                        values.extend(std::iter::repeat_n(Datum::Null, right_width));
+                        let row = ScanRow {
+                            row_id: None,
+                            label: l.label.clone(),
+                            values,
+                        };
+                        if eval_predicate(&join.predicate, &columns, &row.values, &row.label)? {
+                            rows.push(row);
+                        }
+                    }
+                }
+            }
+        }
+        Ok(SourceRows { columns, rows })
+    }
+
+    fn scan_base_table_reference(
+        &mut self,
+        info: &Arc<TableInfo>,
+        declassify: &Label,
+        hint: &Predicate,
+    ) -> IfdbResult<SourceRows> {
+        let (_, snapshot) = self.current_txn()?;
+        let process_label = self.process.label().clone();
+        let difc = self.db.difc_enabled();
+        let columns = info.column_names();
+
+        // Per-tuple declassify-cover resolution under the authority read
+        // lock, held across the entire scan — exactly the seed behavior the
+        // streaming pipeline replaced.
+        let auth = self.db.inner.auth.read();
+        let declassify_covers = |tag: ifdb_difc::TagId| {
+            declassify.contains(tag)
+                || auth
+                    .enclosing_compounds(tag)
+                    .iter()
+                    .any(|c| declassify.contains(*c))
+        };
+
+        let mut rows = Vec::new();
+        let mut consider = |stored_label: Label, values: Vec<Datum>, rid: (TableId, RowId)| {
+            let effective = if declassify.is_empty() {
+                stored_label.clone()
+            } else {
+                Label::from_tags(stored_label.iter().filter(|t| !declassify_covers(*t)))
+            };
+            if difc && !effective.is_subset_of(&process_label) {
+                return;
+            }
+            rows.push(ScanRow {
+                row_id: Some(rid),
+                label: effective,
+                values,
+            });
+        };
+
+        // The seed planner: the primary-key index only, equality on every
+        // key column.
+        let use_index = info.pk_index.as_ref().and_then(|idx| {
+            let key: Option<Vec<Datum>> = info
+                .primary_key
+                .iter()
+                .map(|c| hint.equality_on(c).cloned())
+                .collect();
+            key.map(|k| (idx.clone(), k))
+        });
+
+        if let Some((index_name, key)) = use_index {
+            let row_ids = self
+                .db
+                .inner
+                .engine
+                .index_lookup(info.id, &index_name, &key)?;
+            for rid in row_ids {
+                if let Some(version) = self
+                    .db
+                    .inner
+                    .engine
+                    .fetch_visible(&snapshot, info.id, rid)?
+                {
+                    consider(
+                        Label::from_array(&version.header.label),
+                        version.data,
+                        (info.id, rid),
+                    );
+                }
+            }
+        } else {
+            self.db
+                .inner
+                .engine
+                .scan_visible(&snapshot, info.id, |rid, version| {
+                    consider(
+                        Label::from_array(&version.header.label),
+                        version.data,
+                        (info.id, rid),
+                    );
+                    true
+                })?;
+        }
+        Ok(SourceRows { columns, rows })
     }
 }

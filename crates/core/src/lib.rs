@@ -54,12 +54,13 @@ pub mod catalog;
 pub mod database;
 pub mod error;
 pub mod exec;
+pub(crate) mod plan;
 pub mod query;
 pub mod row;
 pub mod session;
 
 pub use catalog::{
-    ForeignKey, LabelConstraint, StoredProcedure, TableDef, TriggerDef, TriggerEvent,
+    ForeignKey, IndexSpec, LabelConstraint, StoredProcedure, TableDef, TriggerDef, TriggerEvent,
     TriggerInvocation, TriggerTiming, UniqueConstraint, ViewDef, ViewSource,
 };
 pub use database::{Database, DatabaseConfig};

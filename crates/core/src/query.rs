@@ -69,6 +69,69 @@ impl Predicate {
             _ => None,
         }
     }
+
+    /// The lower and upper bounds this predicate places on `column` through
+    /// top-level conjunctions. Strict bounds (`<`, `>`) are reported with
+    /// their boundary value: the planner uses them as *inclusive* index
+    /// bounds, and the residual predicate re-checks strictness, so widening
+    /// is sound.
+    pub fn bounds_on(&self, column: &str) -> (Option<&Datum>, Option<&Datum>) {
+        match self {
+            Predicate::Eq(c, v) if c == column => (Some(v), Some(v)),
+            Predicate::Gt(c, v) | Predicate::Ge(c, v) if c == column => (Some(v), None),
+            Predicate::Lt(c, v) | Predicate::Le(c, v) if c == column => (None, Some(v)),
+            Predicate::And(a, b) => {
+                let (al, ah) = a.bounds_on(column);
+                let (bl, bh) = b.bounds_on(column);
+                (al.or(bl), ah.or(bh))
+            }
+            _ => (None, None),
+        }
+    }
+
+    /// `self AND other`, eliding `True` operands.
+    pub fn and_compact(self, other: Predicate) -> Predicate {
+        match (self, other) {
+            (Predicate::True, p) | (p, Predicate::True) => p,
+            (a, b) => a.and(b),
+        }
+    }
+
+    /// Rewrites the predicate for a narrower source, mapping every column
+    /// reference through `rename`. Top-level conjuncts that reference
+    /// unmappable columns — or the tuple label, which can differ between the
+    /// source and the statement level — are replaced by `True`.
+    ///
+    /// The result is *implied by* the original predicate (it can only widen
+    /// the admitted rows, never narrow them), which makes it sound both as a
+    /// scan-level pre-filter and as planner input. The full predicate is
+    /// still evaluated at the statement level.
+    pub fn push_down(&self, rename: &dyn Fn(&str) -> Option<String>) -> Predicate {
+        match self {
+            Predicate::And(a, b) => a.push_down(rename).and_compact(b.push_down(rename)),
+            p => p.try_rename(rename).unwrap_or(Predicate::True),
+        }
+    }
+
+    /// Maps every column reference through `rename`; `None` if any
+    /// reference (or a label predicate) cannot be mapped.
+    fn try_rename(&self, rename: &dyn Fn(&str) -> Option<String>) -> Option<Predicate> {
+        Some(match self {
+            Predicate::True => Predicate::True,
+            Predicate::Eq(c, v) => Predicate::Eq(rename(c)?, v.clone()),
+            Predicate::Ne(c, v) => Predicate::Ne(rename(c)?, v.clone()),
+            Predicate::Lt(c, v) => Predicate::Lt(rename(c)?, v.clone()),
+            Predicate::Le(c, v) => Predicate::Le(rename(c)?, v.clone()),
+            Predicate::Gt(c, v) => Predicate::Gt(rename(c)?, v.clone()),
+            Predicate::Ge(c, v) => Predicate::Ge(rename(c)?, v.clone()),
+            Predicate::IsNull(c) => Predicate::IsNull(rename(c)?),
+            Predicate::IsNotNull(c) => Predicate::IsNotNull(rename(c)?),
+            Predicate::And(a, b) => a.try_rename(rename)?.and(b.try_rename(rename)?),
+            Predicate::Or(a, b) => a.try_rename(rename)?.or(b.try_rename(rename)?),
+            Predicate::Not(a) => a.try_rename(rename)?.negate(),
+            Predicate::LabelContains(_) | Predicate::LabelEquals(_) => return None,
+        })
+    }
 }
 
 /// Sort direction.
@@ -331,6 +394,38 @@ mod tests {
         assert_eq!(p.equality_on("id"), Some(&Datum::Int(3)));
         assert_eq!(p.equality_on("x"), None);
         assert_eq!(Predicate::True.equality_on("id"), None);
+    }
+
+    #[test]
+    fn bounds_extraction_for_planner() {
+        let p = Predicate::Ge("x".into(), Datum::Int(3))
+            .and(Predicate::Lt("x".into(), Datum::Int(9)))
+            .and(Predicate::Eq("y".into(), Datum::Int(1)));
+        assert_eq!(p.bounds_on("x"), (Some(&Datum::Int(3)), Some(&Datum::Int(9))));
+        assert_eq!(p.bounds_on("y"), (Some(&Datum::Int(1)), Some(&Datum::Int(1))));
+        assert_eq!(p.bounds_on("z"), (None, None));
+        // Bounds inside OR are not usable.
+        let o = Predicate::Ge("x".into(), Datum::Int(3)).or(Predicate::True);
+        assert_eq!(o.bounds_on("x"), (None, None));
+    }
+
+    #[test]
+    fn push_down_keeps_only_supported_conjuncts() {
+        let p = Predicate::Eq("a".into(), Datum::Int(1))
+            .and(Predicate::Gt("b".into(), Datum::Int(2)))
+            .and(Predicate::LabelContains(TagId(5)));
+        let avail = |c: &str| (c == "a").then(|| c.to_string());
+        let pushed = p.push_down(&avail);
+        assert_eq!(pushed, Predicate::Eq("a".into(), Datum::Int(1)));
+        // A disjunction survives only if every referenced column maps.
+        let o = Predicate::Eq("a".into(), Datum::Int(1)).or(Predicate::Eq("b".into(), Datum::Int(2)));
+        assert_eq!(o.push_down(&avail), Predicate::True);
+        let both = |c: &str| Some(format!("r.{c}"));
+        assert_eq!(
+            o.push_down(&both),
+            Predicate::Eq("r.a".into(), Datum::Int(1)).or(Predicate::Eq("r.b".into(), Datum::Int(2)))
+        );
+        assert_eq!(Predicate::True.and_compact(Predicate::True), Predicate::True);
     }
 
     #[test]

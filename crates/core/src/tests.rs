@@ -801,6 +801,299 @@ fn deferred_triggers_run_with_query_label_at_commit() {
     assert_eq!(labels[0], Label::singleton(tag));
 }
 
+/// Builds a 200-row table with five label populations (empty, three single
+/// tags, one two-tag label) and mixed data for executor tests.
+fn mixed_label_db() -> (Database, PrincipalId, Vec<TagId>) {
+    let db = Database::in_memory();
+    let user = db.create_principal("u", PrincipalKind::User);
+    let tags: Vec<TagId> = (0..4)
+        .map(|i| db.create_tag(user, &format!("t{i}"), &[]).unwrap())
+        .collect();
+    db.create_table(
+        TableDef::new("D")
+            .column("id", DataType::Int)
+            .column("grp", DataType::Int)
+            .nullable_column("v", DataType::Float)
+            .primary_key(&["id"]),
+    )
+    .unwrap();
+    for i in 0..200i64 {
+        let mut s = db.session(user);
+        match i % 5 {
+            0 => {}
+            1 => s.add_secrecy(tags[0]).unwrap(),
+            2 => s.add_secrecy(tags[1]).unwrap(),
+            3 => s.add_secrecy(tags[2]).unwrap(),
+            _ => {
+                s.add_secrecy(tags[0]).unwrap();
+                s.add_secrecy(tags[1]).unwrap();
+            }
+        }
+        let v = if i % 7 == 0 {
+            Datum::Null
+        } else {
+            Datum::Float(i as f64 / 3.0)
+        };
+        s.insert(&Insert::new(
+            "D",
+            vec![Datum::Int(i), Datum::Int(i % 10), v],
+        ))
+        .unwrap();
+    }
+    (db, user, tags)
+}
+
+#[test]
+fn streaming_executor_matches_reference_executor() {
+    let (db, user, tags) = mixed_label_db();
+    // A plain filtered view and a declassifying view over everything, so the
+    // differential covers the view pipeline and the declassify-cover memo.
+    db.create_view(
+        "Mid",
+        ViewSource::Select(
+            Select::star("D")
+                .filter(Predicate::Ge("id".into(), Datum::Int(40)))
+                .project(&["id", "grp"]),
+        ),
+    )
+    .unwrap();
+    db.create_declassifying_view(
+        user,
+        "AllD",
+        ViewSource::Select(Select::star("D")),
+        Label::from_tags(tags.iter().copied()),
+    )
+    .unwrap();
+    let queries = vec![
+        Select::star("Mid").filter(Predicate::Eq("id".into(), Datum::Int(50))),
+        Select::star("Mid"),
+        Select::star("AllD"),
+        Select::star("AllD").filter(Predicate::Ge("id".into(), Datum::Int(100))),
+        Select::star("D"),
+        Select::star("D").filter(Predicate::Eq("id".into(), Datum::Int(42))),
+        Select::star("D").filter(
+            Predicate::Ge("id".into(), Datum::Int(50))
+                .and(Predicate::Lt("id".into(), Datum::Int(120))),
+        ),
+        Select::star("D").filter(Predicate::Eq("grp".into(), Datum::Int(3))),
+        Select::star("D").filter(
+            Predicate::IsNull("v".into()).or(Predicate::Gt("v".into(), Datum::Float(40.0))),
+        ),
+        Select::star("D").filter(Predicate::Eq("grp".into(), Datum::Int(0)).negate()),
+        Select::star("D")
+            .project(&["id", "v"])
+            .order("id", Order::Desc)
+            .take(17),
+        Select::star("D").with_exact_label(Label::empty()),
+        Select::star("D").filter(Predicate::LabelContains(tags[0])),
+    ];
+    let reader_labels = [
+        Label::empty(),
+        Label::from_tags([tags[0], tags[1]]),
+        Label::from_tags(tags.iter().copied()),
+    ];
+    for label in &reader_labels {
+        for q in &queries {
+            let mut fast_session = db.session(user);
+            fast_session.raise_label(label).unwrap();
+            let fast = fast_session.select(q).unwrap();
+            let mut ref_session = db.session(user);
+            ref_session.raise_label(label).unwrap();
+            let reference = ref_session.select_reference(q).unwrap();
+            let key = |r: &Row| format!("{:?}|{}", r.values, r.label);
+            let mut a: Vec<String> = fast.iter().map(key).collect();
+            let mut b: Vec<String> = reference.iter().map(key).collect();
+            // Index-driven scans may emit in key order rather than heap
+            // order; only ORDER BY pins the sequence.
+            if q.order_by.is_none() {
+                a.sort();
+                b.sort();
+            }
+            assert_eq!(a, b, "query {q:?} under label {label}");
+        }
+    }
+}
+
+#[test]
+fn secondary_index_equality_avoids_full_scan() {
+    let db = Database::in_memory();
+    let user = db.create_principal("u", PrincipalKind::User);
+    db.create_table(
+        TableDef::new("T")
+            .column("id", DataType::Int)
+            .column("cat", DataType::Int)
+            .primary_key(&["id"])
+            .secondary_index("t_cat", &["cat"]),
+    )
+    .unwrap();
+    let mut s = db.session(user);
+    for i in 0..500 {
+        s.insert(&Insert::new("T", vec![Datum::Int(i), Datum::Int(i % 20)]))
+            .unwrap();
+    }
+    let before = db.engine().stats();
+    let r = s
+        .select(&Select::star("T").filter(Predicate::Eq("cat".into(), Datum::Int(7))))
+        .unwrap();
+    let after = db.engine().stats();
+    assert_eq!(r.len(), 25);
+    assert_eq!(
+        after.full_table_scans, before.full_table_scans,
+        "equality on an indexed column must not scan the heap"
+    );
+    assert!(after.index_point_lookups > before.index_point_lookups);
+}
+
+#[test]
+fn late_secondary_index_is_picked_up_by_planner() {
+    let db = Database::in_memory();
+    let user = db.create_principal("u", PrincipalKind::User);
+    db.create_table(
+        TableDef::new("T")
+            .column("id", DataType::Int)
+            .column("cat", DataType::Int)
+            .primary_key(&["id"]),
+    )
+    .unwrap();
+    let mut s = db.session(user);
+    for i in 0..100 {
+        s.insert(&Insert::new("T", vec![Datum::Int(i), Datum::Int(i % 4)]))
+            .unwrap();
+    }
+    // Back-filled after the data exists.
+    db.create_secondary_index("T", "t_cat", &["cat"]).unwrap();
+    let before = db.engine().stats();
+    let r = s
+        .select(&Select::star("T").filter(Predicate::Eq("cat".into(), Datum::Int(1))))
+        .unwrap();
+    let after = db.engine().stats();
+    assert_eq!(r.len(), 25);
+    assert_eq!(after.full_table_scans, before.full_table_scans);
+}
+
+#[test]
+fn indexed_range_query_avoids_full_scan() {
+    let (db, user, tags) = mixed_label_db();
+    // An all-seeing session, so every row in range is returned.
+    let mut s = db.session(user);
+    s.raise_label(&Label::from_tags(tags.iter().copied())).unwrap();
+    let before = db.engine().stats();
+    let r = s
+        .select(
+            &Select::star("D").filter(
+                Predicate::Ge("id".into(), Datum::Int(100))
+                    .and(Predicate::Lt("id".into(), Datum::Int(120))),
+            ),
+        )
+        .unwrap();
+    let after = db.engine().stats();
+    assert_eq!(r.len(), 20);
+    assert_eq!(
+        after.full_table_scans, before.full_table_scans,
+        "a bounded primary-key range must use the index"
+    );
+    assert!(after.index_range_scans > before.index_range_scans);
+}
+
+#[test]
+fn view_pushdown_reaches_primary_key_index() {
+    let (db, user, tags) = mixed_label_db();
+    db.create_view(
+        "Evens",
+        ViewSource::Select(
+            Select::star("D").filter(Predicate::Eq("grp".into(), Datum::Int(2))),
+        ),
+    )
+    .unwrap();
+    let mut s = db.session(user);
+    s.raise_label(&Label::from_tags(tags.iter().copied())).unwrap();
+    let before = db.engine().stats();
+    let r = s
+        .select(&Select::star("Evens").filter(Predicate::Eq("id".into(), Datum::Int(12))))
+        .unwrap();
+    let after = db.engine().stats();
+    assert_eq!(r.len(), 1);
+    assert_eq!(
+        after.full_table_scans, before.full_table_scans,
+        "a PK equality through a view must become a point lookup"
+    );
+    assert!(after.index_point_lookups > before.index_point_lookups);
+}
+
+#[test]
+fn join_key_equality_propagates_to_both_sides() {
+    let db = Database::in_memory();
+    let user = db.create_principal("u", PrincipalKind::User);
+    db.create_table(
+        TableDef::new("Users")
+            .column("userid", DataType::Int)
+            .column("name", DataType::Text)
+            .primary_key(&["userid"]),
+    )
+    .unwrap();
+    db.create_table(
+        TableDef::new("Orders")
+            .column("orderid", DataType::Int)
+            .column("userid", DataType::Int)
+            .primary_key(&["orderid"])
+            .secondary_index("orders_userid", &["userid"]),
+    )
+    .unwrap();
+    let mut s = db.session(user);
+    for u in 0..50 {
+        s.insert(&Insert::new(
+            "Users",
+            vec![Datum::Int(u), Datum::Text(format!("user{u}"))],
+        ))
+        .unwrap();
+        for k in 0..4 {
+            s.insert(&Insert::new(
+                "Orders",
+                vec![Datum::Int(u * 10 + k), Datum::Int(u)],
+            ))
+            .unwrap();
+        }
+    }
+    let before = db.engine().stats();
+    let join = Join::inner("Users", "Orders", ("userid", "userid"))
+        .filter(Predicate::Eq("userid".into(), Datum::Int(3)));
+    let r = s.select_join(&join).unwrap();
+    let after = db.engine().stats();
+    assert_eq!(r.len(), 4);
+    assert_eq!(
+        after.full_table_scans, before.full_table_scans,
+        "pinning the join key must turn both sides into index lookups"
+    );
+    assert!(after.index_point_lookups >= before.index_point_lookups + 2);
+}
+
+#[test]
+fn limit_without_order_stops_scan_early() {
+    let db = Database::in_memory();
+    let user = db.create_principal("u", PrincipalKind::User);
+    db.create_table(
+        TableDef::new("Big")
+            .column("id", DataType::Int)
+            .primary_key(&["id"]),
+    )
+    .unwrap();
+    let mut s = db.session(user);
+    s.begin().unwrap();
+    for i in 0..1000 {
+        s.insert(&Insert::new("Big", vec![Datum::Int(i)])).unwrap();
+    }
+    s.commit().unwrap();
+    let before = db.engine().stats();
+    let r = s.select(&Select::star("Big").take(3)).unwrap();
+    let after = db.engine().stats();
+    assert_eq!(r.len(), 3);
+    assert!(
+        after.tuples_scanned - before.tuples_scanned < 100,
+        "LIMIT without ORDER BY must stop the scan early (scanned {})",
+        after.tuples_scanned - before.tuples_scanned
+    );
+}
+
 #[test]
 fn session_stats_count_statements_and_label_syncs() {
     let (db, alice, _bob, alice_medical, _bm) = medical_db();

@@ -275,6 +275,32 @@ impl AuthorityState {
         out
     }
 
+    /// Expands a declassify set to the full set of tags it covers: every tag
+    /// in `declassify` plus, for each compound tag in it, every transitively
+    /// enclosed member tag.
+    ///
+    /// A tag `t` is covered by `declassify` — i.e. a declassifying view for
+    /// `declassify` strips `t` — exactly when
+    /// `expand_declassify(declassify).contains(t)`. Precomputing this
+    /// downward closure once per scan lets the executor decide coverage with
+    /// a plain label lookup instead of consulting
+    /// [`AuthorityState::enclosing_compounds`] (and therefore holding the
+    /// authority lock) per tuple.
+    pub fn expand_declassify(&self, declassify: &Label) -> Label {
+        let mut out: Vec<TagId> = declassify.iter().collect();
+        let mut seen: HashSet<TagId> = out.iter().copied().collect();
+        let mut queue: VecDeque<TagId> = out.iter().copied().collect();
+        while let Some(t) = queue.pop_front() {
+            for m in self.compound_members(t) {
+                if seen.insert(*m) {
+                    out.push(*m);
+                    queue.push_back(*m);
+                }
+            }
+        }
+        Label::from_tags(out)
+    }
+
     // ------------------------------------------------------------------
     // Delegation and revocation
     // ------------------------------------------------------------------

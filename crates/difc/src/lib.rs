@@ -17,6 +17,9 @@
 //!   least-privilege mechanisms of Section 3.3.
 //! * [`cache`] — a read-through authority cache modelling the shared-memory
 //!   cache used by PHP-IF (Section 7.2).
+//! * [`memo`] — per-scan label-decision memoization and label interning,
+//!   exploiting the paper's observation that few distinct labels occur per
+//!   table (Section 8).
 //! * [`audit`] — an audit trail of declassifications and authority changes.
 //!
 //! The crate is deliberately independent of the database: the same model
@@ -29,6 +32,7 @@ pub mod cache;
 pub mod closure;
 pub mod error;
 pub mod label;
+pub mod memo;
 pub mod principal;
 pub mod process;
 pub mod tag;
@@ -38,9 +42,12 @@ pub use cache::AuthorityCache;
 pub use closure::{AuthorityClosure, ClosureRegistry};
 pub use error::{DifcError, DifcResult};
 pub use label::Label;
+pub use memo::{LabelDecision, LabelDecisionMemo, LabelInterner};
 pub use principal::{Principal, PrincipalId, PrincipalKind};
 pub use process::ProcessState;
 pub use tag::{Tag, TagId, TagKind};
 
 #[cfg(test)]
 mod model_tests;
+#[cfg(test)]
+mod prop_tests;

@@ -1,0 +1,220 @@
+//! Per-scan label decision memoization.
+//!
+//! The paper's central performance argument for Query by Label is that labels
+//! are small and that few *distinct* label values occur per table, so the
+//! cost of label checks amortizes across tuples (Section 8). This module
+//! exploits that observation directly: a scan builds a [`LabelDecisionMemo`]
+//! and consults it with each tuple's stored label. The full decision —
+//! stripping the tags covered by enclosing declassifying views and applying
+//! the Information Flow Rule against the process label — runs once per
+//! distinct label; every further tuple carrying the same label is admitted or
+//! rejected by a hash lookup on the raw on-tuple label encoding.
+//!
+//! Because the declassify cover set is expanded up front (see
+//! [`crate::authority::AuthorityState::expand_declassify`]), the executor
+//! needs the authority state only while *building* the scan's inputs, not
+//! while scanning — the authority lock is never held across a scan.
+
+use std::collections::HashMap;
+
+use crate::label::Label;
+
+/// The outcome of the Query-by-Label decision for one stored tuple label.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LabelDecision {
+    /// The label after the tags declassified by enclosing views are removed.
+    pub effective: Label,
+    /// Whether the Information Flow Rule admits the tuple (the effective
+    /// label is a subset of the process label).
+    pub admit: bool,
+}
+
+/// Interns labels, in their raw on-tuple array encoding, to dense ids.
+///
+/// Interning lets per-scan state (decisions, statistics) live in flat vectors
+/// indexed by label id instead of re-hashing full labels, and gives callers a
+/// cheap equality token for "same label as the previous tuple" checks.
+#[derive(Debug, Default)]
+pub struct LabelInterner {
+    ids: HashMap<Box<[u64]>, u32>,
+    labels: Vec<Label>,
+}
+
+impl LabelInterner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns a label given in the `_label` system-column encoding,
+    /// returning its dense id. Ids are allocated contiguously from zero in
+    /// first-seen order.
+    pub fn intern_raw(&mut self, raw: &[u64]) -> u32 {
+        if let Some(id) = self.ids.get(raw) {
+            return *id;
+        }
+        let id = self.labels.len() as u32;
+        self.labels.push(Label::from_array(raw));
+        self.ids.insert(raw.into(), id);
+        id
+    }
+
+    /// Interns a decoded label.
+    pub fn intern(&mut self, label: &Label) -> u32 {
+        self.intern_raw(&label.to_array())
+    }
+
+    /// The label behind an id handed out by this interner.
+    pub fn resolve(&self, id: u32) -> &Label {
+        &self.labels[id as usize]
+    }
+
+    /// Number of distinct labels interned so far.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Returns `true` if nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+}
+
+/// Memoizes [`LabelDecision`]s for the duration of one scan.
+///
+/// The memo is deliberately scan-local: the decision depends on the process
+/// label and the enclosing declassify set, both fixed for one scan but not
+/// across statements, so there is nothing to invalidate — the memo is simply
+/// dropped when the scan ends.
+#[derive(Debug, Default)]
+pub struct LabelDecisionMemo {
+    interner: LabelInterner,
+    decisions: Vec<LabelDecision>,
+    /// Id of the label the previous tuple carried. Heaps cluster writes by
+    /// session, so scans see long runs of one label; the run check is a
+    /// slice comparison instead of a hash lookup.
+    last: Option<u32>,
+    hits: u64,
+    misses: u64,
+}
+
+impl LabelDecisionMemo {
+    /// Creates an empty memo.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the decision for a stored label in its raw on-tuple encoding,
+    /// computing it with `compute` on first sight of the label. Also returns
+    /// the decoded stored label, so callers need not re-decode it per tuple.
+    pub fn decide_raw(
+        &mut self,
+        raw: &[u64],
+        compute: impl FnOnce(&Label) -> LabelDecision,
+    ) -> (&Label, &LabelDecision) {
+        if let Some(last) = self.last {
+            let tags = self.interner.resolve(last).as_slice();
+            if tags.len() == raw.len() && tags.iter().zip(raw).all(|(t, r)| t.0 == *r) {
+                self.hits += 1;
+                let id = last as usize;
+                return (self.interner.resolve(last), &self.decisions[id]);
+            }
+        }
+        let id = self.interner.intern_raw(raw) as usize;
+        if id == self.decisions.len() {
+            self.misses += 1;
+            let decision = compute(self.interner.resolve(id as u32));
+            self.decisions.push(decision);
+        } else {
+            self.hits += 1;
+        }
+        self.last = Some(id as u32);
+        (self.interner.resolve(id as u32), &self.decisions[id])
+    }
+
+    /// [`LabelDecisionMemo::decide_raw`] for an already-decoded label.
+    pub fn decide(
+        &mut self,
+        stored: &Label,
+        compute: impl FnOnce(&Label) -> LabelDecision,
+    ) -> (&Label, &LabelDecision) {
+        self.decide_raw(&stored.to_array(), compute)
+    }
+
+    /// Lookups answered from the memo.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that had to run the full decision.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Number of distinct labels seen by this scan.
+    pub fn distinct_labels(&self) -> usize {
+        self.interner.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tag::TagId;
+
+    fn lbl(ids: &[u64]) -> Label {
+        Label::from_tags(ids.iter().copied().map(TagId))
+    }
+
+    #[test]
+    fn interner_dedups_and_resolves() {
+        let mut i = LabelInterner::new();
+        assert!(i.is_empty());
+        let a = i.intern_raw(&[1, 2]);
+        let b = i.intern_raw(&[3]);
+        let a2 = i.intern_raw(&[1, 2]);
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(i.len(), 2);
+        assert_eq!(i.resolve(a), &lbl(&[1, 2]));
+        assert_eq!(i.resolve(b), &lbl(&[3]));
+        assert_eq!(i.intern(&lbl(&[3])), b);
+    }
+
+    #[test]
+    fn memo_computes_once_per_distinct_label() {
+        let mut memo = LabelDecisionMemo::new();
+        let mut computed = 0;
+        for raw in [&[1u64][..], &[2], &[1], &[1], &[2]] {
+            let (stored, d) = memo.decide_raw(raw, |l| {
+                computed += 1;
+                LabelDecision {
+                    effective: l.clone(),
+                    admit: l.len() == 1,
+                }
+            });
+            assert_eq!(stored, &Label::from_array(raw));
+            assert!(d.admit);
+        }
+        assert_eq!(computed, 2);
+        assert_eq!(memo.distinct_labels(), 2);
+        assert_eq!(memo.misses(), 2);
+        assert_eq!(memo.hits(), 3);
+    }
+
+    #[test]
+    fn memoized_decision_equals_fresh_computation() {
+        let process = lbl(&[1, 2, 3]);
+        let expanded = lbl(&[9]);
+        let decide = |stored: &Label| LabelDecision {
+            effective: stored.difference(&expanded),
+            admit: stored.difference(&expanded).is_subset_of(&process),
+        };
+        let mut memo = LabelDecisionMemo::new();
+        for raw in [&[1u64][..], &[1, 9], &[4], &[1, 9], &[4], &[1]] {
+            let fresh = decide(&Label::from_array(raw));
+            let (_, memoized) = memo.decide_raw(raw, decide);
+            assert_eq!(memoized, &fresh);
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! Property tests for the label algebra and the label-decision memo.
+//!
+//! Labels are the unit the whole enforcement stack computes with, and the
+//! scan memo only earns its keep if it is *observationally identical* to the
+//! unmemoized decision — these properties pin both down over random inputs.
+
+use proptest::prelude::*;
+
+use crate::authority::AuthorityState;
+use crate::label::Label;
+use crate::memo::{LabelDecision, LabelDecisionMemo};
+use crate::principal::PrincipalKind;
+use crate::tag::TagId;
+
+/// A strategy for small labels over a narrow tag universe, so that subset
+/// and overlap relationships actually occur.
+fn label_strategy() -> impl Strategy<Value = Label> {
+    collection::vec(1u64..12, 0..6).prop_map(|v| Label::from_tags(v.into_iter().map(TagId)))
+}
+
+/// A strategy for raw (possibly duplicated, unsorted) tag vectors.
+fn raw_tags() -> impl Strategy<Value = Vec<u64>> {
+    collection::vec(1u64..12, 0..8)
+}
+
+proptest! {
+    // ------------------------------------------------------------------
+    // Label algebra laws
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn union_is_upper_bound(a in label_strategy(), b in label_strategy()) {
+        let u = a.union(&b);
+        prop_assert!(a.is_subset_of(&u));
+        prop_assert!(b.is_subset_of(&u));
+    }
+
+    #[test]
+    fn union_commutative_associative_idempotent(
+        a in label_strategy(),
+        b in label_strategy(),
+        c in label_strategy(),
+    ) {
+        prop_assert_eq!(a.union(&b), b.union(&a));
+        prop_assert_eq!(a.union(&b).union(&c), a.union(&b.union(&c)));
+        prop_assert_eq!(a.union(&a), a);
+    }
+
+    #[test]
+    fn subset_monotone_under_union(a in label_strategy(), b in label_strategy(), c in label_strategy()) {
+        // a ⊆ b implies a∪c ⊆ b∪c, and a ⊆ b iff a∪b == b.
+        if a.is_subset_of(&b) {
+            prop_assert!(a.union(&c).is_subset_of(&b.union(&c)));
+            prop_assert_eq!(a.union(&b), b);
+        } else {
+            prop_assert_ne!(a.union(&b), b);
+        }
+    }
+
+    #[test]
+    fn dedup_canonicality(raw in raw_tags()) {
+        // from_tags is order- and multiplicity-insensitive, and the stored
+        // encoding is strictly increasing.
+        let l = Label::from_tags(raw.iter().copied().map(TagId));
+        let mut reversed = raw.clone();
+        reversed.reverse();
+        let mut doubled = raw.clone();
+        doubled.extend(raw.iter().copied());
+        prop_assert_eq!(&Label::from_tags(reversed.into_iter().map(TagId)), &l);
+        prop_assert_eq!(&Label::from_tags(doubled.into_iter().map(TagId)), &l);
+        let arr = l.to_array();
+        prop_assert!(arr.windows(2).all(|w| w[0] < w[1]));
+        prop_assert_eq!(Label::from_array(&arr), l);
+    }
+
+    #[test]
+    fn difference_partitions(a in label_strategy(), b in label_strategy()) {
+        // (a \ b) ∪ (a ∩ b) == a, and the two parts are disjoint.
+        let diff = a.difference(&b);
+        let inter = a.intersection(&b);
+        prop_assert_eq!(diff.union(&inter), a);
+        prop_assert!(diff.intersection(&inter).is_empty());
+        prop_assert_eq!(
+            a.symmetric_difference(&b),
+            a.difference(&b).union(&b.difference(&a))
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Label-decision memo ≡ unmemoized decision
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn memo_matches_unmemoized_decision(
+        stored_seq in collection::vec(label_strategy(), 1..24),
+        expanded in label_strategy(),
+        process in label_strategy(),
+    ) {
+        // The Query-by-Label decision, written out directly.
+        let fresh = |stored: &Label| {
+            let effective = stored.difference(&expanded);
+            LabelDecision {
+                admit: effective.is_subset_of(&process),
+                effective,
+            }
+        };
+        let mut memo = LabelDecisionMemo::new();
+        let mut distinct: Vec<Label> = Vec::new();
+        for stored in &stored_seq {
+            let expected = fresh(stored);
+            let (decoded, decision) = memo.decide_raw(&stored.to_array(), fresh);
+            prop_assert_eq!(decoded, stored);
+            prop_assert_eq!(decision, &expected);
+            if !distinct.contains(stored) {
+                distinct.push(stored.clone());
+            }
+        }
+        prop_assert_eq!(memo.distinct_labels(), distinct.len());
+        prop_assert_eq!(memo.misses() as usize, distinct.len());
+        prop_assert_eq!(
+            (memo.hits() + memo.misses()) as usize,
+            stored_seq.len()
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // expand_declassify ≡ per-tuple enclosing-compound coverage
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn expanded_declassify_matches_per_tag_cover(
+        seed in 0u64..1_000,
+        memberships in collection::vec(0usize..3, 6..10),
+        declassify_picks in collection::vec(0usize..13, 0..4),
+    ) {
+        // A small random hierarchy: three compounds (one nested inside
+        // another) and a handful of ordinary tags with random memberships.
+        let mut auth = AuthorityState::with_seed(seed);
+        let owner = auth.create_principal("owner", PrincipalKind::Service);
+        let outer = auth.create_compound_tag(owner, "outer", &[]).unwrap();
+        let inner = auth.create_compound_tag(owner, "inner", &[outer]).unwrap();
+        let lone = auth.create_compound_tag(owner, "lone", &[]).unwrap();
+        let compounds = [outer, inner, lone];
+        let mut all = vec![outer, inner, lone];
+        for (i, m) in memberships.iter().enumerate() {
+            let parent = compounds[*m];
+            all.push(auth.create_tag(owner, &format!("t{i}"), &[parent]).unwrap());
+        }
+        let declassify = Label::from_tags(
+            declassify_picks.iter().map(|i| all[*i % all.len()]),
+        );
+        let expanded = auth.expand_declassify(&declassify);
+        for tag in &all {
+            // The per-tuple rule the seed executor applied under the lock.
+            let covered = declassify.contains(*tag)
+                || auth
+                    .enclosing_compounds(*tag)
+                    .iter()
+                    .any(|c| declassify.contains(*c));
+            prop_assert_eq!(
+                expanded.contains(*tag),
+                covered,
+                "tag {:?} cover mismatch (declassify {})",
+                tag,
+                declassify
+            );
+        }
+    }
+}

@@ -95,6 +95,9 @@ pub struct StorageEngine {
     tuples_inserted: AtomicU64,
     tuples_deleted: AtomicU64,
     tuples_scanned: AtomicU64,
+    full_table_scans: AtomicU64,
+    index_point_lookups: AtomicU64,
+    index_range_scans: AtomicU64,
 }
 
 impl std::fmt::Debug for StorageEngine {
@@ -135,6 +138,9 @@ impl StorageEngine {
             tuples_inserted: AtomicU64::new(0),
             tuples_deleted: AtomicU64::new(0),
             tuples_scanned: AtomicU64::new(0),
+            full_table_scans: AtomicU64::new(0),
+            index_point_lookups: AtomicU64::new(0),
+            index_range_scans: AtomicU64::new(0),
         }
     }
 
@@ -206,19 +212,30 @@ impl StorageEngine {
 
     /// Creates an ordered index named `name` over `columns` of `table`,
     /// back-filling it from the existing heap contents.
+    ///
+    /// The index list's write lock is held across the back-fill, so a
+    /// concurrent insert either lands in the heap before the back-fill scan
+    /// (and is picked up by it) or blocks on the lock and maintains the new
+    /// index itself once registered; [`OrderedIndex::insert`] is idempotent
+    /// per `(key, row)`, so a version observed by both paths is recorded
+    /// once. Index names are unique per table.
     pub fn create_index(&self, table: TableId, name: &str, columns: &[&str]) -> StorageResult<()> {
         let t = self.table(table)?;
         let col_idx: Vec<usize> = columns
             .iter()
             .map(|c| t.schema.column_index(c))
             .collect::<StorageResult<_>>()?;
+        let mut indexes = t.indexes.write();
+        if indexes.iter().any(|e| e.name == name) {
+            return Err(StorageError::DuplicateIndex(name.to_string()));
+        }
         let index = OrderedIndex::new();
         t.heap.scan(|row, version| {
             let key = t.index_key(&col_idx, &version.data);
             index.insert(key, row);
             true
         })?;
-        t.indexes.write().push(IndexEntry {
+        indexes.push(IndexEntry {
             name: name.to_string(),
             columns: col_idx,
             index,
@@ -360,6 +377,7 @@ impl StorageEngine {
         mut f: impl FnMut(RowId, TupleVersion) -> bool,
     ) -> StorageResult<()> {
         let t = self.table(table)?;
+        self.full_table_scans.fetch_add(1, Ordering::Relaxed);
         let mut scanned = 0u64;
         t.heap.scan(|row, version| {
             scanned += 1;
@@ -382,6 +400,7 @@ impl StorageEngine {
         key: &IndexKey,
     ) -> StorageResult<Vec<RowId>> {
         let t = self.table(table)?;
+        self.index_point_lookups.fetch_add(1, Ordering::Relaxed);
         let indexes = t.indexes.read();
         let entry = indexes
             .iter()
@@ -399,12 +418,31 @@ impl StorageEngine {
         high: Option<&IndexKey>,
     ) -> StorageResult<Vec<(IndexKey, RowId)>> {
         let t = self.table(table)?;
+        self.index_range_scans.fetch_add(1, Ordering::Relaxed);
         let indexes = t.indexes.read();
         let entry = indexes
             .iter()
             .find(|e| e.name == index)
             .ok_or_else(|| StorageError::UnknownIndex(index.to_string()))?;
         Ok(entry.index.range(low, high))
+    }
+
+    /// Prefix lookup through the named index: row ids whose keys start with
+    /// `prefix` (an equality on the leading index columns).
+    pub fn index_prefix(
+        &self,
+        table: TableId,
+        index: &str,
+        prefix: &[Datum],
+    ) -> StorageResult<Vec<(IndexKey, RowId)>> {
+        let t = self.table(table)?;
+        self.index_range_scans.fetch_add(1, Ordering::Relaxed);
+        let indexes = t.indexes.read();
+        let entry = indexes
+            .iter()
+            .find(|e| e.name == index)
+            .ok_or_else(|| StorageError::UnknownIndex(index.to_string()))?;
+        Ok(entry.index.prefix(prefix))
     }
 
     /// Names of the indexes on `table`.
@@ -477,6 +515,9 @@ impl StorageEngine {
         s.tuples_inserted = self.tuples_inserted.load(Ordering::Relaxed);
         s.tuples_deleted = self.tuples_deleted.load(Ordering::Relaxed);
         s.tuples_scanned = self.tuples_scanned.load(Ordering::Relaxed);
+        s.full_table_scans = self.full_table_scans.load(Ordering::Relaxed);
+        s.index_point_lookups = self.index_point_lookups.load(Ordering::Relaxed);
+        s.index_range_scans = self.index_range_scans.load(Ordering::Relaxed);
         s.txns_started = self.txns.started_count();
         s.wal_bytes = self.wal.bytes_written();
         let stores = self.stores.read();
@@ -638,6 +679,49 @@ mod tests {
             1
         );
         assert!(eng.index_lookup(table, "nope", &vec![]).is_err());
+    }
+
+    #[test]
+    fn duplicate_index_name_rejected() {
+        let (eng, table) = engine_with_table();
+        eng.create_index(table, "people_pk", &["id"]).unwrap();
+        let err = eng.create_index(table, "people_pk", &["name"]).unwrap_err();
+        assert!(matches!(err, StorageError::DuplicateIndex(_)));
+    }
+
+    #[test]
+    fn access_path_counters_and_prefix_lookup() {
+        let (eng, table) = engine_with_table();
+        let txn = eng.begin().unwrap();
+        for i in 0..10 {
+            eng.insert(
+                txn,
+                table,
+                vec![],
+                vec![Datum::Int(i / 5), Datum::Text(format!("u{i}"))],
+            )
+            .unwrap();
+        }
+        eng.commit(txn).unwrap();
+        eng.create_index(table, "people_pk", &["id"]).unwrap();
+        let before = eng.stats();
+        let _ = eng.index_lookup(table, "people_pk", &vec![Datum::Int(0)]).unwrap();
+        let prefixed = eng.index_prefix(table, "people_pk", &[Datum::Int(1)]).unwrap();
+        assert_eq!(prefixed.len(), 5);
+        let ranged = eng
+            .index_range(
+                table,
+                "people_pk",
+                Some(&vec![Datum::Int(0)]),
+                Some(&vec![Datum::Int(0)]),
+            )
+            .unwrap();
+        assert_eq!(ranged.len(), 5);
+        visible_rows(&eng, table);
+        let after = eng.stats();
+        assert_eq!(after.index_point_lookups - before.index_point_lookups, 1);
+        assert_eq!(after.index_range_scans - before.index_range_scans, 2);
+        assert_eq!(after.full_table_scans - before.full_table_scans, 1);
     }
 
     #[test]

@@ -54,6 +54,8 @@ pub enum StorageError {
     },
     /// The named index does not exist.
     UnknownIndex(String),
+    /// An index with this name already exists on the table.
+    DuplicateIndex(String),
 }
 
 impl fmt::Display for StorageError {
@@ -76,6 +78,7 @@ impl fmt::Display for StorageError {
             StorageError::Corruption { detail } => write!(f, "corruption: {detail}"),
             StorageError::Io { detail } => write!(f, "i/o error: {detail}"),
             StorageError::UnknownIndex(n) => write!(f, "unknown index {n:?}"),
+            StorageError::DuplicateIndex(n) => write!(f, "index {n:?} already exists"),
         }
     }
 }

@@ -30,9 +30,15 @@ impl OrderedIndex {
         Self::default()
     }
 
-    /// Adds an entry.
+    /// Adds an entry. Idempotent per `(key, row)` pair, so a version
+    /// observed both by an index back-fill and by concurrent statement-side
+    /// maintenance is recorded once.
     pub fn insert(&self, key: IndexKey, row: RowId) {
-        self.map.write().entry(key).or_default().push(row);
+        let mut map = self.map.write();
+        let rows = map.entry(key).or_default();
+        if !rows.contains(&row) {
+            rows.push(row);
+        }
     }
 
     /// Removes an entry (used by vacuum).
@@ -73,17 +79,19 @@ impl OrderedIndex {
     }
 
     /// Row ids whose key starts with `prefix` (useful for composite keys such
-    /// as `(warehouse, district)` scans in TPC-C).
+    /// as `(warehouse, district)` scans in TPC-C). The scan starts at the
+    /// prefix (a strict prefix of a key sorts before it) and stops at the
+    /// first key outside the prefix group, so cost is proportional to the
+    /// group, not the whole index.
     pub fn prefix(&self, prefix: &[Datum]) -> Vec<(IndexKey, RowId)> {
         let map = self.map.read();
         let mut out = Vec::new();
-        for (k, rows) in map.iter() {
-            if k.len() >= prefix.len() && &k[..prefix.len()] == prefix {
-                for r in rows {
-                    out.push((k.clone(), *r));
-                }
-            } else if !out.is_empty() && k.len() >= prefix.len() && &k[..prefix.len()] > prefix {
+        for (k, rows) in map.range((Bound::Included(prefix.to_vec()), Bound::Unbounded)) {
+            if k.len() < prefix.len() || &k[..prefix.len()] != prefix {
                 break;
+            }
+            for r in rows {
+                out.push((k.clone(), *r));
             }
         }
         out

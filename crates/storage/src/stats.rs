@@ -21,6 +21,12 @@ pub struct EngineStats {
     pub tuples_deleted: u64,
     /// Tuple versions examined by scans.
     pub tuples_scanned: u64,
+    /// Full-table visible scans started (`scan_visible` calls).
+    pub full_table_scans: u64,
+    /// Index point lookups served.
+    pub index_point_lookups: u64,
+    /// Index range and prefix scans served.
+    pub index_range_scans: u64,
     /// Transactions started.
     pub txns_started: u64,
     /// Bytes appended to the write-ahead log.
