@@ -1,0 +1,35 @@
+//! Emits the PR 3 durability snapshot as `BENCH_pr3.json` in the current
+//! directory (plus the usual copy under `target/experiments/`): commit
+//! throughput sync-per-commit vs group commit at 8 committers, recovery
+//! time vs log size, the checkpoint effect on replay, and a durable
+//! multi-terminal TPC-C run. CI uploads the file next to `BENCH_pr2.json`.
+
+use ifdb_bench::ExperimentScale;
+
+fn main() {
+    let report = ifdb_bench::bench_pr3_report(ExperimentScale::from_env());
+    match serde_json::to_string_pretty(&report) {
+        Ok(json) => {
+            if std::fs::write("BENCH_pr3.json", &json).is_ok() {
+                println!("\n[BENCH_pr3.json written]");
+            } else {
+                eprintln!("could not write BENCH_pr3.json");
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("could not serialize report: {e}");
+            std::process::exit(1);
+        }
+    }
+    if report.commit_throughput.speedup < 2.0 {
+        eprintln!(
+            "WARNING: group-commit speedup {:.2}x is below the 2x target",
+            report.commit_throughput.speedup
+        );
+    }
+    if report.checkpoint.reduction_factor <= 1.0 {
+        eprintln!("ERROR: checkpoint did not reduce replayed records");
+        std::process::exit(1);
+    }
+}

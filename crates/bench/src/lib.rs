@@ -12,6 +12,7 @@
 
 pub mod experiments;
 pub mod pr2;
+pub mod pr3;
 pub mod report;
 
 pub use experiments::{
@@ -19,3 +20,7 @@ pub use experiments::{
     sensor_ingest_throughput, trusted_base_report, ExperimentScale,
 };
 pub use pr2::{bench_pr2_report, measure_indexed_range, measure_scan_hot, BenchPr2Report};
+pub use pr3::{
+    bench_pr3_report, measure_checkpoint_effect, measure_commit_throughput, measure_recovery,
+    measure_tpcc_durable, BenchPr3Report,
+};

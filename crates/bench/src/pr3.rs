@@ -1,0 +1,474 @@
+//! The PR 3 durability snapshot, emitted as `BENCH_pr3.json`.
+//!
+//! Three panels measure the cost of durability for label-bearing tuples —
+//! the quantity the paper's evaluation turns on (Sections 7.1, 8.3):
+//!
+//! * **commit throughput** — N concurrent committers on a file-backed
+//!   engine, sync-per-commit (every committer pays its own fsync) vs group
+//!   commit (a leader batches fsyncs for everyone). The interesting number
+//!   is the speedup, which is roughly the achieved batch size.
+//! * **recovery** — time for [`StorageEngine::open`] to replay logs of
+//!   increasing length, pinning recovery cost as O(log records).
+//! * **checkpoint** — the same update-heavy history replayed with and
+//!   without a checkpoint, showing replay dropping from O(history) to
+//!   O(live data + delta).
+//!
+//! A fourth panel drives the full multi-terminal TPC-C mix from
+//! `ifdb-workloads` against a durable group-commit database, tying the
+//! storage-level numbers to end-to-end NOTPM.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ifdb::prelude::*;
+use ifdb_storage::engine::{StorageEngine, StorageKind};
+use ifdb_storage::wal::DurabilityConfig;
+use ifdb_storage::{ColumnDef, DataType, Datum as SDatum, TableSchema};
+use ifdb_workloads::driver::{TpccDriver, TpccDriverConfig};
+use ifdb_workloads::tpcc::{TpccConfig, TpccDatabase};
+use serde::Serialize;
+
+use crate::experiments::ExperimentScale;
+use crate::report::{header, output_dir, row, write_json};
+
+/// Sync-per-commit vs group-commit throughput at fixed concurrency.
+#[derive(Debug, Clone, Serialize)]
+pub struct CommitThroughputReport {
+    /// Concurrent committer threads.
+    pub clients: usize,
+    /// Measured duration per mode, in seconds.
+    pub seconds: f64,
+    /// Commits/second with one fsync per commit.
+    pub sync_per_commit_cps: f64,
+    /// Commits/second with the group-commit flusher.
+    pub group_commit_cps: f64,
+    /// `group_commit_cps / sync_per_commit_cps` (the acceptance target is
+    /// ≥ 2 at 8 clients).
+    pub speedup: f64,
+    /// fsyncs issued in the sync-per-commit run.
+    pub sync_fsyncs: u64,
+    /// fsyncs issued in the group-commit run.
+    pub group_fsyncs: u64,
+    /// Commits that shared another committer's fsync in the group run.
+    pub group_commits_batched: u64,
+}
+
+/// One point of the recovery-time-vs-log-size curve.
+#[derive(Debug, Clone, Serialize)]
+pub struct RecoveryPoint {
+    /// Committed rows in the log.
+    pub committed_rows: u64,
+    /// Total records in the log at crash time.
+    pub log_records: u64,
+    /// Wall-clock [`StorageEngine::open`] time in milliseconds.
+    pub open_ms: f64,
+    /// Records the open actually replayed (equals `log_records`).
+    pub replayed_records: u64,
+}
+
+/// Replay length with and without a checkpoint over the same history.
+#[derive(Debug, Clone, Serialize)]
+pub struct CheckpointReport {
+    /// Records replayed when reopening the raw history.
+    pub replayed_without_checkpoint: u64,
+    /// Records replayed when reopening after checkpoint + small delta.
+    pub replayed_with_checkpoint: u64,
+    /// `replayed_without_checkpoint / replayed_with_checkpoint`.
+    pub reduction_factor: f64,
+    /// Live rows recovered (identical in both runs).
+    pub rows_recovered: u64,
+}
+
+/// Multi-terminal TPC-C against a durable group-commit database.
+#[derive(Debug, Clone, Serialize)]
+pub struct TpccDurableReport {
+    /// Concurrent terminals.
+    pub terminals: usize,
+    /// New-order transactions per minute.
+    pub notpm: f64,
+    /// Transactions committed (durably) during the run.
+    pub committed: u64,
+    /// WAL fsyncs during the run.
+    pub wal_fsyncs: u64,
+    /// Commits that rode another terminal's fsync.
+    pub commits_batched: u64,
+}
+
+/// Everything `BENCH_pr3.json` records.
+#[derive(Debug, Clone, Serialize)]
+pub struct BenchPr3Report {
+    /// Panel 1: the group-commit win.
+    pub commit_throughput: CommitThroughputReport,
+    /// Panel 2: recovery time vs log size.
+    pub recovery: Vec<RecoveryPoint>,
+    /// Panel 3: checkpoint effect on replay.
+    pub checkpoint: CheckpointReport,
+    /// Panel 4: end-to-end durable TPC-C.
+    pub tpcc_durable: TpccDurableReport,
+}
+
+fn bench_dir(tag: &str) -> PathBuf {
+    let dir = output_dir().join(format!("pr3_{tag}"));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+/// Runs `clients` committer threads against a fresh file-backed engine for
+/// `duration`, each transaction inserting one small two-tag-labeled row,
+/// and returns (commits/sec, fsyncs, commits_batched).
+fn commit_loop(
+    dir: &Path,
+    durability: DurabilityConfig,
+    clients: usize,
+    duration: Duration,
+) -> (f64, u64, u64) {
+    let eng = Arc::new(StorageEngine::with_config(
+        StorageKind::OnDisk {
+            dir: dir.to_path_buf(),
+            buffer_pages: 256,
+        },
+        durability,
+    ));
+    let table = eng
+        .create_table(TableSchema::new(
+            "commits",
+            vec![
+                ColumnDef::new("k", DataType::Int),
+                ColumnDef::new("v", DataType::Text),
+            ],
+        ))
+        .unwrap();
+    let stop = Arc::new(AtomicBool::new(false));
+    let commits = Arc::new(AtomicU64::new(0));
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for client in 0..clients {
+            let eng = eng.clone();
+            let stop = stop.clone();
+            let commits = commits.clone();
+            scope.spawn(move || {
+                let mut i = 0i64;
+                while !stop.load(Ordering::Relaxed) {
+                    let txn = eng.begin().unwrap();
+                    eng.insert(
+                        txn,
+                        table,
+                        vec![1, 2],
+                        vec![
+                            SDatum::Int(client as i64 * 1_000_000 + i),
+                            SDatum::Text("payload".into()),
+                        ],
+                    )
+                    .unwrap();
+                    eng.commit(txn).unwrap();
+                    commits.fetch_add(1, Ordering::Relaxed);
+                    i += 1;
+                }
+            });
+        }
+        std::thread::sleep(duration);
+        stop.store(true, Ordering::Relaxed);
+    });
+    let elapsed = start.elapsed().as_secs_f64();
+    let stats = eng.stats();
+    (
+        commits.load(Ordering::Relaxed) as f64 / elapsed,
+        stats.wal_fsyncs,
+        stats.commits_batched,
+    )
+}
+
+/// Panel 1: sync-per-commit vs group commit at `clients` committers.
+pub fn measure_commit_throughput(clients: usize, duration: Duration) -> CommitThroughputReport {
+    let sync_dir = bench_dir("commits_sync");
+    let (sync_cps, sync_fsyncs, _) =
+        commit_loop(&sync_dir, DurabilityConfig::SYNC_EACH, clients, duration);
+    std::fs::remove_dir_all(&sync_dir).ok();
+    let group_dir = bench_dir("commits_group");
+    let (group_cps, group_fsyncs, group_commits_batched) =
+        commit_loop(&group_dir, DurabilityConfig::GROUP_COMMIT, clients, duration);
+    std::fs::remove_dir_all(&group_dir).ok();
+    CommitThroughputReport {
+        clients,
+        seconds: duration.as_secs_f64(),
+        sync_per_commit_cps: sync_cps,
+        group_commit_cps: group_cps,
+        speedup: group_cps / sync_cps,
+        sync_fsyncs,
+        group_fsyncs,
+        group_commits_batched,
+    }
+}
+
+fn loaded_engine(dir: &Path, rows: u64, txn_batch: u64) -> StorageEngine {
+    let eng = StorageEngine::with_config(
+        StorageKind::OnDisk {
+            dir: dir.to_path_buf(),
+            buffer_pages: 256,
+        },
+        DurabilityConfig::NO_SYNC,
+    );
+    let table = eng
+        .create_table(TableSchema::new(
+            "data",
+            vec![
+                ColumnDef::new("id", DataType::Int),
+                ColumnDef::new("body", DataType::Text),
+            ],
+        ))
+        .unwrap();
+    eng.create_index(table, "data_pkey", &["id"]).unwrap();
+    let mut inserted = 0u64;
+    while inserted < rows {
+        let txn = eng.begin().unwrap();
+        for _ in 0..txn_batch.min(rows - inserted) {
+            eng.insert(
+                txn,
+                table,
+                vec![inserted % 4, 100],
+                vec![
+                    SDatum::Int(inserted as i64),
+                    SDatum::Text(format!("row-{inserted}-with-some-payload")),
+                ],
+            )
+            .unwrap();
+            inserted += 1;
+        }
+        eng.commit(txn).unwrap();
+    }
+    eng
+}
+
+/// Panel 2: recovery time as a function of log length.
+pub fn measure_recovery(sizes: &[u64]) -> Vec<RecoveryPoint> {
+    sizes
+        .iter()
+        .map(|&rows| {
+            let dir = bench_dir(&format!("recovery_{rows}"));
+            let log_records = {
+                let eng = loaded_engine(&dir, rows, 100);
+                eng.wal().len() as u64
+                // Dropped without flushing heap pages: replay does the work.
+            };
+            let t0 = Instant::now();
+            let eng = StorageEngine::open(&dir, 256, DurabilityConfig::NO_SYNC).unwrap();
+            let open_ms = t0.elapsed().as_secs_f64() * 1e3;
+            let replayed = eng.stats().recovery_replayed_records;
+            drop(eng);
+            std::fs::remove_dir_all(&dir).ok();
+            RecoveryPoint {
+                committed_rows: rows,
+                log_records,
+                open_ms,
+                replayed_records: replayed,
+            }
+        })
+        .collect()
+}
+
+/// Panel 3: the same update-heavy history replayed raw and after a
+/// checkpoint (plus a small post-checkpoint delta).
+pub fn measure_checkpoint_effect(rows: u64, update_rounds: u64) -> CheckpointReport {
+    let dir = bench_dir("checkpoint");
+    {
+        let eng = loaded_engine(&dir, rows, 100);
+        let table = eng.table_by_name("data").unwrap().id();
+        // Churn every row `update_rounds` times so history >> live data.
+        for round in 0..update_rounds {
+            let txn = eng.begin().unwrap();
+            let snap = eng.snapshot(txn);
+            let mut targets = Vec::new();
+            eng.scan_visible(&snap, table, |row, v| {
+                targets.push((row, v));
+                true
+            })
+            .unwrap();
+            for (row, v) in targets {
+                eng.update(
+                    txn,
+                    table,
+                    row,
+                    v.header.label.clone(),
+                    vec![v.data[0].clone(), SDatum::Text(format!("round{round}"))],
+                )
+                .unwrap();
+            }
+            eng.commit(txn).unwrap();
+        }
+    }
+    // Reopen the raw history.
+    let eng = StorageEngine::open(&dir, 256, DurabilityConfig::NO_SYNC).unwrap();
+    let replayed_without = eng.stats().recovery_replayed_records;
+    let table = eng.table_by_name("data").unwrap().id();
+    let count_rows = |eng: &StorageEngine, table| {
+        let txn = eng.begin().unwrap();
+        let snap = eng.snapshot(txn);
+        let mut n = 0u64;
+        eng.scan_visible(&snap, table, |_, _| {
+            n += 1;
+            true
+        })
+        .unwrap();
+        eng.abort(txn).unwrap();
+        n
+    };
+    let rows_before = count_rows(&eng, table);
+    // Checkpoint, apply a small delta, crash again.
+    eng.checkpoint().unwrap();
+    let txn = eng.begin().unwrap();
+    for i in 0..(rows / 20).max(1) {
+        eng.insert(
+            txn,
+            table,
+            vec![1],
+            vec![SDatum::Int(1_000_000 + i as i64), SDatum::Text("delta".into())],
+        )
+        .unwrap();
+    }
+    eng.commit(txn).unwrap();
+    drop(eng);
+    let eng = StorageEngine::open(&dir, 256, DurabilityConfig::NO_SYNC).unwrap();
+    let replayed_with = eng.stats().recovery_replayed_records;
+    let rows_after = count_rows(&eng, table);
+    assert_eq!(rows_after, rows_before + (rows / 20).max(1));
+    drop(eng);
+    std::fs::remove_dir_all(&dir).ok();
+    CheckpointReport {
+        replayed_without_checkpoint: replayed_without,
+        replayed_with_checkpoint: replayed_with,
+        reduction_factor: replayed_without as f64 / replayed_with as f64,
+        rows_recovered: rows_after,
+    }
+}
+
+/// Panel 4: the DBT-2-style multi-terminal mix on a durable group-commit
+/// database.
+pub fn measure_tpcc_durable(terminals: usize, duration: Duration) -> TpccDurableReport {
+    let dir = bench_dir("tpcc");
+    let db = Database::new(
+        DatabaseConfig::on_disk(dir.clone(), 1024)
+            .with_seed(0x1FDB)
+            .with_durability(ifdb::DurabilityConfig::GROUP_COMMIT),
+    );
+    let tpcc = TpccDatabase::load(
+        db,
+        TpccConfig {
+            warehouses: 1,
+            districts_per_warehouse: 4,
+            customers_per_district: 20,
+            items: 50,
+            initial_orders_per_district: 5,
+            tags_per_label: 2,
+            seed: 29,
+        },
+    )
+    .unwrap();
+    let outcome = TpccDriver::new(&tpcc).run(&TpccDriverConfig {
+        clients: terminals,
+        duration,
+        seed: 5,
+    });
+    std::fs::remove_dir_all(&dir).ok();
+    TpccDurableReport {
+        terminals,
+        notpm: outcome.notpm,
+        committed: outcome.committed,
+        wal_fsyncs: outcome.wal_fsyncs,
+        commits_batched: outcome.commits_batched,
+    }
+}
+
+/// Produces (and prints) the complete PR 3 snapshot.
+pub fn bench_pr3_report(scale: ExperimentScale) -> BenchPr3Report {
+    let (commit_secs, recovery_sizes, ckpt_rows, tpcc_secs): (u64, Vec<u64>, u64, u64) =
+        match scale {
+            ExperimentScale::Quick => (400, vec![2_000, 8_000], 2_000, 400),
+            ExperimentScale::Full => (2_000, vec![5_000, 20_000, 50_000], 10_000, 2_000),
+        };
+
+    header("commit throughput: sync-per-commit vs group commit");
+    let commit_throughput =
+        measure_commit_throughput(8, Duration::from_millis(commit_secs));
+    row(
+        "sync per commit",
+        format!("{:.0} commits/s", commit_throughput.sync_per_commit_cps),
+    );
+    row(
+        "group commit",
+        format!("{:.0} commits/s", commit_throughput.group_commit_cps),
+    );
+    row("speedup", format!("{:.2}x", commit_throughput.speedup));
+    row(
+        "fsyncs (sync / group)",
+        format!(
+            "{} / {}",
+            commit_throughput.sync_fsyncs, commit_throughput.group_fsyncs
+        ),
+    );
+
+    header("recovery time vs log size");
+    let recovery = measure_recovery(&recovery_sizes);
+    for p in &recovery {
+        row(
+            &format!("{} records", p.log_records),
+            format!("{:.1} ms", p.open_ms),
+        );
+    }
+
+    header("checkpoint effect on replay");
+    let checkpoint = measure_checkpoint_effect(ckpt_rows, 4);
+    row(
+        "replayed without checkpoint",
+        checkpoint.replayed_without_checkpoint,
+    );
+    row(
+        "replayed with checkpoint",
+        checkpoint.replayed_with_checkpoint,
+    );
+    row(
+        "reduction",
+        format!("{:.1}x", checkpoint.reduction_factor),
+    );
+
+    header("durable TPC-C (group commit)");
+    let tpcc_durable = measure_tpcc_durable(4, Duration::from_millis(tpcc_secs));
+    row("NOTPM", format!("{:.0}", tpcc_durable.notpm));
+    row("committed", tpcc_durable.committed);
+    row(
+        "fsyncs / batched commits",
+        format!(
+            "{} / {}",
+            tpcc_durable.wal_fsyncs, tpcc_durable.commits_batched
+        ),
+    );
+
+    let report = BenchPr3Report {
+        commit_throughput,
+        recovery,
+        checkpoint,
+        tpcc_durable,
+    };
+    write_json("bench_pr3", &report);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checkpoint_effect_reduces_replay() {
+        let report = measure_checkpoint_effect(300, 3);
+        assert!(report.reduction_factor > 1.5);
+        assert!(report.rows_recovered >= 300);
+    }
+
+    #[test]
+    fn recovery_points_replay_everything() {
+        let points = measure_recovery(&[500]);
+        assert_eq!(points[0].replayed_records, points[0].log_records);
+        assert!(points[0].open_ms > 0.0);
+    }
+}

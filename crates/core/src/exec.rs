@@ -19,7 +19,8 @@
 //! # Execution pipeline
 //!
 //! Statements are *bound* once (names → offsets, predicates compiled,
-//! access path chosen — see [`crate::plan`]) and then *streamed*: rows flow
+//! access path chosen — see the crate-private `plan` module) and then
+//! *streamed*: rows flow
 //! from the storage engine through per-scan filter/projection callbacks into
 //! the statement's sink without materializing intermediate row sets.
 //! Predicate hints push down through views and into both sides of joins, so

@@ -68,7 +68,7 @@ pub use error::{IfdbError, IfdbResult};
 pub use query::{AggFunc, Aggregate, Delete, Insert, Join, JoinKind, Order, Predicate, Select, Update};
 pub use row::{ResultSet, Row};
 pub use session::{Session, SessionStats, WriteRecord};
-pub use ifdb_storage::{DataType, Datum, StorageError};
+pub use ifdb_storage::{DataType, Datum, DurabilityConfig, StorageError, StorageKind};
 
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
@@ -82,7 +82,7 @@ pub mod prelude {
     pub use crate::session::Session;
     pub use ifdb_difc::principal::PrincipalKind;
     pub use ifdb_difc::{Label, PrincipalId, TagId};
-    pub use ifdb_storage::{DataType, Datum};
+    pub use ifdb_storage::{DataType, Datum, DurabilityConfig};
 }
 
 #[cfg(test)]

@@ -6,6 +6,14 @@
 //! lazy label synchronization of Section 7.2 is modelled by the
 //! `label_syncs` counter), and manages transactions, including the commit
 //! label rule and deferred triggers of Section 5.
+//!
+//! Durability is inherited from the database's
+//! [`DurabilityConfig`](ifdb_storage::DurabilityConfig): with
+//! `sync_on_commit`, [`Session::commit`] returns only once the commit record
+//! has reached the device, and under group commit concurrent sessions share
+//! one fsync — many client processes commit for the price of one device
+//! flush, which is what makes labeled (larger) tuples affordable to log
+//! (Section 8.3).
 
 use ifdb_difc::audit::AuditEvent;
 use ifdb_difc::{AuthorityCache, Label, PrincipalId, ProcessState, TagId};
@@ -305,6 +313,12 @@ impl Session {
     /// encode information about high-labeled data in the existence of
     /// lower-labeled tuples (the "Alice has HIV" example), so the transaction
     /// is aborted and an error is returned.
+    ///
+    /// On a database configured with `sync_on_commit` durability, a
+    /// successful return additionally means the transaction's log records
+    /// are on the device and will survive [`Database::open`] after a crash;
+    /// under group commit the fsync may have been performed by a concurrent
+    /// session's commit.
     pub fn commit(&mut self) -> IfdbResult<()> {
         let state = self
             .txn

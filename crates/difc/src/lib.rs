@@ -25,6 +25,25 @@
 //! The crate is deliberately independent of the database: the same model
 //! objects are shared by the storage engine, the query engine, and the
 //! application platform, mirroring the paper's uniform set of abstractions.
+//!
+//! # Example
+//!
+//! The core of the model in a few lines — a contaminated process may not
+//! release data until a principal with authority declassifies:
+//!
+//! ```
+//! use ifdb_difc::{AuthorityState, Label, PrincipalKind, ProcessState};
+//!
+//! let mut auth = AuthorityState::with_seed(7);
+//! let alice = auth.create_principal("alice", PrincipalKind::User);
+//! let tag = auth.create_tag(alice, "alice_medical", &[]).unwrap();
+//!
+//! let mut process = ProcessState::new(alice);
+//! process.add_secrecy(tag).unwrap();                  // reads Alice's data
+//! assert!(process.check_release_to_world().is_err()); // now contaminated
+//! process.declassify(tag, &auth).unwrap();            // alice holds authority
+//! assert!(process.check_release_to_world().is_ok());
+//! ```
 
 pub mod audit;
 pub mod authority;

@@ -86,6 +86,31 @@ impl LabelInterner {
 /// label and the enclosing declassify set, both fixed for one scan but not
 /// across statements, so there is nothing to invalidate — the memo is simply
 /// dropped when the scan ends.
+///
+/// # Example
+///
+/// ```
+/// use ifdb_difc::memo::{LabelDecision, LabelDecisionMemo};
+/// use ifdb_difc::{Label, TagId};
+///
+/// let process = Label::from_tags([TagId(1), TagId(2)]);
+/// let mut memo = LabelDecisionMemo::new();
+/// let mut computed = 0;
+/// // A scan over four tuples carrying two distinct stored labels runs the
+/// // full Information Flow Rule only twice.
+/// for raw in [&[1u64][..], &[1], &[3], &[3]] {
+///     let (_, decision) = memo.decide_raw(raw, |stored| {
+///         computed += 1;
+///         LabelDecision {
+///             effective: stored.clone(),
+///             admit: stored.is_subset_of(&process),
+///         }
+///     });
+///     assert_eq!(decision.admit, raw[0] != 3);
+/// }
+/// assert_eq!(computed, 2);
+/// assert_eq!(memo.hits(), 2);
+/// ```
 #[derive(Debug, Default)]
 pub struct LabelDecisionMemo {
     interner: LabelInterner,

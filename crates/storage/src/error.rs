@@ -52,10 +52,18 @@ pub enum StorageError {
         /// Stringified `std::io::Error`.
         detail: String,
     },
+    /// A table with this name already exists.
+    DuplicateTable(String),
     /// The named index does not exist.
     UnknownIndex(String),
     /// An index with this name already exists on the table.
     DuplicateIndex(String),
+    /// A checkpoint was requested while transactions were still active; the
+    /// caller may retry at a quiescent point.
+    CheckpointBusy {
+        /// Number of in-progress transactions that blocked the checkpoint.
+        active: u64,
+    },
 }
 
 impl fmt::Display for StorageError {
@@ -77,8 +85,12 @@ impl fmt::Display for StorageError {
             StorageError::InvalidTransaction(id) => write!(f, "invalid transaction {id}"),
             StorageError::Corruption { detail } => write!(f, "corruption: {detail}"),
             StorageError::Io { detail } => write!(f, "i/o error: {detail}"),
+            StorageError::DuplicateTable(n) => write!(f, "table {n:?} already exists"),
             StorageError::UnknownIndex(n) => write!(f, "unknown index {n:?}"),
             StorageError::DuplicateIndex(n) => write!(f, "index {n:?} already exists"),
+            StorageError::CheckpointBusy { active } => {
+                write!(f, "checkpoint blocked by {active} active transaction(s)")
+            }
         }
     }
 }

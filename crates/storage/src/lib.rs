@@ -15,9 +15,19 @@
 //! * A buffer pool ([`buffer`]) over pluggable page stores ([`store`]) —
 //!   in-memory or file-backed — used to reproduce both the in-memory and the
 //!   disk-bound configurations of Figure 6.
-//! * Ordered and hash indexes ([`index`]), a write-ahead log ([`wal`]), and
-//!   the [`engine`] facade that ties tables, transactions and recovery
-//!   together.
+//! * Ordered and hash indexes ([`index`]), a write-ahead log ([`wal`]) with
+//!   crash recovery, checkpointing and group commit, and the [`engine`]
+//!   facade that ties tables, transactions and recovery together.
+//!
+//! # Durability
+//!
+//! Every mutation (DDL included) is logged before it is acknowledged;
+//! [`StorageEngine::open`] rebuilds a crashed engine by replaying the log,
+//! [`StorageEngine::checkpoint`](engine::StorageEngine::checkpoint)
+//! compacts the log into a snapshot image so replay stays O(live data), and
+//! [`DurabilityConfig`] picks between no-sync, sync-per-commit and
+//! group-commit (many committers sharing one fsync) behaviour. See the
+//! [`wal`] module docs for the protocol details.
 //!
 //! The crate knows nothing about DIFC: labels are carried as opaque `u64`
 //! arrays in tuple headers. All enforcement lives in the `ifdb` crate.
@@ -47,3 +57,4 @@ pub use schema::{ColumnDef, TableSchema};
 pub use stats::EngineStats;
 pub use tuple::{TupleData, TupleHeader, TupleVersion};
 pub use value::{DataType, Datum};
+pub use wal::{DurabilityConfig, LogRecord, Wal, WalRecovery};

@@ -82,6 +82,10 @@ impl Snapshot {
 pub struct TransactionManager {
     next_id: AtomicU64,
     status: RwLock<HashMap<TxnId, TxnStatus>>,
+    /// In-progress transactions, maintained alongside `status` so that
+    /// [`TransactionManager::active_count`] is O(1) — it runs on every
+    /// commit under a periodic-checkpoint policy.
+    active: AtomicU64,
 }
 
 impl Default for TransactionManager {
@@ -96,13 +100,16 @@ impl TransactionManager {
         TransactionManager {
             next_id: AtomicU64::new(1),
             status: RwLock::new(HashMap::new()),
+            active: AtomicU64::new(0),
         }
     }
 
     /// Starts a transaction, returning its id.
     pub fn begin(&self) -> TxnId {
         let id = TxnId(self.next_id.fetch_add(1, Ordering::SeqCst));
-        self.status.write().insert(id, TxnStatus::InProgress);
+        let mut status = self.status.write();
+        status.insert(id, TxnStatus::InProgress);
+        self.active.fetch_add(1, Ordering::SeqCst);
         id
     }
 
@@ -121,6 +128,7 @@ impl TransactionManager {
         match status.get(&txn) {
             Some(TxnStatus::InProgress) => {
                 status.insert(txn, to);
+                self.active.fetch_sub(1, Ordering::SeqCst);
                 Ok(())
             }
             _ => Err(StorageError::InvalidTransaction(txn.0)),
@@ -200,6 +208,38 @@ impl TransactionManager {
     /// Number of transactions ever started.
     pub fn started_count(&self) -> u64 {
         self.next_id.load(Ordering::SeqCst) - 1
+    }
+
+    /// Number of transactions currently in progress. O(1).
+    pub fn active_count(&self) -> u64 {
+        self.active.load(Ordering::SeqCst)
+    }
+
+    /// Restores transaction-manager state after WAL replay: every
+    /// transaction in `committed` is registered as committed (so tuple
+    /// versions carrying it as `xmin`/`xmax` resolve correctly), and the id
+    /// allocator is advanced past `max_seen` so post-recovery transactions
+    /// never collide with logged ones. Transactions seen in the log but not
+    /// in `committed` need no entry: unknown ids report as aborted, which is
+    /// exactly the fate of in-flight work at a crash.
+    pub fn recover(&self, committed: impl IntoIterator<Item = TxnId>, max_seen: TxnId) {
+        let mut status = self.status.write();
+        for txn in committed {
+            if txn != BOOTSTRAP_TXN {
+                status.insert(txn, TxnStatus::Committed);
+            }
+        }
+        let floor = max_seen.0 + 1;
+        let mut cur = self.next_id.load(Ordering::SeqCst);
+        while cur < floor {
+            match self
+                .next_id
+                .compare_exchange(cur, floor, Ordering::SeqCst, Ordering::SeqCst)
+            {
+                Ok(_) => break,
+                Err(now) => cur = now,
+            }
+        }
     }
 }
 

@@ -31,6 +31,19 @@ pub struct EngineStats {
     pub txns_started: u64,
     /// Bytes appended to the write-ahead log.
     pub wal_bytes: u64,
+    /// `fsync` calls issued by the write-ahead log. Under group commit this
+    /// grows much more slowly than `txns_started`.
+    pub wal_fsyncs: u64,
+    /// Commits whose durability was provided by another committer's fsync
+    /// (group-commit followers).
+    pub commits_batched: u64,
+    /// Log records replayed when this engine was opened from an existing
+    /// directory ([`crate::engine::StorageEngine::open`]); zero for a fresh
+    /// engine.
+    pub recovery_replayed_records: u64,
+    /// Checkpoints taken (log rewrites that compacted history into a
+    /// snapshot image).
+    pub checkpoints: u64,
     /// Physical page reads performed by page stores.
     pub store_reads: u64,
     /// Physical page writes performed by page stores.

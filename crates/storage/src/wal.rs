@@ -1,23 +1,118 @@
-//! Write-ahead log.
+//! Write-ahead log: logical records, crash recovery, group commit.
 //!
-//! Every mutation is appended to the log before the in-place heap change is
-//! made durable; on startup the log can be replayed to rebuild committed
-//! state. The log is deliberately simple — logical records, a single file,
-//! whole-file replay — because the paper's evaluation depends on the *cost*
-//! of logging label-bearing tuples (bigger tuples, more log bytes) rather
-//! than on sophisticated recovery.
+//! Every mutation — DDL included — is appended to the log before it is
+//! considered done, so a restart can rebuild the engine by replaying the log
+//! from the top ([`crate::engine::StorageEngine::open`]). The log is
+//! deliberately *logical* (create-table / insert / delete records, not page
+//! images) because the paper's evaluation depends on the cost of logging
+//! label-bearing tuples — bigger tuples mean more log bytes and slower
+//! commits (Section 8.3) — rather than on sophisticated physical recovery.
+//!
+//! Three durability levels are supported, selected by [`DurabilityConfig`]:
+//!
+//! * **no sync** — records are buffered and written by the OS at its leisure;
+//!   a crash may lose recent transactions (the seed behaviour).
+//! * **sync per commit** — every commit flushes and fsyncs the log before
+//!   returning. Durable, but each committer pays a full device flush.
+//! * **group commit** — committers enqueue; one of them becomes the *leader*,
+//!   performs a single flush+fsync covering every record appended so far, and
+//!   wakes the others. N concurrent committers share one fsync, which is
+//!   where the ≥2× commit-throughput win of `bench_pr3` comes from.
+//!
+//! # Example
+//!
+//! ```
+//! use ifdb_storage::wal::{LogRecord, Wal};
+//! use ifdb_storage::{RowId, TxnId};
+//!
+//! let dir = std::env::temp_dir().join(format!("wal-doc-{}", std::process::id()));
+//! std::fs::create_dir_all(&dir).unwrap();
+//! let path = dir.join("wal.log");
+//!
+//! // Write a tiny committed transaction and flush it out.
+//! let wal = Wal::file_backed(&path, true).unwrap();
+//! wal.append(LogRecord::Begin { txn: TxnId(1) }).unwrap();
+//! wal.append(LogRecord::Insert {
+//!     txn: TxnId(1),
+//!     table: 7,
+//!     row: RowId { page: 0, slot: 0 },
+//!     bytes: vec![1, 2, 3],
+//! })
+//! .unwrap();
+//! wal.append(LogRecord::Commit { txn: TxnId(1) }).unwrap();
+//! drop(wal);
+//!
+//! // A later process reads the log back for replay.
+//! let replayed = Wal::replay_file(&path).unwrap();
+//! assert_eq!(replayed.len(), 3);
+//! assert!(matches!(replayed[2], LogRecord::Commit { txn: TxnId(1) }));
+//! std::fs::remove_dir_all(&dir).ok();
+//! ```
 
 use std::fs::{File, OpenOptions};
 use std::io::{BufWriter, Read, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex as StdMutex};
 
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
-use crate::error::StorageResult;
+use crate::error::{StorageError, StorageResult};
 use crate::heap::RowId;
 use crate::mvcc::TxnId;
+use crate::schema::{ColumnDef, TableSchema};
+use crate::value::DataType;
+
+/// How commits are made durable. See the [module docs](self) for the three
+/// levels; `checkpoint_every_commits` is the periodic-checkpoint policy hook
+/// consumed by [`crate::engine::StorageEngine::commit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DurabilityConfig {
+    /// Whether a commit must reach the device before returning.
+    pub sync_on_commit: bool,
+    /// Whether concurrent committers share fsyncs through the group-commit
+    /// leader/follower protocol. Only meaningful with `sync_on_commit`.
+    pub group_commit: bool,
+    /// If set, the engine checkpoints automatically after this many commits.
+    pub checkpoint_every_commits: Option<u64>,
+}
+
+impl Default for DurabilityConfig {
+    fn default() -> Self {
+        Self::NO_SYNC
+    }
+}
+
+impl DurabilityConfig {
+    /// Buffered writes only; a crash may lose recent transactions.
+    pub const NO_SYNC: DurabilityConfig = DurabilityConfig {
+        sync_on_commit: false,
+        group_commit: false,
+        checkpoint_every_commits: None,
+    };
+
+    /// Every commit pays its own flush+fsync.
+    pub const SYNC_EACH: DurabilityConfig = DurabilityConfig {
+        sync_on_commit: true,
+        group_commit: false,
+        checkpoint_every_commits: None,
+    };
+
+    /// Commits are durable and concurrent committers share fsyncs.
+    pub const GROUP_COMMIT: DurabilityConfig = DurabilityConfig {
+        sync_on_commit: true,
+        group_commit: true,
+        checkpoint_every_commits: None,
+    };
+
+    /// Adds a periodic-checkpoint policy: the engine checkpoints after every
+    /// `commits` commits (skipped when transactions are still active).
+    pub fn with_checkpoint_every(mut self, commits: u64) -> Self {
+        self.checkpoint_every_commits = Some(commits);
+        self
+    }
+}
 
 /// A logical log record.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -57,23 +152,71 @@ pub enum LogRecord {
         /// The affected version.
         row: RowId,
     },
-    /// A checkpoint marker (everything before it is already in the heap
-    /// files).
+    /// A checkpoint marker: everything before it is the checkpoint image,
+    /// written by [`Wal::rewrite_with`].
     Checkpoint,
+    /// A table was created. Logged so schema survives restart.
+    CreateTable {
+        /// The table id assigned by the engine.
+        id: u32,
+        /// The full schema.
+        schema: TableSchema,
+    },
+    /// An index was created on a table.
+    CreateIndex {
+        /// The owning table.
+        table: u32,
+        /// Index name (unique per table).
+        name: String,
+        /// Indexed column offsets, in key order.
+        columns: Vec<u16>,
+    },
+}
+
+/// What [`Wal::read_log`] found in a log file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WalRecovery {
+    /// The records that parsed cleanly, in log order.
+    pub records: Vec<LogRecord>,
+    /// Byte offset of the end of the last clean record.
+    pub clean_bytes: u64,
+    /// Bytes past `clean_bytes` that could not be parsed (a torn tail from a
+    /// crash mid-append). Zero for a clean log.
+    pub torn_bytes: u64,
 }
 
 /// Where the log keeps its records.
 enum Sink {
     Memory,
-    File(BufWriter<File>),
+    File {
+        w: BufWriter<File>,
+        /// Records appended to the file so far (monotonic, survives
+        /// checkpoint rewrites).
+        appended_seq: u64,
+    },
+}
+
+/// Group-commit coordination state, protected by a std mutex so committers
+/// can block on the condvar while the leader fsyncs.
+struct GroupState {
+    /// Highest `appended_seq` known to be on the device.
+    durable_seq: u64,
+    /// Whether a leader is currently flushing.
+    flushing: bool,
 }
 
 /// The write-ahead log.
 pub struct Wal {
     records: Mutex<Vec<LogRecord>>,
     sink: Mutex<Sink>,
+    path: Option<PathBuf>,
     bytes_written: AtomicU64,
     sync_on_commit: bool,
+    group_commit: bool,
+    group: StdMutex<GroupState>,
+    group_cvar: Condvar,
+    fsyncs: AtomicU64,
+    commits_batched: AtomicU64,
 }
 
 impl std::fmt::Debug for Wal {
@@ -81,62 +224,270 @@ impl std::fmt::Debug for Wal {
         f.debug_struct("Wal")
             .field("records", &self.records.lock().len())
             .field("bytes_written", &self.bytes_written.load(Ordering::Relaxed))
+            .field("fsyncs", &self.fsyncs.load(Ordering::Relaxed))
             .finish()
     }
 }
 
 impl Wal {
-    /// Creates an in-memory log (no file backing).
-    pub fn in_memory() -> Self {
+    fn with_sink(
+        sink: Sink,
+        path: Option<PathBuf>,
+        durability: DurabilityConfig,
+        records: Vec<LogRecord>,
+        bytes: u64,
+    ) -> Self {
         Wal {
-            records: Mutex::new(Vec::new()),
-            sink: Mutex::new(Sink::Memory),
-            bytes_written: AtomicU64::new(0),
-            sync_on_commit: false,
+            records: Mutex::new(records),
+            sink: Mutex::new(sink),
+            path,
+            bytes_written: AtomicU64::new(bytes),
+            sync_on_commit: durability.sync_on_commit,
+            group_commit: durability.group_commit,
+            group: StdMutex::new(GroupState {
+                durable_seq: 0,
+                flushing: false,
+            }),
+            group_cvar: Condvar::new(),
+            fsyncs: AtomicU64::new(0),
+            commits_batched: AtomicU64::new(0),
         }
     }
 
-    /// Creates (or truncates) a file-backed log at `path`.
+    /// Creates an in-memory log (no file backing).
+    pub fn in_memory() -> Self {
+        Self::with_sink(Sink::Memory, None, DurabilityConfig::NO_SYNC, Vec::new(), 0)
+    }
+
+    /// Creates (or truncates) a file-backed log at `path`. Kept for
+    /// compatibility; equivalent to [`Wal::create`] with `sync_on_commit`
+    /// mapped onto [`DurabilityConfig::SYNC_EACH`] / `NO_SYNC`.
     pub fn file_backed(path: &Path, sync_on_commit: bool) -> StorageResult<Self> {
+        let durability = if sync_on_commit {
+            DurabilityConfig::SYNC_EACH
+        } else {
+            DurabilityConfig::NO_SYNC
+        };
+        Self::create(path, durability)
+    }
+
+    /// Creates (or truncates) a file-backed log at `path` with the given
+    /// durability configuration.
+    pub fn create(path: &Path, durability: DurabilityConfig) -> StorageResult<Self> {
         let file = OpenOptions::new()
             .create(true)
             .write(true)
             .truncate(true)
             .open(path)?;
-        Ok(Wal {
-            records: Mutex::new(Vec::new()),
-            sink: Mutex::new(Sink::File(BufWriter::new(file))),
-            bytes_written: AtomicU64::new(0),
-            sync_on_commit,
-        })
+        // Make the directory entry durable too, so the log file itself
+        // survives a power failure that follows the first durable commit.
+        fsync_dir(path)?;
+        Ok(Self::with_sink(
+            Sink::File {
+                w: BufWriter::new(file),
+                appended_seq: 0,
+            },
+            Some(path.to_path_buf()),
+            durability,
+            Vec::new(),
+            0,
+        ))
     }
 
-    /// Appends a record.
+    /// Opens an existing file-backed log for recovery: parses every record,
+    /// truncates a torn tail (warning on stderr rather than failing the whole
+    /// recovery), and returns the log positioned to append after the last
+    /// clean record, together with the parsed records for replay.
+    ///
+    /// A missing file is treated as an empty log, so first-boot and restart
+    /// go through the same path.
+    pub fn open_existing(
+        path: &Path,
+        durability: DurabilityConfig,
+    ) -> StorageResult<(Self, WalRecovery)> {
+        let recovery = match Self::read_log(path) {
+            Ok(r) => r,
+            Err(StorageError::Io { .. }) if !path.exists() => WalRecovery {
+                records: Vec::new(),
+                clean_bytes: 0,
+                torn_bytes: 0,
+            },
+            Err(e) => return Err(e),
+        };
+        let file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(false)
+            .open(path)?;
+        if recovery.torn_bytes > 0 {
+            eprintln!(
+                "wal: truncating torn tail of {} ({} bytes after offset {})",
+                path.display(),
+                recovery.torn_bytes,
+                recovery.clean_bytes
+            );
+            file.set_len(recovery.clean_bytes)?;
+        }
+        let mut file = file;
+        use std::io::Seek;
+        file.seek(std::io::SeekFrom::Start(recovery.clean_bytes))?;
+        let wal = Self::with_sink(
+            Sink::File {
+                w: BufWriter::new(file),
+                appended_seq: recovery.records.len() as u64,
+            },
+            Some(path.to_path_buf()),
+            durability,
+            recovery.records.clone(),
+            recovery.clean_bytes,
+        );
+        Ok((wal, recovery))
+    }
+
+    /// Appends a record. For `Commit` records the call also enforces the
+    /// configured durability level: with `sync_on_commit` it returns only
+    /// once the commit record is on the device, either via its own fsync or
+    /// via a group-commit leader's.
     pub fn append(&self, record: LogRecord) -> StorageResult<()> {
         let encoded = Self::encode(&record);
         self.bytes_written
-            .fetch_add(encoded.len() as u64, Ordering::Relaxed);
+            .fetch_add(encoded.len() as u64 + 8, Ordering::Relaxed);
+        let is_commit = matches!(record, LogRecord::Commit { .. });
+        let mut my_seq = 0u64;
         {
             let mut sink = self.sink.lock();
-            if let Sink::File(w) = &mut *sink {
-                w.write_all(&(encoded.len() as u32).to_le_bytes())?;
-                w.write_all(&encoded)?;
-                if self.sync_on_commit && matches!(record, LogRecord::Commit { .. }) {
+            if let Sink::File { w, appended_seq } = &mut *sink {
+                write_frame(w, &encoded)?;
+                *appended_seq += 1;
+                my_seq = *appended_seq;
+                if is_commit && self.sync_on_commit && !self.group_commit {
+                    // Sync-per-commit: pay the flush while holding the sink
+                    // lock, fully serializing committers.
                     w.flush()?;
+                    w.get_ref().sync_data()?;
+                    self.fsyncs.fetch_add(1, Ordering::Relaxed);
                 }
             }
         }
         self.records.lock().push(record);
+        if is_commit && self.sync_on_commit && self.group_commit && my_seq > 0 {
+            self.group_commit_wait(my_seq)?;
+        }
         Ok(())
     }
 
+    /// Leader/follower group commit: wait until `seq` is durable, electing
+    /// ourselves leader (one flush+fsync covering every appended record) if
+    /// nobody is flushing.
+    fn group_commit_wait(&self, seq: u64) -> StorageResult<()> {
+        let mut state = self.group.lock().expect("group lock poisoned");
+        loop {
+            if state.durable_seq >= seq {
+                // A leader's fsync covered us: this commit shared an fsync.
+                self.commits_batched.fetch_add(1, Ordering::Relaxed);
+                return Ok(());
+            }
+            if !state.flushing {
+                state.flushing = true;
+                drop(state);
+                let flushed = self.flush_and_sync();
+                let mut state = self.group.lock().expect("group lock poisoned");
+                state.flushing = false;
+                let covered = match flushed {
+                    Ok(covered) => covered,
+                    Err(e) => {
+                        self.group_cvar.notify_all();
+                        return Err(e);
+                    }
+                };
+                state.durable_seq = state.durable_seq.max(covered);
+                self.group_cvar.notify_all();
+                debug_assert!(state.durable_seq >= seq, "leader flush covers own record");
+                return Ok(());
+            }
+            state = self
+                .group_cvar
+                .wait(state)
+                .expect("group lock poisoned");
+        }
+    }
+
+    /// Flushes the buffered writer and fsyncs the file, returning the highest
+    /// sequence number the flush covered.
+    fn flush_and_sync(&self) -> StorageResult<u64> {
+        let mut sink = self.sink.lock();
+        if let Sink::File { w, appended_seq } = &mut *sink {
+            let covered = *appended_seq;
+            w.flush()?;
+            w.get_ref().sync_data()?;
+            self.fsyncs.fetch_add(1, Ordering::Relaxed);
+            Ok(covered)
+        } else {
+            Ok(0)
+        }
+    }
+
+    /// Atomically replaces the log contents with the records produced by
+    /// `image`, holding the append lock throughout so no record can slip in
+    /// between building the image and installing it. Used by checkpointing:
+    /// `image` serializes a consistent snapshot of the engine, and the
+    /// replaced log makes replay O(live data + delta) instead of O(history).
+    ///
+    /// The replacement is crash-atomic for file-backed logs: the image is
+    /// written to a temporary file, fsynced, then renamed over the log.
+    pub fn rewrite_with(
+        &self,
+        image: impl FnOnce() -> StorageResult<Vec<LogRecord>>,
+    ) -> StorageResult<usize> {
+        let mut sink = self.sink.lock();
+        let records = image()?;
+        let count = records.len();
+        match &mut *sink {
+            Sink::Memory => {
+                *self.records.lock() = records;
+            }
+            Sink::File { w, appended_seq } => {
+                let path = self.path.as_ref().expect("file sink always has a path");
+                // Make sure nothing buffered is lost if the rename fails.
+                w.flush()?;
+                let tmp = path.with_extension("log.tmp");
+                let mut bytes = 0u64;
+                {
+                    let mut tw = BufWriter::new(File::create(&tmp)?);
+                    for r in &records {
+                        let encoded = Self::encode(r);
+                        write_frame(&mut tw, &encoded)?;
+                        bytes += encoded.len() as u64 + 8;
+                    }
+                    tw.flush()?;
+                    tw.get_ref().sync_data()?;
+                }
+                std::fs::rename(&tmp, path)?;
+                // The rename is only durable once the directory entry is:
+                // without this, a power failure could resurrect the old
+                // inode and lose every post-checkpoint commit.
+                fsync_dir(path)?;
+                self.fsyncs.fetch_add(1, Ordering::Relaxed);
+                let mut file = OpenOptions::new().write(true).open(path)?;
+                use std::io::Seek;
+                file.seek(std::io::SeekFrom::End(0))?;
+                // appended_seq stays monotonic across rewrites so group-commit
+                // waiters from before the rewrite remain satisfied.
+                *appended_seq += count as u64;
+                *w = BufWriter::new(file);
+                self.bytes_written.fetch_add(bytes, Ordering::Relaxed);
+                *self.records.lock() = records;
+            }
+        }
+        Ok(count)
+    }
+
     fn encode(record: &LogRecord) -> Vec<u8> {
-        // serde_json would be heavier than needed; a compact ad-hoc encoding
-        // via the Debug-stable serde derive is avoided by using bincode-like
-        // manual encoding. For simplicity we reuse the JSON-ish encoding from
-        // serde only when available; here a minimal framing of the Debug
-        // output suffices because replay uses the in-memory copy when
-        // present. File replay re-parses this framing.
+        fn put_str(out: &mut Vec<u8>, s: &str) {
+            debug_assert!(s.len() <= u16::MAX as usize);
+            out.extend_from_slice(&(s.len() as u16).to_le_bytes());
+            out.extend_from_slice(s.as_bytes());
+        }
         let mut out = Vec::new();
         match record {
             LogRecord::Begin { txn } => {
@@ -173,6 +524,31 @@ impl Wal {
                 out.extend_from_slice(&row.slot.to_le_bytes());
             }
             LogRecord::Checkpoint => out.push(6),
+            LogRecord::CreateTable { id, schema } => {
+                out.push(7);
+                out.extend_from_slice(&id.to_le_bytes());
+                put_str(&mut out, &schema.name);
+                debug_assert!(schema.columns.len() <= u16::MAX as usize);
+                out.extend_from_slice(&(schema.columns.len() as u16).to_le_bytes());
+                for c in &schema.columns {
+                    put_str(&mut out, &c.name);
+                    out.push(datatype_code(c.ty));
+                    out.push(c.nullable as u8);
+                }
+            }
+            LogRecord::CreateIndex {
+                table,
+                name,
+                columns,
+            } => {
+                out.push(8);
+                out.extend_from_slice(&table.to_le_bytes());
+                put_str(&mut out, name);
+                out.extend_from_slice(&(columns.len() as u16).to_le_bytes());
+                for c in columns {
+                    out.extend_from_slice(&c.to_le_bytes());
+                }
+            }
         }
         out
     }
@@ -190,6 +566,11 @@ impl Wal {
         let u16_at = |o: usize| -> Option<u16> {
             buf.get(o..o + 2)
                 .map(|b| u16::from_le_bytes(b.try_into().unwrap()))
+        };
+        let str_at = |o: usize| -> Option<(String, usize)> {
+            let len = u16_at(o)? as usize;
+            let s = std::str::from_utf8(buf.get(o + 2..o + 2 + len)?).ok()?;
+            Some((s.to_string(), o + 2 + len))
         };
         match kind {
             1 => Some(LogRecord::Begin {
@@ -224,37 +605,112 @@ impl Wal {
                 },
             }),
             6 => Some(LogRecord::Checkpoint),
+            7 => {
+                let id = u32_at(1)?;
+                let (name, mut pos) = str_at(5)?;
+                let ncols = u16_at(pos)? as usize;
+                pos += 2;
+                let mut columns = Vec::with_capacity(ncols);
+                for _ in 0..ncols {
+                    let (cname, next) = str_at(pos)?;
+                    let ty = datatype_from_code(*buf.get(next)?)?;
+                    let nullable = *buf.get(next + 1)? != 0;
+                    columns.push(ColumnDef {
+                        name: cname,
+                        ty,
+                        nullable,
+                    });
+                    pos = next + 2;
+                }
+                Some(LogRecord::CreateTable {
+                    id,
+                    schema: TableSchema { name, columns },
+                })
+            }
+            8 => {
+                let table = u32_at(1)?;
+                let (name, mut pos) = str_at(5)?;
+                let ncols = u16_at(pos)? as usize;
+                pos += 2;
+                let mut columns = Vec::with_capacity(ncols);
+                for _ in 0..ncols {
+                    columns.push(u16_at(pos)?);
+                    pos += 2;
+                }
+                Some(LogRecord::CreateIndex {
+                    table,
+                    name,
+                    columns,
+                })
+            }
             _ => None,
         }
     }
 
-    /// Reads back every record from a file-backed log.
-    pub fn replay_file(path: &Path) -> StorageResult<Vec<LogRecord>> {
+    /// Parses a log file without opening it for writing.
+    ///
+    /// Every frame carries a checksum over its payload, so a record that was
+    /// only partially written (or corrupted) cannot decode "by luck".
+    /// Parsing stops at the first frame that is incomplete, fails its
+    /// checksum, or fails to decode; everything from that point on is
+    /// reported as the torn tail. This is the standard end-of-log rule
+    /// (sequential appends mean nothing valid can follow the first bad
+    /// frame); genuine mid-log media corruption is indistinguishable from a
+    /// torn tail without a backup and is handled the same way, with the
+    /// loss surfaced by [`WalRecovery::torn_bytes`].
+    pub fn read_log(path: &Path) -> StorageResult<WalRecovery> {
         let mut file = File::open(path)?;
         let mut data = Vec::new();
         file.read_to_end(&mut data)?;
         let mut out = Vec::new();
-        let mut pos = 0;
-        while pos + 4 <= data.len() {
+        let mut pos = 0usize;
+        let mut clean = 0usize;
+        while pos + 8 <= data.len() {
             let len = u32::from_le_bytes(data[pos..pos + 4].try_into().unwrap()) as usize;
-            pos += 4;
-            if pos + len > data.len() {
+            let crc = u32::from_le_bytes(data[pos + 4..pos + 8].try_into().unwrap());
+            if pos + 8 + len > data.len() {
                 break;
             }
-            if let Some(r) = Self::decode(&data[pos..pos + len]) {
-                out.push(r);
+            let payload = &data[pos + 8..pos + 8 + len];
+            if frame_checksum(payload) != crc {
+                break;
             }
-            pos += len;
+            match Self::decode(payload) {
+                Some(r) => out.push(r),
+                None => break,
+            }
+            pos += 8 + len;
+            clean = pos;
         }
-        Ok(out)
+        Ok(WalRecovery {
+            records: out,
+            clean_bytes: clean as u64,
+            torn_bytes: (data.len() - clean) as u64,
+        })
     }
 
-    /// Records appended so far (in-memory copy).
+    /// Reads back every cleanly parseable record from a file-backed log,
+    /// warning on stderr (instead of erroring the recovery) when a torn tail
+    /// is skipped.
+    pub fn replay_file(path: &Path) -> StorageResult<Vec<LogRecord>> {
+        let recovery = Self::read_log(path)?;
+        if recovery.torn_bytes > 0 {
+            eprintln!(
+                "wal: ignoring torn tail of {} ({} bytes)",
+                path.display(),
+                recovery.torn_bytes
+            );
+        }
+        Ok(recovery.records)
+    }
+
+    /// Records appended so far (in-memory copy; reset by checkpoint
+    /// rewrites).
     pub fn records(&self) -> Vec<LogRecord> {
         self.records.lock().clone()
     }
 
-    /// Number of records.
+    /// Number of records in the current log.
     pub fn len(&self) -> usize {
         self.records.lock().len()
     }
@@ -264,23 +720,143 @@ impl Wal {
         self.records.lock().is_empty()
     }
 
-    /// Total log volume in bytes (the quantity that grows with label size).
+    /// Total log volume in bytes ever appended, frames included (the
+    /// quantity that grows with label size). Monotonic across checkpoints.
     pub fn bytes_written(&self) -> u64 {
         self.bytes_written.load(Ordering::Relaxed)
     }
 
-    /// Flushes the file sink, if any.
+    /// Number of `fsync` (`sync_data`) calls issued so far.
+    pub fn fsyncs(&self) -> u64 {
+        self.fsyncs.load(Ordering::Relaxed)
+    }
+
+    /// Commits whose durability was provided by another committer's fsync
+    /// (group-commit followers). `commits - commits_batched` approximates the
+    /// number of leader flushes commits actually paid for.
+    pub fn commits_batched(&self) -> u64 {
+        self.commits_batched.load(Ordering::Relaxed)
+    }
+
+    /// Flushes the file sink, if any (no fsync).
     pub fn flush(&self) -> StorageResult<()> {
-        if let Sink::File(w) = &mut *self.sink.lock() {
+        if let Sink::File { w, .. } = &mut *self.sink.lock() {
             w.flush()?;
         }
         Ok(())
     }
+
+    /// Flushes and fsyncs the file sink, if any. Used on clean shutdown and
+    /// by `no-sync` engines that want a durability point without a
+    /// checkpoint.
+    pub fn sync(&self) -> StorageResult<()> {
+        self.flush_and_sync()?;
+        Ok(())
+    }
+}
+
+/// Writes one checksummed frame: `len u32 | crc u32 | payload`.
+fn write_frame(w: &mut BufWriter<File>, payload: &[u8]) -> StorageResult<()> {
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(&frame_checksum(payload).to_le_bytes())?;
+    w.write_all(payload)?;
+    Ok(())
+}
+
+/// FNV-1a over the frame payload — cheap, and plenty to reject torn or
+/// bit-flipped records during replay.
+fn frame_checksum(payload: &[u8]) -> u32 {
+    let mut h: u32 = 0x811C_9DC5;
+    for &b in payload {
+        h ^= b as u32;
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h
+}
+
+/// fsyncs the directory containing `path`, making renames/creates durable.
+fn fsync_dir(path: &Path) -> StorageResult<()> {
+    if let Some(parent) = path.parent() {
+        if let Ok(dir) = File::open(parent) {
+            dir.sync_all()?;
+        }
+    }
+    Ok(())
+}
+
+fn datatype_code(ty: DataType) -> u8 {
+    match ty {
+        DataType::Int => 0,
+        DataType::Float => 1,
+        DataType::Text => 2,
+        DataType::Bool => 3,
+        DataType::Timestamp => 4,
+        DataType::IntArray => 5,
+    }
+}
+
+fn datatype_from_code(code: u8) -> Option<DataType> {
+    Some(match code {
+        0 => DataType::Int,
+        1 => DataType::Float,
+        2 => DataType::Text,
+        3 => DataType::Bool,
+        4 => DataType::Timestamp,
+        5 => DataType::IntArray,
+        _ => return None,
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::schema::ColumnDef;
+    use crate::value::DataType;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "ifdb-wal-test-{tag}-{}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn all_record_kinds() -> Vec<LogRecord> {
+        vec![
+            LogRecord::Begin { txn: TxnId(5) },
+            LogRecord::CreateTable {
+                id: 9,
+                schema: TableSchema::new(
+                    "t",
+                    vec![
+                        ColumnDef::new("id", DataType::Int),
+                        ColumnDef::nullable("note", DataType::Text),
+                        ColumnDef::new("ok", DataType::Bool),
+                    ],
+                ),
+            },
+            LogRecord::CreateIndex {
+                table: 9,
+                name: "t_pkey".into(),
+                columns: vec![0, 2],
+            },
+            LogRecord::Insert {
+                txn: TxnId(5),
+                table: 9,
+                row: RowId { page: 1, slot: 2 },
+                bytes: vec![9, 9, 9, 9],
+            },
+            LogRecord::Delete {
+                txn: TxnId(5),
+                table: 9,
+                row: RowId { page: 1, slot: 1 },
+            },
+            LogRecord::Commit { txn: TxnId(5) },
+            LogRecord::Abort { txn: TxnId(6) },
+            LogRecord::Checkpoint,
+        ]
+    }
 
     #[test]
     fn in_memory_append_and_read() {
@@ -301,26 +877,10 @@ mod tests {
 
     #[test]
     fn file_backed_replay_round_trip() {
-        let dir = std::env::temp_dir().join(format!("ifdb-wal-test-{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
+        let dir = temp_dir("roundtrip");
         let path = dir.join("wal.log");
         let wal = Wal::file_backed(&path, true).unwrap();
-        let records = vec![
-            LogRecord::Begin { txn: TxnId(5) },
-            LogRecord::Insert {
-                txn: TxnId(5),
-                table: 9,
-                row: RowId { page: 1, slot: 2 },
-                bytes: vec![9, 9, 9, 9],
-            },
-            LogRecord::Delete {
-                txn: TxnId(5),
-                table: 9,
-                row: RowId { page: 1, slot: 1 },
-            },
-            LogRecord::Commit { txn: TxnId(5) },
-            LogRecord::Checkpoint,
-        ];
+        let records = all_record_kinds();
         for r in &records {
             wal.append(r.clone()).unwrap();
         }
@@ -349,5 +909,148 @@ mod tests {
         })
         .unwrap();
         assert!(wal.bytes_written() - small > small / 2);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_not_fatal() {
+        let dir = temp_dir("torn");
+        let path = dir.join("wal.log");
+        let wal = Wal::file_backed(&path, true).unwrap();
+        let records = all_record_kinds();
+        for r in &records {
+            wal.append(r.clone()).unwrap();
+        }
+        wal.flush().unwrap();
+        drop(wal);
+        // Simulate a crash mid-append: tack on half a frame.
+        let clean_len = std::fs::metadata(&path).unwrap().len();
+        {
+            use std::io::Write;
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(&[200, 1, 0, 0, 4, 4]).unwrap(); // claims 456 bytes, has 2
+        }
+        let parsed = Wal::read_log(&path).unwrap();
+        assert_eq!(parsed.records, records);
+        assert_eq!(parsed.clean_bytes, clean_len);
+        assert_eq!(parsed.torn_bytes, 6);
+
+        // Opening for recovery truncates the tail and appends cleanly after.
+        let (wal, recovery) = Wal::open_existing(&path, DurabilityConfig::SYNC_EACH).unwrap();
+        assert_eq!(recovery.records, records);
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), clean_len);
+        wal.append(LogRecord::Begin { txn: TxnId(77) }).unwrap();
+        wal.append(LogRecord::Commit { txn: TxnId(77) }).unwrap();
+        drop(wal);
+        let reparsed = Wal::read_log(&path).unwrap();
+        assert_eq!(reparsed.torn_bytes, 0);
+        assert_eq!(reparsed.records.len(), records.len() + 2);
+        assert!(matches!(
+            reparsed.records.last(),
+            Some(LogRecord::Commit { txn: TxnId(77) })
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_byte_mid_tail_stops_cleanly() {
+        let dir = temp_dir("corrupt");
+        let path = dir.join("wal.log");
+        let wal = Wal::file_backed(&path, true).unwrap();
+        for r in all_record_kinds() {
+            wal.append(r).unwrap();
+        }
+        wal.flush().unwrap();
+        drop(wal);
+        // Flip the kind byte of the final record to an unknown kind.
+        let mut data = std::fs::read(&path).unwrap();
+        let last = data.len() - 1;
+        data[last] = 0xFF; // Checkpoint is 1 byte; its kind is the last byte
+        std::fs::write(&path, &data).unwrap();
+        let parsed = Wal::read_log(&path).unwrap();
+        assert_eq!(parsed.records.len(), all_record_kinds().len() - 1);
+        assert!(parsed.torn_bytes > 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_file_opens_as_empty_log() {
+        let dir = temp_dir("missing");
+        let path = dir.join("wal.log");
+        let (wal, recovery) =
+            Wal::open_existing(&path, DurabilityConfig::GROUP_COMMIT).unwrap();
+        assert!(recovery.records.is_empty());
+        assert_eq!(recovery.torn_bytes, 0);
+        wal.append(LogRecord::Begin { txn: TxnId(1) }).unwrap();
+        wal.append(LogRecord::Commit { txn: TxnId(1) }).unwrap();
+        assert!(wal.fsyncs() >= 1, "group commit still fsyncs when alone");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn group_commit_batches_concurrent_committers() {
+        let dir = temp_dir("group");
+        let path = dir.join("wal.log");
+        let wal = std::sync::Arc::new(Wal::create(&path, DurabilityConfig::GROUP_COMMIT).unwrap());
+        let threads = 8;
+        let commits_per_thread = 25u64;
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let wal = wal.clone();
+                scope.spawn(move || {
+                    for i in 0..commits_per_thread {
+                        let txn = TxnId(1 + t * 1000 + i);
+                        wal.append(LogRecord::Begin { txn }).unwrap();
+                        wal.append(LogRecord::Commit { txn }).unwrap();
+                    }
+                });
+            }
+        });
+        let total = threads * commits_per_thread;
+        // Every commit is durable, and all records are intact on disk.
+        let parsed = Wal::read_log(&path).unwrap();
+        let commits = parsed
+            .records
+            .iter()
+            .filter(|r| matches!(r, LogRecord::Commit { .. }))
+            .count() as u64;
+        assert_eq!(commits, total);
+        assert!(wal.fsyncs() <= total, "never more fsyncs than commits");
+        assert_eq!(
+            wal.fsyncs() + wal.commits_batched(),
+            total,
+            "each commit either led a flush or rode one"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rewrite_with_replaces_log_atomically() {
+        let dir = temp_dir("rewrite");
+        let path = dir.join("wal.log");
+        let wal = Wal::create(&path, DurabilityConfig::SYNC_EACH).unwrap();
+        for r in all_record_kinds() {
+            wal.append(r).unwrap();
+        }
+        let image = vec![
+            LogRecord::CreateTable {
+                id: 1,
+                schema: TableSchema::new("compact", vec![ColumnDef::new("k", DataType::Int)]),
+            },
+            LogRecord::Checkpoint,
+        ];
+        let n = wal
+            .rewrite_with(|| Ok(image.clone()))
+            .unwrap();
+        assert_eq!(n, 2);
+        assert_eq!(wal.records(), image);
+        // Appends after the rewrite land after the image on disk.
+        wal.append(LogRecord::Begin { txn: TxnId(9) }).unwrap();
+        wal.append(LogRecord::Commit { txn: TxnId(9) }).unwrap();
+        drop(wal);
+        let parsed = Wal::read_log(&path).unwrap();
+        assert_eq!(parsed.records.len(), 4);
+        assert_eq!(parsed.records[..2], image[..]);
+        assert_eq!(parsed.torn_bytes, 0);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }
