@@ -124,13 +124,16 @@ fn commit_loop(
     clients: usize,
     duration: Duration,
 ) -> (f64, u64, u64) {
-    let eng = Arc::new(StorageEngine::with_config(
-        StorageKind::OnDisk {
-            dir: dir.to_path_buf(),
-            buffer_pages: 256,
-        },
-        durability,
-    ));
+    let eng = Arc::new(
+        StorageEngine::with_config(
+            StorageKind::OnDisk {
+                dir: dir.to_path_buf(),
+                buffer_pages: 256,
+            },
+            durability,
+        )
+        .unwrap(),
+    );
     let table = eng
         .create_table(TableSchema::new(
             "commits",
@@ -209,7 +212,8 @@ fn loaded_engine(dir: &Path, rows: u64, txn_batch: u64) -> StorageEngine {
             buffer_pages: 256,
         },
         DurabilityConfig::NO_SYNC,
-    );
+    )
+    .unwrap();
     let table = eng
         .create_table(TableSchema::new(
             "data",

@@ -273,6 +273,12 @@ pub struct TableInfo {
     pub pk_index: Option<String>,
     /// Secondary indexes available to the planner.
     pub indexes: Vec<IndexSpec>,
+    /// Set for tables reconstructed by `Database::open` whose constraint
+    /// metadata (uniques, foreign keys, label constraints — code, not
+    /// logged data) has not been re-attached yet. While set, writes to the
+    /// table are refused; re-running the first-boot
+    /// `Database::create_table` clears it.
+    pub constraints_pending: bool,
 }
 
 impl TableInfo {
@@ -447,6 +453,17 @@ impl Catalog {
         self.tables.keys().cloned().collect()
     }
 
+    /// Name of some table still awaiting its post-recovery DDL re-run, if
+    /// any. While such a table exists, [`Catalog::referencing`] is
+    /// incomplete — the pending table's foreign keys are unknown, so it
+    /// could reference any other table without appearing in the result.
+    pub fn first_constraints_pending(&self) -> Option<String> {
+        self.tables
+            .values()
+            .find(|t| t.constraints_pending)
+            .map(|t| t.schema.name.clone())
+    }
+
     /// Tables whose foreign keys reference `table`.
     pub fn referencing(&self, table: &str) -> Vec<(Arc<TableInfo>, ForeignKey)> {
         let mut out = Vec::new();
@@ -597,6 +614,7 @@ mod tests {
             label_constraints: vec![],
             pk_index: None,
             indexes: vec![],
+            constraints_pending: false,
         });
         cat.add_table(TableInfo {
             id: TableId(2),
@@ -618,6 +636,7 @@ mod tests {
             label_constraints: vec![],
             pk_index: None,
             indexes: vec![],
+            constraints_pending: false,
         });
         let refs = cat.referencing("Cars");
         assert_eq!(refs.len(), 1);

@@ -120,9 +120,19 @@ impl Database {
     /// Creates a database with the given configuration. An on-disk database
     /// created this way starts from a fresh log; use [`Database::open`] to
     /// recover one from a previous run.
+    ///
+    /// Panics if the write-ahead log cannot be created (on-disk storage
+    /// only) — a database configured for durability must never silently run
+    /// without a log. Use [`Database::try_new`] to handle the error instead.
     pub fn new(config: DatabaseConfig) -> Self {
-        let engine = StorageEngine::with_config(config.storage.clone(), config.durability);
-        Self::from_engine(engine, config)
+        Self::try_new(config).expect("failed to create the storage engine")
+    }
+
+    /// Fallible form of [`Database::new`]: surfaces write-ahead-log creation
+    /// errors (permissions, disk) instead of panicking.
+    pub fn try_new(config: DatabaseConfig) -> IfdbResult<Self> {
+        let engine = StorageEngine::with_config(config.storage.clone(), config.durability)?;
+        Ok(Self::from_engine(engine, config))
     }
 
     /// Opens (recovers) an on-disk database: the storage engine replays its
@@ -139,7 +149,11 @@ impl Database {
     ///   [`Database::create_table`] with the same [`TableDef`] re-attaches
     ///   uniques, foreign keys and label constraints to the recovered table
     ///   (it keeps the existing rows and indexes), and
-    ///   `create_view`/`create_declassifying_view` re-register views.
+    ///   `create_view`/`create_declassifying_view` re-register views. Until
+    ///   that happens, recovered tables are **read-only**: writes fail with
+    ///   [`IfdbError::ConstraintsPending`] rather than silently running
+    ///   without constraint or label-constraint enforcement.
+    ///   [`Database::open_with_tables`] folds the re-run into the open.
     /// * **The DIFC authority state** — principals and tags are not
     ///   persisted, but recovered tuples still carry their numeric tag ids.
     ///   Recreate principals and tags in the same order with the same
@@ -186,8 +200,27 @@ impl Database {
                         columns: col_name(cols),
                     })
                     .collect(),
+                constraints_pending: true,
             };
             db.inner.catalog.write().add_table(info);
+        }
+        Ok(db)
+    }
+
+    /// Opens (recovers) an on-disk database and immediately re-runs the
+    /// given first-boot table definitions ([`Database::create_table`] per
+    /// def), so the catalog is never observable with missing constraint
+    /// metadata: recovered tables named by a def come back with their
+    /// uniques, foreign keys and label constraints attached and writable;
+    /// tables *not* named by any def stay read-only until their DDL is
+    /// re-run.
+    pub fn open_with_tables(
+        config: DatabaseConfig,
+        tables: impl IntoIterator<Item = TableDef>,
+    ) -> IfdbResult<Self> {
+        let db = Self::open(config)?;
+        for def in tables {
+            db.create_table(def)?;
         }
         Ok(db)
     }
@@ -360,6 +393,9 @@ impl Database {
             label_constraints: def.label_constraints,
             pk_index,
             indexes: def.indexes,
+            // The definition carries the constraint metadata, so a table
+            // recovered by `open` becomes writable again here.
+            constraints_pending: false,
         };
         catalog.add_table(info);
         Ok(())
@@ -544,6 +580,68 @@ mod tests {
         let db = Database::new(DatabaseConfig::baseline());
         assert!(!db.difc_enabled());
         assert!(Database::in_memory().difc_enabled());
+    }
+
+    #[test]
+    fn recovered_tables_are_read_only_until_ddl_rerun() {
+        use crate::query::{Delete, Insert, Select};
+        use ifdb_storage::{Datum, DurabilityConfig};
+
+        let dir = std::env::temp_dir().join(format!("ifdb-db-readonly-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let config = DatabaseConfig::on_disk(dir.clone(), 32)
+            .with_seed(0x1FDB)
+            .with_durability(DurabilityConfig::SYNC_EACH);
+        let notes = TableDef::new("notes")
+            .column("id", DataType::Int)
+            .column("body", DataType::Text)
+            .primary_key(&["id"]);
+        let kids = TableDef::new("kids")
+            .column("id", DataType::Int)
+            .column("note_id", DataType::Int)
+            .primary_key(&["id"])
+            .foreign_key("kids_note_fkey", &["note_id"], "notes", &["id"]);
+        {
+            let db = Database::new(config.clone());
+            db.create_table(notes.clone()).unwrap();
+            db.create_table(kids.clone()).unwrap();
+            let mut s = db.anonymous_session();
+            s.insert(&Insert::new("notes", vec![Datum::Int(1), Datum::from("a")]))
+                .unwrap();
+        }
+        {
+            let db = Database::open(config.clone()).unwrap();
+            let mut s = db.anonymous_session();
+            // Reads work, but writes are refused until the first-boot DDL
+            // re-attaches the constraint metadata.
+            assert_eq!(s.select(&Select::star("notes")).unwrap().len(), 1);
+            let err = s
+                .insert(&Insert::new("notes", vec![Datum::Int(2), Datum::from("b")]))
+                .unwrap_err();
+            assert!(matches!(err, IfdbError::ConstraintsPending { .. }));
+            db.create_table(notes.clone()).unwrap();
+            s.insert(&Insert::new("notes", vec![Datum::Int(2), Datum::from("b")]))
+                .unwrap();
+            // The re-attached primary key is enforced again.
+            let dup = s.insert(&Insert::new("notes", vec![Datum::Int(2), Datum::from("dup")]));
+            assert!(matches!(dup.unwrap_err(), IfdbError::UniqueViolation { .. }));
+            // Deletes stay refused while *any* table is pending: "kids"
+            // could reference "notes" without its foreign key registered.
+            let del = s.delete(&Delete::new("notes", crate::query::Predicate::True)).unwrap_err();
+            assert!(
+                matches!(del, IfdbError::ConstraintsPending { ref table } if table == "kids"),
+                "unexpected error: {del}"
+            );
+            db.create_table(kids.clone()).unwrap();
+            assert_eq!(s.delete(&Delete::new("notes", crate::query::Predicate::True)).unwrap(), 2);
+        }
+        // open_with_tables folds the DDL re-run into the open.
+        let db = Database::open_with_tables(config, [notes, kids]).unwrap();
+        let mut s = db.anonymous_session();
+        assert!(s.select(&Select::star("notes")).unwrap().is_empty());
+        s.insert(&Insert::new("notes", vec![Datum::Int(3), Datum::from("c")]))
+            .unwrap();
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

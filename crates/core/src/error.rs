@@ -81,6 +81,15 @@ pub enum IfdbError {
         /// Explanation of what was expected.
         detail: String,
     },
+    /// A write to a table recovered by `Database::open` whose first-boot DDL
+    /// has not been re-run yet. Constraint metadata (uniques, foreign keys,
+    /// label constraints) is code, not logged data, so writes are refused —
+    /// rather than silently running unconstrained — until
+    /// `Database::create_table` re-attaches it.
+    ConstraintsPending {
+        /// The recovered table.
+        table: String,
+    },
     /// The statement is not valid (e.g. no active transaction to commit,
     /// updating a view that is not updatable, bad aggregate).
     InvalidStatement(String),
@@ -141,6 +150,10 @@ impl fmt::Display for IfdbError {
             IfdbError::LabelConstraintViolation { table, detail } => {
                 write!(f, "label constraint on {table} violated: {detail}")
             }
+            IfdbError::ConstraintsPending { table } => write!(
+                f,
+                "table {table} was recovered without constraint metadata; re-run its CREATE TABLE definition (Database::create_table) before writing"
+            ),
             IfdbError::InvalidStatement(s) => write!(f, "invalid statement: {s}"),
             IfdbError::TriggerRejected { trigger, reason } => {
                 write!(f, "trigger {trigger} rejected the operation: {reason}")

@@ -84,6 +84,19 @@ fn col_index(columns: &[String], name: &str) -> IfdbResult<usize> {
         .ok_or_else(|| IfdbError::UnknownColumn(name.to_string()))
 }
 
+/// Refuses writes to a table recovered by `Database::open` whose first-boot
+/// DDL has not been re-run: its uniques, foreign keys and label constraints
+/// are not attached, and writing without them would bypass enforcement
+/// silently.
+fn check_constraints_attached(info: &TableInfo) -> IfdbResult<()> {
+    if info.constraints_pending {
+        return Err(IfdbError::ConstraintsPending {
+            table: info.schema.name.clone(),
+        });
+    }
+    Ok(())
+}
+
 /// Evaluates a predicate against a row by column name. The streaming
 /// pipeline compiles predicates to offsets instead
 /// ([`CompiledPredicate`]); this interpreter remains for the reference
@@ -730,6 +743,7 @@ impl Session {
             let catalog = self.db.inner.catalog.read();
             catalog.table(&ins.table)?
         };
+        check_constraints_attached(&info)?;
         let difc = self.db.difc_enabled();
         let label = if difc {
             self.process.label().clone()
@@ -967,6 +981,7 @@ impl Session {
             let catalog = self.db.inner.catalog.read();
             catalog.table(&upd.table)?
         };
+        check_constraints_attached(&info)?;
         let difc = self.db.difc_enabled();
         let process_label = self.process.label().clone();
         let columns = info.column_names();
@@ -1038,10 +1053,18 @@ impl Session {
             let catalog = self.db.inner.catalog.read();
             catalog.table(&del.table)?
         };
+        check_constraints_attached(&info)?;
         let difc = self.db.difc_enabled();
         let process_label = self.process.label().clone();
         let referencing = {
             let catalog = self.db.inner.catalog.read();
+            // A recovered table whose DDL has not been re-run has no
+            // foreign-key metadata, so it could reference this table without
+            // appearing in `referencing` — RESTRICT enforcement is
+            // incomplete until every recovered table is re-attached.
+            if let Some(pending) = catalog.first_constraints_pending() {
+                return Err(IfdbError::ConstraintsPending { table: pending });
+            }
             catalog.referencing(&info.schema.name)
         };
         let columns = info.column_names();

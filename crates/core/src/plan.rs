@@ -291,6 +291,7 @@ mod tests {
                 name: "t_c".into(),
                 columns: vec!["c".into()],
             }],
+            constraints_pending: false,
         }
     }
 

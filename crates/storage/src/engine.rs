@@ -116,30 +116,32 @@ impl std::fmt::Debug for StorageEngine {
 impl StorageEngine {
     /// Creates an in-memory engine with a large buffer pool.
     pub fn in_memory() -> Self {
-        Self::with_kind(StorageKind::InMemory)
+        Self::with_kind(StorageKind::InMemory).expect("in-memory engine creation cannot fail")
     }
 
     /// Creates an engine with the given storage kind and default (no-sync)
     /// durability. An on-disk engine created this way starts from a **fresh**
     /// log — use [`StorageEngine::open`] to recover an existing directory.
-    pub fn with_kind(kind: StorageKind) -> Self {
+    pub fn with_kind(kind: StorageKind) -> StorageResult<Self> {
         Self::with_config(kind, DurabilityConfig::default())
     }
 
     /// Creates an engine with the given storage kind and durability
     /// configuration. Like [`StorageEngine::with_kind`], this truncates any
-    /// existing log at the target directory.
-    pub fn with_config(kind: StorageKind, durability: DurabilityConfig) -> Self {
+    /// existing log at the target directory. Fails if the log file cannot be
+    /// created — durability is this constructor's contract, so a `SYNC_EACH`
+    /// or `GROUP_COMMIT` engine must never silently degrade to a
+    /// memory-only log.
+    pub fn with_config(kind: StorageKind, durability: DurabilityConfig) -> StorageResult<Self> {
         let (buffer, wal) = match &kind {
             StorageKind::InMemory => (BufferPool::new(1 << 20), Wal::in_memory()),
             StorageKind::OnDisk { dir, buffer_pages } => {
-                std::fs::create_dir_all(dir).ok();
-                let wal = Wal::create(&dir.join("wal.log"), durability)
-                    .unwrap_or_else(|_| Wal::in_memory());
+                std::fs::create_dir_all(dir)?;
+                let wal = Wal::create(&dir.join("wal.log"), durability)?;
                 (BufferPool::new(*buffer_pages), wal)
             }
         };
-        Self::from_parts(kind, durability, buffer, wal)
+        Ok(Self::from_parts(kind, durability, buffer, wal))
     }
 
     fn from_parts(
@@ -181,6 +183,11 @@ impl StorageEngine {
     /// A directory with no log opens as an empty engine, so first boot and
     /// restart share this path.
     ///
+    /// When replay had to skip uncommitted inserts — shifting recovered rows
+    /// to different heap slots than the log recorded — the log is
+    /// immediately re-anchored with a checkpoint, so deletes logged after
+    /// recovery stay consistent across any number of further recoveries.
+    ///
     /// # Example
     ///
     /// ```
@@ -195,7 +202,8 @@ impl StorageEngine {
     ///     let eng = StorageEngine::with_config(
     ///         StorageKind::OnDisk { dir: dir.clone(), buffer_pages: 64 },
     ///         DurabilityConfig::SYNC_EACH,
-    ///     );
+    ///     )
+    ///     .unwrap();
     ///     let t = eng
     ///         .create_table(TableSchema::new("kv", vec![ColumnDef::new("k", DataType::Int)]))
     ///         .unwrap();
@@ -233,18 +241,38 @@ impl StorageEngine {
             BufferPool::new(buffer_pages),
             wal,
         );
-        engine.replay(&recovery.records)?;
+        let remapped = {
+            // Replay straight out of the log's record mirror (no clone):
+            // nothing appends while the engine is being recovered.
+            let records = engine.wal.records_locked();
+            engine.replay(&records)?
+        };
         engine
             .recovery_replayed_records
-            .store(recovery.records.len() as u64, Ordering::Relaxed);
+            .store(recovery.record_count as u64, Ordering::Relaxed);
+        if remapped {
+            // Replay skipped uncommitted inserts, so at least one recovered
+            // row lives at a different heap slot than its logged id. A
+            // delete logged from here on would carry the *new* id, which a
+            // second recovery — replaying the old Insert records — could
+            // resolve to the wrong row or not at all. Re-anchor the log to
+            // the live heap while the engine is still quiescent: the
+            // checkpoint image's Insert records carry the live RowIds, so
+            // later Delete records are consistent across any number of
+            // recoveries.
+            engine.checkpoint()?;
+        }
         Ok(engine)
     }
 
     /// Applies parsed log records to this (empty) engine: pass 1 collects the
     /// committed-transaction set and the id high-water mark; pass 2 applies
     /// DDL and the effects of committed transactions in log order, remapping
-    /// logged row ids to the freshly allocated ones.
-    fn replay(&self, records: &[LogRecord]) -> StorageResult<()> {
+    /// logged row ids to the freshly allocated ones. Returns whether any
+    /// replayed insert landed at a different row id than the log recorded —
+    /// the condition under which [`StorageEngine::open`] must re-anchor the
+    /// log with a checkpoint.
+    fn replay(&self, records: &[LogRecord]) -> StorageResult<bool> {
         let mut committed: HashSet<TxnId> = HashSet::new();
         let mut max_txn = BOOTSTRAP_TXN;
         for r in records {
@@ -259,15 +287,33 @@ impl StorageEngine {
             if let Some(t) = txn {
                 max_txn = max_txn.max(t);
             }
-            if let LogRecord::Commit { txn } = r {
-                committed.insert(*txn);
+            match r {
+                LogRecord::Commit { txn } => {
+                    committed.insert(*txn);
+                }
+                // Abort overrides an earlier Commit: commit() logs a
+                // superseding Abort when its Commit record could not be
+                // made durable but may already sit in the log. (In every
+                // other path Commit and Abort are mutually exclusive.)
+                LogRecord::Abort { txn } => {
+                    committed.remove(txn);
+                }
+                _ => {}
             }
         }
         let mut row_map: HashMap<(u32, RowId), RowId> = HashMap::new();
+        let mut remapped = false;
         for r in records {
             match r {
                 LogRecord::CreateTable { id, schema } => {
                     self.next_table.fetch_max(*id as u64 + 1, Ordering::SeqCst);
+                    // DDL replay is idempotent: a checkpoint racing the DDL
+                    // append can leave the same definition both in the
+                    // image and as a trailing record, and re-installing
+                    // would discard rows already replayed into the heap.
+                    if self.tables.read().contains_key(&TableId(*id)) {
+                        continue;
+                    }
                     self.install_table(TableId(*id), schema.clone())?;
                 }
                 LogRecord::CreateIndex {
@@ -277,7 +323,10 @@ impl StorageEngine {
                 } => {
                     let t = self.table(TableId(*table))?;
                     let col_idx = columns.iter().map(|c| *c as usize).collect();
-                    self.install_index(&t, name, col_idx)?;
+                    match self.install_index(&t, name, col_idx) {
+                        Ok(()) | Err(StorageError::DuplicateIndex(_)) => {}
+                        Err(e) => return Err(e),
+                    }
                 }
                 LogRecord::Insert {
                     txn,
@@ -292,6 +341,7 @@ impl StorageEngine {
                         let key = t.index_key(&entry.columns, &version.data);
                         entry.index.insert(key, new_row);
                     }
+                    remapped |= new_row != *row;
                     row_map.insert((*table, *row), new_row);
                 }
                 LogRecord::Delete { txn, table, row }
@@ -309,7 +359,7 @@ impl StorageEngine {
             }
         }
         self.txns.recover(committed, max_txn);
-        Ok(())
+        Ok(remapped)
     }
 
     /// The engine's storage kind.
@@ -340,13 +390,21 @@ impl StorageEngine {
     /// table (and everything later inserted into it) survives
     /// [`StorageEngine::open`].
     pub fn create_table(&self, schema: TableSchema) -> StorageResult<TableId> {
-        if self.by_name.read().contains_key(&schema.name) {
-            // Re-creating an existing name would shadow the old table (and
-            // orphan its rows), which is never what a caller wants.
-            return Err(StorageError::DuplicateTable(schema.name.clone()));
-        }
         let id = TableId(self.next_table.fetch_add(1, Ordering::SeqCst) as u32);
-        self.install_table(id, schema.clone())?;
+        {
+            // Check-and-reserve under the write lock: re-creating an
+            // existing name would shadow the old table (and orphan its
+            // rows), and two racing creators must not both pass the check.
+            let mut by_name = self.by_name.write();
+            if by_name.contains_key(&schema.name) {
+                return Err(StorageError::DuplicateTable(schema.name.clone()));
+            }
+            by_name.insert(schema.name.clone(), id);
+        }
+        if let Err(e) = self.install_table(id, schema.clone()) {
+            self.by_name.write().remove(&schema.name);
+            return Err(e);
+        }
         self.wal
             .append(LogRecord::CreateTable { id: id.0, schema })?;
         Ok(id)
@@ -479,12 +537,30 @@ impl StorageEngine {
         // The log record is the commit point: it must be durable *before*
         // the transaction is marked committed in memory, or a concurrent
         // reader could observe (and re-publish, via its own durable commit)
-        // effects whose commit record never reaches the device.
-        if !self.txns.is_active(txn) {
-            return Err(StorageError::InvalidTransaction(txn.0));
+        // effects whose commit record never reaches the device. The
+        // active→committing claim is atomic, so two racing commit() calls
+        // cannot both append a durable Commit record.
+        self.txns.begin_commit(txn)?;
+        if let Err(e) = self.wal.append(LogRecord::Commit { txn }) {
+            // The Commit frame may already sit in the log (e.g. the write
+            // succeeded and only the fsync failed), and a later committer's
+            // flush could still make it durable — so the transaction must
+            // not simply return to in-progress for the caller to abort, or
+            // it would resurrect as committed at recovery. Append a
+            // superseding Abort record (replay treats Abort as overriding
+            // an earlier Commit) and sync it — only Commit appends fsync on
+            // their own — then settle the transaction as aborted. If the
+            // Abort cannot be made durable, the outcome is unknown: keep
+            // the commit claim forever, so the transaction can never be
+            // finished and its effects stay invisible to every snapshot in
+            // this process.
+            if self.wal.append(LogRecord::Abort { txn }).is_ok() && self.wal.sync().is_ok() {
+                self.txns.cancel_commit(txn);
+                let _ = self.txns.abort(txn);
+            }
+            return Err(e);
         }
-        self.wal.append(LogRecord::Commit { txn })?;
-        self.txns.commit(txn)?;
+        self.txns.finish_commit(txn)?;
         if let Some(every) = self.durability.checkpoint_every_commits {
             let n = self.commits_since_checkpoint.fetch_add(1, Ordering::Relaxed) + 1;
             // Cheap O(1) quiescence probe before the checkpoint takes the
@@ -1095,7 +1171,8 @@ mod tests {
         let eng = StorageEngine::with_kind(StorageKind::OnDisk {
             dir: dir.clone(),
             buffer_pages: 8,
-        });
+        })
+        .unwrap();
         let table = eng
             .create_table(TableSchema::new(
                 "disk_table",
@@ -1139,7 +1216,8 @@ mod tests {
                     buffer_pages: 8,
                 },
                 DurabilityConfig::SYNC_EACH,
-            );
+            )
+            .unwrap();
             let table = eng
                 .create_table(TableSchema::new(
                     "t",
@@ -1199,6 +1277,103 @@ mod tests {
     }
 
     #[test]
+    fn committed_delete_after_recovery_survives_second_recovery() {
+        // Regression: replay skips uncommitted inserts, so recovered rows
+        // occupy different heap slots than the log's Insert records say. A
+        // delete committed *after* such a recovery logs the new slot; a
+        // second recovery must still apply it (open() re-anchors the log
+        // with a checkpoint whenever ids were remapped).
+        let dir = std::env::temp_dir().join(format!(
+            "ifdb-engine-re-recovery-{}",
+            std::process::id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        {
+            let eng = StorageEngine::with_config(
+                StorageKind::OnDisk {
+                    dir: dir.clone(),
+                    buffer_pages: 8,
+                },
+                DurabilityConfig::SYNC_EACH,
+            )
+            .unwrap();
+            let table = eng
+                .create_table(TableSchema::new("t", vec![ColumnDef::new("id", DataType::Int)]))
+                .unwrap();
+            // The in-flight insert claims heap slot 0, shifting the
+            // committed rows' recovered slots relative to their logged ids.
+            let inflight = eng.begin().unwrap();
+            eng.insert(inflight, table, vec![], vec![Datum::Int(99)]).unwrap();
+            let committed = eng.begin().unwrap();
+            eng.insert(committed, table, vec![], vec![Datum::Int(1)]).unwrap();
+            eng.insert(committed, table, vec![], vec![Datum::Int(2)]).unwrap();
+            eng.commit(committed).unwrap();
+            // Crash with `inflight` still open.
+        }
+        {
+            let eng = StorageEngine::open(&dir, 8, DurabilityConfig::SYNC_EACH).unwrap();
+            let t = eng.table_by_name("t").unwrap();
+            let txn = eng.begin().unwrap();
+            let snap = eng.snapshot(txn);
+            let mut victim = None;
+            eng.scan_visible(&snap, t.id(), |row, v| {
+                if v.data[0] == Datum::Int(1) {
+                    victim = Some(row);
+                }
+                true
+            })
+            .unwrap();
+            eng.delete(txn, t.id(), victim.expect("row 1 recovered")).unwrap();
+            eng.commit(txn).unwrap();
+            // Crash again.
+        }
+        let eng = StorageEngine::open(&dir, 8, DurabilityConfig::SYNC_EACH).unwrap();
+        let t = eng.table_by_name("t").unwrap();
+        let rows = visible_rows(&eng, t.id());
+        assert_eq!(rows, vec![vec![Datum::Int(2)]], "the committed delete holds");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn abort_record_overrides_commit_record_at_replay() {
+        // When a Commit append fails mid-fsync the frame may still be in
+        // the log and become durable later; commit() then writes a
+        // superseding Abort. Replay must side with the Abort.
+        let dir = std::env::temp_dir().join(format!(
+            "ifdb-engine-abort-wins-{}",
+            std::process::id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        {
+            let eng = StorageEngine::with_config(
+                StorageKind::OnDisk {
+                    dir: dir.clone(),
+                    buffer_pages: 8,
+                },
+                DurabilityConfig::SYNC_EACH,
+            )
+            .unwrap();
+            let table = eng
+                .create_table(TableSchema::new("t", vec![ColumnDef::new("id", DataType::Int)]))
+                .unwrap();
+            let keep = eng.begin().unwrap();
+            eng.insert(keep, table, vec![], vec![Datum::Int(1)]).unwrap();
+            eng.commit(keep).unwrap();
+            let failed = eng.begin().unwrap();
+            eng.insert(failed, table, vec![], vec![Datum::Int(2)]).unwrap();
+            eng.commit(failed).unwrap();
+            // Simulate the failure path's superseding record landing after
+            // the (durable-after-all) Commit frame.
+            eng.wal().append(LogRecord::Abort { txn: failed }).unwrap();
+        }
+        let eng = StorageEngine::open(&dir, 8, DurabilityConfig::SYNC_EACH).unwrap();
+        let t = eng.table_by_name("t").unwrap();
+        let rows = visible_rows(&eng, t.id());
+        assert_eq!(rows, vec![vec![Datum::Int(1)]], "the aborted-after-commit txn is dropped");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn checkpoint_compacts_log_and_preserves_state() {
         let dir = std::env::temp_dir().join(format!(
             "ifdb-engine-ckpt-{}",
@@ -1212,7 +1387,8 @@ mod tests {
                     buffer_pages: 8,
                 },
                 DurabilityConfig::SYNC_EACH,
-            );
+            )
+            .unwrap();
             let table = eng
                 .create_table(TableSchema::new(
                     "t",
@@ -1279,7 +1455,8 @@ mod tests {
                 buffer_pages: 8,
             },
             DurabilityConfig::SYNC_EACH.with_checkpoint_every(5),
-        );
+        )
+        .unwrap();
         let table = eng
             .create_table(TableSchema::new("t", vec![ColumnDef::new("id", DataType::Int)]))
             .unwrap();

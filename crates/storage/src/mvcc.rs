@@ -77,12 +77,25 @@ impl Snapshot {
     }
 }
 
+/// Transaction table: status map plus the set of transactions currently
+/// mid-commit. Both live under one lock so the active→committing transition
+/// of [`TransactionManager::begin_commit`] is atomic.
+#[derive(Debug, Default)]
+struct TxnTable {
+    status: HashMap<TxnId, TxnStatus>,
+    /// Transactions whose commit record is being written: still `InProgress`
+    /// for visibility (the record may not be durable yet), but claimed — no
+    /// second commit and no abort may race with the record hitting the
+    /// device.
+    committing: HashSet<TxnId>,
+}
+
 /// The transaction manager: id allocation, status tracking, snapshots.
 #[derive(Debug)]
 pub struct TransactionManager {
     next_id: AtomicU64,
-    status: RwLock<HashMap<TxnId, TxnStatus>>,
-    /// In-progress transactions, maintained alongside `status` so that
+    table: RwLock<TxnTable>,
+    /// In-progress transactions, maintained alongside the status map so that
     /// [`TransactionManager::active_count`] is O(1) — it runs on every
     /// commit under a periodic-checkpoint policy.
     active: AtomicU64,
@@ -99,7 +112,7 @@ impl TransactionManager {
     pub fn new() -> Self {
         TransactionManager {
             next_id: AtomicU64::new(1),
-            status: RwLock::new(HashMap::new()),
+            table: RwLock::new(TxnTable::default()),
             active: AtomicU64::new(0),
         }
     }
@@ -107,8 +120,8 @@ impl TransactionManager {
     /// Starts a transaction, returning its id.
     pub fn begin(&self) -> TxnId {
         let id = TxnId(self.next_id.fetch_add(1, Ordering::SeqCst));
-        let mut status = self.status.write();
-        status.insert(id, TxnStatus::InProgress);
+        let mut table = self.table.write();
+        table.status.insert(id, TxnStatus::InProgress);
         self.active.fetch_add(1, Ordering::SeqCst);
         id
     }
@@ -123,11 +136,50 @@ impl TransactionManager {
         self.finish(txn, TxnStatus::Aborted)
     }
 
+    /// Atomically claims an in-progress transaction for commit. Between this
+    /// call and [`TransactionManager::finish_commit`] the transaction stays
+    /// `InProgress` for visibility (its commit record may not be durable
+    /// yet), but no concurrent `commit`, `abort`, or second `begin_commit`
+    /// can succeed — so two racing committers cannot both write a durable
+    /// commit record with only one of them winning the in-memory transition.
+    pub fn begin_commit(&self, txn: TxnId) -> StorageResult<()> {
+        let mut table = self.table.write();
+        if table.status.get(&txn) != Some(&TxnStatus::InProgress) || !table.committing.insert(txn)
+        {
+            return Err(StorageError::InvalidTransaction(txn.0));
+        }
+        Ok(())
+    }
+
+    /// Releases a claim taken by [`TransactionManager::begin_commit`]
+    /// without committing (the commit record could not be written); the
+    /// transaction is in progress again.
+    pub fn cancel_commit(&self, txn: TxnId) {
+        self.table.write().committing.remove(&txn);
+    }
+
+    /// Completes a commit claimed by [`TransactionManager::begin_commit`]:
+    /// the transaction becomes `Committed` and visible to new snapshots.
+    pub fn finish_commit(&self, txn: TxnId) -> StorageResult<()> {
+        let mut table = self.table.write();
+        if !table.committing.remove(&txn) {
+            return Err(StorageError::InvalidTransaction(txn.0));
+        }
+        table.status.insert(txn, TxnStatus::Committed);
+        self.active.fetch_sub(1, Ordering::SeqCst);
+        Ok(())
+    }
+
     fn finish(&self, txn: TxnId, to: TxnStatus) -> StorageResult<()> {
-        let mut status = self.status.write();
-        match status.get(&txn) {
+        let mut table = self.table.write();
+        if table.committing.contains(&txn) {
+            // A committer owns this transaction until its commit record is
+            // settled; nobody else may finish it meanwhile.
+            return Err(StorageError::InvalidTransaction(txn.0));
+        }
+        match table.status.get(&txn) {
             Some(TxnStatus::InProgress) => {
-                status.insert(txn, to);
+                table.status.insert(txn, to);
                 self.active.fetch_sub(1, Ordering::SeqCst);
                 Ok(())
             }
@@ -141,8 +193,9 @@ impl TransactionManager {
         if txn == BOOTSTRAP_TXN {
             return TxnStatus::Committed;
         }
-        self.status
+        self.table
             .read()
+            .status
             .get(&txn)
             .copied()
             .unwrap_or(TxnStatus::Aborted)
@@ -155,9 +208,10 @@ impl TransactionManager {
 
     /// Takes a snapshot on behalf of `txn`.
     pub fn snapshot(&self, txn: TxnId) -> Snapshot {
-        let status = self.status.read();
+        let table = self.table.read();
         let horizon = TxnId(self.next_id.load(Ordering::SeqCst));
-        let active = status
+        let active = table
+            .status
             .iter()
             .filter(|(id, s)| **s == TxnStatus::InProgress && **id != txn)
             .map(|(id, _)| *id)
@@ -193,8 +247,9 @@ impl TransactionManager {
         if self.status(xmax) != TxnStatus::Committed {
             return false;
         }
-        let status = self.status.read();
-        let oldest_active = status
+        let table = self.table.read();
+        let oldest_active = table
+            .status
             .iter()
             .filter(|(_, s)| **s == TxnStatus::InProgress)
             .map(|(id, _)| *id)
@@ -223,23 +278,13 @@ impl TransactionManager {
     /// in `committed` need no entry: unknown ids report as aborted, which is
     /// exactly the fate of in-flight work at a crash.
     pub fn recover(&self, committed: impl IntoIterator<Item = TxnId>, max_seen: TxnId) {
-        let mut status = self.status.write();
+        let mut table = self.table.write();
         for txn in committed {
             if txn != BOOTSTRAP_TXN {
-                status.insert(txn, TxnStatus::Committed);
+                table.status.insert(txn, TxnStatus::Committed);
             }
         }
-        let floor = max_seen.0 + 1;
-        let mut cur = self.next_id.load(Ordering::SeqCst);
-        while cur < floor {
-            match self
-                .next_id
-                .compare_exchange(cur, floor, Ordering::SeqCst, Ordering::SeqCst)
-            {
-                Ok(_) => break,
-                Err(now) => cur = now,
-            }
-        }
+        self.next_id.fetch_max(max_seen.0 + 1, Ordering::SeqCst);
     }
 }
 
@@ -320,6 +365,42 @@ mod tests {
         assert!(mgr.commit(t).is_err());
         assert!(mgr.abort(t).is_err());
         assert!(mgr.commit(TxnId(9999)).is_err());
+    }
+
+    #[test]
+    fn begin_commit_claims_exclusively() {
+        let mgr = TransactionManager::new();
+        let t = mgr.begin();
+        mgr.begin_commit(t).unwrap();
+        // While claimed, the transaction is still invisible to new snapshots.
+        let reader = mgr.begin();
+        let snap = mgr.snapshot(reader);
+        assert!(!mgr.is_visible(&snap, &header(t, None)));
+        // A second committer, a direct commit, and an abort all lose.
+        assert!(mgr.begin_commit(t).is_err());
+        assert!(mgr.commit(t).is_err());
+        assert!(mgr.abort(t).is_err());
+        mgr.finish_commit(t).unwrap();
+        assert_eq!(mgr.status(t), TxnStatus::Committed);
+        // The claim is consumed: finishing twice fails.
+        assert!(mgr.finish_commit(t).is_err());
+        let snap2 = mgr.snapshot(mgr.begin());
+        assert!(mgr.is_visible(&snap2, &header(t, None)));
+    }
+
+    #[test]
+    fn cancel_commit_returns_txn_to_in_progress() {
+        let mgr = TransactionManager::new();
+        let t = mgr.begin();
+        mgr.begin_commit(t).unwrap();
+        mgr.cancel_commit(t);
+        assert_eq!(mgr.status(t), TxnStatus::InProgress);
+        assert!(mgr.finish_commit(t).is_err(), "claim was released");
+        // The transaction can be claimed again, or aborted.
+        mgr.begin_commit(t).unwrap();
+        mgr.cancel_commit(t);
+        mgr.abort(t).unwrap();
+        assert!(mgr.begin_commit(t).is_err(), "aborted txn cannot commit");
     }
 
     #[test]

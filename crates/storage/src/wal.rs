@@ -185,6 +185,20 @@ pub struct WalRecovery {
     pub torn_bytes: u64,
 }
 
+/// What [`Wal::open_existing`] recovered — counts only. The parsed records
+/// themselves are *moved* into the returned log (read them through the
+/// `Wal`), not cloned, so recovery holds a single copy of the tuple
+/// payloads no matter how large the log is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpenRecovery {
+    /// Number of cleanly parsed records now held by the log.
+    pub record_count: usize,
+    /// Byte offset of the end of the last clean record.
+    pub clean_bytes: u64,
+    /// Torn-tail bytes truncated from the file. Zero for a clean log.
+    pub torn_bytes: u64,
+}
+
 /// Where the log keeps its records.
 enum Sink {
     Memory,
@@ -297,14 +311,15 @@ impl Wal {
     /// Opens an existing file-backed log for recovery: parses every record,
     /// truncates a torn tail (warning on stderr rather than failing the whole
     /// recovery), and returns the log positioned to append after the last
-    /// clean record, together with the parsed records for replay.
+    /// clean record. The parsed records are held by the returned log — read
+    /// them with [`Wal::records`] for replay.
     ///
     /// A missing file is treated as an empty log, so first-boot and restart
     /// go through the same path.
     pub fn open_existing(
         path: &Path,
         durability: DurabilityConfig,
-    ) -> StorageResult<(Self, WalRecovery)> {
+    ) -> StorageResult<(Self, OpenRecovery)> {
         let recovery = match Self::read_log(path) {
             Ok(r) => r,
             Err(StorageError::Io { .. }) if !path.exists() => WalRecovery {
@@ -331,6 +346,11 @@ impl Wal {
         let mut file = file;
         use std::io::Seek;
         file.seek(std::io::SeekFrom::Start(recovery.clean_bytes))?;
+        let info = OpenRecovery {
+            record_count: recovery.records.len(),
+            clean_bytes: recovery.clean_bytes,
+            torn_bytes: recovery.torn_bytes,
+        };
         let wal = Self::with_sink(
             Sink::File {
                 w: BufWriter::new(file),
@@ -338,10 +358,10 @@ impl Wal {
             },
             Some(path.to_path_buf()),
             durability,
-            recovery.records.clone(),
+            recovery.records,
             recovery.clean_bytes,
         );
-        Ok((wal, recovery))
+        Ok((wal, info))
     }
 
     /// Appends a record. For `Commit` records the call also enforces the
@@ -710,6 +730,13 @@ impl Wal {
         self.records.lock().clone()
     }
 
+    /// Locked view of the in-memory record mirror — no clone. Used by
+    /// recovery replay, which reads a potentially huge record list exactly
+    /// once. Nothing may append to the log while the guard is held.
+    pub(crate) fn records_locked(&self) -> parking_lot::MutexGuard<'_, Vec<LogRecord>> {
+        self.records.lock()
+    }
+
     /// Number of records in the current log.
     pub fn len(&self) -> usize {
         self.records.lock().len()
@@ -936,7 +963,8 @@ mod tests {
 
         // Opening for recovery truncates the tail and appends cleanly after.
         let (wal, recovery) = Wal::open_existing(&path, DurabilityConfig::SYNC_EACH).unwrap();
-        assert_eq!(recovery.records, records);
+        assert_eq!(recovery.record_count, records.len());
+        assert_eq!(wal.records(), records);
         assert_eq!(std::fs::metadata(&path).unwrap().len(), clean_len);
         wal.append(LogRecord::Begin { txn: TxnId(77) }).unwrap();
         wal.append(LogRecord::Commit { txn: TxnId(77) }).unwrap();
@@ -978,7 +1006,7 @@ mod tests {
         let path = dir.join("wal.log");
         let (wal, recovery) =
             Wal::open_existing(&path, DurabilityConfig::GROUP_COMMIT).unwrap();
-        assert!(recovery.records.is_empty());
+        assert_eq!(recovery.record_count, 0);
         assert_eq!(recovery.torn_bytes, 0);
         wal.append(LogRecord::Begin { txn: TxnId(1) }).unwrap();
         wal.append(LogRecord::Commit { txn: TxnId(1) }).unwrap();
