@@ -1,0 +1,38 @@
+//! Emits the PR 4 network-service snapshot as `BENCH_pr4.json` in the
+//! current directory (plus the usual copy under `target/experiments/`):
+//! network TPC-C NOTPM vs connection count under group commit, the CarTel
+//! web mix over the wire (WIPS), the prepared-statement cache hit rate, and
+//! the in-process vs network comparison. CI uploads the file next to
+//! `BENCH_pr2.json` / `BENCH_pr3.json`.
+
+use ifdb_bench::ExperimentScale;
+
+fn main() {
+    let report = ifdb_bench::bench_pr4_report(ExperimentScale::from_env());
+    match serde_json::to_string_pretty(&report) {
+        Ok(json) => {
+            if std::fs::write("BENCH_pr4.json", &json).is_ok() {
+                println!("\n[BENCH_pr4.json written]");
+            } else {
+                eprintln!("could not write BENCH_pr4.json");
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("could not serialize report: {e}");
+            std::process::exit(1);
+        }
+    }
+    if report.tpcc_scaling_1_to_8 < 2.0 {
+        eprintln!(
+            "WARNING: network TPC-C 1->8 scaling {:.2}x is below the 2x target",
+            report.tpcc_scaling_1_to_8
+        );
+    }
+    if report.stmt_cache_hit_rate <= 0.9 {
+        eprintln!(
+            "WARNING: prepared-statement cache hit rate {:.1}% is below the 90% target",
+            report.stmt_cache_hit_rate * 100.0
+        );
+    }
+}

@@ -13,6 +13,7 @@
 pub mod experiments;
 pub mod pr2;
 pub mod pr3;
+pub mod pr4;
 pub mod report;
 
 pub use experiments::{
@@ -23,4 +24,8 @@ pub use pr2::{bench_pr2_report, measure_indexed_range, measure_scan_hot, BenchPr
 pub use pr3::{
     bench_pr3_report, measure_checkpoint_effect, measure_commit_throughput, measure_recovery,
     measure_tpcc_durable, BenchPr3Report,
+};
+pub use pr4::{
+    bench_pr4_report, measure_comparison, measure_network_tpcc, measure_network_wips,
+    BenchPr4Report,
 };

@@ -17,7 +17,7 @@ use crate::policy::{CartelPolicy, UserHandle};
 
 fn requesting_user<'a>(
     policy: &'a CartelPolicy,
-    session: &ifdb::Session,
+    session: &dyn ifdb::SessionApi,
     request: &Request,
 ) -> Option<&'a UserHandle> {
     // The trusted platform already mapped credentials to a principal; the

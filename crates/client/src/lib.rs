@@ -1,0 +1,457 @@
+//! `ifdb-client`: the TCP client for the IFDB network query service.
+//!
+//! A [`Connection`] is the remote counterpart of an in-process
+//! [`ifdb::Session`]: it speaks the [`protocol`] to an `ifdb-server`,
+//! mirrors the process label locally (so the platform's output gate can
+//! check releases without a network round trip, as PHP-IF does), and
+//! implements [`ifdb::SessionApi`] — application code written against
+//! `&mut dyn SessionApi` runs unchanged over the wire.
+//!
+//! Statements are automatically prepared: the first execution of a statement
+//! *shape* sends a `Prepare` carrying the value-free template and caches the
+//! returned statement id per connection; every further execution of that
+//! shape sends only the id and the parameters. Across connections the server
+//! deduplicates templates in its server-wide prepared-statement cache.
+
+#![deny(missing_docs)]
+
+pub mod protocol;
+
+use std::collections::HashMap;
+use std::io::{BufReader, BufWriter};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use ifdb::{
+    Aggregate, Delete, IfdbError, IfdbResult, Insert, Join, ResultSet, Row, Select, SessionApi,
+    Statement, StatementResult, Update,
+};
+use ifdb_difc::{DifcError, Label, PrincipalId, TagId};
+use ifdb_storage::Datum;
+
+use protocol::{
+    decode_error, encode_template, read_frame, write_frame, Request, Response, WireRow,
+    PROTOCOL_VERSION,
+};
+
+/// Client configuration for one connection.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Server address, e.g. `"127.0.0.1:5433"`.
+    pub addr: String,
+    /// The user to authenticate as; empty for anonymous.
+    pub user: String,
+    /// The user's password.
+    pub password: String,
+    /// Platform secret for trusted (web/app server) connections; enables
+    /// password-less [`Connection::login_as`].
+    pub platform_secret: Option<String>,
+    /// Initial process label.
+    pub label: Vec<TagId>,
+    /// Preferred result batch size (rows per fetch); 0 lets the server pick.
+    pub fetch_batch: u32,
+    /// Socket read timeout (guards against a hung server); `None` blocks
+    /// forever.
+    pub read_timeout: Option<Duration>,
+}
+
+impl ClientConfig {
+    /// An anonymous connection to `addr` with default batching.
+    pub fn anonymous(addr: &str) -> Self {
+        ClientConfig {
+            addr: addr.to_string(),
+            user: String::new(),
+            password: String::new(),
+            platform_secret: None,
+            label: Vec::new(),
+            fetch_batch: 0,
+            read_timeout: Some(Duration::from_secs(30)),
+        }
+    }
+
+    /// Sets the user and password.
+    pub fn with_user(mut self, user: &str, password: &str) -> Self {
+        self.user = user.to_string();
+        self.password = password.to_string();
+        self
+    }
+
+    /// Sets the initial label.
+    pub fn with_label(mut self, tags: &[TagId]) -> Self {
+        self.label = tags.to_vec();
+        self
+    }
+
+    /// Sets the platform secret (trusted connections).
+    pub fn with_platform_secret(mut self, secret: &str) -> Self {
+        self.platform_secret = Some(secret.to_string());
+        self
+    }
+
+    /// Sets the fetch batch size.
+    pub fn with_fetch_batch(mut self, rows: u32) -> Self {
+        self.fetch_batch = rows;
+        self
+    }
+}
+
+/// Client-side counters.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ClientStats {
+    /// Round trips performed.
+    pub round_trips: u64,
+    /// Statements executed.
+    pub statements: u64,
+    /// Prepare messages sent (distinct statement shapes seen first-hand).
+    pub prepares: u64,
+    /// Result batches fetched beyond the inline first batch.
+    pub extra_fetches: u64,
+}
+
+/// A connection to an `ifdb-server`, acting for one principal with one
+/// process label. Implements [`SessionApi`].
+pub struct Connection {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    principal: PrincipalId,
+    label: Label,
+    in_txn: bool,
+    fetch_batch: u32,
+    prepared: HashMap<Vec<u8>, u32>,
+    stats: ClientStats,
+}
+
+impl std::fmt::Debug for Connection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Connection")
+            .field("principal", &self.principal)
+            .field("label", &self.label)
+            .field("in_txn", &self.in_txn)
+            .field("prepared", &self.prepared.len())
+            .finish()
+    }
+}
+
+fn io_err(detail: String) -> IfdbError {
+    IfdbError::Remote {
+        code: protocol::code::PROTOCOL as u16,
+        detail,
+    }
+}
+
+impl Connection {
+    /// Connects and performs the handshake: authenticate as `config.user`,
+    /// raise the initial label, and mirror the granted label locally.
+    pub fn connect(config: &ClientConfig) -> IfdbResult<Connection> {
+        let stream = TcpStream::connect(&config.addr)
+            .map_err(|e| io_err(format!("connect {}: {e}", config.addr)))?;
+        stream
+            .set_nodelay(true)
+            .map_err(|e| io_err(format!("nodelay: {e}")))?;
+        stream
+            .set_read_timeout(config.read_timeout)
+            .map_err(|e| io_err(format!("timeout: {e}")))?;
+        let reader = BufReader::new(
+            stream
+                .try_clone()
+                .map_err(|e| io_err(format!("clone: {e}")))?,
+        );
+        let writer = BufWriter::new(stream);
+        let mut conn = Connection {
+            reader,
+            writer,
+            principal: PrincipalId(0),
+            label: Label::empty(),
+            in_txn: false,
+            fetch_batch: config.fetch_batch,
+            prepared: HashMap::new(),
+            stats: ClientStats::default(),
+        };
+        let resp = conn.call(&Request::Hello {
+            version: PROTOCOL_VERSION,
+            user: config.user.clone(),
+            password: config.password.clone(),
+            platform_secret: config.platform_secret.clone(),
+            label: config.label.iter().map(|t| t.0).collect(),
+        })?;
+        match resp {
+            Response::HelloOk { principal, label } => {
+                conn.principal = PrincipalId(principal);
+                conn.label = Label::from_array(&label);
+                Ok(conn)
+            }
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Client-side counters.
+    pub fn stats(&self) -> ClientStats {
+        self.stats
+    }
+
+    /// Re-authenticates this connection as `user` with a password,
+    /// aborting any open transaction and resetting the label. Used when a
+    /// pooled connection is handed to a new request.
+    pub fn login(&mut self, user: &str, password: &str) -> IfdbResult<()> {
+        self.login_inner(user, Some(password))
+    }
+
+    /// Trusted user switch without a password (session-cookie path).
+    /// Requires the connection to have presented the platform secret at
+    /// handshake time; the server refuses it otherwise.
+    pub fn login_as(&mut self, user: &str) -> IfdbResult<()> {
+        self.login_inner(user, None)
+    }
+
+    fn login_inner(&mut self, user: &str, password: Option<&str>) -> IfdbResult<()> {
+        let resp = self.call(&Request::Login {
+            user: user.to_string(),
+            password: password.map(str::to_string),
+        })?;
+        match resp {
+            Response::HelloOk { principal, label } => {
+                self.principal = PrincipalId(principal);
+                self.label = Label::from_array(&label);
+                self.in_txn = false;
+                Ok(())
+            }
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Cleanly shuts the connection down.
+    pub fn close(mut self) -> IfdbResult<()> {
+        match self.call(&Request::Goodbye)? {
+            Response::Bye => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// One round trip: send a request frame, read a response frame. A wire
+    /// [`Response::Error`] is decoded into the matching [`IfdbError`].
+    fn call(&mut self, req: &Request) -> IfdbResult<Response> {
+        self.stats.round_trips += 1;
+        write_frame(&mut self.writer, &req.encode())?;
+        let payload = read_frame(&mut self.reader)?
+            .ok_or_else(|| io_err("server closed the connection".into()))?;
+        match Response::decode(&payload)? {
+            Response::Error {
+                code,
+                detail,
+                label0,
+                label1,
+                aux,
+                session_label,
+            } => {
+                // Failed statements can still have contaminated the
+                // process; the server attaches the authoritative label.
+                if let Some(tags) = session_label {
+                    self.label = Label::from_array(&tags);
+                }
+                Err(decode_error(code, detail, label0, label1, aux))
+            }
+            resp => Ok(resp),
+        }
+    }
+
+    /// Executes a closed statement: auto-prepares its shape on first sight,
+    /// then sends the statement id plus extracted parameters, draining any
+    /// result cursor into a complete [`ResultSet`].
+    pub fn run(&mut self, stmt: &Statement) -> IfdbResult<StatementResult> {
+        self.stats.statements += 1;
+        let (template, params) = encode_template(stmt);
+        let id = match self.prepared.get(&template) {
+            Some(id) => *id,
+            None => {
+                self.stats.prepares += 1;
+                let resp = self.call(&Request::Prepare {
+                    template: template.clone(),
+                })?;
+                let Response::Prepared { id } = resp else {
+                    return Err(unexpected(resp));
+                };
+                self.prepared.insert(template, id);
+                id
+            }
+        };
+        let resp = self.call(&Request::Execute {
+            stmt: id,
+            params,
+            fetch: self.fetch_batch,
+        })?;
+        match resp {
+            Response::Affected { n, label } => {
+                self.label = Label::from_array(&label);
+                Ok(StatementResult::Affected(n as usize))
+            }
+            Response::Rows {
+                columns,
+                rows,
+                cursor,
+                label,
+            } => {
+                self.label = Label::from_array(&label);
+                let columns = std::sync::Arc::new(columns);
+                let mut out: Vec<Row> = rows
+                    .into_iter()
+                    .map(|r| wire_row(&columns, r))
+                    .collect();
+                let mut cursor = cursor;
+                while cursor != 0 {
+                    self.stats.extra_fetches += 1;
+                    let resp = self.call(&Request::Fetch {
+                        cursor,
+                        max: self.fetch_batch,
+                    })?;
+                    let Response::Batch { rows, done } = resp else {
+                        return Err(unexpected(resp));
+                    };
+                    out.extend(rows.into_iter().map(|r| wire_row(&columns, r)));
+                    if done {
+                        cursor = 0;
+                    }
+                }
+                Ok(StatementResult::Rows(ResultSet::new(out)))
+            }
+            other => Err(unexpected(other)),
+        }
+    }
+
+    fn label_op(&mut self, req: Request) -> IfdbResult<()> {
+        let resp = self.call(&req)?;
+        match resp {
+            Response::LabelIs { tags } => {
+                self.label = Label::from_array(&tags);
+                Ok(())
+            }
+            other => Err(unexpected(other)),
+        }
+    }
+
+    fn simple(&mut self, req: Request) -> IfdbResult<()> {
+        match self.call(&req)? {
+            Response::Ok { label } => {
+                // Commit can run deferred triggers that contaminate the
+                // process; every Ok carries the authoritative label so the
+                // local mirror (and therefore the output gate) follows.
+                self.label = Label::from_array(&label);
+                Ok(())
+            }
+            other => Err(unexpected(other)),
+        }
+    }
+}
+
+fn unexpected(resp: Response) -> IfdbError {
+    io_err(format!("unexpected response {resp:?}"))
+}
+
+fn wire_row(columns: &std::sync::Arc<Vec<String>>, r: WireRow) -> Row {
+    Row {
+        columns: columns.clone(),
+        label: Label::from_array(&r.label),
+        values: r.values,
+    }
+}
+
+impl SessionApi for Connection {
+    fn select(&mut self, q: &Select) -> IfdbResult<ResultSet> {
+        self.run(&Statement::Select(q.clone())).map(StatementResult::into_rows)
+    }
+    fn select_join(&mut self, join: &Join) -> IfdbResult<ResultSet> {
+        self.run(&Statement::Join(join.clone())).map(StatementResult::into_rows)
+    }
+    fn select_aggregate(&mut self, agg: &Aggregate) -> IfdbResult<ResultSet> {
+        self.run(&Statement::Aggregate(agg.clone())).map(StatementResult::into_rows)
+    }
+    fn insert(&mut self, ins: &Insert) -> IfdbResult<()> {
+        self.run(&Statement::Insert(ins.clone())).map(|_| ())
+    }
+    fn update(&mut self, upd: &Update) -> IfdbResult<usize> {
+        self.run(&Statement::Update(upd.clone())).map(|r| r.affected())
+    }
+    fn delete(&mut self, del: &Delete) -> IfdbResult<usize> {
+        self.run(&Statement::Delete(del.clone())).map(|r| r.affected())
+    }
+    fn begin(&mut self) -> IfdbResult<()> {
+        self.simple(Request::Begin)?;
+        self.in_txn = true;
+        Ok(())
+    }
+    fn commit(&mut self) -> IfdbResult<()> {
+        // Whatever the outcome, the transaction is finished server-side
+        // (commit errors abort it), matching Session semantics.
+        let r = self.simple(Request::Commit);
+        self.in_txn = false;
+        r
+    }
+    fn abort(&mut self) -> IfdbResult<()> {
+        let r = self.simple(Request::Abort);
+        self.in_txn = false;
+        r
+    }
+    fn in_transaction(&self) -> bool {
+        self.in_txn
+    }
+    fn add_secrecy(&mut self, tag: TagId) -> IfdbResult<()> {
+        self.label_op(Request::AddSecrecy { tag: tag.0 })
+    }
+    fn raise_label(&mut self, other: &Label) -> IfdbResult<()> {
+        self.label_op(Request::RaiseLabel {
+            tags: other.to_array(),
+        })
+    }
+    fn declassify(&mut self, tag: TagId) -> IfdbResult<()> {
+        self.label_op(Request::Declassify { tag: tag.0 })
+    }
+    fn declassify_all(&mut self, tags: &Label) -> IfdbResult<()> {
+        self.label_op(Request::DeclassifyAll {
+            tags: tags.to_array(),
+        })
+    }
+    fn delegate(&mut self, grantee: PrincipalId, tag: TagId) -> IfdbResult<()> {
+        self.simple(Request::Delegate {
+            grantee: grantee.0,
+            tag: tag.0,
+        })
+    }
+    fn call_procedure(&mut self, name: &str, args: &[Datum]) -> IfdbResult<ResultSet> {
+        self.stats.statements += 1;
+        let resp = self.call(&Request::CallProcedure {
+            name: name.to_string(),
+            args: args.to_vec(),
+        })?;
+        match resp {
+            Response::ProcResult {
+                label,
+                columns,
+                rows,
+            } => {
+                self.label = Label::from_array(&label);
+                let columns = std::sync::Arc::new(columns);
+                Ok(ResultSet::new(
+                    rows.into_iter().map(|r| wire_row(&columns, r)).collect(),
+                ))
+            }
+            other => Err(unexpected(other)),
+        }
+    }
+    fn principal(&self) -> PrincipalId {
+        self.principal
+    }
+    fn current_label(&self) -> Label {
+        self.label.clone()
+    }
+    fn check_release_to_world(&self) -> IfdbResult<()> {
+        // The platform runtime's local gate check, against the mirrored
+        // label — no round trip, exactly as PHP-IF tracks the process label
+        // in the runtime (Section 7.2).
+        if self.label.is_empty() {
+            Ok(())
+        } else {
+            Err(IfdbError::Difc(DifcError::ContaminatedOutput {
+                label: self.label.clone(),
+            }))
+        }
+    }
+}

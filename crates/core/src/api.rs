@@ -1,0 +1,267 @@
+//! The statement-level session API, abstracted over transports.
+//!
+//! In the paper, application code never links the DBMS: PHP/Python processes
+//! speak a wire protocol to the IFDB server, and the platform runtime tracks
+//! the process label on both ends. This module defines the surface that is
+//! transport-independent: [`SessionApi`] is everything a request script or a
+//! workload driver may do with a database session, and [`Statement`] is the
+//! closed statement form carried by the `ifdb-client`/`ifdb-server` wire
+//! protocol.
+//!
+//! [`Session`] implements [`SessionApi`] directly (the in-process embedding),
+//! and `ifdb_client::Connection` implements it over TCP, so application code
+//! written against `&mut dyn SessionApi` runs unchanged in either deployment.
+
+use ifdb_storage::Datum;
+
+use ifdb_difc::{Label, PrincipalId, TagId};
+
+use crate::error::IfdbResult;
+use crate::query::{Aggregate, Delete, Insert, Join, Select, Update};
+use crate::row::ResultSet;
+use crate::session::Session;
+
+/// A closed (fully parameterized) statement: the unit of execution carried by
+/// the wire protocol and accepted by [`Session::execute`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// A single-source SELECT.
+    Select(Select),
+    /// A two-way join query.
+    Join(Join),
+    /// An aggregate query.
+    Aggregate(Aggregate),
+    /// An INSERT.
+    Insert(Insert),
+    /// An UPDATE.
+    Update(Update),
+    /// A DELETE.
+    Delete(Delete),
+}
+
+/// What executing a [`Statement`] produced.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StatementResult {
+    /// Rows, for queries.
+    Rows(ResultSet),
+    /// Number of affected rows, for DML (inserts report 1).
+    Affected(usize),
+}
+
+impl StatementResult {
+    /// The result's rows; empty for DML results.
+    pub fn into_rows(self) -> ResultSet {
+        match self {
+            StatementResult::Rows(rs) => rs,
+            StatementResult::Affected(_) => ResultSet::default(),
+        }
+    }
+
+    /// The affected-row count; 0 for queries.
+    pub fn affected(&self) -> usize {
+        match self {
+            StatementResult::Rows(_) => 0,
+            StatementResult::Affected(n) => *n,
+        }
+    }
+}
+
+/// The operations a database session supports, independent of whether the
+/// session is in-process ([`Session`]) or remote (`ifdb_client::Connection`).
+///
+/// The trait is object-safe: platform request scripts take
+/// `&mut dyn SessionApi` so the same script body runs against either
+/// transport.
+pub trait SessionApi {
+    /// Executes a single-source SELECT.
+    fn select(&mut self, q: &Select) -> IfdbResult<ResultSet>;
+    /// Executes a two-way join query.
+    fn select_join(&mut self, join: &Join) -> IfdbResult<ResultSet>;
+    /// Executes an aggregate query.
+    fn select_aggregate(&mut self, agg: &Aggregate) -> IfdbResult<ResultSet>;
+    /// Inserts a row.
+    fn insert(&mut self, ins: &Insert) -> IfdbResult<()>;
+    /// Updates rows, returning how many were updated.
+    fn update(&mut self, upd: &Update) -> IfdbResult<usize>;
+    /// Deletes rows, returning how many were deleted.
+    fn delete(&mut self, del: &Delete) -> IfdbResult<usize>;
+    /// Starts an explicit transaction.
+    fn begin(&mut self) -> IfdbResult<()>;
+    /// Commits the current transaction.
+    fn commit(&mut self) -> IfdbResult<()>;
+    /// Aborts the current transaction.
+    fn abort(&mut self) -> IfdbResult<()>;
+    /// Returns `true` if an explicit transaction is open.
+    fn in_transaction(&self) -> bool;
+    /// Adds `tag` to the process label.
+    fn add_secrecy(&mut self, tag: TagId) -> IfdbResult<()>;
+    /// Raises the process label to its union with `other`.
+    fn raise_label(&mut self, other: &Label) -> IfdbResult<()>;
+    /// Removes `tag` from the process label (requires authority).
+    fn declassify(&mut self, tag: TagId) -> IfdbResult<()>;
+    /// Removes every tag of `tags` (requires authority for each).
+    fn declassify_all(&mut self, tags: &Label) -> IfdbResult<()>;
+    /// Delegates authority for `tag` to `grantee`.
+    fn delegate(&mut self, grantee: PrincipalId, tag: TagId) -> IfdbResult<()>;
+    /// Calls a stored procedure (or stored authority closure) by name.
+    fn call_procedure(&mut self, name: &str, args: &[Datum]) -> IfdbResult<ResultSet>;
+    /// The acting principal.
+    fn principal(&self) -> PrincipalId;
+    /// The current process label. Returned by value: a remote session hands
+    /// out its mirrored copy.
+    fn current_label(&self) -> Label;
+    /// Checks that the process may release information to an empty-labeled
+    /// destination (the output gate's check).
+    fn check_release_to_world(&self) -> IfdbResult<()>;
+
+    /// Executes a closed [`Statement`].
+    fn execute(&mut self, stmt: &Statement) -> IfdbResult<StatementResult> {
+        match stmt {
+            Statement::Select(q) => self.select(q).map(StatementResult::Rows),
+            Statement::Join(j) => self.select_join(j).map(StatementResult::Rows),
+            Statement::Aggregate(a) => self.select_aggregate(a).map(StatementResult::Rows),
+            Statement::Insert(i) => self.insert(i).map(|()| StatementResult::Affected(1)),
+            Statement::Update(u) => self.update(u).map(StatementResult::Affected),
+            Statement::Delete(d) => self.delete(d).map(StatementResult::Affected),
+        }
+    }
+}
+
+impl SessionApi for Session {
+    fn select(&mut self, q: &Select) -> IfdbResult<ResultSet> {
+        Session::select(self, q)
+    }
+    fn select_join(&mut self, join: &Join) -> IfdbResult<ResultSet> {
+        Session::select_join(self, join)
+    }
+    fn select_aggregate(&mut self, agg: &Aggregate) -> IfdbResult<ResultSet> {
+        Session::select_aggregate(self, agg)
+    }
+    fn insert(&mut self, ins: &Insert) -> IfdbResult<()> {
+        Session::insert(self, ins)
+    }
+    fn update(&mut self, upd: &Update) -> IfdbResult<usize> {
+        Session::update(self, upd)
+    }
+    fn delete(&mut self, del: &Delete) -> IfdbResult<usize> {
+        Session::delete(self, del)
+    }
+    fn begin(&mut self) -> IfdbResult<()> {
+        Session::begin(self)
+    }
+    fn commit(&mut self) -> IfdbResult<()> {
+        Session::commit(self)
+    }
+    fn abort(&mut self) -> IfdbResult<()> {
+        Session::abort(self)
+    }
+    fn in_transaction(&self) -> bool {
+        Session::in_transaction(self)
+    }
+    fn add_secrecy(&mut self, tag: TagId) -> IfdbResult<()> {
+        Session::add_secrecy(self, tag)
+    }
+    fn raise_label(&mut self, other: &Label) -> IfdbResult<()> {
+        Session::raise_label(self, other)
+    }
+    fn declassify(&mut self, tag: TagId) -> IfdbResult<()> {
+        Session::declassify(self, tag)
+    }
+    fn declassify_all(&mut self, tags: &Label) -> IfdbResult<()> {
+        Session::declassify_all(self, tags)
+    }
+    fn delegate(&mut self, grantee: PrincipalId, tag: TagId) -> IfdbResult<()> {
+        Session::delegate(self, grantee, tag)
+    }
+    fn call_procedure(&mut self, name: &str, args: &[Datum]) -> IfdbResult<ResultSet> {
+        Session::call_procedure(self, name, args)
+    }
+    fn principal(&self) -> PrincipalId {
+        Session::principal(self)
+    }
+    fn current_label(&self) -> Label {
+        Session::label(self).clone()
+    }
+    fn check_release_to_world(&self) -> IfdbResult<()> {
+        Session::check_release_to_world(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::TableDef;
+    use crate::database::Database;
+    use crate::query::Predicate;
+    use ifdb_storage::DataType;
+
+    fn db_with_table() -> Database {
+        let db = Database::in_memory();
+        db.create_table(
+            TableDef::new("t")
+                .column("id", DataType::Int)
+                .column("v", DataType::Text)
+                .primary_key(&["id"]),
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn execute_dispatches_all_statement_kinds() {
+        let db = db_with_table();
+        let mut s = db.anonymous_session();
+        let api: &mut dyn SessionApi = &mut s;
+        let r = api
+            .execute(&Statement::Insert(Insert::new(
+                "t",
+                vec![Datum::Int(1), Datum::from("a")],
+            )))
+            .unwrap();
+        assert_eq!(r.affected(), 1);
+        let r = api
+            .execute(&Statement::Select(Select::star("t")))
+            .unwrap();
+        assert_eq!(r.into_rows().len(), 1);
+        let r = api
+            .execute(&Statement::Update(Update::new(
+                "t",
+                Predicate::Eq("id".into(), Datum::Int(1)),
+                vec![("v", Datum::from("b"))],
+            )))
+            .unwrap();
+        assert_eq!(r.affected(), 1);
+        let r = api
+            .execute(&Statement::Aggregate(Aggregate {
+                from: "t".into(),
+                predicate: Predicate::True,
+                group_by: None,
+                aggregates: vec![(crate::query::AggFunc::Count, "id".into())],
+            }))
+            .unwrap();
+        assert_eq!(r.into_rows().len(), 1);
+        let r = api
+            .execute(&Statement::Delete(Delete::new("t", Predicate::True)))
+            .unwrap();
+        assert_eq!(r.affected(), 1);
+    }
+
+    #[test]
+    fn dyn_session_runs_transactions_and_labels() {
+        let db = db_with_table();
+        let mut s = db.anonymous_session();
+        let api: &mut dyn SessionApi = &mut s;
+        assert!(!api.in_transaction());
+        api.begin().unwrap();
+        assert!(api.in_transaction());
+        api.insert(&Insert::new("t", vec![Datum::Int(7), Datum::from("x")]))
+            .unwrap();
+        api.abort().unwrap();
+        assert!(api
+            .select(&Select::star("t"))
+            .unwrap()
+            .is_empty());
+        assert!(api.current_label().is_empty());
+        api.check_release_to_world().unwrap();
+    }
+}

@@ -251,6 +251,19 @@ impl Database {
         Ok(self.inner.engine.checkpoint()?)
     }
 
+    /// Checkpoints as soon as the engine allows it: immediately when no
+    /// transaction is active, otherwise the request is deferred — new
+    /// transactions briefly quiesce and the transaction that drains the
+    /// active set performs the checkpoint — so auto-checkpointing makes
+    /// progress even under the sustained concurrent load of a network
+    /// server, where [`Database::checkpoint`] would return
+    /// [`StorageError::CheckpointBusy`](ifdb_storage::StorageError::CheckpointBusy)
+    /// essentially always. Returns `true` if the checkpoint ran within this
+    /// call.
+    pub fn checkpoint_soon(&self) -> IfdbResult<bool> {
+        Ok(self.inner.engine.checkpoint_soon()?)
+    }
+
     /// Shorthand for an in-memory IFDB instance with a fixed seed.
     pub fn in_memory() -> Self {
         Self::new(DatabaseConfig::in_memory().with_seed(0x1FDB))

@@ -93,6 +93,16 @@ pub enum IfdbError {
     /// The statement is not valid (e.g. no active transaction to commit,
     /// updating a view that is not updatable, bad aggregate).
     InvalidStatement(String),
+    /// An error reported by a remote `ifdb-server` that has no structural
+    /// local equivalent (server-side admission control, statement timeouts,
+    /// protocol violations, or error kinds whose payload does not round-trip
+    /// the wire). The code is the wire protocol's error code.
+    Remote {
+        /// The wire protocol error code.
+        code: u16,
+        /// Human-readable description from the server.
+        detail: String,
+    },
     /// A trigger rejected the operation.
     TriggerRejected {
         /// The trigger's name.
@@ -155,6 +165,9 @@ impl fmt::Display for IfdbError {
                 "table {table} was recovered without constraint metadata; re-run its CREATE TABLE definition (Database::create_table) before writing"
             ),
             IfdbError::InvalidStatement(s) => write!(f, "invalid statement: {s}"),
+            IfdbError::Remote { code, detail } => {
+                write!(f, "remote server error (code {code}): {detail}")
+            }
             IfdbError::TriggerRejected { trigger, reason } => {
                 write!(f, "trigger {trigger} rejected the operation: {reason}")
             }

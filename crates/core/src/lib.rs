@@ -50,6 +50,7 @@
 //! assert_eq!(session.select(&Select::star("PatientRecords")).unwrap().len(), 1);
 //! ```
 
+pub mod api;
 pub mod catalog;
 pub mod database;
 pub mod error;
@@ -59,6 +60,7 @@ pub mod query;
 pub mod row;
 pub mod session;
 
+pub use api::{SessionApi, Statement, StatementResult};
 pub use catalog::{
     ForeignKey, IndexSpec, LabelConstraint, StoredProcedure, TableDef, TriggerDef, TriggerEvent,
     TriggerInvocation, TriggerTiming, UniqueConstraint, ViewDef, ViewSource,
@@ -72,6 +74,7 @@ pub use ifdb_storage::{DataType, Datum, DurabilityConfig, StorageError, StorageK
 
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
+    pub use crate::api::{SessionApi, Statement, StatementResult};
     pub use crate::catalog::{TableDef, TriggerEvent, TriggerTiming, ViewSource};
     pub use crate::database::{Database, DatabaseConfig};
     pub use crate::error::{IfdbError, IfdbResult};

@@ -123,6 +123,21 @@ impl Session {
         self.process.set_principal(principal);
     }
 
+    /// Resets the session for reuse by a new request or connection acting as
+    /// `principal`: any open transaction is aborted and the process label is
+    /// cleared. This is a *trusted* operation — it discards contamination
+    /// without an authority check — and exists for the connection-handshake
+    /// path of `ifdb-server`, where a fresh process (with a fresh, empty
+    /// label) takes over a pooled connection. Untrusted code lowers its label
+    /// only through [`Session::declassify`].
+    pub fn reset(&mut self, principal: PrincipalId) {
+        if self.txn.is_some() {
+            let _ = self.abort();
+        }
+        self.process.set_principal(principal);
+        self.process.set_label_unchecked(Label::empty());
+    }
+
     /// Enables or disables the serializable-mode transaction clearance rule.
     pub fn set_serializable(&mut self, on: bool) {
         self.serializable = on;
@@ -499,5 +514,20 @@ impl Session {
             }
         }
         self.process.set_label_unchecked(saved.union(&kept));
+    }
+}
+
+impl Drop for Session {
+    /// A session dropped mid-transaction — a request script that panicked, a
+    /// network connection that died — must not leave its transaction active:
+    /// an abandoned active transaction pins every later snapshot's visibility
+    /// horizon and blocks checkpointing forever. Commit and abort both take
+    /// the transaction state out of the session first, so this fires only
+    /// for genuinely abandoned transactions.
+    fn drop(&mut self) {
+        if let Some(state) = self.txn.take() {
+            let _ = self.db.inner.engine.abort(state.id);
+            self.stats.aborts += 1;
+        }
     }
 }

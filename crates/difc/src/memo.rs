@@ -10,6 +10,14 @@
 //! distinct label; every further tuple carrying the same label is admitted or
 //! rejected by a hash lookup on the raw on-tuple label encoding.
 //!
+//! The memo is **bounded**: it holds at most [`LabelDecisionMemo::capacity`]
+//! distinct labels and evicts the least-recently-used decision beyond that.
+//! Scans in a long-lived server can visit adversarially many distinct stored
+//! labels (every tuple its own label); an unbounded memo would turn that into
+//! per-scan memory proportional to the table, so the memo instead degrades to
+//! recomputing cold labels while the common few-distinct-labels case stays
+//! fully memoized. Hit/miss/eviction counts are exposed for observability.
+//!
 //! Because the declassify cover set is expanded up front (see
 //! [`crate::authority::AuthorityState::expand_declassify`]), the executor
 //! needs the authority state only while *building* the scan's inputs, not
@@ -80,12 +88,35 @@ impl LabelInterner {
     }
 }
 
-/// Memoizes [`LabelDecision`]s for the duration of one scan.
+/// Sentinel for "no entry" in the intrusive LRU list.
+const NIL: usize = usize::MAX;
+
+/// One resident memo entry: the decoded label, its decision, and its links in
+/// the recency list.
+#[derive(Debug)]
+struct Entry {
+    key: Box<[u64]>,
+    label: Label,
+    decision: LabelDecision,
+    prev: usize,
+    next: usize,
+}
+
+/// Default number of distinct labels a memo keeps resident. Far above the
+/// handful of distinct labels the paper observes per table, far below "one
+/// label per tuple" pathologies.
+pub const DEFAULT_MEMO_CAPACITY: usize = 4096;
+
+/// Memoizes [`LabelDecision`]s for the duration of one scan, bounded by an
+/// LRU policy.
 ///
 /// The memo is deliberately scan-local: the decision depends on the process
 /// label and the enclosing declassify set, both fixed for one scan but not
 /// across statements, so there is nothing to invalidate — the memo is simply
-/// dropped when the scan ends.
+/// dropped when the scan ends. Within a scan it holds at most
+/// [`capacity`](LabelDecisionMemo::capacity) distinct labels, evicting the
+/// least recently used beyond that, so a scan over arbitrarily many distinct
+/// stored labels runs in bounded memory.
 ///
 /// # Example
 ///
@@ -110,51 +141,150 @@ impl LabelInterner {
 /// }
 /// assert_eq!(computed, 2);
 /// assert_eq!(memo.hits(), 2);
+/// assert_eq!(memo.evictions(), 0);
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct LabelDecisionMemo {
-    interner: LabelInterner,
-    decisions: Vec<LabelDecision>,
-    /// Id of the label the previous tuple carried. Heaps cluster writes by
+    /// Raw label encoding → slot in `entries`.
+    ids: HashMap<Box<[u64]>, usize>,
+    /// Slab of entries; eviction reuses the victim's slot in place, so the
+    /// slab never exceeds `capacity`.
+    entries: Vec<Entry>,
+    /// Most / least recently used ends of the intrusive list.
+    head: usize,
+    tail: usize,
+    capacity: usize,
+    /// Slot of the label the previous tuple carried. Heaps cluster writes by
     /// session, so scans see long runs of one label; the run check is a
     /// slice comparison instead of a hash lookup.
-    last: Option<u32>,
+    last: usize,
     hits: u64,
     misses: u64,
+    evictions: u64,
+}
+
+impl Default for LabelDecisionMemo {
+    fn default() -> Self {
+        Self::with_capacity(DEFAULT_MEMO_CAPACITY)
+    }
 }
 
 impl LabelDecisionMemo {
-    /// Creates an empty memo.
+    /// Creates an empty memo with the default capacity.
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// Creates an empty memo that keeps at most `capacity` (≥ 1) distinct
+    /// labels resident.
+    pub fn with_capacity(capacity: usize) -> Self {
+        LabelDecisionMemo {
+            ids: HashMap::new(),
+            entries: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            capacity: capacity.max(1),
+            last: NIL,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Unlinks `slot` from the recency list.
+    fn unlink(&mut self, slot: usize) {
+        let (prev, next) = (self.entries[slot].prev, self.entries[slot].next);
+        if prev == NIL {
+            self.head = next;
+        } else {
+            self.entries[prev].next = next;
+        }
+        if next == NIL {
+            self.tail = prev;
+        } else {
+            self.entries[next].prev = prev;
+        }
+    }
+
+    /// Links `slot` at the most-recently-used end.
+    fn push_front(&mut self, slot: usize) {
+        self.entries[slot].prev = NIL;
+        self.entries[slot].next = self.head;
+        if self.head != NIL {
+            self.entries[self.head].prev = slot;
+        }
+        self.head = slot;
+        if self.tail == NIL {
+            self.tail = slot;
+        }
+    }
+
+    fn touch(&mut self, slot: usize) {
+        if self.head != slot {
+            self.unlink(slot);
+            self.push_front(slot);
+        }
+    }
+
     /// Returns the decision for a stored label in its raw on-tuple encoding,
-    /// computing it with `compute` on first sight of the label. Also returns
-    /// the decoded stored label, so callers need not re-decode it per tuple.
+    /// computing it with `compute` on first sight of the label (or when the
+    /// label was evicted since). Also returns the decoded stored label, so
+    /// callers need not re-decode it per tuple.
     pub fn decide_raw(
         &mut self,
         raw: &[u64],
         compute: impl FnOnce(&Label) -> LabelDecision,
     ) -> (&Label, &LabelDecision) {
-        if let Some(last) = self.last {
-            let tags = self.interner.resolve(last).as_slice();
-            if tags.len() == raw.len() && tags.iter().zip(raw).all(|(t, r)| t.0 == *r) {
+        // Run fast path: same label as the previous tuple.
+        if self.last != NIL {
+            let e = &self.entries[self.last];
+            if e.key.len() == raw.len() && e.key.iter().zip(raw).all(|(k, r)| k == r) {
                 self.hits += 1;
-                let id = last as usize;
-                return (self.interner.resolve(last), &self.decisions[id]);
+                let slot = self.last;
+                let e = &self.entries[slot];
+                return (&e.label, &e.decision);
             }
         }
-        let id = self.interner.intern_raw(raw) as usize;
-        if id == self.decisions.len() {
-            self.misses += 1;
-            let decision = compute(self.interner.resolve(id as u32));
-            self.decisions.push(decision);
-        } else {
+        if let Some(&slot) = self.ids.get(raw) {
             self.hits += 1;
+            self.touch(slot);
+            self.last = slot;
+            let e = &self.entries[slot];
+            return (&e.label, &e.decision);
         }
-        self.last = Some(id as u32);
-        (self.interner.resolve(id as u32), &self.decisions[id])
+        // Miss: compute, evicting the LRU entry if the memo is full.
+        self.misses += 1;
+        let label = Label::from_array(raw);
+        let decision = compute(&label);
+        let slot = if self.ids.len() >= self.capacity {
+            let victim = self.tail;
+            debug_assert_ne!(victim, NIL);
+            self.unlink(victim);
+            self.ids.remove(&self.entries[victim].key);
+            self.evictions += 1;
+            self.entries[victim] = Entry {
+                key: raw.into(),
+                label,
+                decision,
+                prev: NIL,
+                next: NIL,
+            };
+            victim
+        } else {
+            self.entries.push(Entry {
+                key: raw.into(),
+                label,
+                decision,
+                prev: NIL,
+                next: NIL,
+            });
+            self.entries.len() - 1
+        };
+        self.ids.insert(raw.into(), slot);
+        self.push_front(slot);
+        self.last = slot;
+        let e = &self.entries[slot];
+        (&e.label, &e.decision)
     }
 
     /// [`LabelDecisionMemo::decide_raw`] for an already-decoded label.
@@ -171,14 +301,26 @@ impl LabelDecisionMemo {
         self.hits
     }
 
-    /// Lookups that had to run the full decision.
+    /// Lookups that had to run the full decision (first sight of a label, or
+    /// a label re-seen after eviction).
     pub fn misses(&self) -> u64 {
         self.misses
     }
 
-    /// Number of distinct labels seen by this scan.
+    /// Decisions evicted by the LRU bound.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Maximum number of distinct labels kept resident.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of distinct labels currently resident (equals the number of
+    /// distinct labels seen, until the capacity bound forces evictions).
     pub fn distinct_labels(&self) -> usize {
-        self.interner.len()
+        self.ids.len()
     }
 }
 
@@ -189,6 +331,13 @@ mod tests {
 
     fn lbl(ids: &[u64]) -> Label {
         Label::from_tags(ids.iter().copied().map(TagId))
+    }
+
+    fn admit_len_one(l: &Label) -> LabelDecision {
+        LabelDecision {
+            effective: l.clone(),
+            admit: l.len() == 1,
+        }
     }
 
     #[test]
@@ -213,10 +362,7 @@ mod tests {
         for raw in [&[1u64][..], &[2], &[1], &[1], &[2]] {
             let (stored, d) = memo.decide_raw(raw, |l| {
                 computed += 1;
-                LabelDecision {
-                    effective: l.clone(),
-                    admit: l.len() == 1,
-                }
+                admit_len_one(l)
             });
             assert_eq!(stored, &Label::from_array(raw));
             assert!(d.admit);
@@ -225,6 +371,7 @@ mod tests {
         assert_eq!(memo.distinct_labels(), 2);
         assert_eq!(memo.misses(), 2);
         assert_eq!(memo.hits(), 3);
+        assert_eq!(memo.evictions(), 0);
     }
 
     #[test]
@@ -241,5 +388,67 @@ mod tests {
             let (_, memoized) = memo.decide_raw(raw, decide);
             assert_eq!(memoized, &fresh);
         }
+    }
+
+    #[test]
+    fn lru_bound_evicts_and_recomputes_cold_labels() {
+        let mut memo = LabelDecisionMemo::with_capacity(2);
+        assert_eq!(memo.capacity(), 2);
+        let computed = std::cell::Cell::new(0);
+        let see = |memo: &mut LabelDecisionMemo, raw: &[u64]| {
+            let (_, d) = memo.decide_raw(raw, |l| {
+                computed.set(computed.get() + 1);
+                admit_len_one(l)
+            });
+            d.admit
+        };
+        see(&mut memo, &[1]); // resident: {1}
+        see(&mut memo, &[2]); // resident: {1, 2}
+        assert_eq!(memo.evictions(), 0);
+        see(&mut memo, &[3]); // evicts 1 → {2, 3}
+        assert_eq!(memo.evictions(), 1);
+        assert_eq!(memo.distinct_labels(), 2);
+        // 2 is still resident (hit); re-seeing 1 must recompute.
+        see(&mut memo, &[2]);
+        assert_eq!(memo.hits(), 1);
+        see(&mut memo, &[1]); // evicts 3 (2 was touched more recently)
+        assert_eq!(computed.get(), 4);
+        assert_eq!(memo.evictions(), 2);
+        // Recomputed decisions are still correct after churn.
+        assert!(see(&mut memo, &[1]));
+        assert!(!see(&mut memo, &[1, 2]));
+    }
+
+    #[test]
+    fn lru_respects_recency_under_run_fast_path() {
+        let mut memo = LabelDecisionMemo::with_capacity(2);
+        let see = |memo: &mut LabelDecisionMemo, raw: &[u64]| {
+            memo.decide_raw(raw, admit_len_one);
+        };
+        see(&mut memo, &[1]);
+        see(&mut memo, &[2]);
+        // A run of [2]s served by the fast path must not let [2] be the
+        // eviction victim just because touch() was skipped.
+        see(&mut memo, &[2]);
+        see(&mut memo, &[2]);
+        see(&mut memo, &[3]); // must evict [1], not [2]
+        assert_eq!(memo.distinct_labels(), 2);
+        let before = memo.misses();
+        see(&mut memo, &[2]);
+        assert_eq!(memo.misses(), before, "[2] stayed resident");
+    }
+
+    #[test]
+    fn capacity_one_still_serves_runs() {
+        let mut memo = LabelDecisionMemo::with_capacity(0); // clamped to 1
+        assert_eq!(memo.capacity(), 1);
+        for _ in 0..5 {
+            memo.decide_raw(&[7], admit_len_one);
+        }
+        assert_eq!(memo.misses(), 1);
+        assert_eq!(memo.hits(), 4);
+        memo.decide_raw(&[8], admit_len_one);
+        assert_eq!(memo.evictions(), 1);
+        assert_eq!(memo.distinct_labels(), 1);
     }
 }

@@ -16,7 +16,7 @@ use crate::policy::HotcrpPolicy;
 
 fn requesting_person<'a>(
     policy: &'a HotcrpPolicy,
-    session: &ifdb::Session,
+    session: &dyn ifdb::SessionApi,
 ) -> Option<&'a crate::policy::PersonHandle> {
     let principal = session.principal();
     policy.people().iter().find(|p| p.principal == principal)

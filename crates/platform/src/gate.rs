@@ -6,10 +6,15 @@
 //! every write is checked against the process label; a contaminated process
 //! produces no output regardless of what it read.
 
-use ifdb::{IfdbResult, Session};
+use ifdb::{IfdbResult, SessionApi};
 
 /// Collects the output of one request, enforcing the release check on every
 /// write.
+///
+/// The gate is transport-independent: it takes any [`SessionApi`], so it
+/// interposes identically whether the session is in-process or a remote
+/// `ifdb-client` connection (whose label mirror makes the check local, as
+/// PHP-IF tracks the label in the runtime).
 #[derive(Debug, Default)]
 pub struct ResponseWriter {
     lines: Vec<String>,
@@ -24,7 +29,7 @@ impl ResponseWriter {
 
     /// Emits a line of output on behalf of `session`. Fails (and records a
     /// blocked write) if the session's label is not empty.
-    pub fn emit(&mut self, session: &Session, line: impl Into<String>) -> IfdbResult<()> {
+    pub fn emit(&mut self, session: &dyn SessionApi, line: impl Into<String>) -> IfdbResult<()> {
         match session.check_release_to_world() {
             Ok(()) => {
                 self.lines.push(line.into());
@@ -40,7 +45,7 @@ impl ResponseWriter {
     /// Emits a line, swallowing a blocked-release error (the paper's
     /// behaviour: the contaminated script simply produces no output). Returns
     /// `true` if the line was delivered.
-    pub fn emit_or_drop(&mut self, session: &Session, line: impl Into<String>) -> bool {
+    pub fn emit_or_drop(&mut self, session: &dyn SessionApi, line: impl Into<String>) -> bool {
         self.emit(session, line).is_ok()
     }
 

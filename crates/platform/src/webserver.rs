@@ -1,21 +1,32 @@
 //! The simulated web/application server.
 //!
 //! The server hosts named request scripts (the `*.php` files of CarTel and
-//! HotCRP). For every request it opens a fresh database session — the
-//! per-process label tracking of the platform — authenticates the user
-//! through the trusted [`crate::auth::Authenticator`], charges a configurable
+//! HotCRP). For every request it opens a database session — the per-process
+//! label tracking of the platform — authenticates the user through the
+//! trusted [`crate::auth::Authenticator`], charges a configurable
 //! per-request CPU cost (so benchmarks can reproduce the web-server-bound
 //! configuration of Figure 4, where the interpreted PHP-IF layer is the
 //! bottleneck), runs the script, and returns whatever output made it through
 //! the output gate.
+//!
+//! Scripts are written against `&mut dyn SessionApi`, so the server runs
+//! them over either backend:
+//!
+//! * **in-process** ([`AppServer::new`]) — each request gets a fresh
+//!   [`ifdb::Session`], the seed deployment;
+//! * **networked** ([`AppServer::networked`]) — the server keeps a pool of
+//!   `ifdb-client` connections to a real `ifdb-server` and re-authenticates
+//!   one per request (the paper's architecture: the web server is a trusted
+//!   platform process speaking the DBMS wire protocol).
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use ifdb::{Database, IfdbResult, Session};
-use parking_lot::RwLock;
+use ifdb::{Database, IfdbResult, SessionApi};
+use ifdb_client::{ClientConfig, Connection};
+use parking_lot::{Mutex, RwLock};
 
 use crate::auth::Authenticator;
 use crate::gate::ResponseWriter;
@@ -83,8 +94,12 @@ impl Response {
 
 /// A request script: the application code run for one request. Scripts are
 /// untrusted: they receive a session already bound to the requesting
-/// principal and can only emit output through the gate.
-pub type Script = Arc<dyn Fn(&mut Session, &Request, &mut ResponseWriter) -> IfdbResult<()> + Send + Sync>;
+/// principal and can only emit output through the gate. The session is a
+/// `dyn SessionApi`, so the same script body runs in-process or over the
+/// wire protocol.
+pub type Script = Arc<
+    dyn Fn(&mut dyn SessionApi, &Request, &mut ResponseWriter) -> IfdbResult<()> + Send + Sync,
+>;
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -112,10 +127,28 @@ impl Default for ServerConfig {
     }
 }
 
+/// How the application server reaches the database.
+enum Backend {
+    /// Open a fresh in-process [`ifdb::Session`] per request.
+    InProcess,
+    /// Speak the wire protocol to an `ifdb-server`, reusing pooled
+    /// [`Connection`]s across requests (one login per request).
+    Remote {
+        /// The `ifdb-server` address.
+        addr: String,
+        /// The platform secret that lets pooled connections switch users on
+        /// the session-cookie path without a password.
+        platform_secret: String,
+        /// Idle connections ready for the next request.
+        pool: Mutex<Vec<Connection>>,
+    },
+}
+
 /// The application server.
 pub struct AppServer {
     db: Database,
     auth: Arc<Authenticator>,
+    backend: Backend,
     scripts: RwLock<HashMap<String, Script>>,
     config: ServerConfig,
     requests_handled: AtomicU64,
@@ -132,16 +165,52 @@ impl std::fmt::Debug for AppServer {
 }
 
 impl AppServer {
-    /// Creates a server for `db` with the given authenticator and config.
+    /// Creates a server for `db` with the given authenticator and config,
+    /// running every request against an in-process session.
     pub fn new(db: Database, auth: Arc<Authenticator>, config: ServerConfig) -> Self {
         AppServer {
             db,
             auth,
+            backend: Backend::InProcess,
             scripts: RwLock::new(HashMap::new()),
             config,
             requests_handled: AtomicU64::new(0),
             requests_failed: AtomicU64::new(0),
         }
+    }
+
+    /// Creates a server that runs every request over the wire protocol
+    /// against the `ifdb-server` at `addr`, authenticating pooled
+    /// connections with `platform_secret` (which must match the
+    /// `ifdb-server`'s configured secret). `db` is the same database the
+    /// `ifdb-server` fronts; the handle is kept for script registration
+    /// (views, stored procedures) and statistics — request execution goes
+    /// through the network.
+    pub fn networked(
+        db: Database,
+        auth: Arc<Authenticator>,
+        config: ServerConfig,
+        addr: &str,
+        platform_secret: &str,
+    ) -> Self {
+        AppServer {
+            db,
+            auth,
+            backend: Backend::Remote {
+                addr: addr.to_string(),
+                platform_secret: platform_secret.to_string(),
+                pool: Mutex::new(Vec::new()),
+            },
+            scripts: RwLock::new(HashMap::new()),
+            config,
+            requests_handled: AtomicU64::new(0),
+            requests_failed: AtomicU64::new(0),
+        }
+    }
+
+    /// Returns `true` if requests go over the wire protocol.
+    pub fn is_networked(&self) -> bool {
+        matches!(self.backend, Backend::Remote { .. })
     }
 
     /// The underlying database.
@@ -152,6 +221,13 @@ impl AppServer {
     /// The authenticator.
     pub fn authenticator(&self) -> &Authenticator {
         &self.auth
+    }
+
+    /// A shared handle to the authenticator — hand this to
+    /// `ifdb_server::start` so the network service authenticates the same
+    /// users the platform registered.
+    pub fn auth_handle(&self) -> Arc<Authenticator> {
+        self.auth.clone()
     }
 
     /// Registers a script under the given name.
@@ -195,6 +271,27 @@ impl AppServer {
             self.burn_cpu(self.config.ifc_request_cost);
         }
 
+        let (error, writer) = match &self.backend {
+            Backend::InProcess => self.handle_in_process(request),
+            Backend::Remote {
+                addr,
+                platform_secret,
+                pool,
+            } => self.handle_remote(request, addr, platform_secret, pool),
+        };
+        self.requests_handled.fetch_add(1, Ordering::Relaxed);
+        if error.is_some() {
+            self.requests_failed.fetch_add(1, Ordering::Relaxed);
+        }
+        Response {
+            body: writer.lines().to_vec(),
+            blocked_writes: writer.blocked_writes(),
+            error,
+            elapsed: start.elapsed(),
+        }
+    }
+
+    fn handle_in_process(&self, request: &Request) -> (Option<String>, ResponseWriter) {
         // Resolve the acting principal through the trusted authenticator.
         let principal = request
             .credentials
@@ -210,25 +307,73 @@ impl AppServer {
             Some(p) => self.db.session(p),
             None => self.db.anonymous_session(),
         };
-
-        let script = self.scripts.read().get(&request.script).cloned();
         let mut writer = ResponseWriter::new();
-        let error = match script {
-            None => Some(format!("no such script {:?}", request.script)),
-            Some(script) => match script(&mut session, request, &mut writer) {
-                Ok(()) => None,
-                Err(e) => Some(e.to_string()),
-            },
+        let error = self.run_script(&mut session, request, &mut writer);
+        (error.map(|e| e.to_string()), writer)
+    }
+
+    fn handle_remote(
+        &self,
+        request: &Request,
+        addr: &str,
+        platform_secret: &str,
+        pool: &Mutex<Vec<Connection>>,
+    ) -> (Option<String>, ResponseWriter) {
+        let mut writer = ResponseWriter::new();
+        // Reuse a pooled trusted connection or dial a new one.
+        let conn = pool.lock().pop();
+        let mut conn = match conn {
+            Some(c) => c,
+            None => {
+                let config =
+                    ClientConfig::anonymous(addr).with_platform_secret(platform_secret);
+                match Connection::connect(&config) {
+                    Ok(c) => c,
+                    Err(e) => return (Some(format!("db connect: {e}")), writer),
+                }
+            }
         };
-        self.requests_handled.fetch_add(1, Ordering::Relaxed);
-        if error.is_some() {
-            self.requests_failed.fetch_add(1, Ordering::Relaxed);
+        // Authenticate this request on the connection. Failed credentials
+        // and unknown cookies degrade to the anonymous principal, exactly
+        // like the in-process path.
+        let login = match (&request.credentials, &request.user) {
+            (Some((u, p)), _) => conn.login(u, p).or_else(|_| conn.login_as("")),
+            (None, Some(u)) => conn.login_as(u).or_else(|_| conn.login_as("")),
+            (None, None) => conn.login_as(""),
+        };
+        if let Err(e) = login {
+            return (Some(format!("db login: {e}")), writer);
         }
-        Response {
-            body: writer.lines().to_vec(),
-            blocked_writes: writer.blocked_writes(),
-            error,
-            elapsed: start.elapsed(),
+        let error = self.run_script(&mut conn, request, &mut writer);
+        // Return the connection to the pool unless the transport itself
+        // broke (protocol-level failure: dead socket, corrupt frame).
+        let transport_broken = matches!(
+            &error,
+            Some(ifdb::IfdbError::Remote { code, .. })
+                if *code == ifdb_client::protocol::code::PROTOCOL as u16
+        );
+        if !transport_broken {
+            if conn.in_transaction() {
+                let _ = conn.abort();
+            }
+            pool.lock().push(conn);
+        }
+        (error.map(|e| e.to_string()), writer)
+    }
+
+    fn run_script(
+        &self,
+        session: &mut dyn SessionApi,
+        request: &Request,
+        writer: &mut ResponseWriter,
+    ) -> Option<ifdb::IfdbError> {
+        let script = self.scripts.read().get(&request.script).cloned();
+        match script {
+            None => Some(ifdb::IfdbError::InvalidStatement(format!(
+                "no such script {:?}",
+                request.script
+            ))),
+            Some(script) => script(session, request, writer).err(),
         }
     }
 }

@@ -1,0 +1,991 @@
+//! `ifdb-server`: the concurrent network front end of the IFDB reproduction.
+//!
+//! The paper's IFDB is a *server*: application processes connect over a wire
+//! protocol, each connection carries a process label and acts for one
+//! principal, and the DBMS enforces Query by Label per connection while many
+//! clients operate concurrently (Section 7). This crate provides that front
+//! door for the reproduction:
+//!
+//! * a `std::net::TcpListener` accept loop feeding a **bounded queue** of
+//!   pending connections (admission control: beyond the backlog, connections
+//!   are refused with a `SERVER_BUSY` error instead of queueing unboundedly);
+//! * a **fixed worker pool**; each worker serves one connection at a time,
+//!   so `workers` bounds concurrent sessions;
+//! * per-connection [`ifdb::Session`] state: the process label, the open
+//!   transaction, and result cursors for streamed batches;
+//! * a **server-wide prepared-statement cache** ([`StatementCache`]): value-
+//!   free statement templates are deduplicated across connections and
+//!   executions send a 4-byte id plus parameters;
+//! * per-connection **statement timeouts** and **graceful shutdown** that
+//!   drains in-flight transactions briefly and aborts stragglers, so
+//!   recovery after a restart stays clean.
+//!
+//! The wire protocol lives in [`ifdb_client::protocol`]; this crate is the
+//! serving half.
+
+#![deny(missing_docs)]
+
+use std::collections::{HashMap, VecDeque};
+use std::io::BufWriter;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
+use std::time::{Duration, Instant};
+
+use ifdb::{Database, IfdbError, IfdbResult, Row, Session, SessionApi, StatementResult};
+use ifdb_client::protocol::{
+    code, decode_template, encode_error, read_frame, write_frame, Request, Response, WireRow,
+    PROTOCOL_VERSION,
+};
+use ifdb_difc::Label;
+use ifdb_platform::Authenticator;
+use parking_lot::RwLock;
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Address to bind; use port 0 for an ephemeral port (tests).
+    pub addr: String,
+    /// Worker threads — the maximum number of concurrently served
+    /// connections.
+    pub workers: usize,
+    /// Bounded accept queue: connections beyond `workers` wait here; beyond
+    /// the backlog they are refused with `SERVER_BUSY`.
+    pub accept_backlog: usize,
+    /// Per-connection statement timeout. A statement that exceeds it inside
+    /// an explicit transaction aborts the transaction and reports
+    /// `STATEMENT_TIMEOUT`; an auto-committed statement past the deadline is
+    /// delivered (its effects are already durable) but counted as slow.
+    pub statement_timeout: Duration,
+    /// Default rows per result batch when the client does not ask for a
+    /// specific fetch size.
+    pub fetch_batch: usize,
+    /// Maximum number of distinct statement templates the server-wide cache
+    /// holds; further distinct shapes are refused (steady-state workloads
+    /// use a handful).
+    pub stmt_cache_capacity: usize,
+    /// Shared secret that marks a connection as a trusted platform (web/app
+    /// server), allowing password-less user switches on the session-cookie
+    /// path.
+    pub platform_secret: Option<String>,
+    /// How long shutdown waits for connections with open transactions to
+    /// finish before aborting them.
+    pub drain_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 16,
+            accept_backlog: 32,
+            statement_timeout: Duration::from_secs(5),
+            fetch_batch: 256,
+            stmt_cache_capacity: 4096,
+            platform_secret: None,
+            drain_timeout: Duration::from_secs(2),
+        }
+    }
+}
+
+/// A snapshot of the server's counters.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Connections accepted and served (or queued).
+    pub connections_accepted: u64,
+    /// Connections refused by admission control (queue full).
+    pub connections_rejected: u64,
+    /// Connections currently being served.
+    pub connections_active: u64,
+    /// Protocol requests handled.
+    pub requests: u64,
+    /// Statements executed (Execute messages).
+    pub statements: u64,
+    /// Prepared-statement cache hits (an Execute resolved a cached template,
+    /// or a Prepare found its template already cached).
+    pub stmt_cache_hits: u64,
+    /// Prepared-statement cache misses (a Prepare registered a new
+    /// template).
+    pub stmt_cache_misses: u64,
+    /// Distinct templates resident in the cache.
+    pub stmt_cache_size: u64,
+    /// Statements that exceeded the statement timeout inside an explicit
+    /// transaction (transaction aborted).
+    pub statement_timeouts: u64,
+    /// Auto-committed statements that finished past the deadline (delivered,
+    /// but flagged).
+    pub slow_statements: u64,
+    /// In-flight transactions aborted because their connection died or the
+    /// server shut down before they finished.
+    pub txns_aborted_on_disconnect: u64,
+}
+
+impl ServerStats {
+    /// Prepared-statement cache hit rate in `[0, 1]`; 1.0 with no traffic.
+    pub fn stmt_cache_hit_rate(&self) -> f64 {
+        let total = self.stmt_cache_hits + self.stmt_cache_misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.stmt_cache_hits as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Default)]
+struct Counters {
+    connections_accepted: AtomicU64,
+    connections_rejected: AtomicU64,
+    connections_active: AtomicU64,
+    requests: AtomicU64,
+    statements: AtomicU64,
+    stmt_cache_hits: AtomicU64,
+    stmt_cache_misses: AtomicU64,
+    statement_timeouts: AtomicU64,
+    slow_statements: AtomicU64,
+    txns_aborted_on_disconnect: AtomicU64,
+}
+
+/// The server-wide prepared-statement cache: statement templates (value-free
+/// shapes, see [`ifdb_client::protocol::encode_template`]) deduplicated
+/// across every connection. Ids are global, so two connections preparing the
+/// same shape share one entry, and the bound template is parsed once per
+/// execution from its cached bytes rather than shipped in full per request.
+pub struct StatementCache {
+    by_template: RwLock<HashMap<Arc<[u8]>, u32>>,
+    templates: RwLock<Vec<Arc<[u8]>>>,
+    capacity: usize,
+}
+
+impl StatementCache {
+    fn new(capacity: usize) -> Self {
+        StatementCache {
+            by_template: RwLock::new(HashMap::new()),
+            templates: RwLock::new(Vec::new()),
+            capacity,
+        }
+    }
+
+    /// Registers a template, returning `(id, was_cached)`.
+    fn prepare(&self, template: Vec<u8>) -> IfdbResult<(u32, bool)> {
+        if let Some(id) = self.by_template.read().get(template.as_slice()) {
+            return Ok((*id, true));
+        }
+        let mut by_template = self.by_template.write();
+        if let Some(id) = by_template.get(template.as_slice()) {
+            return Ok((*id, true));
+        }
+        let mut templates = self.templates.write();
+        if templates.len() >= self.capacity {
+            return Err(IfdbError::Remote {
+                code: code::SERVER_BUSY as u16,
+                detail: format!(
+                    "statement cache full ({} templates); workload exceeds the configured shape budget",
+                    self.capacity
+                ),
+            });
+        }
+        let arc: Arc<[u8]> = template.into();
+        let id = templates.len() as u32 + 1; // 0 is reserved
+        templates.push(arc.clone());
+        by_template.insert(arc, id);
+        Ok((id, false))
+    }
+
+    fn resolve(&self, id: u32) -> Option<Arc<[u8]>> {
+        self.templates
+            .read()
+            .get((id as usize).checked_sub(1)?)
+            .cloned()
+    }
+
+    fn len(&self) -> usize {
+        self.templates.read().len()
+    }
+}
+
+struct Shared {
+    db: Database,
+    auth: Arc<Authenticator>,
+    config: ServerConfig,
+    shutdown: AtomicBool,
+    shutdown_at: StdMutex<Option<Instant>>,
+    queue: StdMutex<VecDeque<TcpStream>>,
+    queue_cvar: Condvar,
+    counters: Counters,
+    cache: StatementCache,
+}
+
+impl Shared {
+    fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::Relaxed)
+    }
+
+    fn past_drain_deadline(&self) -> bool {
+        let at = self.shutdown_at.lock().expect("shutdown lock");
+        match *at {
+            Some(t) => t.elapsed() >= self.config.drain_timeout,
+            None => false,
+        }
+    }
+}
+
+/// A handle to a running server: its bound address, statistics, and the
+/// shutdown switch.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ServerHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerHandle")
+            .field("addr", &self.addr)
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+impl ServerHandle {
+    /// The address the server is listening on (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The database the server fronts.
+    pub fn database(&self) -> &Database {
+        &self.shared.db
+    }
+
+    /// A snapshot of the server's counters.
+    pub fn stats(&self) -> ServerStats {
+        let c = &self.shared.counters;
+        ServerStats {
+            connections_accepted: c.connections_accepted.load(Ordering::Relaxed),
+            connections_rejected: c.connections_rejected.load(Ordering::Relaxed),
+            connections_active: c.connections_active.load(Ordering::Relaxed),
+            requests: c.requests.load(Ordering::Relaxed),
+            statements: c.statements.load(Ordering::Relaxed),
+            stmt_cache_hits: c.stmt_cache_hits.load(Ordering::Relaxed),
+            stmt_cache_misses: c.stmt_cache_misses.load(Ordering::Relaxed),
+            stmt_cache_size: self.shared.cache.len() as u64,
+            statement_timeouts: c.statement_timeouts.load(Ordering::Relaxed),
+            slow_statements: c.slow_statements.load(Ordering::Relaxed),
+            txns_aborted_on_disconnect: c.txns_aborted_on_disconnect.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Gracefully shuts the server down: stop accepting, let connections
+    /// with open transactions finish within the drain timeout, abort the
+    /// stragglers, and join every thread. In-flight transactions that do not
+    /// commit in time are aborted (never left active), so a subsequent
+    /// recovery replays a clean history.
+    pub fn shutdown(mut self) {
+        {
+            let mut at = self.shared.shutdown_at.lock().expect("shutdown lock");
+            *at = Some(Instant::now());
+        }
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.queue_cvar.notify_all();
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        // Refuse anything still queued.
+        let mut queue = self.shared.queue.lock().expect("queue lock");
+        while let Some(stream) = queue.pop_front() {
+            refuse(stream, code::SHUTTING_DOWN, "server is shutting down");
+        }
+    }
+}
+
+/// Starts a server over `db`, authenticating users against `auth`.
+pub fn start(db: Database, auth: Arc<Authenticator>, config: ServerConfig) -> IfdbResult<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr).map_err(|e| IfdbError::Remote {
+        code: code::REMOTE as u16,
+        detail: format!("bind {}: {e}", config.addr),
+    })?;
+    listener.set_nonblocking(true).map_err(|e| IfdbError::Remote {
+        code: code::REMOTE as u16,
+        detail: format!("nonblocking: {e}"),
+    })?;
+    let addr = listener.local_addr().map_err(|e| IfdbError::Remote {
+        code: code::REMOTE as u16,
+        detail: format!("local_addr: {e}"),
+    })?;
+    let shared = Arc::new(Shared {
+        db,
+        auth,
+        cache: StatementCache::new(config.stmt_cache_capacity),
+        config,
+        shutdown: AtomicBool::new(false),
+        shutdown_at: StdMutex::new(None),
+        queue: StdMutex::new(VecDeque::new()),
+        queue_cvar: Condvar::new(),
+        counters: Counters::default(),
+    });
+
+    let accept_shared = shared.clone();
+    let accept_thread = std::thread::Builder::new()
+        .name("ifdb-accept".into())
+        .spawn(move || accept_loop(listener, accept_shared))
+        .expect("spawn accept thread");
+
+    let mut workers = Vec::new();
+    for i in 0..shared.config.workers.max(1) {
+        let worker_shared = shared.clone();
+        workers.push(
+            std::thread::Builder::new()
+                .name(format!("ifdb-worker-{i}"))
+                .spawn(move || worker_loop(worker_shared))
+                .expect("spawn worker"),
+        );
+    }
+
+    Ok(ServerHandle {
+        addr,
+        shared,
+        accept_thread: Some(accept_thread),
+        workers,
+    })
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    while !shared.shutting_down() {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let mut queue = shared.queue.lock().expect("queue lock");
+                if queue.len() >= shared.config.accept_backlog {
+                    drop(queue);
+                    shared
+                        .counters
+                        .connections_rejected
+                        .fetch_add(1, Ordering::Relaxed);
+                    refuse(stream, code::SERVER_BUSY, "accept queue full");
+                    continue;
+                }
+                shared
+                    .counters
+                    .connections_accepted
+                    .fetch_add(1, Ordering::Relaxed);
+                queue.push_back(stream);
+                drop(queue);
+                shared.queue_cvar.notify_one();
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+}
+
+/// Sends a one-shot error frame on a connection we will not serve, then
+/// drops it. Best effort: the peer may already be gone.
+fn refuse(stream: TcpStream, code_: u8, detail: &str) {
+    let mut w = BufWriter::new(stream);
+    let resp = Response::Error {
+        code: code_,
+        detail: detail.to_string(),
+        label0: Vec::new(),
+        label1: Vec::new(),
+        aux: 0,
+        session_label: None,
+    };
+    let _ = write_frame(&mut w, &resp.encode());
+}
+
+fn worker_loop(shared: Arc<Shared>) {
+    loop {
+        let stream = {
+            let mut queue = shared.queue.lock().expect("queue lock");
+            loop {
+                if let Some(s) = queue.pop_front() {
+                    break Some(s);
+                }
+                if shared.shutting_down() {
+                    break None;
+                }
+                let (q, _) = shared
+                    .queue_cvar
+                    .wait_timeout(queue, Duration::from_millis(100))
+                    .expect("queue lock");
+                queue = q;
+            }
+        };
+        let Some(stream) = stream else { return };
+        shared
+            .counters
+            .connections_active
+            .fetch_add(1, Ordering::Relaxed);
+        // A panic inside a connection must not kill the worker; the session
+        // is dropped (aborting any open transaction) and the worker moves on.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            serve_connection(&shared, stream)
+        }));
+        shared
+            .counters
+            .connections_active
+            .fetch_sub(1, Ordering::Relaxed);
+        if result.is_err() {
+            // Nothing to do: state lives in the dropped session.
+        }
+    }
+}
+
+/// One result cursor: the rows remaining to stream.
+struct Cursor {
+    rows: std::vec::IntoIter<Row>,
+}
+
+/// Everything the server keeps for one connection.
+struct ConnState {
+    session: Session,
+    trusted: bool,
+    cursors: HashMap<u32, Cursor>,
+    next_cursor: u32,
+}
+
+fn serve_connection(shared: &Arc<Shared>, stream: TcpStream) {
+    if stream.set_nodelay(true).is_err() {
+        return;
+    }
+    // Short poll timeout so idle connections notice shutdown promptly; the
+    // frame reader below only runs once bytes have started arriving.
+    if stream
+        .set_read_timeout(Some(Duration::from_millis(100)))
+        .is_err()
+    {
+        return;
+    }
+    let Ok(read_stream) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = std::io::BufReader::new(read_stream);
+    let mut writer = BufWriter::new(stream);
+
+    let mut state: Option<ConnState> = None;
+    loop {
+        // Wait for the next request, polling for shutdown while idle.
+        match wait_for_frame(shared, &mut reader, &state) {
+            WaitOutcome::Frame(payload) => {
+                let request = match Request::decode(&payload) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        let _ = write_frame(&mut writer, &encode_error(&e).encode());
+                        break;
+                    }
+                };
+                shared.counters.requests.fetch_add(1, Ordering::Relaxed);
+                let is_goodbye = matches!(request, Request::Goodbye);
+                let resp = handle_request(shared, &mut state, request);
+                if write_frame(&mut writer, &resp.encode()).is_err() {
+                    break;
+                }
+                if is_goodbye {
+                    break;
+                }
+            }
+            WaitOutcome::Closed => break,
+            WaitOutcome::ShuttingDown => {
+                // Be explicit with a peer that is mid-frame-boundary idle.
+                let resp = Response::Error {
+                    code: code::SHUTTING_DOWN,
+                    detail: "server is shutting down".into(),
+                    label0: Vec::new(),
+                    label1: Vec::new(),
+                    aux: 0,
+                    session_label: None,
+                };
+                let _ = write_frame(&mut writer, &resp.encode());
+                break;
+            }
+        }
+    }
+    // Connection over (EOF, error, Goodbye or shutdown): an in-flight
+    // transaction must not stay active. Session::drop aborts it; count it
+    // here so operators can see disconnect-aborts distinctly.
+    if let Some(s) = &state {
+        if s.session.in_transaction() {
+            shared
+                .counters
+                .txns_aborted_on_disconnect
+                .fetch_add(1, Ordering::Relaxed);
+        }
+    }
+    drop(state);
+}
+
+enum WaitOutcome {
+    Frame(Vec<u8>),
+    Closed,
+    ShuttingDown,
+}
+
+/// Polls for the next frame with a short socket timeout so shutdown is
+/// noticed while idle. During shutdown, a connection with an open
+/// transaction is drained until the deadline; everything else stops at the
+/// next idle point.
+fn wait_for_frame(
+    shared: &Arc<Shared>,
+    reader: &mut std::io::BufReader<TcpStream>,
+    state: &Option<ConnState>,
+) -> WaitOutcome {
+    loop {
+        if shared.shutting_down() {
+            let draining = state
+                .as_ref()
+                .map(|s| s.session.in_transaction())
+                .unwrap_or(false);
+            if !draining || shared.past_drain_deadline() {
+                return WaitOutcome::ShuttingDown;
+            }
+        }
+        // A previous read may have pulled the next frame (or part of it)
+        // into the BufReader already — e.g. a pipelining client; the socket
+        // peek below would never see those bytes.
+        if !std::io::BufRead::fill_buf(reader)
+            .map(|b| b.is_empty())
+            .unwrap_or(true)
+        {
+            return read_started_frame(reader);
+        }
+        // Peek one byte (with the 100ms socket timeout) to learn whether a
+        // frame is arriving without consuming anything.
+        let mut probe = [0u8; 1];
+        match reader.get_ref().peek(&mut probe) {
+            Ok(0) => return WaitOutcome::Closed,
+            Ok(_) => return read_started_frame(reader),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => return WaitOutcome::Closed,
+        }
+    }
+}
+
+/// Reads a frame whose first bytes have arrived. The idle-poll 100ms socket
+/// timeout is widened for the frame body so a large frame trickling over a
+/// slow link is not mistaken for a dead connection, then restored.
+fn read_started_frame(reader: &mut std::io::BufReader<TcpStream>) -> WaitOutcome {
+    let _ = reader
+        .get_ref()
+        .set_read_timeout(Some(Duration::from_secs(30)));
+    let outcome = match read_frame(reader) {
+        Ok(Some(payload)) => WaitOutcome::Frame(payload),
+        Ok(None) => WaitOutcome::Closed,
+        Err(_) => WaitOutcome::Closed,
+    };
+    let _ = reader
+        .get_ref()
+        .set_read_timeout(Some(Duration::from_millis(100)));
+    outcome
+}
+
+fn ok_or_err(r: IfdbResult<Response>) -> Response {
+    match r {
+        Ok(resp) => resp,
+        Err(e) => encode_error(&e),
+    }
+}
+
+fn handle_request(
+    shared: &Arc<Shared>,
+    state: &mut Option<ConnState>,
+    request: Request,
+) -> Response {
+    match request {
+        Request::Hello {
+            version,
+            user,
+            password,
+            platform_secret,
+            label,
+        } => ok_or_err(handle_hello(
+            shared,
+            state,
+            version,
+            user,
+            password,
+            platform_secret,
+            label,
+        )),
+        Request::Goodbye => Response::Bye,
+        other => {
+            let Some(conn) = state.as_mut() else {
+                return encode_error(&IfdbError::Remote {
+                    code: code::PROTOCOL as u16,
+                    detail: "handshake required before any other message".into(),
+                });
+            };
+            match handle_message(shared, conn, other) {
+                Ok(resp) => resp,
+                // A failed statement can still have changed the process
+                // label (a trigger raised it before the statement aborted);
+                // attach the authoritative label so the client mirror — and
+                // its output gate — follows error paths too.
+                Err(e) => match encode_error(&e) {
+                    Response::Error {
+                        code,
+                        detail,
+                        label0,
+                        label1,
+                        aux,
+                        ..
+                    } => Response::Error {
+                        code,
+                        detail,
+                        label0,
+                        label1,
+                        aux,
+                        session_label: Some(conn.session.label().to_array()),
+                    },
+                    resp => resp,
+                },
+            }
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn handle_hello(
+    shared: &Arc<Shared>,
+    state: &mut Option<ConnState>,
+    version: u32,
+    user: String,
+    password: String,
+    platform_secret: Option<String>,
+    label: Vec<u64>,
+) -> IfdbResult<Response> {
+    if version != PROTOCOL_VERSION {
+        return Err(IfdbError::Remote {
+            code: code::PROTOCOL as u16,
+            detail: format!("protocol version {version} unsupported (want {PROTOCOL_VERSION})"),
+        });
+    }
+    if state.is_some() {
+        return Err(IfdbError::Remote {
+            code: code::PROTOCOL as u16,
+            detail: "duplicate handshake".into(),
+        });
+    }
+    let trusted = match (&shared.config.platform_secret, &platform_secret) {
+        (Some(expected), Some(got)) if expected == got => true,
+        (_, None) => false,
+        _ => {
+            return Err(IfdbError::Remote {
+                code: code::REMOTE as u16,
+                detail: "invalid platform secret".into(),
+            })
+        }
+    };
+    let principal = authenticate(shared, &user, Some(&password), trusted)?;
+    let mut session = shared.db.session(principal);
+    let initial = Label::from_array(&label);
+    if !initial.is_empty() {
+        session.raise_label(&initial)?;
+    }
+    let resp = Response::HelloOk {
+        principal: principal.0,
+        label: session.label().to_array(),
+    };
+    *state = Some(ConnState {
+        session,
+        trusted,
+        cursors: HashMap::new(),
+        next_cursor: 1,
+    });
+    Ok(resp)
+}
+
+fn authenticate(
+    shared: &Arc<Shared>,
+    user: &str,
+    password: Option<&str>,
+    trusted: bool,
+) -> IfdbResult<ifdb_difc::PrincipalId> {
+    if user.is_empty() {
+        return Ok(shared.db.anonymous());
+    }
+    match password {
+        Some(p) => shared
+            .auth
+            .authenticate(user, p)
+            .ok_or_else(|| IfdbError::Remote {
+                code: code::REMOTE as u16,
+                detail: format!("authentication failed for {user:?}"),
+            }),
+        None => {
+            // Password-less switch: only the trusted platform (which already
+            // authenticated the user at its layer) may do this.
+            if !trusted {
+                return Err(IfdbError::Remote {
+                    code: code::REMOTE as u16,
+                    detail: "trusted login requires the platform secret".into(),
+                });
+            }
+            shared
+                .auth
+                .principal_of(user)
+                .ok_or_else(|| IfdbError::Remote {
+                    code: code::REMOTE as u16,
+                    detail: format!("unknown user {user:?}"),
+                })
+        }
+    }
+}
+
+/// Per-connection bound on open cursors: a client that executes queries
+/// but never drains or closes its cursors must not grow server memory
+/// without limit, so the oldest cursor is discarded beyond this.
+const MAX_CURSORS_PER_CONNECTION: usize = 64;
+
+fn result_rows_response(conn: &mut ConnState, rows: Vec<Row>, batch: usize) -> Response {
+    let columns = rows
+        .first()
+        .map(|r| (*r.columns).clone())
+        .unwrap_or_default();
+    let label = conn.session.label().to_array();
+    let batch = batch.max(1);
+    if rows.len() <= batch {
+        return Response::Rows {
+            columns,
+            rows: rows.into_iter().map(to_wire_row).collect(),
+            cursor: 0,
+            label,
+        };
+    }
+    let mut iter = rows.into_iter();
+    let first: Vec<WireRow> = iter.by_ref().take(batch).map(to_wire_row).collect();
+    if conn.cursors.len() >= MAX_CURSORS_PER_CONNECTION {
+        // Abandoned-cursor protection: drop the oldest (smallest id still
+        // open). The owner, if it ever fetches it, gets "unknown cursor".
+        if let Some(oldest) = conn.cursors.keys().min().copied() {
+            conn.cursors.remove(&oldest);
+        }
+    }
+    let id = conn.next_cursor;
+    conn.next_cursor = conn.next_cursor.wrapping_add(1).max(1);
+    conn.cursors.insert(id, Cursor { rows: iter });
+    Response::Rows {
+        columns,
+        rows: first,
+        cursor: id,
+        label,
+    }
+}
+
+fn ok_with_label(session: &Session) -> Response {
+    Response::Ok {
+        label: session.label().to_array(),
+    }
+}
+
+fn to_wire_row(r: Row) -> WireRow {
+    WireRow {
+        label: r.label.to_array(),
+        values: r.values,
+    }
+}
+
+fn handle_message(
+    shared: &Arc<Shared>,
+    conn: &mut ConnState,
+    request: Request,
+) -> IfdbResult<Response> {
+    let session = &mut conn.session;
+    match request {
+        Request::Hello { .. } | Request::Goodbye => unreachable!("handled by caller"),
+        Request::Login { user, password } => {
+            let principal = authenticate(shared, &user, password.as_deref(), conn.trusted)?;
+            session.reset(principal);
+            conn.cursors.clear();
+            Ok(Response::HelloOk {
+                principal: principal.0,
+                label: session.label().to_array(),
+            })
+        }
+        Request::Prepare { template } => {
+            let (id, cached) = shared.cache.prepare(template)?;
+            if cached {
+                shared
+                    .counters
+                    .stmt_cache_hits
+                    .fetch_add(1, Ordering::Relaxed);
+            } else {
+                shared
+                    .counters
+                    .stmt_cache_misses
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            Ok(Response::Prepared { id })
+        }
+        Request::Execute {
+            stmt,
+            params,
+            fetch,
+        } => {
+            shared.counters.statements.fetch_add(1, Ordering::Relaxed);
+            let template = shared.cache.resolve(stmt).ok_or_else(|| IfdbError::Remote {
+                code: code::INVALID_STATEMENT as u16,
+                detail: format!("unknown statement id {stmt}"),
+            })?;
+            shared
+                .counters
+                .stmt_cache_hits
+                .fetch_add(1, Ordering::Relaxed);
+            let statement = decode_template(&template, &params)?;
+            let started = Instant::now();
+            let was_explicit = session.in_transaction();
+            let result = session.execute(&statement);
+            let elapsed = started.elapsed();
+            if elapsed > shared.config.statement_timeout {
+                if was_explicit && session.in_transaction() {
+                    // The statement ran too long inside an explicit
+                    // transaction: abort it so its snapshot and locks are
+                    // released, and tell the client why.
+                    let _ = session.abort();
+                    shared
+                        .counters
+                        .statement_timeouts
+                        .fetch_add(1, Ordering::Relaxed);
+                    return Err(IfdbError::Remote {
+                        code: code::STATEMENT_TIMEOUT as u16,
+                        detail: format!(
+                            "statement exceeded timeout ({elapsed:?}); transaction aborted"
+                        ),
+                    });
+                }
+                // Auto-committed work cannot be retracted; deliver, but
+                // count it so operators can see the slow shapes.
+                shared
+                    .counters
+                    .slow_statements
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            let batch = if fetch == 0 {
+                shared.config.fetch_batch
+            } else {
+                fetch as usize
+            };
+            Ok(match result? {
+                StatementResult::Affected(n) => Response::Affected {
+                    n: n as u64,
+                    label: session.label().to_array(),
+                },
+                StatementResult::Rows(rs) => result_rows_response(conn, rs.rows, batch),
+            })
+        }
+        Request::Fetch { cursor, max } => {
+            let batch = if max == 0 {
+                shared.config.fetch_batch
+            } else {
+                max as usize
+            }
+            .max(1);
+            let c = conn.cursors.get_mut(&cursor).ok_or_else(|| IfdbError::Remote {
+                code: code::INVALID_STATEMENT as u16,
+                detail: format!("unknown cursor {cursor}"),
+            })?;
+            let rows: Vec<WireRow> = c.rows.by_ref().take(batch).map(to_wire_row).collect();
+            let done = c.rows.len() == 0;
+            if done {
+                conn.cursors.remove(&cursor);
+            }
+            Ok(Response::Batch { rows, done })
+        }
+        Request::CloseCursor { cursor } => {
+            conn.cursors.remove(&cursor);
+            Ok(ok_with_label(session))
+        }
+        Request::Begin => {
+            session.begin()?;
+            Ok(ok_with_label(session))
+        }
+        Request::Commit => {
+            // Commit runs deferred triggers, which can change the process
+            // label; the Ok response carries the post-commit label so the
+            // client mirror follows.
+            session.commit()?;
+            Ok(ok_with_label(session))
+        }
+        Request::Abort => {
+            session.abort()?;
+            Ok(ok_with_label(session))
+        }
+        Request::AddSecrecy { tag } => {
+            session.add_secrecy(ifdb_difc::TagId(tag))?;
+            Ok(Response::LabelIs {
+                tags: session.label().to_array(),
+            })
+        }
+        Request::RaiseLabel { tags } => {
+            session.raise_label(&Label::from_array(&tags))?;
+            Ok(Response::LabelIs {
+                tags: session.label().to_array(),
+            })
+        }
+        Request::Declassify { tag } => {
+            session.declassify(ifdb_difc::TagId(tag))?;
+            Ok(Response::LabelIs {
+                tags: session.label().to_array(),
+            })
+        }
+        Request::DeclassifyAll { tags } => {
+            session.declassify_all(&Label::from_array(&tags))?;
+            Ok(Response::LabelIs {
+                tags: session.label().to_array(),
+            })
+        }
+        Request::Delegate { grantee, tag } => {
+            session.delegate(ifdb_difc::PrincipalId(grantee), ifdb_difc::TagId(tag))?;
+            Ok(ok_with_label(session))
+        }
+        Request::CallProcedure { name, args } => {
+            shared.counters.statements.fetch_add(1, Ordering::Relaxed);
+            let rs = session.call_procedure(&name, &args)?;
+            let columns = rs
+                .rows
+                .first()
+                .map(|r| (*r.columns).clone())
+                .unwrap_or_default();
+            Ok(Response::ProcResult {
+                label: session.label().to_array(),
+                columns,
+                rows: rs.rows.into_iter().map(to_wire_row).collect(),
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn statement_cache_dedups_and_bounds() {
+        let cache = StatementCache::new(2);
+        let (a1, hit1) = cache.prepare(vec![1, 2, 3]).unwrap();
+        assert!(!hit1);
+        let (a2, hit2) = cache.prepare(vec![1, 2, 3]).unwrap();
+        assert!(hit2);
+        assert_eq!(a1, a2);
+        let (b, _) = cache.prepare(vec![9]).unwrap();
+        assert_ne!(a1, b);
+        assert_eq!(cache.len(), 2);
+        // Beyond capacity, new shapes are refused; known shapes still hit.
+        assert!(cache.prepare(vec![7, 7]).is_err());
+        assert!(cache.prepare(vec![9]).unwrap().1);
+        // Resolution round-trips.
+        assert_eq!(cache.resolve(a1).unwrap().as_ref(), &[1, 2, 3]);
+        assert!(cache.resolve(0).is_none());
+        assert!(cache.resolve(99).is_none());
+    }
+}

@@ -44,6 +44,10 @@ pub struct EngineStats {
     /// Checkpoints taken (log rewrites that compacted history into a
     /// snapshot image).
     pub checkpoints: u64,
+    /// Checkpoint requests that found transactions active and were deferred
+    /// to the next quiescent point
+    /// ([`crate::engine::StorageEngine::checkpoint_soon`]).
+    pub checkpoints_deferred: u64,
     /// Physical page reads performed by page stores.
     pub store_reads: u64,
     /// Physical page writes performed by page stores.

@@ -15,10 +15,12 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use ifdb_client::{ClientConfig, Connection};
+use ifdb_difc::TagId;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::tpcc::{TpccDatabase, TpccTransaction};
+use crate::tpcc::{run_transaction_on, TpccConfig, TpccDatabase, TpccTransaction};
 
 /// Driver configuration.
 #[derive(Debug, Clone)]
@@ -127,6 +129,153 @@ impl<'a> TpccDriver<'a> {
             wal_fsyncs: wal_after.wal_fsyncs - wal_before.wal_fsyncs,
             commits_batched: wal_after.commits_batched - wal_before.commits_batched,
         }
+    }
+}
+
+/// Configuration of a network (multi-process-style) TPC-C run: every
+/// terminal is an independent `ifdb-client` connection to a running
+/// `ifdb-server`, so commits from different terminals are genuinely
+/// independent committers — exactly the traffic group commit batches.
+#[derive(Debug, Clone)]
+pub struct NetworkTpccConfig {
+    /// The `ifdb-server` address.
+    pub addr: String,
+    /// User to authenticate terminals as (the benchmark principal).
+    pub user: String,
+    /// That user's password.
+    pub password: String,
+    /// The label every terminal raises at handshake time (the benchmark
+    /// label's tags).
+    pub label: Vec<TagId>,
+    /// Scale parameters of the loaded database (must match the server
+    /// side).
+    pub tpcc: TpccConfig,
+    /// Number of concurrent connections (terminals).
+    pub connections: usize,
+    /// How long to run.
+    pub duration: Duration,
+    /// Mean per-transaction think time (truncated-exponential, as TPC-C's
+    /// remote terminal emulators prescribe). Zero disables thinking and
+    /// reproduces the DBT-2 zero-think-time configuration — note that on a
+    /// closed loop, zero think time saturates a terminal's round-trip
+    /// budget, so connection scaling then measures server-side parallelism
+    /// only.
+    pub mean_think_time: Duration,
+    /// Truncation point for the think-time distribution.
+    pub max_think_time: Duration,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// The outcome of a network TPC-C run. Engine-side counters (fsyncs, group
+/// commit batching) are not visible from the client side; harnesses that
+/// run the server in-process read them from the engine before and after.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetworkDriverOutcome {
+    /// New-order transactions committed per minute.
+    pub notpm: f64,
+    /// Total transactions committed (all five types).
+    pub committed: u64,
+    /// Transactions rolled back due to write conflicts.
+    pub conflicts: u64,
+    /// Terminals that failed to connect or died mid-run.
+    pub terminal_errors: u64,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+}
+
+/// Draws a truncated-exponential think time (the TPC-C terminal emulator's
+/// distribution; zero mean disables thinking).
+fn sample_think_time(mean: Duration, max: Duration, rng: &mut StdRng) -> Duration {
+    if mean.is_zero() {
+        return Duration::ZERO;
+    }
+    let u: f64 = rand::Rng::gen::<f64>(rng).max(1e-12);
+    let t = -u.ln() * mean.as_secs_f64();
+    Duration::from_secs_f64(t.min(max.as_secs_f64()))
+}
+
+/// Runs the TPC-C mix over the network with `connections` concurrent
+/// terminals, each an independent [`Connection`].
+pub fn run_network_tpcc(config: &NetworkTpccConfig) -> NetworkDriverOutcome {
+    let stop = Arc::new(AtomicBool::new(false));
+    let new_orders = Arc::new(AtomicU64::new(0));
+    let committed = Arc::new(AtomicU64::new(0));
+    let conflicts = Arc::new(AtomicU64::new(0));
+    let terminal_errors = Arc::new(AtomicU64::new(0));
+    let start = Instant::now();
+
+    std::thread::scope(|scope| {
+        for terminal in 0..config.connections {
+            let stop = stop.clone();
+            let new_orders = new_orders.clone();
+            let committed = committed.clone();
+            let conflicts = conflicts.clone();
+            let terminal_errors = terminal_errors.clone();
+            let config = config.clone();
+            scope.spawn(move || {
+                let client = ClientConfig::anonymous(&config.addr)
+                    .with_user(&config.user, &config.password)
+                    .with_label(&config.label);
+                let mut conn = match Connection::connect(&client) {
+                    Ok(c) => c,
+                    Err(_) => {
+                        terminal_errors.fetch_add(1, Ordering::Relaxed);
+                        return;
+                    }
+                };
+                let seed = config.seed ^ (terminal as u64).wrapping_mul(0x9E37_79B9);
+                let mut rng = StdRng::seed_from_u64(seed);
+                while !stop.load(Ordering::Relaxed) {
+                    let think = sample_think_time(
+                        config.mean_think_time,
+                        config.max_think_time,
+                        &mut rng,
+                    );
+                    if !think.is_zero() {
+                        std::thread::sleep(think);
+                    }
+                    let kind = TpccTransaction::draw(&mut rng);
+                    match run_transaction_on(&config.tpcc, &mut conn, &mut rng, kind) {
+                        Ok(true) => {
+                            committed.fetch_add(1, Ordering::Relaxed);
+                            if kind == TpccTransaction::NewOrder {
+                                new_orders.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        Ok(false) => {
+                            conflicts.fetch_add(1, Ordering::Relaxed);
+                        }
+                        // A transport-level failure means the connection is
+                        // dead: retrying would hot-spin for the rest of the
+                        // run, inflating the conflict count. Count the
+                        // terminal as lost and stop it.
+                        Err(ifdb::IfdbError::Remote { code, .. })
+                            if code
+                                == ifdb_client::protocol::code::PROTOCOL as u16 =>
+                        {
+                            terminal_errors.fetch_add(1, Ordering::Relaxed);
+                            return;
+                        }
+                        Err(_) => {
+                            conflicts.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+                let _ = conn.close();
+            });
+        }
+        std::thread::sleep(config.duration);
+        stop.store(true, Ordering::Relaxed);
+    });
+
+    let elapsed = start.elapsed();
+    NetworkDriverOutcome {
+        notpm: new_orders.load(Ordering::Relaxed) as f64 * 60.0 / elapsed.as_secs_f64(),
+        committed: committed.load(Ordering::Relaxed),
+        conflicts: conflicts.load(Ordering::Relaxed),
+        terminal_errors: terminal_errors.load(Ordering::Relaxed),
+        elapsed,
     }
 }
 

@@ -5,9 +5,12 @@
 //! * [`tpcc`] — a scaled-down TPC-C / DBT-2 implementation: schema, loader,
 //!   the five transaction types, and the standard mix. Used to reproduce
 //!   Figure 6 (throughput vs. tags per label).
-//! * [`driver`] — a closed-loop transaction driver measuring NOTPM
+//! * [`driver`] — closed-loop transaction drivers measuring NOTPM
 //!   (new-order transactions per minute) with zero think time, as DBT-2 is
-//!   configured in Section 8.3.
+//!   configured in Section 8.3: an in-process driver
+//!   ([`driver::TpccDriver`]) and a network driver
+//!   ([`driver::run_network_tpcc`]) whose terminals are independent
+//!   `ifdb-client` connections to an `ifdb-server`.
 //!
 //! The CarTel web workload (Figure 3 mix, TPC-W think times) lives in
 //! `ifdb-cartel::scripts::figure3_mix` and `ifdb-platform::httpsim`.
@@ -16,5 +19,8 @@ pub mod driver;
 pub mod rng;
 pub mod tpcc;
 
-pub use driver::{DriverOutcome, TpccDriver, TpccDriverConfig};
-pub use tpcc::{TpccConfig, TpccDatabase, TpccTransaction};
+pub use driver::{
+    run_network_tpcc, DriverOutcome, NetworkDriverOutcome, NetworkTpccConfig, TpccDriver,
+    TpccDriverConfig,
+};
+pub use tpcc::{run_transaction_on, TpccConfig, TpccDatabase, TpccTransaction};

@@ -248,47 +248,63 @@ impl TpccDatabase {
 
     /// Runs one transaction of the given type. Returns `true` if it committed
     /// (write conflicts roll back and report `false`, as DBT-2 counts
-    /// rollbacks separately).
-    pub fn run_transaction(
+    /// rollbacks separately). Generic over [`SessionApi`], so the same
+    /// transaction logic drives an in-process session or a network
+    /// connection.
+    pub fn run_transaction<S: SessionApi>(
         &self,
-        session: &mut Session,
+        session: &mut S,
         rng: &mut StdRng,
         kind: TpccTransaction,
     ) -> IfdbResult<bool> {
-        let result = match kind {
-            TpccTransaction::NewOrder => self.new_order(session, rng),
-            TpccTransaction::Payment => self.payment(session, rng),
-            TpccTransaction::OrderStatus => self.order_status(session, rng),
-            TpccTransaction::Delivery => self.delivery(session, rng),
-            TpccTransaction::StockLevel => self.stock_level(session, rng),
-        };
-        match result {
-            Ok(()) => Ok(true),
-            Err(IfdbError::Storage(ifdb::StorageError::WriteConflict { .. })) => {
-                if session.in_transaction() {
-                    let _ = session.abort();
-                }
-                Ok(false)
+        run_transaction_on(&self.config, session, rng, kind)
+    }
+}
+
+/// Runs one TPC-C transaction against any [`SessionApi`] — the transport-
+/// independent transaction logic, shared by [`TpccDatabase::run_transaction`]
+/// and the network driver. Returns `true` if it committed; a
+/// snapshot-isolation write conflict rolls back and reports `false`.
+pub fn run_transaction_on<S: SessionApi>(
+    config: &TpccConfig,
+    session: &mut S,
+    rng: &mut StdRng,
+    kind: TpccTransaction,
+) -> IfdbResult<bool> {
+    let result = match kind {
+        TpccTransaction::NewOrder => new_order(config, session, rng),
+        TpccTransaction::Payment => payment(config, session, rng),
+        TpccTransaction::OrderStatus => order_status(config, session, rng),
+        TpccTransaction::Delivery => delivery(config, session, rng),
+        TpccTransaction::StockLevel => stock_level(config, session, rng),
+    };
+    match result {
+        Ok(()) => Ok(true),
+        Err(IfdbError::Storage(ifdb::StorageError::WriteConflict { .. })) => {
+            if session.in_transaction() {
+                let _ = session.abort();
             }
-            Err(e) => {
-                if session.in_transaction() {
-                    let _ = session.abort();
-                }
-                Err(e)
+            Ok(false)
+        }
+        Err(e) => {
+            if session.in_transaction() {
+                let _ = session.abort();
             }
+            Err(e)
         }
     }
+}
 
-    fn pick_wd(&self, rng: &mut StdRng) -> (i64, i64) {
-        (
-            rng.gen_range(1..=self.config.warehouses),
-            rng.gen_range(1..=self.config.districts_per_warehouse),
-        )
-    }
+fn pick_wd(config: &TpccConfig, rng: &mut StdRng) -> (i64, i64) {
+    (
+        rng.gen_range(1..=config.warehouses),
+        rng.gen_range(1..=config.districts_per_warehouse),
+    )
+}
 
-    fn new_order(&self, s: &mut Session, rng: &mut StdRng) -> IfdbResult<()> {
-        let (w, d) = self.pick_wd(rng);
-        let customer = nurand(rng, NURAND_A_C_ID, 1, self.config.customers_per_district as u64) as i64;
+fn new_order<S: SessionApi>(config: &TpccConfig, s: &mut S, rng: &mut StdRng) -> IfdbResult<()> {
+        let (w, d) = pick_wd(config, rng);
+        let customer = nurand(rng, NURAND_A_C_ID, 1, config.customers_per_district as u64) as i64;
         let line_count = rng.gen_range(5..=15i64);
 
         s.begin()?;
@@ -333,7 +349,7 @@ impl TpccDatabase {
         ))?;
         let mut total = 0.0;
         for l in 1..=line_count {
-            let item = nurand(rng, NURAND_A_OL_I_ID, 1, self.config.items as u64) as i64;
+            let item = nurand(rng, NURAND_A_OL_I_ID, 1, config.items as u64) as i64;
             let qty = rng.gen_range(1..=10i64);
             let item_row = s.select(
                 &Select::star("item").filter(Predicate::Eq("i_id".into(), Datum::Int(item))),
@@ -375,12 +391,12 @@ impl TpccDatabase {
             ))?;
         }
         let _ = total;
-        self.commit_with_label(s)
+        commit_with_label(s)
     }
 
-    fn payment(&self, s: &mut Session, rng: &mut StdRng) -> IfdbResult<()> {
-        let (w, d) = self.pick_wd(rng);
-        let customer = nurand(rng, NURAND_A_C_ID, 1, self.config.customers_per_district as u64) as i64;
+fn payment<S: SessionApi>(config: &TpccConfig, s: &mut S, rng: &mut StdRng) -> IfdbResult<()> {
+        let (w, d) = pick_wd(config, rng);
+        let customer = nurand(rng, NURAND_A_C_ID, 1, config.customers_per_district as u64) as i64;
         let amount = rng.gen_range(1.0..5000.0);
         s.begin()?;
         let wh = s.select(
@@ -433,12 +449,12 @@ impl TpccDatabase {
                 Datum::Timestamp(0),
             ],
         ))?;
-        self.commit_with_label(s)
+        commit_with_label(s)
     }
 
-    fn order_status(&self, s: &mut Session, rng: &mut StdRng) -> IfdbResult<()> {
-        let (w, d) = self.pick_wd(rng);
-        let customer = nurand(rng, NURAND_A_C_ID, 1, self.config.customers_per_district as u64) as i64;
+fn order_status<S: SessionApi>(config: &TpccConfig, s: &mut S, rng: &mut StdRng) -> IfdbResult<()> {
+        let (w, d) = pick_wd(config, rng);
+        let customer = nurand(rng, NURAND_A_C_ID, 1, config.customers_per_district as u64) as i64;
         s.begin()?;
         s.select(
             &Select::star("customer").filter(
@@ -467,14 +483,14 @@ impl TpccDatabase {
                 ),
             )?;
         }
-        self.commit_with_label(s)
+        commit_with_label(s)
     }
 
-    fn delivery(&self, s: &mut Session, rng: &mut StdRng) -> IfdbResult<()> {
-        let (w, _) = self.pick_wd(rng);
+fn delivery<S: SessionApi>(config: &TpccConfig, s: &mut S, rng: &mut StdRng) -> IfdbResult<()> {
+        let (w, _) = pick_wd(config, rng);
         let carrier = rng.gen_range(1..=10i64);
         s.begin()?;
-        for d in 1..=self.config.districts_per_warehouse {
+        for d in 1..=config.districts_per_warehouse {
             let pending = s.select(
                 &Select::star("new_order")
                     .filter(
@@ -507,11 +523,11 @@ impl TpccDatabase {
                 vec![("ol_delivery_d", Datum::Timestamp(1))],
             ))?;
         }
-        self.commit_with_label(s)
+        commit_with_label(s)
     }
 
-    fn stock_level(&self, s: &mut Session, rng: &mut StdRng) -> IfdbResult<()> {
-        let (w, d) = self.pick_wd(rng);
+fn stock_level<S: SessionApi>(config: &TpccConfig, s: &mut S, rng: &mut StdRng) -> IfdbResult<()> {
+        let (w, d) = pick_wd(config, rng);
         let threshold = rng.gen_range(10..=20i64);
         s.begin()?;
         let district = s.select(
@@ -550,17 +566,16 @@ impl TpccDatabase {
             }
         }
         let _ = low;
-        self.commit_with_label(s)
+        commit_with_label(s)
     }
 
-    /// Commits a transaction. Every benchmark tuple carries the session's
-    /// label, so the commit label (the same label) satisfies the commit label
-    /// rule directly; no declassification is needed per transaction, exactly
-    /// as in the paper's measurement where all tuples share one label.
-    fn commit_with_label(&self, s: &mut Session) -> IfdbResult<()> {
-        s.commit()?;
-        Ok(())
-    }
+/// Commits a transaction. Every benchmark tuple carries the session's
+/// label, so the commit label (the same label) satisfies the commit label
+/// rule directly; no declassification is needed per transaction, exactly
+/// as in the paper's measurement where all tuples share one label.
+fn commit_with_label<S: SessionApi>(s: &mut S) -> IfdbResult<()> {
+    s.commit()?;
+    Ok(())
 }
 
 /// Creates the nine TPC-C tables.

@@ -5,8 +5,10 @@
 
 pub use ifdb;
 pub use ifdb_cartel as cartel;
+pub use ifdb_client as client;
 pub use ifdb_difc as difc;
 pub use ifdb_hotcrp as hotcrp;
 pub use ifdb_platform as platform;
+pub use ifdb_server as server;
 pub use ifdb_storage as storage;
 pub use ifdb_workloads as workloads;
