@@ -8,10 +8,8 @@ use ifdb::{DatabaseConfig, TableDef};
 fn setup(difc: bool, rows: i64, tags: usize) -> (Database, PrincipalId, Label) {
     let db = Database::new(DatabaseConfig::in_memory().with_difc(difc).with_seed(1));
     let user = db.create_principal("bench", PrincipalKind::User);
-    let label = Label::from_tags(
-        (0..tags)
-            .map(|i| db.create_tag(user, &format!("t{i}"), &[]).unwrap()),
-    );
+    let label =
+        Label::from_tags((0..tags).map(|i| db.create_tag(user, &format!("t{i}"), &[]).unwrap()));
     db.create_table(
         TableDef::new("data")
             .column("id", DataType::Int)
@@ -40,7 +38,11 @@ fn bench_qbl_scan(c: &mut Criterion) {
     let mut group = c.benchmark_group("qbl_scan");
     group.sample_size(15);
     let rows = 2_000;
-    for (name, difc, tags) in [("baseline", false, 0), ("ifdb_1tag", true, 1), ("ifdb_4tags", true, 4)] {
+    for (name, difc, tags) in [
+        ("baseline", false, 0),
+        ("ifdb_1tag", true, 1),
+        ("ifdb_4tags", true, 4),
+    ] {
         let (db, user, label) = setup(difc, rows, tags);
         group.bench_with_input(BenchmarkId::new("full_scan", name), &rows, |b, _| {
             let mut s = db.session(user);

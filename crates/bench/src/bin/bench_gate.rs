@@ -1,0 +1,40 @@
+//! The bench-regression gate binary: `bench_gate [REPORT] [BASELINES]`.
+//!
+//! Compares the fresh `BENCH_pr5.json` (default: `./BENCH_pr5.json`)
+//! against the committed baselines (default: `./bench_baselines.json`) and
+//! exits non-zero on regression, failing the CI job. See
+//! [`ifdb_bench::gate`] for the check semantics.
+
+use std::path::PathBuf;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let report = PathBuf::from(args.next().unwrap_or_else(|| "BENCH_pr5.json".into()));
+    let baselines = PathBuf::from(args.next().unwrap_or_else(|| "bench_baselines.json".into()));
+    let outcome = match ifdb_bench::run_gate(&report, &baselines) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("bench_gate: {e}");
+            std::process::exit(2);
+        }
+    };
+    println!(
+        "bench-regression gate ({} vs {}):",
+        report.display(),
+        baselines.display()
+    );
+    for check in &outcome.checks {
+        println!(
+            "  {:<28} {:>12.3}  (required >= {:>10.3})  {}",
+            check.metric,
+            check.actual,
+            check.required,
+            if check.pass { "PASS" } else { "FAIL" }
+        );
+    }
+    if !outcome.passed() {
+        eprintln!("bench_gate: regression detected");
+        std::process::exit(1);
+    }
+    println!("bench_gate: all checks passed");
+}

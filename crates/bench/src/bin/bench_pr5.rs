@@ -1,0 +1,37 @@
+//! Emits the PR 5 replication snapshot as `BENCH_pr5.json` in the current
+//! directory (plus the usual copy under `target/experiments/`): labeled-read
+//! WIPS with 0/1/2 replicas, replication lag under TPC-C write load, and
+//! fresh-replica catch-up time. CI uploads the file next to the earlier
+//! `BENCH_*.json` snapshots and runs `bench_gate` against it.
+
+use ifdb_bench::ExperimentScale;
+
+fn main() {
+    let report = ifdb_bench::bench_pr5_report(ExperimentScale::from_env());
+    match serde_json::to_string_pretty(&report) {
+        Ok(json) => {
+            if std::fs::write("BENCH_pr5.json", &json).is_ok() {
+                println!("\n[BENCH_pr5.json written]");
+            } else {
+                eprintln!("could not write BENCH_pr5.json");
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("could not serialize report: {e}");
+            std::process::exit(1);
+        }
+    }
+    if report.read_scaling_0_to_2 < 1.8 {
+        eprintln!(
+            "WARNING: labeled-read scaling with 2 replicas is {:.2}x, below the 1.8x target",
+            report.read_scaling_0_to_2
+        );
+    }
+    if report.stmt_cache_hit_rate <= 0.9 {
+        eprintln!(
+            "WARNING: prepared-statement cache hit rate {:.1}% is below the 90% target",
+            report.stmt_cache_hit_rate * 100.0
+        );
+    }
+}

@@ -175,17 +175,35 @@ pub fn fig4_web_throughput(scale: ExperimentScale) -> Fig4Report {
         web_bound_ifdb: run_cartel_wips(&ifdb_web, clients_web, duration, 4),
     };
 
-    row("database-bound  baseline (PostgreSQL+PHP)", format!("{:.1} WIPS", report.db_bound_baseline));
-    row("database-bound  IFDB + PHP-IF", format!("{:.1} WIPS", report.db_bound_ifdb));
+    row(
+        "database-bound  baseline (PostgreSQL+PHP)",
+        format!("{:.1} WIPS", report.db_bound_baseline),
+    );
+    row(
+        "database-bound  IFDB + PHP-IF",
+        format!("{:.1} WIPS", report.db_bound_ifdb),
+    );
     row(
         "database-bound  change",
-        format!("{:+.1}%", pct_change(report.db_bound_baseline, report.db_bound_ifdb)),
+        format!(
+            "{:+.1}%",
+            pct_change(report.db_bound_baseline, report.db_bound_ifdb)
+        ),
     );
-    row("web-server-bound baseline (PostgreSQL+PHP)", format!("{:.1} WIPS", report.web_bound_baseline));
-    row("web-server-bound IFDB + PHP-IF", format!("{:.1} WIPS", report.web_bound_ifdb));
+    row(
+        "web-server-bound baseline (PostgreSQL+PHP)",
+        format!("{:.1} WIPS", report.web_bound_baseline),
+    );
+    row(
+        "web-server-bound IFDB + PHP-IF",
+        format!("{:.1} WIPS", report.web_bound_ifdb),
+    );
     row(
         "web-server-bound change",
-        format!("{:+.1}%", pct_change(report.web_bound_baseline, report.web_bound_ifdb)),
+        format!(
+            "{:+.1}%",
+            pct_change(report.web_bound_baseline, report.web_bound_ifdb)
+        ),
     );
     write_json("fig4_web_throughput", &report);
     report
@@ -284,7 +302,10 @@ pub fn fig5_request_latency(scale: ExperimentScale) -> Vec<Fig5Row> {
     let ifdb_mean = weighted(&|r| r.ifdb_us);
     row(
         "weighted mean (Figure 3 mix)",
-        format!("{:+.0}% with IFDB + IF platform", pct_change(base_mean, ifdb_mean)),
+        format!(
+            "{:+.0}% with IFDB + IF platform",
+            pct_change(base_mean, ifdb_mean)
+        ),
     );
     write_json("fig5_request_latency", &rows);
     rows
@@ -342,8 +363,14 @@ pub fn sensor_ingest_throughput(scale: ExperimentScale) -> SensorReport {
         ifdb_per_sec: ifdb,
         overhead_pct: -pct_change(baseline, ifdb),
     };
-    row("baseline (no labels)", format!("{baseline:.0} measurements/s"));
-    row("IFDB (labels + closures)", format!("{ifdb:.0} measurements/s"));
+    row(
+        "baseline (no labels)",
+        format!("{baseline:.0} measurements/s"),
+    );
+    row(
+        "IFDB (labels + closures)",
+        format!("{ifdb:.0} measurements/s"),
+    );
     row("overhead", format!("{:.1}%", report.overhead_pct));
     write_json("sensor_ingest_throughput", &report);
     report
@@ -375,7 +402,13 @@ pub struct Fig6Report {
     pub points: Vec<Fig6Point>,
 }
 
-fn run_tpcc(difc: bool, tags: usize, on_disk: bool, duration: Duration, dir: &std::path::Path) -> f64 {
+fn run_tpcc(
+    difc: bool,
+    tags: usize,
+    on_disk: bool,
+    duration: Duration,
+    dir: &std::path::Path,
+) -> f64 {
     let db = if on_disk {
         let sub = dir.join(format!("tpcc_{}_{}_{}", difc, tags, on_disk));
         Database::new(
@@ -426,8 +459,14 @@ pub fn fig6_dbt2_labels(scale: ExperimentScale) -> Fig6Report {
 
     let baseline_in_memory = run_tpcc(false, 0, false, duration, &dir);
     let baseline_on_disk = run_tpcc(false, 0, true, duration, &dir);
-    row("PostgreSQL baseline, in-memory", format!("{baseline_in_memory:.0} NOTPM"));
-    row("PostgreSQL baseline, disk-bound", format!("{baseline_on_disk:.0} NOTPM"));
+    row(
+        "PostgreSQL baseline, in-memory",
+        format!("{baseline_in_memory:.0} NOTPM"),
+    );
+    row(
+        "PostgreSQL baseline, disk-bound",
+        format!("{baseline_on_disk:.0} NOTPM"),
+    );
 
     let mut points = Vec::new();
     for tags in tag_counts {
@@ -507,10 +546,22 @@ pub fn trusted_base_report() -> TrustedBaseReport {
         hotcrp_trusted_components: hotcrp.db.trusted_component_count(),
         hotcrp_declassifications: hotcrp.db.audit().declassification_count(),
     };
-    row("CarTel authority-bearing catalog objects", report.cartel_trusted_components);
-    row("CarTel declassification events (audited)", report.cartel_declassifications);
-    row("HotCRP authority-bearing catalog objects", report.hotcrp_trusted_components);
-    row("HotCRP declassification events (audited)", report.hotcrp_declassifications);
+    row(
+        "CarTel authority-bearing catalog objects",
+        report.cartel_trusted_components,
+    );
+    row(
+        "CarTel declassification events (audited)",
+        report.cartel_declassifications,
+    );
+    row(
+        "HotCRP authority-bearing catalog objects",
+        report.hotcrp_trusted_components,
+    );
+    row(
+        "HotCRP declassification events (audited)",
+        report.hotcrp_declassifications,
+    );
     write_json("trusted_base_report", &report);
     report
 }

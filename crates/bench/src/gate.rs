@@ -1,0 +1,192 @@
+//! The bench-regression gate: compares a fresh `BENCH_pr5.json` against the
+//! committed baselines in `bench_baselines.json` and fails (exit-code-wise)
+//! on regression.
+//!
+//! Two kinds of checks:
+//!
+//! * **hard floors** (`min_*`) — the PR's acceptance criteria, applied
+//!   as-is (no tolerance): labeled-read scaling with two replicas, the
+//!   prepared-statement cache hit rate;
+//! * **baseline bands** (`baseline_*`) — absolute throughput numbers
+//!   (read WIPS, NOTPM under replication) measured on a reference run and
+//!   committed; a fresh run must stay above `baseline × (1 −
+//!   tolerance_frac)`. The band is wide because CI hosts vary — the gate
+//!   exists to catch order-of-magnitude regressions (an accidental
+//!   `fsync` per read, a replication stall), not 5% noise.
+//!
+//! Baselines are plain JSON so a legitimate perf change updates them in the
+//! same commit that changes the numbers, and the diff documents the shift.
+
+use std::path::Path;
+
+use serde_json::Value;
+
+/// One evaluated check.
+#[derive(Debug, Clone)]
+pub struct GateCheck {
+    /// The metric's path inside the report (e.g. `read_scaling_0_to_2`).
+    pub metric: String,
+    /// The measured value.
+    pub actual: f64,
+    /// The minimum the gate required (after tolerance).
+    pub required: f64,
+    /// Whether the check passed.
+    pub pass: bool,
+}
+
+/// The gate's verdict.
+#[derive(Debug, Clone)]
+pub struct GateOutcome {
+    /// Every evaluated check.
+    pub checks: Vec<GateCheck>,
+}
+
+impl GateOutcome {
+    /// `true` when every check passed.
+    pub fn passed(&self) -> bool {
+        self.checks.iter().all(|c| c.pass)
+    }
+}
+
+fn load(path: &Path) -> Result<Value, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    serde_json::from_str(&text).map_err(|e| format!("cannot parse {}: {e}", path.display()))
+}
+
+fn metric(report: &Value, path: &str) -> Result<f64, String> {
+    report
+        .path(path)
+        .and_then(Value::as_f64)
+        .ok_or_else(|| format!("report has no numeric metric at {path:?}"))
+}
+
+/// Runs the gate: `report_path` is the fresh `BENCH_pr5.json`,
+/// `baselines_path` the committed `bench_baselines.json`.
+pub fn run_gate(report_path: &Path, baselines_path: &Path) -> Result<GateOutcome, String> {
+    let report = load(report_path)?;
+    let baselines = load(baselines_path)?;
+    let tolerance = baselines
+        .get("tolerance_frac")
+        .and_then(Value::as_f64)
+        .unwrap_or(0.35);
+    let mut checks = Vec::new();
+
+    // Hard floors: the acceptance criteria themselves.
+    for (metric_path, key) in [
+        ("read_scaling_0_to_2", "min_read_scaling_0_to_2"),
+        ("stmt_cache_hit_rate", "min_stmt_cache_hit_rate"),
+    ] {
+        let required = baselines
+            .get(key)
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("baselines missing {key:?}"))?;
+        let actual = metric(&report, metric_path)?;
+        checks.push(GateCheck {
+            metric: metric_path.to_string(),
+            actual,
+            required,
+            pass: actual >= required,
+        });
+    }
+
+    // Baseline bands: measured throughput must stay within the tolerance
+    // band of the committed reference numbers.
+    for (metric_path, key) in [
+        ("read_wips_two_replicas", "baseline_read_wips_two_replicas"),
+        (
+            "notpm_under_replication",
+            "baseline_notpm_under_replication",
+        ),
+    ] {
+        let baseline = baselines
+            .get(key)
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("baselines missing {key:?}"))?;
+        let required = baseline * (1.0 - tolerance);
+        let actual = metric(&report, metric_path)?;
+        checks.push(GateCheck {
+            metric: metric_path.to_string(),
+            actual,
+            required,
+            pass: actual >= required,
+        });
+    }
+
+    Ok(GateOutcome { checks })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write_tmp(name: &str, contents: &str) -> std::path::PathBuf {
+        let path = std::env::temp_dir().join(format!("ifdb-gate-{name}-{}", std::process::id()));
+        std::fs::write(&path, contents).unwrap();
+        path
+    }
+
+    const BASELINES: &str = r#"{
+        "tolerance_frac": 0.5,
+        "min_read_scaling_0_to_2": 1.8,
+        "min_stmt_cache_hit_rate": 0.9,
+        "baseline_read_wips_two_replicas": 1000.0,
+        "baseline_notpm_under_replication": 2000.0
+    }"#;
+
+    #[test]
+    fn healthy_report_passes() {
+        let report = write_tmp(
+            "ok",
+            r#"{
+                "read_scaling_0_to_2": 2.4,
+                "stmt_cache_hit_rate": 0.99,
+                "read_wips_two_replicas": 900.0,
+                "notpm_under_replication": 1500.0
+            }"#,
+        );
+        let baselines = write_tmp("ok-base", BASELINES);
+        let outcome = run_gate(&report, &baselines).unwrap();
+        assert!(outcome.passed(), "{:?}", outcome.checks);
+        assert_eq!(outcome.checks.len(), 4);
+        std::fs::remove_file(report).ok();
+        std::fs::remove_file(baselines).ok();
+    }
+
+    #[test]
+    fn regression_fails_the_gate() {
+        let report = write_tmp(
+            "bad",
+            r#"{
+                "read_scaling_0_to_2": 1.1,
+                "stmt_cache_hit_rate": 0.99,
+                "read_wips_two_replicas": 120.0,
+                "notpm_under_replication": 1900.0
+            }"#,
+        );
+        let baselines = write_tmp("bad-base", BASELINES);
+        let outcome = run_gate(&report, &baselines).unwrap();
+        assert!(!outcome.passed());
+        let failed: Vec<&str> = outcome
+            .checks
+            .iter()
+            .filter(|c| !c.pass)
+            .map(|c| c.metric.as_str())
+            .collect();
+        assert_eq!(
+            failed,
+            vec!["read_scaling_0_to_2", "read_wips_two_replicas"]
+        );
+        std::fs::remove_file(report).ok();
+        std::fs::remove_file(baselines).ok();
+    }
+
+    #[test]
+    fn missing_metric_is_an_error_not_a_pass() {
+        let report = write_tmp("missing", r#"{"read_scaling_0_to_2": 2.0}"#);
+        let baselines = write_tmp("missing-base", BASELINES);
+        assert!(run_gate(&report, &baselines).is_err());
+        std::fs::remove_file(report).ok();
+        std::fs::remove_file(baselines).ok();
+    }
+}

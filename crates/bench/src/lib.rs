@@ -11,15 +11,18 @@
 //! across tags-per-label, which is what the paper's figures show.
 
 pub mod experiments;
+pub mod gate;
 pub mod pr2;
 pub mod pr3;
 pub mod pr4;
+pub mod pr5;
 pub mod report;
 
 pub use experiments::{
     fig3_request_mix, fig4_web_throughput, fig5_request_latency, fig6_dbt2_labels,
     sensor_ingest_throughput, trusted_base_report, ExperimentScale,
 };
+pub use gate::{run_gate, GateOutcome};
 pub use pr2::{bench_pr2_report, measure_indexed_range, measure_scan_hot, BenchPr2Report};
 pub use pr3::{
     bench_pr3_report, measure_checkpoint_effect, measure_commit_throughput, measure_recovery,
@@ -29,3 +32,4 @@ pub use pr4::{
     bench_pr4_report, measure_comparison, measure_network_tpcc, measure_network_wips,
     BenchPr4Report,
 };
+pub use pr5::{bench_pr5_report, BenchPr5Report};

@@ -103,8 +103,7 @@ pub fn scan_hot_db(rows: i64, distinct_labels: usize) -> (Database, Select) {
         Label::singleton(all_data),
     )
     .unwrap();
-    let query = Select::star("AllData")
-        .filter(Predicate::Ge("val".into(), Datum::Int(rows / 2)));
+    let query = Select::star("AllData").filter(Predicate::Ge("val".into(), Datum::Int(rows / 2)));
     (db, query)
 }
 

@@ -190,8 +190,12 @@ pub fn measure_commit_throughput(clients: usize, duration: Duration) -> CommitTh
         commit_loop(&sync_dir, DurabilityConfig::SYNC_EACH, clients, duration);
     std::fs::remove_dir_all(&sync_dir).ok();
     let group_dir = bench_dir("commits_group");
-    let (group_cps, group_fsyncs, group_commits_batched) =
-        commit_loop(&group_dir, DurabilityConfig::GROUP_COMMIT, clients, duration);
+    let (group_cps, group_fsyncs, group_commits_batched) = commit_loop(
+        &group_dir,
+        DurabilityConfig::GROUP_COMMIT,
+        clients,
+        duration,
+    );
     std::fs::remove_dir_all(&group_dir).ok();
     CommitThroughputReport {
         clients,
@@ -327,7 +331,10 @@ pub fn measure_checkpoint_effect(rows: u64, update_rounds: u64) -> CheckpointRep
             txn,
             table,
             vec![1],
-            vec![SDatum::Int(1_000_000 + i as i64), SDatum::Text("delta".into())],
+            vec![
+                SDatum::Int(1_000_000 + i as i64),
+                SDatum::Text("delta".into()),
+            ],
         )
         .unwrap();
     }
@@ -386,15 +393,14 @@ pub fn measure_tpcc_durable(terminals: usize, duration: Duration) -> TpccDurable
 
 /// Produces (and prints) the complete PR 3 snapshot.
 pub fn bench_pr3_report(scale: ExperimentScale) -> BenchPr3Report {
-    let (commit_secs, recovery_sizes, ckpt_rows, tpcc_secs): (u64, Vec<u64>, u64, u64) =
-        match scale {
-            ExperimentScale::Quick => (400, vec![2_000, 8_000], 2_000, 400),
-            ExperimentScale::Full => (2_000, vec![5_000, 20_000, 50_000], 10_000, 2_000),
-        };
+    let (commit_secs, recovery_sizes, ckpt_rows, tpcc_secs): (u64, Vec<u64>, u64, u64) = match scale
+    {
+        ExperimentScale::Quick => (400, vec![2_000, 8_000], 2_000, 400),
+        ExperimentScale::Full => (2_000, vec![5_000, 20_000, 50_000], 10_000, 2_000),
+    };
 
     header("commit throughput: sync-per-commit vs group commit");
-    let commit_throughput =
-        measure_commit_throughput(8, Duration::from_millis(commit_secs));
+    let commit_throughput = measure_commit_throughput(8, Duration::from_millis(commit_secs));
     row(
         "sync per commit",
         format!("{:.0} commits/s", commit_throughput.sync_per_commit_cps),
@@ -431,10 +437,7 @@ pub fn bench_pr3_report(scale: ExperimentScale) -> BenchPr3Report {
         "replayed with checkpoint",
         checkpoint.replayed_with_checkpoint,
     );
-    row(
-        "reduction",
-        format!("{:.1}x", checkpoint.reduction_factor),
-    );
+    row("reduction", format!("{:.1}x", checkpoint.reduction_factor));
 
     header("durable TPC-C (group commit)");
     let tpcc_durable = measure_tpcc_durable(4, Duration::from_millis(tpcc_secs));

@@ -328,13 +328,19 @@ pub fn bench_pr4_report(scale: ExperimentScale) -> BenchPr4Report {
     for p in &network_wips {
         row(
             &format!("{} clients", p.clients),
-            format!("{:.0} WIPS, p90 {:.0} us, {} failed", p.wips, p.p90_us, p.failed),
+            format!(
+                "{:.0} WIPS, p90 {:.0} us, {} failed",
+                p.wips, p.p90_us, p.failed
+            ),
         );
     }
 
     header("in-process vs network (8 terminals)");
     let comparison = measure_comparison(8, Duration::from_millis(tpcc_ms));
-    row("in-process NOTPM", format!("{:.0}", comparison.inprocess_notpm));
+    row(
+        "in-process NOTPM",
+        format!("{:.0}", comparison.inprocess_notpm),
+    );
     row("network NOTPM", format!("{:.0}", comparison.network_notpm));
     row(
         "fsyncs/commit (in-process / network)",
@@ -348,7 +354,10 @@ pub fn bench_pr4_report(scale: ExperimentScale) -> BenchPr4Report {
         .iter()
         .map(|p| p.stmt_cache_hit_rate)
         .fold(0.0f64, f64::max);
-    row("best steady-state cache hit rate", format!("{:.1}%", stmt_cache_hit_rate * 100.0));
+    row(
+        "best steady-state cache hit rate",
+        format!("{:.1}%", stmt_cache_hit_rate * 100.0),
+    );
 
     let report = BenchPr4Report {
         network_tpcc,

@@ -1,0 +1,506 @@
+//! The PR 5 replication snapshot, emitted as `BENCH_pr5.json`.
+//!
+//! PR 5 composed the durable write-ahead log (PR 3) and the wire protocol
+//! (PR 4) into primary→replica log shipping with label-faithful replica
+//! reads. The panels measure what read replicas buy and what they cost:
+//!
+//! * **labeled-read WIPS vs replica count** — a fixed fleet of closed-loop
+//!   read clients (labeled point reads + occasional scans) against one
+//!   primary with 0, 1 and 2 replicas. Every server has the same bounded
+//!   worker pool (the `max_connections` model), so the topology's read
+//!   capacity grows with each replica; acceptance is ≥ 1.8× WIPS with two
+//!   replicas vs primary-only.
+//! * **replication lag under TPC-C write load** — a replica tailing a
+//!   primary that is running the network TPC-C mix, sampling
+//!   `primary_last_seq − replica_applied_seq` every few milliseconds, plus
+//!   the time to drain the remaining lag once the load stops.
+//! * **catch-up after replica (re)start** — how long a fresh replica takes
+//!   to bootstrap from the checkpoint-anchored snapshot and reach the
+//!   primary's position.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ifdb::prelude::*;
+use ifdb_client::ClientConfig;
+use ifdb_platform::Authenticator;
+use ifdb_server::{start, ReplicaConfig, ReplicaHandle, ServerConfig, ServerHandle};
+use ifdb_workloads::readscale::{run_read_scale, ReadScaleConfig};
+use ifdb_workloads::{run_network_tpcc, NetworkTpccConfig, TpccConfig, TpccDatabase};
+use serde::Serialize;
+
+use crate::experiments::ExperimentScale;
+use crate::report::{header, row, write_json};
+
+const SEED: u64 = 0x5EED;
+const REPL_SECRET: &str = "bench-repl-secret";
+/// Worker pool per server: the `max_connections` knob that makes read
+/// capacity a per-node resource.
+const WORKERS_PER_SERVER: usize = 6;
+const READ_ROWS: i64 = 2_000;
+
+/// One point of the WIPS-vs-replicas curve.
+#[derive(Debug, Clone, Serialize)]
+pub struct ReadScalePoint {
+    /// Read replicas attached (0 = primary only).
+    pub replicas: usize,
+    /// Read clients offered (constant across the curve).
+    pub clients: usize,
+    /// Worker pool per server.
+    pub workers_per_server: usize,
+    /// Successful labeled reads per second across the topology.
+    pub wips: f64,
+    /// Total successful reads.
+    pub reads: u64,
+    /// Rows returned (sanity: label filtering held on every node).
+    pub rows: u64,
+    /// Reads that failed mid-run.
+    pub failed: u64,
+    /// Clients beyond the topology's connection capacity.
+    pub clients_refused: u64,
+    /// Best prepared-statement cache hit rate across the topology's
+    /// servers.
+    pub stmt_cache_hit_rate: f64,
+}
+
+/// The replication-lag panel.
+#[derive(Debug, Clone, Serialize)]
+pub struct LagPanel {
+    /// TPC-C terminals driving the primary.
+    pub connections: usize,
+    /// New-order transactions per minute sustained *while replicating*.
+    pub notpm: f64,
+    /// Transactions committed during the run.
+    pub committed: u64,
+    /// Lag samples taken.
+    pub samples: u64,
+    /// Mean lag in log records.
+    pub mean_lag_records: f64,
+    /// Worst observed lag in log records.
+    pub max_lag_records: u64,
+    /// Time for the replica to drain the remaining lag once the write load
+    /// stopped, in milliseconds.
+    pub final_catchup_ms: f64,
+    /// Prepared-statement cache hit rate on the primary during the run.
+    pub stmt_cache_hit_rate: f64,
+}
+
+/// The catch-up-after-restart panel.
+#[derive(Debug, Clone, Serialize)]
+pub struct CatchupPanel {
+    /// Committed rows on the primary before the replica started.
+    pub rows: i64,
+    /// Log records the replica applied to bootstrap.
+    pub records: u64,
+    /// Wall-clock bootstrap time (connect → caught up), in milliseconds.
+    pub ms: f64,
+    /// Records applied per second during bootstrap.
+    pub records_per_sec: f64,
+}
+
+/// Everything `BENCH_pr5.json` records.
+#[derive(Debug, Clone, Serialize)]
+pub struct BenchPr5Report {
+    /// Panel 1: labeled-read WIPS with 0, 1 and 2 replicas.
+    pub read_scaling: Vec<ReadScalePoint>,
+    /// `wips(2 replicas) / wips(0 replicas)` — acceptance ≥ 1.8.
+    pub read_scaling_0_to_2: f64,
+    /// WIPS with two replicas (the bench-gate baseline metric).
+    pub read_wips_two_replicas: f64,
+    /// Panel 2: replication lag under TPC-C write load.
+    pub lag: LagPanel,
+    /// NOTPM the primary sustained while shipping its log (gate metric).
+    pub notpm_under_replication: f64,
+    /// Panel 3: fresh-replica catch-up.
+    pub catchup: CatchupPanel,
+    /// Best steady-state prepared-statement cache hit rate observed across
+    /// the panels (gate metric).
+    pub stmt_cache_hit_rate: f64,
+}
+
+/// The labeled read-scaling fixture: one principal whose tag labels every
+/// row, so a reader session must raise the tag to see anything at all.
+struct ReadFixture {
+    db: Database,
+    auth: Arc<Authenticator>,
+    tag: TagId,
+}
+
+fn readings_def() -> TableDef {
+    TableDef::new("readings")
+        .column("id", DataType::Int)
+        .column("car", DataType::Int)
+        .column("val", DataType::Float)
+        .primary_key(&["id"])
+}
+
+fn setup_reader(db: &Database) -> (PrincipalId, TagId) {
+    let reader = db.create_principal("reader", PrincipalKind::User);
+    let tag = db.create_tag(reader, "sensor_private", &[]).unwrap();
+    (reader, tag)
+}
+
+fn build_read_fixture(rows: i64) -> ReadFixture {
+    let db = Database::new(DatabaseConfig::in_memory().with_seed(SEED));
+    let (reader, tag) = setup_reader(&db);
+    db.create_table(readings_def()).unwrap();
+    let auth = Arc::new(Authenticator::new());
+    auth.register("reader", "pw", reader);
+    let mut s = db.session(reader);
+    s.add_secrecy(tag).unwrap();
+    for i in 0..rows {
+        s.insert(&Insert::new(
+            "readings",
+            vec![
+                Datum::Int(i),
+                Datum::Int(i % 64),
+                Datum::Float(i as f64 * 0.25),
+            ],
+        ))
+        .unwrap();
+    }
+    ReadFixture { db, auth, tag }
+}
+
+fn start_read_primary(fx: &ReadFixture) -> ServerHandle {
+    start(
+        fx.db.clone(),
+        fx.auth.clone(),
+        ServerConfig {
+            workers: WORKERS_PER_SERVER,
+            replication_secret: Some(REPL_SECRET.into()),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap()
+}
+
+fn start_read_replica(primary_addr: &str) -> ReplicaHandle {
+    let auth = Arc::new(Authenticator::new());
+    let mut config = ReplicaConfig::new(primary_addr, REPL_SECRET, SEED);
+    config.server.workers = WORKERS_PER_SERVER;
+    ifdb_server::start_replica(config, auth.clone(), move |db| {
+        let (reader, _) = setup_reader(db);
+        auth.register("reader", "pw", reader);
+        Ok(())
+    })
+    .unwrap()
+}
+
+fn reader_client(addr: &str, tag: TagId) -> ClientConfig {
+    let mut cfg = ClientConfig::anonymous(addr)
+        .with_user("reader", "pw")
+        .with_label(&[tag]);
+    // Clients beyond a topology's connection capacity sit in the accept
+    // queue with their handshake unanswered; a short timeout turns them
+    // into counted refusals instead of 30-second stalls.
+    cfg.read_timeout = Some(Duration::from_millis(1_500));
+    cfg
+}
+
+/// Panel 1: labeled-read WIPS with `replicas` already-started replicas.
+fn measure_read_point(
+    fx: &ReadFixture,
+    primary: &ServerHandle,
+    replicas: &[ReplicaHandle],
+    clients: usize,
+    duration: Duration,
+) -> ReadScalePoint {
+    let mut targets = vec![reader_client(&primary.addr().to_string(), fx.tag)];
+    for r in replicas {
+        targets.push(reader_client(&r.addr().to_string(), fx.tag));
+    }
+    let outcome = run_read_scale(&ReadScaleConfig {
+        targets,
+        clients,
+        duration,
+        mean_think_time: Duration::from_millis(3),
+        max_think_time: Duration::from_millis(15),
+        table: "readings".into(),
+        key_column: "id".into(),
+        key_range: READ_ROWS,
+        scan_every: 50,
+        seed: 23,
+    });
+    let hit_rate = std::iter::once(primary.stats().stmt_cache_hit_rate())
+        .chain(
+            replicas
+                .iter()
+                .map(|r| r.server().stats().stmt_cache_hit_rate()),
+        )
+        .fold(0.0f64, f64::max);
+    ReadScalePoint {
+        replicas: replicas.len(),
+        clients,
+        workers_per_server: WORKERS_PER_SERVER,
+        wips: outcome.wips,
+        reads: outcome.reads,
+        rows: outcome.rows,
+        failed: outcome.failed,
+        clients_refused: outcome.clients_refused,
+        stmt_cache_hit_rate: hit_rate,
+    }
+}
+
+/// Panel 2: lag while the primary runs network TPC-C.
+fn measure_lag(connections: usize, duration: Duration) -> LagPanel {
+    let db = Database::new(DatabaseConfig::in_memory().with_seed(0x79CC));
+    let tpcc = TpccDatabase::load(
+        db,
+        TpccConfig {
+            warehouses: 2,
+            districts_per_warehouse: 4,
+            customers_per_district: 20,
+            items: 50,
+            initial_orders_per_district: 5,
+            tags_per_label: 2,
+            seed: 29,
+        },
+    )
+    .unwrap();
+    let auth = Arc::new(Authenticator::new());
+    auth.register("tpcc", "pw", tpcc.principal);
+    let server = start(
+        tpcc.db.clone(),
+        auth,
+        ServerConfig {
+            workers: connections + 2,
+            replication_secret: Some(REPL_SECRET.into()),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    // The lag replica never serves reads, so its bootstrap is empty: the
+    // apply loop needs no authority state.
+    let replica = ifdb_server::start_replica(
+        ReplicaConfig::new(&server.addr().to_string(), REPL_SECRET, 0x79CC),
+        Arc::new(Authenticator::new()),
+        |_| Ok(()),
+    )
+    .unwrap();
+
+    // Sample `primary_last_seq − replica_applied_seq` while the TPC-C load
+    // runs.
+    let stop = Arc::new(AtomicBool::new(false));
+    let lag_samples = Arc::new(std::sync::Mutex::new(Vec::<u64>::new()));
+    let sampler = {
+        let stop = stop.clone();
+        let lag_samples = lag_samples.clone();
+        let wal_db = tpcc.db.clone();
+        let applied = replica.applied_seq_handle();
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                let primary_seq = wal_db.engine().wal().last_seq();
+                let applied_seq = applied.load(Ordering::Acquire);
+                lag_samples
+                    .lock()
+                    .unwrap()
+                    .push(primary_seq.saturating_sub(applied_seq));
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        })
+    };
+
+    let label: Vec<TagId> = tpcc.label.iter().collect();
+    let outcome = run_network_tpcc(&NetworkTpccConfig {
+        addr: server.addr().to_string(),
+        user: "tpcc".into(),
+        password: "pw".into(),
+        label,
+        tpcc: TpccConfig {
+            warehouses: 2,
+            districts_per_warehouse: 4,
+            customers_per_district: 20,
+            items: 50,
+            initial_orders_per_district: 5,
+            tags_per_label: 2,
+            seed: 29,
+        },
+        connections,
+        duration,
+        mean_think_time: Duration::from_millis(1),
+        max_think_time: Duration::from_millis(6),
+        seed: 5,
+    });
+    stop.store(true, Ordering::Relaxed);
+    let _ = sampler.join();
+
+    // Drain: how long until the replica has everything the run produced?
+    let target = tpcc.db.engine().wal().last_seq();
+    let drain_started = Instant::now();
+    let caught_up = replica.wait_for_seq(target, Duration::from_secs(20));
+    let final_catchup_ms = drain_started.elapsed().as_secs_f64() * 1e3;
+    assert!(caught_up, "replica must drain the lag after the load stops");
+
+    let samples = lag_samples.lock().unwrap();
+    let mean = if samples.is_empty() {
+        0.0
+    } else {
+        samples.iter().sum::<u64>() as f64 / samples.len() as f64
+    };
+    let max = samples.iter().copied().max().unwrap_or(0);
+    let stats = server.stats();
+    let panel = LagPanel {
+        connections,
+        notpm: outcome.notpm,
+        committed: outcome.committed,
+        samples: samples.len() as u64,
+        mean_lag_records: mean,
+        max_lag_records: max,
+        final_catchup_ms,
+        stmt_cache_hit_rate: stats.stmt_cache_hit_rate(),
+    };
+    drop(samples);
+    replica.shutdown();
+    server.shutdown();
+    panel
+}
+
+/// Panel 3: fresh-replica bootstrap time against a primary holding `rows`
+/// committed rows.
+fn measure_catchup(rows: i64) -> CatchupPanel {
+    let fx = build_read_fixture(rows);
+    let primary = start_read_primary(&fx);
+    let started = Instant::now();
+    let replica = start_read_replica(&primary.addr().to_string());
+    // start_replica returns only after the initial sync.
+    let ms = started.elapsed().as_secs_f64() * 1e3;
+    let stats = replica.stats();
+    assert!(stats.applied_seq >= fx.db.engine().wal().last_seq());
+    let panel = CatchupPanel {
+        rows,
+        records: stats.records_applied,
+        ms,
+        records_per_sec: stats.records_applied as f64 / (ms / 1e3).max(1e-9),
+    };
+    replica.shutdown();
+    primary.shutdown();
+    panel
+}
+
+/// Produces (and prints) the complete PR 5 snapshot.
+pub fn bench_pr5_report(scale: ExperimentScale) -> BenchPr5Report {
+    let (read_ms, lag_ms, catchup_rows) = match scale {
+        ExperimentScale::Quick => (700, 700, 3_000i64),
+        ExperimentScale::Full => (2_000, 2_000, 10_000i64),
+    };
+    let clients = WORKERS_PER_SERVER * 3;
+
+    header("labeled-read WIPS vs replicas (fixed client fleet, bounded worker pools)");
+    let fx = build_read_fixture(READ_ROWS);
+    let primary = start_read_primary(&fx);
+    let mut replicas: Vec<ReplicaHandle> = Vec::new();
+    let mut read_scaling = Vec::new();
+    for n in 0..=2 {
+        while replicas.len() < n {
+            replicas.push(start_read_replica(&primary.addr().to_string()));
+            let target = fx.db.engine().wal().last_seq();
+            assert!(replicas
+                .last()
+                .unwrap()
+                .wait_for_seq(target, Duration::from_secs(10)));
+        }
+        let point = measure_read_point(
+            &fx,
+            &primary,
+            &replicas,
+            clients,
+            Duration::from_millis(read_ms),
+        );
+        row(
+            &format!("{n} replicas"),
+            format!(
+                "{:.0} WIPS ({} reads, {} refused clients)",
+                point.wips, point.reads, point.clients_refused
+            ),
+        );
+        read_scaling.push(point);
+    }
+    let wips_at = |n: usize| {
+        read_scaling
+            .iter()
+            .find(|p| p.replicas == n)
+            .map(|p| p.wips)
+            .unwrap_or(0.0)
+    };
+    let read_scaling_0_to_2 = wips_at(2) / wips_at(0).max(1e-9);
+    row(
+        "scaling 0 -> 2 replicas",
+        format!("{read_scaling_0_to_2:.2}x"),
+    );
+    let read_wips_two_replicas = wips_at(2);
+    for r in replicas.drain(..) {
+        r.shutdown();
+    }
+    primary.shutdown();
+
+    header("replication lag under TPC-C write load");
+    let lag = measure_lag(4, Duration::from_millis(lag_ms));
+    row("NOTPM while replicating", format!("{:.0}", lag.notpm));
+    row(
+        "lag (records)",
+        format!(
+            "mean {:.1}, max {}",
+            lag.mean_lag_records, lag.max_lag_records
+        ),
+    );
+    row("final catch-up", format!("{:.1} ms", lag.final_catchup_ms));
+
+    header("fresh-replica catch-up (checkpoint-anchored snapshot)");
+    let catchup = measure_catchup(catchup_rows);
+    row(
+        &format!("{} rows", catchup.rows),
+        format!(
+            "{:.0} ms ({} records, {:.0} records/s)",
+            catchup.ms, catchup.records, catchup.records_per_sec
+        ),
+    );
+
+    let stmt_cache_hit_rate = read_scaling
+        .iter()
+        .map(|p| p.stmt_cache_hit_rate)
+        .fold(lag.stmt_cache_hit_rate, f64::max);
+    let report = BenchPr5Report {
+        read_scaling,
+        read_scaling_0_to_2,
+        read_wips_two_replicas,
+        notpm_under_replication: lag.notpm,
+        lag,
+        catchup,
+        stmt_cache_hit_rate,
+    };
+    write_json("bench_pr5", &report);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_point_with_one_replica_reads_labeled_rows() {
+        let fx = build_read_fixture(200);
+        let primary = start_read_primary(&fx);
+        let replica = start_read_replica(&primary.addr().to_string());
+        assert!(replica.wait_for_seq(fx.db.engine().wal().last_seq(), Duration::from_secs(5)));
+        let point = measure_read_point(
+            &fx,
+            &primary,
+            std::slice::from_ref(&replica),
+            4,
+            Duration::from_millis(250),
+        );
+        assert!(point.reads > 0);
+        assert!(point.rows > 0, "labeled reads returned rows");
+        replica.shutdown();
+        primary.shutdown();
+    }
+
+    #[test]
+    fn catchup_panel_applies_everything() {
+        let panel = measure_catchup(300);
+        assert!(panel.records > 300);
+        assert!(panel.ms >= 0.0);
+    }
+}

@@ -43,10 +43,7 @@ pub fn register_triggers(db: &Database, policy: Arc<CartelPolicy>) -> IfdbResult
                     .filter(Predicate::Eq("carid".into(), carid.clone())),
             )?;
             if existing.is_empty() {
-                session.insert(&Insert::new(
-                    "LocationsLatest",
-                    vec![carid, lat, lon, ts],
-                ))?;
+                session.insert(&Insert::new("LocationsLatest", vec![carid, lat, lon, ts]))?;
             } else {
                 session.update(&Update::new(
                     "LocationsLatest",
@@ -117,7 +114,10 @@ pub fn register_triggers(db: &Database, policy: Arc<CartelPolicy>) -> IfdbResult
                 let row = latest.expect("non-empty");
                 let driveid = row.get_int("driveid").unwrap_or(0);
                 let points = row.get_int("points").unwrap_or(0) + 1;
-                let end_prev = row.get("end_ts").and_then(Datum::as_timestamp).unwrap_or(ts);
+                let end_prev = row
+                    .get("end_ts")
+                    .and_then(Datum::as_timestamp)
+                    .unwrap_or(ts);
                 let dt_hours = (ts - end_prev).max(0) as f64 / 3.6e9;
                 let distance = row.get_float("distance").unwrap_or(0.0) + speed * dt_hours;
                 session.update(&Update::new(
@@ -159,8 +159,7 @@ impl SensorIngest {
     pub fn register_car(&self, user: &UserHandle, carid: i64, name: &str) -> IfdbResult<()> {
         let mut session = self.db.session(self.policy.ingest_principal);
         let existing = session.select(
-            &Select::star("Users")
-                .filter(Predicate::Eq("userid".into(), Datum::Int(user.userid))),
+            &Select::star("Users").filter(Predicate::Eq("userid".into(), Datum::Int(user.userid))),
         )?;
         if existing.is_empty() {
             session.insert(&Insert::new(
@@ -174,7 +173,11 @@ impl SensorIngest {
         }
         session.insert(&Insert::new(
             "Cars",
-            vec![Datum::Int(carid), Datum::Int(user.userid), Datum::from(name)],
+            vec![
+                Datum::Int(carid),
+                Datum::Int(user.userid),
+                Datum::from(name),
+            ],
         ))?;
         self.policy.record_car(carid, user.userid);
         Ok(())

@@ -103,8 +103,7 @@ impl CartelApp {
                     .register_car(user, carid, &format!("{}-car-{}", user.username, c))
                     .expect("car registration");
                 if config.measurements_per_car > 0 {
-                    let trace =
-                        generator.trace(carid, user.userid, config.measurements_per_car);
+                    let trace = generator.trace(carid, user.userid, config.measurements_per_car);
                     ingest.ingest(&trace).expect("trace ingest");
                 }
             }

@@ -72,12 +72,14 @@ pub fn register_scripts(server: &Arc<AppServer>, policy: Arc<CartelPolicy>) {
     let p = policy.clone();
     server.register_script(
         "login.php",
-        Arc::new(move |session, request, out| {
-            match requesting_user(&p, session, request) {
+        Arc::new(
+            move |session, request, out| match requesting_user(&p, session, request) {
                 Some(user) => out.emit(session, format!("Welcome, {}", user.username)),
-                None => Err(IfdbError::InvalidStatement("authentication required".into())),
-            }
-        }),
+                None => Err(IfdbError::InvalidStatement(
+                    "authentication required".into(),
+                )),
+            },
+        ),
     );
 
     // cars.php / get_cars.php — current locations of the user's cars.
@@ -87,7 +89,9 @@ pub fn register_scripts(server: &Arc<AppServer>, policy: Arc<CartelPolicy>) {
             name,
             Arc::new(move |session, request, out| {
                 let Some(user) = requesting_user(&p, session, request) else {
-                    return Err(IfdbError::InvalidStatement("authentication required".into()));
+                    return Err(IfdbError::InvalidStatement(
+                        "authentication required".into(),
+                    ));
                 };
                 let cars = session.select(
                     &Select::star("Cars")
@@ -128,7 +132,9 @@ pub fn register_scripts(server: &Arc<AppServer>, policy: Arc<CartelPolicy>) {
         "drives.php",
         Arc::new(move |session, request, out| {
             let Some(me) = requesting_user(&p, session, request) else {
-                return Err(IfdbError::InvalidStatement("authentication required".into()));
+                return Err(IfdbError::InvalidStatement(
+                    "authentication required".into(),
+                ));
             };
             let target = request
                 .params
@@ -198,7 +204,9 @@ pub fn register_scripts(server: &Arc<AppServer>, policy: Arc<CartelPolicy>) {
         "friends.php",
         Arc::new(move |session, request, out| {
             let Some(me) = requesting_user(&p, session, request) else {
-                return Err(IfdbError::InvalidStatement("authentication required".into()));
+                return Err(IfdbError::InvalidStatement(
+                    "authentication required".into(),
+                ));
             };
             if let Some(friend_name) = request.params.get("add") {
                 let Some(friend) = p.user_by_name(friend_name) else {
@@ -234,7 +242,9 @@ pub fn register_scripts(server: &Arc<AppServer>, policy: Arc<CartelPolicy>) {
         "edit_account.php",
         Arc::new(move |session, request, out| {
             let Some(me) = requesting_user(&p, session, request) else {
-                return Err(IfdbError::InvalidStatement("authentication required".into()));
+                return Err(IfdbError::InvalidStatement(
+                    "authentication required".into(),
+                ));
             };
             let email = request
                 .params

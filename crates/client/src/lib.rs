@@ -16,6 +16,9 @@
 #![deny(missing_docs)]
 
 pub mod protocol;
+pub mod router;
+
+pub use router::{RoutedConnection, RouterConfig, RouterStats};
 
 use std::collections::HashMap;
 use std::io::{BufReader, BufWriter};
@@ -119,6 +122,7 @@ pub struct Connection {
     fetch_batch: u32,
     prepared: HashMap<Vec<u8>, u32>,
     stats: ClientStats,
+    last_write_seq: u64,
 }
 
 impl std::fmt::Debug for Connection {
@@ -166,6 +170,7 @@ impl Connection {
             fetch_batch: config.fetch_batch,
             prepared: HashMap::new(),
             stats: ClientStats::default(),
+            last_write_seq: 0,
         };
         let resp = conn.call(&Request::Hello {
             version: PROTOCOL_VERSION,
@@ -187,6 +192,33 @@ impl Connection {
     /// Client-side counters.
     pub fn stats(&self) -> ClientStats {
         self.stats
+    }
+
+    /// The server watermark piggybacked on this connection's most recent
+    /// write or commit acknowledgement (0 before any write). A replica whose
+    /// applied-seq has reached this value has applied everything this
+    /// connection has written — the read-your-writes barrier.
+    pub fn last_write_seq(&self) -> u64 {
+        self.last_write_seq
+    }
+
+    /// Asks the server for its current watermark: on a primary, the last
+    /// write-ahead-log sequence number; on a replica, the applied-seq of its
+    /// replication stream.
+    pub fn watermark(&mut self) -> IfdbResult<u64> {
+        self.watermark_full().map(|(seq, _)| seq)
+    }
+
+    /// Like [`Connection::watermark`], but also returns the log epoch the
+    /// watermark belongs to. Sequence numbers are only comparable within
+    /// one epoch — a topology-aware client uses the epoch to notice a
+    /// primary restart (after which an old read-your-writes barrier is
+    /// meaningless) instead of waiting out its staleness bound.
+    pub fn watermark_full(&mut self) -> IfdbResult<(u64, u64)> {
+        match self.call(&Request::Watermark)? {
+            Response::Watermark { seq, epoch } => Ok((seq, epoch)),
+            other => Err(unexpected(other)),
+        }
     }
 
     /// Re-authenticates this connection as `user` with a password,
@@ -280,8 +312,9 @@ impl Connection {
             fetch: self.fetch_batch,
         })?;
         match resp {
-            Response::Affected { n, label } => {
+            Response::Affected { n, label, seq } => {
                 self.label = Label::from_array(&label);
+                self.last_write_seq = self.last_write_seq.max(seq);
                 Ok(StatementResult::Affected(n as usize))
             }
             Response::Rows {
@@ -292,10 +325,7 @@ impl Connection {
             } => {
                 self.label = Label::from_array(&label);
                 let columns = std::sync::Arc::new(columns);
-                let mut out: Vec<Row> = rows
-                    .into_iter()
-                    .map(|r| wire_row(&columns, r))
-                    .collect();
+                let mut out: Vec<Row> = rows.into_iter().map(|r| wire_row(&columns, r)).collect();
                 let mut cursor = cursor;
                 while cursor != 0 {
                     self.stats.extra_fetches += 1;
@@ -330,11 +360,12 @@ impl Connection {
 
     fn simple(&mut self, req: Request) -> IfdbResult<()> {
         match self.call(&req)? {
-            Response::Ok { label } => {
+            Response::Ok { label, seq } => {
                 // Commit can run deferred triggers that contaminate the
                 // process; every Ok carries the authoritative label so the
                 // local mirror (and therefore the output gate) follows.
                 self.label = Label::from_array(&label);
+                self.last_write_seq = self.last_write_seq.max(seq);
                 Ok(())
             }
             other => Err(unexpected(other)),
@@ -356,22 +387,27 @@ fn wire_row(columns: &std::sync::Arc<Vec<String>>, r: WireRow) -> Row {
 
 impl SessionApi for Connection {
     fn select(&mut self, q: &Select) -> IfdbResult<ResultSet> {
-        self.run(&Statement::Select(q.clone())).map(StatementResult::into_rows)
+        self.run(&Statement::Select(q.clone()))
+            .map(StatementResult::into_rows)
     }
     fn select_join(&mut self, join: &Join) -> IfdbResult<ResultSet> {
-        self.run(&Statement::Join(join.clone())).map(StatementResult::into_rows)
+        self.run(&Statement::Join(join.clone()))
+            .map(StatementResult::into_rows)
     }
     fn select_aggregate(&mut self, agg: &Aggregate) -> IfdbResult<ResultSet> {
-        self.run(&Statement::Aggregate(agg.clone())).map(StatementResult::into_rows)
+        self.run(&Statement::Aggregate(agg.clone()))
+            .map(StatementResult::into_rows)
     }
     fn insert(&mut self, ins: &Insert) -> IfdbResult<()> {
         self.run(&Statement::Insert(ins.clone())).map(|_| ())
     }
     fn update(&mut self, upd: &Update) -> IfdbResult<usize> {
-        self.run(&Statement::Update(upd.clone())).map(|r| r.affected())
+        self.run(&Statement::Update(upd.clone()))
+            .map(|r| r.affected())
     }
     fn delete(&mut self, del: &Delete) -> IfdbResult<usize> {
-        self.run(&Statement::Delete(del.clone())).map(|r| r.affected())
+        self.run(&Statement::Delete(del.clone()))
+            .map(|r| r.affected())
     }
     fn begin(&mut self) -> IfdbResult<()> {
         self.simple(Request::Begin)?;

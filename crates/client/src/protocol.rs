@@ -68,7 +68,8 @@ pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> IfdbResult<()> {
     buf.extend_from_slice(payload);
     w.write_all(&buf)
         .map_err(|e| protocol_error(format!("write: {e}")))?;
-    w.flush().map_err(|e| protocol_error(format!("flush: {e}")))?;
+    w.flush()
+        .map_err(|e| protocol_error(format!("flush: {e}")))?;
     Ok(())
 }
 
@@ -782,6 +783,23 @@ pub enum Request {
     },
     /// Clean connection shutdown.
     Goodbye,
+    /// One poll of the replication stream: a replica (fully trusted — it
+    /// receives every tuple regardless of label) asks for the log records
+    /// after its applied-seq watermark. Requires no session; authenticated
+    /// by the shared replication secret on every poll.
+    ReplPoll {
+        /// The replication secret configured on the primary.
+        secret: String,
+        /// First sequence number wanted (`applied_seq + 1`; 0 or 1 for a
+        /// fresh replica).
+        from_seq: u64,
+        /// Maximum records in the reply (0 = server default).
+        max: u32,
+    },
+    /// Asks for the server's current watermark: on a primary, the last
+    /// write-ahead-log sequence number; on a replica, its applied-seq.
+    /// Used by topology-aware clients for read-your-writes waits.
+    Watermark,
 }
 
 /// One result row on the wire: the tuple's label and its values.
@@ -810,6 +828,10 @@ pub enum Response {
     Ok {
         /// The process label after the operation.
         label: Vec<u64>,
+        /// The server's watermark after the operation (primary: last WAL
+        /// seq; replica: applied seq). After a commit, this bounds the
+        /// position a replica must reach before a read-your-writes read.
+        seq: u64,
     },
     /// An error; see [`encode_error`]/[`decode_error`].
     Error {
@@ -854,6 +876,9 @@ pub enum Response {
         n: u64,
         /// The process label after the statement (triggers may contaminate).
         label: Vec<u64>,
+        /// The server's watermark after the statement (see
+        /// [`Response::Ok::seq`]).
+        seq: u64,
     },
     /// The process label after a label operation.
     LabelIs {
@@ -880,6 +905,31 @@ pub enum Response {
         columns: Vec<String>,
         /// The rows.
         rows: Vec<WireRow>,
+    },
+    /// One batch of the replication stream ([`Request::ReplPoll`]).
+    ReplBatch {
+        /// Identifies the primary's log incarnation; when it changes, the
+        /// replica's watermark is meaningless and it must re-bootstrap.
+        epoch: u64,
+        /// `true` when the replica must discard its state before applying:
+        /// this batch starts the checkpoint-anchored snapshot.
+        reset: bool,
+        /// Sequence number of `records[0]`.
+        first_seq: u64,
+        /// The primary's current last (durable) sequence number; the
+        /// replica's lag is `end_seq - applied_seq`.
+        end_seq: u64,
+        /// Log records encoded with
+        /// [`ifdb_storage::Wal::encode_record`](ifdb_storage::wal::Wal::encode_record).
+        records: Vec<Vec<u8>>,
+    },
+    /// The server's current watermark ([`Request::Watermark`]).
+    Watermark {
+        /// Primary: last WAL sequence number; replica: applied-seq.
+        seq: u64,
+        /// The log epoch the watermark belongs to (0 when a replica has not
+        /// connected to its primary yet).
+        epoch: u64,
     },
 }
 
@@ -973,6 +1023,17 @@ impl Request {
                 w.datums(args);
             }
             Request::Goodbye => w.u8(16),
+            Request::ReplPoll {
+                secret,
+                from_seq,
+                max,
+            } => {
+                w.u8(17);
+                w.str(secret);
+                w.u64(*from_seq);
+                w.u32(*max);
+            }
+            Request::Watermark => w.u8(18),
         }
         w.finish()
     }
@@ -1038,6 +1099,12 @@ impl Request {
                 args: r.datums()?,
             },
             16 => Request::Goodbye,
+            17 => Request::ReplPoll {
+                secret: r.str()?,
+                from_seq: r.u64()?,
+                max: r.u32()?,
+            },
+            18 => Request::Watermark,
             t => return Err(protocol_error(format!("unknown request tag {t}"))),
         };
         if !r.at_end() {
@@ -1077,9 +1144,10 @@ impl Response {
                 w.u64(*principal);
                 w.tags(label);
             }
-            Response::Ok { label } => {
+            Response::Ok { label, seq } => {
                 w.u8(129);
                 w.tags(label);
+                w.u64(*seq);
             }
             Response::Error {
                 code,
@@ -1122,10 +1190,11 @@ impl Response {
                 w.u32(*cursor);
                 w.tags(label);
             }
-            Response::Affected { n, label } => {
+            Response::Affected { n, label, seq } => {
                 w.u8(133);
                 w.u64(*n);
                 w.tags(label);
+                w.u64(*seq);
             }
             Response::LabelIs { tags } => {
                 w.u8(134);
@@ -1150,6 +1219,29 @@ impl Response {
                 }
                 encode_rows(&mut w, rows);
             }
+            Response::ReplBatch {
+                epoch,
+                reset,
+                first_seq,
+                end_seq,
+                records,
+            } => {
+                w.u8(138);
+                w.u64(*epoch);
+                w.u8(*reset as u8);
+                w.u64(*first_seq);
+                w.u64(*end_seq);
+                w.u32(records.len() as u32);
+                for r in records {
+                    w.u32(r.len() as u32);
+                    w.buf.extend_from_slice(r);
+                }
+            }
+            Response::Watermark { seq, epoch } => {
+                w.u8(139);
+                w.u64(*seq);
+                w.u64(*epoch);
+            }
         }
         w.finish()
     }
@@ -1162,7 +1254,10 @@ impl Response {
                 principal: r.u64()?,
                 label: r.tags()?,
             },
-            129 => Response::Ok { label: r.tags()? },
+            129 => Response::Ok {
+                label: r.tags()?,
+                seq: r.u64()?,
+            },
             130 => Response::Error {
                 code: r.u8()?,
                 detail: r.str()?,
@@ -1194,6 +1289,7 @@ impl Response {
             133 => Response::Affected {
                 n: r.u64()?,
                 label: r.tags()?,
+                seq: r.u64()?,
             },
             134 => Response::LabelIs { tags: r.tags()? },
             135 => Response::Batch {
@@ -1214,6 +1310,32 @@ impl Response {
                     rows: decode_rows(r)?,
                 }
             }
+            138 => {
+                let epoch = r.u64()?;
+                let reset = r.u8()? != 0;
+                let first_seq = r.u64()?;
+                let end_seq = r.u64()?;
+                let n = r.u32()? as usize;
+                if n > r.buf.len() + 1 {
+                    return Err(protocol_error("record count exceeds payload"));
+                }
+                let mut records = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let len = r.u32()? as usize;
+                    records.push(r.take(len)?.to_vec());
+                }
+                Response::ReplBatch {
+                    epoch,
+                    reset,
+                    first_seq,
+                    end_seq,
+                    records,
+                }
+            }
+            139 => Response::Watermark {
+                seq: r.u64()?,
+                epoch: r.u64()?,
+            },
             t => return Err(protocol_error(format!("unknown response tag {t}"))),
         };
         if !r.at_end() {
@@ -1272,6 +1394,12 @@ pub mod code {
     pub const PROTOCOL: u8 = 18;
     /// The server is shutting down.
     pub const SHUTTING_DOWN: u8 = 19;
+    /// The session is read-only (a log-shipping replica); writes must go to
+    /// the primary.
+    pub const READ_ONLY: u8 = 20;
+    /// Replication is not enabled on this server, or the replication secret
+    /// did not match.
+    pub const REPLICATION_DENIED: u8 = 21;
 }
 
 /// Encodes an [`IfdbError`] as a wire error response.
@@ -1357,6 +1485,10 @@ pub fn encode_error(e: &IfdbError) -> Response {
                 label0 = vec![principal.0];
             }
         }
+        IfdbError::ReadOnlyReplica => {
+            code_ = code::READ_ONLY;
+            detail = String::new();
+        }
         IfdbError::Remote { code: c, detail: d } => {
             code_ = u8::try_from(*c).unwrap_or(code::REMOTE);
             detail = d.clone();
@@ -1374,7 +1506,13 @@ pub fn encode_error(e: &IfdbError) -> Response {
 }
 
 /// Decodes a wire error back into the closest [`IfdbError`].
-pub fn decode_error(code_: u8, detail: String, label0: Vec<u64>, label1: Vec<u64>, aux: u64) -> IfdbError {
+pub fn decode_error(
+    code_: u8,
+    detail: String,
+    label0: Vec<u64>,
+    label1: Vec<u64>,
+    aux: u64,
+) -> IfdbError {
     match code_ {
         code::WRITE_CONFLICT => IfdbError::Storage(StorageError::WriteConflict {
             txn: aux,
@@ -1401,12 +1539,11 @@ pub fn decode_error(code_: u8, detail: String, label0: Vec<u64>, label1: Vec<u64
         },
         code::CONSTRAINTS_PENDING => IfdbError::ConstraintsPending { table: detail },
         code::INVALID_STATEMENT => IfdbError::InvalidStatement(detail),
-        code::DIFC if aux != 0 && label0.len() == 1 => {
-            IfdbError::Difc(DifcError::NoAuthority {
-                principal: ifdb_difc::PrincipalId(label0[0]),
-                tag: TagId(aux),
-            })
-        }
+        code::READ_ONLY => IfdbError::ReadOnlyReplica,
+        code::DIFC if aux != 0 && label0.len() == 1 => IfdbError::Difc(DifcError::NoAuthority {
+            principal: ifdb_difc::PrincipalId(label0[0]),
+            tag: TagId(aux),
+        }),
         c => IfdbError::Remote {
             code: c as u16,
             detail,
@@ -1449,9 +1586,8 @@ mod tests {
 
     #[test]
     fn template_is_shape_canonical() {
-        let q1 = Statement::Select(
-            Select::star("t").filter(Predicate::Eq("id".into(), Datum::Int(1))),
-        );
+        let q1 =
+            Statement::Select(Select::star("t").filter(Predicate::Eq("id".into(), Datum::Int(1))));
         let q2 = Statement::Select(
             Select::star("t").filter(Predicate::Eq("id".into(), Datum::Int(999))),
         );
@@ -1465,9 +1601,8 @@ mod tests {
 
     #[test]
     fn template_rejects_bad_param_slots() {
-        let q = Statement::Select(
-            Select::star("t").filter(Predicate::Eq("id".into(), Datum::Int(1))),
-        );
+        let q =
+            Statement::Select(Select::star("t").filter(Predicate::Eq("id".into(), Datum::Int(1))));
         let (t, _) = encode_template(&q);
         assert!(decode_template(&t, &[]).is_err());
     }

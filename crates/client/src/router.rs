@@ -1,0 +1,315 @@
+//! Topology-aware routing: writes to the primary, labeled reads to
+//! replicas.
+//!
+//! A [`RoutedConnection`] bundles one [`Connection`] to the primary and one
+//! per read replica, and implements [`SessionApi`] so application code (and
+//! the platform's request scripts) runs unchanged over a replicated
+//! topology:
+//!
+//! * **writes, explicit transactions, and stored procedures** always go to
+//!   the primary — replicas refuse them anyway (`READ_ONLY`);
+//! * **reads outside an explicit transaction** round-robin across the
+//!   replicas (falling back to the primary when none are configured or a
+//!   replica fails);
+//! * **reads inside an explicit transaction** stay on the primary: they
+//!   must see the transaction's own writes under its snapshot;
+//! * **label operations** are mirrored to every connection, so a replica
+//!   session always holds the same principal and process label as the
+//!   primary session and Query by Label filters replica reads identically.
+//!
+//! # Read-your-writes and bounded staleness
+//!
+//! Replication is asynchronous, so a replica read can be stale. With
+//! [`RouterConfig::read_your_writes`] enabled, the router remembers the
+//! primary watermark piggybacked on each write acknowledgement
+//! ([`Connection::last_write_seq`]) and, before a replica read, polls the
+//! replica's applied-seq ([`Connection::watermark`]) until it reaches that
+//! barrier. The wait is bounded by [`RouterConfig::staleness_timeout`]:
+//! past it, the read falls back to the primary, so a stalled replica
+//! degrades latency, never correctness.
+
+use std::time::{Duration, Instant};
+
+use ifdb::{
+    Aggregate, Delete, IfdbResult, Insert, Join, ResultSet, Select, SessionApi, Statement,
+    StatementResult, Update,
+};
+use ifdb_difc::{Label, PrincipalId, TagId};
+use ifdb_storage::Datum;
+
+use crate::{ClientConfig, Connection};
+
+/// Configuration of a routed (primary + replicas) client.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Connection configuration for the primary.
+    pub primary: ClientConfig,
+    /// One connection configuration per read replica. The user, password
+    /// and initial label should match the primary's so sessions are
+    /// label-symmetric.
+    pub replicas: Vec<ClientConfig>,
+    /// When `true`, replica reads wait until the replica has applied this
+    /// client's last write before serving (read-your-writes).
+    pub read_your_writes: bool,
+    /// Bound on the read-your-writes wait; past it the read falls back to
+    /// the primary.
+    pub staleness_timeout: Duration,
+    /// How long to sleep between watermark polls during a
+    /// read-your-writes wait.
+    pub poll_interval: Duration,
+}
+
+impl RouterConfig {
+    /// A router over `primary` with the given replicas, read-your-writes
+    /// enabled with a 2-second staleness bound.
+    pub fn new(primary: ClientConfig, replicas: Vec<ClientConfig>) -> Self {
+        RouterConfig {
+            primary,
+            replicas,
+            read_your_writes: true,
+            staleness_timeout: Duration::from_secs(2),
+            poll_interval: Duration::from_millis(1),
+        }
+    }
+
+    /// Enables or disables read-your-writes waiting.
+    pub fn with_read_your_writes(mut self, on: bool) -> Self {
+        self.read_your_writes = on;
+        self
+    }
+}
+
+/// Counters exposed by a [`RoutedConnection`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct RouterStats {
+    /// Reads served by a replica.
+    pub reads_on_replica: u64,
+    /// Reads served by the primary (no replicas, in-transaction reads, or
+    /// staleness fallbacks).
+    pub reads_on_primary: u64,
+    /// Read-your-writes waits that had to poll at least once.
+    pub ryw_waits: u64,
+    /// Replica reads that fell back to the primary because the replica did
+    /// not catch up within the staleness bound (or failed).
+    pub ryw_fallbacks: u64,
+}
+
+/// A topology-aware client connection: one primary, any number of read
+/// replicas, one [`SessionApi`] surface.
+pub struct RoutedConnection {
+    primary: Connection,
+    replicas: Vec<Connection>,
+    next_replica: usize,
+    read_your_writes: bool,
+    staleness_timeout: Duration,
+    poll_interval: Duration,
+    /// The primary's log epoch at connect time. A replica reporting a
+    /// different epoch is not comparable to this client's write barrier
+    /// (the primary restarted), so read-your-writes falls back to the
+    /// primary immediately instead of stalling out the staleness bound.
+    primary_epoch: u64,
+    stats: RouterStats,
+}
+
+impl std::fmt::Debug for RoutedConnection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RoutedConnection")
+            .field("replicas", &self.replicas.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl RoutedConnection {
+    /// Connects to the primary and every replica.
+    pub fn connect(config: &RouterConfig) -> IfdbResult<RoutedConnection> {
+        let mut primary = Connection::connect(&config.primary)?;
+        let (_, primary_epoch) = primary.watermark_full()?;
+        let replicas = config
+            .replicas
+            .iter()
+            .map(Connection::connect)
+            .collect::<IfdbResult<Vec<_>>>()?;
+        Ok(RoutedConnection {
+            primary,
+            replicas,
+            next_replica: 0,
+            read_your_writes: config.read_your_writes,
+            staleness_timeout: config.staleness_timeout,
+            poll_interval: config.poll_interval,
+            primary_epoch,
+            stats: RouterStats::default(),
+        })
+    }
+
+    /// Router counters.
+    pub fn stats(&self) -> RouterStats {
+        self.stats
+    }
+
+    /// The primary connection (e.g. to read its label mirror or watermark).
+    pub fn primary(&mut self) -> &mut Connection {
+        &mut self.primary
+    }
+
+    /// Closes every connection.
+    pub fn close(mut self) -> IfdbResult<()> {
+        for replica in self.replicas.drain(..) {
+            let _ = replica.close();
+        }
+        self.primary.close()
+    }
+
+    /// Picks the replica for the next read and waits out the
+    /// read-your-writes barrier on it. Returns `None` when the read should
+    /// go to the primary instead.
+    fn replica_for_read(&mut self) -> Option<usize> {
+        if self.replicas.is_empty() || self.primary.in_transaction() {
+            return None;
+        }
+        let idx = self.next_replica % self.replicas.len();
+        self.next_replica = self.next_replica.wrapping_add(1);
+        if !self.read_your_writes {
+            return Some(idx);
+        }
+        let barrier = self.primary.last_write_seq();
+        if barrier == 0 {
+            return Some(idx);
+        }
+        let deadline = Instant::now() + self.staleness_timeout;
+        let mut polled = false;
+        loop {
+            match self.replicas[idx].watermark_full() {
+                Ok((_, epoch)) if epoch != self.primary_epoch => {
+                    // The replica follows a different log incarnation than
+                    // the one this client's barrier came from (primary
+                    // restart, or the replica has not synced yet): seq
+                    // comparison is meaningless, don't stall on it.
+                    self.stats.ryw_fallbacks += 1;
+                    return None;
+                }
+                Ok((seq, _)) if seq >= barrier => {
+                    if polled {
+                        self.stats.ryw_waits += 1;
+                    }
+                    return Some(idx);
+                }
+                Ok(_) => {
+                    polled = true;
+                    if Instant::now() >= deadline {
+                        self.stats.ryw_fallbacks += 1;
+                        return None;
+                    }
+                    std::thread::sleep(self.poll_interval);
+                }
+                Err(_) => {
+                    self.stats.ryw_fallbacks += 1;
+                    return None;
+                }
+            }
+        }
+    }
+
+    /// Runs a read statement on a replica when possible, otherwise on the
+    /// primary. A replica-side failure falls back to the primary so a dying
+    /// replica degrades latency, not availability.
+    fn routed_read(&mut self, stmt: &Statement) -> IfdbResult<ResultSet> {
+        if let Some(idx) = self.replica_for_read() {
+            match self.replicas[idx].run(stmt) {
+                Ok(r) => {
+                    self.stats.reads_on_replica += 1;
+                    return Ok(r.into_rows());
+                }
+                Err(_) => {
+                    self.stats.ryw_fallbacks += 1;
+                }
+            }
+        }
+        self.stats.reads_on_primary += 1;
+        self.primary.run(stmt).map(StatementResult::into_rows)
+    }
+
+    /// Applies a label operation to the primary and mirrors it to every
+    /// replica, keeping the sessions label-symmetric. The primary's outcome
+    /// decides success; a replica that refuses (e.g. it has not learned a
+    /// delegation yet) is dropped from the read rotation rather than
+    /// serving reads under a weaker label.
+    fn mirrored<T>(
+        &mut self,
+        mut op: impl FnMut(&mut Connection) -> IfdbResult<T>,
+    ) -> IfdbResult<T> {
+        let out = op(&mut self.primary)?;
+        let mut alive = Vec::with_capacity(self.replicas.len());
+        for mut replica in self.replicas.drain(..) {
+            if op(&mut replica).is_ok() {
+                alive.push(replica);
+            }
+        }
+        self.replicas = alive;
+        Ok(out)
+    }
+}
+
+impl SessionApi for RoutedConnection {
+    fn select(&mut self, q: &Select) -> IfdbResult<ResultSet> {
+        self.routed_read(&Statement::Select(q.clone()))
+    }
+    fn select_join(&mut self, join: &Join) -> IfdbResult<ResultSet> {
+        self.routed_read(&Statement::Join(join.clone()))
+    }
+    fn select_aggregate(&mut self, agg: &Aggregate) -> IfdbResult<ResultSet> {
+        self.routed_read(&Statement::Aggregate(agg.clone()))
+    }
+    fn insert(&mut self, ins: &Insert) -> IfdbResult<()> {
+        self.primary.insert(ins)
+    }
+    fn update(&mut self, upd: &Update) -> IfdbResult<usize> {
+        self.primary.update(upd)
+    }
+    fn delete(&mut self, del: &Delete) -> IfdbResult<usize> {
+        self.primary.delete(del)
+    }
+    fn begin(&mut self) -> IfdbResult<()> {
+        self.primary.begin()
+    }
+    fn commit(&mut self) -> IfdbResult<()> {
+        self.primary.commit()
+    }
+    fn abort(&mut self) -> IfdbResult<()> {
+        self.primary.abort()
+    }
+    fn in_transaction(&self) -> bool {
+        self.primary.in_transaction()
+    }
+    fn add_secrecy(&mut self, tag: TagId) -> IfdbResult<()> {
+        self.mirrored(|c| c.add_secrecy(tag))
+    }
+    fn raise_label(&mut self, other: &Label) -> IfdbResult<()> {
+        let other = other.clone();
+        self.mirrored(move |c| c.raise_label(&other))
+    }
+    fn declassify(&mut self, tag: TagId) -> IfdbResult<()> {
+        self.mirrored(|c| c.declassify(tag))
+    }
+    fn declassify_all(&mut self, tags: &Label) -> IfdbResult<()> {
+        let tags = tags.clone();
+        self.mirrored(move |c| c.declassify_all(&tags))
+    }
+    fn delegate(&mut self, grantee: PrincipalId, tag: TagId) -> IfdbResult<()> {
+        // Authority mutations go to the primary only: replicas rebuild
+        // authority from their bootstrap, and refuse local grants.
+        self.primary.delegate(grantee, tag)
+    }
+    fn call_procedure(&mut self, name: &str, args: &[Datum]) -> IfdbResult<ResultSet> {
+        self.primary.call_procedure(name, args)
+    }
+    fn principal(&self) -> PrincipalId {
+        self.primary.principal()
+    }
+    fn current_label(&self) -> Label {
+        self.primary.current_label()
+    }
+    fn check_release_to_world(&self) -> IfdbResult<()> {
+        self.primary.check_release_to_world()
+    }
+}

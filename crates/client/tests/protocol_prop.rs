@@ -3,10 +3,7 @@
 //! rejection of torn, truncated and bit-flipped frames (mirroring the WAL's
 //! checksum tests).
 
-use ifdb::{
-    AggFunc, Aggregate, Delete, Insert, Join, Order, Predicate, Select, Statement,
-    Update,
-};
+use ifdb::{AggFunc, Aggregate, Delete, Insert, Join, Order, Predicate, Select, Statement, Update};
 use ifdb_client::protocol::{
     decode_template, encode_template, read_frame, write_frame, Request, Response, WireRow,
 };
@@ -88,7 +85,11 @@ fn gen_statement(rng: &mut StdRng) -> Statement {
             if rng.gen_bool(0.5) {
                 q = q.order(
                     "a",
-                    if rng.gen_bool(0.5) { Order::Asc } else { Order::Desc },
+                    if rng.gen_bool(0.5) {
+                        Order::Asc
+                    } else {
+                        Order::Desc
+                    },
                 );
             }
             if rng.gen_bool(0.5) {
@@ -127,7 +128,9 @@ fn gen_statement(rng: &mut StdRng) -> Statement {
         }),
         3 => Statement::Insert(Insert {
             table: gen_string(rng),
-            values: (0..rng.gen_range(0..6)).map(|_| gen_cmp_datum(rng)).collect(),
+            values: (0..rng.gen_range(0..6))
+                .map(|_| gen_cmp_datum(rng))
+                .collect(),
             declassifying: (0..rng.gen_range(0..3))
                 .map(|_| TagId(rng.gen_range(1..50)))
                 .collect(),
@@ -150,13 +153,15 @@ fn gen_wire_rows(rng: &mut StdRng) -> Vec<WireRow> {
     (0..rng.gen_range(0..4))
         .map(|_| WireRow {
             label: (0..rng.gen_range(0..3)).map(|_| rng.gen()).collect(),
-            values: (0..rng.gen_range(0..4)).map(|_| gen_cmp_datum(rng)).collect(),
+            values: (0..rng.gen_range(0..4))
+                .map(|_| gen_cmp_datum(rng))
+                .collect(),
         })
         .collect()
 }
 
 fn gen_request(rng: &mut StdRng) -> Request {
-    match rng.gen_range(0..16) {
+    match rng.gen_range(0..18) {
         0 => Request::Hello {
             version: rng.gen(),
             user: gen_string(rng),
@@ -173,7 +178,9 @@ fn gen_request(rng: &mut StdRng) -> Request {
         },
         3 => Request::Execute {
             stmt: rng.gen(),
-            params: (0..rng.gen_range(0..5)).map(|_| gen_cmp_datum(rng)).collect(),
+            params: (0..rng.gen_range(0..5))
+                .map(|_| gen_cmp_datum(rng))
+                .collect(),
             fetch: rng.gen(),
         },
         4 => Request::Fetch {
@@ -198,20 +205,29 @@ fn gen_request(rng: &mut StdRng) -> Request {
         },
         14 => Request::CallProcedure {
             name: gen_string(rng),
-            args: (0..rng.gen_range(0..4)).map(|_| gen_cmp_datum(rng)).collect(),
+            args: (0..rng.gen_range(0..4))
+                .map(|_| gen_cmp_datum(rng))
+                .collect(),
         },
+        15 => Request::ReplPoll {
+            secret: gen_string(rng),
+            from_seq: rng.gen(),
+            max: rng.gen(),
+        },
+        16 => Request::Watermark,
         _ => Request::Goodbye,
     }
 }
 
 fn gen_response(rng: &mut StdRng) -> Response {
-    match rng.gen_range(0..9) {
+    match rng.gen_range(0..11) {
         0 => Response::HelloOk {
             principal: rng.gen(),
             label: (0..rng.gen_range(0..4)).map(|_| rng.gen()).collect(),
         },
         1 => Response::Ok {
             label: (0..rng.gen_range(0..4)).map(|_| rng.gen()).collect(),
+            seq: rng.gen(),
         },
         2 => Response::Error {
             code: rng.gen_range(0u64..256) as u8,
@@ -233,6 +249,7 @@ fn gen_response(rng: &mut StdRng) -> Response {
         5 => Response::Affected {
             n: rng.gen(),
             label: (0..rng.gen_range(0..4)).map(|_| rng.gen()).collect(),
+            seq: rng.gen(),
         },
         6 => Response::LabelIs {
             tags: (0..rng.gen_range(0..4)).map(|_| rng.gen()).collect(),
@@ -241,10 +258,27 @@ fn gen_response(rng: &mut StdRng) -> Response {
             rows: gen_wire_rows(rng),
             done: rng.gen(),
         },
-        _ => Response::ProcResult {
+        8 => Response::ProcResult {
             label: (0..rng.gen_range(0..3)).map(|_| rng.gen()).collect(),
             columns: (0..rng.gen_range(0..3)).map(|_| gen_string(rng)).collect(),
             rows: gen_wire_rows(rng),
+        },
+        9 => Response::ReplBatch {
+            epoch: rng.gen(),
+            reset: rng.gen(),
+            first_seq: rng.gen(),
+            end_seq: rng.gen(),
+            records: (0..rng.gen_range(0..4))
+                .map(|_| {
+                    (0..rng.gen_range(0..16))
+                        .map(|_| rng.gen_range(0u64..256) as u8)
+                        .collect()
+                })
+                .collect(),
+        },
+        _ => Response::Watermark {
+            seq: rng.gen(),
+            epoch: rng.gen(),
         },
     }
 }

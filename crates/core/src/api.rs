@@ -219,9 +219,7 @@ mod tests {
             )))
             .unwrap();
         assert_eq!(r.affected(), 1);
-        let r = api
-            .execute(&Statement::Select(Select::star("t")))
-            .unwrap();
+        let r = api.execute(&Statement::Select(Select::star("t"))).unwrap();
         assert_eq!(r.into_rows().len(), 1);
         let r = api
             .execute(&Statement::Update(Update::new(
@@ -257,10 +255,7 @@ mod tests {
         api.insert(&Insert::new("t", vec![Datum::Int(7), Datum::from("x")]))
             .unwrap();
         api.abort().unwrap();
-        assert!(api
-            .select(&Select::star("t"))
-            .unwrap()
-            .is_empty());
+        assert!(api.select(&Select::star("t")).unwrap().is_empty());
         assert!(api.current_label().is_empty());
         api.check_release_to_world().unwrap();
     }

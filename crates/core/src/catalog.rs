@@ -77,7 +77,9 @@ impl LabelConstraint {
     /// Checks a tuple against the constraint.
     pub fn check(&self, table: &str, values: &[Datum], label: &Label) -> IfdbResult<()> {
         match self {
-            LabelConstraint::MustContain { label: required, .. } => {
+            LabelConstraint::MustContain {
+                label: required, ..
+            } => {
                 if required.is_subset_of(label) {
                     Ok(())
                 } else {
@@ -156,7 +158,8 @@ pub struct TriggerInvocation {
 
 /// The body of a trigger: arbitrary code that may issue further statements
 /// through the session it is handed.
-pub type TriggerBody = Arc<dyn Fn(&mut Session, &TriggerInvocation) -> IfdbResult<()> + Send + Sync>;
+pub type TriggerBody =
+    Arc<dyn Fn(&mut Session, &TriggerInvocation) -> IfdbResult<()> + Send + Sync>;
 
 /// A trigger definition.
 #[derive(Clone)]
@@ -443,6 +446,13 @@ impl Catalog {
             .ok_or_else(|| IfdbError::UnknownTable(name.to_string()))
     }
 
+    /// Removes a table's catalog entry (used when a replica reset discarded
+    /// the engine-level table; the entry will be re-added by the catalog
+    /// resync once the table streams back in).
+    pub fn remove_table(&mut self, name: &str) {
+        self.tables.remove(name);
+    }
+
     /// Returns `true` if a table with this name exists.
     pub fn has_table(&self, name: &str) -> bool {
         self.tables.contains_key(name)
@@ -533,11 +543,7 @@ impl Catalog {
     /// triggers and procedures — the "code that runs with authority" counted
     /// by the trusted-base report (Section 6.3).
     pub fn trusted_component_count(&self) -> usize {
-        let declassifying_views = self
-            .views
-            .values()
-            .filter(|v| v.is_declassifying())
-            .count();
+        let declassifying_views = self.views.values().filter(|v| v.is_declassifying()).count();
         let closure_triggers = self
             .triggers
             .values()
@@ -676,11 +682,10 @@ mod tests {
             body: Arc::new(|_, _| Ok(ResultSet::default())),
         });
         assert_eq!(cat.trusted_component_count(), 2);
-        assert_eq!(
-            cat.triggers_for("Locations", TriggerEvent::Insert).len(),
-            1
-        );
-        assert!(cat.triggers_for("Locations", TriggerEvent::Delete).is_empty());
+        assert_eq!(cat.triggers_for("Locations", TriggerEvent::Insert).len(), 1);
+        assert!(cat
+            .triggers_for("Locations", TriggerEvent::Delete)
+            .is_empty());
         assert!(cat.view("PCMembers").unwrap().is_declassifying());
         assert!(!cat.view("PlainView").unwrap().is_declassifying());
         assert!(cat.procedure("traffic_stats").is_ok());

@@ -98,6 +98,10 @@ pub(crate) struct DbInner {
     pub(crate) audit: AuditLog,
     pub(crate) difc_enabled: bool,
     pub(crate) serializable: bool,
+    /// `true` when this handle serves a log-shipping replica: sessions are
+    /// read-only (writes fail with [`IfdbError::ReadOnlyReplica`]) and data
+    /// arrives exclusively through the replication apply loop.
+    pub(crate) read_only: std::sync::atomic::AtomicBool,
 }
 
 /// A handle to an IFDB database. Cloning the handle is cheap; all clones
@@ -170,12 +174,40 @@ impl Database {
         };
         let engine = StorageEngine::open(dir, *buffer_pages, config.durability)?;
         let db = Self::from_engine(engine, config.clone());
-        // Rebuild the catalog from the recovered storage-level schema.
-        let mut names = db.inner.engine.table_names();
+        db.resync_catalog()?;
+        Ok(db)
+    }
+
+    /// Rebuilds the relational catalog from the storage engine's live
+    /// schema, exactly as [`Database::open`] does after recovery: every
+    /// engine table gets a catalog entry, with the primary-key index
+    /// recognized by the `{table}_pkey` naming convention. Tables whose
+    /// catalog entry already matches (same id and schema) are left alone —
+    /// including any constraint metadata a DDL re-run attached — so the call
+    /// is cheap and non-destructive when nothing changed.
+    ///
+    /// Besides recovery, this is how a log-shipping replica keeps its
+    /// catalog in step with replicated DDL: the apply loop calls it whenever
+    /// a streamed batch created tables or indexes (and after a stream
+    /// reset, when table ids may have changed wholesale).
+    pub fn resync_catalog(&self) -> IfdbResult<()> {
+        let mut names = self.inner.engine.table_names();
         names.sort();
         for name in names {
-            let table = db.inner.engine.table_by_name(&name)?;
-            let specs = db.inner.engine.index_specs(table.id())?;
+            let table = self.inner.engine.table_by_name(&name)?;
+            let specs = self.inner.engine.index_specs(table.id())?;
+            {
+                let catalog = self.inner.catalog.read();
+                if let Ok(existing) = catalog.table(&name) {
+                    if existing.id == table.id()
+                        && existing.schema == *table.schema()
+                        && existing.indexes.len() + usize::from(existing.pk_index.is_some())
+                            == specs.len()
+                    {
+                        continue;
+                    }
+                }
+            }
             let col_name = |offsets: &[usize]| -> Vec<String> {
                 offsets
                     .iter()
@@ -202,9 +234,24 @@ impl Database {
                     .collect(),
                 constraints_pending: true,
             };
-            db.inner.catalog.write().add_table(info);
+            self.inner.catalog.write().add_table(info);
         }
-        Ok(db)
+        // Drop catalog entries whose engine table vanished (replica reset).
+        let stale: Vec<String> = {
+            let catalog = self.inner.catalog.read();
+            catalog
+                .table_names()
+                .into_iter()
+                .filter(|n| self.inner.engine.table_by_name(n).is_err())
+                .collect()
+        };
+        if !stale.is_empty() {
+            let mut catalog = self.inner.catalog.write();
+            for name in stale {
+                catalog.remove_table(&name);
+            }
+        }
+        Ok(())
     }
 
     /// Opens (recovers) an on-disk database and immediately re-runs the
@@ -238,8 +285,45 @@ impl Database {
                 audit: AuditLog::new(),
                 difc_enabled: config.difc_enabled,
                 serializable: config.serializable,
+                read_only: std::sync::atomic::AtomicBool::new(false),
             }),
         }
+    }
+
+    /// Wraps an existing storage engine as a **read-only replica** database:
+    /// sessions opened from this handle refuse writes with
+    /// [`IfdbError::ReadOnlyReplica`], replica-local transaction ids are
+    /// moved into the reserved high range
+    /// ([`ifdb_storage::REPLICA_LOCAL_TXN_BASE`]) so they can never collide
+    /// with ids arriving on the replication stream, and data is expected to
+    /// arrive exclusively through
+    /// [`StorageEngine::apply_replicated`](ifdb_storage::engine::StorageEngine::apply_replicated).
+    ///
+    /// The DIFC authority state is *not* replicated (it is code, not logged
+    /// data — the same contract as [`Database::open`]): pass the primary's
+    /// `authority_seed` in `config` and re-create principals and tags in the
+    /// same order so the numeric tag ids embedded in replicated tuples line
+    /// up, or label-faithful replica reads are impossible.
+    pub fn replica_over(engine: StorageEngine, config: DatabaseConfig) -> Self {
+        engine
+            .txns()
+            .reserve_local_ids(ifdb_storage::REPLICA_LOCAL_TXN_BASE);
+        // The replica's own log is never read (its state is a cache of the
+        // primary's log), so local read transactions must not accumulate
+        // Begin/Commit records in it forever.
+        engine.wal().set_discard(true);
+        let db = Self::from_engine(engine, config);
+        db.inner
+            .read_only
+            .store(true, std::sync::atomic::Ordering::SeqCst);
+        db
+    }
+
+    /// Returns `true` when this handle serves a read-only replica.
+    pub fn is_read_only(&self) -> bool {
+        self.inner
+            .read_only
+            .load(std::sync::atomic::Ordering::Relaxed)
     }
 
     /// Checkpoints the storage engine: compacts the write-ahead log into a
@@ -367,6 +451,7 @@ impl Database {
         // The catalog write lock is held across the existence check, the
         // engine-side DDL and the TableInfo install, so concurrent DDL on
         // the same name cannot interleave.
+        let read_only = self.is_read_only();
         let mut catalog = self.inner.catalog.write();
         let id = match catalog.table(&def.name) {
             Ok(existing) => {
@@ -378,6 +463,13 @@ impl Database {
                 }
                 existing.id
             }
+            Err(_) if read_only => {
+                // On a replica, storage-level DDL arrives via the
+                // replication stream; re-running a definition here only
+                // attaches catalog metadata to a table that already
+                // streamed in.
+                return Err(IfdbError::ReadOnlyReplica);
+            }
             Err(_) => self.inner.engine.create_table(schema.clone())?,
         };
         let present = self.inner.engine.index_names(id)?;
@@ -385,14 +477,14 @@ impl Database {
             None
         } else {
             let index_name = format!("{}_pkey", def.name);
-            if !present.contains(&index_name) {
+            if !present.contains(&index_name) && !read_only {
                 let cols: Vec<&str> = def.primary_key.iter().map(String::as_str).collect();
                 self.inner.engine.create_index(id, &index_name, &cols)?;
             }
             Some(index_name)
         };
         for idx in &def.indexes {
-            if !present.contains(&idx.name) {
+            if !present.contains(&idx.name) && !read_only {
                 let cols: Vec<&str> = idx.columns.iter().map(String::as_str).collect();
                 self.inner.engine.create_index(id, &idx.name, &cols)?;
             }
@@ -424,6 +516,9 @@ impl Database {
         name: &str,
         columns: &[&str],
     ) -> IfdbResult<()> {
+        if self.is_read_only() {
+            return Err(IfdbError::ReadOnlyReplica);
+        }
         // The catalog write lock is held across the engine-side creation and
         // the TableInfo swap, so concurrent index DDL on the same table
         // cannot lose a registration; the engine rejects duplicate names.
@@ -636,17 +731,29 @@ mod tests {
             s.insert(&Insert::new("notes", vec![Datum::Int(2), Datum::from("b")]))
                 .unwrap();
             // The re-attached primary key is enforced again.
-            let dup = s.insert(&Insert::new("notes", vec![Datum::Int(2), Datum::from("dup")]));
-            assert!(matches!(dup.unwrap_err(), IfdbError::UniqueViolation { .. }));
+            let dup = s.insert(&Insert::new(
+                "notes",
+                vec![Datum::Int(2), Datum::from("dup")],
+            ));
+            assert!(matches!(
+                dup.unwrap_err(),
+                IfdbError::UniqueViolation { .. }
+            ));
             // Deletes stay refused while *any* table is pending: "kids"
             // could reference "notes" without its foreign key registered.
-            let del = s.delete(&Delete::new("notes", crate::query::Predicate::True)).unwrap_err();
+            let del = s
+                .delete(&Delete::new("notes", crate::query::Predicate::True))
+                .unwrap_err();
             assert!(
                 matches!(del, IfdbError::ConstraintsPending { ref table } if table == "kids"),
                 "unexpected error: {del}"
             );
             db.create_table(kids.clone()).unwrap();
-            assert_eq!(s.delete(&Delete::new("notes", crate::query::Predicate::True)).unwrap(), 2);
+            assert_eq!(
+                s.delete(&Delete::new("notes", crate::query::Predicate::True))
+                    .unwrap(),
+                2
+            );
         }
         // open_with_tables folds the DDL re-run into the open.
         let db = Database::open_with_tables(config, [notes, kids]).unwrap();

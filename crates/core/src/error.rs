@@ -112,6 +112,10 @@ pub enum IfdbError {
     },
     /// Only the administrator may perform schema changes.
     NotAdministrator,
+    /// The session (or the whole database handle) is serving reads for a
+    /// log-shipping replica: writes, transactions that write, and
+    /// authority-state mutations must go to the primary.
+    ReadOnlyReplica,
 }
 
 impl fmt::Display for IfdbError {
@@ -172,6 +176,10 @@ impl fmt::Display for IfdbError {
                 write!(f, "trigger {trigger} rejected the operation: {reason}")
             }
             IfdbError::NotAdministrator => write!(f, "operation requires the administrator"),
+            IfdbError::ReadOnlyReplica => write!(
+                f,
+                "this session is read-only (log-shipping replica); route writes to the primary"
+            ),
         }
     }
 }

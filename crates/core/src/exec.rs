@@ -35,15 +35,17 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use ifdb_difc::memo::{LabelDecision, LabelDecisionMemo};
 use ifdb_difc::audit::AuditEvent;
+use ifdb_difc::memo::{LabelDecision, LabelDecisionMemo};
 use ifdb_difc::Label;
 use ifdb_storage::{Datum, RowId, Snapshot, TableId, TupleVersion};
 
 use crate::catalog::{TableInfo, TriggerEvent, TriggerInvocation, TriggerTiming, ViewSource};
 use crate::error::{IfdbError, IfdbResult};
 use crate::plan::{plan_table_scan, AccessPath, CompiledPredicate, TableScanPlan};
-use crate::query::{AggFunc, Aggregate, Delete, Insert, Join, JoinKind, Order, Predicate, Select, Update};
+use crate::query::{
+    AggFunc, Aggregate, Delete, Insert, Join, JoinKind, Order, Predicate, Select, Update,
+};
 use crate::row::{ResultSet, Row};
 use crate::session::Session;
 
@@ -269,9 +271,8 @@ impl Session {
                 // The view's projection keeps column names, so outer hint
                 // conjuncts over view outputs push straight through to the
                 // inner source, joined with the view's own predicate.
-                let pushed = hint.push_down(&|c| {
-                    inner_cols.iter().any(|n| n == c).then(|| c.to_string())
-                });
+                let pushed =
+                    hint.push_down(&|c| inner_cols.iter().any(|n| n == c).then(|| c.to_string()));
                 let combined = sel.predicate.clone().and_compact(pushed);
                 self.stream_source(&sel.from, &nested_declassify, &combined, &mut |r| {
                     if !view_filter.matches(&r.values, &r.label) {
@@ -387,9 +388,7 @@ impl Session {
                 Ok(())
             }
             AccessPath::IndexRange { index, low, high } => {
-                for (_, rid) in
-                    engine.index_range(table_id, index, low.as_ref(), high.as_ref())?
-                {
+                for (_, rid) in engine.index_range(table_id, index, low.as_ref(), high.as_ref())? {
                     if let Some(v) = engine.fetch_visible(&snapshot, table_id, rid)? {
                         if !visit(rid, v)? {
                             break;
@@ -422,8 +421,8 @@ impl Session {
             outer_hint.push_down(&|c| layout.out.iter().any(|n| n == c).then(|| c.to_string())),
         );
         // Left side: plain names resolve to the left on collisions.
-        let mut left_hint = combined
-            .push_down(&|c| layout.left.iter().any(|n| n == c).then(|| c.to_string()));
+        let mut left_hint =
+            combined.push_down(&|c| layout.left.iter().any(|n| n == c).then(|| c.to_string()));
         // Right side: prefixed names map to their right column; plain names
         // only when they are unambiguously right-side. For LEFT OUTER joins
         // a right-side pre-filter would turn dropped matches into
@@ -433,8 +432,7 @@ impl Session {
             combined.push_down(&|c: &str| {
                 if let Some(s) = c.strip_prefix(&right_prefix) {
                     layout.right.iter().any(|n| n == s).then(|| s.to_string())
-                } else if layout.right.iter().any(|n| n == c)
-                    && !layout.left.iter().any(|n| n == c)
+                } else if layout.right.iter().any(|n| n == c) && !layout.left.iter().any(|n| n == c)
                 {
                     Some(c.to_string())
                 } else {
@@ -467,40 +465,40 @@ impl Session {
 
         // Probe phase: stream the left side through the hash table.
         let right_width = layout.right.len();
-        self.stream_source(&join.left, declassify, &left_hint, &mut |l| {
-            match table.get(&l.values[left_on]) {
-                Some(rs) if !rs.is_empty() => {
-                    for r in rs {
-                        let mut values = l.values.clone();
-                        values.extend(r.values.iter().cloned());
-                        let label = l.label.union(&r.label);
-                        if join_filter.matches(&values, &label) {
-                            let keep = sink(ScanRow {
-                                row_id: None,
-                                label,
-                                values,
-                            })?;
-                            if !keep {
-                                return Ok(false);
-                            }
+        self.stream_source(&join.left, declassify, &left_hint, &mut |l| match table
+            .get(&l.values[left_on])
+        {
+            Some(rs) if !rs.is_empty() => {
+                for r in rs {
+                    let mut values = l.values.clone();
+                    values.extend(r.values.iter().cloned());
+                    let label = l.label.union(&r.label);
+                    if join_filter.matches(&values, &label) {
+                        let keep = sink(ScanRow {
+                            row_id: None,
+                            label,
+                            values,
+                        })?;
+                        if !keep {
+                            return Ok(false);
                         }
                     }
-                    Ok(true)
                 }
-                _ => {
-                    if join.kind == JoinKind::LeftOuter {
-                        let mut values = l.values.clone();
-                        values.extend(std::iter::repeat_n(Datum::Null, right_width));
-                        if join_filter.matches(&values, &l.label) {
-                            return sink(ScanRow {
-                                row_id: None,
-                                label: l.label.clone(),
-                                values,
-                            });
-                        }
+                Ok(true)
+            }
+            _ => {
+                if join.kind == JoinKind::LeftOuter {
+                    let mut values = l.values.clone();
+                    values.extend(std::iter::repeat_n(Datum::Null, right_width));
+                    if join_filter.matches(&values, &l.label) {
+                        return sink(ScanRow {
+                            row_id: None,
+                            label: l.label.clone(),
+                            values,
+                        });
                     }
-                    Ok(true)
                 }
+                Ok(true)
             }
         })
     }
@@ -543,9 +541,9 @@ impl Session {
         // scan below already applied the whole predicate — skip re-checking
         // it per row.
         let prefiltered = self.source_is_join_free(&q.from)?
-            && q.predicate.push_down(&|c| {
-                src_cols.iter().any(|n| n == c).then(|| c.to_string())
-            }) == q.predicate;
+            && q.predicate
+                .push_down(&|c| src_cols.iter().any(|n| n == c).then(|| c.to_string()))
+                == q.predicate;
         let mut selected: Vec<ScanRow> = Vec::new();
         self.stream_source(&q.from, &Label::empty(), &q.predicate, &mut |r| {
             if let Some(e) = exact {
@@ -733,6 +731,7 @@ impl Session {
     /// (Write Rule); the `DECLASSIFYING` clause covers foreign-key label
     /// differences per Section 5.2.2.
     pub fn insert(&mut self, ins: &Insert) -> IfdbResult<()> {
+        self.check_writable()?;
         let implicit = self.ensure_txn()?;
         let r = self.insert_inner(ins);
         self.finish_statement(implicit, r)
@@ -782,7 +781,10 @@ impl Session {
     ) -> IfdbResult<()> {
         let mut constraints: Vec<(String, Vec<String>)> = Vec::new();
         if !info.primary_key.is_empty() {
-            constraints.push((format!("{}_pkey", info.schema.name), info.primary_key.clone()));
+            constraints.push((
+                format!("{}_pkey", info.schema.name),
+                info.primary_key.clone(),
+            ));
         }
         for u in &info.uniques {
             constraints.push((u.name.clone(), u.columns.clone()));
@@ -971,6 +973,7 @@ impl Session {
     /// higher-labeled tuples are invisible and untouched. Returns the number
     /// of updated rows.
     pub fn update(&mut self, upd: &Update) -> IfdbResult<usize> {
+        self.check_writable()?;
         let implicit = self.ensure_txn()?;
         let r = self.update_inner(upd);
         self.finish_statement(implicit, r)
@@ -1021,10 +1024,13 @@ impl Session {
             } else {
                 Label::empty()
             };
-            self.db
-                .inner
-                .engine
-                .update(txn, table_id, rid, write_label.to_array(), new_values.clone())?;
+            self.db.inner.engine.update(
+                txn,
+                table_id,
+                rid,
+                write_label.to_array(),
+                new_values.clone(),
+            )?;
             self.record_write(&info.schema.name, write_label);
             self.fire_triggers(
                 &info,
@@ -1043,6 +1049,7 @@ impl Session {
     /// `DECLASSIFYING` clause, Section 5.2.2). Returns the number of deleted
     /// rows.
     pub fn delete(&mut self, del: &Delete) -> IfdbResult<usize> {
+        self.check_writable()?;
         let implicit = self.ensure_txn()?;
         let r = self.delete_inner(del);
         self.finish_statement(implicit, r)

@@ -67,10 +67,12 @@ pub use catalog::{
 };
 pub use database::{Database, DatabaseConfig};
 pub use error::{IfdbError, IfdbResult};
-pub use query::{AggFunc, Aggregate, Delete, Insert, Join, JoinKind, Order, Predicate, Select, Update};
+pub use ifdb_storage::{DataType, Datum, DurabilityConfig, StorageError, StorageKind};
+pub use query::{
+    AggFunc, Aggregate, Delete, Insert, Join, JoinKind, Order, Predicate, Select, Update,
+};
 pub use row::{ResultSet, Row};
 pub use session::{Session, SessionStats, WriteRecord};
-pub use ifdb_storage::{DataType, Datum, DurabilityConfig, StorageError, StorageKind};
 
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {

@@ -191,10 +191,7 @@ fn choose_access_path(info: &TableInfo, hint: &Predicate) -> AccessPath {
     }
     // Full-key equality beats everything; the PK index is listed first.
     for (name, cols) in info.index_specs() {
-        let key: Option<Vec<Datum>> = cols
-            .iter()
-            .map(|c| hint.equality_on(c).cloned())
-            .collect();
+        let key: Option<Vec<Datum>> = cols.iter().map(|c| hint.equality_on(c).cloned()).collect();
         if let Some(key) = key {
             return AccessPath::IndexEq {
                 index: name.to_string(),
@@ -338,10 +335,9 @@ mod tests {
 
     #[test]
     fn prefix_plus_bounds_picks_range_scan() {
-        let p = eq("a", 7).and(Predicate::Ge("b".into(), Datum::Int(3)).and(Predicate::Lt(
-            "b".into(),
-            Datum::Int(9),
-        )));
+        let p = eq("a", 7).and(
+            Predicate::Ge("b".into(), Datum::Int(3)).and(Predicate::Lt("b".into(), Datum::Int(9))),
+        );
         let plan = plan_table_scan(&info(), &p).unwrap();
         assert_eq!(
             plan.access,
@@ -412,6 +408,9 @@ mod tests {
         assert!(c.matches(&[Datum::Int(6), Datum::Int(0)], &l));
         assert!(!c.matches(&[Datum::Int(4), Datum::Int(0)], &l));
         assert!(c.matches(&[Datum::Int(4), Datum::Null], &l));
-        assert!(CompiledPredicate::compile(&Predicate::Eq("zzz".into(), Datum::Int(1)), &names).is_err());
+        assert!(
+            CompiledPredicate::compile(&Predicate::Eq("zzz".into(), Datum::Int(1)), &names)
+                .is_err()
+        );
     }
 }

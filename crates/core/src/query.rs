@@ -389,8 +389,8 @@ mod tests {
 
     #[test]
     fn equality_extraction_for_planner() {
-        let p = Predicate::Eq("id".into(), Datum::Int(3))
-            .and(Predicate::Gt("x".into(), Datum::Int(0)));
+        let p =
+            Predicate::Eq("id".into(), Datum::Int(3)).and(Predicate::Gt("x".into(), Datum::Int(0)));
         assert_eq!(p.equality_on("id"), Some(&Datum::Int(3)));
         assert_eq!(p.equality_on("x"), None);
         assert_eq!(Predicate::True.equality_on("id"), None);
@@ -401,8 +401,14 @@ mod tests {
         let p = Predicate::Ge("x".into(), Datum::Int(3))
             .and(Predicate::Lt("x".into(), Datum::Int(9)))
             .and(Predicate::Eq("y".into(), Datum::Int(1)));
-        assert_eq!(p.bounds_on("x"), (Some(&Datum::Int(3)), Some(&Datum::Int(9))));
-        assert_eq!(p.bounds_on("y"), (Some(&Datum::Int(1)), Some(&Datum::Int(1))));
+        assert_eq!(
+            p.bounds_on("x"),
+            (Some(&Datum::Int(3)), Some(&Datum::Int(9)))
+        );
+        assert_eq!(
+            p.bounds_on("y"),
+            (Some(&Datum::Int(1)), Some(&Datum::Int(1)))
+        );
         assert_eq!(p.bounds_on("z"), (None, None));
         // Bounds inside OR are not usable.
         let o = Predicate::Ge("x".into(), Datum::Int(3)).or(Predicate::True);
@@ -418,14 +424,19 @@ mod tests {
         let pushed = p.push_down(&avail);
         assert_eq!(pushed, Predicate::Eq("a".into(), Datum::Int(1)));
         // A disjunction survives only if every referenced column maps.
-        let o = Predicate::Eq("a".into(), Datum::Int(1)).or(Predicate::Eq("b".into(), Datum::Int(2)));
+        let o =
+            Predicate::Eq("a".into(), Datum::Int(1)).or(Predicate::Eq("b".into(), Datum::Int(2)));
         assert_eq!(o.push_down(&avail), Predicate::True);
         let both = |c: &str| Some(format!("r.{c}"));
         assert_eq!(
             o.push_down(&both),
-            Predicate::Eq("r.a".into(), Datum::Int(1)).or(Predicate::Eq("r.b".into(), Datum::Int(2)))
+            Predicate::Eq("r.a".into(), Datum::Int(1))
+                .or(Predicate::Eq("r.b".into(), Datum::Int(2)))
         );
-        assert_eq!(Predicate::True.and_compact(Predicate::True), Predicate::True);
+        assert_eq!(
+            Predicate::True.and_compact(Predicate::True),
+            Predicate::True
+        );
     }
 
     #[test]

@@ -126,10 +126,7 @@ mod tests {
             row(&["x"], vec![Datum::Int(2)], Label::singleton(TagId(2))),
         ]);
         assert_eq!(rs.len(), 2);
-        assert_eq!(
-            rs.combined_label(),
-            Label::from_tags([TagId(1), TagId(2)])
-        );
+        assert_eq!(rs.combined_label(), Label::from_tags([TagId(1), TagId(2)]));
         assert!(!rs.is_empty());
         assert_eq!(rs.first().unwrap().get_int("x"), Some(1));
     }

@@ -143,6 +143,24 @@ impl Session {
         self.serializable = on;
     }
 
+    /// Returns `true` if this session refuses writes (it belongs to a
+    /// read-only replica database).
+    pub fn is_read_only(&self) -> bool {
+        self.db.is_read_only()
+    }
+
+    /// Fails with [`IfdbError::ReadOnlyReplica`] when the session must not
+    /// write. Checked at every DML entry point and at the authority-state
+    /// mutations (`delegate`, `revoke`, `create_tag`) — the replica's
+    /// authority state must stay a faithful reconstruction of the
+    /// primary's, not drift through local grants.
+    pub(crate) fn check_writable(&self) -> IfdbResult<()> {
+        if self.db.is_read_only() {
+            return Err(IfdbError::ReadOnlyReplica);
+        }
+        Ok(())
+    }
+
     // ------------------------------------------------------------------
     // Label and authority operations
     // ------------------------------------------------------------------
@@ -153,7 +171,10 @@ impl Session {
     pub fn add_secrecy(&mut self, tag: TagId) -> IfdbResult<()> {
         if self.serializable && self.txn.is_some() {
             let auth = self.db.inner.auth.read();
-            if !self.cache.has_authority(&auth, self.process.principal(), tag) {
+            if !self
+                .cache
+                .has_authority(&auth, self.process.principal(), tag)
+            {
                 return Err(IfdbError::ClearanceViolation { tag });
             }
         }
@@ -166,7 +187,10 @@ impl Session {
         if self.serializable && self.txn.is_some() {
             let auth = self.db.inner.auth.read();
             for tag in other.difference(self.process.label()).iter() {
-                if !self.cache.has_authority(&auth, self.process.principal(), tag) {
+                if !self
+                    .cache
+                    .has_authority(&auth, self.process.principal(), tag)
+                {
                     return Err(IfdbError::ClearanceViolation { tag });
                 }
             }
@@ -199,6 +223,7 @@ impl Session {
 
     /// Creates a tag owned by the acting principal.
     pub fn create_tag(&mut self, name: &str, compounds: &[TagId]) -> IfdbResult<TagId> {
+        self.check_writable()?;
         Ok(self
             .db
             .inner
@@ -211,6 +236,7 @@ impl Session {
     /// The process must have an empty label (the authority state is an
     /// empty-labeled object, Section 3.2).
     pub fn delegate(&mut self, grantee: PrincipalId, tag: TagId) -> IfdbResult<()> {
+        self.check_writable()?;
         let grantor = self.process.principal();
         self.db
             .inner
@@ -227,6 +253,7 @@ impl Session {
 
     /// Revokes a delegation previously made by the acting principal.
     pub fn revoke(&mut self, grantee: PrincipalId, tag: TagId) -> IfdbResult<()> {
+        self.check_writable()?;
         let grantor = self.process.principal();
         self.db
             .inner
@@ -385,7 +412,11 @@ impl Session {
         Ok(())
     }
 
-    pub(crate) fn finish_statement<T>(&mut self, implicit: bool, r: IfdbResult<T>) -> IfdbResult<T> {
+    pub(crate) fn finish_statement<T>(
+        &mut self,
+        implicit: bool,
+        r: IfdbResult<T>,
+    ) -> IfdbResult<T> {
         self.note_statement();
         if implicit {
             match &r {

@@ -45,7 +45,10 @@ fn label_confinement_rule_filters_queries() {
 
     // An empty-labeled process sees nothing.
     let mut anon = db.anonymous_session();
-    assert!(anon.select(&Select::star("HIVPatients")).unwrap().is_empty());
+    assert!(anon
+        .select(&Select::star("HIVPatients"))
+        .unwrap()
+        .is_empty());
 
     // A process with both tags sees both.
     let mut both = db.session(alice);
@@ -138,10 +141,7 @@ fn polyinstantiation_instead_of_leaking_uniqueness_conflicts() {
 
     // Requesting an exact label hides the erroneous empty-labeled tuple.
     let exact = reader
-        .select(
-            &Select::star("HIVPatients")
-                .with_exact_label(Label::singleton(alice_medical)),
-        )
+        .select(&Select::star("HIVPatients").with_exact_label(Label::singleton(alice_medical)))
         .unwrap();
     assert_eq!(exact.len(), 1);
 }
@@ -339,7 +339,8 @@ fn delete_restricted_while_references_exist() {
     )
     .unwrap();
     let mut s = db.session(admin);
-    s.insert(&Insert::new("Users", vec![Datum::Int(1)])).unwrap();
+    s.insert(&Insert::new("Users", vec![Datum::Int(1)]))
+        .unwrap();
     s.insert(&Insert::new("Friends", vec![Datum::Int(1), Datum::Int(2)]))
         .unwrap();
     let err = s
@@ -412,7 +413,10 @@ fn declassifying_view_exposes_projection_of_sensitive_table() {
 
     // An uncontaminated, unprivileged session cannot read ContactInfo...
     let mut anon = db.anonymous_session();
-    assert!(anon.select(&Select::star("ContactInfo")).unwrap().is_empty());
+    assert!(anon
+        .select(&Select::star("ContactInfo"))
+        .unwrap()
+        .is_empty());
     // ...but sees the PC membership through the declassifying view, because
     // cathy_contact is a member of all_contacts, which the view declassifies.
     let pc = anon.select(&Select::star("PCMembers")).unwrap();
@@ -481,7 +485,10 @@ fn ordinary_views_and_outer_joins_simulate_field_level_labels() {
     both.add_secrecy(pay_tag).unwrap();
     both.add_secrecy(contact_tag).unwrap();
     let rows = both.select(&Select::star("PaymentContact")).unwrap();
-    assert_eq!(rows.first().unwrap().get_text("email"), Some("dana@example.org"));
+    assert_eq!(
+        rows.first().unwrap().get_text("email"),
+        Some("dana@example.org")
+    );
 }
 
 #[test]
@@ -593,8 +600,7 @@ fn triggers_run_as_authority_closures_do_not_contaminate_caller() {
             let userid = inv.new.as_ref().unwrap()[1].clone();
             // Maintain the per-user drive summary in the Drives table.
             let existing = session.select(
-                &Select::star("Drives")
-                    .filter(Predicate::Eq("userid".into(), userid.clone())),
+                &Select::star("Drives").filter(Predicate::Eq("userid".into(), userid.clone())),
             )?;
             if existing.is_empty() {
                 session.insert(&Insert::new("Drives", vec![userid, Datum::Int(1)]))?;
@@ -617,10 +623,16 @@ fn triggers_run_as_authority_closures_do_not_contaminate_caller() {
     ingest.add_secrecy(alice_drives).unwrap();
     ingest.add_secrecy(alice_location).unwrap();
     ingest
-        .insert(&Insert::new("Locations", vec![Datum::Int(1), Datum::Int(7)]))
+        .insert(&Insert::new(
+            "Locations",
+            vec![Datum::Int(1), Datum::Int(7)],
+        ))
         .unwrap();
     ingest
-        .insert(&Insert::new("Locations", vec![Datum::Int(2), Datum::Int(7)]))
+        .insert(&Insert::new(
+            "Locations",
+            vec![Datum::Int(2), Datum::Int(7)],
+        ))
         .unwrap();
 
     // The Drives table was maintained by the trigger.
@@ -790,7 +802,8 @@ fn deferred_triggers_run_with_query_label_at_commit() {
     let mut s = db.session(user);
     s.begin().unwrap();
     s.add_secrecy(tag).unwrap();
-    s.insert(&Insert::new("Events", vec![Datum::Int(1)])).unwrap();
+    s.insert(&Insert::new("Events", vec![Datum::Int(1)]))
+        .unwrap();
     // Declassify before commit so the commit label rule passes; the deferred
     // trigger must still observe the label of the *query*, not the commit
     // label.
@@ -976,7 +989,8 @@ fn indexed_range_query_avoids_full_scan() {
     let (db, user, tags) = mixed_label_db();
     // An all-seeing session, so every row in range is returned.
     let mut s = db.session(user);
-    s.raise_label(&Label::from_tags(tags.iter().copied())).unwrap();
+    s.raise_label(&Label::from_tags(tags.iter().copied()))
+        .unwrap();
     let before = db.engine().stats();
     let r = s
         .select(
@@ -1000,13 +1014,12 @@ fn view_pushdown_reaches_primary_key_index() {
     let (db, user, tags) = mixed_label_db();
     db.create_view(
         "Evens",
-        ViewSource::Select(
-            Select::star("D").filter(Predicate::Eq("grp".into(), Datum::Int(2))),
-        ),
+        ViewSource::Select(Select::star("D").filter(Predicate::Eq("grp".into(), Datum::Int(2)))),
     )
     .unwrap();
     let mut s = db.session(user);
-    s.raise_label(&Label::from_tags(tags.iter().copied())).unwrap();
+    s.raise_label(&Label::from_tags(tags.iter().copied()))
+        .unwrap();
     let before = db.engine().stats();
     let r = s
         .select(&Select::star("Evens").filter(Predicate::Eq("id".into(), Datum::Int(12))))

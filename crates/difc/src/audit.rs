@@ -68,7 +68,10 @@ impl fmt::Display for AuditEvent {
                 principal,
                 tag,
                 label_before,
-            } => write!(f, "declassify {tag} by {principal} (label was {label_before})"),
+            } => write!(
+                f,
+                "declassify {tag} by {principal} (label was {label_before})"
+            ),
             AuditEvent::Delegate {
                 grantor,
                 grantee,

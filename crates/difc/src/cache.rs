@@ -48,12 +48,7 @@ impl AuthorityCache {
 
     /// Checks whether `principal` has authority for `tag`, consulting the
     /// cache first and falling back to the authority state on a miss.
-    pub fn has_authority(
-        &self,
-        auth: &AuthorityState,
-        principal: PrincipalId,
-        tag: TagId,
-    ) -> bool {
+    pub fn has_authority(&self, auth: &AuthorityState, principal: PrincipalId, tag: TagId) -> bool {
         self.maybe_invalidate(auth);
         if let Some(v) = self.entries.read().get(&(principal, tag)) {
             self.hits.fetch_add(1, Ordering::Relaxed);

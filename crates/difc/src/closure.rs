@@ -100,7 +100,9 @@ impl ClosureRegistry {
 
     /// Looks up a closure by id.
     pub fn get(&self, id: ClosureId) -> DifcResult<&AuthorityClosure> {
-        self.closures.get(&id).ok_or(DifcError::UnknownClosure(id.0))
+        self.closures
+            .get(&id)
+            .ok_or(DifcError::UnknownClosure(id.0))
     }
 
     /// Looks up a closure by name.
@@ -197,7 +199,8 @@ mod tests {
         // Outside the closure, the anonymous process cannot declassify.
         assert!(proc.declassify(tag, &auth).is_err());
         // Inside the closure it can, because it runs as the closure principal.
-        reg.call(id, &mut proc, |p| p.declassify(tag, &auth)).unwrap();
+        reg.call(id, &mut proc, |p| p.declassify(tag, &auth))
+            .unwrap();
         assert!(proc.label().is_empty());
         // The principal was restored.
         assert_eq!(proc.principal(), auth.anonymous());
@@ -211,9 +214,8 @@ mod tests {
             .create(&auth, alice, closure_principal, "failing", &[tag])
             .unwrap();
         let mut proc = ProcessState::new(alice);
-        let result: DifcResult<()> = reg.call(id, &mut proc, |_p| {
-            Err(DifcError::UnknownClosure(999))
-        });
+        let result: DifcResult<()> =
+            reg.call(id, &mut proc, |_p| Err(DifcError::UnknownClosure(999)));
         assert!(result.is_err());
         assert_eq!(proc.principal(), alice);
     }
@@ -223,10 +225,12 @@ mod tests {
         let (auth, _reg, alice, tag) = setup();
         let mut proc = ProcessState::new(alice);
         proc.add_secrecy(tag).unwrap();
-        let result = call_with_reduced_authority(&mut proc, auth.anonymous(), |p| {
-            p.declassify(tag, &auth)
-        });
-        assert!(result.is_err(), "reduced call must not declassify alice's tag");
+        let result =
+            call_with_reduced_authority(&mut proc, auth.anonymous(), |p| p.declassify(tag, &auth));
+        assert!(
+            result.is_err(),
+            "reduced call must not declassify alice's tag"
+        );
         assert_eq!(proc.principal(), alice);
         // Outside the reduced call, Alice can declassify again.
         let mut proc2 = proc.clone();
@@ -247,7 +251,8 @@ mod tests {
     fn lookup_by_name() {
         let (mut auth, mut reg, alice, tag) = setup();
         let cp = auth.create_principal("cl", PrincipalKind::Closure);
-        reg.create(&auth, alice, cp, "traffic_stats", &[tag]).unwrap();
+        reg.create(&auth, alice, cp, "traffic_stats", &[tag])
+            .unwrap();
         assert!(reg.get_by_name("traffic_stats").is_some());
         assert!(reg.get_by_name("nonexistent").is_none());
     }

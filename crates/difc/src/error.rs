@@ -147,7 +147,13 @@ mod tests {
 
     #[test]
     fn errors_are_comparable() {
-        assert_eq!(DifcError::UnknownTag(TagId(3)), DifcError::UnknownTag(TagId(3)));
-        assert_ne!(DifcError::UnknownTag(TagId(3)), DifcError::UnknownTag(TagId(4)));
+        assert_eq!(
+            DifcError::UnknownTag(TagId(3)),
+            DifcError::UnknownTag(TagId(3))
+        );
+        assert_ne!(
+            DifcError::UnknownTag(TagId(3)),
+            DifcError::UnknownTag(TagId(4))
+        );
     }
 }

@@ -143,7 +143,10 @@ mod tests {
                     .param("q", "accept"),
             );
             assert!(
-                !resp.body.iter().any(|l| l.contains("accept") || l.contains("reject")),
+                !resp
+                    .body
+                    .iter()
+                    .any(|l| l.contains("accept") || l.contains("reject")),
                 "{script} leaked a decision: {:?}",
                 resp.body
             );
@@ -177,7 +180,11 @@ mod tests {
                     .as_user(&user.username)
                     .param("paper", &paper.paperid.to_string()),
             );
-            assert!(!resp.body.is_empty(), "{} should see the review", user.username);
+            assert!(
+                !resp.body.is_empty(),
+                "{} should see the review",
+                user.username
+            );
         }
         // Another PC member cannot, until the chair's closure delegates the
         // review tag to eligible members.

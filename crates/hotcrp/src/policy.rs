@@ -117,7 +117,8 @@ impl HotcrpPolicy {
         // contact tag.
         for person in &people {
             let mut s = db.session(person.principal);
-            s.add_secrecy(person.contact_tag).expect("raise contact tag");
+            s.add_secrecy(person.contact_tag)
+                .expect("raise contact tag");
             s.insert(&Insert::new(
                 "ContactInfo",
                 vec![
@@ -147,7 +148,11 @@ impl HotcrpPolicy {
             chair_session
                 .insert(&Insert::new(
                     "Papers",
-                    vec![Datum::Int(paperid), Datum::Text(title.clone()), Datum::Int(author.id)],
+                    vec![
+                        Datum::Int(paperid),
+                        Datum::Text(title.clone()),
+                        Datum::Int(author.id),
+                    ],
                 ))
                 .expect("paper insert");
 
@@ -156,7 +161,9 @@ impl HotcrpPolicy {
             let decision_tag = db
                 .create_tag(chair_principal, &format!("paper{paperid}_decision"), &[])
                 .expect("decision tag");
-            chair_session.add_secrecy(decision_tag).expect("raise decision");
+            chair_session
+                .add_secrecy(decision_tag)
+                .expect("raise decision");
             chair_session
                 .insert(&Insert::new(
                     "Decisions",
@@ -177,7 +184,9 @@ impl HotcrpPolicy {
             reviewer_session
                 .delegate(chair_principal, review_tag)
                 .expect("delegate review tag to chair");
-            reviewer_session.add_secrecy(review_tag).expect("raise review tag");
+            reviewer_session
+                .add_secrecy(review_tag)
+                .expect("raise review tag");
             reviewer_session
                 .insert(&Insert::new(
                     "PaperReview",

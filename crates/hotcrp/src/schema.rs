@@ -55,6 +55,9 @@ mod tests {
         create_schema(&db).unwrap();
         let mut names = db.engine().table_names();
         names.sort();
-        assert_eq!(names, vec!["ContactInfo", "Decisions", "PaperReview", "Papers"]);
+        assert_eq!(
+            names,
+            vec!["ContactInfo", "Decisions", "PaperReview", "Papers"]
+        );
     }
 }

@@ -90,7 +90,10 @@ pub fn register_scripts(server: &Arc<AppServer>, policy: Arc<HotcrpPolicy>) {
                     .filter(Predicate::Eq("paperId".into(), Datum::Int(paperid))),
             )?;
             if let Some(row) = papers.first() {
-                out.emit(session, format!("title: {}", row.get_text("title").unwrap_or("")))?;
+                out.emit(
+                    session,
+                    format!("title: {}", row.get_text("title").unwrap_or("")),
+                )?;
             }
             session.add_secrecy(paper.decision_tag)?;
             let decision = session.select(
@@ -138,7 +141,9 @@ pub fn register_scripts(server: &Arc<AppServer>, policy: Arc<HotcrpPolicy>) {
         "review.php",
         Arc::new(move |session, request, out| {
             if requesting_person(&p, session).is_none() {
-                return Err(IfdbError::InvalidStatement("authentication required".into()));
+                return Err(IfdbError::InvalidStatement(
+                    "authentication required".into(),
+                ));
             }
             let paperid: i64 = request
                 .params

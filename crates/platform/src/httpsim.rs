@@ -255,7 +255,11 @@ mod tests {
     fn think_times_truncated() {
         let mut rng = StdRng::seed_from_u64(2);
         for _ in 0..200 {
-            let t = sample_think_time(Duration::from_millis(5), Duration::from_millis(20), &mut rng);
+            let t = sample_think_time(
+                Duration::from_millis(5),
+                Duration::from_millis(20),
+                &mut rng,
+            );
             assert!(t <= Duration::from_millis(20));
         }
         assert_eq!(
@@ -276,9 +280,8 @@ mod tests {
                 Ok(())
             }),
         );
-        let driver = ClosedLoopDriver::new(server.clone(), |script, _user, _rng| {
-            Request::new(script)
-        });
+        let driver =
+            ClosedLoopDriver::new(server.clone(), |script, _user, _rng| Request::new(script));
         let report = driver.run(&DriverConfig {
             clients: 2,
             duration: Duration::from_millis(200),

@@ -97,9 +97,8 @@ impl Response {
 /// principal and can only emit output through the gate. The session is a
 /// `dyn SessionApi`, so the same script body runs in-process or over the
 /// wire protocol.
-pub type Script = Arc<
-    dyn Fn(&mut dyn SessionApi, &Request, &mut ResponseWriter) -> IfdbResult<()> + Send + Sync,
->;
+pub type Script =
+    Arc<dyn Fn(&mut dyn SessionApi, &Request, &mut ResponseWriter) -> IfdbResult<()> + Send + Sync>;
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -159,7 +158,10 @@ impl std::fmt::Debug for AppServer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("AppServer")
             .field("scripts", &self.scripts.read().len())
-            .field("requests_handled", &self.requests_handled.load(Ordering::Relaxed))
+            .field(
+                "requests_handled",
+                &self.requests_handled.load(Ordering::Relaxed),
+            )
             .finish()
     }
 }
@@ -325,8 +327,7 @@ impl AppServer {
         let mut conn = match conn {
             Some(c) => c,
             None => {
-                let config =
-                    ClientConfig::anonymous(addr).with_platform_secret(platform_secret);
+                let config = ClientConfig::anonymous(addr).with_platform_secret(platform_secret);
                 match Connection::connect(&config) {
                     Ok(c) => c,
                     Err(e) => return (Some(format!("db connect: {e}")), writer),

@@ -25,6 +25,10 @@
 
 #![deny(missing_docs)]
 
+pub mod replica;
+
+pub use replica::{start_replica, ReplicaConfig, ReplicaHandle, ReplicaStats};
+
 use std::collections::{HashMap, VecDeque};
 use std::io::BufWriter;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -68,6 +72,15 @@ pub struct ServerConfig {
     /// server), allowing password-less user switches on the session-cookie
     /// path.
     pub platform_secret: Option<String>,
+    /// Shared secret that authorizes replication polls
+    /// (`Request::ReplPoll`). `None` disables replication entirely. A
+    /// replica is *fully trusted*: the stream carries every tuple version
+    /// regardless of label — label enforcement happens again on the replica
+    /// when it serves reads.
+    pub replication_secret: Option<String>,
+    /// Default (and maximum) records per replication batch when the replica
+    /// does not ask for a specific size.
+    pub replication_batch: usize,
     /// How long shutdown waits for connections with open transactions to
     /// finish before aborting them.
     pub drain_timeout: Duration,
@@ -83,6 +96,8 @@ impl Default for ServerConfig {
             fetch_batch: 256,
             stmt_cache_capacity: 4096,
             platform_secret: None,
+            replication_secret: None,
+            replication_batch: 512,
             drain_timeout: Duration::from_secs(2),
         }
     }
@@ -214,11 +229,45 @@ struct Shared {
     queue_cvar: Condvar,
     counters: Counters,
     cache: StatementCache,
+    /// Watermark source for `Ok`/`Affected`/`Watermark` responses. A
+    /// primary reports its write-ahead log's last sequence number; a
+    /// replica front end reports the applied-seq of its replication stream
+    /// (with the primary's log epoch).
+    watermark: WatermarkSource,
+}
+
+/// Where a server's reported watermark comes from.
+enum WatermarkSource {
+    /// The database's own write-ahead log (a primary).
+    Wal,
+    /// An externally maintained applied-seq plus the observed log epoch
+    /// (a replica front end; see `replica::start_replica`).
+    Applied {
+        seq: Arc<AtomicU64>,
+        epoch: Arc<AtomicU64>,
+    },
 }
 
 impl Shared {
     fn shutting_down(&self) -> bool {
         self.shutdown.load(Ordering::Relaxed)
+    }
+
+    /// The watermark piggybacked on responses: last WAL seq (primary) or
+    /// applied-seq (replica).
+    fn current_seq(&self) -> u64 {
+        match &self.watermark {
+            WatermarkSource::Wal => self.db.engine().wal().last_seq(),
+            WatermarkSource::Applied { seq, .. } => seq.load(Ordering::Acquire),
+        }
+    }
+
+    /// The log epoch the watermark belongs to.
+    fn current_epoch(&self) -> u64 {
+        match &self.watermark {
+            WatermarkSource::Wal => self.db.engine().wal().epoch(),
+            WatermarkSource::Applied { epoch, .. } => epoch.load(Ordering::Acquire),
+        }
     }
 
     fn past_drain_deadline(&self) -> bool {
@@ -304,15 +353,44 @@ impl ServerHandle {
 }
 
 /// Starts a server over `db`, authenticating users against `auth`.
-pub fn start(db: Database, auth: Arc<Authenticator>, config: ServerConfig) -> IfdbResult<ServerHandle> {
+pub fn start(
+    db: Database,
+    auth: Arc<Authenticator>,
+    config: ServerConfig,
+) -> IfdbResult<ServerHandle> {
+    start_inner(db, auth, config, WatermarkSource::Wal)
+}
+
+/// Starts a replica front end: identical to [`start`] except that
+/// `Ok`/`Affected`/`Watermark` responses report the externally maintained
+/// applied-seq (and its epoch) instead of the local write-ahead log's
+/// position. Used by `replica::start_replica`.
+pub(crate) fn start_with_applied_watermark(
+    db: Database,
+    auth: Arc<Authenticator>,
+    config: ServerConfig,
+    seq: Arc<AtomicU64>,
+    epoch: Arc<AtomicU64>,
+) -> IfdbResult<ServerHandle> {
+    start_inner(db, auth, config, WatermarkSource::Applied { seq, epoch })
+}
+
+fn start_inner(
+    db: Database,
+    auth: Arc<Authenticator>,
+    config: ServerConfig,
+    watermark: WatermarkSource,
+) -> IfdbResult<ServerHandle> {
     let listener = TcpListener::bind(&config.addr).map_err(|e| IfdbError::Remote {
         code: code::REMOTE as u16,
         detail: format!("bind {}: {e}", config.addr),
     })?;
-    listener.set_nonblocking(true).map_err(|e| IfdbError::Remote {
-        code: code::REMOTE as u16,
-        detail: format!("nonblocking: {e}"),
-    })?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| IfdbError::Remote {
+            code: code::REMOTE as u16,
+            detail: format!("nonblocking: {e}"),
+        })?;
     let addr = listener.local_addr().map_err(|e| IfdbError::Remote {
         code: code::REMOTE as u16,
         detail: format!("local_addr: {e}"),
@@ -327,6 +405,7 @@ pub fn start(db: Database, auth: Arc<Authenticator>, config: ServerConfig) -> If
         queue: StdMutex::new(VecDeque::new()),
         queue_cvar: Condvar::new(),
         counters: Counters::default(),
+        watermark,
     });
 
     let accept_shared = shared.clone();
@@ -618,6 +697,18 @@ fn handle_request(
             label,
         )),
         Request::Goodbye => Response::Bye,
+        // Watermark and replication polls need no user session: the former
+        // is a read of a public counter, the latter authenticates with the
+        // replication secret on every poll.
+        Request::Watermark => Response::Watermark {
+            seq: shared.current_seq(),
+            epoch: shared.current_epoch(),
+        },
+        Request::ReplPoll {
+            secret,
+            from_seq,
+            max,
+        } => handle_repl_poll(shared, &secret, from_seq, max),
         other => {
             let Some(conn) = state.as_mut() else {
                 return encode_error(&IfdbError::Remote {
@@ -651,6 +742,56 @@ fn handle_request(
                 },
             }
         }
+    }
+}
+
+/// Serves one replication poll: authenticates the replica by the shared
+/// secret, then reads a batch from the write-ahead log's replication stream
+/// (see [`ifdb_storage::wal::Wal::read_replication_batch`] for the
+/// resume/reset/skip-image rules). A bootstrap poll (`from_seq <= 1`) first
+/// asks the engine to checkpoint soon, compacting history so the snapshot
+/// the replica ships is anchored at a checkpoint image rather than the full
+/// record-by-record history.
+fn handle_repl_poll(shared: &Arc<Shared>, secret: &str, from_seq: u64, max: u32) -> Response {
+    match &shared.config.replication_secret {
+        Some(expected) if expected == secret => {}
+        Some(_) => {
+            return encode_error(&IfdbError::Remote {
+                code: code::REPLICATION_DENIED as u16,
+                detail: "invalid replication secret".into(),
+            })
+        }
+        None => {
+            return encode_error(&IfdbError::Remote {
+                code: code::REPLICATION_DENIED as u16,
+                detail: "replication is not enabled on this server".into(),
+            })
+        }
+    }
+    let wal = shared.db.engine().wal();
+    if from_seq <= 1 && wal.len() > shared.config.replication_batch {
+        // Fresh replica, long history: anchor the snapshot at a checkpoint
+        // so bootstrap replays O(live data), not O(history). Best effort —
+        // under write load the checkpoint is deferred and the replica
+        // simply ships the longer history.
+        let _ = shared.db.checkpoint_soon();
+    }
+    let batch_max = if max == 0 {
+        shared.config.replication_batch
+    } else {
+        (max as usize).min(shared.config.replication_batch)
+    };
+    let batch = wal.read_replication_batch(from_seq, batch_max);
+    Response::ReplBatch {
+        epoch: wal.epoch(),
+        reset: batch.reset,
+        first_seq: batch.first_seq,
+        end_seq: batch.end_seq,
+        records: batch
+            .records
+            .iter()
+            .map(ifdb_storage::Wal::encode_record)
+            .collect(),
     }
 }
 
@@ -782,9 +923,10 @@ fn result_rows_response(conn: &mut ConnState, rows: Vec<Row>, batch: usize) -> R
     }
 }
 
-fn ok_with_label(session: &Session) -> Response {
+fn ok_with_label(shared: &Shared, session: &Session) -> Response {
     Response::Ok {
         label: session.label().to_array(),
+        seq: shared.current_seq(),
     }
 }
 
@@ -802,7 +944,10 @@ fn handle_message(
 ) -> IfdbResult<Response> {
     let session = &mut conn.session;
     match request {
-        Request::Hello { .. } | Request::Goodbye => unreachable!("handled by caller"),
+        Request::Hello { .. }
+        | Request::Goodbye
+        | Request::Watermark
+        | Request::ReplPoll { .. } => unreachable!("handled by caller"),
         Request::Login { user, password } => {
             let principal = authenticate(shared, &user, password.as_deref(), conn.trusted)?;
             session.reset(principal);
@@ -833,10 +978,13 @@ fn handle_message(
             fetch,
         } => {
             shared.counters.statements.fetch_add(1, Ordering::Relaxed);
-            let template = shared.cache.resolve(stmt).ok_or_else(|| IfdbError::Remote {
-                code: code::INVALID_STATEMENT as u16,
-                detail: format!("unknown statement id {stmt}"),
-            })?;
+            let template = shared
+                .cache
+                .resolve(stmt)
+                .ok_or_else(|| IfdbError::Remote {
+                    code: code::INVALID_STATEMENT as u16,
+                    detail: format!("unknown statement id {stmt}"),
+                })?;
             shared
                 .counters
                 .stmt_cache_hits
@@ -879,6 +1027,7 @@ fn handle_message(
                 StatementResult::Affected(n) => Response::Affected {
                     n: n as u64,
                     label: session.label().to_array(),
+                    seq: shared.current_seq(),
                 },
                 StatementResult::Rows(rs) => result_rows_response(conn, rs.rows, batch),
             })
@@ -890,10 +1039,13 @@ fn handle_message(
                 max as usize
             }
             .max(1);
-            let c = conn.cursors.get_mut(&cursor).ok_or_else(|| IfdbError::Remote {
-                code: code::INVALID_STATEMENT as u16,
-                detail: format!("unknown cursor {cursor}"),
-            })?;
+            let c = conn
+                .cursors
+                .get_mut(&cursor)
+                .ok_or_else(|| IfdbError::Remote {
+                    code: code::INVALID_STATEMENT as u16,
+                    detail: format!("unknown cursor {cursor}"),
+                })?;
             let rows: Vec<WireRow> = c.rows.by_ref().take(batch).map(to_wire_row).collect();
             let done = c.rows.len() == 0;
             if done {
@@ -903,22 +1055,22 @@ fn handle_message(
         }
         Request::CloseCursor { cursor } => {
             conn.cursors.remove(&cursor);
-            Ok(ok_with_label(session))
+            Ok(ok_with_label(shared, session))
         }
         Request::Begin => {
             session.begin()?;
-            Ok(ok_with_label(session))
+            Ok(ok_with_label(shared, session))
         }
         Request::Commit => {
             // Commit runs deferred triggers, which can change the process
             // label; the Ok response carries the post-commit label so the
             // client mirror follows.
             session.commit()?;
-            Ok(ok_with_label(session))
+            Ok(ok_with_label(shared, session))
         }
         Request::Abort => {
             session.abort()?;
-            Ok(ok_with_label(session))
+            Ok(ok_with_label(shared, session))
         }
         Request::AddSecrecy { tag } => {
             session.add_secrecy(ifdb_difc::TagId(tag))?;
@@ -946,7 +1098,7 @@ fn handle_message(
         }
         Request::Delegate { grantee, tag } => {
             session.delegate(ifdb_difc::PrincipalId(grantee), ifdb_difc::TagId(tag))?;
-            Ok(ok_with_label(session))
+            Ok(ok_with_label(shared, session))
         }
         Request::CallProcedure { name, args } => {
             shared.counters.statements.fetch_add(1, Ordering::Relaxed);

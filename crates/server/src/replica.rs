@@ -1,0 +1,428 @@
+//! Log-shipping read replicas: continuous apply plus a read-only front end.
+//!
+//! A replica node is two loops sharing one in-memory [`Database`]:
+//!
+//! * the **apply loop** polls the primary's replication endpoint
+//!   (`ReplPoll` over the ordinary wire protocol) from its applied-seq
+//!   watermark, applies each batch through
+//!   [`ifdb_storage::ReplicaApplier`], refreshes the relational catalog when
+//!   DDL streams through, and handles the three stream events — **reset**
+//!   (the primary compacted history past our watermark: discard state and
+//!   re-bootstrap from the checkpoint image), **epoch change** (the primary
+//!   restarted: sequence numbers are incomparable, re-bootstrap), and
+//!   **disconnect** (reconnect with backoff and resume from the watermark —
+//!   the applier skips records it already holds, so overlap after a torn
+//!   connection is harmless);
+//! * the **read front end** is a stock `ifdb-server` over the same
+//!   database, marked read-only ([`Database::replica_over`]): every
+//!   connection gets a real DIFC [`ifdb::Session`], so Query by Label,
+//!   declassifying views, and the commit-label rule are enforced on the
+//!   replica *exactly* as on the primary — the paper's guarantees do not
+//!   weaken on a follower. Writes are refused with `READ_ONLY`.
+//!
+//! The DIFC authority state and the catalog's constraint/view metadata are
+//! code, not logged data (the same contract as [`Database::open`] after a
+//! crash): the caller's `bootstrap` closure re-creates principals, tags and
+//! views — with the same `authority_seed` and creation order as the
+//! primary, so the numeric tag ids embedded in replicated tuples line up.
+
+use std::io::{BufReader, BufWriter};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ifdb::{Database, DatabaseConfig, IfdbError, IfdbResult};
+use ifdb_client::protocol::{read_frame, write_frame, Request, Response};
+use ifdb_platform::Authenticator;
+use ifdb_storage::{ReplicaApplier, StorageEngine, Wal};
+
+use crate::{start_with_applied_watermark, ServerConfig, ServerHandle};
+
+/// Configuration of a replica node.
+#[derive(Debug, Clone)]
+pub struct ReplicaConfig {
+    /// Address of the primary `ifdb-server`.
+    pub primary_addr: String,
+    /// The primary's replication secret
+    /// ([`ServerConfig::replication_secret`]).
+    pub replication_secret: String,
+    /// Configuration of the replica's own read front end (listen address,
+    /// worker pool, ...). Its `replication_secret` should stay `None`:
+    /// cascading replication is not supported.
+    pub server: ServerConfig,
+    /// Authority-state seed; **must** equal the primary's so principal and
+    /// tag ids re-created by the bootstrap closure line up with the ids
+    /// stored in replicated tuples.
+    pub seed: u64,
+    /// How long the apply loop sleeps when it is caught up.
+    pub poll_interval: Duration,
+    /// Backoff between reconnect attempts after the replication connection
+    /// fails.
+    pub reconnect_interval: Duration,
+    /// Maximum records requested per poll (0 = primary's default). One
+    /// replication connection occupies one worker on the primary for its
+    /// lifetime; size the primary's pool accordingly.
+    pub batch_max: u32,
+}
+
+impl ReplicaConfig {
+    /// A replica of `primary_addr` with defaults: ephemeral listen port,
+    /// 1 ms poll interval, 50 ms reconnect backoff.
+    pub fn new(primary_addr: &str, replication_secret: &str, seed: u64) -> Self {
+        ReplicaConfig {
+            primary_addr: primary_addr.to_string(),
+            replication_secret: replication_secret.to_string(),
+            server: ServerConfig::default(),
+            seed,
+            poll_interval: Duration::from_millis(1),
+            reconnect_interval: Duration::from_millis(50),
+            batch_max: 0,
+        }
+    }
+}
+
+/// A snapshot of a replica's apply-loop counters.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ReplicaStats {
+    /// Applied-seq watermark: the highest primary log sequence applied.
+    pub applied_seq: u64,
+    /// The primary's last observed (durable) sequence number; lag is
+    /// `primary_end_seq - applied_seq`.
+    pub primary_end_seq: u64,
+    /// Log records applied since start (across resets).
+    pub records_applied: u64,
+    /// Non-empty batches applied.
+    pub batches: u64,
+    /// Stream resets (bootstrap + re-bootstraps after checkpoint
+    /// truncation or primary restart).
+    pub resets: u64,
+    /// Replication connections established (1 = never lost the stream).
+    pub connects: u64,
+}
+
+struct ReplicaShared {
+    stop: AtomicBool,
+    applied_seq: Arc<AtomicU64>,
+    epoch: Arc<AtomicU64>,
+    primary_end_seq: AtomicU64,
+    records_applied: AtomicU64,
+    batches: AtomicU64,
+    resets: AtomicU64,
+    connects: AtomicU64,
+}
+
+/// A running replica node: the apply loop and the read front end.
+pub struct ReplicaHandle {
+    server: ServerHandle,
+    db: Database,
+    shared: Arc<ReplicaShared>,
+    apply_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ReplicaHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReplicaHandle")
+            .field("addr", &self.server.addr())
+            .field(
+                "applied_seq",
+                &self.shared.applied_seq.load(Ordering::Relaxed),
+            )
+            .finish()
+    }
+}
+
+impl ReplicaHandle {
+    /// The address the replica's read front end listens on.
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.server.addr()
+    }
+
+    /// The replica's database (read-only; fed by the apply loop).
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// The read front end's server handle (statistics etc.).
+    pub fn server(&self) -> &ServerHandle {
+        &self.server
+    }
+
+    /// A cloneable view of the applied-seq watermark, for samplers that
+    /// outlive a borrow of the handle (e.g. lag monitors).
+    pub fn applied_seq_handle(&self) -> Arc<AtomicU64> {
+        self.shared.applied_seq.clone()
+    }
+
+    /// Apply-loop counters.
+    pub fn stats(&self) -> ReplicaStats {
+        ReplicaStats {
+            applied_seq: self.shared.applied_seq.load(Ordering::Acquire),
+            primary_end_seq: self.shared.primary_end_seq.load(Ordering::Relaxed),
+            records_applied: self.shared.records_applied.load(Ordering::Relaxed),
+            batches: self.shared.batches.load(Ordering::Relaxed),
+            resets: self.shared.resets.load(Ordering::Relaxed),
+            connects: self.shared.connects.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Blocks until the replica's applied-seq reaches `seq` or the timeout
+    /// elapses; returns whether it caught up.
+    pub fn wait_for_seq(&self, seq: u64, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        while self.shared.applied_seq.load(Ordering::Acquire) < seq {
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        true
+    }
+
+    /// Stops the apply loop and shuts the read front end down.
+    pub fn shutdown(mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        if let Some(t) = self.apply_thread.take() {
+            let _ = t.join();
+        }
+        self.server.shutdown();
+    }
+}
+
+/// One pull connection to the primary's replication endpoint.
+struct StreamConn {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl StreamConn {
+    fn connect(addr: &str) -> std::io::Result<StreamConn> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+        Ok(StreamConn {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    fn poll(&mut self, secret: &str, from_seq: u64, max: u32) -> IfdbResult<Response> {
+        let req = Request::ReplPoll {
+            secret: secret.to_string(),
+            from_seq,
+            max,
+        };
+        write_frame(&mut self.writer, &req.encode())?;
+        let payload = read_frame(&mut self.reader)?.ok_or_else(|| IfdbError::Remote {
+            code: ifdb_client::protocol::code::PROTOCOL as u16,
+            detail: "primary closed the replication connection".into(),
+        })?;
+        Response::decode(&payload)
+    }
+}
+
+/// Starts a replica of the primary at `config.primary_addr`.
+///
+/// `bootstrap` re-creates the code-not-data state (principals, tags,
+/// declassifying views, procedures; see the [module docs](self)) on the
+/// fresh replica database. It runs once, before the initial sync, and the
+/// authority state it builds survives stream resets (only storage-level
+/// state is discarded on reset).
+///
+/// The call performs the initial sync — connect, bootstrap snapshot, apply
+/// until caught up with the primary's position at connect time — before
+/// starting the read front end, so a returned handle serves non-empty,
+/// near-current data immediately. Fails if the primary is unreachable or
+/// refuses replication.
+pub fn start_replica(
+    config: ReplicaConfig,
+    auth: Arc<Authenticator>,
+    bootstrap: impl FnOnce(&Database) -> IfdbResult<()>,
+) -> IfdbResult<ReplicaHandle> {
+    let db = Database::replica_over(
+        StorageEngine::in_memory(),
+        DatabaseConfig::in_memory().with_seed(config.seed),
+    );
+    bootstrap(&db)?;
+
+    let shared = Arc::new(ReplicaShared {
+        stop: AtomicBool::new(false),
+        applied_seq: Arc::new(AtomicU64::new(0)),
+        epoch: Arc::new(AtomicU64::new(0)),
+        primary_end_seq: AtomicU64::new(0),
+        records_applied: AtomicU64::new(0),
+        batches: AtomicU64::new(0),
+        resets: AtomicU64::new(0),
+        connects: AtomicU64::new(0),
+    });
+
+    // Initial sync: catch up to the primary's position as of now, so the
+    // front end never serves an empty database to its first client.
+    let mut applier = ReplicaApplier::new();
+    let mut conn = StreamConn::connect(&config.primary_addr).map_err(|e| IfdbError::Remote {
+        code: ifdb_client::protocol::code::PROTOCOL as u16,
+        detail: format!("connect {}: {e}", config.primary_addr),
+    })?;
+    shared.connects.fetch_add(1, Ordering::Relaxed);
+    loop {
+        let caught_up = apply_one_poll(&config, &db, &shared, &mut applier, &mut conn)?;
+        if caught_up {
+            break;
+        }
+    }
+
+    let server = start_with_applied_watermark(
+        db.clone(),
+        auth,
+        config.server.clone(),
+        shared.applied_seq.clone(),
+        shared.epoch.clone(),
+    )?;
+
+    let loop_shared = shared.clone();
+    let loop_db = db.clone();
+    let loop_config = config.clone();
+    let apply_thread = std::thread::Builder::new()
+        .name("ifdb-replica-apply".into())
+        .spawn(move || {
+            apply_loop(loop_config, loop_db, loop_shared, applier, Some(conn));
+        })
+        .expect("spawn replica apply thread");
+
+    Ok(ReplicaHandle {
+        server,
+        db,
+        shared,
+        apply_thread: Some(apply_thread),
+    })
+}
+
+/// Issues one poll and applies its batch. Returns `Ok(true)` when the
+/// replica has caught up with the primary's current end (empty batch).
+fn apply_one_poll(
+    config: &ReplicaConfig,
+    db: &Database,
+    shared: &ReplicaShared,
+    applier: &mut ReplicaApplier,
+    conn: &mut StreamConn,
+) -> IfdbResult<bool> {
+    let resp = conn.poll(
+        &config.replication_secret,
+        applier.applied_seq() + 1,
+        config.batch_max,
+    )?;
+    let Response::ReplBatch {
+        epoch,
+        reset,
+        first_seq,
+        end_seq,
+        records,
+    } = resp
+    else {
+        if let Response::Error {
+            code,
+            detail,
+            label0,
+            label1,
+            aux,
+            ..
+        } = resp
+        {
+            return Err(ifdb_client::protocol::decode_error(
+                code, detail, label0, label1, aux,
+            ));
+        }
+        return Err(IfdbError::Remote {
+            code: ifdb_client::protocol::code::PROTOCOL as u16,
+            detail: "unexpected replication response".into(),
+        });
+    };
+    let known_epoch = shared.epoch.load(Ordering::Acquire);
+    let epoch_changed = known_epoch != 0 && known_epoch != epoch;
+    if epoch_changed || reset {
+        // Epoch change: the primary restarted and our watermark refers to
+        // a log that no longer exists — discard and re-poll from scratch.
+        // Reset: same recovery, but the batch in hand is already the start
+        // of the new bootstrap, so it applies below.
+        applier.reset(db.engine());
+        shared.applied_seq.store(0, Ordering::Release);
+        shared.resets.fetch_add(1, Ordering::Relaxed);
+        db.resync_catalog()?;
+        if epoch_changed && !reset {
+            shared.epoch.store(epoch, Ordering::Release);
+            return Ok(false);
+        }
+    }
+    shared.epoch.store(epoch, Ordering::Release);
+    shared.primary_end_seq.store(end_seq, Ordering::Relaxed);
+    if records.is_empty() {
+        // An empty batch can still move the stream position: the primary
+        // skips its checkpoint image for a replica that already has the
+        // state it describes, answering with `first_seq` past the image.
+        // The watermark must follow, or a second checkpoint would mistake
+        // this replica for a lagging one and force a needless re-bootstrap.
+        applier.advance_to(first_seq.saturating_sub(1));
+        shared
+            .applied_seq
+            .store(applier.applied_seq(), Ordering::Release);
+        return Ok(true);
+    }
+    let mut decoded = Vec::with_capacity(records.len());
+    for bytes in &records {
+        decoded.push(Wal::decode_record(bytes).ok_or_else(|| IfdbError::Remote {
+            code: ifdb_client::protocol::code::PROTOCOL as u16,
+            detail: "undecodable record on the replication stream".into(),
+        })?);
+    }
+    let applied = applier.apply_batch(db.engine(), first_seq, &decoded)?;
+    // Publish the watermark only after the whole batch applied, so a
+    // read-your-writes client that observes seq S sees every effect ≤ S.
+    shared
+        .applied_seq
+        .store(applier.applied_seq(), Ordering::Release);
+    shared
+        .records_applied
+        .store(applier.records_applied(), Ordering::Relaxed);
+    shared.batches.fetch_add(1, Ordering::Relaxed);
+    if applied.saw_ddl {
+        db.resync_catalog()?;
+    }
+    Ok(applier.applied_seq() >= end_seq)
+}
+
+/// The background apply loop: poll, apply, sleep when caught up, reconnect
+/// (resuming from the watermark) when the stream drops.
+fn apply_loop(
+    config: ReplicaConfig,
+    db: Database,
+    shared: Arc<ReplicaShared>,
+    mut applier: ReplicaApplier,
+    mut conn: Option<StreamConn>,
+) {
+    while !shared.stop.load(Ordering::Relaxed) {
+        let Some(stream) = conn.as_mut() else {
+            match StreamConn::connect(&config.primary_addr) {
+                Ok(c) => {
+                    shared.connects.fetch_add(1, Ordering::Relaxed);
+                    conn = Some(c);
+                }
+                Err(_) => {
+                    std::thread::sleep(config.reconnect_interval);
+                }
+            }
+            continue;
+        };
+        match apply_one_poll(&config, &db, &shared, &mut applier, stream) {
+            Ok(true) => std::thread::sleep(config.poll_interval),
+            Ok(false) => {}
+            Err(_) => {
+                // Torn frame, checksum mismatch, half-closed socket, apply
+                // failure: drop the connection and resume from the
+                // watermark on a fresh one. Records the new connection may
+                // re-deliver are skipped by the applier.
+                conn = None;
+                std::thread::sleep(config.reconnect_interval);
+            }
+        }
+    }
+}

@@ -77,7 +77,11 @@ fn cartel_scripts_run_over_the_wire() {
             .as_user(&alice.username)
             .param("user", &bob.username),
     );
-    assert!(resp.is_ok(), "delegated drives view failed: {:?}", resp.error);
+    assert!(
+        resp.is_ok(),
+        "delegated drives view failed: {:?}",
+        resp.error
+    );
 
     // drives_top.php: a stored authority closure, executed inside the
     // server, its declassified aggregate released through the gate.

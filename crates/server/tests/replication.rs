@@ -1,0 +1,591 @@
+//! End-to-end replication tests: label-faithful replica reads (differential
+//! vs the primary), catch-up across a primary checkpoint, torn frames
+//! mid-stream (reconnect + resume from the watermark), read-your-writes
+//! routing, and read-only enforcement on the replica.
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use ifdb::prelude::*;
+use ifdb_client::{ClientConfig, Connection, RoutedConnection, RouterConfig};
+use ifdb_platform::Authenticator;
+use ifdb_server::{start, ReplicaConfig, ReplicaHandle, ServerConfig, ServerHandle};
+
+const SEED: u64 = 0xB0B5;
+const REPL_SECRET: &str = "repl-secret";
+
+/// The code-not-data DIFC state, re-created identically on primary and
+/// replica: with the same authority seed and the same creation order, the
+/// principal and tag ids come out identical.
+#[derive(Clone, Copy)]
+struct Difc {
+    alice: PrincipalId,
+    bob: PrincipalId,
+    alice_tag: TagId,
+    bob_tag: TagId,
+}
+
+struct Fixture {
+    db: Database,
+    auth: Arc<Authenticator>,
+    difc: Difc,
+}
+
+/// Builds the primary database: two users with private tags, a labeled
+/// `messages` table, and a declassifying view over Alice's rows.
+fn build_primary() -> Fixture {
+    let db = Database::new(DatabaseConfig::in_memory().with_seed(SEED));
+    let difc = setup_principals_and_views(&db);
+    db.create_table(messages_def()).unwrap();
+
+    let auth = Arc::new(Authenticator::new());
+    register_users(&difc, &auth);
+
+    // Three writers with three labels.
+    let mut anon = db.anonymous_session();
+    anon.insert(&Insert::new(
+        "messages",
+        vec![
+            Datum::Int(1),
+            Datum::from("anon"),
+            Datum::from("hello world"),
+        ],
+    ))
+    .unwrap();
+    let mut s = db.session(difc.alice);
+    s.add_secrecy(difc.alice_tag).unwrap();
+    for i in 0..5 {
+        s.insert(&Insert::new(
+            "messages",
+            vec![
+                Datum::Int(10 + i),
+                Datum::from("alice"),
+                Datum::Text(format!("alice secret {i}")),
+            ],
+        ))
+        .unwrap();
+    }
+    let mut s = db.session(difc.bob);
+    s.add_secrecy(difc.bob_tag).unwrap();
+    for i in 0..3 {
+        s.insert(&Insert::new(
+            "messages",
+            vec![
+                Datum::Int(20 + i),
+                Datum::from("bob"),
+                Datum::Text(format!("bob secret {i}")),
+            ],
+        ))
+        .unwrap();
+    }
+    Fixture { db, auth, difc }
+}
+
+fn messages_def() -> TableDef {
+    TableDef::new("messages")
+        .column("id", DataType::Int)
+        .column("author", DataType::Text)
+        .column("body", DataType::Text)
+        .primary_key(&["id"])
+}
+
+/// Creates the DIFC state on a database. Run with the same seed and in the
+/// same order on primary and replica, the returned ids are identical —
+/// exactly the recovery contract documented on [`Database::open`] and
+/// [`Database::replica_over`].
+fn setup_principals_and_views(db: &Database) -> Difc {
+    let alice = db.create_principal("alice", PrincipalKind::User);
+    let bob = db.create_principal("bob", PrincipalKind::User);
+    let alice_tag = db.create_tag(alice, "alice_private", &[]).unwrap();
+    let bob_tag = db.create_tag(bob, "bob_private", &[]).unwrap();
+    db.create_declassifying_view(
+        alice,
+        "alice_digest",
+        ViewSource::Select(Select::star("messages")),
+        Label::singleton(alice_tag),
+    )
+    .unwrap();
+    Difc {
+        alice,
+        bob,
+        alice_tag,
+        bob_tag,
+    }
+}
+
+fn register_users(difc: &Difc, auth: &Authenticator) {
+    auth.register("alice", "pw-a", difc.alice);
+    auth.register("bob", "pw-b", difc.bob);
+}
+
+fn start_primary(fx: &Fixture, workers: usize) -> ServerHandle {
+    start(
+        fx.db.clone(),
+        fx.auth.clone(),
+        ServerConfig {
+            workers,
+            replication_secret: Some(REPL_SECRET.into()),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap()
+}
+
+fn start_replica_of(addr: &str) -> ReplicaHandle {
+    let auth = Arc::new(Authenticator::new());
+    ifdb_server::start_replica(
+        ReplicaConfig::new(addr, REPL_SECRET, SEED),
+        auth.clone(),
+        move |db| {
+            let difc = setup_principals_and_views(db);
+            register_users(&difc, &auth);
+            Ok(())
+        },
+    )
+    .unwrap()
+}
+
+fn sorted_rows(rows: ResultSet) -> Vec<String> {
+    let mut out: Vec<String> = rows
+        .rows
+        .iter()
+        .map(|r| format!("{:?}|{:?}", r.label.to_array(), r.values))
+        .collect();
+    out.sort();
+    out
+}
+
+fn connect(addr: &str, user: &str, pw: &str, label: &[TagId]) -> Connection {
+    Connection::connect(
+        &ClientConfig::anonymous(addr)
+            .with_user(user, pw)
+            .with_label(label),
+    )
+    .unwrap()
+}
+
+/// The differential: for every principal/label combination, a label-filtered
+/// SELECT (and the declassifying view) must return identical results from
+/// the primary and the replica.
+#[test]
+fn replica_label_filtered_reads_match_primary() {
+    let fx = build_primary();
+    let primary = start_primary(&fx, 8);
+    let replica = start_replica_of(&primary.addr().to_string());
+    assert!(replica.wait_for_seq(fx.db.engine().wal().last_seq(), Duration::from_secs(5)));
+
+    let paddr = primary.addr().to_string();
+    let raddr = replica.addr().to_string();
+    let cases: Vec<(&str, &str, Vec<TagId>)> = vec![
+        ("", "", vec![]),
+        ("alice", "pw-a", vec![fx.difc.alice_tag]),
+        ("bob", "pw-b", vec![fx.difc.bob_tag]),
+    ];
+    for (user, pw, label) in cases {
+        let mut on_primary = connect(&paddr, user, pw, &label);
+        let mut on_replica = connect(&raddr, user, pw, &label);
+        for stmt in [
+            Statement::Select(Select::star("messages")),
+            Statement::Select(Select::star("alice_digest")),
+        ] {
+            let p = on_primary.run(&stmt).unwrap().into_rows();
+            let r = on_replica.run(&stmt).unwrap().into_rows();
+            assert_eq!(
+                sorted_rows(p),
+                sorted_rows(r),
+                "replica ≡ primary for user {user:?} on {stmt:?}"
+            );
+        }
+        // The replica's session label mirrors the primary's.
+        assert_eq!(on_primary.current_label(), on_replica.current_label());
+        on_primary.close().unwrap();
+        on_replica.close().unwrap();
+    }
+
+    // Uncontaminated readers see only the public row; Alice sees hers.
+    let mut anon = connect(&raddr, "", "", &[]);
+    assert_eq!(
+        anon.run(&Statement::Select(Select::star("messages")))
+            .unwrap()
+            .into_rows()
+            .len(),
+        1
+    );
+    let mut alice = connect(&raddr, "alice", "pw-a", &[fx.difc.alice_tag]);
+    assert_eq!(
+        alice
+            .run(&Statement::Select(Select::star("messages")))
+            .unwrap()
+            .into_rows()
+            .len(),
+        6
+    );
+    anon.close().unwrap();
+    alice.close().unwrap();
+
+    replica.shutdown();
+    primary.shutdown();
+}
+
+#[test]
+fn replica_refuses_writes_and_authority_mutations() {
+    let fx = build_primary();
+    let primary = start_primary(&fx, 4);
+    let replica = start_replica_of(&primary.addr().to_string());
+    let raddr = replica.addr().to_string();
+
+    let mut conn = connect(&raddr, "alice", "pw-a", &[]);
+    let err = conn
+        .run(&Statement::Insert(Insert::new(
+            "messages",
+            vec![Datum::Int(99), Datum::from("x"), Datum::from("y")],
+        )))
+        .unwrap_err();
+    assert!(
+        matches!(err, IfdbError::ReadOnlyReplica),
+        "wire round-trips READ_ONLY: {err}"
+    );
+    let err = conn
+        .delegate(PrincipalId(1), fx.difc.alice_tag)
+        .unwrap_err();
+    assert!(matches!(err, IfdbError::ReadOnlyReplica), "{err}");
+    // Reads on the same connection still work after refused writes.
+    assert!(conn
+        .run(&Statement::Select(Select::star("messages")))
+        .is_ok());
+    conn.close().unwrap();
+
+    replica.shutdown();
+    primary.shutdown();
+}
+
+#[test]
+fn replication_poll_requires_secret() {
+    let fx = build_primary();
+    let primary = start_primary(&fx, 2);
+    // A poll with the wrong secret is refused; the server stays healthy.
+    let err = ifdb_server::start_replica(
+        ReplicaConfig::new(&primary.addr().to_string(), "wrong-secret", SEED),
+        Arc::new(Authenticator::new()),
+        |_| Ok(()),
+    )
+    .expect_err("wrong secret must fail");
+    assert!(err.to_string().contains("replication"), "{err}");
+    primary.shutdown();
+}
+
+/// A byte-corrupting TCP proxy: forwards transparently, but when armed it
+/// flips one byte mid-stream on the primary→replica direction and then
+/// drops the connection — a torn frame. Subsequent connections forward
+/// cleanly, so the replica's reconnect resumes from its watermark.
+struct CorruptingProxy {
+    addr: String,
+    target: Arc<Mutex<String>>,
+    corrupt_next: Arc<AtomicBool>,
+    live: Arc<Mutex<Vec<TcpStream>>>,
+    stop: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl CorruptingProxy {
+    fn start(target_addr: &str) -> CorruptingProxy {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.set_nonblocking(true).unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let target = Arc::new(Mutex::new(target_addr.to_string()));
+        let corrupt_next = Arc::new(AtomicBool::new(false));
+        let live = Arc::new(Mutex::new(Vec::new()));
+        let stop = Arc::new(AtomicBool::new(false));
+        let t_target = target.clone();
+        let t_corrupt = corrupt_next.clone();
+        let t_live = live.clone();
+        let t_stop = stop.clone();
+        let thread = std::thread::spawn(move || {
+            while !t_stop.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((client, _)) => {
+                        let upstream_addr = t_target.lock().unwrap().clone();
+                        let Ok(upstream) = TcpStream::connect(&upstream_addr) else {
+                            continue;
+                        };
+                        {
+                            let mut live = t_live.lock().unwrap();
+                            live.clear();
+                            live.push(client.try_clone().unwrap());
+                            live.push(upstream.try_clone().unwrap());
+                        }
+                        pump_pair(client, upstream, t_corrupt.clone());
+                    }
+                    Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                    Err(_) => break,
+                }
+            }
+        });
+        CorruptingProxy {
+            addr,
+            target,
+            corrupt_next,
+            live,
+            stop,
+            thread: Some(thread),
+        }
+    }
+
+    fn arm_corruption(&self) {
+        self.corrupt_next.store(true, Ordering::SeqCst);
+    }
+
+    /// Points new connections at `addr` and severs the live one, so the
+    /// replica genuinely loses the stream until it reconnects.
+    fn retarget(&self, addr: &str) {
+        *self.target.lock().unwrap() = addr.to_string();
+        for s in self.live.lock().unwrap().drain(..) {
+            let _ = s.shutdown(std::net::Shutdown::Both);
+        }
+    }
+
+    fn stop(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        for s in self.live.lock().unwrap().drain(..) {
+            let _ = s.shutdown(std::net::Shutdown::Both);
+        }
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Forwards both directions until either side closes. When `corrupt` flips
+/// to `true`, the primary→replica direction flips a byte in the next chunk
+/// it forwards and closes — a torn frame mid-stream.
+fn pump_pair(client: TcpStream, upstream: TcpStream, corrupt: Arc<AtomicBool>) {
+    client.set_nodelay(true).ok();
+    upstream.set_nodelay(true).ok();
+    let c2u = (client.try_clone().unwrap(), upstream.try_clone().unwrap());
+    let up = std::thread::spawn(move || pump(c2u.0, c2u.1, None));
+    pump(upstream, client, Some(corrupt));
+    let _ = up.join();
+}
+
+fn pump(mut from: TcpStream, mut to: TcpStream, corrupt: Option<Arc<AtomicBool>>) {
+    from.set_read_timeout(Some(Duration::from_millis(200))).ok();
+    let mut buf = [0u8; 4096];
+    loop {
+        match from.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                if let Some(flag) = &corrupt {
+                    if flag.swap(false, Ordering::SeqCst) {
+                        // Flip one byte mid-frame, deliver, then tear the
+                        // connection down.
+                        buf[n / 2] ^= 0xFF;
+                        let _ = to.write_all(&buf[..n]);
+                        break;
+                    }
+                }
+                if to.write_all(&buf[..n]).is_err() {
+                    break;
+                }
+            }
+            Err(ref e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                // Keep pumping; the stop condition is a closed peer.
+                if to.peer_addr().is_err() {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    let _ = to.shutdown(std::net::Shutdown::Both);
+    let _ = from.shutdown(std::net::Shutdown::Both);
+}
+
+#[test]
+fn torn_frame_mid_stream_reconnects_and_resumes_from_watermark() {
+    let fx = build_primary();
+    let primary = start_primary(&fx, 8);
+    let proxy = CorruptingProxy::start(&primary.addr().to_string());
+    let replica = start_replica_of(&proxy.addr);
+    assert!(replica.wait_for_seq(fx.db.engine().wal().last_seq(), Duration::from_secs(5)));
+    let connects_before = replica.stats().connects;
+
+    // Arm the proxy, then keep writing: some batch hits the corrupted
+    // frame, the replica rejects it (checksum), reconnects, and resumes.
+    proxy.arm_corruption();
+    let alice = fx.difc.alice;
+    let mut s = fx.db.session(alice);
+    s.add_secrecy(fx.difc.alice_tag).unwrap();
+    for i in 0..50 {
+        s.insert(&Insert::new(
+            "messages",
+            vec![
+                Datum::Int(1000 + i),
+                Datum::from("alice"),
+                Datum::Text(format!("post-corruption {i}")),
+            ],
+        ))
+        .unwrap();
+    }
+    drop(s);
+    assert!(
+        replica.wait_for_seq(fx.db.engine().wal().last_seq(), Duration::from_secs(10)),
+        "replica must recover from the torn frame and catch up"
+    );
+    assert!(
+        replica.stats().connects > connects_before,
+        "the corrupted connection was dropped and re-established"
+    );
+    // Exactly-once apply: no duplicates, no gaps.
+    let mut alice_conn = connect(
+        &replica.addr().to_string(),
+        "alice",
+        "pw-a",
+        &[fx.difc.alice_tag],
+    );
+    let rows = alice_conn
+        .run(&Statement::Select(Select::star("messages")))
+        .unwrap()
+        .into_rows();
+    assert_eq!(
+        rows.len(),
+        1 + 5 + 50,
+        "all alice-visible rows exactly once"
+    );
+    alice_conn.close().unwrap();
+
+    replica.shutdown();
+    proxy.stop();
+    primary.shutdown();
+}
+
+#[test]
+fn replica_catches_up_across_primary_checkpoint() {
+    let fx = build_primary();
+    let primary = start_primary(&fx, 8);
+    let proxy = CorruptingProxy::start(&primary.addr().to_string());
+    let replica = start_replica_of(&proxy.addr);
+    assert!(replica.wait_for_seq(fx.db.engine().wal().last_seq(), Duration::from_secs(5)));
+    assert_eq!(replica.stats().resets, 0);
+
+    // Cut the replica off (retarget the proxy into the void), then write
+    // and checkpoint on the primary: the records the replica misses are
+    // compacted away.
+    proxy.retarget("127.0.0.1:1");
+    let bob = fx.difc.bob;
+    let mut s = fx.db.session(bob);
+    s.add_secrecy(fx.difc.bob_tag).unwrap();
+    for i in 0..10 {
+        s.insert(&Insert::new(
+            "messages",
+            vec![
+                Datum::Int(2000 + i),
+                Datum::from("bob"),
+                Datum::Text(format!("while replica away {i}")),
+            ],
+        ))
+        .unwrap();
+    }
+    drop(s);
+    fx.db.checkpoint().unwrap();
+
+    // Reconnect: the replica's watermark predates the compacted history,
+    // so the stream demands a reset and re-bootstraps from the checkpoint
+    // image.
+    proxy.retarget(&primary.addr().to_string());
+    assert!(
+        replica.wait_for_seq(fx.db.engine().wal().last_seq(), Duration::from_secs(10)),
+        "replica re-bootstraps and catches up"
+    );
+    assert!(replica.stats().resets >= 1, "the stream was reset");
+    let mut bob_conn = connect(
+        &replica.addr().to_string(),
+        "bob",
+        "pw-b",
+        &[fx.difc.bob_tag],
+    );
+    let rows = bob_conn
+        .run(&Statement::Select(Select::star("messages")))
+        .unwrap()
+        .into_rows();
+    assert_eq!(
+        rows.len(),
+        1 + 3 + 10,
+        "bob-visible rows after re-bootstrap"
+    );
+    bob_conn.close().unwrap();
+
+    // The stream keeps working after the reset.
+    let mut s = fx.db.session(bob);
+    s.add_secrecy(fx.difc.bob_tag).unwrap();
+    s.insert(&Insert::new(
+        "messages",
+        vec![
+            Datum::Int(3000),
+            Datum::from("bob"),
+            Datum::from("after reset"),
+        ],
+    ))
+    .unwrap();
+    drop(s);
+    assert!(replica.wait_for_seq(fx.db.engine().wal().last_seq(), Duration::from_secs(5)));
+
+    replica.shutdown();
+    proxy.stop();
+    primary.shutdown();
+}
+
+#[test]
+fn routed_connection_read_your_writes() {
+    let fx = build_primary();
+    let primary = start_primary(&fx, 8);
+    let replica = start_replica_of(&primary.addr().to_string());
+
+    let primary_cfg = ClientConfig::anonymous(&primary.addr().to_string())
+        .with_user("alice", "pw-a")
+        .with_label(&[fx.difc.alice_tag]);
+    let replica_cfg = ClientConfig::anonymous(&replica.addr().to_string())
+        .with_user("alice", "pw-a")
+        .with_label(&[fx.difc.alice_tag]);
+    let mut routed =
+        RoutedConnection::connect(&RouterConfig::new(primary_cfg, vec![replica_cfg])).unwrap();
+
+    // Write on the primary, read immediately: read-your-writes must make
+    // the write visible even though the read is served by the replica.
+    for i in 0..20 {
+        let id = 5000 + i;
+        routed
+            .insert(&Insert::new(
+                "messages",
+                vec![
+                    Datum::Int(id),
+                    Datum::from("alice"),
+                    Datum::Text(format!("ryw {i}")),
+                ],
+            ))
+            .unwrap();
+        let rows = routed
+            .select(&Select::star("messages").filter(Predicate::Eq("id".into(), Datum::Int(id))))
+            .unwrap();
+        assert_eq!(rows.len(), 1, "read-your-writes: write {i} visible");
+    }
+    let stats = routed.stats();
+    assert!(
+        stats.reads_on_replica > 0,
+        "reads actually routed to the replica: {stats:?}"
+    );
+    // Writes went to the primary: the replica's database holds them only
+    // via replication.
+    assert!(replica.database().engine().stats().replica_records_applied > 0);
+    routed.close().unwrap();
+
+    replica.shutdown();
+    primary.shutdown();
+}

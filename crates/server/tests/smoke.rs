@@ -8,7 +8,14 @@ use ifdb_client::{ClientConfig, Connection};
 use ifdb_platform::Authenticator;
 use ifdb_server::{start, ServerConfig};
 
-fn demo_db() -> (Database, Arc<Authenticator>, PrincipalId, PrincipalId, TagId, TagId) {
+fn demo_db() -> (
+    Database,
+    Arc<Authenticator>,
+    PrincipalId,
+    PrincipalId,
+    TagId,
+    TagId,
+) {
     let db = Database::in_memory();
     let alice = db.create_principal("alice", PrincipalKind::User);
     let bob = db.create_principal("bob", PrincipalKind::User);
@@ -79,10 +86,9 @@ fn query_by_label_differs_per_connection() {
     a.check_release_to_world().unwrap();
 
     // Wrong password is refused.
-    assert!(Connection::connect(
-        &ClientConfig::anonymous(&addr).with_user("alice", "wrong")
-    )
-    .is_err());
+    assert!(
+        Connection::connect(&ClientConfig::anonymous(&addr).with_user("alice", "wrong")).is_err()
+    );
 
     a.close().unwrap();
     b.close().unwrap();
@@ -183,7 +189,10 @@ fn result_batches_stream_through_cursors() {
         .unwrap();
     assert_eq!(rows.len(), 200);
     assert_eq!(rows.first().unwrap().get_int("id"), Some(100));
-    assert!(c.stats().extra_fetches > 0, "batches beyond the first were fetched");
+    assert!(
+        c.stats().extra_fetches > 0,
+        "batches beyond the first were fetched"
+    );
     c.close().unwrap();
     server.shutdown();
 }
@@ -204,10 +213,8 @@ fn login_switches_principal_and_resets_state() {
     let addr = server.addr().to_string();
 
     // Trusted platform connection: password login, then cookie-path switch.
-    let mut c = Connection::connect(
-        &ClientConfig::anonymous(&addr).with_platform_secret(secret),
-    )
-    .unwrap();
+    let mut c =
+        Connection::connect(&ClientConfig::anonymous(&addr).with_platform_secret(secret)).unwrap();
     c.login("alice", "pw-a").unwrap();
     assert_eq!(c.principal(), alice);
     c.add_secrecy(alice_tag).unwrap();
@@ -223,10 +230,9 @@ fn login_switches_principal_and_resets_state() {
     let mut plain = Connection::connect(&ClientConfig::anonymous(&addr)).unwrap();
     assert!(plain.login_as("alice").is_err());
     // And a wrong platform secret is refused at the handshake.
-    assert!(Connection::connect(
-        &ClientConfig::anonymous(&addr).with_platform_secret("nope")
-    )
-    .is_err());
+    assert!(
+        Connection::connect(&ClientConfig::anonymous(&addr).with_platform_secret("nope")).is_err()
+    );
 
     c.close().unwrap();
     plain.close().unwrap();
@@ -255,8 +261,8 @@ fn trigger_contamination_reaches_the_client_label_mirror() {
     let server = start(db, auth, ServerConfig::default()).unwrap();
     let addr = server.addr().to_string();
 
-    let mut c = Connection::connect(&ClientConfig::anonymous(&addr).with_user("alice", "pw-a"))
-        .unwrap();
+    let mut c =
+        Connection::connect(&ClientConfig::anonymous(&addr).with_user("alice", "pw-a")).unwrap();
     assert_eq!(c.principal(), alice);
     c.check_release_to_world().unwrap();
     // The trigger raises the label after the tuple was written with the old
@@ -362,7 +368,11 @@ fn graceful_shutdown_drains_and_rejects_new_work() {
     c.begin().unwrap();
     c.insert(&Insert::new(
         "notes",
-        vec![Datum::Int(60), Datum::from("anon"), Datum::from("straggler")],
+        vec![
+            Datum::Int(60),
+            Datum::from("anon"),
+            Datum::from("straggler"),
+        ],
     ))
     .unwrap();
     let db = server.database().clone();

@@ -110,6 +110,9 @@ pub struct StorageEngine {
     checkpoint_pending: StdMutex<bool>,
     checkpoint_cvar: Condvar,
     checkpoints_deferred: AtomicU64,
+    vacuums: AtomicU64,
+    commits_since_vacuum: AtomicU64,
+    replica_records_applied: AtomicU64,
 }
 
 impl std::fmt::Debug for StorageEngine {
@@ -180,6 +183,9 @@ impl StorageEngine {
             checkpoint_pending: StdMutex::new(false),
             checkpoint_cvar: Condvar::new(),
             checkpoints_deferred: AtomicU64::new(0),
+            vacuums: AtomicU64::new(0),
+            commits_since_vacuum: AtomicU64::new(0),
+            replica_records_applied: AtomicU64::new(0),
         }
     }
 
@@ -255,8 +261,8 @@ impl StorageEngine {
         let remapped = {
             // Replay straight out of the log's record mirror (no clone):
             // nothing appends while the engine is being recovered.
-            let records = engine.wal.records_locked();
-            engine.replay(&records)?
+            let mirror = engine.wal.records_locked();
+            engine.replay(&mirror.records)?
         };
         engine
             .recovery_replayed_records
@@ -671,7 +677,10 @@ impl StorageEngine {
         }
         self.txns.finish_commit(txn)?;
         if let Some(every) = self.durability.checkpoint_every_commits {
-            let n = self.commits_since_checkpoint.fetch_add(1, Ordering::Relaxed) + 1;
+            let n = self
+                .commits_since_checkpoint
+                .fetch_add(1, Ordering::Relaxed)
+                + 1;
             if n >= every {
                 // Cheap O(1) quiescence probe before the checkpoint takes
                 // the log's append lock; racy, but checkpoint() re-checks
@@ -699,6 +708,24 @@ impl StorageEngine {
         }
         if let Err(e) = self.run_pending_checkpoint_if_quiescent() {
             eprintln!("wal: deferred checkpoint failed after commit: {e}");
+        }
+        if let Some(every) = self.durability.vacuum_every_commits {
+            let n = self.commits_since_vacuum.fetch_add(1, Ordering::Relaxed) + 1;
+            // Auto-vacuum rides the commit settle path: the transaction is
+            // already durably committed, so a vacuum failure is surfaced
+            // out of band rather than turning a successful commit into an
+            // error. Concurrent vacuum is *correct* (version retention is
+            // commit-stamp based, and index fix-up holds the index write
+            // lock), so the quiescence probe is purely a latency courtesy:
+            // prefer a drained moment where no other transaction pays the
+            // pause, but past 4× the period stop waiting — sustained load
+            // must not defer reclamation forever.
+            if n >= every && (self.txns.active_count() == 0 || n >= every.saturating_mul(4)) {
+                self.commits_since_vacuum.store(0, Ordering::Relaxed);
+                if let Err(e) = self.vacuum() {
+                    eprintln!("vacuum: periodic vacuum failed after commit: {e}");
+                }
+            }
         }
         Ok(())
     }
@@ -910,40 +937,43 @@ impl StorageEngine {
         let tables: Vec<Arc<Table>> = self.tables.read().values().cloned().collect();
         let mut removed_total = 0;
         for t in tables {
-            let mut removed_rows: Vec<(IndexKey, RowId)> = Vec::new();
-            // First pass: collect what to remove per index so we can fix
-            // indexes after the heap pass.
             let removed = t.heap.vacuum(|v| {
                 let dead_insert = self.txns.status(v.header.xmin) == TxnStatus::Aborted;
                 dead_insert || self.txns.is_dead_for_all(&v.header)
             })?;
             if removed > 0 {
-                // Rebuild indexes wholesale: simpler than tracking per-row
-                // removals and safe because vacuum runs rarely.
-                let indexes = t.indexes.read();
+                // Re-derive each index from the surviving heap contents.
+                // Live entries are (re-)inserted before stale ones are
+                // removed, so a concurrent reader never observes a live row
+                // missing from an index — only the reverse (a stale entry
+                // for a version its snapshot cannot see anyway). The *write*
+                // lock is held across the fix-up: a concurrent inserter puts
+                // its row in the heap first and then blocks here before
+                // touching the index, so every index entry the removal loop
+                // can see belongs to a row the heap scan above either saw
+                // (in `live`) or that does not exist yet — a freshly
+                // inserted row's entry can never be mistaken for stale and
+                // deleted. That makes vacuum safe to run from the periodic
+                // policy without quiescing the engine.
+                let indexes = t.indexes.write();
                 for entry in indexes.iter() {
-                    // Clear by constructing a fresh index.
-                    let fresh = OrderedIndex::new();
+                    let mut live: HashSet<(IndexKey, RowId)> = HashSet::new();
                     t.heap.scan(|row, version| {
                         let key = t.index_key(&entry.columns, &version.data);
-                        fresh.insert(key, row);
+                        entry.index.insert(key.clone(), row);
+                        live.insert((key, row));
                         true
                     })?;
-                    // Swap contents: OrderedIndex has interior mutability, so
-                    // emulate a swap by draining and re-inserting.
-                    let old_entries = entry.index.range(None, None);
-                    for (k, r) in old_entries {
-                        entry.index.remove(&k, r);
-                    }
-                    for (k, r) in fresh.range(None, None) {
-                        entry.index.insert(k, r);
+                    for (k, r) in entry.index.range(None, None) {
+                        if !live.contains(&(k.clone(), r)) {
+                            entry.index.remove(&k, r);
+                        }
                     }
                 }
-                drop(indexes);
-                removed_rows.clear();
             }
             removed_total += removed;
         }
+        self.vacuums.fetch_add(1, Ordering::Relaxed);
         Ok(removed_total)
     }
 
@@ -1015,6 +1045,146 @@ impl StorageEngine {
         Ok(count)
     }
 
+    // ------------------------------------------------------------------
+    // Replication (continuous apply)
+    // ------------------------------------------------------------------
+
+    /// Applies one record shipped from a primary's log to this engine — the
+    /// incremental form of the recovery replay machinery behind
+    /// [`StorageEngine::open`].
+    ///
+    /// Unlike batch replay, commit outcomes are not known in advance:
+    /// inserts and deletes are applied as they arrive (with the primary's
+    /// transaction ids preserved in tuple headers), and stay invisible to
+    /// replica snapshots until the transaction's `Commit` record applies.
+    /// `state` carries the row-id remapping (the primary's logged row ids
+    /// to locally allocated ones, pruned as deletes commit) and must be the
+    /// same state across every record of one stream (cleared on a stream
+    /// reset); [`crate::replica::ReplicaApplier`] manages it.
+    ///
+    /// This bypasses the local write-ahead log: a replica's engine is a
+    /// cache of the primary's log, exactly as heap files are a cache of the
+    /// local one.
+    pub fn apply_replicated(
+        &self,
+        record: &LogRecord,
+        state: &mut crate::replica::ReplicaApplyState,
+    ) -> StorageResult<()> {
+        match record {
+            LogRecord::CreateTable { id, schema } => {
+                self.next_table.fetch_max(*id as u64 + 1, Ordering::SeqCst);
+                // Idempotent, like DDL replay: a checkpoint image racing the
+                // stream can re-deliver a definition.
+                if !self.tables.read().contains_key(&TableId(*id)) {
+                    self.install_table(TableId(*id), schema.clone())?;
+                }
+            }
+            LogRecord::CreateIndex {
+                table,
+                name,
+                columns,
+            } => {
+                let t = self.table(TableId(*table))?;
+                let col_idx = columns.iter().map(|c| *c as usize).collect();
+                match self.install_index(&t, name, col_idx) {
+                    Ok(()) | Err(StorageError::DuplicateIndex(_)) => {}
+                    Err(e) => return Err(e),
+                }
+            }
+            LogRecord::Begin { txn } => self.txns.begin_replicated(*txn),
+            LogRecord::Commit { txn } => {
+                self.txns.commit_replicated(*txn);
+                // The committed transaction's deletes are final: nothing
+                // can reference those rows again (a further delete would
+                // have hit a write conflict on the primary), so their
+                // row-map entries are dead weight — prune them to keep the
+                // map bounded by live rows on a long-running replica.
+                if let Some(rows) = state.deletes_in_flight.remove(txn) {
+                    for key in rows {
+                        state.row_map.remove(&key);
+                    }
+                }
+                state.inserts_in_flight.remove(txn);
+            }
+            LogRecord::Abort { txn } => {
+                self.txns.abort_replicated(*txn);
+                // An aborted delete's row stays live and may be deleted
+                // again later; keep its mapping. An aborted *insert* is the
+                // opposite: the row is invisible forever and no later
+                // record can reference it, so its mapping is dropped.
+                state.deletes_in_flight.remove(txn);
+                if let Some(rows) = state.inserts_in_flight.remove(txn) {
+                    for key in rows {
+                        state.row_map.remove(&key);
+                    }
+                }
+            }
+            LogRecord::Insert {
+                txn,
+                table,
+                row,
+                bytes,
+            } => {
+                let t = self.table(TableId(*table))?;
+                let version = TupleVersion::decode(bytes)?;
+                let new_row = t.heap.insert(&version)?;
+                for entry in t.indexes.read().iter() {
+                    let key = t.index_key(&entry.columns, &version.data);
+                    entry.index.insert(key, new_row);
+                }
+                state.row_map.insert((*table, *row), new_row);
+                if *txn != BOOTSTRAP_TXN {
+                    state
+                        .inserts_in_flight
+                        .entry(*txn)
+                        .or_default()
+                        .push((*table, *row));
+                }
+                self.tuples_inserted.fetch_add(1, Ordering::Relaxed);
+            }
+            LogRecord::Delete { txn, table, row } => {
+                // Conflict resolution already happened on the primary; the
+                // replica just mirrors the outcome. Every row a streamed
+                // delete can touch was inserted through this same stream
+                // (checkpoint images re-log live rows), so the map covers it.
+                if let Some(new_row) = state.row_map.get(&(*table, *row)) {
+                    let t = self.table(TableId(*table))?;
+                    t.heap.set_xmax(*new_row, Some(*txn))?;
+                    self.tuples_deleted.fetch_add(1, Ordering::Relaxed);
+                    if *txn == BOOTSTRAP_TXN {
+                        // Bootstrap effects are committed by definition.
+                        state.row_map.remove(&(*table, *row));
+                    } else {
+                        state
+                            .deletes_in_flight
+                            .entry(*txn)
+                            .or_default()
+                            .push((*table, *row));
+                    }
+                }
+            }
+            LogRecord::Checkpoint => {}
+        }
+        self.replica_records_applied.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Discards every table, index and transaction status so a replica can
+    /// re-bootstrap from a fresh checkpoint image (stream reset). Sessions
+    /// already holding a `Table` handle keep scanning the orphaned heap
+    /// safely; new statements bind against the rebuilt state as it streams
+    /// back in. The transaction id allocator is left alone, so replica-local
+    /// read transactions stay unique across resets.
+    pub fn reset_replica_state(&self) {
+        let mut tables = self.tables.write();
+        let mut by_name = self.by_name.write();
+        let mut stores = self.stores.write();
+        tables.clear();
+        by_name.clear();
+        stores.clear();
+        self.txns.clear_for_reset();
+    }
+
     /// Flushes all dirty pages and the WAL.
     pub fn flush(&self) -> StorageResult<()> {
         for t in self.tables.read().values() {
@@ -1039,6 +1209,8 @@ impl StorageEngine {
         s.recovery_replayed_records = self.recovery_replayed_records.load(Ordering::Relaxed);
         s.checkpoints = self.checkpoints.load(Ordering::Relaxed);
         s.checkpoints_deferred = self.checkpoints_deferred.load(Ordering::Relaxed);
+        s.vacuums = self.vacuums.load(Ordering::Relaxed);
+        s.replica_records_applied = self.replica_records_applied.load(Ordering::Relaxed);
         let stores = self.stores.read();
         s.store_reads = stores.values().map(|st| st.reads()).sum();
         s.store_writes = stores.values().map(|st| st.writes()).sum();
@@ -1083,8 +1255,13 @@ mod tests {
     fn insert_commit_visible() {
         let (eng, table) = engine_with_table();
         let txn = eng.begin().unwrap();
-        eng.insert(txn, table, vec![], vec![Datum::Int(1), Datum::from("alice")])
-            .unwrap();
+        eng.insert(
+            txn,
+            table,
+            vec![],
+            vec![Datum::Int(1), Datum::from("alice")],
+        )
+        .unwrap();
         eng.commit(txn).unwrap();
         assert_eq!(visible_rows(&eng, table).len(), 1);
     }
@@ -1093,8 +1270,13 @@ mod tests {
     fn aborted_insert_invisible() {
         let (eng, table) = engine_with_table();
         let txn = eng.begin().unwrap();
-        eng.insert(txn, table, vec![], vec![Datum::Int(1), Datum::from("ghost")])
-            .unwrap();
+        eng.insert(
+            txn,
+            table,
+            vec![],
+            vec![Datum::Int(1), Datum::from("ghost")],
+        )
+        .unwrap();
         eng.abort(txn).unwrap();
         assert!(visible_rows(&eng, table).is_empty());
     }
@@ -1135,8 +1317,14 @@ mod tests {
         eng.commit(t1).unwrap();
 
         let t2 = eng.begin().unwrap();
-        eng.update(t2, table, row, vec![], vec![Datum::Int(1), Datum::from("v2")])
-            .unwrap();
+        eng.update(
+            t2,
+            table,
+            row,
+            vec![],
+            vec![Datum::Int(1), Datum::from("v2")],
+        )
+        .unwrap();
         eng.commit(t2).unwrap();
 
         let rows = visible_rows(&eng, table);
@@ -1149,7 +1337,12 @@ mod tests {
         let (eng, table) = engine_with_table();
         let t0 = eng.begin().unwrap();
         let row = eng
-            .insert(t0, table, vec![], vec![Datum::Int(1), Datum::from("target")])
+            .insert(
+                t0,
+                table,
+                vec![],
+                vec![Datum::Int(1), Datum::from("target")],
+            )
             .unwrap();
         eng.commit(t0).unwrap();
 
@@ -1224,8 +1417,12 @@ mod tests {
         eng.commit(txn).unwrap();
         eng.create_index(table, "people_pk", &["id"]).unwrap();
         let before = eng.stats();
-        let _ = eng.index_lookup(table, "people_pk", &vec![Datum::Int(0)]).unwrap();
-        let prefixed = eng.index_prefix(table, "people_pk", &[Datum::Int(1)]).unwrap();
+        let _ = eng
+            .index_lookup(table, "people_pk", &vec![Datum::Int(0)])
+            .unwrap();
+        let prefixed = eng
+            .index_prefix(table, "people_pk", &[Datum::Int(1)])
+            .unwrap();
         assert_eq!(prefixed.len(), 5);
         let ranged = eng
             .index_range(
@@ -1255,8 +1452,13 @@ mod tests {
         eng.commit(t1).unwrap();
 
         let t2 = eng.begin().unwrap();
-        eng.insert(t2, table, vec![], vec![Datum::Int(3), Datum::from("aborted")])
-            .unwrap();
+        eng.insert(
+            t2,
+            table,
+            vec![],
+            vec![Datum::Int(3), Datum::from("aborted")],
+        )
+        .unwrap();
         eng.abort(t2).unwrap();
 
         let t3 = eng.begin().unwrap();
@@ -1281,11 +1483,134 @@ mod tests {
     }
 
     #[test]
+    fn periodic_vacuum_policy_reclaims_dead_versions() {
+        let eng = StorageEngine::with_config(
+            StorageKind::InMemory,
+            DurabilityConfig::NO_SYNC.with_vacuum_every(5),
+        )
+        .unwrap();
+        let table = eng
+            .create_table(TableSchema::new(
+                "t",
+                vec![
+                    ColumnDef::new("id", DataType::Int),
+                    ColumnDef::new("v", DataType::Int),
+                ],
+            ))
+            .unwrap();
+        eng.create_index(table, "t_pkey", &["id"]).unwrap();
+        // Churn: every commit supersedes a row, leaving a dead version.
+        let t0 = eng.begin().unwrap();
+        let mut row = eng
+            .insert(t0, table, vec![], vec![Datum::Int(1), Datum::Int(0)])
+            .unwrap();
+        eng.commit(t0).unwrap();
+        for round in 1..=20i64 {
+            let txn = eng.begin().unwrap();
+            row = eng
+                .update(
+                    txn,
+                    table,
+                    row,
+                    vec![],
+                    vec![Datum::Int(1), Datum::Int(round)],
+                )
+                .unwrap();
+            eng.commit(txn).unwrap();
+        }
+        let stats = eng.stats();
+        assert!(
+            stats.vacuums >= 3,
+            "policy vacuums every 5 commits: {stats:?}"
+        );
+        // Dead versions were reclaimed: the heap holds far fewer than the
+        // 21 versions written, and the index still finds the live row.
+        let mut versions = 0;
+        eng.table(table)
+            .unwrap()
+            .heap()
+            .scan(|_, _| {
+                versions += 1;
+                true
+            })
+            .unwrap();
+        assert!(versions < 5, "dead versions reclaimed, saw {versions}");
+        let hits = eng
+            .index_lookup(table, "t_pkey", &vec![Datum::Int(1)])
+            .unwrap();
+        let snap = eng.snapshot(eng.begin().unwrap());
+        let visible: Vec<_> = hits
+            .into_iter()
+            .filter(|r| eng.fetch_visible(&snap, table, *r).ok().flatten().is_some())
+            .collect();
+        assert_eq!(visible.len(), 1, "live row reachable through the index");
+    }
+
+    #[test]
+    fn concurrent_inserts_survive_auto_vacuum() {
+        // Regression for the vacuum/insert race: an insert whose heap write
+        // lands after vacuum's index-derivation scan must not have its
+        // index entry swept as stale (vacuum holds the index write lock
+        // across the fix-up, so inserters serialize with it).
+        let eng = Arc::new(
+            StorageEngine::with_config(
+                StorageKind::InMemory,
+                DurabilityConfig::NO_SYNC.with_vacuum_every(3),
+            )
+            .unwrap(),
+        );
+        let table = eng
+            .create_table(TableSchema::new(
+                "t",
+                vec![ColumnDef::new("id", DataType::Int)],
+            ))
+            .unwrap();
+        eng.create_index(table, "t_pkey", &["id"]).unwrap();
+        let writers = 4i64;
+        let per_writer = 50i64;
+        std::thread::scope(|scope| {
+            for w in 0..writers {
+                let eng = eng.clone();
+                scope.spawn(move || {
+                    for i in 0..per_writer {
+                        let id = w * 1_000 + i;
+                        let txn = eng.begin().unwrap();
+                        eng.insert(txn, table, vec![], vec![Datum::Int(id)])
+                            .unwrap();
+                        eng.commit(txn).unwrap();
+                        // Churn that gives vacuum something to reclaim.
+                        let txn = eng.begin().unwrap();
+                        eng.insert(txn, table, vec![], vec![Datum::Int(-id - 1)])
+                            .unwrap();
+                        eng.abort(txn).unwrap();
+                    }
+                });
+            }
+        });
+        assert!(eng.stats().vacuums > 0, "auto-vacuum ran during the load");
+        // Every committed row is reachable through the index.
+        for w in 0..writers {
+            for i in 0..per_writer {
+                let id = w * 1_000 + i;
+                let hits = eng
+                    .index_lookup(table, "t_pkey", &vec![Datum::Int(id)])
+                    .unwrap();
+                assert!(!hits.is_empty(), "row {id} lost from the index");
+            }
+        }
+    }
+
+    #[test]
     fn stats_reflect_activity() {
         let (eng, table) = engine_with_table();
         let txn = eng.begin().unwrap();
-        eng.insert(txn, table, vec![1, 2], vec![Datum::Int(1), Datum::from("x")])
-            .unwrap();
+        eng.insert(
+            txn,
+            table,
+            vec![1, 2],
+            vec![Datum::Int(1), Datum::from("x")],
+        )
+        .unwrap();
         eng.commit(txn).unwrap();
         visible_rows(&eng, table);
         let s = eng.stats();
@@ -1328,16 +1653,16 @@ mod tests {
         let rows = visible_rows(&eng, table);
         assert_eq!(rows.len(), 200);
         let s = eng.stats();
-        assert!(s.store_reads > 0, "small buffer pool must cause physical reads");
+        assert!(
+            s.store_reads > 0,
+            "small buffer pool must cause physical reads"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
     fn reopen_replays_committed_state_and_drops_inflight() {
-        let dir = std::env::temp_dir().join(format!(
-            "ifdb-engine-reopen-{}",
-            std::process::id()
-        ));
+        let dir = std::env::temp_dir().join(format!("ifdb-engine-reopen-{}", std::process::id()));
         std::fs::remove_dir_all(&dir).ok();
         {
             let eng = StorageEngine::with_config(
@@ -1371,8 +1696,13 @@ mod tests {
             eng.commit(committed).unwrap();
             // An in-flight transaction at "crash" time: must not survive.
             let inflight = eng.begin().unwrap();
-            eng.insert(inflight, table, vec![], vec![Datum::Int(99), Datum::from("ghost")])
-                .unwrap();
+            eng.insert(
+                inflight,
+                table,
+                vec![],
+                vec![Datum::Int(99), Datum::from("ghost")],
+            )
+            .unwrap();
             // Dropped without commit, abort, or flush.
         }
         let eng = StorageEngine::open(&dir, 8, DurabilityConfig::SYNC_EACH).unwrap();
@@ -1399,8 +1729,13 @@ mod tests {
         assert_eq!(hits.len(), 1);
         // New transactions never collide with logged ids.
         let fresh = eng.begin().unwrap();
-        eng.insert(fresh, t.id(), vec![], vec![Datum::Int(100), Datum::from("new")])
-            .unwrap();
+        eng.insert(
+            fresh,
+            t.id(),
+            vec![],
+            vec![Datum::Int(100), Datum::from("new")],
+        )
+        .unwrap();
         eng.commit(fresh).unwrap();
         assert_eq!(visible_rows(&eng, t.id()).len(), 11);
         std::fs::remove_dir_all(&dir).ok();
@@ -1413,10 +1748,8 @@ mod tests {
         // delete committed *after* such a recovery logs the new slot; a
         // second recovery must still apply it (open() re-anchors the log
         // with a checkpoint whenever ids were remapped).
-        let dir = std::env::temp_dir().join(format!(
-            "ifdb-engine-re-recovery-{}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("ifdb-engine-re-recovery-{}", std::process::id()));
         std::fs::remove_dir_all(&dir).ok();
         {
             let eng = StorageEngine::with_config(
@@ -1428,15 +1761,21 @@ mod tests {
             )
             .unwrap();
             let table = eng
-                .create_table(TableSchema::new("t", vec![ColumnDef::new("id", DataType::Int)]))
+                .create_table(TableSchema::new(
+                    "t",
+                    vec![ColumnDef::new("id", DataType::Int)],
+                ))
                 .unwrap();
             // The in-flight insert claims heap slot 0, shifting the
             // committed rows' recovered slots relative to their logged ids.
             let inflight = eng.begin().unwrap();
-            eng.insert(inflight, table, vec![], vec![Datum::Int(99)]).unwrap();
+            eng.insert(inflight, table, vec![], vec![Datum::Int(99)])
+                .unwrap();
             let committed = eng.begin().unwrap();
-            eng.insert(committed, table, vec![], vec![Datum::Int(1)]).unwrap();
-            eng.insert(committed, table, vec![], vec![Datum::Int(2)]).unwrap();
+            eng.insert(committed, table, vec![], vec![Datum::Int(1)])
+                .unwrap();
+            eng.insert(committed, table, vec![], vec![Datum::Int(2)])
+                .unwrap();
             eng.commit(committed).unwrap();
             // Crash with `inflight` still open.
         }
@@ -1453,14 +1792,19 @@ mod tests {
                 true
             })
             .unwrap();
-            eng.delete(txn, t.id(), victim.expect("row 1 recovered")).unwrap();
+            eng.delete(txn, t.id(), victim.expect("row 1 recovered"))
+                .unwrap();
             eng.commit(txn).unwrap();
             // Crash again.
         }
         let eng = StorageEngine::open(&dir, 8, DurabilityConfig::SYNC_EACH).unwrap();
         let t = eng.table_by_name("t").unwrap();
         let rows = visible_rows(&eng, t.id());
-        assert_eq!(rows, vec![vec![Datum::Int(2)]], "the committed delete holds");
+        assert_eq!(
+            rows,
+            vec![vec![Datum::Int(2)]],
+            "the committed delete holds"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -1469,46 +1813,8 @@ mod tests {
         // When a Commit append fails mid-fsync the frame may still be in
         // the log and become durable later; commit() then writes a
         // superseding Abort. Replay must side with the Abort.
-        let dir = std::env::temp_dir().join(format!(
-            "ifdb-engine-abort-wins-{}",
-            std::process::id()
-        ));
-        std::fs::remove_dir_all(&dir).ok();
-        {
-            let eng = StorageEngine::with_config(
-                StorageKind::OnDisk {
-                    dir: dir.clone(),
-                    buffer_pages: 8,
-                },
-                DurabilityConfig::SYNC_EACH,
-            )
-            .unwrap();
-            let table = eng
-                .create_table(TableSchema::new("t", vec![ColumnDef::new("id", DataType::Int)]))
-                .unwrap();
-            let keep = eng.begin().unwrap();
-            eng.insert(keep, table, vec![], vec![Datum::Int(1)]).unwrap();
-            eng.commit(keep).unwrap();
-            let failed = eng.begin().unwrap();
-            eng.insert(failed, table, vec![], vec![Datum::Int(2)]).unwrap();
-            eng.commit(failed).unwrap();
-            // Simulate the failure path's superseding record landing after
-            // the (durable-after-all) Commit frame.
-            eng.wal().append(LogRecord::Abort { txn: failed }).unwrap();
-        }
-        let eng = StorageEngine::open(&dir, 8, DurabilityConfig::SYNC_EACH).unwrap();
-        let t = eng.table_by_name("t").unwrap();
-        let rows = visible_rows(&eng, t.id());
-        assert_eq!(rows, vec![vec![Datum::Int(1)]], "the aborted-after-commit txn is dropped");
-        std::fs::remove_dir_all(&dir).ok();
-    }
-
-    #[test]
-    fn checkpoint_compacts_log_and_preserves_state() {
-        let dir = std::env::temp_dir().join(format!(
-            "ifdb-engine-ckpt-{}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("ifdb-engine-abort-wins-{}", std::process::id()));
         std::fs::remove_dir_all(&dir).ok();
         {
             let eng = StorageEngine::with_config(
@@ -1522,7 +1828,52 @@ mod tests {
             let table = eng
                 .create_table(TableSchema::new(
                     "t",
-                    vec![ColumnDef::new("id", DataType::Int), ColumnDef::new("v", DataType::Int)],
+                    vec![ColumnDef::new("id", DataType::Int)],
+                ))
+                .unwrap();
+            let keep = eng.begin().unwrap();
+            eng.insert(keep, table, vec![], vec![Datum::Int(1)])
+                .unwrap();
+            eng.commit(keep).unwrap();
+            let failed = eng.begin().unwrap();
+            eng.insert(failed, table, vec![], vec![Datum::Int(2)])
+                .unwrap();
+            eng.commit(failed).unwrap();
+            // Simulate the failure path's superseding record landing after
+            // the (durable-after-all) Commit frame.
+            eng.wal().append(LogRecord::Abort { txn: failed }).unwrap();
+        }
+        let eng = StorageEngine::open(&dir, 8, DurabilityConfig::SYNC_EACH).unwrap();
+        let t = eng.table_by_name("t").unwrap();
+        let rows = visible_rows(&eng, t.id());
+        assert_eq!(
+            rows,
+            vec![vec![Datum::Int(1)]],
+            "the aborted-after-commit txn is dropped"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn checkpoint_compacts_log_and_preserves_state() {
+        let dir = std::env::temp_dir().join(format!("ifdb-engine-ckpt-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        {
+            let eng = StorageEngine::with_config(
+                StorageKind::OnDisk {
+                    dir: dir.clone(),
+                    buffer_pages: 8,
+                },
+                DurabilityConfig::SYNC_EACH,
+            )
+            .unwrap();
+            let table = eng
+                .create_table(TableSchema::new(
+                    "t",
+                    vec![
+                        ColumnDef::new("id", DataType::Int),
+                        ColumnDef::new("v", DataType::Int),
+                    ],
                 ))
                 .unwrap();
             // Churn: every row is updated several times, so the raw history
@@ -1540,14 +1891,23 @@ mod tests {
                 let txn = eng.begin().unwrap();
                 for (i, row) in rows.iter_mut().enumerate() {
                     *row = eng
-                        .update(txn, table, *row, vec![], vec![Datum::Int(i as i64), Datum::Int(round)])
+                        .update(
+                            txn,
+                            table,
+                            *row,
+                            vec![],
+                            vec![Datum::Int(i as i64), Datum::Int(round)],
+                        )
                         .unwrap();
                 }
                 eng.commit(txn).unwrap();
             }
             let before = eng.wal().len();
             let image = eng.checkpoint().unwrap();
-            assert!(image < before, "image ({image}) smaller than history ({before})");
+            assert!(
+                image < before,
+                "image ({image}) smaller than history ({before})"
+            );
             assert_eq!(eng.stats().checkpoints, 1);
             // Checkpoint during an active transaction is refused.
             let busy = eng.begin().unwrap();
@@ -1563,10 +1923,12 @@ mod tests {
         let t = eng.table_by_name("t").unwrap();
         let rows = visible_rows(&eng, t.id());
         assert_eq!(rows.len(), 21);
-        assert!(rows
-            .iter()
-            .filter(|r| r[0] != Datum::Int(777))
-            .all(|r| r[1] == Datum::Int(5)), "latest version of each row survives");
+        assert!(
+            rows.iter()
+                .filter(|r| r[0] != Datum::Int(777))
+                .all(|r| r[1] == Datum::Int(5)),
+            "latest version of each row survives"
+        );
         // Replay is O(live + delta), far below the 140-record history.
         assert!(eng.stats().recovery_replayed_records < 40);
         std::fs::remove_dir_all(&dir).ok();
@@ -1574,10 +1936,8 @@ mod tests {
 
     #[test]
     fn periodic_checkpoint_policy_fires() {
-        let dir = std::env::temp_dir().join(format!(
-            "ifdb-engine-auto-ckpt-{}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("ifdb-engine-auto-ckpt-{}", std::process::id()));
         std::fs::remove_dir_all(&dir).ok();
         let eng = StorageEngine::with_config(
             StorageKind::OnDisk {
@@ -1588,24 +1948,28 @@ mod tests {
         )
         .unwrap();
         let table = eng
-            .create_table(TableSchema::new("t", vec![ColumnDef::new("id", DataType::Int)]))
+            .create_table(TableSchema::new(
+                "t",
+                vec![ColumnDef::new("id", DataType::Int)],
+            ))
             .unwrap();
         for i in 0..12 {
             let txn = eng.begin().unwrap();
             eng.insert(txn, table, vec![], vec![Datum::Int(i)]).unwrap();
             eng.commit(txn).unwrap();
         }
-        assert!(eng.stats().checkpoints >= 2, "policy checkpoints every 5 commits");
+        assert!(
+            eng.stats().checkpoints >= 2,
+            "policy checkpoints every 5 commits"
+        );
         assert_eq!(visible_rows(&eng, table).len(), 12);
         std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
     fn checkpoint_soon_defers_until_quiescent() {
-        let dir = std::env::temp_dir().join(format!(
-            "ifdb-engine-ckpt-soon-{}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("ifdb-engine-ckpt-soon-{}", std::process::id()));
         std::fs::remove_dir_all(&dir).ok();
         let eng = StorageEngine::with_config(
             StorageKind::OnDisk {
@@ -1616,7 +1980,10 @@ mod tests {
         )
         .unwrap();
         let table = eng
-            .create_table(TableSchema::new("t", vec![ColumnDef::new("id", DataType::Int)]))
+            .create_table(TableSchema::new(
+                "t",
+                vec![ColumnDef::new("id", DataType::Int)],
+            ))
             .unwrap();
         // Quiescent: runs immediately.
         assert!(eng.checkpoint_soon().unwrap());
@@ -1627,18 +1994,28 @@ mod tests {
         let t1 = eng.begin().unwrap();
         let t2 = eng.begin().unwrap();
         eng.insert(t1, table, vec![], vec![Datum::Int(1)]).unwrap();
-        assert!(!eng.checkpoint_soon().unwrap(), "deferred while txns active");
+        assert!(
+            !eng.checkpoint_soon().unwrap(),
+            "deferred while txns active"
+        );
         assert_eq!(eng.stats().checkpoints, 1);
         assert_eq!(eng.stats().checkpoints_deferred, 1);
         eng.commit(t1).unwrap();
         assert_eq!(eng.stats().checkpoints, 1, "still one txn active");
         eng.abort(t2).unwrap();
-        assert_eq!(eng.stats().checkpoints, 2, "drain settle ran the checkpoint");
+        assert_eq!(
+            eng.stats().checkpoints,
+            2,
+            "drain settle ran the checkpoint"
+        );
 
         // The checkpointed image is the live state.
         drop(eng);
         let eng = StorageEngine::open(&dir, 8, DurabilityConfig::SYNC_EACH).unwrap();
-        assert_eq!(visible_rows(&eng, eng.table_by_name("t").unwrap().id()).len(), 1);
+        assert_eq!(
+            visible_rows(&eng, eng.table_by_name("t").unwrap().id()).len(),
+            1
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -1646,10 +2023,8 @@ mod tests {
     fn auto_checkpoint_fires_under_sustained_overlapping_load() {
         use std::sync::atomic::AtomicBool;
 
-        let dir = std::env::temp_dir().join(format!(
-            "ifdb-engine-ckpt-load-{}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("ifdb-engine-ckpt-load-{}", std::process::id()));
         std::fs::remove_dir_all(&dir).ok();
         let eng = Arc::new(
             StorageEngine::with_config(
@@ -1662,7 +2037,10 @@ mod tests {
             .unwrap(),
         );
         let table = eng
-            .create_table(TableSchema::new("t", vec![ColumnDef::new("id", DataType::Int)]))
+            .create_table(TableSchema::new(
+                "t",
+                vec![ColumnDef::new("id", DataType::Int)],
+            ))
             .unwrap();
         // 4 writers keep transactions continuously overlapping, so the old
         // "only when already quiescent" policy would essentially never
@@ -1706,7 +2084,12 @@ mod tests {
         let (eng, table) = engine_with_table();
         let txn = eng.begin().unwrap();
         assert!(eng
-            .insert(txn, table, vec![], vec![Datum::from("wrong"), Datum::Int(1)])
+            .insert(
+                txn,
+                table,
+                vec![],
+                vec![Datum::from("wrong"), Datum::Int(1)]
+            )
             .is_err());
         assert!(eng.insert(txn, table, vec![], vec![Datum::Int(1)]).is_err());
         eng.abort(txn).unwrap();

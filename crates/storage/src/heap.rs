@@ -100,13 +100,15 @@ impl TableHeap {
         };
         for idx in candidates {
             let pid = pages[idx];
-            let inserted = self.buffer.with_page_mut(self.table_id, pid, self.store.as_ref(), |p| {
-                if p.fits(bytes.len()) {
-                    Some(p.insert(&bytes).expect("fits was checked"))
-                } else {
-                    None
-                }
-            })?;
+            let inserted =
+                self.buffer
+                    .with_page_mut(self.table_id, pid, self.store.as_ref(), |p| {
+                        if p.fits(bytes.len()) {
+                            Some(p.insert(&bytes).expect("fits was checked"))
+                        } else {
+                            None
+                        }
+                    })?;
             if let Some(slot) = inserted {
                 *hint = idx;
                 return Ok(RowId { page: pid.0, slot });
@@ -118,7 +120,9 @@ impl TableHeap {
         *hint = pages.len() - 1;
         let slot = self
             .buffer
-            .with_page_mut(self.table_id, pid, self.store.as_ref(), |p| p.insert(&bytes))??;
+            .with_page_mut(self.table_id, pid, self.store.as_ref(), |p| {
+                p.insert(&bytes)
+            })??;
         Ok(RowId { page: pid.0, slot })
     }
 
@@ -297,9 +301,7 @@ mod tests {
         for i in 0..6 {
             h.insert(&version(i, "row", vec![])).unwrap();
         }
-        let removed = h
-            .vacuum(|v| v.header.xmin.0 % 2 == 0)
-            .unwrap();
+        let removed = h.vacuum(|v| v.header.xmin.0 % 2 == 0).unwrap();
         assert_eq!(removed, 3);
         assert_eq!(h.version_count().unwrap(), 3);
     }
@@ -320,9 +322,7 @@ mod tests {
     fn survives_buffer_pressure_with_file_store() {
         let dir = std::env::temp_dir().join(format!("ifdb-heap-test-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
-        let store = Arc::new(
-            crate::store::FilePageStore::create(&dir.join("t.heap")).unwrap(),
-        );
+        let store = Arc::new(crate::store::FilePageStore::create(&dir.join("t.heap")).unwrap());
         // Tiny buffer pool: 2 pages, so scans must re-read from disk.
         let h = TableHeap::new(3, store, BufferPool::new(2));
         let big = "y".repeat(800);

@@ -39,6 +39,7 @@ pub mod heap;
 pub mod index;
 pub mod mvcc;
 pub mod page;
+pub mod replica;
 pub mod schema;
 pub mod stats;
 pub mod store;
@@ -51,10 +52,11 @@ pub use engine::{StorageEngine, StorageKind, TableId};
 pub use error::{StorageError, StorageResult};
 pub use heap::{RowId, TableHeap};
 pub use index::{HashIndex, IndexKey, OrderedIndex};
-pub use mvcc::{Snapshot, TransactionManager, TxnId, TxnStatus};
+pub use mvcc::{Snapshot, TransactionManager, TxnId, TxnStatus, REPLICA_LOCAL_TXN_BASE};
 pub use page::{Page, PageId, PAGE_SIZE};
+pub use replica::{AppliedBatch, ReplicaApplier};
 pub use schema::{ColumnDef, TableSchema};
 pub use stats::EngineStats;
 pub use tuple::{TupleData, TupleHeader, TupleVersion};
 pub use value::{DataType, Datum};
-pub use wal::{DurabilityConfig, LogRecord, Wal, WalRecovery};
+pub use wal::{DurabilityConfig, LogRecord, ReplicationBatch, Wal, WalRecovery};

@@ -30,6 +30,13 @@ pub struct TxnId(pub u64);
 /// explicit transaction (e.g. benchmark loaders).
 pub const BOOTSTRAP_TXN: TxnId = TxnId(0);
 
+/// Base of the id range used for *local* transactions on a read replica.
+/// Transactions replicated from a primary keep their primary-assigned ids
+/// (small, monotonic from 1); a replica's own read transactions allocate
+/// from this disjoint high range so the two can never collide no matter how
+/// far the primary's id space grows.
+pub const REPLICA_LOCAL_TXN_BASE: u64 = 1 << 62;
+
 impl fmt::Display for TxnId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "txn{}", self.0)
@@ -56,11 +63,20 @@ pub struct Snapshot {
     pub horizon: TxnId,
     /// Transactions that were in progress when the snapshot was taken.
     pub active: HashSet<TxnId>,
+    /// The commit counter at snapshot time: only transactions whose commit
+    /// stamp is below this are visible. The id-based `horizon`/`active`
+    /// tests cannot fence transactions whose ids lie outside the local
+    /// allocation order — on a read replica, transactions stream in with
+    /// the *primary's* (small) ids and commit whenever their `Commit`
+    /// record applies, so without the commit floor a commit applied
+    /// mid-scan would become visible part-way through and tear the read.
+    pub commit_floor: u64,
 }
 
 impl Snapshot {
-    /// Returns `true` if the effects of `other` are visible to this snapshot.
-    pub fn sees(&self, other: TxnId, status: TxnStatus) -> bool {
+    /// Returns `true` if the effects of `other` (with the given status and
+    /// commit stamp) are visible to this snapshot.
+    pub fn sees(&self, other: TxnId, status: TxnStatus, commit_stamp: u64) -> bool {
         if other == self.txn {
             return true;
         }
@@ -73,21 +89,54 @@ impl Snapshot {
         if self.active.contains(&other) {
             return false;
         }
-        status == TxnStatus::Committed
+        status == TxnStatus::Committed && commit_stamp < self.commit_floor
     }
 }
 
 /// Transaction table: status map plus the set of transactions currently
 /// mid-commit. Both live under one lock so the active→committing transition
 /// of [`TransactionManager::begin_commit`] is atomic.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct TxnTable {
     status: HashMap<TxnId, TxnStatus>,
+    /// `next_commit_stamp` as of each in-progress transaction's begin: the
+    /// earliest commit floor any snapshot that transaction takes can carry.
+    /// Vacuum reclaims a deleted version only when the deleter's commit
+    /// stamp is below every active transaction's begin floor.
+    begin_floors: HashMap<TxnId, u64>,
     /// Transactions whose commit record is being written: still `InProgress`
     /// for visibility (the record may not be durable yet), but claimed — no
     /// second commit and no abort may race with the record hitting the
     /// device.
     committing: HashSet<TxnId>,
+    /// Commit-order stamps: assigned from `next_commit_stamp` under this
+    /// lock the moment a transaction becomes `Committed`, so stamp order is
+    /// exactly commit-visibility order. Transactions recovered as committed
+    /// have no entry and report stamp 0 — before every snapshot of this
+    /// incarnation.
+    commit_stamps: HashMap<TxnId, u64>,
+    /// The next commit stamp; also the `commit_floor` handed to snapshots.
+    next_commit_stamp: u64,
+}
+
+impl Default for TxnTable {
+    fn default() -> Self {
+        TxnTable {
+            status: HashMap::new(),
+            begin_floors: HashMap::new(),
+            committing: HashSet::new(),
+            commit_stamps: HashMap::new(),
+            next_commit_stamp: 1,
+        }
+    }
+}
+
+impl TxnTable {
+    fn stamp_commit(&mut self, txn: TxnId) {
+        let stamp = self.next_commit_stamp;
+        self.next_commit_stamp += 1;
+        self.commit_stamps.insert(txn, stamp);
+    }
 }
 
 /// The transaction manager: id allocation, status tracking, snapshots.
@@ -122,6 +171,8 @@ impl TransactionManager {
         let id = TxnId(self.next_id.fetch_add(1, Ordering::SeqCst));
         let mut table = self.table.write();
         table.status.insert(id, TxnStatus::InProgress);
+        let floor = table.next_commit_stamp;
+        table.begin_floors.insert(id, floor);
         self.active.fetch_add(1, Ordering::SeqCst);
         id
     }
@@ -144,8 +195,7 @@ impl TransactionManager {
     /// commit record with only one of them winning the in-memory transition.
     pub fn begin_commit(&self, txn: TxnId) -> StorageResult<()> {
         let mut table = self.table.write();
-        if table.status.get(&txn) != Some(&TxnStatus::InProgress) || !table.committing.insert(txn)
-        {
+        if table.status.get(&txn) != Some(&TxnStatus::InProgress) || !table.committing.insert(txn) {
             return Err(StorageError::InvalidTransaction(txn.0));
         }
         Ok(())
@@ -166,6 +216,8 @@ impl TransactionManager {
             return Err(StorageError::InvalidTransaction(txn.0));
         }
         table.status.insert(txn, TxnStatus::Committed);
+        table.stamp_commit(txn);
+        table.begin_floors.remove(&txn);
         self.active.fetch_sub(1, Ordering::SeqCst);
         Ok(())
     }
@@ -180,6 +232,10 @@ impl TransactionManager {
         match table.status.get(&txn) {
             Some(TxnStatus::InProgress) => {
                 table.status.insert(txn, to);
+                if to == TxnStatus::Committed {
+                    table.stamp_commit(txn);
+                }
+                table.begin_floors.remove(&txn);
                 self.active.fetch_sub(1, Ordering::SeqCst);
                 Ok(())
             }
@@ -201,6 +257,23 @@ impl TransactionManager {
             .unwrap_or(TxnStatus::Aborted)
     }
 
+    /// The status of a transaction together with its commit stamp (0 when
+    /// not committed, or committed before this incarnation — i.e. before
+    /// every snapshot's commit floor).
+    pub fn commit_info(&self, txn: TxnId) -> (TxnStatus, u64) {
+        if txn == BOOTSTRAP_TXN {
+            return (TxnStatus::Committed, 0);
+        }
+        let table = self.table.read();
+        let status = table
+            .status
+            .get(&txn)
+            .copied()
+            .unwrap_or(TxnStatus::Aborted);
+        let stamp = table.commit_stamps.get(&txn).copied().unwrap_or(0);
+        (status, stamp)
+    }
+
     /// Returns `true` if the transaction is currently in progress.
     pub fn is_active(&self, txn: TxnId) -> bool {
         self.status(txn) == TxnStatus::InProgress
@@ -220,6 +293,7 @@ impl TransactionManager {
             txn,
             horizon,
             active,
+            commit_floor: table.next_commit_stamp,
         }
     }
 
@@ -228,12 +302,16 @@ impl TransactionManager {
     /// A version is visible iff its inserting transaction is visible and its
     /// deleting transaction (if any) is not.
     pub fn is_visible(&self, snapshot: &Snapshot, header: &TupleHeader) -> bool {
-        if !snapshot.sees(header.xmin, self.status(header.xmin)) {
+        let (xmin_status, xmin_stamp) = self.commit_info(header.xmin);
+        if !snapshot.sees(header.xmin, xmin_status, xmin_stamp) {
             return false;
         }
         match header.xmax {
             None => true,
-            Some(xmax) => !snapshot.sees(xmax, self.status(xmax)),
+            Some(xmax) => {
+                let (status, stamp) = self.commit_info(xmax);
+                !snapshot.sees(xmax, status, stamp)
+            }
         }
     }
 
@@ -244,19 +322,21 @@ impl TransactionManager {
         let Some(xmax) = header.xmax else {
             return false;
         };
-        if self.status(xmax) != TxnStatus::Committed {
+        let table = self.table.read();
+        if table.status.get(&xmax).copied() != Some(TxnStatus::Committed) && xmax != BOOTSTRAP_TXN {
             return false;
         }
-        let table = self.table.read();
-        let oldest_active = table
-            .status
-            .iter()
-            .filter(|(_, s)| **s == TxnStatus::InProgress)
-            .map(|(id, _)| *id)
-            .min();
-        match oldest_active {
+        // The deleter must have committed before every active transaction
+        // *began* (commit stamp below every begin floor): only then can no
+        // current — or future — snapshot of an active transaction still see
+        // the old version. Comparing transaction ids instead would be
+        // wrong: a lower id only means an earlier begin, and a reader that
+        // began while the deleter was still in progress must keep seeing
+        // the pre-delete version for its whole lifetime.
+        let stamp = table.commit_stamps.get(&xmax).copied().unwrap_or(0);
+        match table.begin_floors.values().copied().min() {
             None => true,
-            Some(oldest) => xmax < oldest,
+            Some(min_floor) => stamp < min_floor,
         }
     }
 
@@ -268,6 +348,91 @@ impl TransactionManager {
     /// Number of transactions currently in progress. O(1).
     pub fn active_count(&self) -> u64 {
         self.active.load(Ordering::SeqCst)
+    }
+
+    /// Registers a transaction replicated from a primary as in progress.
+    /// Unlike [`TransactionManager::begin`], the id is the primary's — the
+    /// local allocator is untouched (replica-local transactions live in the
+    /// disjoint [`REPLICA_LOCAL_TXN_BASE`] range). Idempotent.
+    pub fn begin_replicated(&self, txn: TxnId) {
+        if txn == BOOTSTRAP_TXN {
+            return;
+        }
+        let mut table = self.table.write();
+        if table.status.insert(txn, TxnStatus::InProgress).is_none() {
+            let floor = table.next_commit_stamp;
+            table.begin_floors.insert(txn, floor);
+            self.active.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    /// Marks a replicated transaction committed, making its tuple versions
+    /// visible to new replica snapshots. Tolerates a missing `Begin` (e.g. a
+    /// checkpoint image raced the stream): the status is installed either
+    /// way.
+    pub fn commit_replicated(&self, txn: TxnId) {
+        self.finish_replicated(txn, TxnStatus::Committed)
+    }
+
+    /// Marks a replicated transaction aborted. Also overrides an earlier
+    /// replicated commit, mirroring the replay rule that a superseding
+    /// `Abort` record wins.
+    pub fn abort_replicated(&self, txn: TxnId) {
+        self.finish_replicated(txn, TxnStatus::Aborted)
+    }
+
+    fn finish_replicated(&self, txn: TxnId, to: TxnStatus) {
+        if txn == BOOTSTRAP_TXN {
+            return;
+        }
+        let mut table = self.table.write();
+        if table.status.insert(txn, to) == Some(TxnStatus::InProgress) {
+            self.active.fetch_sub(1, Ordering::SeqCst);
+        }
+        if to == TxnStatus::Committed {
+            // The stamp makes the commit visible only to snapshots taken
+            // from here on — a replica read mid-scan keeps its consistent
+            // view even as the stream applies commits under it.
+            table.stamp_commit(txn);
+        } else {
+            // Abort overriding an earlier replicated commit: withdraw the
+            // stamp with the status.
+            table.commit_stamps.remove(&txn);
+        }
+        table.begin_floors.remove(&txn);
+    }
+
+    /// Moves local id allocation to at least `base`. Called once when an
+    /// engine is put into replica mode, with [`REPLICA_LOCAL_TXN_BASE`], so
+    /// replica-local read transactions can never collide with ids arriving
+    /// on the replication stream.
+    pub fn reserve_local_ids(&self, base: u64) {
+        self.next_id.fetch_max(base, Ordering::SeqCst);
+    }
+
+    /// Discards every transaction's status (replica reset before a fresh
+    /// bootstrap). The id allocator is left alone so snapshots handed out
+    /// before the reset stay internally consistent.
+    pub fn clear_for_reset(&self) {
+        let mut table = self.table.write();
+        // Only *replicated* statuses are discarded. Replica-local read
+        // transactions (ids in the reserved high range) survive the reset:
+        // a client holding one open across a stream reset must still be
+        // able to commit it.
+        let cleared_active = table
+            .status
+            .iter()
+            .filter(|(id, s)| id.0 < REPLICA_LOCAL_TXN_BASE && **s == TxnStatus::InProgress)
+            .count() as u64;
+        table.status.retain(|id, _| id.0 >= REPLICA_LOCAL_TXN_BASE);
+        table.committing.retain(|id| id.0 >= REPLICA_LOCAL_TXN_BASE);
+        table
+            .begin_floors
+            .retain(|id, _| id.0 >= REPLICA_LOCAL_TXN_BASE);
+        table
+            .commit_stamps
+            .retain(|id, _| id.0 >= REPLICA_LOCAL_TXN_BASE);
+        self.active.fetch_sub(cleared_active, Ordering::SeqCst);
     }
 
     /// Restores transaction-manager state after WAL replay: every
@@ -404,12 +569,90 @@ mod tests {
     }
 
     #[test]
+    fn reset_clears_replicated_but_keeps_local_txns() {
+        let mgr = TransactionManager::new();
+        mgr.reserve_local_ids(REPLICA_LOCAL_TXN_BASE);
+        // A replicated stream's transactions...
+        mgr.begin_replicated(TxnId(5));
+        mgr.begin_replicated(TxnId(6));
+        mgr.commit_replicated(TxnId(5));
+        // ...and a replica-local read transaction open across the reset.
+        let local = mgr.begin();
+        assert!(local.0 >= REPLICA_LOCAL_TXN_BASE);
+        assert_eq!(mgr.active_count(), 2);
+        mgr.clear_for_reset();
+        // Replicated statuses gone (unknown ⇒ aborted), local one intact.
+        assert_eq!(mgr.status(TxnId(5)), TxnStatus::Aborted);
+        assert_eq!(mgr.status(TxnId(6)), TxnStatus::Aborted);
+        assert_eq!(mgr.status(local), TxnStatus::InProgress);
+        assert_eq!(mgr.active_count(), 1);
+        mgr.commit(local).unwrap();
+        assert_eq!(mgr.status(local), TxnStatus::Committed);
+        assert_eq!(mgr.active_count(), 0);
+    }
+
+    #[test]
     fn bootstrap_always_committed() {
         let mgr = TransactionManager::new();
         assert_eq!(mgr.status(BOOTSTRAP_TXN), TxnStatus::Committed);
         let r = mgr.begin();
         let snap = mgr.snapshot(r);
         assert!(mgr.is_visible(&snap, &header(BOOTSTRAP_TXN, None)));
+    }
+
+    #[test]
+    fn replicated_commit_applied_mid_snapshot_stays_invisible() {
+        // Regression: on a replica, transactions stream in with small
+        // (primary) ids that the id-based horizon cannot fence. A commit
+        // applied after a snapshot was taken must stay invisible to that
+        // snapshot, or a single primary transaction could be read torn.
+        let mgr = TransactionManager::new();
+        mgr.reserve_local_ids(REPLICA_LOCAL_TXN_BASE);
+        let reader = mgr.begin();
+        let snap = mgr.snapshot(reader);
+        // The stream now delivers Begin/Commit for primary txn 7.
+        mgr.begin_replicated(TxnId(7));
+        assert!(!mgr.is_visible(&snap, &header(TxnId(7), None)));
+        mgr.commit_replicated(TxnId(7));
+        assert!(
+            !mgr.is_visible(&snap, &header(TxnId(7), None)),
+            "commit applied mid-snapshot must not become visible"
+        );
+        // A fresh snapshot sees it.
+        let snap2 = mgr.snapshot(mgr.begin());
+        assert!(mgr.is_visible(&snap2, &header(TxnId(7), None)));
+        // And a replicated delete applied mid-snapshot keeps the row
+        // visible to the old snapshot.
+        mgr.begin_replicated(TxnId(8));
+        mgr.commit_replicated(TxnId(8));
+        assert!(mgr.is_visible(&snap, &header(BOOTSTRAP_TXN, Some(TxnId(8)))));
+        assert!(!mgr.is_visible(
+            &mgr.snapshot(mgr.begin()),
+            &header(BOOTSTRAP_TXN, Some(TxnId(8)))
+        ));
+    }
+
+    #[test]
+    fn vacuum_spares_versions_visible_to_overlapping_readers() {
+        // Regression: a reader that began while the deleter was still in
+        // progress must keep its pre-delete version — comparing transaction
+        // ids (begin order) instead of commit stamps would reclaim it.
+        let mgr = TransactionManager::new();
+        let deleter = mgr.begin();
+        let reader = mgr.begin(); // begins after the deleter, id is larger
+        let snap = mgr.snapshot(reader);
+        mgr.commit(deleter).unwrap();
+        let h = header(BOOTSTRAP_TXN, Some(deleter));
+        assert!(
+            mgr.is_visible(&snap, &h),
+            "reader's snapshot predates the delete commit"
+        );
+        assert!(
+            !mgr.is_dead_for_all(&h),
+            "version still needed by the overlapping reader"
+        );
+        mgr.commit(reader).unwrap();
+        assert!(mgr.is_dead_for_all(&h), "reclaimable once the reader ends");
     }
 
     #[test]

@@ -108,7 +108,9 @@ impl Page {
     pub fn free_space(&self) -> usize {
         let dir_end = HEADER_SIZE + self.slot_count_raw() as usize * SLOT_ENTRY_SIZE;
         let free_end = self.free_end() as usize;
-        free_end.saturating_sub(dir_end).saturating_sub(SLOT_ENTRY_SIZE)
+        free_end
+            .saturating_sub(dir_end)
+            .saturating_sub(SLOT_ENTRY_SIZE)
     }
 
     /// Returns `true` if a tuple of `len` bytes fits.

@@ -48,6 +48,13 @@ pub struct EngineStats {
     /// to the next quiescent point
     /// ([`crate::engine::StorageEngine::checkpoint_soon`]).
     pub checkpoints_deferred: u64,
+    /// Vacuum passes run (manual or via the periodic
+    /// [`crate::wal::DurabilityConfig::with_vacuum_every`] policy).
+    pub vacuums: u64,
+    /// Log records applied from a primary's replication stream
+    /// ([`crate::engine::StorageEngine::apply_replicated`]); zero unless
+    /// this engine is a replica.
+    pub replica_records_applied: u64,
     /// Physical page reads performed by page stores.
     pub store_reads: u64,
     /// Physical page writes performed by page stores.

@@ -121,9 +121,7 @@ impl TupleVersion {
 
     /// Total encoded size in bytes.
     pub fn encoded_len(&self) -> usize {
-        self.header.encoded_len()
-            + 2
-            + self.data.iter().map(|d| 5 + d.encoded_len()).sum::<usize>()
+        self.header.encoded_len() + 2 + self.data.iter().map(|d| 5 + d.encoded_len()).sum::<usize>()
     }
 }
 

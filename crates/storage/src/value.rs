@@ -208,9 +208,7 @@ impl Datum {
             2 => Datum::Float(f64::from_bits(u64::from_le_bytes(
                 payload.try_into().map_err(|_| corrupt("bad float"))?,
             ))),
-            3 => Datum::Text(
-                String::from_utf8(payload.to_vec()).map_err(|_| corrupt("bad utf8"))?,
-            ),
+            3 => Datum::Text(String::from_utf8(payload.to_vec()).map_err(|_| corrupt("bad utf8"))?),
             4 => Datum::Bool(payload.first().copied().unwrap_or(0) != 0),
             5 => Datum::Timestamp(i64::from_le_bytes(
                 payload.try_into().map_err(|_| corrupt("bad timestamp"))?,
@@ -268,12 +266,13 @@ impl Datum {
 /// Total order on floats: the usual IEEE order, with every NaN equal to
 /// every other NaN and greater than every number (NaN sorts last).
 fn cmp_f64_total(a: f64, b: f64) -> Ordering {
-    a.partial_cmp(&b).unwrap_or_else(|| match (a.is_nan(), b.is_nan()) {
-        (true, true) => Ordering::Equal,
-        (true, false) => Ordering::Greater,
-        (false, true) => Ordering::Less,
-        (false, false) => unreachable!("partial_cmp on non-NaN floats"),
-    })
+    a.partial_cmp(&b)
+        .unwrap_or_else(|| match (a.is_nan(), b.is_nan()) {
+            (true, true) => Ordering::Equal,
+            (true, false) => Ordering::Greater,
+            (false, true) => Ordering::Less,
+            (false, false) => unreachable!("partial_cmp on non-NaN floats"),
+        })
 }
 
 /// Exact mathematical comparison of an `i64` against an `f64`, without the

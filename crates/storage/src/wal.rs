@@ -19,6 +19,30 @@
 //!   wakes the others. N concurrent committers share one fsync, which is
 //!   where the ≥2× commit-throughput win of `bench_pr3` comes from.
 //!
+//! # Replication stream
+//!
+//! Every record carries an implicit, monotonically increasing **sequence
+//! number** that survives checkpoint rewrites: the first record ever
+//! appended is seq 1, and a checkpoint image's records continue the
+//! numbering where the replaced history left off. [`Wal::read_replication_batch`]
+//! serves the log as a resumable stream for log-shipping replicas:
+//!
+//! * a replica that has applied through seq `S` polls with `from_seq = S+1`
+//!   and receives the records it is missing;
+//! * if the requested records were compacted away by a checkpoint, the
+//!   reply demands a **reset**: the replica discards its state and
+//!   re-bootstraps from the checkpoint image at the head of the log (the
+//!   "checkpoint-anchored snapshot");
+//! * a replica that was exactly caught up when the primary checkpointed
+//!   skips the image silently — the image describes state it already has;
+//! * on engines with `sync_on_commit`, records past the last fsync are
+//!   withheld, so a replica can never apply a commit the primary could
+//!   still lose to a crash.
+//!
+//! [`Wal::epoch`] identifies one incarnation of the log; a primary restart
+//! starts a new epoch (sequence numbers restart), which tells replicas to
+//! re-bootstrap rather than trust stale watermarks.
+//!
 //! # Example
 //!
 //! ```
@@ -52,7 +76,7 @@
 use std::fs::{File, OpenOptions};
 use std::io::{BufWriter, Read, Write};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex as StdMutex};
 
 use parking_lot::Mutex;
@@ -76,6 +100,10 @@ pub struct DurabilityConfig {
     pub group_commit: bool,
     /// If set, the engine checkpoints automatically after this many commits.
     pub checkpoint_every_commits: Option<u64>,
+    /// If set, the engine vacuums automatically after this many commits
+    /// (reclaiming tuple versions no snapshot can see), so long-running
+    /// servers do not accumulate dead versions until an operator intervenes.
+    pub vacuum_every_commits: Option<u64>,
 }
 
 impl Default for DurabilityConfig {
@@ -90,6 +118,7 @@ impl DurabilityConfig {
         sync_on_commit: false,
         group_commit: false,
         checkpoint_every_commits: None,
+        vacuum_every_commits: None,
     };
 
     /// Every commit pays its own flush+fsync.
@@ -97,6 +126,7 @@ impl DurabilityConfig {
         sync_on_commit: true,
         group_commit: false,
         checkpoint_every_commits: None,
+        vacuum_every_commits: None,
     };
 
     /// Commits are durable and concurrent committers share fsyncs.
@@ -104,12 +134,23 @@ impl DurabilityConfig {
         sync_on_commit: true,
         group_commit: true,
         checkpoint_every_commits: None,
+        vacuum_every_commits: None,
     };
 
     /// Adds a periodic-checkpoint policy: the engine checkpoints after every
     /// `commits` commits (skipped when transactions are still active).
     pub fn with_checkpoint_every(mut self, commits: u64) -> Self {
         self.checkpoint_every_commits = Some(commits);
+        self
+    }
+
+    /// Adds a periodic-vacuum policy: the engine vacuums after every
+    /// `commits` commits, from the same settle path that serves deferred
+    /// checkpoints, so dead versions (aborted inserts, superseded updates)
+    /// are reclaimed without an operator calling
+    /// [`crate::engine::StorageEngine::vacuum`] manually.
+    pub fn with_vacuum_every(mut self, commits: u64) -> Self {
+        self.vacuum_every_commits = Some(commits);
         self
     }
 }
@@ -219,9 +260,43 @@ struct GroupState {
     flushing: bool,
 }
 
+/// The in-memory record mirror, with replication sequence numbering.
+///
+/// Record `records[i]` has sequence number `base_seq + i`; the numbering is
+/// monotonic across checkpoint rewrites (the image's records continue where
+/// the replaced history stopped), so a replica's applied-seq watermark stays
+/// meaningful across primary checkpoints.
+pub(crate) struct Mirror {
+    pub(crate) records: Vec<LogRecord>,
+    /// Sequence number of `records[0]`. Starts at 1; jumps forward on every
+    /// checkpoint rewrite.
+    base_seq: u64,
+    /// How many records at the head of the mirror form a checkpoint image
+    /// (0 when the log has never been rewritten in this incarnation).
+    image_len: usize,
+}
+
+/// One batch of the replication stream, served by
+/// [`Wal::read_replication_batch`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplicationBatch {
+    /// `true` when the requested position was compacted away (or never
+    /// existed in this log incarnation): the replica must discard its state
+    /// and re-apply from scratch, starting with this batch — the checkpoint
+    /// image at the head of the log.
+    pub reset: bool,
+    /// Sequence number of `records[0]`.
+    pub first_seq: u64,
+    /// Highest sequence number currently served by this log (`0` when
+    /// empty). The replica's lag is `end_seq - applied_seq`.
+    pub end_seq: u64,
+    /// The records, in sequence order. Empty when the replica is caught up.
+    pub records: Vec<LogRecord>,
+}
+
 /// The write-ahead log.
 pub struct Wal {
-    records: Mutex<Vec<LogRecord>>,
+    mirror: Mutex<Mirror>,
     sink: Mutex<Sink>,
     path: Option<PathBuf>,
     bytes_written: AtomicU64,
@@ -231,16 +306,42 @@ pub struct Wal {
     group_cvar: Condvar,
     fsyncs: AtomicU64,
     commits_batched: AtomicU64,
+    /// Identifies this incarnation of the log for replication: a replica
+    /// that sees the epoch change knows the sequence numbering restarted
+    /// (primary restart) and re-bootstraps instead of trusting its
+    /// watermark.
+    epoch: u64,
+    /// When set, appends are dropped entirely. A read replica's engine is
+    /// fed by the *primary's* log; its own log is never read for recovery
+    /// or replication, and without discarding, every replica-local read
+    /// transaction's Begin/Commit would accumulate in the in-memory mirror
+    /// forever.
+    discard: AtomicBool,
 }
 
 impl std::fmt::Debug for Wal {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Wal")
-            .field("records", &self.records.lock().len())
+            .field("records", &self.mirror.lock().records.len())
             .field("bytes_written", &self.bytes_written.load(Ordering::Relaxed))
             .field("fsyncs", &self.fsyncs.load(Ordering::Relaxed))
             .finish()
     }
+}
+
+/// A unique-enough id for one log incarnation: wall-clock nanoseconds mixed
+/// with a per-process counter, so two logs created in the same nanosecond
+/// (or on a clock that went backwards) still differ.
+fn new_epoch() -> u64 {
+    use std::time::{SystemTime, UNIX_EPOCH};
+    static COUNTER: AtomicU64 = AtomicU64::new(0x9E37_79B9);
+    let nanos = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    let salt = COUNTER.fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed);
+    // Never 0: 0 is the "no epoch yet" sentinel on the replica side.
+    (nanos ^ salt.rotate_left(17)) | 1
 }
 
 impl Wal {
@@ -251,21 +352,36 @@ impl Wal {
         records: Vec<LogRecord>,
         bytes: u64,
     ) -> Self {
+        // Records loaded from an existing file are durable by definition.
+        let durable = records.len() as u64;
         Wal {
-            records: Mutex::new(records),
+            mirror: Mutex::new(Mirror {
+                records,
+                base_seq: 1,
+                image_len: 0,
+            }),
             sink: Mutex::new(sink),
             path,
             bytes_written: AtomicU64::new(bytes),
             sync_on_commit: durability.sync_on_commit,
             group_commit: durability.group_commit,
             group: StdMutex::new(GroupState {
-                durable_seq: 0,
+                durable_seq: durable,
                 flushing: false,
             }),
             group_cvar: Condvar::new(),
             fsyncs: AtomicU64::new(0),
             commits_batched: AtomicU64::new(0),
+            epoch: new_epoch(),
+            discard: AtomicBool::new(false),
         }
+    }
+
+    /// Turns the log into a sink that drops every append. Only sensible for
+    /// an engine whose log is never read back — a read replica, whose state
+    /// is a cache of its *primary's* log (see the field docs on `discard`).
+    pub fn set_discard(&self, on: bool) {
+        self.discard.store(on, Ordering::Release);
     }
 
     /// Creates an in-memory log (no file backing).
@@ -369,12 +485,19 @@ impl Wal {
     /// once the commit record is on the device, either via its own fsync or
     /// via a group-commit leader's.
     pub fn append(&self, record: LogRecord) -> StorageResult<()> {
+        if self.discard.load(Ordering::Acquire) {
+            return Ok(());
+        }
         let encoded = Self::encode(&record);
         self.bytes_written
             .fetch_add(encoded.len() as u64 + 8, Ordering::Relaxed);
         let is_commit = matches!(record, LogRecord::Commit { .. });
         let mut my_seq = 0u64;
+        let mut synced_seq = 0u64;
         {
+            // The mirror is pushed while the sink lock is still held so the
+            // replication stream's record order always matches the file's
+            // (lock order sink → mirror, same as rewrite_with).
             let mut sink = self.sink.lock();
             if let Sink::File { w, appended_seq } = &mut *sink {
                 write_frame(w, &encoded)?;
@@ -386,14 +509,26 @@ impl Wal {
                     w.flush()?;
                     w.get_ref().sync_data()?;
                     self.fsyncs.fetch_add(1, Ordering::Relaxed);
+                    synced_seq = my_seq;
                 }
             }
+            self.mirror.lock().records.push(record);
         }
-        self.records.lock().push(record);
+        if synced_seq > 0 {
+            self.note_durable(synced_seq);
+        }
         if is_commit && self.sync_on_commit && self.group_commit && my_seq > 0 {
             self.group_commit_wait(my_seq)?;
         }
         Ok(())
+    }
+
+    /// Records that every sequence number up to `seq` has reached the
+    /// device. The replication stream of a `sync_on_commit` log only serves
+    /// records at or below this point.
+    fn note_durable(&self, seq: u64) {
+        let mut state = self.group.lock().expect("group lock poisoned");
+        state.durable_seq = state.durable_seq.max(seq);
     }
 
     /// Leader/follower group commit: wait until `seq` is durable, electing
@@ -425,26 +560,29 @@ impl Wal {
                 debug_assert!(state.durable_seq >= seq, "leader flush covers own record");
                 return Ok(());
             }
-            state = self
-                .group_cvar
-                .wait(state)
-                .expect("group lock poisoned");
+            state = self.group_cvar.wait(state).expect("group lock poisoned");
         }
     }
 
     /// Flushes the buffered writer and fsyncs the file, returning the highest
     /// sequence number the flush covered.
     fn flush_and_sync(&self) -> StorageResult<u64> {
-        let mut sink = self.sink.lock();
-        if let Sink::File { w, appended_seq } = &mut *sink {
-            let covered = *appended_seq;
-            w.flush()?;
-            w.get_ref().sync_data()?;
-            self.fsyncs.fetch_add(1, Ordering::Relaxed);
-            Ok(covered)
-        } else {
-            Ok(0)
+        let covered = {
+            let mut sink = self.sink.lock();
+            if let Sink::File { w, appended_seq } = &mut *sink {
+                let covered = *appended_seq;
+                w.flush()?;
+                w.get_ref().sync_data()?;
+                self.fsyncs.fetch_add(1, Ordering::Relaxed);
+                covered
+            } else {
+                0
+            }
+        };
+        if covered > 0 {
+            self.note_durable(covered);
         }
+        Ok(covered)
     }
 
     /// Atomically replaces the log contents with the records produced by
@@ -462,9 +600,18 @@ impl Wal {
         let mut sink = self.sink.lock();
         let records = image()?;
         let count = records.len();
+        // The image's records continue the sequence numbering where the
+        // replaced history stopped: replicas that were caught up keep their
+        // watermarks, replicas that were behind are told to re-bootstrap.
+        let install_mirror = |records: Vec<LogRecord>| {
+            let mut mirror = self.mirror.lock();
+            mirror.base_seq += mirror.records.len() as u64;
+            mirror.image_len = records.len();
+            mirror.records = records;
+        };
         match &mut *sink {
             Sink::Memory => {
-                *self.records.lock() = records;
+                install_mirror(records);
             }
             Sink::File { w, appended_seq } => {
                 let path = self.path.as_ref().expect("file sink always has a path");
@@ -494,12 +641,94 @@ impl Wal {
                 // appended_seq stays monotonic across rewrites so group-commit
                 // waiters from before the rewrite remain satisfied.
                 *appended_seq += count as u64;
+                let durable_through = *appended_seq;
                 *w = BufWriter::new(file);
                 self.bytes_written.fetch_add(bytes, Ordering::Relaxed);
-                *self.records.lock() = records;
+                install_mirror(records);
+                // The image was fsynced and renamed: everything it contains
+                // is durable, so the replication stream may serve it.
+                self.note_durable(durable_through);
             }
         }
         Ok(count)
+    }
+
+    /// Identifies this incarnation of the log. Sequence numbers are only
+    /// comparable within one epoch; see the [module docs](self).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Sequence number of the last record appended in this incarnation
+    /// (0 when nothing has been logged yet). Monotonic across checkpoint
+    /// rewrites.
+    pub fn last_seq(&self) -> u64 {
+        let mirror = self.mirror.lock();
+        mirror.base_seq + mirror.records.len() as u64 - 1
+    }
+
+    /// Serves one batch of the replication stream starting at `from_seq`
+    /// (1-based; a fresh replica passes 0 or 1), with at most `max` records.
+    ///
+    /// The reply's `reset` flag is the snapshot-bootstrap signal: it is set
+    /// when `from_seq` refers to records this log no longer holds (compacted
+    /// by a checkpoint, or from a different incarnation), and the batch then
+    /// starts at the head of the log — the checkpoint image, whose replay
+    /// rebuilds the full state. A replica that was exactly caught up when a
+    /// checkpoint rewrote the log does *not* reset: the image describes
+    /// state it already has, so the stream resumes past it.
+    ///
+    /// On a `sync_on_commit` log, records past the last fsync are withheld:
+    /// a replica never applies a commit the primary could still lose.
+    pub fn read_replication_batch(&self, from_seq: u64, max: usize) -> ReplicationBatch {
+        let mirror = self.mirror.lock();
+        let base = mirror.base_seq;
+        let next = base + mirror.records.len() as u64;
+        let mut end = next - 1;
+        // The durability cap only applies to file-backed logs: an in-memory
+        // log has no device, so `durable_seq` never advances and capping on
+        // it would withhold the entire stream forever.
+        if self.sync_on_commit && self.path.is_some() {
+            let durable = self.group.lock().expect("group lock poisoned").durable_seq;
+            end = end.min(durable);
+        }
+        let from = from_seq.max(1);
+        let (reset, start) = if from < base || from > next {
+            // The position was compacted away (or never existed here):
+            // bootstrap from the image at the head of the log.
+            (true, base)
+        } else if from == base && mirror.image_len > 0 {
+            // Caught up through base-1: the image at [base, base+image_len)
+            // re-describes state the replica already has — skip it.
+            (false, base + mirror.image_len as u64)
+        } else {
+            (false, from)
+        };
+        let lo = (start - base) as usize;
+        let hi = mirror
+            .records
+            .len()
+            .min(lo.saturating_add(max))
+            .min((end + 1).saturating_sub(base) as usize)
+            .max(lo);
+        ReplicationBatch {
+            reset,
+            first_seq: start,
+            end_seq: end,
+            records: mirror.records[lo..hi].to_vec(),
+        }
+    }
+
+    /// Encodes one record into the byte form used both in log frames and on
+    /// the replication wire. The inverse of [`Wal::decode_record`].
+    pub fn encode_record(record: &LogRecord) -> Vec<u8> {
+        Self::encode(record)
+    }
+
+    /// Decodes a record encoded by [`Wal::encode_record`]; `None` when the
+    /// bytes are not a valid record.
+    pub fn decode_record(buf: &[u8]) -> Option<LogRecord> {
+        Self::decode(buf)
     }
 
     fn encode(record: &LogRecord) -> Vec<u8> {
@@ -727,24 +956,24 @@ impl Wal {
     /// Records appended so far (in-memory copy; reset by checkpoint
     /// rewrites).
     pub fn records(&self) -> Vec<LogRecord> {
-        self.records.lock().clone()
+        self.mirror.lock().records.clone()
     }
 
     /// Locked view of the in-memory record mirror — no clone. Used by
     /// recovery replay, which reads a potentially huge record list exactly
     /// once. Nothing may append to the log while the guard is held.
-    pub(crate) fn records_locked(&self) -> parking_lot::MutexGuard<'_, Vec<LogRecord>> {
-        self.records.lock()
+    pub(crate) fn records_locked(&self) -> parking_lot::MutexGuard<'_, Mirror> {
+        self.mirror.lock()
     }
 
     /// Number of records in the current log.
     pub fn len(&self) -> usize {
-        self.records.lock().len()
+        self.mirror.lock().records.len()
     }
 
     /// Returns `true` if nothing has been logged.
     pub fn is_empty(&self) -> bool {
-        self.records.lock().is_empty()
+        self.mirror.lock().records.is_empty()
     }
 
     /// Total log volume in bytes ever appended, frames included (the
@@ -841,10 +1070,7 @@ mod tests {
     use crate::value::DataType;
 
     fn temp_dir(tag: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!(
-            "ifdb-wal-test-{tag}-{}",
-            std::process::id()
-        ));
+        let dir = std::env::temp_dir().join(format!("ifdb-wal-test-{tag}-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         dir
     }
@@ -1004,8 +1230,7 @@ mod tests {
     fn missing_file_opens_as_empty_log() {
         let dir = temp_dir("missing");
         let path = dir.join("wal.log");
-        let (wal, recovery) =
-            Wal::open_existing(&path, DurabilityConfig::GROUP_COMMIT).unwrap();
+        let (wal, recovery) = Wal::open_existing(&path, DurabilityConfig::GROUP_COMMIT).unwrap();
         assert_eq!(recovery.record_count, 0);
         assert_eq!(recovery.torn_bytes, 0);
         wal.append(LogRecord::Begin { txn: TxnId(1) }).unwrap();
@@ -1066,9 +1291,7 @@ mod tests {
             },
             LogRecord::Checkpoint,
         ];
-        let n = wal
-            .rewrite_with(|| Ok(image.clone()))
-            .unwrap();
+        let n = wal.rewrite_with(|| Ok(image.clone())).unwrap();
         assert_eq!(n, 2);
         assert_eq!(wal.records(), image);
         // Appends after the rewrite land after the image on disk.

@@ -14,10 +14,8 @@ use ifdb_storage::wal::DurabilityConfig;
 use ifdb_storage::{ColumnDef, DataType, Datum, StorageError, TableId, TableSchema};
 
 fn temp_dir(tag: &str) -> PathBuf {
-    let dir = std::env::temp_dir().join(format!(
-        "ifdb-crash-recovery-{tag}-{}",
-        std::process::id()
-    ));
+    let dir =
+        std::env::temp_dir().join(format!("ifdb-crash-recovery-{tag}-{}", std::process::id()));
     std::fs::remove_dir_all(&dir).ok();
     std::fs::create_dir_all(&dir).unwrap();
     dir
@@ -106,8 +104,13 @@ fn kill_reopen_preserves_committed_drops_inflight() {
         eng.commit(t3).unwrap();
         // Crash with two transactions in flight: one insert, one delete.
         let ghost = eng.begin().unwrap();
-        eng.insert(ghost, a, vec![9], vec![Datum::Int(999), Datum::from("ghost")])
-            .unwrap();
+        eng.insert(
+            ghost,
+            a,
+            vec![9],
+            vec![Datum::Int(999), Datum::from("ghost")],
+        )
+        .unwrap();
         let ghost2 = eng.begin().unwrap();
         let near_miss = eng
             .index_lookup(a, "alpha_pkey", &vec![Datum::Int(5)])
@@ -120,7 +123,11 @@ fn kill_reopen_preserves_committed_drops_inflight() {
     let b = eng.table_by_name("beta").unwrap().id();
 
     let state = observable_state(&eng);
-    assert_eq!(state["alpha"].len(), 24, "25 committed - 1 deleted; ghost dropped");
+    assert_eq!(
+        state["alpha"].len(),
+        24,
+        "25 committed - 1 deleted; ghost dropped"
+    );
     assert_eq!(state["beta"].len(), 1);
     // The uncommitted delete did not take: id=5 is still visible.
     let txn = eng.begin().unwrap();
@@ -130,7 +137,9 @@ fn kill_reopen_preserves_committed_drops_inflight() {
         .unwrap()[0];
     assert!(eng.fetch_visible(&snap, a, row5).unwrap().is_some());
     // The committed delete did: id=3 is gone from visible state.
-    let hits3 = eng.index_lookup(a, "alpha_pkey", &vec![Datum::Int(3)]).unwrap();
+    let hits3 = eng
+        .index_lookup(a, "alpha_pkey", &vec![Datum::Int(3)])
+        .unwrap();
     for row in hits3 {
         assert!(eng.fetch_visible(&snap, a, row).unwrap().is_none());
     }
@@ -164,8 +173,13 @@ fn real_process_kill_preserves_durable_commits() {
         }
         // One transaction in flight at the kill.
         let ghost = eng.begin().unwrap();
-        eng.insert(ghost, a, vec![], vec![Datum::Int(999), Datum::from("ghost")])
-            .unwrap();
+        eng.insert(
+            ghost,
+            a,
+            vec![],
+            vec![Datum::Int(999), Datum::from("ghost")],
+        )
+        .unwrap();
         std::process::abort();
     }
     let dir = temp_dir("process-kill");
@@ -178,10 +192,17 @@ fn real_process_kill_preserves_durable_commits() {
         .stderr(std::process::Stdio::null())
         .status()
         .unwrap();
-    assert!(!status.success(), "child must die by abort, not exit cleanly");
+    assert!(
+        !status.success(),
+        "child must die by abort, not exit cleanly"
+    );
     let eng = StorageEngine::open(&dir, 16, DurabilityConfig::GROUP_COMMIT).unwrap();
     let state = observable_state(&eng);
-    assert_eq!(state["alpha"].len(), 10, "every acknowledged commit survives SIGABRT");
+    assert_eq!(
+        state["alpha"].len(),
+        10,
+        "every acknowledged commit survives SIGABRT"
+    );
     assert!(state["alpha"].iter().all(|(label, _)| label == &vec![1]));
     std::fs::remove_dir_all(&dir).ok();
 }
@@ -246,8 +267,13 @@ fn checkpoint_shrinks_replay_without_changing_state() {
         let t0 = eng.begin().unwrap();
         for i in 0..30 {
             rows.push(
-                eng.insert(t0, a, vec![i], vec![Datum::Int(i as i64), Datum::from("v0")])
-                    .unwrap(),
+                eng.insert(
+                    t0,
+                    a,
+                    vec![i],
+                    vec![Datum::Int(i as i64), Datum::from("v0")],
+                )
+                .unwrap(),
             );
         }
         eng.commit(t0).unwrap();

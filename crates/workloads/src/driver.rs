@@ -227,11 +227,8 @@ pub fn run_network_tpcc(config: &NetworkTpccConfig) -> NetworkDriverOutcome {
                 let seed = config.seed ^ (terminal as u64).wrapping_mul(0x9E37_79B9);
                 let mut rng = StdRng::seed_from_u64(seed);
                 while !stop.load(Ordering::Relaxed) {
-                    let think = sample_think_time(
-                        config.mean_think_time,
-                        config.max_think_time,
-                        &mut rng,
-                    );
+                    let think =
+                        sample_think_time(config.mean_think_time, config.max_think_time, &mut rng);
                     if !think.is_zero() {
                         std::thread::sleep(think);
                     }
@@ -251,8 +248,7 @@ pub fn run_network_tpcc(config: &NetworkTpccConfig) -> NetworkDriverOutcome {
                         // run, inflating the conflict count. Count the
                         // terminal as lost and stop it.
                         Err(ifdb::IfdbError::Remote { code, .. })
-                            if code
-                                == ifdb_client::protocol::code::PROTOCOL as u16 =>
+                            if code == ifdb_client::protocol::code::PROTOCOL as u16 =>
                         {
                             terminal_errors.fetch_add(1, Ordering::Relaxed);
                             return;
@@ -314,10 +310,7 @@ mod tests {
     fn multi_terminal_durable_run_batches_fsyncs() {
         use ifdb::{DatabaseConfig, DurabilityConfig};
 
-        let dir = std::env::temp_dir().join(format!(
-            "ifdb-tpcc-durable-{}",
-            std::process::id()
-        ));
+        let dir = std::env::temp_dir().join(format!("ifdb-tpcc-durable-{}", std::process::id()));
         std::fs::remove_dir_all(&dir).ok();
         let config = DatabaseConfig::on_disk(dir.clone(), 256)
             .with_seed(0x79CC)
@@ -356,10 +349,7 @@ mod tests {
         drop(tpcc);
         let reopened = ifdb::Database::open(config).unwrap();
         assert!(reopened.engine().stats().recovery_replayed_records > 0);
-        assert!(reopened
-            .engine()
-            .table_by_name("warehouse")
-            .is_ok());
+        assert!(reopened.engine().table_by_name("warehouse").is_ok());
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -11,11 +11,15 @@
 //!   ([`driver::TpccDriver`]) and a network driver
 //!   ([`driver::run_network_tpcc`]) whose terminals are independent
 //!   `ifdb-client` connections to an `ifdb-server`.
+//! * [`readscale`] — the multi-replica read-scaling driver: closed-loop
+//!   labeled reads spread across a primary and its log-shipping replicas,
+//!   measuring WIPS vs replica count for `BENCH_pr5.json`.
 //!
 //! The CarTel web workload (Figure 3 mix, TPC-W think times) lives in
 //! `ifdb-cartel::scripts::figure3_mix` and `ifdb-platform::httpsim`.
 
 pub mod driver;
+pub mod readscale;
 pub mod rng;
 pub mod tpcc;
 
@@ -23,4 +27,5 @@ pub use driver::{
     run_network_tpcc, DriverOutcome, NetworkDriverOutcome, NetworkTpccConfig, TpccDriver,
     TpccDriverConfig,
 };
+pub use readscale::{run_read_scale, ReadScaleConfig, ReadScaleOutcome};
 pub use tpcc::{run_transaction_on, TpccConfig, TpccDatabase, TpccTransaction};

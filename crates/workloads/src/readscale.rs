@@ -1,0 +1,154 @@
+//! Multi-replica read-scaling driver.
+//!
+//! Most HotCRP/CarTel traffic is labeled SELECTs, and the cheapest
+//! order-of-magnitude toward the "millions of users" north star is read
+//! scaling: one primary takes the writes, any number of log-shipping
+//! replicas serve label-filtered reads. This driver measures exactly that:
+//! a closed loop of clients issuing labeled point reads (plus an occasional
+//! scan), spread round-robin across a set of servers — the primary alone
+//! (the baseline) or the primary plus its replicas.
+//!
+//! Each server has a **bounded worker pool** (`ifdb-server` pins one worker
+//! per connection, the `max_connections` model every production DBMS has),
+//! so a topology's read capacity is the sum of its servers' pools; clients
+//! beyond a topology's capacity queue or are refused, exactly like real
+//! connection-slot exhaustion. The driver reports WIPS (successful web-style
+//! read interactions per second), which is what `BENCH_pr5.json` plots
+//! against the replica count.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ifdb::{Datum, Predicate, Select, Statement};
+use ifdb_client::{ClientConfig, Connection};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of a read-scaling run.
+#[derive(Debug, Clone)]
+pub struct ReadScaleConfig {
+    /// The servers to spread clients across: the primary first, then any
+    /// replicas. Each entry carries its own address/user/label.
+    pub targets: Vec<ClientConfig>,
+    /// Total concurrent clients (spread round-robin across `targets`).
+    pub clients: usize,
+    /// How long to run.
+    pub duration: Duration,
+    /// Mean think time between reads (truncated exponential); zero
+    /// disables thinking.
+    pub mean_think_time: Duration,
+    /// Truncation point of the think-time distribution.
+    pub max_think_time: Duration,
+    /// Table the labeled reads hit.
+    pub table: String,
+    /// Key column for point reads.
+    pub key_column: String,
+    /// Keys are drawn uniformly from `[0, key_range)`.
+    pub key_range: i64,
+    /// One in `scan_every` reads is a full labeled scan instead of a point
+    /// read (0 disables scans).
+    pub scan_every: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// The outcome of a read-scaling run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReadScaleOutcome {
+    /// Successful read interactions per second across all clients.
+    pub wips: f64,
+    /// Total successful reads.
+    pub reads: u64,
+    /// Total rows returned (sanity: label filtering held).
+    pub rows: u64,
+    /// Reads that failed (connection refused, server busy, ...).
+    pub failed: u64,
+    /// Clients that could not establish a connection at all (beyond the
+    /// topology's connection capacity).
+    pub clients_refused: u64,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+}
+
+fn sample_think(mean: Duration, max: Duration, rng: &mut StdRng) -> Duration {
+    if mean.is_zero() {
+        return Duration::ZERO;
+    }
+    let u: f64 = rng.gen::<f64>().max(1e-12);
+    Duration::from_secs_f64((-u.ln() * mean.as_secs_f64()).min(max.as_secs_f64()))
+}
+
+/// Runs the closed read loop and reports WIPS.
+pub fn run_read_scale(config: &ReadScaleConfig) -> ReadScaleOutcome {
+    let stop = Arc::new(AtomicBool::new(false));
+    let reads = Arc::new(AtomicU64::new(0));
+    let rows = Arc::new(AtomicU64::new(0));
+    let failed = Arc::new(AtomicU64::new(0));
+    let refused = Arc::new(AtomicU64::new(0));
+    let start = Instant::now();
+
+    std::thread::scope(|scope| {
+        for client in 0..config.clients {
+            let stop = stop.clone();
+            let reads = reads.clone();
+            let rows = rows.clone();
+            let failed = failed.clone();
+            let refused = refused.clone();
+            let config = config.clone();
+            scope.spawn(move || {
+                let target = &config.targets[client % config.targets.len()];
+                let Ok(mut conn) = Connection::connect(target) else {
+                    refused.fetch_add(1, Ordering::Relaxed);
+                    return;
+                };
+                let seed = config.seed ^ (client as u64).wrapping_mul(0x9E37_79B9);
+                let mut rng = StdRng::seed_from_u64(seed);
+                let mut i = 0u32;
+                while !stop.load(Ordering::Relaxed) {
+                    let think =
+                        sample_think(config.mean_think_time, config.max_think_time, &mut rng);
+                    if !think.is_zero() {
+                        std::thread::sleep(think);
+                    }
+                    i = i.wrapping_add(1);
+                    let stmt = if config.scan_every > 0 && i.is_multiple_of(config.scan_every) {
+                        Statement::Select(Select::star(&config.table))
+                    } else {
+                        let key = rng.gen_range(0..config.key_range.max(1));
+                        Statement::Select(
+                            Select::star(&config.table)
+                                .filter(Predicate::Eq(config.key_column.clone(), Datum::Int(key))),
+                        )
+                    };
+                    match conn.run(&stmt) {
+                        Ok(result) => {
+                            reads.fetch_add(1, Ordering::Relaxed);
+                            rows.fetch_add(result.into_rows().len() as u64, Ordering::Relaxed);
+                        }
+                        Err(_) => {
+                            failed.fetch_add(1, Ordering::Relaxed);
+                            // A dead connection would hot-spin failures for
+                            // the rest of the run; stop this client instead.
+                            return;
+                        }
+                    }
+                }
+                let _ = conn.close();
+            });
+        }
+        std::thread::sleep(config.duration);
+        stop.store(true, Ordering::Relaxed);
+    });
+
+    let elapsed = start.elapsed();
+    let n = reads.load(Ordering::Relaxed);
+    ReadScaleOutcome {
+        wips: n as f64 / elapsed.as_secs_f64(),
+        reads: n,
+        rows: rows.load(Ordering::Relaxed),
+        failed: failed.load(Ordering::Relaxed),
+        clients_refused: refused.load(Ordering::Relaxed),
+        elapsed,
+    }
+}

@@ -303,271 +303,276 @@ fn pick_wd(config: &TpccConfig, rng: &mut StdRng) -> (i64, i64) {
 }
 
 fn new_order<S: SessionApi>(config: &TpccConfig, s: &mut S, rng: &mut StdRng) -> IfdbResult<()> {
-        let (w, d) = pick_wd(config, rng);
-        let customer = nurand(rng, NURAND_A_C_ID, 1, config.customers_per_district as u64) as i64;
-        let line_count = rng.gen_range(5..=15i64);
+    let (w, d) = pick_wd(config, rng);
+    let customer = nurand(rng, NURAND_A_C_ID, 1, config.customers_per_district as u64) as i64;
+    let line_count = rng.gen_range(5..=15i64);
 
-        s.begin()?;
-        let district = s.select(
-            &Select::star("district").filter(
-                Predicate::Eq("d_w_id".into(), Datum::Int(w))
-                    .and(Predicate::Eq("d_id".into(), Datum::Int(d))),
-            ),
-        )?;
-        let o_id = district
-            .first()
-            .and_then(|r| r.get_int("d_next_o_id"))
-            .unwrap_or(1);
-        s.update(&Update::new(
-            "district",
+    s.begin()?;
+    let district = s.select(
+        &Select::star("district").filter(
             Predicate::Eq("d_w_id".into(), Datum::Int(w))
                 .and(Predicate::Eq("d_id".into(), Datum::Int(d))),
-            vec![("d_next_o_id", Datum::Int(o_id + 1))],
-        ))?;
-        s.select(
-            &Select::star("customer").filter(
-                Predicate::Eq("c_w_id".into(), Datum::Int(w))
-                    .and(Predicate::Eq("c_d_id".into(), Datum::Int(d)))
-                    .and(Predicate::Eq("c_id".into(), Datum::Int(customer))),
+        ),
+    )?;
+    let o_id = district
+        .first()
+        .and_then(|r| r.get_int("d_next_o_id"))
+        .unwrap_or(1);
+    s.update(&Update::new(
+        "district",
+        Predicate::Eq("d_w_id".into(), Datum::Int(w))
+            .and(Predicate::Eq("d_id".into(), Datum::Int(d))),
+        vec![("d_next_o_id", Datum::Int(o_id + 1))],
+    ))?;
+    s.select(
+        &Select::star("customer").filter(
+            Predicate::Eq("c_w_id".into(), Datum::Int(w))
+                .and(Predicate::Eq("c_d_id".into(), Datum::Int(d)))
+                .and(Predicate::Eq("c_id".into(), Datum::Int(customer))),
+        ),
+    )?;
+    s.insert(&Insert::new(
+        "orders",
+        vec![
+            Datum::Int(w),
+            Datum::Int(d),
+            Datum::Int(o_id),
+            Datum::Int(customer),
+            Datum::Timestamp(o_id * 1_000),
+            Datum::Int(line_count),
+            Datum::Null,
+        ],
+    ))?;
+    s.insert(&Insert::new(
+        "new_order",
+        vec![Datum::Int(w), Datum::Int(d), Datum::Int(o_id)],
+    ))?;
+    let mut total = 0.0;
+    for l in 1..=line_count {
+        let item = nurand(rng, NURAND_A_OL_I_ID, 1, config.items as u64) as i64;
+        let qty = rng.gen_range(1..=10i64);
+        let item_row =
+            s.select(&Select::star("item").filter(Predicate::Eq("i_id".into(), Datum::Int(item))))?;
+        let price = item_row
+            .first()
+            .and_then(|r| r.get_float("i_price"))
+            .unwrap_or(1.0);
+        let stock = s.select(
+            &Select::star("stock").filter(
+                Predicate::Eq("s_w_id".into(), Datum::Int(w))
+                    .and(Predicate::Eq("s_i_id".into(), Datum::Int(item))),
             ),
         )?;
+        let s_qty = stock
+            .first()
+            .and_then(|r| r.get_int("s_quantity"))
+            .unwrap_or(50);
+        let new_qty = if s_qty > qty + 10 {
+            s_qty - qty
+        } else {
+            s_qty - qty + 91
+        };
+        s.update(&Update::new(
+            "stock",
+            Predicate::Eq("s_w_id".into(), Datum::Int(w))
+                .and(Predicate::Eq("s_i_id".into(), Datum::Int(item))),
+            vec![("s_quantity", Datum::Int(new_qty))],
+        ))?;
+        total += price * qty as f64;
         s.insert(&Insert::new(
-            "orders",
+            "order_line",
             vec![
                 Datum::Int(w),
                 Datum::Int(d),
                 Datum::Int(o_id),
-                Datum::Int(customer),
-                Datum::Timestamp(o_id * 1_000),
-                Datum::Int(line_count),
+                Datum::Int(l),
+                Datum::Int(item),
+                Datum::Int(qty),
+                Datum::Float(price * qty as f64),
                 Datum::Null,
             ],
         ))?;
-        s.insert(&Insert::new(
-            "new_order",
-            vec![Datum::Int(w), Datum::Int(d), Datum::Int(o_id)],
-        ))?;
-        let mut total = 0.0;
-        for l in 1..=line_count {
-            let item = nurand(rng, NURAND_A_OL_I_ID, 1, config.items as u64) as i64;
-            let qty = rng.gen_range(1..=10i64);
-            let item_row = s.select(
-                &Select::star("item").filter(Predicate::Eq("i_id".into(), Datum::Int(item))),
-            )?;
-            let price = item_row
-                .first()
-                .and_then(|r| r.get_float("i_price"))
-                .unwrap_or(1.0);
-            let stock = s.select(
-                &Select::star("stock").filter(
-                    Predicate::Eq("s_w_id".into(), Datum::Int(w))
-                        .and(Predicate::Eq("s_i_id".into(), Datum::Int(item))),
-                ),
-            )?;
-            let s_qty = stock
-                .first()
-                .and_then(|r| r.get_int("s_quantity"))
-                .unwrap_or(50);
-            let new_qty = if s_qty > qty + 10 { s_qty - qty } else { s_qty - qty + 91 };
-            s.update(&Update::new(
-                "stock",
-                Predicate::Eq("s_w_id".into(), Datum::Int(w))
-                    .and(Predicate::Eq("s_i_id".into(), Datum::Int(item))),
-                vec![("s_quantity", Datum::Int(new_qty))],
-            ))?;
-            total += price * qty as f64;
-            s.insert(&Insert::new(
-                "order_line",
-                vec![
-                    Datum::Int(w),
-                    Datum::Int(d),
-                    Datum::Int(o_id),
-                    Datum::Int(l),
-                    Datum::Int(item),
-                    Datum::Int(qty),
-                    Datum::Float(price * qty as f64),
-                    Datum::Null,
-                ],
-            ))?;
-        }
-        let _ = total;
-        commit_with_label(s)
     }
+    let _ = total;
+    commit_with_label(s)
+}
 
 fn payment<S: SessionApi>(config: &TpccConfig, s: &mut S, rng: &mut StdRng) -> IfdbResult<()> {
-        let (w, d) = pick_wd(config, rng);
-        let customer = nurand(rng, NURAND_A_C_ID, 1, config.customers_per_district as u64) as i64;
-        let amount = rng.gen_range(1.0..5000.0);
-        s.begin()?;
-        let wh = s.select(
-            &Select::star("warehouse").filter(Predicate::Eq("w_id".into(), Datum::Int(w))),
-        )?;
-        let w_ytd = wh.first().and_then(|r| r.get_float("w_ytd")).unwrap_or(0.0);
-        s.update(&Update::new(
-            "warehouse",
-            Predicate::Eq("w_id".into(), Datum::Int(w)),
-            vec![("w_ytd", Datum::Float(w_ytd + amount))],
-        ))?;
-        let dist = s.select(
-            &Select::star("district").filter(
-                Predicate::Eq("d_w_id".into(), Datum::Int(w))
-                    .and(Predicate::Eq("d_id".into(), Datum::Int(d))),
-            ),
-        )?;
-        let d_ytd = dist.first().and_then(|r| r.get_float("d_ytd")).unwrap_or(0.0);
-        s.update(&Update::new(
-            "district",
+    let (w, d) = pick_wd(config, rng);
+    let customer = nurand(rng, NURAND_A_C_ID, 1, config.customers_per_district as u64) as i64;
+    let amount = rng.gen_range(1.0..5000.0);
+    s.begin()?;
+    let wh =
+        s.select(&Select::star("warehouse").filter(Predicate::Eq("w_id".into(), Datum::Int(w))))?;
+    let w_ytd = wh.first().and_then(|r| r.get_float("w_ytd")).unwrap_or(0.0);
+    s.update(&Update::new(
+        "warehouse",
+        Predicate::Eq("w_id".into(), Datum::Int(w)),
+        vec![("w_ytd", Datum::Float(w_ytd + amount))],
+    ))?;
+    let dist = s.select(
+        &Select::star("district").filter(
             Predicate::Eq("d_w_id".into(), Datum::Int(w))
                 .and(Predicate::Eq("d_id".into(), Datum::Int(d))),
-            vec![("d_ytd", Datum::Float(d_ytd + amount))],
-        ))?;
-        let cust = s.select(
-            &Select::star("customer").filter(
-                Predicate::Eq("c_w_id".into(), Datum::Int(w))
-                    .and(Predicate::Eq("c_d_id".into(), Datum::Int(d)))
-                    .and(Predicate::Eq("c_id".into(), Datum::Int(customer))),
-            ),
-        )?;
-        let balance = cust
-            .first()
-            .and_then(|r| r.get_float("c_balance"))
-            .unwrap_or(0.0);
-        s.update(&Update::new(
-            "customer",
+        ),
+    )?;
+    let d_ytd = dist
+        .first()
+        .and_then(|r| r.get_float("d_ytd"))
+        .unwrap_or(0.0);
+    s.update(&Update::new(
+        "district",
+        Predicate::Eq("d_w_id".into(), Datum::Int(w))
+            .and(Predicate::Eq("d_id".into(), Datum::Int(d))),
+        vec![("d_ytd", Datum::Float(d_ytd + amount))],
+    ))?;
+    let cust = s.select(
+        &Select::star("customer").filter(
             Predicate::Eq("c_w_id".into(), Datum::Int(w))
                 .and(Predicate::Eq("c_d_id".into(), Datum::Int(d)))
                 .and(Predicate::Eq("c_id".into(), Datum::Int(customer))),
-            vec![("c_balance", Datum::Float(balance - amount))],
-        ))?;
-        s.insert(&Insert::new(
-            "history",
-            vec![
-                Datum::Int(w),
-                Datum::Int(d),
-                Datum::Int(customer),
-                Datum::Float(amount),
-                Datum::Timestamp(0),
-            ],
-        ))?;
-        commit_with_label(s)
-    }
+        ),
+    )?;
+    let balance = cust
+        .first()
+        .and_then(|r| r.get_float("c_balance"))
+        .unwrap_or(0.0);
+    s.update(&Update::new(
+        "customer",
+        Predicate::Eq("c_w_id".into(), Datum::Int(w))
+            .and(Predicate::Eq("c_d_id".into(), Datum::Int(d)))
+            .and(Predicate::Eq("c_id".into(), Datum::Int(customer))),
+        vec![("c_balance", Datum::Float(balance - amount))],
+    ))?;
+    s.insert(&Insert::new(
+        "history",
+        vec![
+            Datum::Int(w),
+            Datum::Int(d),
+            Datum::Int(customer),
+            Datum::Float(amount),
+            Datum::Timestamp(0),
+        ],
+    ))?;
+    commit_with_label(s)
+}
 
 fn order_status<S: SessionApi>(config: &TpccConfig, s: &mut S, rng: &mut StdRng) -> IfdbResult<()> {
-        let (w, d) = pick_wd(config, rng);
-        let customer = nurand(rng, NURAND_A_C_ID, 1, config.customers_per_district as u64) as i64;
-        s.begin()?;
-        s.select(
-            &Select::star("customer").filter(
-                Predicate::Eq("c_w_id".into(), Datum::Int(w))
-                    .and(Predicate::Eq("c_d_id".into(), Datum::Int(d)))
-                    .and(Predicate::Eq("c_id".into(), Datum::Int(customer))),
-            ),
-        )?;
-        let orders = s.select(
-            &Select::star("orders")
-                .filter(
-                    Predicate::Eq("o_w_id".into(), Datum::Int(w))
-                        .and(Predicate::Eq("o_d_id".into(), Datum::Int(d)))
-                        .and(Predicate::Eq("o_c_id".into(), Datum::Int(customer))),
-                )
-                .order("o_id", Order::Desc)
-                .take(1),
-        )?;
-        if let Some(order) = orders.first() {
-            let o_id = order.get_int("o_id").unwrap_or(0);
-            s.select(
-                &Select::star("order_line").filter(
-                    Predicate::Eq("ol_w_id".into(), Datum::Int(w))
-                        .and(Predicate::Eq("ol_d_id".into(), Datum::Int(d)))
-                        .and(Predicate::Eq("ol_o_id".into(), Datum::Int(o_id))),
-                ),
-            )?;
-        }
-        commit_with_label(s)
-    }
-
-fn delivery<S: SessionApi>(config: &TpccConfig, s: &mut S, rng: &mut StdRng) -> IfdbResult<()> {
-        let (w, _) = pick_wd(config, rng);
-        let carrier = rng.gen_range(1..=10i64);
-        s.begin()?;
-        for d in 1..=config.districts_per_warehouse {
-            let pending = s.select(
-                &Select::star("new_order")
-                    .filter(
-                        Predicate::Eq("no_w_id".into(), Datum::Int(w))
-                            .and(Predicate::Eq("no_d_id".into(), Datum::Int(d))),
-                    )
-                    .order("no_o_id", Order::Asc)
-                    .take(1),
-            )?;
-            let Some(row) = pending.first() else { continue };
-            let o_id = row.get_int("no_o_id").unwrap_or(0);
-            s.delete(&Delete::new(
-                "new_order",
-                Predicate::Eq("no_w_id".into(), Datum::Int(w))
-                    .and(Predicate::Eq("no_d_id".into(), Datum::Int(d)))
-                    .and(Predicate::Eq("no_o_id".into(), Datum::Int(o_id))),
-            ))?;
-            s.update(&Update::new(
-                "orders",
+    let (w, d) = pick_wd(config, rng);
+    let customer = nurand(rng, NURAND_A_C_ID, 1, config.customers_per_district as u64) as i64;
+    s.begin()?;
+    s.select(
+        &Select::star("customer").filter(
+            Predicate::Eq("c_w_id".into(), Datum::Int(w))
+                .and(Predicate::Eq("c_d_id".into(), Datum::Int(d)))
+                .and(Predicate::Eq("c_id".into(), Datum::Int(customer))),
+        ),
+    )?;
+    let orders = s.select(
+        &Select::star("orders")
+            .filter(
                 Predicate::Eq("o_w_id".into(), Datum::Int(w))
                     .and(Predicate::Eq("o_d_id".into(), Datum::Int(d)))
-                    .and(Predicate::Eq("o_id".into(), Datum::Int(o_id))),
-                vec![("o_carrier_id", Datum::Int(carrier))],
-            ))?;
-            s.update(&Update::new(
-                "order_line",
-                Predicate::Eq("ol_w_id".into(), Datum::Int(w))
-                    .and(Predicate::Eq("ol_d_id".into(), Datum::Int(d)))
-                    .and(Predicate::Eq("ol_o_id".into(), Datum::Int(o_id))),
-                vec![("ol_delivery_d", Datum::Timestamp(1))],
-            ))?;
-        }
-        commit_with_label(s)
-    }
-
-fn stock_level<S: SessionApi>(config: &TpccConfig, s: &mut S, rng: &mut StdRng) -> IfdbResult<()> {
-        let (w, d) = pick_wd(config, rng);
-        let threshold = rng.gen_range(10..=20i64);
-        s.begin()?;
-        let district = s.select(
-            &Select::star("district").filter(
-                Predicate::Eq("d_w_id".into(), Datum::Int(w))
-                    .and(Predicate::Eq("d_id".into(), Datum::Int(d))),
-            ),
-        )?;
-        let next = district
-            .first()
-            .and_then(|r| r.get_int("d_next_o_id"))
-            .unwrap_or(1);
-        let lines = s.select(
+                    .and(Predicate::Eq("o_c_id".into(), Datum::Int(customer))),
+            )
+            .order("o_id", Order::Desc)
+            .take(1),
+    )?;
+    if let Some(order) = orders.first() {
+        let o_id = order.get_int("o_id").unwrap_or(0);
+        s.select(
             &Select::star("order_line").filter(
                 Predicate::Eq("ol_w_id".into(), Datum::Int(w))
                     .and(Predicate::Eq("ol_d_id".into(), Datum::Int(d)))
-                    .and(Predicate::Ge("ol_o_id".into(), Datum::Int(next - 20))),
+                    .and(Predicate::Eq("ol_o_id".into(), Datum::Int(o_id))),
             ),
         )?;
-        let mut low = 0;
-        for line in lines.iter().take(200) {
-            let item = line.get_int("ol_i_id").unwrap_or(1);
-            let stock = s.select(
-                &Select::star("stock").filter(
-                    Predicate::Eq("s_w_id".into(), Datum::Int(w))
-                        .and(Predicate::Eq("s_i_id".into(), Datum::Int(item))),
-                ),
-            )?;
-            if stock
-                .first()
-                .and_then(|r| r.get_int("s_quantity"))
-                .unwrap_or(100)
-                < threshold
-            {
-                low += 1;
-            }
-        }
-        let _ = low;
-        commit_with_label(s)
     }
+    commit_with_label(s)
+}
+
+fn delivery<S: SessionApi>(config: &TpccConfig, s: &mut S, rng: &mut StdRng) -> IfdbResult<()> {
+    let (w, _) = pick_wd(config, rng);
+    let carrier = rng.gen_range(1..=10i64);
+    s.begin()?;
+    for d in 1..=config.districts_per_warehouse {
+        let pending = s.select(
+            &Select::star("new_order")
+                .filter(
+                    Predicate::Eq("no_w_id".into(), Datum::Int(w))
+                        .and(Predicate::Eq("no_d_id".into(), Datum::Int(d))),
+                )
+                .order("no_o_id", Order::Asc)
+                .take(1),
+        )?;
+        let Some(row) = pending.first() else { continue };
+        let o_id = row.get_int("no_o_id").unwrap_or(0);
+        s.delete(&Delete::new(
+            "new_order",
+            Predicate::Eq("no_w_id".into(), Datum::Int(w))
+                .and(Predicate::Eq("no_d_id".into(), Datum::Int(d)))
+                .and(Predicate::Eq("no_o_id".into(), Datum::Int(o_id))),
+        ))?;
+        s.update(&Update::new(
+            "orders",
+            Predicate::Eq("o_w_id".into(), Datum::Int(w))
+                .and(Predicate::Eq("o_d_id".into(), Datum::Int(d)))
+                .and(Predicate::Eq("o_id".into(), Datum::Int(o_id))),
+            vec![("o_carrier_id", Datum::Int(carrier))],
+        ))?;
+        s.update(&Update::new(
+            "order_line",
+            Predicate::Eq("ol_w_id".into(), Datum::Int(w))
+                .and(Predicate::Eq("ol_d_id".into(), Datum::Int(d)))
+                .and(Predicate::Eq("ol_o_id".into(), Datum::Int(o_id))),
+            vec![("ol_delivery_d", Datum::Timestamp(1))],
+        ))?;
+    }
+    commit_with_label(s)
+}
+
+fn stock_level<S: SessionApi>(config: &TpccConfig, s: &mut S, rng: &mut StdRng) -> IfdbResult<()> {
+    let (w, d) = pick_wd(config, rng);
+    let threshold = rng.gen_range(10..=20i64);
+    s.begin()?;
+    let district = s.select(
+        &Select::star("district").filter(
+            Predicate::Eq("d_w_id".into(), Datum::Int(w))
+                .and(Predicate::Eq("d_id".into(), Datum::Int(d))),
+        ),
+    )?;
+    let next = district
+        .first()
+        .and_then(|r| r.get_int("d_next_o_id"))
+        .unwrap_or(1);
+    let lines = s.select(
+        &Select::star("order_line").filter(
+            Predicate::Eq("ol_w_id".into(), Datum::Int(w))
+                .and(Predicate::Eq("ol_d_id".into(), Datum::Int(d)))
+                .and(Predicate::Ge("ol_o_id".into(), Datum::Int(next - 20))),
+        ),
+    )?;
+    let mut low = 0;
+    for line in lines.iter().take(200) {
+        let item = line.get_int("ol_i_id").unwrap_or(1);
+        let stock = s.select(
+            &Select::star("stock").filter(
+                Predicate::Eq("s_w_id".into(), Datum::Int(w))
+                    .and(Predicate::Eq("s_i_id".into(), Datum::Int(item))),
+            ),
+        )?;
+        if stock
+            .first()
+            .and_then(|r| r.get_int("s_quantity"))
+            .unwrap_or(100)
+            < threshold
+        {
+            low += 1;
+        }
+    }
+    let _ = low;
+    commit_with_label(s)
+}
 
 /// Commits a transaction. Every benchmark tuple carries the session's
 /// label, so the commit label (the same label) satisfies the commit label
@@ -719,10 +724,7 @@ mod tests {
         }
         // New orders bumped the district counters.
         let d = s
-            .select(
-                &Select::star("district")
-                    .filter(Predicate::Eq("d_id".into(), Datum::Int(1))),
-            )
+            .select(&Select::star("district").filter(Predicate::Eq("d_id".into(), Datum::Int(1))))
             .unwrap();
         assert!(d.first().unwrap().get_int("d_next_o_id").unwrap() >= 4);
     }
@@ -746,7 +748,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let mut counts = std::collections::HashMap::new();
         for _ in 0..2000 {
-            *counts.entry(format!("{:?}", TpccTransaction::draw(&mut rng))).or_insert(0) += 1;
+            *counts
+                .entry(format!("{:?}", TpccTransaction::draw(&mut rng)))
+                .or_insert(0) += 1;
         }
         assert!(counts["NewOrder"] > 700);
         assert!(counts["Payment"] > 700);

@@ -40,7 +40,9 @@ fn sixteen_connection_stress_with_kills_and_reopen() {
     db.create_table(items_table()).unwrap();
 
     let writer_principal = db.create_principal("writer", PrincipalKind::User);
-    let secret_tag = db.create_tag(writer_principal, "stress_secret", &[]).unwrap();
+    let secret_tag = db
+        .create_tag(writer_principal, "stress_secret", &[])
+        .unwrap();
     // A declassifying view over the secret rows, created with the writer's
     // authority: readers see the rows without holding the tag.
     db.create_declassifying_view(
@@ -116,8 +118,7 @@ fn sixteen_connection_stress_with_kills_and_reopen() {
             let reads_ok = reads_ok.clone();
             let addr = addr.clone();
             scope.spawn(move || {
-                let mut conn =
-                    Connection::connect(&ClientConfig::anonymous(&addr)).unwrap();
+                let mut conn = Connection::connect(&ClientConfig::anonymous(&addr)).unwrap();
                 let mut rng = StdRng::seed_from_u64(1000 + r);
                 while !stop.load(Ordering::Relaxed) {
                     let rows = conn.select(&Select::star("items_public")).unwrap();
@@ -175,7 +176,10 @@ fn sixteen_connection_stress_with_kills_and_reopen() {
 
     let acked = acknowledged.load(Ordering::Relaxed);
     assert!(acked > 0, "writers made progress");
-    assert!(reads_ok.load(Ordering::Relaxed) > 0, "readers made progress");
+    assert!(
+        reads_ok.load(Ordering::Relaxed) > 0,
+        "readers made progress"
+    );
     assert!(kills.load(Ordering::Relaxed) > 0, "kill loop ran");
 
     // Killed connections' transactions were aborted, not leaked: the engine
@@ -199,7 +203,9 @@ fn sixteen_connection_stress_with_kills_and_reopen() {
     drop(db);
     let reopened = Database::open_with_tables(db_config, [items_table()]).unwrap();
     let writer_principal = reopened.create_principal("writer", PrincipalKind::User);
-    let tag = reopened.create_tag(writer_principal, "stress_secret", &[]).unwrap();
+    let tag = reopened
+        .create_tag(writer_principal, "stress_secret", &[])
+        .unwrap();
     assert_eq!(tag, secret_tag, "deterministic seed keeps tag ids stable");
     let mut s = reopened.session(writer_principal);
     s.add_secrecy(tag).unwrap();
@@ -255,7 +261,10 @@ fn network_tpcc_driver_reports_throughput() {
     });
     let engine_after = server.database().engine().stats();
     assert_eq!(outcome.terminal_errors, 0);
-    assert!(outcome.committed > 0, "terminals committed work: {outcome:?}");
+    assert!(
+        outcome.committed > 0,
+        "terminals committed work: {outcome:?}"
+    );
     assert!(outcome.notpm > 0.0);
     // Group-commit identity: every commit either led or followed a flush.
     let fsyncs = engine_after.wal_fsyncs - engine_before.wal_fsyncs;

@@ -31,7 +31,10 @@ fn main() {
     }
 
     println!();
-    println!("== URL manipulation: {} requests {}'s drives ==", alice.username, bob.username);
+    println!(
+        "== URL manipulation: {} requests {}'s drives ==",
+        alice.username, bob.username
+    );
     let resp = app.server.handle(
         &Request::new("drives.php")
             .as_user(&alice.username)
@@ -41,7 +44,10 @@ fn main() {
     assert!(resp.body.is_empty(), "non-friend drives must not leak");
 
     println!();
-    println!("== {} adds {} as a friend (delegation) ==", bob.username, alice.username);
+    println!(
+        "== {} adds {} as a friend (delegation) ==",
+        bob.username, alice.username
+    );
     app.server.handle(
         &Request::new("friends.php")
             .as_user(&bob.username)
@@ -52,7 +58,10 @@ fn main() {
             .as_user(&alice.username)
             .param("user", &bob.username),
     );
-    println!("after delegation Alice sees {} of Bob's drives", resp.body.len());
+    println!(
+        "after delegation Alice sees {} of Bob's drives",
+        resp.body.len()
+    );
 
     println!();
     println!("== unauthenticated request (the missing-auth bug) ==");
@@ -65,5 +74,8 @@ fn main() {
         "audited declassifications so far: {}",
         app.db.audit().declassification_count()
     );
-    println!("trusted catalog objects: {}", app.db.trusted_component_count());
+    println!(
+        "trusted catalog objects: {}",
+        app.db.trusted_component_count()
+    );
 }

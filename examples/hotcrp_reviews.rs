@@ -55,9 +55,15 @@ fn main() {
                 .param("paper", &paper.paperid.to_string()),
         )
     };
-    println!("other PC member before delegation: {:?}", review(&other_pc.username).body);
+    println!(
+        "other PC member before delegation: {:?}",
+        review(&other_pc.username).body
+    );
     app.policy
         .delegate_reviews_to_pc(&app.db, paper.paperid)
         .unwrap();
-    println!("other PC member after delegation:  {:?}", review(&other_pc.username).body);
+    println!(
+        "other PC member after delegation:  {:?}",
+        review(&other_pc.username).body
+    );
 }

@@ -52,7 +52,10 @@ fn main() {
     let mut doctor_session = db.session(doctor);
     doctor_session.add_secrecy(bob_medical).unwrap();
     let visible = doctor_session.select(&Select::star("HIVPatients")).unwrap();
-    println!("doctor contaminated with bob_medical sees {} patient(s)", visible.len());
+    println!(
+        "doctor contaminated with bob_medical sees {} patient(s)",
+        visible.len()
+    );
     assert_eq!(visible.len(), 1);
 
     // 4. The doctor cannot release what they read until Bob delegates.
@@ -82,7 +85,10 @@ fn main() {
                 .filter(Predicate::Eq("patient_name".into(), Datum::from("Alice"))),
         )
         .unwrap();
-    println!("sneaky transaction observed {} secret row(s) before commit", found.len());
+    println!(
+        "sneaky transaction observed {} secret row(s) before commit",
+        found.len()
+    );
     let commit = sneaky.commit();
     println!("commit attempt: {:?}", commit.err().map(|e| e.to_string()));
     assert!(db

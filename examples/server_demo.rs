@@ -61,7 +61,10 @@ fn main() {
     )
     .expect("alice connects");
     let rows = alice_conn.select(&everything).unwrap();
-    println!("\nalice's connection (label {{alice_medical}}) sees {} row(s):", rows.len());
+    println!(
+        "\nalice's connection (label {{alice_medical}}) sees {} row(s):",
+        rows.len()
+    );
     for r in rows.iter() {
         println!(
             "  {} -> {}",
@@ -79,7 +82,10 @@ fn main() {
     )
     .expect("bob connects");
     let rows = bob_conn.select(&everything).unwrap();
-    println!("\nbob's connection (label {{bob_medical}}) sees {} row(s):", rows.len());
+    println!(
+        "\nbob's connection (label {{bob_medical}}) sees {} row(s):",
+        rows.len()
+    );
     for r in rows.iter() {
         println!(
             "  {} -> {}",
@@ -93,7 +99,10 @@ fn main() {
     // An anonymous, uncontaminated connection sees nothing at all.
     let mut anon = Connection::connect(&ClientConfig::anonymous(&addr)).unwrap();
     let rows = anon.select(&everything).unwrap();
-    println!("\nanonymous connection (empty label) sees {} row(s)", rows.len());
+    println!(
+        "\nanonymous connection (empty label) sees {} row(s)",
+        rows.len()
+    );
     assert!(rows.is_empty());
 
     // Labels gate output, too: alice is contaminated until she declassifies

@@ -76,10 +76,10 @@ fn worker(fx: Arc<Fixture>, me: usize) {
         let mut r = fx.db.session(principal);
         r.add_secrecy(tag).unwrap();
         let mine = r
-            .select(&Select::star("Events").filter(Predicate::Eq(
-                "owner".into(),
-                Datum::Int(me as i64),
-            )))
+            .select(
+                &Select::star("Events")
+                    .filter(Predicate::Eq("owner".into(), Datum::Int(me as i64))),
+            )
             .unwrap();
         assert_eq!(
             mine.len(),
@@ -100,10 +100,10 @@ fn worker(fx: Arc<Fixture>, me: usize) {
         if i % 8 == 3 {
             let mut anon = fx.db.anonymous_session();
             let public = anon
-                .select(&Select::star("PublicEvents").filter(Predicate::Eq(
-                    "owner".into(),
-                    Datum::Int(me as i64),
-                )))
+                .select(
+                    &Select::star("PublicEvents")
+                        .filter(Predicate::Eq("owner".into(), Datum::Int(me as i64))),
+                )
                 .unwrap();
             assert!(public.len() >= (i + 1) as usize);
             for row in public.iter() {
@@ -118,9 +118,8 @@ fn worker(fx: Arc<Fixture>, me: usize) {
             let mut t = fx.db.session(principal);
             t.add_secrecy(tag).unwrap();
             t.begin().unwrap();
-            let count = |s: &mut Session| -> usize {
-                s.select(&Select::star("Events")).unwrap().len()
-            };
+            let count =
+                |s: &mut Session| -> usize { s.select(&Select::star("Events")).unwrap().len() };
             let first = count(&mut t);
             thread::sleep(Duration::from_millis(1));
             let second = count(&mut t);

@@ -23,7 +23,9 @@ fn cartel_end_to_end_confidentiality() {
 
     // The owner sees their car locations; other users and anonymous clients
     // see nothing.
-    let own = app.server.handle(&Request::new("cars.php").as_user(&alice.username));
+    let own = app
+        .server
+        .handle(&Request::new("cars.php").as_user(&alice.username));
     assert!(own.is_ok());
     assert!(!own.body.is_empty());
 

@@ -48,7 +48,12 @@ fn storage_path_insert_and_scan() {
 
     let txn = engine.begin().unwrap();
     engine
-        .insert(txn, table, vec![42], vec![Datum::Int(1), Datum::from("one")])
+        .insert(
+            txn,
+            table,
+            vec![42],
+            vec![Datum::Int(1), Datum::from("one")],
+        )
         .unwrap();
     engine.commit(txn).unwrap();
 

@@ -85,9 +85,7 @@ impl BenchmarkGroup<'_> {
         let id = id.into();
         let label = format!("{}/{}", self.name, id.0);
         let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
-        run_benchmark(&label, samples, self.criterion.measurement, |b| {
-            f(b, input)
-        });
+        run_benchmark(&label, samples, self.criterion.measurement, |b| f(b, input));
         self
     }
 
@@ -153,7 +151,12 @@ impl Bencher {
     }
 }
 
-fn run_benchmark(label: &str, samples: usize, measurement: Duration, mut f: impl FnMut(&mut Bencher)) {
+fn run_benchmark(
+    label: &str,
+    samples: usize,
+    measurement: Duration,
+    mut f: impl FnMut(&mut Bencher),
+) {
     // Calibration pass: find an iteration count that makes one sample take
     // roughly measurement/samples, so fast and slow benchmarks both finish.
     let mut calib = Bencher {

@@ -260,9 +260,7 @@ fn parse_variants(stream: TokenStream) -> Vec<Variant> {
 }
 
 /// Skips `#[...]` attributes (including doc comments) and `pub`/`pub(...)`.
-fn skip_attrs_and_vis(
-    tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>,
-) {
+fn skip_attrs_and_vis(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
     loop {
         match tokens.peek() {
             Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
@@ -287,11 +285,13 @@ fn skip_attrs_and_vis(
 fn skip_type(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
     let mut depth: i64 = 0;
     for tt in tokens.by_ref() {
-        if let TokenTree::Punct(p) = tt { match p.as_char() {
-            '<' => depth += 1,
-            '>' => depth -= 1,
-            ',' if depth == 0 => return,
-            _ => {}
-        } }
+        if let TokenTree::Punct(p) = tt {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => return,
+                _ => {}
+            }
+        }
     }
 }

@@ -1,25 +1,222 @@
 //! Minimal in-tree stand-in for `serde_json`.
 //!
 //! Renders the in-tree `serde` stand-in's [`Value`] tree as real JSON text
-//! (with string escaping and two-space pretty printing). Only serialization
-//! is provided — nothing in the workspace deserializes JSON yet.
+//! (with string escaping and two-space pretty printing), and parses JSON
+//! text back into a [`Value`] tree with [`from_str`] — enough for the
+//! bench-regression gate to read `BENCH_*.json` reports and their committed
+//! baselines. There is no typed `Deserialize`; consumers walk the tree via
+//! [`Value::path`]/[`Value::as_f64`].
 
 use std::fmt;
 
-pub use serde::Value;
 use serde::Serialize;
+pub use serde::Value;
 
-/// Error type for API parity; serialization of a `Value` tree cannot fail.
+/// Serialization or parse error.
 #[derive(Debug)]
-pub struct Error(());
+pub struct Error(String);
 
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str("json serialization error")
+        f.write_str(&self.0)
     }
 }
 
 impl std::error::Error for Error {}
+
+/// Parses JSON text into a [`Value`] tree. Rejects trailing garbage.
+pub fn from_str(s: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error(format!("trailing bytes at offset {}", p.pos)));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, what: &str) -> Error {
+        Error(format!("{what} at offset {}", self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), Error> {
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {:?}", b as char)))
+        }
+    }
+
+    fn literal(&mut self, lit: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        self.skip_ws();
+        match self.bytes.get(self.pos) {
+            Some(b'n') if self.literal("null") => Ok(Value::Null),
+            Some(b't') if self.literal("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.literal("false") => Ok(Value::Bool(false)),
+            Some(b'"') => Ok(Value::String(self.string()?)),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.bytes.get(self.pos) == Some(&b']') {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                loop {
+                    items.push(self.value()?);
+                    self.skip_ws();
+                    match self.bytes.get(self.pos) {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Value::Array(items));
+                        }
+                        _ => return Err(self.err("expected ',' or ']'")),
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut entries = Vec::new();
+                self.skip_ws();
+                if self.bytes.get(self.pos) == Some(&b'}') {
+                    self.pos += 1;
+                    return Ok(Value::Object(entries));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.string()?;
+                    self.skip_ws();
+                    self.eat(b':')?;
+                    entries.push((key, self.value()?));
+                    self.skip_ws();
+                    match self.bytes.get(self.pos) {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Value::Object(entries));
+                        }
+                        _ => return Err(self.err("expected ',' or '}'")),
+                    }
+                }
+            }
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{0008}'),
+                        Some(b'f') => out.push('\u{000C}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| self.err("bad \\u escape"))?,
+                                16,
+                            )
+                            .map_err(|_| self.err("bad \\u escape"))?;
+                            // Surrogate pairs are not needed for the gate's
+                            // ASCII metric names; map lone surrogates to the
+                            // replacement character.
+                            out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.err("invalid utf-8"))?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.bytes.get(self.pos) {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        if is_float {
+            text.parse::<f64>()
+                .map(Value::Float)
+                .map_err(|_| self.err("invalid number"))
+        } else if text.starts_with('-') {
+            text.parse::<i64>()
+                .map(Value::Int)
+                .map_err(|_| self.err("invalid number"))
+        } else {
+            text.parse::<u64>()
+                .map(Value::UInt)
+                .map_err(|_| self.err("invalid number"))
+        }
+    }
+}
 
 /// Serializes `value` as a compact JSON string.
 pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
@@ -66,8 +263,14 @@ fn write_value(out: &mut String, value: &Value, indent: Option<usize>, level: us
                 write_value(out, &items[i], indent, lvl)
             })
         }
-        Value::Object(entries) => {
-            write_seq(out, indent, level, entries.len(), '{', '}', |out, i, lvl| {
+        Value::Object(entries) => write_seq(
+            out,
+            indent,
+            level,
+            entries.len(),
+            '{',
+            '}',
+            |out, i, lvl| {
                 let (k, v) = &entries[i];
                 write_escaped(out, k);
                 out.push(':');
@@ -75,8 +278,8 @@ fn write_value(out: &mut String, value: &Value, indent: Option<usize>, level: us
                     out.push(' ');
                 }
                 write_value(out, v, indent, lvl)
-            })
-        }
+            },
+        ),
     }
 }
 
@@ -139,7 +342,10 @@ mod tests {
     fn compact_rendering() {
         let v = Value::Object(vec![
             ("a".into(), Value::Int(-3)),
-            ("b".into(), Value::Array(vec![Value::Bool(true), Value::Null])),
+            (
+                "b".into(),
+                Value::Array(vec![Value::Bool(true), Value::Null]),
+            ),
             ("c".into(), Value::Float(1.5)),
             ("d".into(), Value::Float(2.0)),
         ]);
@@ -152,7 +358,10 @@ mod tests {
     #[test]
     fn pretty_rendering() {
         let v = Value::Object(vec![("x".into(), Value::Array(vec![Value::UInt(1)]))]);
-        assert_eq!(to_string_pretty(&v).unwrap(), "{\n  \"x\": [\n    1\n  ]\n}");
+        assert_eq!(
+            to_string_pretty(&v).unwrap(),
+            "{\n  \"x\": [\n    1\n  ]\n}"
+        );
     }
 
     #[test]
@@ -165,10 +374,45 @@ mod tests {
 
     #[test]
     fn empty_containers() {
-        assert_eq!(
-            to_string_pretty(&Value::Array(vec![])).unwrap(),
-            "[]"
-        );
+        assert_eq!(to_string_pretty(&Value::Array(vec![])).unwrap(), "[]");
         assert_eq!(to_string_pretty(&Value::Object(vec![])).unwrap(), "{}");
+    }
+
+    #[test]
+    fn parse_round_trips_rendered_values() {
+        let v = Value::Object(vec![
+            ("name".into(), Value::String("wal \"ship\"\n".into())),
+            ("n".into(), Value::UInt(12)),
+            ("neg".into(), Value::Int(-7)),
+            ("rate".into(), Value::Float(0.925)),
+            ("big".into(), Value::Float(1.5e9)),
+            ("ok".into(), Value::Bool(true)),
+            ("none".into(), Value::Null),
+            (
+                "arr".into(),
+                Value::Array(vec![Value::UInt(1), Value::Float(2.5)]),
+            ),
+            ("empty".into(), Value::Object(vec![])),
+        ]);
+        for rendered in [to_string(&v).unwrap(), to_string_pretty(&v).unwrap()] {
+            assert_eq!(from_str(&rendered).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn parse_walks_paths() {
+        let v = from_str(r#"{"lag": {"mean_records": 12.5, "samples": [1, 2]}}"#).unwrap();
+        assert_eq!(v.path("lag.mean_records").unwrap().as_f64(), Some(12.5));
+        assert_eq!(v.path("lag.samples").unwrap().as_array().unwrap().len(), 2);
+        assert!(v.path("lag.missing").is_none());
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(from_str("{").is_err());
+        assert!(from_str("[1,]").is_err());
+        assert!(from_str("{\"a\": 1} trailing").is_err());
+        assert!(from_str("\"unterminated").is_err());
+        assert!(from_str("12..5").is_err());
     }
 }
