@@ -1,9 +1,10 @@
 //! The bench-regression gate binary: `bench_gate [REPORT] [BASELINES]`.
 //!
-//! Compares the fresh `BENCH_pr5.json` (default: `./BENCH_pr5.json`)
+//! Compares a fresh `BENCH_pr*.json` (default: `./BENCH_pr5.json`)
 //! against the committed baselines (default: `./bench_baselines.json`) and
-//! exits non-zero on regression, failing the CI job. See
-//! [`ifdb_bench::gate`] for the check semantics.
+//! exits non-zero on regression, failing the CI job. The check suite is
+//! picked from the report's file name. See [`ifdb_bench::gate`] for the
+//! check semantics.
 
 use std::path::PathBuf;
 
@@ -25,9 +26,10 @@ fn main() {
     );
     for check in &outcome.checks {
         println!(
-            "  {:<28} {:>12.3}  (required >= {:>10.3})  {}",
+            "  {:<28} {:>12.3}  (required {} {:>10.3})  {}",
             check.metric,
             check.actual,
+            if check.ceiling { "<=" } else { ">=" },
             check.required,
             if check.pass { "PASS" } else { "FAIL" }
         );

@@ -1,18 +1,22 @@
-//! The bench-regression gate: compares a fresh `BENCH_pr5.json` against the
+//! The bench-regression gate: compares a fresh `BENCH_pr*.json` against the
 //! committed baselines in `bench_baselines.json` and fails (exit-code-wise)
-//! on regression.
+//! on regression. Which checks run is picked from the report's file name
+//! (`...pr5...` → the replication suite, `...pr6...` → the reactor suite).
 //!
-//! Two kinds of checks:
+//! Three kinds of checks:
 //!
 //! * **hard floors** (`min_*`) — the PR's acceptance criteria, applied
 //!   as-is (no tolerance): labeled-read scaling with two replicas, the
-//!   prepared-statement cache hit rate;
+//!   reactor-vs-thread-pool pipelining speedup, the idle-connection count;
+//! * **hard ceilings** (`max_*`) — acceptance criteria that bound a cost
+//!   from above, also applied as-is: resident KB per idle connection;
 //! * **baseline bands** (`baseline_*`) — absolute throughput numbers
-//!   (read WIPS, NOTPM under replication) measured on a reference run and
-//!   committed; a fresh run must stay above `baseline × (1 −
-//!   tolerance_frac)`. The band is wide because CI hosts vary — the gate
-//!   exists to catch order-of-magnitude regressions (an accidental
-//!   `fsync` per read, a replication stall), not 5% noise.
+//!   (read WIPS, NOTPM under replication, reactor WIPS) measured on a
+//!   reference run and committed; a fresh run must stay above `baseline ×
+//!   (1 − tolerance_frac)`. The band is wide because CI hosts vary — the
+//!   gate exists to catch order-of-magnitude regressions (an accidental
+//!   `fsync` per read, a replication stall, a reactor busy-loop), not 5%
+//!   noise.
 //!
 //! Baselines are plain JSON so a legitimate perf change updates them in the
 //! same commit that changes the numbers, and the diff documents the shift.
@@ -28,8 +32,11 @@ pub struct GateCheck {
     pub metric: String,
     /// The measured value.
     pub actual: f64,
-    /// The minimum the gate required (after tolerance).
+    /// The bound the gate enforced (after tolerance, for bands).
     pub required: f64,
+    /// `false` for a floor/band (`actual >= required` passes), `true` for a
+    /// ceiling (`actual <= required` passes).
+    pub ceiling: bool,
     /// Whether the check passed.
     pub pass: bool,
 }
@@ -48,6 +55,50 @@ impl GateOutcome {
     }
 }
 
+/// The checks one report is held to: `(metric path, baselines key)` pairs.
+struct Suite {
+    floors: &'static [(&'static str, &'static str)],
+    ceilings: &'static [(&'static str, &'static str)],
+    bands: &'static [(&'static str, &'static str)],
+}
+
+const PR5_SUITE: Suite = Suite {
+    floors: &[
+        ("read_scaling_0_to_2", "min_read_scaling_0_to_2"),
+        ("stmt_cache_hit_rate", "min_stmt_cache_hit_rate"),
+    ],
+    ceilings: &[],
+    bands: &[
+        ("read_wips_two_replicas", "baseline_read_wips_two_replicas"),
+        (
+            "notpm_under_replication",
+            "baseline_notpm_under_replication",
+        ),
+    ],
+};
+
+const PR6_SUITE: Suite = Suite {
+    floors: &[
+        ("pipeline_wips_speedup", "min_pipeline_wips_speedup"),
+        ("idle_connections", "min_idle_connections"),
+    ],
+    ceilings: &[("idle_kb_per_connection", "max_idle_kb_per_connection")],
+    bands: &[("reactor_wips", "baseline_reactor_wips")],
+};
+
+/// Picks the check suite from the report's file name.
+fn suite_for(report_path: &Path) -> &'static Suite {
+    let name = report_path
+        .file_name()
+        .map(|n| n.to_string_lossy().to_lowercase())
+        .unwrap_or_default();
+    if name.contains("pr6") {
+        &PR6_SUITE
+    } else {
+        &PR5_SUITE
+    }
+}
+
 fn load(path: &Path) -> Result<Value, String> {
     let text = std::fs::read_to_string(path)
         .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
@@ -61,11 +112,19 @@ fn metric(report: &Value, path: &str) -> Result<f64, String> {
         .ok_or_else(|| format!("report has no numeric metric at {path:?}"))
 }
 
-/// Runs the gate: `report_path` is the fresh `BENCH_pr5.json`,
+fn bound(baselines: &Value, key: &str) -> Result<f64, String> {
+    baselines
+        .get(key)
+        .and_then(Value::as_f64)
+        .ok_or_else(|| format!("baselines missing {key:?}"))
+}
+
+/// Runs the gate: `report_path` is a fresh `BENCH_pr*.json`,
 /// `baselines_path` the committed `bench_baselines.json`.
 pub fn run_gate(report_path: &Path, baselines_path: &Path) -> Result<GateOutcome, String> {
     let report = load(report_path)?;
     let baselines = load(baselines_path)?;
+    let suite = suite_for(report_path);
     let tolerance = baselines
         .get("tolerance_frac")
         .and_then(Value::as_f64)
@@ -73,42 +132,42 @@ pub fn run_gate(report_path: &Path, baselines_path: &Path) -> Result<GateOutcome
     let mut checks = Vec::new();
 
     // Hard floors: the acceptance criteria themselves.
-    for (metric_path, key) in [
-        ("read_scaling_0_to_2", "min_read_scaling_0_to_2"),
-        ("stmt_cache_hit_rate", "min_stmt_cache_hit_rate"),
-    ] {
-        let required = baselines
-            .get(key)
-            .and_then(Value::as_f64)
-            .ok_or_else(|| format!("baselines missing {key:?}"))?;
+    for (metric_path, key) in suite.floors {
+        let required = bound(&baselines, key)?;
         let actual = metric(&report, metric_path)?;
         checks.push(GateCheck {
             metric: metric_path.to_string(),
             actual,
             required,
+            ceiling: false,
             pass: actual >= required,
+        });
+    }
+
+    // Hard ceilings: acceptance criteria that cap a cost.
+    for (metric_path, key) in suite.ceilings {
+        let required = bound(&baselines, key)?;
+        let actual = metric(&report, metric_path)?;
+        checks.push(GateCheck {
+            metric: metric_path.to_string(),
+            actual,
+            required,
+            ceiling: true,
+            pass: actual <= required,
         });
     }
 
     // Baseline bands: measured throughput must stay within the tolerance
     // band of the committed reference numbers.
-    for (metric_path, key) in [
-        ("read_wips_two_replicas", "baseline_read_wips_two_replicas"),
-        (
-            "notpm_under_replication",
-            "baseline_notpm_under_replication",
-        ),
-    ] {
-        let baseline = baselines
-            .get(key)
-            .and_then(Value::as_f64)
-            .ok_or_else(|| format!("baselines missing {key:?}"))?;
+    for (metric_path, key) in suite.bands {
+        let baseline = bound(&baselines, key)?;
         let required = baseline * (1.0 - tolerance);
         let actual = metric(&report, metric_path)?;
         checks.push(GateCheck {
             metric: metric_path.to_string(),
             actual,
             required,
+            ceiling: false,
             pass: actual >= required,
         });
     }
@@ -131,7 +190,11 @@ mod tests {
         "min_read_scaling_0_to_2": 1.8,
         "min_stmt_cache_hit_rate": 0.9,
         "baseline_read_wips_two_replicas": 1000.0,
-        "baseline_notpm_under_replication": 2000.0
+        "baseline_notpm_under_replication": 2000.0,
+        "min_pipeline_wips_speedup": 1.5,
+        "min_idle_connections": 1000,
+        "max_idle_kb_per_connection": 96.0,
+        "baseline_reactor_wips": 5000.0
     }"#;
 
     #[test]
@@ -186,6 +249,57 @@ mod tests {
         let report = write_tmp("missing", r#"{"read_scaling_0_to_2": 2.0}"#);
         let baselines = write_tmp("missing-base", BASELINES);
         assert!(run_gate(&report, &baselines).is_err());
+        std::fs::remove_file(report).ok();
+        std::fs::remove_file(baselines).ok();
+    }
+
+    #[test]
+    fn pr6_report_runs_the_reactor_suite() {
+        let report = write_tmp(
+            "pr6-ok",
+            r#"{
+                "pipeline_wips_speedup": 2.3,
+                "idle_connections": 1000,
+                "idle_kb_per_connection": 40.0,
+                "reactor_wips": 4800.0
+            }"#,
+        );
+        let baselines = write_tmp("pr6-ok-base", BASELINES);
+        let outcome = run_gate(&report, &baselines).unwrap();
+        assert!(outcome.passed(), "{:?}", outcome.checks);
+        assert_eq!(outcome.checks.len(), 4);
+        let ceilings: Vec<&str> = outcome
+            .checks
+            .iter()
+            .filter(|c| c.ceiling)
+            .map(|c| c.metric.as_str())
+            .collect();
+        assert_eq!(ceilings, vec!["idle_kb_per_connection"]);
+        std::fs::remove_file(report).ok();
+        std::fs::remove_file(baselines).ok();
+    }
+
+    #[test]
+    fn pr6_memory_blowup_fails_the_ceiling() {
+        let report = write_tmp(
+            "pr6-bad",
+            r#"{
+                "pipeline_wips_speedup": 2.3,
+                "idle_connections": 1000,
+                "idle_kb_per_connection": 900.0,
+                "reactor_wips": 4800.0
+            }"#,
+        );
+        let baselines = write_tmp("pr6-bad-base", BASELINES);
+        let outcome = run_gate(&report, &baselines).unwrap();
+        assert!(!outcome.passed());
+        let failed: Vec<&str> = outcome
+            .checks
+            .iter()
+            .filter(|c| !c.pass)
+            .map(|c| c.metric.as_str())
+            .collect();
+        assert_eq!(failed, vec!["idle_kb_per_connection"]);
         std::fs::remove_file(report).ok();
         std::fs::remove_file(baselines).ok();
     }

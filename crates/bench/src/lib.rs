@@ -16,6 +16,7 @@ pub mod pr2;
 pub mod pr3;
 pub mod pr4;
 pub mod pr5;
+pub mod pr6;
 pub mod report;
 
 pub use experiments::{
@@ -33,3 +34,4 @@ pub use pr4::{
     BenchPr4Report,
 };
 pub use pr5::{bench_pr5_report, BenchPr5Report};
+pub use pr6::{bench_pr6_report, BenchPr6Report};

@@ -32,9 +32,11 @@ use ifdb::{
 use ifdb_difc::{DifcError, Label, PrincipalId, TagId};
 use ifdb_storage::Datum;
 
+use std::io::Write;
+
 use protocol::{
-    decode_error, encode_template, read_frame, write_frame, Request, Response, WireRow,
-    PROTOCOL_VERSION,
+    decode_error, encode_template, frame_into, read_frame_id, write_frame_id, Request, Response,
+    WireRow, PROTOCOL_VERSION,
 };
 
 /// Client configuration for one connection.
@@ -109,6 +111,8 @@ pub struct ClientStats {
     pub prepares: u64,
     /// Result batches fetched beyond the inline first batch.
     pub extra_fetches: u64,
+    /// Statements sent through [`Connection::pipeline`] batches.
+    pub pipelined: u64,
 }
 
 /// A connection to an `ifdb-server`, acting for one principal with one
@@ -123,6 +127,7 @@ pub struct Connection {
     prepared: HashMap<Vec<u8>, u32>,
     stats: ClientStats,
     last_write_seq: u64,
+    next_req_id: u32,
 }
 
 impl std::fmt::Debug for Connection {
@@ -171,6 +176,7 @@ impl Connection {
             prepared: HashMap::new(),
             stats: ClientStats::default(),
             last_write_seq: 0,
+            next_req_id: 1,
         };
         let resp = conn.call(&Request::Hello {
             version: PROTOCOL_VERSION,
@@ -259,31 +265,233 @@ impl Connection {
         }
     }
 
-    /// One round trip: send a request frame, read a response frame. A wire
-    /// [`Response::Error`] is decoded into the matching [`IfdbError`].
-    fn call(&mut self, req: &Request) -> IfdbResult<Response> {
-        self.stats.round_trips += 1;
-        write_frame(&mut self.writer, &req.encode())?;
-        let payload = read_frame(&mut self.reader)?
+    fn next_id(&mut self) -> u32 {
+        let id = self.next_req_id;
+        self.next_req_id = self.next_req_id.wrapping_add(1).max(1);
+        id
+    }
+
+    /// Reads the response for `expect_id` (responses arrive in request
+    /// order), keeping wire errors as [`Response::Error`] but mirroring any
+    /// piggybacked session label immediately — failed statements can still
+    /// have contaminated the process, and a pipelined batch must apply the
+    /// contamination before decoding later responses.
+    fn recv_raw(&mut self, expect_id: u32) -> IfdbResult<Response> {
+        let (id, payload) = read_frame_id(&mut self.reader)?
             .ok_or_else(|| io_err("server closed the connection".into()))?;
-        match Response::decode(&payload)? {
+        // id 0 is a connection-level frame the server sends unprompted — an
+        // accept refusal or a shutdown notice. It decodes to an error below
+        // and stands in for whatever response was expected.
+        if id != 0 && id != expect_id {
+            return Err(io_err(format!(
+                "response id {id} does not match request {expect_id}"
+            )));
+        }
+        let resp = Response::decode(&payload)?;
+        if let Response::Error {
+            session_label: Some(tags),
+            ..
+        } = &resp
+        {
+            self.label = Label::from_array(tags);
+        }
+        Ok(resp)
+    }
+
+    /// Turns a wire [`Response::Error`] into the matching [`IfdbError`].
+    fn reify(resp: Response) -> IfdbResult<Response> {
+        match resp {
             Response::Error {
                 code,
                 detail,
                 label0,
                 label1,
                 aux,
-                session_label,
-            } => {
-                // Failed statements can still have contaminated the
-                // process; the server attaches the authoritative label.
-                if let Some(tags) = session_label {
-                    self.label = Label::from_array(&tags);
-                }
-                Err(decode_error(code, detail, label0, label1, aux))
-            }
+                ..
+            } => Err(decode_error(code, detail, label0, label1, aux)),
             resp => Ok(resp),
         }
+    }
+
+    /// One round trip: send a request frame, read the matching response. A
+    /// wire [`Response::Error`] is decoded into the matching [`IfdbError`].
+    fn call(&mut self, req: &Request) -> IfdbResult<Response> {
+        self.stats.round_trips += 1;
+        let id = self.next_id();
+        write_frame_id(&mut self.writer, id, &req.encode())?;
+        Self::reify(self.recv_raw(id)?)
+    }
+
+    fn flush_batch(&mut self, buf: &[u8]) -> IfdbResult<()> {
+        self.stats.round_trips += 1;
+        self.writer
+            .write_all(buf)
+            .map_err(|e| io_err(format!("write: {e}")))?;
+        self.writer
+            .flush()
+            .map_err(|e| io_err(format!("flush: {e}")))?;
+        Ok(())
+    }
+
+    /// Executes a batch of statements **pipelined**: every request goes out
+    /// in (at most) two flushes — one for unseen statement shapes to
+    /// prepare, one carrying all the executes — and the responses are read
+    /// back-to-back, so the batch costs ~one round trip instead of one per
+    /// statement.
+    ///
+    /// The server executes the batch strictly in order on this connection's
+    /// session, exactly as if the statements had been sent one at a time:
+    /// each response piggybacks the process label *after* its statement, so
+    /// a label-raising statement is observed by the responses of every later
+    /// statement in the same batch (§7.2 ordering contract).
+    ///
+    /// Returns one result per statement; a statement error (constraint
+    /// violation, DIFC denial, timeout) fails its own slot without aborting
+    /// the rest of the batch. Transport-level failures fail the whole call.
+    pub fn pipeline(
+        &mut self,
+        stmts: &[Statement],
+    ) -> IfdbResult<Vec<IfdbResult<StatementResult>>> {
+        if stmts.is_empty() {
+            return Ok(Vec::new());
+        }
+        self.stats.statements += stmts.len() as u64;
+        self.stats.pipelined += stmts.len() as u64;
+
+        // Encode every statement shape; collect unseen templates once each.
+        let mut encoded = Vec::with_capacity(stmts.len());
+        let mut to_prepare: Vec<Vec<u8>> = Vec::new();
+        for stmt in stmts {
+            let (template, params) = encode_template(stmt);
+            if !self.prepared.contains_key(&template) && !to_prepare.contains(&template) {
+                to_prepare.push(template.clone());
+            }
+            encoded.push((template, params));
+        }
+
+        // Phase 1: prepare every unseen shape in one flush. A prepare
+        // failure (e.g. statement-cache quota) fails the whole batch, but
+        // the remaining responses are still drained to keep the stream in
+        // sync.
+        if !to_prepare.is_empty() {
+            let mut buf = Vec::new();
+            let mut ids = Vec::with_capacity(to_prepare.len());
+            for template in &to_prepare {
+                self.stats.prepares += 1;
+                let id = self.next_id();
+                frame_into(
+                    &mut buf,
+                    id,
+                    &Request::Prepare {
+                        template: template.clone(),
+                    }
+                    .encode(),
+                )?;
+                ids.push(id);
+            }
+            self.flush_batch(&buf)?;
+            let mut first_err = None;
+            for (template, req_id) in to_prepare.into_iter().zip(ids) {
+                match Self::reify(self.recv_raw(req_id)?) {
+                    Ok(Response::Prepared { id }) => {
+                        self.prepared.insert(template, id);
+                    }
+                    Ok(other) => {
+                        first_err.get_or_insert(unexpected(other));
+                    }
+                    Err(e) => {
+                        first_err.get_or_insert(e);
+                    }
+                }
+            }
+            if let Some(e) = first_err {
+                return Err(e);
+            }
+        }
+
+        // Phase 2: every execute in one flush, then read the responses in
+        // request order.
+        let mut buf = Vec::new();
+        let mut ids = Vec::with_capacity(encoded.len());
+        for (template, params) in &encoded {
+            let stmt_id = *self.prepared.get(template).expect("prepared above");
+            let id = self.next_id();
+            frame_into(
+                &mut buf,
+                id,
+                &Request::Execute {
+                    stmt: stmt_id,
+                    params: params.clone(),
+                    fetch: self.fetch_batch,
+                }
+                .encode(),
+            )?;
+            ids.push(id);
+        }
+        self.flush_batch(&buf)?;
+
+        let mut results: Vec<IfdbResult<StatementResult>> = Vec::with_capacity(ids.len());
+        // Cursors opened by batch statements are drained *after* the batch
+        // responses (Fetch requests would otherwise interleave with the
+        // batch's own response stream).
+        struct PendingCursor {
+            idx: usize,
+            columns: std::sync::Arc<Vec<String>>,
+            rows: Vec<Row>,
+            cursor: u32,
+        }
+        let mut pending: Vec<PendingCursor> = Vec::new();
+        for (idx, req_id) in ids.into_iter().enumerate() {
+            match Self::reify(self.recv_raw(req_id)?) {
+                Ok(Response::Affected { n, label, seq }) => {
+                    self.label = Label::from_array(&label);
+                    self.last_write_seq = self.last_write_seq.max(seq);
+                    results.push(Ok(StatementResult::Affected(n as usize)));
+                }
+                Ok(Response::Rows {
+                    columns,
+                    rows,
+                    cursor,
+                    label,
+                }) => {
+                    self.label = Label::from_array(&label);
+                    let columns = std::sync::Arc::new(columns);
+                    let out: Vec<Row> = rows.into_iter().map(|r| wire_row(&columns, r)).collect();
+                    if cursor != 0 {
+                        pending.push(PendingCursor {
+                            idx,
+                            columns,
+                            rows: out,
+                            cursor,
+                        });
+                        results.push(Ok(StatementResult::Rows(ResultSet::new(Vec::new()))));
+                    } else {
+                        results.push(Ok(StatementResult::Rows(ResultSet::new(out))));
+                    }
+                }
+                Ok(other) => results.push(Err(unexpected(other))),
+                Err(e) => results.push(Err(e)),
+            }
+        }
+        for p in pending {
+            let (idx, columns, mut out, mut cursor) = (p.idx, p.columns, p.rows, p.cursor);
+            while cursor != 0 {
+                self.stats.extra_fetches += 1;
+                let resp = self.call(&Request::Fetch {
+                    cursor,
+                    max: self.fetch_batch,
+                })?;
+                let Response::Batch { rows, done } = resp else {
+                    return Err(unexpected(resp));
+                };
+                out.extend(rows.into_iter().map(|r| wire_row(&columns, r)));
+                if done {
+                    cursor = 0;
+                }
+            }
+            results[idx] = Ok(StatementResult::Rows(ResultSet::new(out)));
+        }
+        Ok(results)
     }
 
     /// Executes a closed statement: auto-prepares its shape on first sight,
@@ -488,6 +696,14 @@ impl SessionApi for Connection {
             Err(IfdbError::Difc(DifcError::ContaminatedOutput {
                 label: self.label.clone(),
             }))
+        }
+    }
+    fn execute_batch(&mut self, stmts: &[Statement]) -> Vec<IfdbResult<StatementResult>> {
+        // Pipelined: the whole batch in one round trip. A transport failure
+        // fails every slot.
+        match self.pipeline(stmts) {
+            Ok(results) => results,
+            Err(e) => stmts.iter().map(|_| Err(e.clone())).collect(),
         }
     }
 }

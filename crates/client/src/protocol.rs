@@ -27,7 +27,14 @@ use ifdb_difc::{DifcError, Label, TagId};
 use ifdb_storage::{Datum, StorageError};
 
 /// Protocol version carried by the handshake; bumped on incompatible change.
-pub const PROTOCOL_VERSION: u32 = 1;
+///
+/// Version 2 (the pipelined protocol): every frame payload begins with a
+/// 4-byte little-endian **request id**. Clients may send many request frames
+/// per flush; the server executes each connection's requests in FIFO order
+/// (so the §7.2 label piggybacking on responses stays coherent) and echoes
+/// the id on the matching response frame, which lets a client correlate a
+/// whole batch of responses read back-to-back.
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// Upper bound on a frame payload. Frames beyond this are a protocol error,
 /// not an allocation request.
@@ -96,6 +103,92 @@ pub fn read_frame(r: &mut impl Read) -> IfdbResult<Option<Vec<u8>>> {
         return Err(protocol_error("frame checksum mismatch"));
     }
     Ok(Some(payload))
+}
+
+// ---------------------------------------------------------------------
+// Pipelined (v2) frames: request-id-tagged payloads
+// ---------------------------------------------------------------------
+
+/// Appends one v2 frame — `len | crc | req_id | message` with the checksum
+/// covering `req_id | message` — to `buf` without touching any socket. This
+/// is the encode half the reactor and the client's `pipeline()` share: both
+/// assemble many frames into one buffer and flush once.
+pub fn frame_into(buf: &mut Vec<u8>, req_id: u32, message: &[u8]) -> IfdbResult<()> {
+    let payload_len = message.len() + 4;
+    if payload_len > MAX_FRAME_BYTES {
+        return Err(protocol_error("frame too large"));
+    }
+    buf.extend_from_slice(&(payload_len as u32).to_le_bytes());
+    let crc_at = buf.len();
+    buf.extend_from_slice(&[0u8; 4]); // checksum backpatched below
+    let body_at = buf.len();
+    buf.extend_from_slice(&req_id.to_le_bytes());
+    buf.extend_from_slice(message);
+    let crc = frame_checksum(&buf[body_at..]);
+    buf[crc_at..crc_at + 4].copy_from_slice(&crc.to_le_bytes());
+    Ok(())
+}
+
+/// Writes one v2 frame and flushes — the single-request convenience over
+/// [`frame_into`].
+pub fn write_frame_id(w: &mut impl Write, req_id: u32, message: &[u8]) -> IfdbResult<()> {
+    let mut buf = Vec::with_capacity(message.len() + 12);
+    frame_into(&mut buf, req_id, message)?;
+    w.write_all(&buf)
+        .map_err(|e| protocol_error(format!("write: {e}")))?;
+    w.flush()
+        .map_err(|e| protocol_error(format!("flush: {e}")))?;
+    Ok(())
+}
+
+/// Splits a verified v2 frame payload into `(req_id, message)`.
+pub fn split_frame_id(payload: &[u8]) -> IfdbResult<(u32, &[u8])> {
+    if payload.len() < 4 {
+        return Err(protocol_error("frame too short for request id"));
+    }
+    let id = u32::from_le_bytes(payload[0..4].try_into().unwrap());
+    Ok((id, &payload[4..]))
+}
+
+/// Reads one v2 frame, returning `(req_id, message)`; `None` on clean EOF at
+/// a frame boundary.
+pub fn read_frame_id(r: &mut impl Read) -> IfdbResult<Option<(u32, Vec<u8>)>> {
+    match read_frame(r)? {
+        None => Ok(None),
+        Some(payload) => {
+            let (id, message) = split_frame_id(&payload)?;
+            Ok(Some((id, message.to_vec())))
+        }
+    }
+}
+
+/// Incremental frame assembly over a byte buffer — the reactor's read path.
+///
+/// Given the unconsumed bytes of a connection's inbound buffer, returns:
+/// * `Ok(Some((consumed, req_id, message)))` — one complete, checksum-valid
+///   frame occupying the first `consumed` bytes;
+/// * `Ok(None)` — no complete frame yet (caller keeps accumulating);
+/// * `Err(_)` — the stream is corrupt (oversized frame, bad checksum, short
+///   payload) and the connection must be dropped: framing cannot resync.
+pub fn try_take_frame(buf: &[u8]) -> IfdbResult<Option<(usize, u32, Vec<u8>)>> {
+    if buf.len() < 8 {
+        return Ok(None);
+    }
+    let len = u32::from_le_bytes(buf[0..4].try_into().unwrap()) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(protocol_error(format!("frame length {len} exceeds limit")));
+    }
+    let total = 8 + len;
+    if buf.len() < total {
+        return Ok(None);
+    }
+    let crc = u32::from_le_bytes(buf[4..8].try_into().unwrap());
+    let payload = &buf[8..total];
+    if frame_checksum(payload) != crc {
+        return Err(protocol_error("frame checksum mismatch"));
+    }
+    let (id, message) = split_frame_id(payload)?;
+    Ok(Some((total, id, message.to_vec())))
 }
 
 // ---------------------------------------------------------------------

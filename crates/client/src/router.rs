@@ -229,6 +229,40 @@ impl RoutedConnection {
         self.primary.run(stmt).map(StatementResult::into_rows)
     }
 
+    /// Executes a batch of statements **pipelined** (one flush, responses
+    /// read back-to-back — see [`Connection::pipeline`]), routing the whole
+    /// batch to one connection: an all-read batch outside a transaction goes
+    /// to a replica behind the usual read-your-writes barrier; any batch
+    /// containing a write, or running inside a transaction, goes to the
+    /// primary. The batch is never split across connections — per-connection
+    /// FIFO execution is what keeps the piggybacked-label sequence coherent.
+    pub fn pipeline(
+        &mut self,
+        stmts: &[Statement],
+    ) -> IfdbResult<Vec<IfdbResult<StatementResult>>> {
+        let all_reads = stmts.iter().all(|s| {
+            matches!(
+                s,
+                Statement::Select(_) | Statement::Join(_) | Statement::Aggregate(_)
+            )
+        });
+        if all_reads {
+            if let Some(idx) = self.replica_for_read() {
+                match self.replicas[idx].pipeline(stmts) {
+                    Ok(results) => {
+                        self.stats.reads_on_replica += stmts.len() as u64;
+                        return Ok(results);
+                    }
+                    Err(_) => {
+                        self.stats.ryw_fallbacks += 1;
+                    }
+                }
+            }
+            self.stats.reads_on_primary += stmts.len() as u64;
+        }
+        self.primary.pipeline(stmts)
+    }
+
     /// Applies a label operation to the primary and mirrors it to every
     /// replica, keeping the sessions label-symmetric. The primary's outcome
     /// decides success; a replica that refuses (e.g. it has not learned a
@@ -311,5 +345,11 @@ impl SessionApi for RoutedConnection {
     }
     fn check_release_to_world(&self) -> IfdbResult<()> {
         self.primary.check_release_to_world()
+    }
+    fn execute_batch(&mut self, stmts: &[Statement]) -> Vec<IfdbResult<StatementResult>> {
+        match self.pipeline(stmts) {
+            Ok(results) => results,
+            Err(e) => stmts.iter().map(|_| Err(e.clone())).collect(),
+        }
     }
 }

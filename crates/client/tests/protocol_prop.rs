@@ -5,7 +5,8 @@
 
 use ifdb::{AggFunc, Aggregate, Delete, Insert, Join, Order, Predicate, Select, Statement, Update};
 use ifdb_client::protocol::{
-    decode_template, encode_template, read_frame, write_frame, Request, Response, WireRow,
+    decode_template, encode_template, frame_into, read_frame, read_frame_id, try_take_frame,
+    write_frame, write_frame_id, Request, Response, WireRow,
 };
 use ifdb_difc::{Label, TagId};
 use ifdb_storage::Datum;
@@ -283,6 +284,24 @@ fn gen_response(rng: &mut StdRng) -> Response {
     }
 }
 
+/// Parses every complete frame at the head of `buf` (the reactor's
+/// incremental assembly loop). `Ok` carries the `(req_id, message)` pairs of
+/// the whole frames present; `Err` means the stream is unrecoverably corrupt.
+fn parse_all(buf: &[u8]) -> Result<Vec<(u32, Vec<u8>)>, ()> {
+    let mut out = Vec::new();
+    let mut off = 0;
+    loop {
+        match try_take_frame(&buf[off..]) {
+            Ok(Some((n, id, msg))) => {
+                off += n;
+                out.push((id, msg));
+            }
+            Ok(None) => return Ok(out),
+            Err(_) => return Err(()),
+        }
+    }
+}
+
 proptest! {
     #[test]
     fn statement_templates_round_trip(seed in 0u64..u64::MAX) {
@@ -338,6 +357,91 @@ proptest! {
                 Request::decode(&payload).map(|r| r != req).unwrap_or(true),
                 "bit-flipped frame reproduced the original message"
             );
+        }
+    }
+
+    /// A pipelined flush — several id-carrying frames back to back — round-
+    /// trips through both the incremental parser (`try_take_frame`, the
+    /// reactor's read path) and the blocking reader (`read_frame_id`), and
+    /// any byte-prefix of the stream yields exactly the whole frames it
+    /// contains, in order, never a partial one.
+    #[test]
+    fn pipelined_frames_round_trip(seed in 0u64..u64::MAX) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = rng.gen_range(1..6usize);
+        let mut originals = Vec::with_capacity(n);
+        let mut buf = Vec::new();
+        for _ in 0..n {
+            let req = gen_request(&mut rng);
+            let id = rng.gen::<u32>();
+            frame_into(&mut buf, id, &req.encode()).unwrap();
+            originals.push((id, req));
+        }
+
+        // frame_into and write_frame_id produce identical bytes.
+        let (id0, req0) = &originals[0];
+        let mut via_writer = Vec::new();
+        write_frame_id(&mut via_writer, *id0, &req0.encode()).unwrap();
+        let mut via_into = Vec::new();
+        frame_into(&mut via_into, *id0, &req0.encode()).unwrap();
+        prop_assert_eq!(via_writer, via_into);
+
+        // Full stream: every frame, every id, every message.
+        let full = parse_all(&buf).expect("valid stream");
+        prop_assert_eq!(full.len(), n);
+        for ((id, req), (got_id, msg)) in originals.iter().zip(&full) {
+            prop_assert_eq!(*got_id, *id);
+            prop_assert_eq!(&Request::decode(msg).expect("decode"), req);
+        }
+
+        // Any prefix: only the complete frames, in order (the incremental
+        // assembler must wait for the rest, not guess).
+        let cut = rng.gen_range(0..=buf.len());
+        let prefix = parse_all(&buf[..cut]).expect("prefix of a valid stream");
+        prop_assert!(prefix.len() <= n);
+        for ((id, req), (got_id, msg)) in originals.iter().zip(&prefix) {
+            prop_assert_eq!(*got_id, *id);
+            prop_assert_eq!(&Request::decode(msg).expect("decode"), req);
+        }
+
+        // The blocking reader sees the same stream.
+        let mut reader = buf.as_slice();
+        for (id, req) in &originals {
+            let (got_id, msg) = read_frame_id(&mut reader).unwrap().expect("frame");
+            prop_assert_eq!(got_id, *id);
+            prop_assert_eq!(&Request::decode(&msg).expect("decode"), req);
+        }
+        prop_assert!(read_frame_id(&mut reader).unwrap().is_none());
+    }
+
+    /// Mid-pipeline corruption: truncation yields exactly the preceding
+    /// whole frames, and a single bit flip anywhere in a multi-frame stream
+    /// never lets the full original pipeline decode intact — the damage is
+    /// always surfaced as an error, a short parse, or a changed message.
+    #[test]
+    fn corrupted_pipelines_never_decode_by_luck(seed in 0u64..u64::MAX) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = rng.gen_range(2..5usize);
+        let mut originals = Vec::with_capacity(n);
+        let mut buf = Vec::new();
+        for _ in 0..n {
+            let req = gen_request(&mut rng);
+            let id = rng.gen::<u32>();
+            frame_into(&mut buf, id, &req.encode()).unwrap();
+            originals.push((id, req.encode()));
+        }
+
+        let byte = rng.gen_range(0..buf.len());
+        let bit = rng.gen_range(0u32..8);
+        let mut corrupt = buf.clone();
+        corrupt[byte] ^= 1u8 << bit;
+        if let Ok(frames) = parse_all(&corrupt) {
+            let intact = frames.len() == originals.len()
+                && originals
+                    .iter()
+                    .zip(&frames)
+                    .all(|((id, msg), (got_id, got_msg))| got_id == id && got_msg == msg);
+            prop_assert!(!intact, "bit-flipped pipeline reproduced every frame");
         }
     }
 }

@@ -125,6 +125,19 @@ pub trait SessionApi {
             Statement::Delete(d) => self.delete(d).map(StatementResult::Affected),
         }
     }
+
+    /// Executes a batch of statements in order, returning one result per
+    /// statement; a failing statement fails its own slot without aborting
+    /// the rest of the batch (within a transaction, the session's usual
+    /// error rules still apply to later statements).
+    ///
+    /// The default runs the batch sequentially; network-backed sessions
+    /// override it to **pipeline** the whole batch in one round trip.
+    /// Statement order — and therefore label-flow order — is identical
+    /// either way.
+    fn execute_batch(&mut self, stmts: &[Statement]) -> Vec<IfdbResult<StatementResult>> {
+        stmts.iter().map(|s| self.execute(s)).collect()
+    }
 }
 
 impl SessionApi for Session {

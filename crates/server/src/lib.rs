@@ -6,25 +6,43 @@
 //! clients operate concurrently (Section 7). This crate provides that front
 //! door for the reproduction:
 //!
-//! * a `std::net::TcpListener` accept loop feeding a **bounded queue** of
-//!   pending connections (admission control: beyond the backlog, connections
-//!   are refused with a `SERVER_BUSY` error instead of queueing unboundedly);
-//! * a **fixed worker pool**; each worker serves one connection at a time,
-//!   so `workers` bounds concurrent sessions;
+//! * an **event-driven reactor core** (the default [`Backend::Reactor`]):
+//!   one reactor thread multiplexes every connection over epoll (the
+//!   in-tree [`polling`] crate), doing nonblocking reads/writes with
+//!   per-connection buffers and incremental frame assembly, while a small
+//!   **executor pool** runs ready statements — the reactor thread never
+//!   blocks on I/O, so thousands of mostly-idle labeled connections cost
+//!   one thread plus a few KB each;
+//! * a **pipelined wire protocol**: clients send many request frames per
+//!   flush; the server executes each connection's requests strictly in
+//!   FIFO order (so the §7.2 label piggybacking on responses stays
+//!   coherent) and echoes each request's id on its response;
+//! * **reactor-native backpressure**: a connection whose response queue
+//!   outgrows [`ServerConfig::outbound_buffer_limit`] stops being *read*
+//!   until the peer drains it, so a slow reader cannot balloon server
+//!   memory; the accept-time refusal remains only as a connection-count
+//!   quota ([`ServerConfig::max_connections`]);
+//! * the legacy **blocking thread pool** ([`Backend::ThreadPool`]) kept as
+//!   an alternative backend (and as the bench baseline): a bounded accept
+//!   queue feeding `workers` threads, one connection served per thread;
 //! * per-connection [`ifdb::Session`] state: the process label, the open
 //!   transaction, and result cursors for streamed batches;
 //! * a **server-wide prepared-statement cache** ([`StatementCache`]): value-
 //!   free statement templates are deduplicated across connections and
 //!   executions send a 4-byte id plus parameters;
-//! * per-connection **statement timeouts** and **graceful shutdown** that
-//!   drains in-flight transactions briefly and aborts stragglers, so
-//!   recovery after a restart stays clean.
+//! * per-connection **statement timeouts** (which also cancel any
+//!   queued-but-unexecuted pipelined statements behind the timed-out one)
+//!   and **graceful shutdown** that drains in-flight transactions *and*
+//!   pipelined request queues briefly, then aborts stragglers, so recovery
+//!   after a restart stays clean.
 //!
 //! The wire protocol lives in [`ifdb_client::protocol`]; this crate is the
 //! serving half.
 
 #![deny(missing_docs)]
 
+mod pool;
+mod reactor;
 pub mod replica;
 
 pub use replica::{start_replica, ReplicaConfig, ReplicaHandle, ReplicaStats};
@@ -38,24 +56,53 @@ use std::time::{Duration, Instant};
 
 use ifdb::{Database, IfdbError, IfdbResult, Row, Session, SessionApi, StatementResult};
 use ifdb_client::protocol::{
-    code, decode_template, encode_error, read_frame, write_frame, Request, Response, WireRow,
+    code, decode_template, encode_error, write_frame_id, Request, Response, WireRow,
     PROTOCOL_VERSION,
 };
 use ifdb_difc::Label;
 use ifdb_platform::Authenticator;
 use parking_lot::RwLock;
 
+/// Which serving core a server runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Backend {
+    /// The event-driven core: one epoll reactor thread for all I/O plus a
+    /// pool of `workers` statement executors. Scales to thousands of
+    /// mostly-idle connections.
+    #[default]
+    Reactor,
+    /// The blocking thread-per-connection pool: `workers` threads, each
+    /// serving one connection at a time, with a bounded accept queue.
+    /// Concurrency is capped at `workers`.
+    ThreadPool,
+}
+
 /// Server configuration.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Address to bind; use port 0 for an ephemeral port (tests).
     pub addr: String,
-    /// Worker threads — the maximum number of concurrently served
-    /// connections.
+    /// Which serving core to run; [`Backend::Reactor`] by default.
+    pub backend: Backend,
+    /// Statement executor threads (reactor backend) or connection-serving
+    /// worker threads (thread-pool backend, where this also caps concurrent
+    /// connections).
     pub workers: usize,
-    /// Bounded accept queue: connections beyond `workers` wait here; beyond
-    /// the backlog they are refused with `SERVER_BUSY`.
+    /// Thread-pool backend only — bounded accept queue: connections beyond
+    /// `workers` wait here; beyond the backlog they are refused with
+    /// `SERVER_BUSY`.
     pub accept_backlog: usize,
+    /// Reactor backend only — hard cap on concurrently open connections;
+    /// beyond it, new connections are refused with `SERVER_BUSY`. This is
+    /// the only accept-time refusal the reactor performs: load is otherwise
+    /// absorbed by per-connection backpressure, not by refusing admission.
+    pub max_connections: usize,
+    /// Reactor backend only — per-connection bound (bytes) on buffered
+    /// response data. A connection whose un-flushed responses exceed it is
+    /// paused (the reactor stops *reading* it) until the peer drains below
+    /// half the bound, so a slow reader holds at most ~this much server
+    /// memory instead of ballooning it.
+    pub outbound_buffer_limit: usize,
     /// Per-connection statement timeout. A statement that exceeds it inside
     /// an explicit transaction aborts the transaction and reports
     /// `STATEMENT_TIMEOUT`; an auto-committed statement past the deadline is
@@ -90,8 +137,11 @@ impl Default for ServerConfig {
     fn default() -> Self {
         ServerConfig {
             addr: "127.0.0.1:0".to_string(),
+            backend: Backend::Reactor,
             workers: 16,
             accept_backlog: 32,
+            max_connections: 4096,
+            outbound_buffer_limit: 1 << 20,
             statement_timeout: Duration::from_secs(5),
             fetch_batch: 256,
             stmt_cache_capacity: 4096,
@@ -133,6 +183,18 @@ pub struct ServerStats {
     /// In-flight transactions aborted because their connection died or the
     /// server shut down before they finished.
     pub txns_aborted_on_disconnect: u64,
+    /// Requests that arrived (or were already queued) after shutdown began
+    /// and were still executed during the drain window.
+    pub requests_drained_on_shutdown: u64,
+    /// Pipelined requests still queued when the shutdown drain deadline
+    /// passed; they were discarded, not executed.
+    pub requests_aborted_on_shutdown: u64,
+    /// Times the reactor paused reading a connection because its buffered
+    /// responses exceeded [`ServerConfig::outbound_buffer_limit`].
+    pub backpressure_pauses: u64,
+    /// Queued-but-unexecuted pipelined statements cancelled because an
+    /// earlier statement on the same connection hit the statement timeout.
+    pub pipelined_cancelled: u64,
 }
 
 impl ServerStats {
@@ -159,6 +221,10 @@ struct Counters {
     statement_timeouts: AtomicU64,
     slow_statements: AtomicU64,
     txns_aborted_on_disconnect: AtomicU64,
+    requests_drained_on_shutdown: AtomicU64,
+    requests_aborted_on_shutdown: AtomicU64,
+    backpressure_pauses: AtomicU64,
+    pipelined_cancelled: AtomicU64,
 }
 
 /// The server-wide prepared-statement cache: statement templates (value-free
@@ -279,20 +345,28 @@ impl Shared {
     }
 }
 
+/// The backend-specific half of a running server.
+enum BackendHandle {
+    Pool {
+        accept_thread: Option<std::thread::JoinHandle<()>>,
+        workers: Vec<std::thread::JoinHandle<()>>,
+    },
+    Reactor(reactor::ReactorHandle),
+}
+
 /// A handle to a running server: its bound address, statistics, and the
 /// shutdown switch.
 pub struct ServerHandle {
     addr: SocketAddr,
     shared: Arc<Shared>,
-    accept_thread: Option<std::thread::JoinHandle<()>>,
-    workers: Vec<std::thread::JoinHandle<()>>,
+    backend: BackendHandle,
 }
 
 impl std::fmt::Debug for ServerHandle {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ServerHandle")
             .field("addr", &self.addr)
-            .field("workers", &self.workers.len())
+            .field("backend", &self.shared.config.backend)
             .finish()
     }
 }
@@ -323,32 +397,49 @@ impl ServerHandle {
             statement_timeouts: c.statement_timeouts.load(Ordering::Relaxed),
             slow_statements: c.slow_statements.load(Ordering::Relaxed),
             txns_aborted_on_disconnect: c.txns_aborted_on_disconnect.load(Ordering::Relaxed),
+            requests_drained_on_shutdown: c.requests_drained_on_shutdown.load(Ordering::Relaxed),
+            requests_aborted_on_shutdown: c.requests_aborted_on_shutdown.load(Ordering::Relaxed),
+            backpressure_pauses: c.backpressure_pauses.load(Ordering::Relaxed),
+            pipelined_cancelled: c.pipelined_cancelled.load(Ordering::Relaxed),
         }
     }
 
     /// Gracefully shuts the server down: stop accepting, let connections
-    /// with open transactions finish within the drain timeout, abort the
-    /// stragglers, and join every thread. In-flight transactions that do not
-    /// commit in time are aborted (never left active), so a subsequent
-    /// recovery replays a clean history.
-    pub fn shutdown(mut self) {
+    /// with open transactions — or with pipelined requests still queued —
+    /// finish within the drain timeout, abort the stragglers, and join
+    /// every thread. In-flight transactions that do not commit in time are
+    /// aborted (never left active), so a subsequent recovery replays a
+    /// clean history. Requests executed during the window count as
+    /// `requests_drained_on_shutdown`; requests still queued at the
+    /// deadline count as `requests_aborted_on_shutdown`. Returns the final
+    /// counter snapshot (the handle is gone afterwards).
+    pub fn shutdown(mut self) -> ServerStats {
         {
             let mut at = self.shared.shutdown_at.lock().expect("shutdown lock");
             *at = Some(Instant::now());
         }
         self.shared.shutdown.store(true, Ordering::SeqCst);
-        self.shared.queue_cvar.notify_all();
-        if let Some(t) = self.accept_thread.take() {
-            let _ = t.join();
+        match &mut self.backend {
+            BackendHandle::Pool {
+                accept_thread,
+                workers,
+            } => {
+                self.shared.queue_cvar.notify_all();
+                if let Some(t) = accept_thread.take() {
+                    let _ = t.join();
+                }
+                for w in workers.drain(..) {
+                    let _ = w.join();
+                }
+                // Refuse anything still queued.
+                let mut queue = self.shared.queue.lock().expect("queue lock");
+                while let Some(stream) = queue.pop_front() {
+                    refuse(stream, code::SHUTTING_DOWN, "server is shutting down");
+                }
+            }
+            BackendHandle::Reactor(handle) => handle.shutdown_join(),
         }
-        for w in self.workers.drain(..) {
-            let _ = w.join();
-        }
-        // Refuse anything still queued.
-        let mut queue = self.shared.queue.lock().expect("queue lock");
-        while let Some(stream) = queue.pop_front() {
-            refuse(stream, code::SHUTTING_DOWN, "server is shutting down");
-        }
+        self.stats()
     }
 }
 
@@ -408,63 +499,22 @@ fn start_inner(
         watermark,
     });
 
-    let accept_shared = shared.clone();
-    let accept_thread = std::thread::Builder::new()
-        .name("ifdb-accept".into())
-        .spawn(move || accept_loop(listener, accept_shared))
-        .expect("spawn accept thread");
-
-    let mut workers = Vec::new();
-    for i in 0..shared.config.workers.max(1) {
-        let worker_shared = shared.clone();
-        workers.push(
-            std::thread::Builder::new()
-                .name(format!("ifdb-worker-{i}"))
-                .spawn(move || worker_loop(worker_shared))
-                .expect("spawn worker"),
-        );
-    }
+    let backend = match shared.config.backend {
+        Backend::ThreadPool => pool::start(listener, shared.clone()),
+        Backend::Reactor => BackendHandle::Reactor(reactor::start(listener, shared.clone())?),
+    };
 
     Ok(ServerHandle {
         addr,
         shared,
-        accept_thread: Some(accept_thread),
-        workers,
+        backend,
     })
 }
 
-fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
-    while !shared.shutting_down() {
-        match listener.accept() {
-            Ok((stream, _)) => {
-                let mut queue = shared.queue.lock().expect("queue lock");
-                if queue.len() >= shared.config.accept_backlog {
-                    drop(queue);
-                    shared
-                        .counters
-                        .connections_rejected
-                        .fetch_add(1, Ordering::Relaxed);
-                    refuse(stream, code::SERVER_BUSY, "accept queue full");
-                    continue;
-                }
-                shared
-                    .counters
-                    .connections_accepted
-                    .fetch_add(1, Ordering::Relaxed);
-                queue.push_back(stream);
-                drop(queue);
-                shared.queue_cvar.notify_one();
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(5));
-            }
-            Err(_) => std::thread::sleep(Duration::from_millis(20)),
-        }
-    }
-}
-
 /// Sends a one-shot error frame on a connection we will not serve, then
-/// drops it. Best effort: the peer may already be gone.
+/// drops it. Request id 0 marks it as connection-level (unsolicited — the
+/// peer has not necessarily sent anything yet). Best effort: the peer may
+/// already be gone.
 fn refuse(stream: TcpStream, code_: u8, detail: &str) {
     let mut w = BufWriter::new(stream);
     let resp = Response::Error {
@@ -475,45 +525,7 @@ fn refuse(stream: TcpStream, code_: u8, detail: &str) {
         aux: 0,
         session_label: None,
     };
-    let _ = write_frame(&mut w, &resp.encode());
-}
-
-fn worker_loop(shared: Arc<Shared>) {
-    loop {
-        let stream = {
-            let mut queue = shared.queue.lock().expect("queue lock");
-            loop {
-                if let Some(s) = queue.pop_front() {
-                    break Some(s);
-                }
-                if shared.shutting_down() {
-                    break None;
-                }
-                let (q, _) = shared
-                    .queue_cvar
-                    .wait_timeout(queue, Duration::from_millis(100))
-                    .expect("queue lock");
-                queue = q;
-            }
-        };
-        let Some(stream) = stream else { return };
-        shared
-            .counters
-            .connections_active
-            .fetch_add(1, Ordering::Relaxed);
-        // A panic inside a connection must not kill the worker; the session
-        // is dropped (aborting any open transaction) and the worker moves on.
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            serve_connection(&shared, stream)
-        }));
-        shared
-            .counters
-            .connections_active
-            .fetch_sub(1, Ordering::Relaxed);
-        if result.is_err() {
-            // Nothing to do: state lives in the dropped session.
-        }
-    }
+    let _ = write_frame_id(&mut w, 0, &resp.encode());
 }
 
 /// One result cursor: the rows remaining to stream.
@@ -527,145 +539,11 @@ struct ConnState {
     trusted: bool,
     cursors: HashMap<u32, Cursor>,
     next_cursor: u32,
-}
-
-fn serve_connection(shared: &Arc<Shared>, stream: TcpStream) {
-    if stream.set_nodelay(true).is_err() {
-        return;
-    }
-    // Short poll timeout so idle connections notice shutdown promptly; the
-    // frame reader below only runs once bytes have started arriving.
-    if stream
-        .set_read_timeout(Some(Duration::from_millis(100)))
-        .is_err()
-    {
-        return;
-    }
-    let Ok(read_stream) = stream.try_clone() else {
-        return;
-    };
-    let mut reader = std::io::BufReader::new(read_stream);
-    let mut writer = BufWriter::new(stream);
-
-    let mut state: Option<ConnState> = None;
-    loop {
-        // Wait for the next request, polling for shutdown while idle.
-        match wait_for_frame(shared, &mut reader, &state) {
-            WaitOutcome::Frame(payload) => {
-                let request = match Request::decode(&payload) {
-                    Ok(r) => r,
-                    Err(e) => {
-                        let _ = write_frame(&mut writer, &encode_error(&e).encode());
-                        break;
-                    }
-                };
-                shared.counters.requests.fetch_add(1, Ordering::Relaxed);
-                let is_goodbye = matches!(request, Request::Goodbye);
-                let resp = handle_request(shared, &mut state, request);
-                if write_frame(&mut writer, &resp.encode()).is_err() {
-                    break;
-                }
-                if is_goodbye {
-                    break;
-                }
-            }
-            WaitOutcome::Closed => break,
-            WaitOutcome::ShuttingDown => {
-                // Be explicit with a peer that is mid-frame-boundary idle.
-                let resp = Response::Error {
-                    code: code::SHUTTING_DOWN,
-                    detail: "server is shutting down".into(),
-                    label0: Vec::new(),
-                    label1: Vec::new(),
-                    aux: 0,
-                    session_label: None,
-                };
-                let _ = write_frame(&mut writer, &resp.encode());
-                break;
-            }
-        }
-    }
-    // Connection over (EOF, error, Goodbye or shutdown): an in-flight
-    // transaction must not stay active. Session::drop aborts it; count it
-    // here so operators can see disconnect-aborts distinctly.
-    if let Some(s) = &state {
-        if s.session.in_transaction() {
-            shared
-                .counters
-                .txns_aborted_on_disconnect
-                .fetch_add(1, Ordering::Relaxed);
-        }
-    }
-    drop(state);
-}
-
-enum WaitOutcome {
-    Frame(Vec<u8>),
-    Closed,
-    ShuttingDown,
-}
-
-/// Polls for the next frame with a short socket timeout so shutdown is
-/// noticed while idle. During shutdown, a connection with an open
-/// transaction is drained until the deadline; everything else stops at the
-/// next idle point.
-fn wait_for_frame(
-    shared: &Arc<Shared>,
-    reader: &mut std::io::BufReader<TcpStream>,
-    state: &Option<ConnState>,
-) -> WaitOutcome {
-    loop {
-        if shared.shutting_down() {
-            let draining = state
-                .as_ref()
-                .map(|s| s.session.in_transaction())
-                .unwrap_or(false);
-            if !draining || shared.past_drain_deadline() {
-                return WaitOutcome::ShuttingDown;
-            }
-        }
-        // A previous read may have pulled the next frame (or part of it)
-        // into the BufReader already — e.g. a pipelining client; the socket
-        // peek below would never see those bytes.
-        if !std::io::BufRead::fill_buf(reader)
-            .map(|b| b.is_empty())
-            .unwrap_or(true)
-        {
-            return read_started_frame(reader);
-        }
-        // Peek one byte (with the 100ms socket timeout) to learn whether a
-        // frame is arriving without consuming anything.
-        let mut probe = [0u8; 1];
-        match reader.get_ref().peek(&mut probe) {
-            Ok(0) => return WaitOutcome::Closed,
-            Ok(_) => return read_started_frame(reader),
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                continue;
-            }
-            Err(_) => return WaitOutcome::Closed,
-        }
-    }
-}
-
-/// Reads a frame whose first bytes have arrived. The idle-poll 100ms socket
-/// timeout is widened for the frame body so a large frame trickling over a
-/// slow link is not mistaken for a dead connection, then restored.
-fn read_started_frame(reader: &mut std::io::BufReader<TcpStream>) -> WaitOutcome {
-    let _ = reader
-        .get_ref()
-        .set_read_timeout(Some(Duration::from_secs(30)));
-    let outcome = match read_frame(reader) {
-        Ok(Some(payload)) => WaitOutcome::Frame(payload),
-        Ok(None) => WaitOutcome::Closed,
-        Err(_) => WaitOutcome::Closed,
-    };
-    let _ = reader
-        .get_ref()
-        .set_read_timeout(Some(Duration::from_millis(100)));
-    outcome
+    /// Set when a statement hits the post-hoc timeout: the dispatch layer
+    /// must cancel every request still queued behind it on this connection
+    /// (a pipelined client has already sent them) instead of executing them
+    /// against the now-aborted transaction.
+    cancel_queued: bool,
 }
 
 fn ok_or_err(r: IfdbResult<Response>) -> Response {
@@ -680,6 +558,14 @@ fn handle_request(
     state: &mut Option<ConnState>,
     request: Request,
 ) -> Response {
+    if shared.shutting_down() {
+        // Still executed — this request made it in before (or while)
+        // shutdown began and is being drained rather than dropped.
+        shared
+            .counters
+            .requests_drained_on_shutdown
+            .fetch_add(1, Ordering::Relaxed);
+    }
     match request {
         Request::Hello {
             version,
@@ -842,6 +728,7 @@ fn handle_hello(
         trusted,
         cursors: HashMap::new(),
         next_cursor: 1,
+        cancel_queued: false,
     });
     Ok(resp)
 }
@@ -998,8 +885,12 @@ fn handle_message(
                 if was_explicit && session.in_transaction() {
                     // The statement ran too long inside an explicit
                     // transaction: abort it so its snapshot and locks are
-                    // released, and tell the client why.
+                    // released, and tell the client why. Anything a
+                    // pipelining client queued behind this statement must
+                    // be cancelled, not run against the aborted
+                    // transaction — the dispatch layer acts on the flag.
                     let _ = session.abort();
+                    conn.cancel_queued = true;
                     shared
                         .counters
                         .statement_timeouts

@@ -1,0 +1,257 @@
+//! The legacy blocking backend: a bounded accept queue feeding a fixed pool
+//! of worker threads, each serving one connection at a time.
+//!
+//! Kept as [`crate::Backend::ThreadPool`] — it is the simplest possible
+//! dispatch model (and the baseline the reactor benchmark compares against),
+//! but its concurrency is capped at `workers`: every connection holds a
+//! thread for its whole lifetime, idle or not. Framing is the same
+//! pipelined v2 protocol as the reactor's; a client may send several
+//! request frames per flush and the worker answers them in order, it just
+//! does so with blocking reads on a dedicated thread.
+
+use std::io::BufWriter;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+
+use ifdb_client::protocol::{code, encode_error, read_frame_id, write_frame_id, Request, Response};
+
+use crate::{handle_request, refuse, BackendHandle, ConnState, Shared};
+
+/// Spawns the accept thread and the worker pool.
+pub(crate) fn start(listener: TcpListener, shared: Arc<Shared>) -> BackendHandle {
+    let accept_shared = shared.clone();
+    let accept_thread = std::thread::Builder::new()
+        .name("ifdb-accept".into())
+        .spawn(move || accept_loop(listener, accept_shared))
+        .expect("spawn accept thread");
+
+    let mut workers = Vec::new();
+    for i in 0..shared.config.workers.max(1) {
+        let worker_shared = shared.clone();
+        workers.push(
+            std::thread::Builder::new()
+                .name(format!("ifdb-worker-{i}"))
+                .spawn(move || worker_loop(worker_shared))
+                .expect("spawn worker"),
+        );
+    }
+    BackendHandle::Pool {
+        accept_thread: Some(accept_thread),
+        workers,
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    while !shared.shutting_down() {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let mut queue = shared.queue.lock().expect("queue lock");
+                if queue.len() >= shared.config.accept_backlog {
+                    drop(queue);
+                    shared
+                        .counters
+                        .connections_rejected
+                        .fetch_add(1, Ordering::Relaxed);
+                    refuse(stream, code::SERVER_BUSY, "accept queue full");
+                    continue;
+                }
+                shared
+                    .counters
+                    .connections_accepted
+                    .fetch_add(1, Ordering::Relaxed);
+                queue.push_back(stream);
+                drop(queue);
+                shared.queue_cvar.notify_one();
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>) {
+    loop {
+        let stream = {
+            let mut queue = shared.queue.lock().expect("queue lock");
+            loop {
+                if let Some(s) = queue.pop_front() {
+                    break Some(s);
+                }
+                if shared.shutting_down() {
+                    break None;
+                }
+                let (q, _) = shared
+                    .queue_cvar
+                    .wait_timeout(queue, Duration::from_millis(100))
+                    .expect("queue lock");
+                queue = q;
+            }
+        };
+        let Some(stream) = stream else { return };
+        shared
+            .counters
+            .connections_active
+            .fetch_add(1, Ordering::Relaxed);
+        // A panic inside a connection must not kill the worker; the session
+        // is dropped (aborting any open transaction) and the worker moves on.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            serve_connection(&shared, stream)
+        }));
+        shared
+            .counters
+            .connections_active
+            .fetch_sub(1, Ordering::Relaxed);
+        if result.is_err() {
+            // Nothing to do: state lives in the dropped session.
+        }
+    }
+}
+
+fn serve_connection(shared: &Arc<Shared>, stream: TcpStream) {
+    if stream.set_nodelay(true).is_err() {
+        return;
+    }
+    // Short poll timeout so idle connections notice shutdown promptly; the
+    // frame reader below only runs once bytes have started arriving.
+    if stream
+        .set_read_timeout(Some(Duration::from_millis(100)))
+        .is_err()
+    {
+        return;
+    }
+    let Ok(read_stream) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = std::io::BufReader::new(read_stream);
+    let mut writer = BufWriter::new(stream);
+
+    let mut state: Option<ConnState> = None;
+    loop {
+        // Wait for the next request, polling for shutdown while idle.
+        match wait_for_frame(shared, &mut reader, &state) {
+            WaitOutcome::Frame(req_id, message) => {
+                let request = match Request::decode(&message) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        let _ = write_frame_id(&mut writer, req_id, &encode_error(&e).encode());
+                        break;
+                    }
+                };
+                shared.counters.requests.fetch_add(1, Ordering::Relaxed);
+                let is_goodbye = matches!(request, Request::Goodbye);
+                let resp = handle_request(shared, &mut state, request);
+                // No server-side queue in this backend: a timed-out
+                // statement has nothing behind it to cancel.
+                if let Some(s) = state.as_mut() {
+                    s.cancel_queued = false;
+                }
+                if write_frame_id(&mut writer, req_id, &resp.encode()).is_err() {
+                    break;
+                }
+                if is_goodbye {
+                    break;
+                }
+            }
+            WaitOutcome::Closed => break,
+            WaitOutcome::ShuttingDown => {
+                // Be explicit with a peer that is mid-frame-boundary idle;
+                // id 0 marks the frame as connection-level (unsolicited).
+                let resp = Response::Error {
+                    code: code::SHUTTING_DOWN,
+                    detail: "server is shutting down".into(),
+                    label0: Vec::new(),
+                    label1: Vec::new(),
+                    aux: 0,
+                    session_label: None,
+                };
+                let _ = write_frame_id(&mut writer, 0, &resp.encode());
+                break;
+            }
+        }
+    }
+    // Connection over (EOF, error, Goodbye or shutdown): an in-flight
+    // transaction must not stay active. Session::drop aborts it; count it
+    // here so operators can see disconnect-aborts distinctly.
+    if let Some(s) = &state {
+        if s.session.in_transaction() {
+            shared
+                .counters
+                .txns_aborted_on_disconnect
+                .fetch_add(1, Ordering::Relaxed);
+        }
+    }
+    drop(state);
+}
+
+enum WaitOutcome {
+    Frame(u32, Vec<u8>),
+    Closed,
+    ShuttingDown,
+}
+
+/// Polls for the next frame with a short socket timeout so shutdown is
+/// noticed while idle. During shutdown, a connection with an open
+/// transaction is drained until the deadline; everything else stops at the
+/// next idle point.
+fn wait_for_frame(
+    shared: &Arc<Shared>,
+    reader: &mut std::io::BufReader<TcpStream>,
+    state: &Option<ConnState>,
+) -> WaitOutcome {
+    loop {
+        if shared.shutting_down() {
+            let draining = state
+                .as_ref()
+                .map(|s| s.session.in_transaction())
+                .unwrap_or(false);
+            if !draining || shared.past_drain_deadline() {
+                return WaitOutcome::ShuttingDown;
+            }
+        }
+        // A previous read may have pulled the next frame (or part of it)
+        // into the BufReader already — e.g. a pipelining client; the socket
+        // peek below would never see those bytes.
+        if !std::io::BufRead::fill_buf(reader)
+            .map(|b| b.is_empty())
+            .unwrap_or(true)
+        {
+            return read_started_frame(reader);
+        }
+        // Peek one byte (with the 100ms socket timeout) to learn whether a
+        // frame is arriving without consuming anything.
+        let mut probe = [0u8; 1];
+        match reader.get_ref().peek(&mut probe) {
+            Ok(0) => return WaitOutcome::Closed,
+            Ok(_) => return read_started_frame(reader),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => return WaitOutcome::Closed,
+        }
+    }
+}
+
+/// Reads a frame whose first bytes have arrived. The idle-poll 100ms socket
+/// timeout is widened for the frame body so a large frame trickling over a
+/// slow link is not mistaken for a dead connection, then restored.
+fn read_started_frame(reader: &mut std::io::BufReader<TcpStream>) -> WaitOutcome {
+    let _ = reader
+        .get_ref()
+        .set_read_timeout(Some(Duration::from_secs(30)));
+    let outcome = match read_frame_id(reader) {
+        Ok(Some((req_id, message))) => WaitOutcome::Frame(req_id, message),
+        Ok(None) => WaitOutcome::Closed,
+        Err(_) => WaitOutcome::Closed,
+    };
+    let _ = reader
+        .get_ref()
+        .set_read_timeout(Some(Duration::from_millis(100)));
+    outcome
+}

@@ -33,7 +33,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use ifdb::{Database, DatabaseConfig, IfdbError, IfdbResult};
-use ifdb_client::protocol::{read_frame, write_frame, Request, Response};
+use ifdb_client::protocol::{read_frame_id, write_frame_id, Request, Response};
 use ifdb_platform::Authenticator;
 use ifdb_storage::{ReplicaApplier, StorageEngine, Wal};
 
@@ -190,9 +190,17 @@ impl ReplicaHandle {
 }
 
 /// One pull connection to the primary's replication endpoint.
+///
+/// The connection pipelines: while the apply loop is busy applying batch
+/// *N*, the poll for batch *N+1* is already in flight ([`Self::prefetch`]),
+/// overlapping the primary's WAL scan and the network transfer with local
+/// apply work instead of serializing them.
 struct StreamConn {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
+    next_id: u32,
+    /// An in-flight prefetched poll: `(req_id, from_seq, max)`.
+    pending: Option<(u32, u64, u32)>,
 }
 
 impl StreamConn {
@@ -203,21 +211,60 @@ impl StreamConn {
         Ok(StreamConn {
             reader: BufReader::new(stream.try_clone()?),
             writer: BufWriter::new(stream),
+            next_id: 1,
+            pending: None,
         })
     }
 
-    fn poll(&mut self, secret: &str, from_seq: u64, max: u32) -> IfdbResult<Response> {
+    fn send_poll(&mut self, secret: &str, from_seq: u64, max: u32) -> IfdbResult<u32> {
         let req = Request::ReplPoll {
             secret: secret.to_string(),
             from_seq,
             max,
         };
-        write_frame(&mut self.writer, &req.encode())?;
-        let payload = read_frame(&mut self.reader)?.ok_or_else(|| IfdbError::Remote {
+        let id = self.next_id;
+        self.next_id = self.next_id.wrapping_add(1).max(1);
+        write_frame_id(&mut self.writer, id, &req.encode())?;
+        Ok(id)
+    }
+
+    fn recv(&mut self, expect_id: u32) -> IfdbResult<Response> {
+        let (id, payload) = read_frame_id(&mut self.reader)?.ok_or_else(|| IfdbError::Remote {
             code: ifdb_client::protocol::code::PROTOCOL as u16,
             detail: "primary closed the replication connection".into(),
         })?;
+        // id 0 is a connection-level frame (e.g. a shutdown notice); it
+        // decodes to an error the caller turns into a reconnect.
+        if id != 0 && id != expect_id {
+            return Err(IfdbError::Remote {
+                code: ifdb_client::protocol::code::PROTOCOL as u16,
+                detail: "replication response id does not match".into(),
+            });
+        }
         Response::decode(&payload)
+    }
+
+    /// One poll round trip — answered by the in-flight prefetch when its
+    /// position matches, otherwise by a fresh request (draining a stale
+    /// prefetch first to keep the FIFO stream in sync).
+    fn poll(&mut self, secret: &str, from_seq: u64, max: u32) -> IfdbResult<Response> {
+        if let Some((id, p_from, p_max)) = self.pending.take() {
+            if p_from == from_seq && p_max == max {
+                return self.recv(id);
+            }
+            let _ = self.recv(id)?;
+        }
+        let id = self.send_poll(secret, from_seq, max)?;
+        self.recv(id)
+    }
+
+    /// Sends the next poll without waiting for its response.
+    fn prefetch(&mut self, secret: &str, from_seq: u64, max: u32) {
+        if self.pending.is_none() {
+            if let Ok(id) = self.send_poll(secret, from_seq, max) {
+                self.pending = Some((id, from_seq, max));
+            }
+        }
     }
 }
 
@@ -366,6 +413,14 @@ fn apply_one_poll(
             .applied_seq
             .store(applier.applied_seq(), Ordering::Release);
         return Ok(true);
+    }
+    // Clean mid-stream batch with more behind it: pipeline the next poll
+    // now, so the primary prepares batch N+1 while we apply batch N. Dirty
+    // batches (reset / epoch change) skip the prefetch — the next position
+    // is only trustworthy once this batch has applied.
+    let next_from = first_seq + records.len() as u64;
+    if !reset && !epoch_changed && next_from <= end_seq {
+        conn.prefetch(&config.replication_secret, next_from, config.batch_max);
     }
     let mut decoded = Vec::with_capacity(records.len());
     for bytes in &records {

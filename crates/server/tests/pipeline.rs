@@ -1,0 +1,475 @@
+//! End-to-end tests of the pipelined wire protocol against a real server:
+//! batched execution on both backends, label flow through a pipeline,
+//! reactor backpressure on slow readers, shutdown drain accounting, and
+//! cancellation of queued statements behind a timeout.
+
+use std::io::{BufReader, BufWriter, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ifdb::prelude::*;
+use ifdb::{SessionApi, Statement, StatementResult};
+use ifdb_client::protocol::{read_frame_id, write_frame_id, Request, Response, PROTOCOL_VERSION};
+use ifdb_client::{ClientConfig, Connection};
+use ifdb_platform::Authenticator;
+use ifdb_server::{start, Backend, ServerConfig};
+
+fn notes_db() -> (Database, Arc<Authenticator>) {
+    let db = Database::in_memory();
+    db.create_table(
+        TableDef::new("notes")
+            .column("id", DataType::Int)
+            .column("owner", DataType::Text)
+            .column("body", DataType::Text)
+            .primary_key(&["id"]),
+    )
+    .unwrap();
+    (db, Arc::new(Authenticator::new()))
+}
+
+fn seed_rows(addr: &str, n: i64, body_len: usize) {
+    let mut c = Connection::connect(&ClientConfig::anonymous(addr)).unwrap();
+    let body = "x".repeat(body_len);
+    c.begin().unwrap();
+    for i in 0..n {
+        c.insert(&Insert::new(
+            "notes",
+            vec![
+                Datum::Int(i),
+                Datum::from("anon"),
+                Datum::from(body.as_str()),
+            ],
+        ))
+        .unwrap();
+    }
+    c.commit().unwrap();
+    c.close().unwrap();
+}
+
+/// A minimal raw-protocol client: lets tests control exactly when frames are
+/// written and read, which `Connection` (correctly) does not.
+struct RawClient {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    next_id: u32,
+}
+
+impl RawClient {
+    fn connect(addr: &str) -> RawClient {
+        let stream = TcpStream::connect(addr).unwrap();
+        stream.set_nodelay(true).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        let mut c = RawClient {
+            reader: BufReader::new(stream.try_clone().unwrap()),
+            writer: BufWriter::new(stream),
+            next_id: 1,
+        };
+        let (id, resp) = c.call(&Request::Hello {
+            version: PROTOCOL_VERSION,
+            user: String::new(),
+            password: String::new(),
+            platform_secret: None,
+            label: Vec::new(),
+        });
+        assert!(matches!(resp, Response::HelloOk { .. }), "{resp:?}");
+        assert_eq!(id, 1);
+        c
+    }
+
+    /// Queues one request frame without flushing; returns its id.
+    fn send(&mut self, req: &Request) -> u32 {
+        let id = self.next_id;
+        self.next_id += 1;
+        write_frame_id(&mut self.writer, id, &req.encode()).unwrap();
+        id
+    }
+
+    fn flush(&mut self) {
+        self.writer.flush().unwrap();
+    }
+
+    fn recv(&mut self) -> (u32, Response) {
+        let (id, payload) = read_frame_id(&mut self.reader).unwrap().expect("frame");
+        (id, Response::decode(&payload).unwrap())
+    }
+
+    fn call(&mut self, req: &Request) -> (u32, Response) {
+        self.send(req);
+        self.flush();
+        self.recv()
+    }
+
+    /// Prepares SELECT * FROM notes and returns the statement id.
+    fn prepare_select_star(&mut self) -> u32 {
+        let template =
+            ifdb_client::protocol::encode_template(&Statement::Select(Select::star("notes"))).0;
+        match self.call(&Request::Prepare { template }) {
+            (_, Response::Prepared { id }) => id,
+            (_, other) => panic!("prepare: {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn pipelined_batches_execute_in_order_on_both_backends() {
+    for backend in [Backend::Reactor, Backend::ThreadPool] {
+        let (db, auth) = notes_db();
+        let server = start(
+            db,
+            auth,
+            ServerConfig {
+                backend,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let mut c =
+            Connection::connect(&ClientConfig::anonymous(&server.addr().to_string())).unwrap();
+
+        // One flush: five inserts and the read that must observe them all.
+        let mut stmts: Vec<Statement> = (0..5)
+            .map(|i| {
+                Statement::Insert(Insert::new(
+                    "notes",
+                    vec![Datum::Int(i), Datum::from("anon"), Datum::from("b")],
+                ))
+            })
+            .collect();
+        stmts.push(Statement::Select(
+            Select::star("notes").order("id", Order::Asc),
+        ));
+        let results = c.pipeline(&stmts).unwrap();
+        assert_eq!(results.len(), 6);
+        for r in &results[..5] {
+            assert!(matches!(r, Ok(StatementResult::Affected(1))), "{r:?}");
+        }
+        // FIFO execution: the batched read ran after the batched writes.
+        match &results[5] {
+            Ok(StatementResult::Rows(rows)) => {
+                assert_eq!(rows.len(), 5);
+                assert_eq!(rows.first().unwrap().get_int("id"), Some(0));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(c.stats().pipelined >= 6, "{:?}", c.stats());
+
+        // A mid-batch failure is per-statement, not whole-batch: the
+        // duplicate key fails, its neighbours succeed.
+        let results = c
+            .pipeline(&[
+                Statement::Insert(Insert::new(
+                    "notes",
+                    vec![Datum::Int(100), Datum::from("anon"), Datum::from("b")],
+                )),
+                Statement::Insert(Insert::new(
+                    "notes",
+                    vec![Datum::Int(0), Datum::from("anon"), Datum::from("dup")],
+                )),
+                Statement::Insert(Insert::new(
+                    "notes",
+                    vec![Datum::Int(101), Datum::from("anon"), Datum::from("b")],
+                )),
+            ])
+            .unwrap();
+        assert!(results[0].is_ok());
+        assert!(matches!(
+            results[1],
+            Err(ifdb::IfdbError::UniqueViolation { .. })
+        ));
+        assert!(results[2].is_ok());
+
+        c.close().unwrap();
+        server.shutdown();
+    }
+}
+
+#[test]
+fn pipelined_label_raise_is_observed_by_the_following_read() {
+    use ifdb::{TriggerDef, TriggerEvent, TriggerTiming};
+
+    let (db, auth) = notes_db();
+    let alice = db.create_principal("alice", PrincipalKind::User);
+    let alice_tag = db.create_tag(alice, "alice_notes", &[]).unwrap();
+    auth.register("alice", "pw-a", alice);
+    // A secret note of Alice's, and a trigger that contaminates any session
+    // inserting into `notes` — the §7.2 scenario where process state changes
+    // mid-pipeline.
+    {
+        let mut s = db.session(alice);
+        s.add_secrecy(alice_tag).unwrap();
+        s.insert(&Insert::new(
+            "notes",
+            vec![Datum::Int(1), Datum::from("alice"), Datum::from("secret")],
+        ))
+        .unwrap();
+    }
+    db.create_trigger(TriggerDef {
+        name: "contaminate".into(),
+        table: "notes".into(),
+        events: vec![TriggerEvent::Insert],
+        timing: TriggerTiming::Immediate,
+        authority: None,
+        body: Arc::new(move |session, _inv| {
+            session.add_secrecy(alice_tag)?;
+            Ok(())
+        }),
+    })
+    .unwrap();
+    let server = start(db, auth, ServerConfig::default()).unwrap();
+    let addr = server.addr().to_string();
+
+    let mut c =
+        Connection::connect(&ClientConfig::anonymous(&addr).with_user("alice", "pw-a")).unwrap();
+    assert!(c.current_label().is_empty());
+
+    // One pipelined flush: the contaminating insert (which fails the
+    // commit-label rule but raises the process label), then a read. The two
+    // requests are already in flight together — the server must still run
+    // them in order, and the read's piggybacked label must carry the raise.
+    let results = c
+        .pipeline(&[
+            Statement::Insert(Insert::new(
+                "notes",
+                vec![Datum::Int(90), Datum::from("alice"), Datum::from("x")],
+            )),
+            Statement::Select(Select::star("notes")),
+        ])
+        .unwrap();
+    assert!(matches!(
+        results[0],
+        Err(ifdb::IfdbError::CommitLabelViolation { .. })
+    ));
+    // The read ran *after* the contamination, so it sees the secret row —
+    // and its response label told the client mirror about the raise.
+    match &results[1] {
+        Ok(StatementResult::Rows(rows)) => {
+            assert_eq!(rows.len(), 1);
+            assert_eq!(rows.first().unwrap().get_text("owner"), Some("alice"));
+        }
+        other => panic!("{other:?}"),
+    }
+    assert!(c.current_label().contains(alice_tag));
+    assert!(c.check_release_to_world().is_err());
+    c.declassify(alice_tag).unwrap();
+    c.check_release_to_world().unwrap();
+    c.close().unwrap();
+    server.shutdown();
+}
+
+#[test]
+fn slow_reader_is_paused_not_buffered_without_bound() {
+    let (db, auth) = notes_db();
+    let server = start(
+        db,
+        auth,
+        ServerConfig {
+            backend: Backend::Reactor,
+            outbound_buffer_limit: 256 * 1024,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.addr().to_string();
+    // ~600 KB per SELECT * response: a couple of responses exceed the
+    // outbound bound even after the kernel's socket buffers soak some up.
+    seed_rows(&addr, 2000, 256);
+
+    let mut raw = RawClient::connect(&addr);
+    let stmt = raw.prepare_select_star();
+    let baseline = server.stats().requests;
+
+    // Wave 1: a burst of large reads, never reading a byte back. The
+    // executor answers them into the outbox; the reactor flushes until the
+    // client-side TCP window fills, then must pause reading the connection.
+    let wave = 30u32;
+    for _ in 0..wave {
+        raw.send(&Request::Execute {
+            stmt,
+            params: Vec::new(),
+            fetch: 1 << 20,
+        });
+    }
+    raw.flush();
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while server.stats().backpressure_pauses == 0 {
+        assert!(
+            Instant::now() < deadline,
+            "reactor never paused the slow reader: {:?}",
+            server.stats()
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // Wave 2 arrives while paused: the server must NOT read it — that is
+    // the memory bound. Its request counter stays where wave 1 left it.
+    let before = server.stats().requests;
+    assert!(before <= baseline + wave as u64);
+    for _ in 0..wave {
+        raw.send(&Request::Execute {
+            stmt,
+            params: Vec::new(),
+            fetch: 1 << 20,
+        });
+    }
+    raw.flush();
+    std::thread::sleep(Duration::from_millis(400));
+    assert_eq!(
+        server.stats().requests,
+        before,
+        "paused connection was still being read"
+    );
+
+    // The slow reader catches up: reading drains the buffers, the reactor
+    // resumes, and every single response arrives, in request order.
+    let mut got = Vec::new();
+    for _ in 0..(2 * wave) {
+        let (id, resp) = raw.recv();
+        match resp {
+            Response::Rows { rows, cursor, .. } => {
+                assert_eq!(cursor, 0);
+                assert_eq!(rows.len(), 2000);
+            }
+            other => panic!("{other:?}"),
+        }
+        got.push(id);
+    }
+    let first = got[0];
+    for (i, id) in got.iter().enumerate() {
+        assert_eq!(*id, first + i as u32, "responses out of order: {got:?}");
+    }
+    let (_, resp) = raw.call(&Request::Goodbye);
+    assert!(matches!(resp, Response::Bye));
+    server.shutdown();
+}
+
+#[test]
+fn graceful_shutdown_drains_queued_pipelined_requests() {
+    let (db, auth) = notes_db();
+    let server = start(
+        db,
+        auth,
+        ServerConfig {
+            backend: Backend::Reactor,
+            drain_timeout: Duration::from_secs(30),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.addr().to_string();
+    seed_rows(&addr, 3000, 64);
+
+    let mut raw = RawClient::connect(&addr);
+    let stmt = raw.prepare_select_star();
+    let n = 50u32;
+    for _ in 0..n {
+        raw.send(&Request::Execute {
+            stmt,
+            params: Vec::new(),
+            fetch: 1 << 20,
+        });
+    }
+    raw.flush();
+
+    // Read the responses from another thread (a drain would deadlock
+    // otherwise: the server cannot finish flushing to a non-reading peer).
+    let reader = std::thread::spawn(move || {
+        let mut rows_responses = 0u32;
+        for _ in 0..n {
+            let (_, resp) = raw.recv();
+            match resp {
+                Response::Rows { .. } => rows_responses += 1,
+                other => panic!("{other:?}"),
+            }
+        }
+        rows_responses
+    });
+    // Shut down while most of the pipeline is still queued server-side: all
+    // of it must drain — executed and answered, not dropped.
+    let stats = server.shutdown();
+    assert_eq!(reader.join().unwrap(), n);
+    assert!(
+        stats.requests_drained_on_shutdown > 0,
+        "expected queued pipelined requests to drain during shutdown: {stats:?}"
+    );
+    assert_eq!(stats.requests_aborted_on_shutdown, 0, "{stats:?}");
+}
+
+#[test]
+fn shutdown_past_deadline_aborts_queued_requests() {
+    let (db, auth) = notes_db();
+    let server = start(
+        db,
+        auth,
+        ServerConfig {
+            backend: Backend::Reactor,
+            drain_timeout: Duration::ZERO,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.addr().to_string();
+    seed_rows(&addr, 3000, 64);
+
+    let mut raw = RawClient::connect(&addr);
+    let stmt = raw.prepare_select_star();
+    for _ in 0..50 {
+        raw.send(&Request::Execute {
+            stmt,
+            params: Vec::new(),
+            fetch: 1 << 20,
+        });
+    }
+    raw.flush();
+    // Zero drain window: whatever had not executed yet is counted as
+    // aborted, and the connection is torn down immediately.
+    let stats = server.shutdown();
+    assert!(
+        stats.requests_aborted_on_shutdown > 0,
+        "expected queued requests to be aborted at the drain deadline: {stats:?}"
+    );
+}
+
+#[test]
+fn statement_timeout_cancels_queued_pipelined_statements() {
+    let (db, auth) = notes_db();
+    let server = start(
+        db,
+        auth,
+        ServerConfig {
+            backend: Backend::Reactor,
+            statement_timeout: Duration::ZERO, // every statement "times out"
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.addr().to_string();
+    let mut c = Connection::connect(&ClientConfig::anonymous(&addr)).unwrap();
+    c.begin().unwrap();
+    // Three reads in one flush. The first times out and aborts the
+    // transaction; the two already queued behind it must be cancelled, not
+    // executed against the aborted transaction.
+    let results = c
+        .pipeline(&[
+            Statement::Select(Select::star("notes")),
+            Statement::Select(Select::star("notes")),
+            Statement::Select(Select::star("notes")),
+        ])
+        .unwrap();
+    assert_eq!(results.len(), 3);
+    let first = results[0].as_ref().unwrap_err();
+    assert!(first.to_string().contains("timeout"), "{first:?}");
+    for r in &results[1..] {
+        let err = r.as_ref().unwrap_err();
+        assert!(err.to_string().contains("cancelled"), "{err:?}");
+    }
+    let stats = server.stats();
+    assert_eq!(stats.statement_timeouts, 1, "{stats:?}");
+    assert_eq!(stats.pipelined_cancelled, 2, "{stats:?}");
+    // The connection survives cancellation and is usable afterwards.
+    let _ = c.abort();
+    c.close().unwrap();
+    server.shutdown();
+}

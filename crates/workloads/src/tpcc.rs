@@ -318,51 +318,76 @@ fn new_order<S: SessionApi>(config: &TpccConfig, s: &mut S, rng: &mut StdRng) ->
         .first()
         .and_then(|r| r.get_int("d_next_o_id"))
         .unwrap_or(1);
-    s.update(&Update::new(
-        "district",
-        Predicate::Eq("d_w_id".into(), Datum::Int(w))
-            .and(Predicate::Eq("d_id".into(), Datum::Int(d))),
-        vec![("d_next_o_id", Datum::Int(o_id + 1))],
-    ))?;
-    s.select(
-        &Select::star("customer").filter(
-            Predicate::Eq("c_w_id".into(), Datum::Int(w))
-                .and(Predicate::Eq("c_d_id".into(), Datum::Int(d)))
-                .and(Predicate::Eq("c_id".into(), Datum::Int(customer))),
+    // Everything after the district read depends only on `o_id`, so the
+    // order header goes out as one batch — over the network transport that
+    // is a single pipelined flush instead of four round trips.
+    for r in s.execute_batch(&[
+        Statement::Update(Update::new(
+            "district",
+            Predicate::Eq("d_w_id".into(), Datum::Int(w))
+                .and(Predicate::Eq("d_id".into(), Datum::Int(d))),
+            vec![("d_next_o_id", Datum::Int(o_id + 1))],
+        )),
+        Statement::Select(
+            Select::star("customer").filter(
+                Predicate::Eq("c_w_id".into(), Datum::Int(w))
+                    .and(Predicate::Eq("c_d_id".into(), Datum::Int(d)))
+                    .and(Predicate::Eq("c_id".into(), Datum::Int(customer))),
+            ),
         ),
-    )?;
-    s.insert(&Insert::new(
-        "orders",
-        vec![
-            Datum::Int(w),
-            Datum::Int(d),
-            Datum::Int(o_id),
-            Datum::Int(customer),
-            Datum::Timestamp(o_id * 1_000),
-            Datum::Int(line_count),
-            Datum::Null,
-        ],
-    ))?;
-    s.insert(&Insert::new(
-        "new_order",
-        vec![Datum::Int(w), Datum::Int(d), Datum::Int(o_id)],
-    ))?;
-    let mut total = 0.0;
-    for l in 1..=line_count {
+        Statement::Insert(Insert::new(
+            "orders",
+            vec![
+                Datum::Int(w),
+                Datum::Int(d),
+                Datum::Int(o_id),
+                Datum::Int(customer),
+                Datum::Timestamp(o_id * 1_000),
+                Datum::Int(line_count),
+                Datum::Null,
+            ],
+        )),
+        Statement::Insert(Insert::new(
+            "new_order",
+            vec![Datum::Int(w), Datum::Int(d), Datum::Int(o_id)],
+        )),
+    ]) {
+        r?;
+    }
+
+    // Per-line phase 1: the item and stock reads of every line are
+    // independent of each other — one batch of 2×lines selects.
+    let mut lines: Vec<(i64, i64)> = Vec::with_capacity(line_count as usize);
+    let mut reads: Vec<Statement> = Vec::with_capacity(2 * line_count as usize);
+    for _ in 1..=line_count {
         let item = nurand(rng, NURAND_A_OL_I_ID, 1, config.items as u64) as i64;
         let qty = rng.gen_range(1..=10i64);
-        let item_row =
-            s.select(&Select::star("item").filter(Predicate::Eq("i_id".into(), Datum::Int(item))))?;
+        lines.push((item, qty));
+        reads.push(Statement::Select(
+            Select::star("item").filter(Predicate::Eq("i_id".into(), Datum::Int(item))),
+        ));
+        reads.push(Statement::Select(
+            Select::star("stock").filter(
+                Predicate::Eq("s_w_id".into(), Datum::Int(w))
+                    .and(Predicate::Eq("s_i_id".into(), Datum::Int(item))),
+            ),
+        ));
+    }
+    let mut read_results = s.execute_batch(&reads).into_iter();
+
+    // Per-line phase 2: compute the new stock level and total from the
+    // batched reads, emitting every stock update and order-line insert as
+    // one more batch.
+    let mut total = 0.0;
+    let mut writes: Vec<Statement> = Vec::with_capacity(2 * line_count as usize);
+    for (l, (item, qty)) in (1..=line_count).zip(&lines) {
+        let (item, qty) = (*item, *qty);
+        let item_row = rows(read_results.next().expect("item read"))?;
         let price = item_row
             .first()
             .and_then(|r| r.get_float("i_price"))
             .unwrap_or(1.0);
-        let stock = s.select(
-            &Select::star("stock").filter(
-                Predicate::Eq("s_w_id".into(), Datum::Int(w))
-                    .and(Predicate::Eq("s_i_id".into(), Datum::Int(item))),
-            ),
-        )?;
+        let stock = rows(read_results.next().expect("stock read"))?;
         let s_qty = stock
             .first()
             .and_then(|r| r.get_int("s_quantity"))
@@ -372,14 +397,14 @@ fn new_order<S: SessionApi>(config: &TpccConfig, s: &mut S, rng: &mut StdRng) ->
         } else {
             s_qty - qty + 91
         };
-        s.update(&Update::new(
+        writes.push(Statement::Update(Update::new(
             "stock",
             Predicate::Eq("s_w_id".into(), Datum::Int(w))
                 .and(Predicate::Eq("s_i_id".into(), Datum::Int(item))),
             vec![("s_quantity", Datum::Int(new_qty))],
-        ))?;
+        )));
         total += price * qty as f64;
-        s.insert(&Insert::new(
+        writes.push(Statement::Insert(Insert::new(
             "order_line",
             vec![
                 Datum::Int(w),
@@ -391,10 +416,23 @@ fn new_order<S: SessionApi>(config: &TpccConfig, s: &mut S, rng: &mut StdRng) ->
                 Datum::Float(price * qty as f64),
                 Datum::Null,
             ],
-        ))?;
+        )));
+    }
+    for r in s.execute_batch(&writes) {
+        r?;
     }
     let _ = total;
     commit_with_label(s)
+}
+
+/// Unwraps a batched statement result expected to be rows.
+fn rows(r: IfdbResult<StatementResult>) -> IfdbResult<ifdb::ResultSet> {
+    match r? {
+        StatementResult::Rows(rs) => Ok(rs),
+        StatementResult::Affected(_) => Err(IfdbError::InvalidStatement(
+            "batched read returned an affected-count".into(),
+        )),
+    }
 }
 
 fn payment<S: SessionApi>(config: &TpccConfig, s: &mut S, rng: &mut StdRng) -> IfdbResult<()> {

@@ -1,0 +1,753 @@
+//! A hand-rolled epoll wrapper: the readiness layer under the IFDB reactor.
+//!
+//! The build environment has no crates.io access, so this crate plays the
+//! role `mio`/`polling` would: a thin, safe-ish abstraction over Linux
+//! `epoll_create1`/`epoll_ctl`/`epoll_wait` plus an `eventfd`-based waker,
+//! issued as **direct syscalls** (inline `syscall` instructions on
+//! x86-64/aarch64; the platform libc's C entry points elsewhere, which std
+//! links anyway).
+//!
+//! The model is deliberately tiny:
+//!
+//! * a [`Poller`] owns one epoll instance and one eventfd waker;
+//! * file descriptors are registered with a `usize` **key** and an
+//!   [`Interest`] (readable and/or writable) in either [`Mode::Level`] or
+//!   [`Mode::Edge`];
+//! * [`Poller::wait`] fills an [`Events`] buffer; each [`Event`] reports the
+//!   key plus readable/writable/closed flags;
+//! * [`Poller::notify`] wakes a concurrent `wait` from any thread (the waker
+//!   event is consumed internally and surfaces as [`Event::is_waker`]).
+//!
+//! Nothing here spawns threads or owns sockets: the caller keeps ownership
+//! of its fds and must `delete` them before closing (epoll auto-deregisters
+//! on close, but only once every duplicate of the fd is gone).
+
+#![deny(missing_docs)]
+
+use std::io;
+use std::os::unix::io::{AsRawFd, RawFd};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+// ---------------------------------------------------------------------
+// Raw syscalls
+// ---------------------------------------------------------------------
+
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+mod sys {
+    //! Direct syscalls on x86-64 Linux: numbers from `asm/unistd_64.h`.
+    pub const SYS_READ: usize = 0;
+    pub const SYS_WRITE: usize = 1;
+    pub const SYS_CLOSE: usize = 3;
+    pub const SYS_FCNTL: usize = 72;
+    pub const SYS_EPOLL_WAIT: usize = 232;
+    pub const SYS_EPOLL_CTL: usize = 233;
+    pub const SYS_EVENTFD2: usize = 290;
+    pub const SYS_EPOLL_CREATE1: usize = 291;
+
+    /// One `syscall` instruction; returns the raw kernel result (negative
+    /// errno on failure).
+    pub unsafe fn syscall4(n: usize, a: usize, b: usize, c: usize, d: usize) -> isize {
+        let ret: isize;
+        core::arch::asm!(
+            "syscall",
+            inlateout("rax") n as isize => ret,
+            in("rdi") a,
+            in("rsi") b,
+            in("rdx") c,
+            in("r10") d,
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack),
+        );
+        ret
+    }
+
+    pub unsafe fn epoll_wait(epfd: usize, events: usize, max: usize, timeout_ms: isize) -> isize {
+        syscall4(SYS_EPOLL_WAIT, epfd, events, max, timeout_ms as usize)
+    }
+}
+
+#[cfg(all(target_os = "linux", target_arch = "aarch64"))]
+mod sys {
+    //! Direct syscalls on aarch64 Linux: numbers from `asm-generic/unistd.h`.
+    //! aarch64 has no `epoll_wait`; `epoll_pwait` with a null sigmask is the
+    //! same call.
+    pub const SYS_READ: usize = 63;
+    pub const SYS_WRITE: usize = 64;
+    pub const SYS_CLOSE: usize = 57;
+    pub const SYS_FCNTL: usize = 25;
+    pub const SYS_EPOLL_PWAIT: usize = 22;
+    pub const SYS_EPOLL_CTL: usize = 21;
+    pub const SYS_EVENTFD2: usize = 19;
+    pub const SYS_EPOLL_CREATE1: usize = 20;
+
+    pub unsafe fn syscall4(n: usize, a: usize, b: usize, c: usize, d: usize) -> isize {
+        syscall6(n, a, b, c, d, 0, 0)
+    }
+
+    /// One `svc 0` instruction; returns the raw kernel result.
+    pub unsafe fn syscall6(
+        n: usize,
+        a: usize,
+        b: usize,
+        c: usize,
+        d: usize,
+        e: usize,
+        f: usize,
+    ) -> isize {
+        let ret: isize;
+        core::arch::asm!(
+            "svc 0",
+            in("x8") n,
+            inlateout("x0") a as isize => ret,
+            in("x1") b,
+            in("x2") c,
+            in("x3") d,
+            in("x4") e,
+            in("x5") f,
+            options(nostack),
+        );
+        ret
+    }
+
+    pub unsafe fn epoll_wait(epfd: usize, events: usize, max: usize, timeout_ms: isize) -> isize {
+        // sigmask = NULL, sigsetsize = 8 (ignored with a null mask).
+        syscall6(
+            SYS_EPOLL_PWAIT,
+            epfd,
+            events,
+            max,
+            timeout_ms as usize,
+            0,
+            8,
+        )
+    }
+}
+
+#[cfg(not(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+)))]
+mod sys {
+    //! Fallback for other Linux targets: the libc entry points (std links
+    //! libc, so these symbols are always present) — same kernel calls, one
+    //! C shim deep.
+    use std::os::raw::{c_int, c_uint, c_void};
+
+    extern "C" {
+        fn epoll_create1(flags: c_int) -> c_int;
+        fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut c_void) -> c_int;
+        #[link_name = "epoll_wait"]
+        fn c_epoll_wait(
+            epfd: c_int,
+            events: *mut c_void,
+            maxevents: c_int,
+            timeout: c_int,
+        ) -> c_int;
+        fn eventfd(initval: c_uint, flags: c_int) -> c_int;
+        fn fcntl(fd: c_int, cmd: c_int, arg: c_int) -> c_int;
+        fn close(fd: c_int) -> c_int;
+        fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+        fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+    }
+
+    pub const SYS_READ: usize = 0;
+    pub const SYS_WRITE: usize = 1;
+    pub const SYS_CLOSE: usize = 2;
+    pub const SYS_FCNTL: usize = 3;
+    pub const SYS_EPOLL_CTL: usize = 4;
+    pub const SYS_EVENTFD2: usize = 5;
+    pub const SYS_EPOLL_CREATE1: usize = 6;
+
+    fn errno_result(r: isize) -> isize {
+        if r < 0 {
+            -(std::io::Error::last_os_error().raw_os_error().unwrap_or(5) as isize)
+        } else {
+            r
+        }
+    }
+
+    pub unsafe fn syscall4(n: usize, a: usize, b: usize, c: usize, d: usize) -> isize {
+        let r = match n {
+            SYS_READ => read(a as c_int, b as *mut c_void, c),
+            SYS_WRITE => write(a as c_int, b as *const c_void, c),
+            SYS_CLOSE => close(a as c_int) as isize,
+            SYS_FCNTL => fcntl(a as c_int, b as c_int, c as c_int) as isize,
+            SYS_EPOLL_CTL => {
+                epoll_ctl(a as c_int, b as c_int, c as c_int, d as *mut c_void) as isize
+            }
+            SYS_EVENTFD2 => eventfd(a as c_uint, b as c_int) as isize,
+            SYS_EPOLL_CREATE1 => epoll_create1(a as c_int) as isize,
+            _ => -38, // ENOSYS
+        };
+        errno_result(r)
+    }
+
+    pub unsafe fn epoll_wait(epfd: usize, events: usize, max: usize, timeout_ms: isize) -> isize {
+        errno_result(c_epoll_wait(
+            epfd as c_int,
+            events as *mut c_void,
+            max as c_int,
+            timeout_ms as c_int,
+        ) as isize)
+    }
+}
+
+fn check(ret: isize) -> io::Result<usize> {
+    if ret < 0 {
+        Err(io::Error::from_raw_os_error(-ret as i32))
+    } else {
+        Ok(ret as usize)
+    }
+}
+
+// epoll constants (uapi/linux/eventpoll.h).
+const EPOLL_CLOEXEC: usize = 0o2000000;
+const EPOLL_CTL_ADD: usize = 1;
+const EPOLL_CTL_DEL: usize = 2;
+const EPOLL_CTL_MOD: usize = 3;
+const EPOLLIN: u32 = 0x001;
+const EPOLLOUT: u32 = 0x004;
+const EPOLLERR: u32 = 0x008;
+const EPOLLHUP: u32 = 0x010;
+const EPOLLRDHUP: u32 = 0x2000;
+const EPOLLET: u32 = 1 << 31;
+
+// eventfd / fcntl constants.
+const EFD_CLOEXEC: usize = 0o2000000;
+const EFD_NONBLOCK: usize = 0o4000;
+const F_GETFL: usize = 3;
+const F_SETFL: usize = 4;
+const O_NONBLOCK: usize = 0o4000;
+
+/// The kernel's `struct epoll_event`. Packed on x86-64 (12 bytes), aligned
+/// elsewhere; `repr(packed)` matches the x86-64 ABI and is accepted by the
+/// kernel on aarch64 too because the syscall copies field-wise from the
+/// user pointer with the same packed layout on both.
+#[repr(C, packed)]
+#[derive(Clone, Copy)]
+struct EpollEvent {
+    events: u32,
+    data: u64,
+}
+
+/// The key [`Poller::notify`] events surface under; never use it for a
+/// registered fd.
+pub const WAKER_KEY: usize = usize::MAX;
+
+/// What to watch a registration for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    /// Wake when the fd is readable (or the peer closed).
+    pub readable: bool,
+    /// Wake when the fd is writable.
+    pub writable: bool,
+}
+
+impl Interest {
+    /// Readable only.
+    pub const READ: Interest = Interest {
+        readable: true,
+        writable: false,
+    };
+    /// Writable only.
+    pub const WRITE: Interest = Interest {
+        readable: false,
+        writable: true,
+    };
+    /// Readable and writable.
+    pub const BOTH: Interest = Interest {
+        readable: true,
+        writable: true,
+    };
+    /// Registered but dormant (useful to keep the fd known while paused —
+    /// e.g. backpressure that stops reading a connection).
+    pub const NONE: Interest = Interest {
+        readable: false,
+        writable: false,
+    };
+}
+
+/// Level- or edge-triggered delivery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Mode {
+    /// Level-triggered (default): the event repeats every `wait` while the
+    /// condition holds.
+    #[default]
+    Level,
+    /// Edge-triggered: the event fires once per readiness *transition*; the
+    /// caller must drain until `WouldBlock` or it will stall.
+    Edge,
+}
+
+/// One readiness event.
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// The key the fd was registered under ([`WAKER_KEY`] for notify).
+    pub key: usize,
+    /// The fd is readable (includes peer-closed: read to find out).
+    pub readable: bool,
+    /// The fd is writable.
+    pub writable: bool,
+    /// The peer closed or the fd errored (`EPOLLHUP`/`EPOLLERR`/
+    /// `EPOLLRDHUP`); treat the connection as finished after draining.
+    pub closed: bool,
+}
+
+impl Event {
+    /// `true` when this event came from [`Poller::notify`].
+    pub fn is_waker(&self) -> bool {
+        self.key == WAKER_KEY
+    }
+}
+
+/// A reusable buffer of readiness events for [`Poller::wait`].
+pub struct Events {
+    raw: Vec<EpollEvent>,
+    len: usize,
+}
+
+impl Events {
+    /// A buffer that can carry up to `capacity` events per wait.
+    pub fn with_capacity(capacity: usize) -> Events {
+        Events {
+            raw: vec![EpollEvent { events: 0, data: 0 }; capacity.max(1)],
+            len: 0,
+        }
+    }
+
+    /// Iterates over the events of the last [`Poller::wait`].
+    pub fn iter(&self) -> impl Iterator<Item = Event> + '_ {
+        self.raw[..self.len].iter().map(|e| {
+            let bits = e.events;
+            Event {
+                key: e.data as usize,
+                readable: bits & (EPOLLIN | EPOLLHUP | EPOLLRDHUP) != 0,
+                writable: bits & EPOLLOUT != 0,
+                closed: bits & (EPOLLERR | EPOLLHUP | EPOLLRDHUP) != 0,
+            }
+        })
+    }
+
+    /// Number of events delivered by the last wait.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when the last wait delivered nothing (timeout).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+fn event_bits(interest: Interest, mode: Mode) -> u32 {
+    let mut bits = EPOLLRDHUP;
+    if interest.readable {
+        bits |= EPOLLIN;
+    }
+    if interest.writable {
+        bits |= EPOLLOUT;
+    }
+    if mode == Mode::Edge {
+        bits |= EPOLLET;
+    }
+    bits
+}
+
+/// One epoll instance plus an eventfd waker.
+pub struct Poller {
+    epfd: RawFd,
+    waker_fd: RawFd,
+    notified: AtomicBool,
+}
+
+// The epoll fd and eventfd are plain kernel handles; every operation here is
+// thread-safe at the kernel level.
+unsafe impl Send for Poller {}
+unsafe impl Sync for Poller {}
+
+impl Poller {
+    /// Creates an epoll instance with its waker registered.
+    pub fn new() -> io::Result<Poller> {
+        let epfd = check(unsafe { sys::syscall4(sys::SYS_EPOLL_CREATE1, EPOLL_CLOEXEC, 0, 0, 0) })?
+            as RawFd;
+        let waker_fd = match check(unsafe {
+            sys::syscall4(sys::SYS_EVENTFD2, 0, EFD_CLOEXEC | EFD_NONBLOCK, 0, 0)
+        }) {
+            Ok(fd) => fd as RawFd,
+            Err(e) => {
+                let _ = unsafe { sys::syscall4(sys::SYS_CLOSE, epfd as usize, 0, 0, 0) };
+                return Err(e);
+            }
+        };
+        let poller = Poller {
+            epfd,
+            waker_fd,
+            notified: AtomicBool::new(false),
+        };
+        poller.ctl(EPOLL_CTL_ADD, waker_fd, EPOLLIN, WAKER_KEY as u64)?;
+        Ok(poller)
+    }
+
+    fn ctl(&self, op: usize, fd: RawFd, bits: u32, data: u64) -> io::Result<()> {
+        let mut ev = EpollEvent { events: bits, data };
+        check(unsafe {
+            sys::syscall4(
+                sys::SYS_EPOLL_CTL,
+                self.epfd as usize,
+                op,
+                fd as usize,
+                (&mut ev as *mut EpollEvent) as usize,
+            )
+        })
+        .map(|_| ())
+    }
+
+    /// Registers `fd` under `key`.
+    pub fn add(
+        &self,
+        fd: &impl AsRawFd,
+        key: usize,
+        interest: Interest,
+        mode: Mode,
+    ) -> io::Result<()> {
+        self.ctl(
+            EPOLL_CTL_ADD,
+            fd.as_raw_fd(),
+            event_bits(interest, mode),
+            key as u64,
+        )
+    }
+
+    /// Changes the interest or mode of a registered fd.
+    pub fn modify(
+        &self,
+        fd: &impl AsRawFd,
+        key: usize,
+        interest: Interest,
+        mode: Mode,
+    ) -> io::Result<()> {
+        self.ctl(
+            EPOLL_CTL_MOD,
+            fd.as_raw_fd(),
+            event_bits(interest, mode),
+            key as u64,
+        )
+    }
+
+    /// Deregisters a fd.
+    pub fn delete(&self, fd: &impl AsRawFd) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_DEL, fd.as_raw_fd(), 0, 0)
+    }
+
+    /// Waits for events, filling `events`. `None` blocks indefinitely;
+    /// `Some(d)` wakes after `d` even if nothing is ready. Returns the
+    /// number of events delivered (0 on timeout). Waker notifications are
+    /// consumed (the eventfd counter is reset) but still surface as events
+    /// so callers can distinguish "woken" from "timed out".
+    pub fn wait(&self, events: &mut Events, timeout: Option<Duration>) -> io::Result<usize> {
+        let timeout_ms: isize = match timeout {
+            None => -1,
+            // Round up so a 1ns timeout does not busy-spin at 0ms.
+            Some(d) => {
+                d.as_millis().min(isize::MAX as u128) as isize
+                    + if d.subsec_nanos() % 1_000_000 != 0 {
+                        1
+                    } else {
+                        0
+                    }
+            }
+        };
+        let n = loop {
+            let r = unsafe {
+                sys::epoll_wait(
+                    self.epfd as usize,
+                    events.raw.as_mut_ptr() as usize,
+                    events.raw.len(),
+                    timeout_ms,
+                )
+            };
+            if r == -4 {
+                // EINTR: retry. (A timed wait may now over-wait; callers of
+                // this reactor poll in a loop, so precision is not needed.)
+                continue;
+            }
+            break check(r)?;
+        };
+        events.len = n;
+        // Drain the waker so it is level-quiet until the next notify.
+        for e in &events.raw[..n] {
+            if e.data as usize == WAKER_KEY {
+                let mut buf = [0u8; 8];
+                let _ = unsafe {
+                    sys::syscall4(
+                        sys::SYS_READ,
+                        self.waker_fd as usize,
+                        buf.as_mut_ptr() as usize,
+                        8,
+                        0,
+                    )
+                };
+                self.notified.store(false, Ordering::Release);
+            }
+        }
+        Ok(n)
+    }
+
+    /// Wakes a concurrent [`Poller::wait`] from any thread. Coalesced: many
+    /// notifies between waits cost one eventfd write.
+    pub fn notify(&self) -> io::Result<()> {
+        if self
+            .notified
+            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+            .is_err()
+        {
+            return Ok(()); // already pending
+        }
+        let one: u64 = 1;
+        check(unsafe {
+            sys::syscall4(
+                sys::SYS_WRITE,
+                self.waker_fd as usize,
+                (&one as *const u64) as usize,
+                8,
+                0,
+            )
+        })
+        .map(|_| ())
+    }
+}
+
+impl Drop for Poller {
+    fn drop(&mut self) {
+        unsafe {
+            let _ = sys::syscall4(sys::SYS_CLOSE, self.waker_fd as usize, 0, 0, 0);
+            let _ = sys::syscall4(sys::SYS_CLOSE, self.epfd as usize, 0, 0, 0);
+        }
+    }
+}
+
+/// Switches a fd's `O_NONBLOCK` flag via `fcntl` — the reactor's sockets
+/// must never block the event loop.
+pub fn set_nonblocking(fd: &impl AsRawFd, nonblocking: bool) -> io::Result<()> {
+    let fd = fd.as_raw_fd() as usize;
+    let flags = check(unsafe { sys::syscall4(sys::SYS_FCNTL, fd, F_GETFL, 0, 0) })?;
+    let flags = if nonblocking {
+        flags | O_NONBLOCK
+    } else {
+        flags & !O_NONBLOCK
+    };
+    check(unsafe { sys::syscall4(sys::SYS_FCNTL, fd, F_SETFL, flags, 0) }).map(|_| ())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+
+    fn pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let a = TcpStream::connect(addr).unwrap();
+        let (b, _) = listener.accept().unwrap();
+        (a, b)
+    }
+
+    #[test]
+    fn level_triggered_read_repeats_until_drained() {
+        let (mut a, b) = pair();
+        let poller = Poller::new().unwrap();
+        poller.add(&b, 7, Interest::READ, Mode::Level).unwrap();
+        let mut events = Events::with_capacity(8);
+
+        // Nothing ready: timeout.
+        assert_eq!(
+            poller
+                .wait(&mut events, Some(Duration::from_millis(10)))
+                .unwrap(),
+            0
+        );
+
+        a.write_all(b"hi").unwrap();
+        assert!(
+            poller
+                .wait(&mut events, Some(Duration::from_secs(2)))
+                .unwrap()
+                >= 1
+        );
+        let ev = events.iter().find(|e| e.key == 7).expect("event for key 7");
+        assert!(ev.readable && !ev.closed);
+
+        // Level-triggered: without reading, the event fires again.
+        assert!(
+            poller
+                .wait(&mut events, Some(Duration::from_secs(2)))
+                .unwrap()
+                >= 1
+        );
+        assert!(events.iter().any(|e| e.key == 7 && e.readable));
+
+        // Drain, then quiet.
+        let mut buf = [0u8; 8];
+        let mut b2 = &b;
+        let n = b2.read(&mut buf).unwrap();
+        assert_eq!(&buf[..n], b"hi");
+        assert_eq!(
+            poller
+                .wait(&mut events, Some(Duration::from_millis(10)))
+                .unwrap(),
+            0
+        );
+        poller.delete(&b).unwrap();
+    }
+
+    #[test]
+    fn edge_triggered_fires_once_per_transition() {
+        let (mut a, b) = pair();
+        let poller = Poller::new().unwrap();
+        poller.add(&b, 3, Interest::READ, Mode::Edge).unwrap();
+        let mut events = Events::with_capacity(8);
+
+        a.write_all(b"x").unwrap();
+        assert!(
+            poller
+                .wait(&mut events, Some(Duration::from_secs(2)))
+                .unwrap()
+                >= 1
+        );
+        assert!(events.iter().any(|e| e.key == 3 && e.readable));
+        // Edge-triggered and undrained: no repeat.
+        assert_eq!(
+            poller
+                .wait(&mut events, Some(Duration::from_millis(20)))
+                .unwrap(),
+            0
+        );
+        // A new byte is a new edge.
+        a.write_all(b"y").unwrap();
+        assert!(
+            poller
+                .wait(&mut events, Some(Duration::from_secs(2)))
+                .unwrap()
+                >= 1
+        );
+    }
+
+    #[test]
+    fn writable_and_peer_close_events() {
+        let (a, b) = pair();
+        let poller = Poller::new().unwrap();
+        poller.add(&b, 9, Interest::BOTH, Mode::Level).unwrap();
+        let mut events = Events::with_capacity(8);
+
+        // A fresh socket is writable.
+        assert!(
+            poller
+                .wait(&mut events, Some(Duration::from_secs(2)))
+                .unwrap()
+                >= 1
+        );
+        assert!(events.iter().any(|e| e.key == 9 && e.writable));
+
+        drop(a);
+        // Peer close surfaces as a readable+closed event (EOF on read).
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        loop {
+            poller
+                .wait(&mut events, Some(Duration::from_millis(50)))
+                .unwrap();
+            if events.iter().any(|e| e.key == 9 && e.closed) {
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline, "no close event");
+        }
+    }
+
+    #[test]
+    fn interest_modify_pauses_and_resumes() {
+        let (mut a, b) = pair();
+        let poller = Poller::new().unwrap();
+        poller.add(&b, 1, Interest::READ, Mode::Level).unwrap();
+        let mut events = Events::with_capacity(8);
+        a.write_all(b"z").unwrap();
+        assert!(
+            poller
+                .wait(&mut events, Some(Duration::from_secs(2)))
+                .unwrap()
+                >= 1
+        );
+
+        // Pause: dormant interest silences the pending readable byte —
+        // exactly the backpressure move the reactor makes.
+        poller.modify(&b, 1, Interest::NONE, Mode::Level).unwrap();
+        assert_eq!(
+            poller
+                .wait(&mut events, Some(Duration::from_millis(20)))
+                .unwrap(),
+            0
+        );
+        // Resume: the byte is still there, the event comes back.
+        poller.modify(&b, 1, Interest::READ, Mode::Level).unwrap();
+        assert!(
+            poller
+                .wait(&mut events, Some(Duration::from_secs(2)))
+                .unwrap()
+                >= 1
+        );
+        assert!(events.iter().any(|e| e.key == 1 && e.readable));
+    }
+
+    #[test]
+    fn notify_wakes_a_blocked_wait_from_another_thread() {
+        let poller = std::sync::Arc::new(Poller::new().unwrap());
+        let waker = poller.clone();
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(50));
+            waker.notify().unwrap();
+        });
+        let mut events = Events::with_capacity(4);
+        let start = std::time::Instant::now();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(10)))
+            .unwrap();
+        assert!(n >= 1, "notify must deliver an event");
+        assert!(events.iter().any(|e| e.is_waker()));
+        assert!(start.elapsed() < Duration::from_secs(5));
+        // Consumed: the next wait times out instead of spinning.
+        assert_eq!(
+            poller
+                .wait(&mut events, Some(Duration::from_millis(10)))
+                .unwrap(),
+            0
+        );
+        // Coalescing: two notifies, one wake.
+        poller.notify().unwrap();
+        poller.notify().unwrap();
+        assert!(
+            poller
+                .wait(&mut events, Some(Duration::from_secs(2)))
+                .unwrap()
+                >= 1
+        );
+        assert_eq!(
+            poller
+                .wait(&mut events, Some(Duration::from_millis(10)))
+                .unwrap(),
+            0
+        );
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn set_nonblocking_round_trips() {
+        let (_a, b) = pair();
+        set_nonblocking(&b, true).unwrap();
+        let mut buf = [0u8; 1];
+        let mut b2 = &b;
+        let err = b2.read(&mut buf).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::WouldBlock);
+        set_nonblocking(&b, false).unwrap();
+    }
+}
