@@ -539,10 +539,15 @@ struct ConnState {
     trusted: bool,
     cursors: HashMap<u32, Cursor>,
     next_cursor: u32,
-    /// Set when a statement hits the post-hoc timeout: the dispatch layer
-    /// must cancel every request still queued behind it on this connection
-    /// (a pipelined client has already sent them) instead of executing them
-    /// against the now-aborted transaction.
+    /// Set when a statement hits the post-hoc timeout. While set,
+    /// [`handle_request`] answers every further statement on this connection
+    /// with a cancellation error instead of executing it — a pipelining
+    /// client has already sent the rest of its batch (some of it possibly
+    /// still in socket buffers, not yet parsed), and none of it may run
+    /// against the now-aborted transaction. The state is **sticky** until a
+    /// client-visible sync point (`Begin`/`Commit`/`Abort`) arrives, so
+    /// late-arriving frames of the same batch are cancelled too, on both
+    /// backends.
     cancel_queued: bool,
 }
 
@@ -602,6 +607,45 @@ fn handle_request(
                     detail: "handshake required before any other message".into(),
                 });
             };
+            // Sticky statement-timeout cancellation: after a timeout aborts
+            // the transaction, nothing the client pipelined behind the
+            // timed-out statement may execute — including frames that were
+            // still in socket buffers when the timeout fired and are only
+            // being parsed now. Everything is answered with a cancellation
+            // error until a client-visible sync point re-synchronizes the
+            // connection.
+            if conn.cancel_queued {
+                if matches!(other, Request::Begin | Request::Commit | Request::Abort) {
+                    conn.cancel_queued = false;
+                } else {
+                    shared
+                        .counters
+                        .pipelined_cancelled
+                        .fetch_add(1, Ordering::Relaxed);
+                    let e = IfdbError::Remote {
+                        code: code::STATEMENT_TIMEOUT as u16,
+                        detail: "cancelled: an earlier pipelined statement timed out".into(),
+                    };
+                    return match encode_error(&e) {
+                        Response::Error {
+                            code,
+                            detail,
+                            label0,
+                            label1,
+                            aux,
+                            ..
+                        } => Response::Error {
+                            code,
+                            detail,
+                            label0,
+                            label1,
+                            aux,
+                            session_label: Some(conn.session.label().to_array()),
+                        },
+                        resp => resp,
+                    };
+                }
+            }
             match handle_message(shared, conn, other) {
                 Ok(resp) => resp,
                 // A failed statement can still have changed the process

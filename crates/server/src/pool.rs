@@ -143,12 +143,14 @@ fn serve_connection(shared: &Arc<Shared>, stream: TcpStream) {
                 };
                 shared.counters.requests.fetch_add(1, Ordering::Relaxed);
                 let is_goodbye = matches!(request, Request::Goodbye);
+                // A timed-out statement leaves sticky cancel state behind
+                // (`ConnState::cancel_queued`, acted on inside
+                // `handle_request`): a pipelining client's remaining frames
+                // are sitting in the BufReader/socket and will be read here
+                // one by one — each is answered with a cancellation error
+                // instead of silently auto-committing against the aborted
+                // transaction, matching the reactor backend.
                 let resp = handle_request(shared, &mut state, request);
-                // No server-side queue in this backend: a timed-out
-                // statement has nothing behind it to cancel.
-                if let Some(s) = state.as_mut() {
-                    s.cancel_queued = false;
-                }
                 if write_frame_id(&mut writer, req_id, &resp.encode()).is_err() {
                     break;
                 }

@@ -524,9 +524,10 @@ impl Reactor {
             self.exec.schedule(&c.conn);
         }
         if peer_closed {
-            // EOF with requests still queued: let the executor finish them
-            // (their responses will fail to send — fine); tear down now if
-            // there is nothing in flight.
+            // EOF: tear the connection down immediately. Requests already
+            // handed to the executor still run (it holds its own Arc on
+            // the ConnShared), but their responses are dropped — the flush
+            // pass skips tokens whose connection is gone.
             return false;
         }
         self.apply_backpressure(token);
@@ -667,7 +668,13 @@ fn executor_loop(
         if !conn.inbox.lock().is_empty() && !conn.closing.load(Ordering::Acquire) {
             exec.schedule(&conn);
         }
-        if wrote {
+        // Hand the token back whenever there are bytes to flush OR the
+        // connection is closing: a panic on the very first drained request
+        // produces no response bytes, but the reactor must still observe
+        // `closing` and tear the connection down — without the token it
+        // would never revisit an idle, write-quiet connection, leaking it
+        // and leaving the peer hung.
+        if wrote || conn.closing.load(Ordering::Acquire) {
             flush.tokens.lock().push(conn.token);
             let _ = poller.notify();
         }
@@ -722,55 +729,12 @@ fn drain_inbox(shared: &Arc<Shared>, conn: &Arc<ConnShared>) -> bool {
             conn.closing.store(true, Ordering::Release);
             break;
         }
-        // Statement timeout: everything a pipelining client queued behind
-        // the timed-out statement is cancelled, not executed against the
-        // aborted transaction. (A queued Goodbye still gets its Bye.)
-        if state.as_ref().map(|s| s.cancel_queued).unwrap_or(false) {
-            if let Some(s) = state.as_mut() {
-                s.cancel_queued = false;
-            }
-            let label = state
-                .as_ref()
-                .map(|s| s.session.label().to_array())
-                .unwrap_or_default();
-            let queued: Vec<(u32, Vec<u8>)> = conn.inbox.lock().drain(..).collect();
-            for (qid, qmsg) in queued {
-                if matches!(Request::decode(&qmsg), Ok(Request::Goodbye)) {
-                    conn.push_response(qid, &Response::Bye);
-                    conn.closing.store(true, Ordering::Release);
-                    wrote = true;
-                    break;
-                }
-                shared
-                    .counters
-                    .pipelined_cancelled
-                    .fetch_add(1, Ordering::Relaxed);
-                let e = IfdbError::Remote {
-                    code: code::STATEMENT_TIMEOUT as u16,
-                    detail: "cancelled: an earlier pipelined statement timed out".into(),
-                };
-                let resp = match ifdb_client::protocol::encode_error(&e) {
-                    Response::Error {
-                        code,
-                        detail,
-                        label0,
-                        label1,
-                        aux,
-                        ..
-                    } => Response::Error {
-                        code,
-                        detail,
-                        label0,
-                        label1,
-                        aux,
-                        session_label: Some(label.clone()),
-                    },
-                    resp => resp,
-                };
-                conn.push_response(qid, &resp);
-                wrote = true;
-            }
-        }
+        // Statement timeouts need no special-casing here: `handle_request`
+        // keeps a sticky per-connection cancel state, so every frame queued
+        // (or still arriving) behind a timed-out statement is answered with
+        // a cancellation error as it is popped — including frames that were
+        // still unparsed in rbuf or the kernel socket buffer when the
+        // timeout fired.
     }
     wrote
 }

@@ -433,6 +433,142 @@ fn shutdown_past_deadline_aborts_queued_requests() {
 }
 
 #[test]
+fn timeout_cancellation_is_sticky_until_a_sync_point_on_both_backends() {
+    for backend in [Backend::Reactor, Backend::ThreadPool] {
+        let (db, auth) = notes_db();
+        let server = start(
+            db,
+            auth,
+            ServerConfig {
+                backend,
+                statement_timeout: Duration::ZERO, // every statement "times out"
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let addr = server.addr().to_string();
+        let mut raw = RawClient::connect(&addr);
+        let stmt = raw.prepare_select_star();
+
+        let (_, resp) = raw.call(&Request::Begin);
+        assert!(matches!(resp, Response::Ok { .. }), "{resp:?}");
+        let (_, resp) = raw.call(&Request::Execute {
+            stmt,
+            params: Vec::new(),
+            fetch: 0,
+        });
+        match resp {
+            Response::Error { detail, .. } => assert!(detail.contains("timeout"), "{detail}"),
+            other => panic!("{other:?}"),
+        }
+
+        // These frames arrive *after* the timeout was already processed —
+        // the shape a one-shot queue drain misses (for a pipelining client
+        // they could equally have been sitting unparsed in socket buffers).
+        // Cancellation must be sticky: both are refused, not auto-committed
+        // against the aborted transaction.
+        raw.send(&Request::Execute {
+            stmt,
+            params: Vec::new(),
+            fetch: 0,
+        });
+        raw.send(&Request::Execute {
+            stmt,
+            params: Vec::new(),
+            fetch: 0,
+        });
+        raw.flush();
+        for _ in 0..2 {
+            let (_, resp) = raw.recv();
+            match resp {
+                Response::Error { detail, .. } => {
+                    assert!(detail.contains("cancelled"), "{detail}")
+                }
+                other => panic!("{other:?}"),
+            }
+        }
+        assert_eq!(
+            server.stats().pipelined_cancelled,
+            2,
+            "{:?}",
+            server.stats()
+        );
+
+        // Abort is a client-visible sync point: it clears the cancel state
+        // (the server already aborted, so it reports "no transaction" —
+        // fine) and the connection is usable again.
+        let _ = raw.call(&Request::Abort);
+        let (_, resp) = raw.call(&Request::Execute {
+            stmt,
+            params: Vec::new(),
+            fetch: 0,
+        });
+        assert!(matches!(resp, Response::Rows { .. }), "{resp:?}");
+        let (_, resp) = raw.call(&Request::Goodbye);
+        assert!(matches!(resp, Response::Bye));
+        server.shutdown();
+    }
+}
+
+#[test]
+fn executor_panic_closes_the_connection_instead_of_hanging_it() {
+    use ifdb::{TriggerDef, TriggerEvent, TriggerTiming};
+
+    for backend in [Backend::Reactor, Backend::ThreadPool] {
+        let (db, auth) = notes_db();
+        db.create_trigger(TriggerDef {
+            name: "boom".into(),
+            table: "notes".into(),
+            events: vec![TriggerEvent::Insert],
+            timing: TriggerTiming::Immediate,
+            authority: None,
+            body: Arc::new(|_, _| panic!("trigger panic for test")),
+        })
+        .unwrap();
+        let server = start(
+            db,
+            auth,
+            ServerConfig {
+                backend,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let addr = server.addr().to_string();
+        let mut raw = RawClient::connect(&addr);
+        let (template, params) =
+            ifdb_client::protocol::encode_template(&Statement::Insert(Insert::new(
+                "notes",
+                vec![Datum::Int(1), Datum::from("anon"), Datum::from("b")],
+            )));
+        let stmt = match raw.call(&Request::Prepare { template }) {
+            (_, Response::Prepared { id }) => id,
+            (_, other) => panic!("prepare: {other:?}"),
+        };
+        // The panicking statement is the FIRST (and only) request the
+        // executor drains: no response bytes are produced, so the server
+        // must still notice the failed connection and close it — the
+        // client observes EOF (or a reset), never a 30s hang.
+        raw.send(&Request::Execute {
+            stmt,
+            params,
+            fetch: 0,
+        });
+        raw.flush();
+        let started = Instant::now();
+        match read_frame_id(&mut raw.reader) {
+            Ok(None) | Err(_) => {}
+            Ok(Some((_, payload))) => panic!("{:?}", Response::decode(&payload)),
+        }
+        assert!(
+            started.elapsed() < Duration::from_secs(10),
+            "connection was left hanging after an executor panic"
+        );
+        server.shutdown();
+    }
+}
+
+#[test]
 fn statement_timeout_cancels_queued_pipelined_statements() {
     let (db, auth) = notes_db();
     let server = start(

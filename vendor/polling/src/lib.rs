@@ -221,16 +221,27 @@ const F_GETFL: usize = 3;
 const F_SETFL: usize = 4;
 const O_NONBLOCK: usize = 0o4000;
 
-/// The kernel's `struct epoll_event`. Packed on x86-64 (12 bytes), aligned
-/// elsewhere; `repr(packed)` matches the x86-64 ABI and is accepted by the
-/// kernel on aarch64 too because the syscall copies field-wise from the
-/// user pointer with the same packed layout on both.
-#[repr(C, packed)]
+/// The kernel's `struct epoll_event`. The layout is **target-conditional**:
+/// only the x86-64 ABI packs it to 12 bytes; every other architecture
+/// (aarch64 included) uses the natural 16-byte layout with `data` at offset
+/// 8. A packed struct elsewhere would under-size the `epoll_wait` buffer by
+/// 4 bytes per event (the kernel writes 16-byte records → heap overflow)
+/// and read `data` from the wrong offset.
+#[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+#[cfg_attr(not(target_arch = "x86_64"), repr(C))]
 #[derive(Clone, Copy)]
 struct EpollEvent {
     events: u32,
     data: u64,
 }
+
+// Pin the kernel ABI at compile time: 12 bytes packed on x86-64, 16 bytes
+// naturally aligned everywhere else.
+#[cfg(target_arch = "x86_64")]
+const _: () = assert!(std::mem::size_of::<EpollEvent>() == 12);
+#[cfg(not(target_arch = "x86_64"))]
+const _: () =
+    assert!(std::mem::size_of::<EpollEvent>() == 16 && std::mem::align_of::<EpollEvent>() == 8);
 
 /// The key [`Poller::notify`] events surface under; never use it for a
 /// registered fd.
