@@ -1,0 +1,45 @@
+//! Emits the PR 7 sharded-primaries snapshot as `BENCH_pr7.json` in the
+//! current directory (plus the usual copy under `target/experiments/`):
+//! multi-warehouse TPC-C NOTPM over 1/2/4 primary shards with ~10%
+//! cross-shard new-orders committing via two-phase commit, and the
+//! single-shard fast-path overhead of the shard-aware router. CI uploads
+//! the file next to the earlier `BENCH_*.json` snapshots and runs
+//! `bench_gate` against it.
+
+use ifdb_bench::ExperimentScale;
+
+fn main() {
+    let report = ifdb_bench::bench_pr7_report(ExperimentScale::from_env());
+    match serde_json::to_string_pretty(&report) {
+        Ok(json) => {
+            if std::fs::write("BENCH_pr7.json", &json).is_ok() {
+                println!("\n[BENCH_pr7.json written]");
+            } else {
+                eprintln!("could not write BENCH_pr7.json");
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("could not serialize report: {e}");
+            std::process::exit(1);
+        }
+    }
+    if report.notpm_scaling_1_to_2 < 1.7 {
+        eprintln!(
+            "WARNING: 2-shard NOTPM scaling is {:.2}x, below the 1.7x target",
+            report.notpm_scaling_1_to_2
+        );
+    }
+    if report.notpm_scaling_1_to_4 < 2.8 {
+        eprintln!(
+            "WARNING: 4-shard NOTPM scaling is {:.2}x, below the 2.8x target",
+            report.notpm_scaling_1_to_4
+        );
+    }
+    if report.fastpath_overhead_frac > 0.10 {
+        eprintln!(
+            "WARNING: router fast-path overhead is {:.1}%, above the 10% ceiling",
+            report.fastpath_overhead_frac * 100.0
+        );
+    }
+}

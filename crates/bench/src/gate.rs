@@ -86,13 +86,24 @@ const PR6_SUITE: Suite = Suite {
     bands: &[("reactor_wips", "baseline_reactor_wips")],
 };
 
+const PR7_SUITE: Suite = Suite {
+    floors: &[
+        ("notpm_scaling_1_to_2", "min_notpm_scaling_1_to_2"),
+        ("notpm_scaling_1_to_4", "min_notpm_scaling_1_to_4"),
+    ],
+    ceilings: &[("fastpath_overhead_frac", "max_fastpath_overhead_frac")],
+    bands: &[("notpm_one_shard", "baseline_notpm_one_shard")],
+};
+
 /// Picks the check suite from the report's file name.
 fn suite_for(report_path: &Path) -> &'static Suite {
     let name = report_path
         .file_name()
         .map(|n| n.to_string_lossy().to_lowercase())
         .unwrap_or_default();
-    if name.contains("pr6") {
+    if name.contains("pr7") {
+        &PR7_SUITE
+    } else if name.contains("pr6") {
         &PR6_SUITE
     } else {
         &PR5_SUITE
@@ -194,7 +205,11 @@ mod tests {
         "min_pipeline_wips_speedup": 1.5,
         "min_idle_connections": 1000,
         "max_idle_kb_per_connection": 96.0,
-        "baseline_reactor_wips": 5000.0
+        "baseline_reactor_wips": 5000.0,
+        "min_notpm_scaling_1_to_2": 1.7,
+        "min_notpm_scaling_1_to_4": 2.8,
+        "max_fastpath_overhead_frac": 0.10,
+        "baseline_notpm_one_shard": 4000.0
     }"#;
 
     #[test]
@@ -300,6 +315,53 @@ mod tests {
             .map(|c| c.metric.as_str())
             .collect();
         assert_eq!(failed, vec!["idle_kb_per_connection"]);
+        std::fs::remove_file(report).ok();
+        std::fs::remove_file(baselines).ok();
+    }
+
+    #[test]
+    fn pr7_report_runs_the_sharding_suite() {
+        let report = write_tmp(
+            "pr7-ok",
+            r#"{
+                "notpm_scaling_1_to_2": 1.9,
+                "notpm_scaling_1_to_4": 3.4,
+                "fastpath_overhead_frac": 0.04,
+                "notpm_one_shard": 3800.0
+            }"#,
+        );
+        let baselines = write_tmp("pr7-ok-base", BASELINES);
+        let outcome = run_gate(&report, &baselines).unwrap();
+        assert!(outcome.passed(), "{:?}", outcome.checks);
+        assert_eq!(outcome.checks.len(), 4);
+        std::fs::remove_file(report).ok();
+        std::fs::remove_file(baselines).ok();
+    }
+
+    #[test]
+    fn pr7_scaling_regression_fails_the_floor() {
+        let report = write_tmp(
+            "pr7-bad",
+            r#"{
+                "notpm_scaling_1_to_2": 1.2,
+                "notpm_scaling_1_to_4": 3.4,
+                "fastpath_overhead_frac": 0.25,
+                "notpm_one_shard": 3800.0
+            }"#,
+        );
+        let baselines = write_tmp("pr7-bad-base", BASELINES);
+        let outcome = run_gate(&report, &baselines).unwrap();
+        assert!(!outcome.passed());
+        let failed: Vec<&str> = outcome
+            .checks
+            .iter()
+            .filter(|c| !c.pass)
+            .map(|c| c.metric.as_str())
+            .collect();
+        assert_eq!(
+            failed,
+            vec!["notpm_scaling_1_to_2", "fastpath_overhead_frac"]
+        );
         std::fs::remove_file(report).ok();
         std::fs::remove_file(baselines).ok();
     }

@@ -17,6 +17,7 @@ pub mod pr3;
 pub mod pr4;
 pub mod pr5;
 pub mod pr6;
+pub mod pr7;
 pub mod report;
 
 pub use experiments::{
@@ -35,3 +36,4 @@ pub use pr4::{
 };
 pub use pr5::{bench_pr5_report, BenchPr5Report};
 pub use pr6::{bench_pr6_report, BenchPr6Report};
+pub use pr7::{bench_pr7_report, BenchPr7Report};

@@ -17,6 +17,7 @@
 
 pub mod protocol;
 pub mod router;
+pub mod shard;
 
 pub use router::{RoutedConnection, RouterConfig, RouterStats};
 
@@ -576,6 +577,86 @@ impl Connection {
                 self.last_write_seq = self.last_write_seq.max(seq);
                 Ok(())
             }
+            other => Err(unexpected(other)),
+        }
+    }
+
+    // ------------------------------------------------- two-phase commit
+
+    /// Sends `req` (one flush) and returns its request id without reading
+    /// the response. The 2PC coordinator uses this to put a phase's frame
+    /// on every shard's socket before reading any shard's answer, so one
+    /// phase runs concurrently across all participants.
+    pub(crate) fn send_request(&mut self, req: &Request) -> IfdbResult<u32> {
+        self.stats.round_trips += 1;
+        let id = self.next_id();
+        write_frame_id(&mut self.writer, id, &req.encode())?;
+        Ok(id)
+    }
+
+    /// Reads the response for a [`Connection::send_request`] id, expecting
+    /// a bare `Ok` acknowledgement; mirrors the piggybacked label and
+    /// watermark like [`Connection::simple`].
+    pub(crate) fn recv_ok(&mut self, req_id: u32) -> IfdbResult<()> {
+        match Self::reify(self.recv_raw(req_id)?)? {
+            Response::Ok { label, seq } => {
+                self.label = Label::from_array(&label);
+                self.last_write_seq = self.last_write_seq.max(seq);
+                Ok(())
+            }
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// The write half of [`Connection::txn_prepare`]: puts the prepare on
+    /// the socket and returns its request id for a later
+    /// [`Connection::recv_ok`]. The coordinator sends every participant's
+    /// prepare before reading any vote.
+    pub(crate) fn send_txn_prepare(&mut self, gid: u64) -> IfdbResult<u32> {
+        let id = self.send_request(&Request::TxnPrepare { gid })?;
+        self.in_txn = false;
+        Ok(id)
+    }
+
+    /// Phase one of two-phase commit: asks the server to *prepare* this
+    /// connection's open transaction under global id `gid` — run deferred
+    /// triggers, enforce the commit-label rule, and make the write set
+    /// durable without deciding its fate. On success the server votes yes
+    /// and the transaction can only be finished by [`Connection::txn_decide`];
+    /// on error the server has aborted it (a no vote). Either way the
+    /// transaction leaves this session.
+    pub fn txn_prepare(&mut self, gid: u64) -> IfdbResult<()> {
+        let id = self.send_txn_prepare(gid)?;
+        self.recv_ok(id)
+    }
+
+    /// Phase two of two-phase commit: delivers the coordinator's decision
+    /// for `gid`. Idempotent — deciding an unknown gid (already decided,
+    /// or never prepared here) succeeds without effect, so a recovering
+    /// coordinator can blindly re-send decisions.
+    pub fn txn_decide(&mut self, gid: u64, commit: bool) -> IfdbResult<()> {
+        let id = self.send_request(&Request::TxnDecide { gid, commit })?;
+        self.recv_ok(id)
+    }
+
+    /// The global transaction ids this server holds *in doubt*: prepared
+    /// before a crash and not yet decided. A recovering coordinator
+    /// resolves each one via [`Connection::txn_outcome`] across all shards
+    /// and re-sends the decision.
+    pub fn txn_recover(&mut self) -> IfdbResult<Vec<u64>> {
+        match self.call(&Request::TxnRecover)? {
+            Response::InDoubt { gids } => Ok(gids),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// What this server knows about `gid`: `Some(true)` committed,
+    /// `Some(false)` aborted, `None` never decided here (still in doubt,
+    /// or forgotten after a checkpoint). A gid is safe to presume aborted
+    /// only when *no* participant reports it committed.
+    pub fn txn_outcome(&mut self, gid: u64) -> IfdbResult<Option<bool>> {
+        match self.call(&Request::TxnOutcome { gid })? {
+            Response::TxnOutcome { committed } => Ok(committed),
             other => Err(unexpected(other)),
         }
     }

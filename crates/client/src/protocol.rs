@@ -893,6 +893,36 @@ pub enum Request {
     /// write-ahead-log sequence number; on a replica, its applied-seq.
     /// Used by topology-aware clients for read-your-writes waits.
     Watermark,
+    /// Phase one of two-phase commit: prepare the session's open
+    /// transaction under the coordinator-assigned global id. An `Ok` reply
+    /// is this participant's durable yes vote; an `Error` is a no vote (the
+    /// transaction is aborted server-side, e.g. a commit-label-rule
+    /// violation).
+    TxnPrepare {
+        /// The coordinator-assigned global transaction id.
+        gid: u64,
+    },
+    /// Phase two of two-phase commit: the coordinator's verdict for a
+    /// transaction previously prepared under `gid`. Idempotent — deciding
+    /// an unknown gid still replies `Ok`, so a coordinator retrying after a
+    /// crash converges.
+    TxnDecide {
+        /// The global transaction id.
+        gid: u64,
+        /// `true` to commit, `false` to abort.
+        commit: bool,
+    },
+    /// Asks for the global ids of transactions prepared on this node and
+    /// still awaiting a decision (in-doubt, e.g. recovered after a crash).
+    /// Answered with [`Response::InDoubt`].
+    TxnRecover,
+    /// Asks what this node knows about a global transaction — answered with
+    /// [`Response::TxnOutcome`]. Coordinator recovery commits an in-doubt
+    /// gid iff some participant reports it committed, else presumes abort.
+    TxnOutcome {
+        /// The global transaction id.
+        gid: u64,
+    },
 }
 
 /// One result row on the wire: the tuple's label and its values.
@@ -1024,6 +1054,19 @@ pub enum Response {
         /// connected to its primary yet).
         epoch: u64,
     },
+    /// Global ids of transactions prepared on this node and awaiting a
+    /// coordinator decision ([`Request::TxnRecover`]).
+    InDoubt {
+        /// In-doubt global transaction ids, ascending.
+        gids: Vec<u64>,
+    },
+    /// What this node knows about a global transaction
+    /// ([`Request::TxnOutcome`]).
+    TxnOutcome {
+        /// `None`: unknown or still in-doubt here; `Some(true)`: committed
+        /// here; `Some(false)`: aborted here.
+        committed: Option<bool>,
+    },
 }
 
 impl Request {
@@ -1127,6 +1170,20 @@ impl Request {
                 w.u32(*max);
             }
             Request::Watermark => w.u8(18),
+            Request::TxnPrepare { gid } => {
+                w.u8(19);
+                w.u64(*gid);
+            }
+            Request::TxnDecide { gid, commit } => {
+                w.u8(20);
+                w.u64(*gid);
+                w.u8(*commit as u8);
+            }
+            Request::TxnRecover => w.u8(21),
+            Request::TxnOutcome { gid } => {
+                w.u8(22);
+                w.u64(*gid);
+            }
         }
         w.finish()
     }
@@ -1198,6 +1255,13 @@ impl Request {
                 max: r.u32()?,
             },
             18 => Request::Watermark,
+            19 => Request::TxnPrepare { gid: r.u64()? },
+            20 => Request::TxnDecide {
+                gid: r.u64()?,
+                commit: r.u8()? != 0,
+            },
+            21 => Request::TxnRecover,
+            22 => Request::TxnOutcome { gid: r.u64()? },
             t => return Err(protocol_error(format!("unknown request tag {t}"))),
         };
         if !r.at_end() {
@@ -1231,6 +1295,24 @@ impl Response {
     /// Encodes the response into a frame payload.
     pub fn encode(&self) -> Vec<u8> {
         let mut w = Writer::new();
+        self.encode_to(&mut w);
+        w.finish()
+    }
+
+    /// Encodes into a caller-owned scratch buffer (cleared first). The
+    /// server's reactor keeps one scratch buffer per connection so the hot
+    /// response path reuses its allocation frame after frame instead of
+    /// allocating per response.
+    pub fn encode_into(&self, buf: &mut Vec<u8>) {
+        let mut w = Writer {
+            buf: std::mem::take(buf),
+        };
+        w.buf.clear();
+        self.encode_to(&mut w);
+        *buf = w.finish();
+    }
+
+    fn encode_to(&self, w: &mut Writer) {
         match self {
             Response::HelloOk { principal, label } => {
                 w.u8(128);
@@ -1279,7 +1361,7 @@ impl Response {
                 for c in columns {
                     w.str(c);
                 }
-                encode_rows(&mut w, rows);
+                encode_rows(w, rows);
                 w.u32(*cursor);
                 w.tags(label);
             }
@@ -1295,7 +1377,7 @@ impl Response {
             }
             Response::Batch { rows, done } => {
                 w.u8(135);
-                encode_rows(&mut w, rows);
+                encode_rows(w, rows);
                 w.u8(*done as u8);
             }
             Response::Bye => w.u8(136),
@@ -1310,7 +1392,7 @@ impl Response {
                 for c in columns {
                     w.str(c);
                 }
-                encode_rows(&mut w, rows);
+                encode_rows(w, rows);
             }
             Response::ReplBatch {
                 epoch,
@@ -1335,8 +1417,19 @@ impl Response {
                 w.u64(*seq);
                 w.u64(*epoch);
             }
+            Response::InDoubt { gids } => {
+                w.u8(140);
+                w.tags(gids);
+            }
+            Response::TxnOutcome { committed } => {
+                w.u8(141);
+                w.u8(match committed {
+                    None => 0,
+                    Some(true) => 1,
+                    Some(false) => 2,
+                });
+            }
         }
-        w.finish()
     }
 
     /// Decodes a response from a frame payload.
@@ -1428,6 +1521,14 @@ impl Response {
             139 => Response::Watermark {
                 seq: r.u64()?,
                 epoch: r.u64()?,
+            },
+            140 => Response::InDoubt { gids: r.tags()? },
+            141 => Response::TxnOutcome {
+                committed: match r.u8()? {
+                    0 => None,
+                    1 => Some(true),
+                    _ => Some(false),
+                },
             },
             t => return Err(protocol_error(format!("unknown response tag {t}"))),
         };

@@ -27,17 +27,48 @@
 //! barrier. The wait is bounded by [`RouterConfig::staleness_timeout`]:
 //! past it, the read falls back to the primary, so a stalled replica
 //! degrades latency, never correctness.
+//!
+//! # Sharded primaries and two-phase commit
+//!
+//! With a [`ShardMap`] configured ([`RouterConfig::sharded`]), the router
+//! additionally acts as the **transaction coordinator** over N primary
+//! shard nodes (shard 0 is the `primary` connection, the *home shard* for
+//! unmapped tables and unroutable statements):
+//!
+//! * every statement is routed to the shard owning its shard-key value;
+//! * `begin` is **lazy** — a per-shard transaction branch is begun on a
+//!   shard the first time a statement of the transaction touches it, so a
+//!   transaction that stays on one shard never pays for the others;
+//! * `commit` of a transaction that touched **one** shard is a plain
+//!   `Commit` on that shard — the fast path is wire-identical to the
+//!   unsharded client;
+//! * `commit` of a **cross-shard** transaction runs two-phase commit: the
+//!   coordinator puts a `TxnPrepare` on every participant's socket before
+//!   reading any vote (phase one is concurrent across shards, one flush
+//!   per shard), then delivers the decision the same way. Each participant
+//!   enforces the IFDB commit-label rule at prepare time, so one shard's
+//!   refusal (its *no* vote) aborts the transaction on every shard;
+//! * the process label is mirrored to every shard connection, and the
+//!   output gate checks the **union** of all shard labels — contamination
+//!   acquired on any shard gates release, exactly as a single node would;
+//! * a coordinator that crashed between phases leaves participants *in
+//!   doubt*; a new router over the same topology calls
+//!   [`RoutedConnection::resolve_in_doubt`] to finish them (commit iff any
+//!   participant already learned the commit, else presumed abort).
 
 use std::time::{Duration, Instant};
 
 use ifdb::{
-    Aggregate, Delete, IfdbResult, Insert, Join, ResultSet, Select, SessionApi, Statement,
-    StatementResult, Update,
+    Aggregate, Delete, IfdbError, IfdbResult, Insert, Join, ResultSet, Select, SessionApi,
+    Statement, StatementResult, Update,
 };
 use ifdb_difc::{Label, PrincipalId, TagId};
 use ifdb_storage::Datum;
 
+use crate::protocol::Request;
+use crate::shard::{ShardMap, HOME_SHARD};
 use crate::{ClientConfig, Connection};
+use std::sync::Arc;
 
 /// Configuration of a routed (primary + replicas) client.
 #[derive(Debug, Clone)]
@@ -57,6 +88,13 @@ pub struct RouterConfig {
     /// How long to sleep between watermark polls during a
     /// read-your-writes wait.
     pub poll_interval: Duration,
+    /// How tables are partitioned across primary shard nodes. `None` (or a
+    /// single-shard map) is the classic one-primary topology.
+    pub shard_map: Option<Arc<ShardMap>>,
+    /// Connection configuration for shards `1..` when `shard_map` is set
+    /// (`primary` is shard 0, the home shard); must hold exactly
+    /// `shard_map.shards() - 1` entries.
+    pub shard_nodes: Vec<ClientConfig>,
 }
 
 impl RouterConfig {
@@ -69,7 +107,29 @@ impl RouterConfig {
             read_your_writes: true,
             staleness_timeout: Duration::from_secs(2),
             poll_interval: Duration::from_millis(1),
+            shard_map: None,
+            shard_nodes: Vec::new(),
         }
+    }
+
+    /// A router over `map.shards()` primary shard nodes, one [`ClientConfig`]
+    /// per shard in shard-id order (`nodes[0]` is the home shard). Each
+    /// shard can still have its own replica chain server-side; this router
+    /// talks to the primaries.
+    ///
+    /// # Panics
+    /// When `nodes.len() != map.shards()`.
+    pub fn sharded(map: Arc<ShardMap>, mut nodes: Vec<ClientConfig>) -> Self {
+        assert_eq!(
+            nodes.len(),
+            map.shards(),
+            "one ClientConfig per shard, in shard-id order"
+        );
+        let primary = nodes.remove(0);
+        let mut config = Self::new(primary, Vec::new());
+        config.shard_map = Some(map);
+        config.shard_nodes = nodes;
+        config
     }
 
     /// Enables or disables read-your-writes waiting.
@@ -92,6 +152,23 @@ pub struct RouterStats {
     /// Replica reads that fell back to the primary because the replica did
     /// not catch up within the staleness bound (or failed).
     pub ryw_fallbacks: u64,
+    /// Statements routed to a shard other than the home shard.
+    pub statements_cross_shard: u64,
+    /// Transactions committed on the single-shard fast path (plain
+    /// `Commit`, no two-phase overhead).
+    pub single_shard_commits: u64,
+    /// Cross-shard transactions committed via two-phase commit.
+    pub distributed_commits: u64,
+    /// Cross-shard transactions aborted because a participant voted no at
+    /// prepare time (commit-label violation, conflict, …).
+    pub distributed_aborts: u64,
+    /// Commit decisions that could not be delivered to a prepared
+    /// participant (it is in doubt there until
+    /// [`RoutedConnection::resolve_in_doubt`] runs against it).
+    pub decides_undelivered: u64,
+    /// In-doubt transactions finished by
+    /// [`RoutedConnection::resolve_in_doubt`].
+    pub in_doubt_resolved: u64,
 }
 
 /// A topology-aware client connection: one primary, any number of read
@@ -108,6 +185,20 @@ pub struct RoutedConnection {
     /// (the primary restarted), so read-your-writes falls back to the
     /// primary immediately instead of stalling out the staleness bound.
     primary_epoch: u64,
+    /// The shard topology; `None` is the classic one-primary router.
+    shard_map: Option<Arc<ShardMap>>,
+    /// Connections to shards `1..` (shard 0 is `primary`).
+    shard_conns: Vec<Connection>,
+    /// An explicit transaction is open at the router level. Begins are
+    /// lazy: no shard has begun until a statement touches it.
+    router_txn: bool,
+    /// Shards with an open transaction branch, in touch order.
+    touched: Vec<usize>,
+    /// Global-transaction-id generator: a coarse wall-clock seed (so gids
+    /// stay unique across coordinator restarts — participants durably
+    /// remember decided gids) plus a local counter.
+    gid_seed: u64,
+    gid_counter: u64,
     stats: RouterStats,
 }
 
@@ -121,8 +212,21 @@ impl std::fmt::Debug for RoutedConnection {
 }
 
 impl RoutedConnection {
-    /// Connects to the primary and every replica.
+    /// Connects to the primary, every replica, and (when sharded) every
+    /// shard node.
     pub fn connect(config: &RouterConfig) -> IfdbResult<RoutedConnection> {
+        if let Some(map) = &config.shard_map {
+            if config.shard_nodes.len() + 1 != map.shards() {
+                return Err(IfdbError::Remote {
+                    code: crate::protocol::code::PROTOCOL as u16,
+                    detail: format!(
+                        "shard map describes {} shards but {} node configs given",
+                        map.shards(),
+                        config.shard_nodes.len() + 1
+                    ),
+                });
+            }
+        }
         let mut primary = Connection::connect(&config.primary)?;
         let (_, primary_epoch) = primary.watermark_full()?;
         let replicas = config
@@ -130,6 +234,16 @@ impl RoutedConnection {
             .iter()
             .map(Connection::connect)
             .collect::<IfdbResult<Vec<_>>>()?;
+        let shard_conns = config
+            .shard_nodes
+            .iter()
+            .map(Connection::connect)
+            .collect::<IfdbResult<Vec<_>>>()?;
+        let gid_seed = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_micros() as u64)
+            .unwrap_or(1)
+            << 10;
         Ok(RoutedConnection {
             primary,
             replicas,
@@ -138,6 +252,12 @@ impl RoutedConnection {
             staleness_timeout: config.staleness_timeout,
             poll_interval: config.poll_interval,
             primary_epoch,
+            shard_map: config.shard_map.clone(),
+            shard_conns,
+            router_txn: false,
+            touched: Vec::new(),
+            gid_seed,
+            gid_counter: 0,
             stats: RouterStats::default(),
         })
     }
@@ -157,7 +277,166 @@ impl RoutedConnection {
         for replica in self.replicas.drain(..) {
             let _ = replica.close();
         }
+        for shard in self.shard_conns.drain(..) {
+            let _ = shard.close();
+        }
         self.primary.close()
+    }
+
+    // ---------------------------------------------- sharded coordination
+
+    /// Whether this router coordinates more than one shard.
+    fn sharded(&self) -> bool {
+        self.shard_map.as_ref().is_some_and(|m| m.shards() > 1)
+    }
+
+    /// The connection serving `shard` (0 is the primary/home shard).
+    fn shard_conn(&mut self, shard: usize) -> &mut Connection {
+        if shard == HOME_SHARD {
+            &mut self.primary
+        } else {
+            &mut self.shard_conns[shard - 1]
+        }
+    }
+
+    /// The shard owning `stmt`. A statement on a replicated catalog table
+    /// stays on a shard the open transaction already touches (it never adds
+    /// a commit participant); other unroutable statements go to the home
+    /// shard.
+    fn route(&self, stmt: &Statement) -> usize {
+        let Some(map) = &self.shard_map else {
+            return HOME_SHARD;
+        };
+        if let Some(shard) = map.shard_for_statement(stmt) {
+            return shard;
+        }
+        if self.router_txn && map.is_replicated(crate::shard::statement_table(stmt)) {
+            if let Some(&shard) = self.touched.last() {
+                return shard;
+            }
+        }
+        HOME_SHARD
+    }
+
+    /// Lazily begins this transaction's branch on `shard` the first time a
+    /// statement touches it. Outside an explicit transaction this is a
+    /// no-op (statements auto-commit on their shard).
+    fn ensure_branch(&mut self, shard: usize) -> IfdbResult<()> {
+        if !self.router_txn || self.touched.contains(&shard) {
+            return Ok(());
+        }
+        self.shard_conn(shard).begin()?;
+        self.touched.push(shard);
+        Ok(())
+    }
+
+    /// Runs one statement on its owning shard (beginning the branch if
+    /// needed), counting cross-shard routing.
+    fn run_on_shard(&mut self, stmt: &Statement) -> IfdbResult<StatementResult> {
+        let shard = self.route(stmt);
+        if shard != HOME_SHARD {
+            self.stats.statements_cross_shard += 1;
+        }
+        self.ensure_branch(shard)?;
+        self.shard_conn(shard).run(stmt)
+    }
+
+    /// A fresh global transaction id.
+    fn next_gid(&mut self) -> u64 {
+        self.gid_counter += 1;
+        self.gid_seed.wrapping_add(self.gid_counter)
+    }
+
+    /// Two-phase commit across the touched shards. Phase one puts a
+    /// `TxnPrepare` on every participant's socket before reading any vote,
+    /// so the prepares (each participant's fsync included) overlap; phase
+    /// two delivers the decision the same way. One flush per shard per
+    /// phase.
+    fn commit_two_phase(&mut self, participants: &[usize]) -> IfdbResult<()> {
+        let gid = self.next_gid();
+        let sent: Vec<(usize, IfdbResult<u32>)> = participants
+            .iter()
+            .map(|&s| (s, self.shard_conn(s).send_txn_prepare(gid)))
+            .collect();
+        let mut yes: Vec<usize> = Vec::new();
+        let mut veto: Option<IfdbError> = None;
+        for (shard, send) in sent {
+            match send.and_then(|id| self.shard_conn(shard).recv_ok(id)) {
+                Ok(()) => yes.push(shard),
+                // A prepare error is this shard's no vote; the server has
+                // already aborted its branch, so it needs no decide.
+                Err(e) => {
+                    if veto.is_none() {
+                        veto = Some(e);
+                    }
+                }
+            }
+        }
+        let commit = veto.is_none();
+        let sent: Vec<(usize, IfdbResult<u32>)> = yes
+            .iter()
+            .map(|&s| {
+                let req = Request::TxnDecide { gid, commit };
+                (s, self.shard_conn(s).send_request(&req))
+            })
+            .collect();
+        for (shard, send) in sent {
+            if send
+                .and_then(|id| self.shard_conn(shard).recv_ok(id))
+                .is_err()
+            {
+                // The participant is prepared but unreachable: it stays in
+                // doubt there and resolves via `resolve_in_doubt` (or the
+                // decided-gid memory of its peers). The *decision* stands —
+                // other participants may already have applied it.
+                self.stats.decides_undelivered += 1;
+            }
+        }
+        match veto {
+            Some(e) => {
+                self.stats.distributed_aborts += 1;
+                Err(e)
+            }
+            None => {
+                self.stats.distributed_commits += 1;
+                Ok(())
+            }
+        }
+    }
+
+    /// Finishes transactions left in doubt by a crashed coordinator: asks
+    /// every shard for its in-doubt gids, resolves each one — **commit**
+    /// iff any participant already learned the commit decision, otherwise
+    /// presumed abort (the coordinator never sends a commit decision
+    /// before collecting yes votes from *all* participants, so no
+    /// participant can have committed) — and re-delivers the decision
+    /// everywhere. Returns the `(gid, committed)` pairs resolved.
+    pub fn resolve_in_doubt(&mut self) -> IfdbResult<Vec<(u64, bool)>> {
+        let shards = self.shard_map.as_ref().map_or(1, |m| m.shards());
+        let mut gids: Vec<u64> = Vec::new();
+        for s in 0..shards {
+            for gid in self.shard_conn(s).txn_recover()? {
+                if !gids.contains(&gid) {
+                    gids.push(gid);
+                }
+            }
+        }
+        let mut resolved = Vec::with_capacity(gids.len());
+        for gid in gids {
+            let mut committed = false;
+            for s in 0..shards {
+                if self.shard_conn(s).txn_outcome(gid)? == Some(true) {
+                    committed = true;
+                    break;
+                }
+            }
+            for s in 0..shards {
+                self.shard_conn(s).txn_decide(gid, committed)?;
+            }
+            self.stats.in_doubt_resolved += 1;
+            resolved.push((gid, committed));
+        }
+        Ok(resolved)
     }
 
     /// Picks the replica for the next read and waits out the
@@ -214,6 +493,15 @@ impl RoutedConnection {
     /// primary. A replica-side failure falls back to the primary so a dying
     /// replica degrades latency, not availability.
     fn routed_read(&mut self, stmt: &Statement) -> IfdbResult<ResultSet> {
+        if self.sharded() {
+            let shard = self.route(stmt);
+            // Reads owned by another shard — or any read inside an open
+            // transaction — go to the owning shard node; only home-shard
+            // reads outside a transaction use the replica rotation below.
+            if shard != HOME_SHARD || self.router_txn {
+                return self.run_on_shard(stmt).map(StatementResult::into_rows);
+            }
+        }
         if let Some(idx) = self.replica_for_read() {
             match self.replicas[idx].run(stmt) {
                 Ok(r) => {
@@ -240,6 +528,9 @@ impl RoutedConnection {
         &mut self,
         stmts: &[Statement],
     ) -> IfdbResult<Vec<IfdbResult<StatementResult>>> {
+        if self.sharded() {
+            return self.pipeline_sharded(stmts);
+        }
         let all_reads = stmts.iter().all(|s| {
             matches!(
                 s,
@@ -263,16 +554,66 @@ impl RoutedConnection {
         self.primary.pipeline(stmts)
     }
 
+    /// Sharded pipeline: the batch is partitioned by owning shard and each
+    /// partition runs pipelined on its shard (statement order within a
+    /// shard — which is what the per-connection label contract covers — is
+    /// preserved; statements on different shards touch disjoint data by
+    /// construction of the routing). A single-shard batch is forwarded
+    /// whole, clone-free.
+    fn pipeline_sharded(
+        &mut self,
+        stmts: &[Statement],
+    ) -> IfdbResult<Vec<IfdbResult<StatementResult>>> {
+        if stmts.is_empty() {
+            return Ok(Vec::new());
+        }
+        let mut groups: Vec<(usize, Vec<usize>)> = Vec::new();
+        for (i, stmt) in stmts.iter().enumerate() {
+            let shard = self.route(stmt);
+            if shard != HOME_SHARD {
+                self.stats.statements_cross_shard += 1;
+            }
+            match groups.iter_mut().find(|(s, _)| *s == shard) {
+                Some((_, idxs)) => idxs.push(i),
+                None => groups.push((shard, vec![i])),
+            }
+        }
+        if groups.len() == 1 {
+            let shard = groups[0].0;
+            self.ensure_branch(shard)?;
+            return self.shard_conn(shard).pipeline(stmts);
+        }
+        let mut out: Vec<Option<IfdbResult<StatementResult>>> =
+            stmts.iter().map(|_| None).collect();
+        for (shard, idxs) in groups {
+            self.ensure_branch(shard)?;
+            let part: Vec<Statement> = idxs.iter().map(|&i| stmts[i].clone()).collect();
+            let results = self.shard_conn(shard).pipeline(&part)?;
+            for (i, r) in idxs.into_iter().zip(results) {
+                out[i] = Some(r);
+            }
+        }
+        Ok(out
+            .into_iter()
+            .map(|r| r.expect("every statement assigned to exactly one shard"))
+            .collect())
+    }
+
     /// Applies a label operation to the primary and mirrors it to every
-    /// replica, keeping the sessions label-symmetric. The primary's outcome
-    /// decides success; a replica that refuses (e.g. it has not learned a
-    /// delegation yet) is dropped from the read rotation rather than
-    /// serving reads under a weaker label.
+    /// shard node and every replica, keeping the sessions label-symmetric.
+    /// The primary's outcome decides success. A **shard** that refuses is
+    /// an error — writes may route there, and they must run under the same
+    /// label. A replica that refuses (e.g. it has not learned a delegation
+    /// yet) is dropped from the read rotation rather than serving reads
+    /// under a weaker label.
     fn mirrored<T>(
         &mut self,
         mut op: impl FnMut(&mut Connection) -> IfdbResult<T>,
     ) -> IfdbResult<T> {
         let out = op(&mut self.primary)?;
+        for shard in &mut self.shard_conns {
+            op(shard)?;
+        }
         let mut alive = Vec::with_capacity(self.replicas.len());
         for mut replica in self.replicas.drain(..) {
             if op(&mut replica).is_ok() {
@@ -281,6 +622,18 @@ impl RoutedConnection {
         }
         self.replicas = alive;
         Ok(out)
+    }
+
+    /// The coordinator's output-gate label: the union of every shard
+    /// session's process label. Contamination acquired on any shard (a
+    /// trigger on a remote shard raised its session label during this
+    /// client's statement) gates release exactly as it would on one node.
+    fn merged_label(&self) -> Label {
+        let mut label = self.primary.current_label();
+        for shard in &self.shard_conns {
+            label = label.union(&shard.current_label());
+        }
+        label
     }
 }
 
@@ -295,25 +648,81 @@ impl SessionApi for RoutedConnection {
         self.routed_read(&Statement::Aggregate(agg.clone()))
     }
     fn insert(&mut self, ins: &Insert) -> IfdbResult<()> {
+        if self.sharded() {
+            return self
+                .run_on_shard(&Statement::Insert(ins.clone()))
+                .map(|_| ());
+        }
         self.primary.insert(ins)
     }
     fn update(&mut self, upd: &Update) -> IfdbResult<usize> {
+        if self.sharded() {
+            return self
+                .run_on_shard(&Statement::Update(upd.clone()))
+                .map(|r| r.affected());
+        }
         self.primary.update(upd)
     }
     fn delete(&mut self, del: &Delete) -> IfdbResult<usize> {
+        if self.sharded() {
+            return self
+                .run_on_shard(&Statement::Delete(del.clone()))
+                .map(|r| r.affected());
+        }
         self.primary.delete(del)
     }
     fn begin(&mut self) -> IfdbResult<()> {
+        if self.sharded() {
+            if self.router_txn {
+                return Err(IfdbError::Remote {
+                    code: crate::protocol::code::PROTOCOL as u16,
+                    detail: "transaction already open".into(),
+                });
+            }
+            // Lazy: branches begin on each shard at first touch, so a
+            // single-shard transaction pays exactly the unsharded wire cost.
+            self.router_txn = true;
+            return Ok(());
+        }
         self.primary.begin()
     }
     fn commit(&mut self) -> IfdbResult<()> {
+        if self.sharded() && self.router_txn {
+            self.router_txn = false;
+            let participants = std::mem::take(&mut self.touched);
+            return match participants.len() {
+                // Nothing touched: the empty transaction commits trivially.
+                0 => Ok(()),
+                // Fast path: one shard saw the transaction, a plain Commit
+                // finishes it — wire-identical to the unsharded client.
+                1 => {
+                    self.stats.single_shard_commits += 1;
+                    self.shard_conn(participants[0]).commit()
+                }
+                _ => self.commit_two_phase(&participants),
+            };
+        }
         self.primary.commit()
     }
     fn abort(&mut self) -> IfdbResult<()> {
+        if self.sharded() && self.router_txn {
+            self.router_txn = false;
+            let participants = std::mem::take(&mut self.touched);
+            let mut first_err = None;
+            for shard in participants {
+                if let Err(e) = self.shard_conn(shard).abort() {
+                    first_err.get_or_insert(e);
+                }
+            }
+            return match first_err {
+                Some(e) => Err(e),
+                None => Ok(()),
+            };
+        }
         self.primary.abort()
     }
     fn in_transaction(&self) -> bool {
-        self.primary.in_transaction()
+        self.router_txn || self.primary.in_transaction()
     }
     fn add_secrecy(&mut self, tag: TagId) -> IfdbResult<()> {
         self.mirrored(|c| c.add_secrecy(tag))
@@ -341,10 +750,19 @@ impl SessionApi for RoutedConnection {
         self.primary.principal()
     }
     fn current_label(&self) -> Label {
-        self.primary.current_label()
+        self.merged_label()
     }
     fn check_release_to_world(&self) -> IfdbResult<()> {
-        self.primary.check_release_to_world()
+        // The output gate over the merged label: a release is clean only
+        // if *no* shard session is contaminated.
+        let label = self.merged_label();
+        if label.is_empty() {
+            Ok(())
+        } else {
+            Err(ifdb::IfdbError::Difc(
+                ifdb_difc::DifcError::ContaminatedOutput { label },
+            ))
+        }
     }
     fn execute_batch(&mut self, stmts: &[Statement]) -> Vec<IfdbResult<StatementResult>> {
         match self.pipeline(stmts) {

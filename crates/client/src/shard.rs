@@ -1,0 +1,292 @@
+//! Range partitioning of tables across primary shard nodes.
+//!
+//! A [`ShardMap`] describes how the logical database is split over N
+//! independent primaries: per table, one *shard-key column* and a list of
+//! key ranges, each owned by one shard. TPC-C shards naturally by warehouse
+//! and CarTel by vehicle (the paper's workloads both carry an obvious
+//! partition key), so range partitioning on a single integer column covers
+//! the reproduction's workloads without a general-purpose planner.
+//!
+//! The map is shared verbatim by both sides of the wire: the client's
+//! shard-aware router ([`crate::router::RoutedConnection`]) uses it to route
+//! statements and to decide when a transaction needs two-phase commit, and
+//! each server carries it (plus its own shard id) in its `ServerConfig` so
+//! operators configure every node from one description.
+//!
+//! Tables absent from the map — and statements whose predicate does not pin
+//! the shard key to a single value — live on / route to shard 0, the *home
+//! shard*. Scatter-gather reads across shards are out of scope here; the
+//! workloads this reproduces always touch sharded tables through their
+//! partition key.
+
+use std::collections::{HashMap, HashSet};
+
+use ifdb::Statement;
+use ifdb_storage::Datum;
+
+/// The shard every unmapped table (and unroutable statement) belongs to.
+pub const HOME_SHARD: usize = 0;
+
+/// One contiguous key range owned by a shard: `lo..=hi`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardRange {
+    /// Lowest key in the range (inclusive).
+    pub lo: i64,
+    /// Highest key in the range (inclusive).
+    pub hi: i64,
+    /// The owning shard.
+    pub shard: usize,
+}
+
+/// How one table is partitioned.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableSharding {
+    /// The shard-key column's name (matched against predicates).
+    pub column: String,
+    /// The shard-key column's position (matched against INSERT values).
+    pub column_index: usize,
+    /// The key ranges, disjoint, in ascending order.
+    pub ranges: Vec<ShardRange>,
+}
+
+/// Table → key-range → shard map. See the module docs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardMap {
+    shards: usize,
+    tables: HashMap<String, TableSharding>,
+    /// Tables maintained identically on every shard (read-mostly catalogs,
+    /// like TPC-C's `item`): the router reads them from whatever shard the
+    /// transaction already touches, adding no commit participant.
+    replicated: HashSet<String>,
+}
+
+impl ShardMap {
+    /// An empty map over `shards` nodes: every table lives on the home
+    /// shard until [`ShardMap::shard_table`] partitions it.
+    pub fn new(shards: usize) -> Self {
+        ShardMap {
+            shards: shards.max(1),
+            tables: HashMap::new(),
+            replicated: HashSet::new(),
+        }
+    }
+
+    /// The trivial single-node map (everything on shard 0).
+    pub fn single() -> Self {
+        Self::new(1)
+    }
+
+    /// Number of shard nodes.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Partitions `table` on `column` (at `column_index` in insert order)
+    /// over the given ranges.
+    pub fn shard_table(
+        mut self,
+        table: &str,
+        column: &str,
+        column_index: usize,
+        ranges: Vec<ShardRange>,
+    ) -> Self {
+        debug_assert!(ranges.iter().all(|r| r.shard < self.shards));
+        self.tables.insert(
+            table.to_string(),
+            TableSharding {
+                column: column.to_string(),
+                column_index,
+                ranges,
+            },
+        );
+        self
+    }
+
+    /// Splits the key space `lo..=hi` into `shards` near-equal contiguous
+    /// ranges — the TPC-C "warehouses 1..=W over N nodes" shape.
+    pub fn contiguous_ranges(lo: i64, hi: i64, shards: usize) -> Vec<ShardRange> {
+        let shards = shards.max(1) as i64;
+        let span = (hi - lo + 1).max(0);
+        let per = (span + shards - 1) / shards; // ceil
+        (0..shards)
+            .map(|s| ShardRange {
+                lo: lo + s * per,
+                hi: (lo + (s + 1) * per - 1).min(hi),
+                shard: s as usize,
+            })
+            .filter(|r| r.lo <= r.hi)
+            .collect()
+    }
+
+    /// Marks `table` as replicated on every shard: a read-mostly catalog the
+    /// operator loads identically on all nodes (TPC-C's `item`). The router
+    /// serves its statements from a shard the transaction already touches —
+    /// never dragging an extra participant into two-phase commit — and from
+    /// the home shard outside transactions.
+    pub fn replicate_table(mut self, table: &str) -> Self {
+        self.replicated.insert(table.to_string());
+        self
+    }
+
+    /// Whether `table` is replicated on every shard.
+    pub fn is_replicated(&self, table: &str) -> bool {
+        self.replicated.contains(table)
+    }
+
+    /// The sharding of `table`, if it is partitioned.
+    pub fn table_sharding(&self, table: &str) -> Option<&TableSharding> {
+        self.tables.get(table)
+    }
+
+    /// The shard owning `key` in `table`. Unmapped tables — and keys
+    /// outside every range — belong to the home shard.
+    pub fn shard_for_key(&self, table: &str, key: i64) -> usize {
+        let Some(sharding) = self.tables.get(table) else {
+            return HOME_SHARD;
+        };
+        sharding
+            .ranges
+            .iter()
+            .find(|r| r.lo <= key && key <= r.hi)
+            .map(|r| r.shard)
+            .unwrap_or(HOME_SHARD)
+    }
+
+    /// The shard a statement belongs to: the owner of the single shard-key
+    /// value the statement pins (INSERT: the key column's value;
+    /// SELECT/UPDATE/DELETE/aggregate/join: an equality on the key column in
+    /// the predicate). `None` when the statement does not pin its table's
+    /// shard key — the router sends those to the home shard.
+    pub fn shard_for_statement(&self, stmt: &Statement) -> Option<usize> {
+        let (table, key) = match stmt {
+            Statement::Insert(i) => {
+                let sharding = self.tables.get(&i.table)?;
+                (&i.table, as_key(i.values.get(sharding.column_index)?)?)
+            }
+            Statement::Select(s) => {
+                let sharding = self.tables.get(&s.from)?;
+                (&s.from, as_key(s.predicate.equality_on(&sharding.column)?)?)
+            }
+            Statement::Aggregate(a) => {
+                let sharding = self.tables.get(&a.from)?;
+                (&a.from, as_key(a.predicate.equality_on(&sharding.column)?)?)
+            }
+            Statement::Join(j) => {
+                // Route by the left table's shard key; co-sharded joins
+                // (both sides partitioned on the same key, the TPC-C shape)
+                // land on the right node.
+                let sharding = self.tables.get(&j.left)?;
+                (&j.left, as_key(j.predicate.equality_on(&sharding.column)?)?)
+            }
+            Statement::Update(u) => {
+                let sharding = self.tables.get(&u.table)?;
+                (
+                    &u.table,
+                    as_key(u.predicate.equality_on(&sharding.column)?)?,
+                )
+            }
+            Statement::Delete(d) => {
+                let sharding = self.tables.get(&d.table)?;
+                (
+                    &d.table,
+                    as_key(d.predicate.equality_on(&sharding.column)?)?,
+                )
+            }
+        };
+        Some(self.shard_for_key(table, key))
+    }
+}
+
+/// The table a statement reads or writes (a join's left table).
+pub fn statement_table(stmt: &Statement) -> &str {
+    match stmt {
+        Statement::Insert(i) => &i.table,
+        Statement::Select(s) => &s.from,
+        Statement::Aggregate(a) => &a.from,
+        Statement::Join(j) => &j.left,
+        Statement::Update(u) => &u.table,
+        Statement::Delete(d) => &d.table,
+    }
+}
+
+/// A shard key is an integer-valued datum.
+fn as_key(d: &Datum) -> Option<i64> {
+    match d {
+        Datum::Int(i) => Some(*i),
+        Datum::Timestamp(t) => Some(*t),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ifdb::{Insert, Predicate, Select};
+
+    fn map() -> ShardMap {
+        ShardMap::new(2).shard_table("warehouse", "w_id", 0, ShardMap::contiguous_ranges(1, 4, 2))
+    }
+
+    #[test]
+    fn contiguous_ranges_cover_the_space() {
+        let ranges = ShardMap::contiguous_ranges(1, 4, 2);
+        assert_eq!(
+            ranges,
+            vec![
+                ShardRange {
+                    lo: 1,
+                    hi: 2,
+                    shard: 0
+                },
+                ShardRange {
+                    lo: 3,
+                    hi: 4,
+                    shard: 1
+                },
+            ]
+        );
+        // Uneven split still covers every key exactly once.
+        let ranges = ShardMap::contiguous_ranges(1, 5, 4);
+        let m = ShardMap::new(4).shard_table("t", "k", 0, ranges);
+        let owners: Vec<usize> = (1..=5).map(|k| m.shard_for_key("t", k)).collect();
+        assert_eq!(owners, vec![0, 0, 1, 1, 2]);
+    }
+
+    #[test]
+    fn statements_route_by_shard_key() {
+        let m = map();
+        let ins = Statement::Insert(Insert::new(
+            "warehouse",
+            vec![Datum::Int(3), Datum::Text("w3".into())],
+        ));
+        assert_eq!(m.shard_for_statement(&ins), Some(1));
+        let mut sel_inner = Select::star("warehouse");
+        sel_inner.predicate = Predicate::Eq("w_id".into(), Datum::Int(2));
+        let sel = Statement::Select(sel_inner);
+        assert_eq!(m.shard_for_statement(&sel), Some(0));
+        // No equality on the shard key: unroutable (home shard).
+        let scan = Statement::Select(Select::star("warehouse"));
+        assert_eq!(m.shard_for_statement(&scan), None);
+        // Unmapped table: unroutable.
+        let mut other_inner = Select::star("item");
+        other_inner.predicate = Predicate::Eq("i_id".into(), Datum::Int(7));
+        let other = Statement::Select(other_inner);
+        assert_eq!(m.shard_for_statement(&other), None);
+    }
+
+    #[test]
+    fn replicated_tables_are_marked_not_ranged() {
+        let m = map().replicate_table("item");
+        assert!(m.is_replicated("item"));
+        assert!(!m.is_replicated("warehouse"));
+        // Replicated tables still have no single owner: the router decides
+        // at run time which already-open branch serves them.
+        let mut sel = Select::star("item");
+        sel.predicate = Predicate::Eq("i_id".into(), Datum::Int(7));
+        assert_eq!(m.shard_for_statement(&Statement::Select(sel)), None);
+        assert_eq!(
+            statement_table(&Statement::Select(Select::star("item"))),
+            "item"
+        );
+    }
+}

@@ -348,6 +348,33 @@ impl Database {
         Ok(self.inner.engine.checkpoint_soon()?)
     }
 
+    /// Applies a two-phase-commit coordinator's verdict to the transaction
+    /// prepared under `gid` (via [`Session::prepare_commit`], or recovered
+    /// in-doubt from the log). Returns `true` if a prepared transaction was
+    /// resolved; idempotent, so a retrying coordinator gets a clean ack for
+    /// an already-decided gid.
+    ///
+    /// [`Session::prepare_commit`]: crate::session::Session::prepare_commit
+    pub fn decide_prepared(&self, gid: u64, commit: bool) -> IfdbResult<bool> {
+        Ok(self.inner.engine.decide(gid, commit)?)
+    }
+
+    /// Global ids of transactions prepared and awaiting a coordinator
+    /// decision (in-doubt), in ascending order. After a crash these are the
+    /// transactions the coordinator must resolve on reconnect.
+    pub fn in_doubt(&self) -> Vec<u64> {
+        self.inner.engine.in_doubt()
+    }
+
+    /// What this node knows about global transaction `gid`:
+    /// `Some(committed?)` once a decision was applied here, `None` when the
+    /// gid is unknown or still in-doubt here. Coordinator recovery commits
+    /// an in-doubt gid iff some participant answers `Some(true)`, and
+    /// otherwise presumes abort.
+    pub fn prepared_outcome(&self, gid: u64) -> Option<bool> {
+        self.inner.engine.outcome(gid)
+    }
+
     /// Shorthand for an in-memory IFDB instance with a fixed seed.
     pub fn in_memory() -> Self {
         Self::new(DatabaseConfig::in_memory().with_seed(0x1FDB))

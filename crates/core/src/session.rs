@@ -401,6 +401,55 @@ impl Session {
         Ok(())
     }
 
+    /// Prepares the current transaction for two-phase commit under the
+    /// coordinator-assigned global id `gid` (phase one, participant side).
+    ///
+    /// Runs the full commit-time machinery — deferred triggers, then the
+    /// transaction commit label rule of Section 5.1 — so a yes vote means
+    /// this participant *will* commit if told to: nothing checked at commit
+    /// time can fail afterwards. On success the transaction leaves this
+    /// session (it is in-doubt, owned by the coordinator) and is resolved
+    /// later via [`Database::decide_prepared`]. On failure the transaction
+    /// is aborted, which is the participant's no vote.
+    pub fn prepare_commit(&mut self, gid: u64) -> IfdbResult<()> {
+        let state = self
+            .txn
+            .take()
+            .ok_or_else(|| IfdbError::InvalidStatement("no transaction to prepare".into()))?;
+        let mut state = state;
+        if !state.deferred.is_empty() {
+            let deferred = std::mem::take(&mut state.deferred);
+            self.txn = Some(state);
+            for (trigger, inv) in deferred {
+                let result = self.run_trigger(&trigger, &inv);
+                if let Err(e) = result {
+                    let _ = self.abort();
+                    return Err(e);
+                }
+            }
+            state = self.txn.take().expect("txn restored for deferred triggers");
+        }
+        // Commit label rule, enforced per participant at prepare time: the
+        // coordinator's Decide cannot re-check labels, so the vote is where
+        // a violation must surface (aborting here aborts the whole global
+        // transaction).
+        if self.db.difc_enabled() {
+            let commit_label = self.process.label().clone();
+            for w in &state.write_set {
+                if !commit_label.is_subset_of(&w.label) {
+                    self.db.inner.engine.abort(state.id)?;
+                    self.stats.aborts += 1;
+                    return Err(IfdbError::CommitLabelViolation {
+                        commit_label,
+                        tuple_label: w.label.clone(),
+                    });
+                }
+            }
+        }
+        self.db.inner.engine.prepare_commit(state.id, gid)?;
+        Ok(())
+    }
+
     /// Aborts the current transaction.
     pub fn abort(&mut self) -> IfdbResult<()> {
         let state = self

@@ -131,6 +131,16 @@ pub struct ServerConfig {
     /// How long shutdown waits for connections with open transactions to
     /// finish before aborting them.
     pub drain_timeout: Duration,
+    /// How the logical database is partitioned across primary shard nodes,
+    /// shared verbatim with shard-aware clients ([`ifdb_client::shard`]).
+    /// `None` means this server is an unsharded (single) primary. The map
+    /// is descriptive on the server side — statements are routed by the
+    /// client — but carrying it here lets operators configure every node
+    /// from one description and lets tooling introspect the topology.
+    pub shard_map: Option<Arc<ifdb_client::shard::ShardMap>>,
+    /// Which shard of [`ServerConfig::shard_map`] this node serves
+    /// (ignored when `shard_map` is `None`).
+    pub shard_id: usize,
 }
 
 impl Default for ServerConfig {
@@ -149,6 +159,8 @@ impl Default for ServerConfig {
             replication_secret: None,
             replication_batch: 512,
             drain_timeout: Duration::from_secs(2),
+            shard_map: None,
+            shard_id: 0,
         }
     }
 }
@@ -195,6 +207,13 @@ pub struct ServerStats {
     /// Queued-but-unexecuted pipelined statements cancelled because an
     /// earlier statement on the same connection hit the statement timeout.
     pub pipelined_cancelled: u64,
+    /// Response frames encoded on the reactor's outbox path (reactor
+    /// backend only; the thread-pool backend writes frames directly to its
+    /// per-connection socket writer and does not count here).
+    pub frames_encoded: u64,
+    /// Total response payload bytes encoded on the reactor's outbox path
+    /// (reactor backend only), before framing overhead.
+    pub response_bytes: u64,
 }
 
 impl ServerStats {
@@ -225,15 +244,30 @@ struct Counters {
     requests_aborted_on_shutdown: AtomicU64,
     backpressure_pauses: AtomicU64,
     pipelined_cancelled: AtomicU64,
+    frames_encoded: AtomicU64,
+    response_bytes: AtomicU64,
 }
+
+/// Lock stripes in the statement cache's template→id map. Power of two;
+/// selected by the template's FNV-1a hash, so concurrent prepares of
+/// *different* shapes (the bench's many-connection warm-up, or a fleet of
+/// app servers reconnecting at once) contend only when they collide on a
+/// stripe instead of serializing on one map lock.
+const STMT_CACHE_STRIPES: usize = 16;
 
 /// The server-wide prepared-statement cache: statement templates (value-free
 /// shapes, see [`ifdb_client::protocol::encode_template`]) deduplicated
 /// across every connection. Ids are global, so two connections preparing the
 /// same shape share one entry, and the bound template is parsed once per
 /// execution from its cached bytes rather than shipped in full per request.
+///
+/// The template→id map is striped by template hash
+/// ([`STMT_CACHE_STRIPES`] stripes); the id-ordered template list stays
+/// global because it allocates the dense statement ids and enforces the
+/// capacity bound. Hit/miss accounting lives in the server's global
+/// counters and is unaffected by striping.
 pub struct StatementCache {
-    by_template: RwLock<HashMap<Arc<[u8]>, u32>>,
+    by_template: [RwLock<HashMap<Arc<[u8]>, u32>>; STMT_CACHE_STRIPES],
     templates: RwLock<Vec<Arc<[u8]>>>,
     capacity: usize,
 }
@@ -241,21 +275,30 @@ pub struct StatementCache {
 impl StatementCache {
     fn new(capacity: usize) -> Self {
         StatementCache {
-            by_template: RwLock::new(HashMap::new()),
+            by_template: std::array::from_fn(|_| RwLock::new(HashMap::new())),
             templates: RwLock::new(Vec::new()),
             capacity,
         }
     }
 
+    fn stripe(&self, template: &[u8]) -> &RwLock<HashMap<Arc<[u8]>, u32>> {
+        let h = ifdb_client::protocol::frame_checksum(template) as usize;
+        &self.by_template[h % STMT_CACHE_STRIPES]
+    }
+
     /// Registers a template, returning `(id, was_cached)`.
     fn prepare(&self, template: Vec<u8>) -> IfdbResult<(u32, bool)> {
-        if let Some(id) = self.by_template.read().get(template.as_slice()) {
+        let stripe = self.stripe(&template);
+        if let Some(id) = stripe.read().get(template.as_slice()) {
             return Ok((*id, true));
         }
-        let mut by_template = self.by_template.write();
+        let mut by_template = stripe.write();
         if let Some(id) = by_template.get(template.as_slice()) {
             return Ok((*id, true));
         }
+        // The global list allocates the id and holds the capacity line; a
+        // racing prepare of a *different* shape on another stripe contends
+        // only here, briefly, not on the lookup path above.
         let mut templates = self.templates.write();
         if templates.len() >= self.capacity {
             return Err(IfdbError::Remote {
@@ -401,6 +444,8 @@ impl ServerHandle {
             requests_aborted_on_shutdown: c.requests_aborted_on_shutdown.load(Ordering::Relaxed),
             backpressure_pauses: c.backpressure_pauses.load(Ordering::Relaxed),
             pipelined_cancelled: c.pipelined_cancelled.load(Ordering::Relaxed),
+            frames_encoded: c.frames_encoded.load(Ordering::Relaxed),
+            response_bytes: c.response_bytes.load(Ordering::Relaxed),
         }
     }
 
@@ -615,7 +660,13 @@ fn handle_request(
             // error until a client-visible sync point re-synchronizes the
             // connection.
             if conn.cancel_queued {
-                if matches!(other, Request::Begin | Request::Commit | Request::Abort) {
+                // TxnPrepare is a sync point like Commit: it ends the
+                // transaction either way, and executing it against the
+                // timeout-aborted transaction correctly yields a no vote.
+                if matches!(
+                    other,
+                    Request::Begin | Request::Commit | Request::Abort | Request::TxnPrepare { .. }
+                ) {
                     conn.cancel_queued = false;
                 } else {
                     shared
@@ -1049,6 +1100,30 @@ fn handle_message(
                 rows: rs.rows.into_iter().map(to_wire_row).collect(),
             })
         }
+        Request::TxnPrepare { gid } => {
+            // 2PC phase one, participant side: run deferred triggers,
+            // enforce the commit-label rule (a violation here is this
+            // shard's no vote), and make the write set durable under `gid`
+            // without deciding it. Success is the yes vote; the Ok carries
+            // the post-trigger label like Commit's does.
+            session.prepare_commit(gid)?;
+            Ok(ok_with_label(shared, session))
+        }
+        Request::TxnDecide { gid, commit } => {
+            // 2PC phase two: finish the prepared transaction. Addressed by
+            // gid, not by this connection's session — the decision may
+            // arrive on a different connection than the prepare (coordinator
+            // reconnect after a crash). Idempotent: unknown gids (already
+            // decided, or never prepared here) succeed without effect.
+            shared.db.decide_prepared(gid, commit)?;
+            Ok(ok_with_label(shared, session))
+        }
+        Request::TxnRecover => Ok(Response::InDoubt {
+            gids: shared.db.in_doubt(),
+        }),
+        Request::TxnOutcome { gid } => Ok(Response::TxnOutcome {
+            committed: shared.db.prepared_outcome(gid),
+        }),
     }
 }
 

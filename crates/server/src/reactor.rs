@@ -92,6 +92,10 @@ struct ConnShared {
     /// Bytes buffered toward the peer (outbox + the reactor's write
     /// buffer); drives backpressure.
     outbound_bytes: AtomicUsize,
+    /// Reusable response-encoding buffer: one allocation amortized over
+    /// every response frame this connection produces, instead of a fresh
+    /// `Vec` per frame on the hot outbox path.
+    scratch: Mutex<Vec<u8>>,
 }
 
 impl Drop for ConnShared {
@@ -111,12 +115,21 @@ impl Drop for ConnShared {
 }
 
 impl ConnShared {
-    /// Appends one encoded response frame to the outbox.
+    /// Appends one encoded response frame to the outbox, encoding through
+    /// the connection's scratch buffer. One executor drains a connection at
+    /// a time, so the scratch lock is uncontended; it exists to satisfy the
+    /// shared-ownership structure, not for concurrency.
     fn push_response(&self, req_id: u32, resp: &Response) {
-        let msg = resp.encode();
+        let mut scratch = self.scratch.lock();
+        resp.encode_into(&mut scratch);
+        let counters = &self.server.counters;
+        counters.frames_encoded.fetch_add(1, Ordering::Relaxed);
+        counters
+            .response_bytes
+            .fetch_add(scratch.len() as u64, Ordering::Relaxed);
         let mut ob = self.outbox.lock();
         let before = ob.len();
-        if frame_into(&mut ob, req_id, &msg).is_ok() {
+        if frame_into(&mut ob, req_id, &scratch).is_ok() {
             self.outbound_bytes
                 .fetch_add(ob.len() - before, Ordering::Relaxed);
         } else {
@@ -442,6 +455,7 @@ impl Reactor {
                         exec_state: AtomicU8::new(EXEC_IDLE),
                         closing: AtomicBool::new(false),
                         outbound_bytes: AtomicUsize::new(0),
+                        scratch: Mutex::new(Vec::new()),
                     });
                     self.conns.insert(
                         token,

@@ -291,6 +291,14 @@ impl StorageEngine {
     /// log with a checkpoint.
     fn replay(&self, records: &[LogRecord]) -> StorageResult<bool> {
         let mut committed: HashSet<TxnId> = HashSet::new();
+        // 2PC participants that voted yes with no decision later in the log:
+        // recovered in-doubt. Their effects are replayed (invisibly — the
+        // transaction is re-registered `InProgress`) so a post-recovery
+        // decide-commit makes them appear without re-reading the log.
+        let mut prepared: HashMap<u64, TxnId> = HashMap::new();
+        // Decisions found in the log (gid → committed?): re-registered so a
+        // recovering coordinator can still ask this node what was decided.
+        let mut decided: HashMap<u64, bool> = HashMap::new();
         let mut max_txn = BOOTSTRAP_TXN;
         for r in records {
             let txn = match r {
@@ -298,7 +306,9 @@ impl StorageEngine {
                 | LogRecord::Commit { txn }
                 | LogRecord::Abort { txn }
                 | LogRecord::Insert { txn, .. }
-                | LogRecord::Delete { txn, .. } => Some(*txn),
+                | LogRecord::Delete { txn, .. }
+                | LogRecord::Prepare { txn, .. }
+                | LogRecord::Decide { txn, .. } => Some(*txn),
                 _ => None,
             };
             if let Some(t) = txn {
@@ -312,12 +322,35 @@ impl StorageEngine {
                 // superseding Abort when its Commit record could not be
                 // made durable but may already sit in the log. (In every
                 // other path Commit and Abort are mutually exclusive.)
+                // It likewise supersedes a Prepare whose record hit the log
+                // but could not be made durable.
                 LogRecord::Abort { txn } => {
                     committed.remove(txn);
+                    prepared.retain(|gid, t| {
+                        if t == txn {
+                            decided.insert(*gid, false);
+                        }
+                        t != txn
+                    });
+                }
+                LogRecord::Prepare { txn, gid } => {
+                    prepared.insert(*gid, *txn);
+                }
+                LogRecord::Decide { txn, commit } => {
+                    prepared.retain(|gid, t| {
+                        if t == txn {
+                            decided.insert(*gid, *commit);
+                        }
+                        t != txn
+                    });
+                    if *commit {
+                        committed.insert(*txn);
+                    }
                 }
                 _ => {}
             }
         }
+        let in_doubt: HashSet<TxnId> = prepared.values().copied().collect();
         let mut row_map: HashMap<(u32, RowId), RowId> = HashMap::new();
         let mut remapped = false;
         for r in records {
@@ -350,7 +383,7 @@ impl StorageEngine {
                     table,
                     row,
                     bytes,
-                } if *txn == BOOTSTRAP_TXN || committed.contains(txn) => {
+                } if *txn == BOOTSTRAP_TXN || committed.contains(txn) || in_doubt.contains(txn) => {
                     let t = self.table(TableId(*table))?;
                     let version = TupleVersion::decode(bytes)?;
                     let new_row = t.heap.insert(&version)?;
@@ -362,7 +395,9 @@ impl StorageEngine {
                     row_map.insert((*table, *row), new_row);
                 }
                 LogRecord::Delete { txn, table, row }
-                    if *txn == BOOTSTRAP_TXN || committed.contains(txn) =>
+                    if *txn == BOOTSTRAP_TXN
+                        || committed.contains(txn)
+                        || in_doubt.contains(txn) =>
                 {
                     // A delete whose insert predates the log start cannot
                     // occur: every checkpoint image re-logs live rows, so the
@@ -376,6 +411,8 @@ impl StorageEngine {
             }
         }
         self.txns.recover(committed, max_txn);
+        self.txns.recover_prepared(prepared);
+        self.txns.recover_decided(decided);
         Ok(remapped)
     }
 
@@ -740,6 +777,77 @@ impl StorageEngine {
         // failures (the request is dropped and surfaced on a later commit).
         let _ = self.run_pending_checkpoint_if_quiescent();
         Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Two-phase commit (participant side)
+    // ------------------------------------------------------------------
+
+    /// Phase one of two-phase commit: durably prepares `txn` under the
+    /// coordinator-assigned global id `gid` and votes yes. On return the
+    /// transaction is in-doubt — invisible, immune to local commit/abort,
+    /// surviving a crash — until [`StorageEngine::decide`] applies the
+    /// coordinator's verdict. The Prepare record is fsynced before the call
+    /// returns (the vote must not outrun its durability), mirroring the
+    /// failure handling of [`StorageEngine::commit`]: if the record cannot
+    /// be made durable a superseding Abort settles the transaction, and if
+    /// even that fails the commit claim is held forever.
+    pub fn prepare_commit(&self, txn: TxnId, gid: u64) -> StorageResult<()> {
+        self.txns.begin_commit(txn)?;
+        if let Err(e) = self.wal.append(LogRecord::Prepare { txn, gid }) {
+            if self.wal.append(LogRecord::Abort { txn }).is_ok() && self.wal.sync().is_ok() {
+                self.txns.cancel_commit(txn);
+                let _ = self.txns.abort(txn);
+            }
+            return Err(e);
+        }
+        if let Err(e) = self.txns.mark_prepared(txn, gid) {
+            // The gid is already taken (coordinator bug or replayed
+            // prepare). The Prepare record is durable, so settle with a
+            // superseding Abort exactly as above.
+            if self.wal.append(LogRecord::Abort { txn }).is_ok() && self.wal.sync().is_ok() {
+                self.txns.cancel_commit(txn);
+                let _ = self.txns.abort(txn);
+            }
+            return Err(e);
+        }
+        Ok(())
+    }
+
+    /// Phase two of two-phase commit: applies the coordinator's verdict to
+    /// the transaction prepared under `gid`. Returns `Ok(true)` if a
+    /// prepared transaction was resolved, `Ok(false)` if none is prepared
+    /// under `gid` — the decision is idempotent, so a coordinator retrying
+    /// after a crash gets a clean ack. A commit decision is fsynced before
+    /// the in-memory state flips; an abort decision is presumed and needs no
+    /// sync.
+    pub fn decide(&self, gid: u64, commit: bool) -> StorageResult<bool> {
+        let Some(txn) = self.txns.prepared_txn(gid) else {
+            return Ok(false);
+        };
+        // Log the decision before flipping in-memory state (same ordering
+        // rule as commit): if the append fails the transaction simply stays
+        // prepared and the coordinator retries.
+        self.wal.append(LogRecord::Decide { txn, commit })?;
+        self.txns.finish_prepared(gid, commit);
+        // A decide can be the settle that drains the engine (prepared
+        // transactions count as active and block checkpoints).
+        let _ = self.run_pending_checkpoint_if_quiescent();
+        Ok(true)
+    }
+
+    /// Global ids of transactions prepared and awaiting a coordinator
+    /// decision (in-doubt), in ascending order.
+    pub fn in_doubt(&self) -> Vec<u64> {
+        self.txns.in_doubt()
+    }
+
+    /// What this node knows about global transaction `gid`:
+    /// `Some(committed?)` once a decision was applied here, `None` when the
+    /// gid is unknown or still in-doubt here. See
+    /// [`TransactionManager::outcome`].
+    pub fn outcome(&self, gid: u64) -> Option<bool> {
+        self.txns.outcome(gid)
     }
 
     /// Takes a snapshot for `txn`.
@@ -1164,6 +1272,30 @@ impl StorageEngine {
                 }
             }
             LogRecord::Checkpoint => {}
+            // 2PC on the primary mirrors onto the replica as plain commit /
+            // abort outcomes: a Prepare leaves the transaction in progress
+            // (its effects stay invisible, exactly the in-doubt state), and
+            // the Decide settles it like a Commit/Abort record would.
+            LogRecord::Prepare { .. } => {}
+            LogRecord::Decide { txn, commit } => {
+                if *commit {
+                    self.txns.commit_replicated(*txn);
+                    if let Some(rows) = state.deletes_in_flight.remove(txn) {
+                        for key in rows {
+                            state.row_map.remove(&key);
+                        }
+                    }
+                    state.inserts_in_flight.remove(txn);
+                } else {
+                    self.txns.abort_replicated(*txn);
+                    state.deletes_in_flight.remove(txn);
+                    if let Some(rows) = state.inserts_in_flight.remove(txn) {
+                        for key in rows {
+                            state.row_map.remove(&key);
+                        }
+                    }
+                }
+            }
         }
         self.replica_records_applied.fetch_add(1, Ordering::Relaxed);
         Ok(())

@@ -117,6 +117,19 @@ struct TxnTable {
     commit_stamps: HashMap<TxnId, u64>,
     /// The next commit stamp; also the `commit_floor` handed to snapshots.
     next_commit_stamp: u64,
+    /// Two-phase-commit participants that voted yes: global transaction id →
+    /// local transaction. A prepared transaction stays `InProgress` for
+    /// visibility and keeps its `committing` claim (no local commit or abort
+    /// may race the coordinator's decision); only
+    /// [`TransactionManager::finish_prepared`] resolves it.
+    prepared: HashMap<u64, TxnId>,
+    /// Outcomes of resolved 2PC transactions (gid → committed?). Kept so a
+    /// coordinator recovering another participant's in-doubt transaction can
+    /// ask this node what was decided (the recovery protocol commits an
+    /// in-doubt gid iff some participant knows it committed, else presumes
+    /// abort). Bounded by the log: reconstructed from Prepare/Decide records
+    /// at replay, forgotten at a checkpoint.
+    decided: HashMap<u64, bool>,
 }
 
 impl Default for TxnTable {
@@ -127,6 +140,8 @@ impl Default for TxnTable {
             committing: HashSet::new(),
             commit_stamps: HashMap::new(),
             next_commit_stamp: 1,
+            prepared: HashMap::new(),
+            decided: HashMap::new(),
         }
     }
 }
@@ -220,6 +235,88 @@ impl TransactionManager {
         table.begin_floors.remove(&txn);
         self.active.fetch_sub(1, Ordering::SeqCst);
         Ok(())
+    }
+
+    /// Converts a commit claim taken by [`TransactionManager::begin_commit`]
+    /// into a prepared (in-doubt) state under `gid`. The transaction keeps
+    /// its claim — local `commit`/`abort` keep failing — and stays
+    /// `InProgress` for visibility until [`TransactionManager::finish_prepared`]
+    /// applies the coordinator's decision. Fails if `gid` is already in use.
+    pub fn mark_prepared(&self, txn: TxnId, gid: u64) -> StorageResult<()> {
+        let mut table = self.table.write();
+        if !table.committing.contains(&txn) {
+            return Err(StorageError::InvalidTransaction(txn.0));
+        }
+        if table.prepared.contains_key(&gid) {
+            return Err(StorageError::InvalidTransaction(txn.0));
+        }
+        table.prepared.insert(gid, txn);
+        Ok(())
+    }
+
+    /// The local transaction prepared under `gid`, if any.
+    pub fn prepared_txn(&self, gid: u64) -> Option<TxnId> {
+        self.table.read().prepared.get(&gid).copied()
+    }
+
+    /// Global transaction ids currently prepared and awaiting a decision,
+    /// in ascending order.
+    pub fn in_doubt(&self) -> Vec<u64> {
+        let mut gids: Vec<u64> = self.table.read().prepared.keys().copied().collect();
+        gids.sort_unstable();
+        gids
+    }
+
+    /// Applies the coordinator's decision to the transaction prepared under
+    /// `gid`, committing or aborting it. Returns the resolved local
+    /// transaction, or `None` if no transaction is prepared under `gid`
+    /// (already decided — the decision is idempotent).
+    pub fn finish_prepared(&self, gid: u64, commit: bool) -> Option<TxnId> {
+        let mut table = self.table.write();
+        let txn = table.prepared.remove(&gid)?;
+        table.committing.remove(&txn);
+        if commit {
+            table.status.insert(txn, TxnStatus::Committed);
+            table.stamp_commit(txn);
+        } else {
+            table.status.insert(txn, TxnStatus::Aborted);
+        }
+        table.begin_floors.remove(&txn);
+        table.decided.insert(gid, commit);
+        self.active.fetch_sub(1, Ordering::SeqCst);
+        Some(txn)
+    }
+
+    /// What this node knows about global transaction `gid`:
+    /// `Some(true)`/`Some(false)` when a decision was applied here, `None`
+    /// when the gid is unknown or still in-doubt. The coordinator recovery
+    /// protocol commits an in-doubt gid iff some participant answers
+    /// `Some(true)`, and otherwise presumes abort.
+    pub fn outcome(&self, gid: u64) -> Option<bool> {
+        self.table.read().decided.get(&gid).copied()
+    }
+
+    /// Re-registers decisions recovered from the log (gid → committed?), so
+    /// post-crash outcome queries keep answering.
+    pub fn recover_decided(&self, decided: impl IntoIterator<Item = (u64, bool)>) {
+        let mut table = self.table.write();
+        table.decided.extend(decided);
+    }
+
+    /// Re-registers transactions recovered in-doubt from the log: each is
+    /// `InProgress` (its effects stay invisible), holds a commit claim, and
+    /// awaits the coordinator's decision under its global id.
+    pub fn recover_prepared(&self, prepared: impl IntoIterator<Item = (u64, TxnId)>) {
+        let mut table = self.table.write();
+        for (gid, txn) in prepared {
+            if table.prepared.insert(gid, txn).is_none() {
+                table.status.insert(txn, TxnStatus::InProgress);
+                let floor = table.next_commit_stamp;
+                table.begin_floors.insert(txn, floor);
+                table.committing.insert(txn);
+                self.active.fetch_add(1, Ordering::SeqCst);
+            }
+        }
     }
 
     fn finish(&self, txn: TxnId, to: TxnStatus) -> StorageResult<()> {

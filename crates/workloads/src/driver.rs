@@ -20,7 +20,7 @@ use ifdb_difc::TagId;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::tpcc::{run_transaction_on, TpccConfig, TpccDatabase, TpccTransaction};
+use crate::tpcc::{run_transaction_on, TpccConfig, TpccDatabase, TpccDeck, TpccTransaction};
 
 /// Driver configuration.
 #[derive(Debug, Clone)]
@@ -203,11 +203,13 @@ pub fn run_network_tpcc(config: &NetworkTpccConfig) -> NetworkDriverOutcome {
     let committed = Arc::new(AtomicU64::new(0));
     let conflicts = Arc::new(AtomicU64::new(0));
     let terminal_errors = Arc::new(AtomicU64::new(0));
+    let deck = Arc::new(TpccDeck::new(config.seed ^ 0xDECC));
     let start = Instant::now();
 
     std::thread::scope(|scope| {
         for terminal in 0..config.connections {
             let stop = stop.clone();
+            let deck = deck.clone();
             let new_orders = new_orders.clone();
             let committed = committed.clone();
             let conflicts = conflicts.clone();
@@ -232,29 +234,37 @@ pub fn run_network_tpcc(config: &NetworkTpccConfig) -> NetworkDriverOutcome {
                     if !think.is_zero() {
                         std::thread::sleep(think);
                     }
-                    let kind = TpccTransaction::draw(&mut rng);
-                    match run_transaction_on(&config.tpcc, &mut conn, &mut rng, kind) {
-                        Ok(true) => {
-                            committed.fetch_add(1, Ordering::Relaxed);
-                            if kind == TpccTransaction::NewOrder {
-                                new_orders.fetch_add(1, Ordering::Relaxed);
+                    let kind = deck.deal();
+                    // A transaction rolled back by a write conflict is
+                    // retried (as DBT-2 retries it) rather than replaced by
+                    // a fresh card: abort rates differ across the five
+                    // types, and dealing past an abort would skew the
+                    // committed mix away from the dealt one.
+                    while !stop.load(Ordering::Relaxed) {
+                        match run_transaction_on(&config.tpcc, &mut conn, &mut rng, kind) {
+                            Ok(true) => {
+                                committed.fetch_add(1, Ordering::Relaxed);
+                                if kind == TpccTransaction::NewOrder {
+                                    new_orders.fetch_add(1, Ordering::Relaxed);
+                                }
+                                break;
                             }
-                        }
-                        Ok(false) => {
-                            conflicts.fetch_add(1, Ordering::Relaxed);
-                        }
-                        // A transport-level failure means the connection is
-                        // dead: retrying would hot-spin for the rest of the
-                        // run, inflating the conflict count. Count the
-                        // terminal as lost and stop it.
-                        Err(ifdb::IfdbError::Remote { code, .. })
-                            if code == ifdb_client::protocol::code::PROTOCOL as u16 =>
-                        {
-                            terminal_errors.fetch_add(1, Ordering::Relaxed);
-                            return;
-                        }
-                        Err(_) => {
-                            conflicts.fetch_add(1, Ordering::Relaxed);
+                            Ok(false) => {
+                                conflicts.fetch_add(1, Ordering::Relaxed);
+                            }
+                            // A transport-level failure means the connection
+                            // is dead: retrying would hot-spin for the rest
+                            // of the run, inflating the conflict count.
+                            // Count the terminal as lost and stop it.
+                            Err(ifdb::IfdbError::Remote { code, .. })
+                                if code == ifdb_client::protocol::code::PROTOCOL as u16 =>
+                            {
+                                terminal_errors.fetch_add(1, Ordering::Relaxed);
+                                return;
+                            }
+                            Err(_) => {
+                                conflicts.fetch_add(1, Ordering::Relaxed);
+                            }
                         }
                     }
                 }

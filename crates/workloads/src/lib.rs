@@ -14,6 +14,12 @@
 //! * [`readscale`] — the multi-replica read-scaling driver: closed-loop
 //!   labeled reads spread across a primary and its log-shipping replicas,
 //!   measuring WIPS vs replica count for `BENCH_pr5.json`.
+//! * [`sharded`] — multi-warehouse TPC-C over range-partitioned primary
+//!   shards: per-shard loaders, the warehouse shard map, and a closed-loop
+//!   driver whose terminals are shard-aware routers (single-warehouse
+//!   transactions on the fast path, remote-supplier new-orders via
+//!   two-phase commit), measuring NOTPM vs shard count for
+//!   `BENCH_pr7.json`.
 //!
 //! The CarTel web workload (Figure 3 mix, TPC-W think times) lives in
 //! `ifdb-cartel::scripts::figure3_mix` and `ifdb-platform::httpsim`.
@@ -21,6 +27,7 @@
 pub mod driver;
 pub mod readscale;
 pub mod rng;
+pub mod sharded;
 pub mod tpcc;
 
 pub use driver::{
@@ -28,4 +35,10 @@ pub use driver::{
     TpccDriverConfig,
 };
 pub use readscale::{run_read_scale, ReadScaleConfig, ReadScaleOutcome};
-pub use tpcc::{run_transaction_on, TpccConfig, TpccDatabase, TpccTransaction};
+pub use sharded::{
+    load_shard, run_sharded_tpcc, tpcc_shard_map, ShardedDriverOutcome, ShardedTpccConfig,
+};
+pub use tpcc::{
+    run_new_order_with_supply, run_transaction_at, run_transaction_on, TpccConfig, TpccDatabase,
+    TpccTransaction, WarehouseRange,
+};

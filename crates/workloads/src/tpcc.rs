@@ -8,6 +8,8 @@
 //! seconds, but the transaction logic follows the TPC-C profiles: the same
 //! reads, writes, and index usage per transaction.
 
+use std::sync::Mutex;
+
 use ifdb::prelude::*;
 use ifdb::{IfdbResult, TableDef};
 use rand::rngs::StdRng;
@@ -81,6 +83,66 @@ impl TpccTransaction {
     }
 }
 
+/// A shuffled card deck over the standard mix, shared by the terminals of
+/// one run: 100 cards (45 new-order, 43 payment, 4 each of the rest),
+/// dealt one per transaction and reshuffled when exhausted.
+///
+/// Dealing from a deck is how real TPC-C drivers meet the mix requirement,
+/// and it matters for measurement: each full deck realizes the mix
+/// *exactly*, so a run's NOTPM varies with throughput alone instead of
+/// with binomial mix-sampling noise. A short run commits a few hundred
+/// transactions; drawn i.i.d., the new-order count then swings by ~10%,
+/// which is fatal when the ratio of two such runs is gated against a
+/// scaling floor.
+pub struct TpccDeck {
+    inner: Mutex<(Vec<TpccTransaction>, StdRng)>,
+}
+
+impl TpccDeck {
+    /// Cards per deck: the standard mix in whole cards.
+    const DECK: [(TpccTransaction, usize); 5] = [
+        (TpccTransaction::NewOrder, 45),
+        (TpccTransaction::Payment, 43),
+        (TpccTransaction::OrderStatus, 4),
+        (TpccTransaction::Delivery, 4),
+        (TpccTransaction::StockLevel, 4),
+    ];
+
+    /// Creates an empty deck; the first deal shuffles.
+    pub fn new(seed: u64) -> Self {
+        TpccDeck {
+            inner: Mutex::new((Vec::new(), StdRng::seed_from_u64(seed))),
+        }
+    }
+
+    /// Deals the next card, reshuffling a fresh deck when this one runs out.
+    pub fn deal(&self) -> TpccTransaction {
+        let mut inner = self.inner.lock().expect("deck poisoned");
+        let (cards, rng) = &mut *inner;
+        if cards.is_empty() {
+            for (kind, count) in Self::DECK {
+                cards.extend(std::iter::repeat_n(kind, count));
+            }
+            // Fisher-Yates.
+            for i in (1..cards.len()).rev() {
+                cards.swap(i, rng.gen_range(0..=i));
+            }
+        }
+        cards.pop().expect("deck refilled above")
+    }
+}
+
+/// The warehouse range a loader populates: `lo..=hi` of the global
+/// warehouse id space. A sharded deployment loads each shard's database
+/// with its own slice (plus the full `item` catalog, which is replicated).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WarehouseRange {
+    /// First warehouse id (inclusive).
+    pub lo: i64,
+    /// Last warehouse id (inclusive).
+    pub hi: i64,
+}
+
 /// A loaded TPC-C database plus the label every tuple carries.
 pub struct TpccDatabase {
     /// The database.
@@ -96,6 +158,23 @@ pub struct TpccDatabase {
 impl TpccDatabase {
     /// Creates the schema and loads initial data into `db`.
     pub fn load(db: Database, config: TpccConfig) -> IfdbResult<Self> {
+        let range = WarehouseRange {
+            lo: 1,
+            hi: config.warehouses,
+        };
+        Self::load_warehouse_range(db, config, range)
+    }
+
+    /// Creates the schema and loads only the warehouses in `range` (the
+    /// full `item` catalog is always loaded — it is replicated on every
+    /// shard of a sharded deployment). `config.warehouses` stays the
+    /// *global* warehouse count, so transaction profiles generated against
+    /// the whole cluster stay valid.
+    pub fn load_warehouse_range(
+        db: Database,
+        config: TpccConfig,
+        range: WarehouseRange,
+    ) -> IfdbResult<Self> {
         create_schema(&db)?;
         let principal = db.create_principal("tpcc", PrincipalKind::User);
         let mut tags = Vec::new();
@@ -109,7 +188,7 @@ impl TpccDatabase {
             label,
             config,
         };
-        loaded.populate()?;
+        loaded.populate(range)?;
         Ok(loaded)
     }
 
@@ -120,7 +199,7 @@ impl TpccDatabase {
         Ok(s)
     }
 
-    fn populate(&self) -> IfdbResult<()> {
+    fn populate(&self, range: WarehouseRange) -> IfdbResult<()> {
         let mut rng = StdRng::seed_from_u64(self.config.seed);
         let mut s = self.session()?;
         let c = &self.config;
@@ -138,7 +217,7 @@ impl TpccDatabase {
         }
         self.finish_load_txn(&mut s)?;
 
-        for w in 1..=c.warehouses {
+        for w in range.lo..=range.hi {
             s.begin()?;
             s.insert(&Insert::new(
                 "warehouse",
@@ -271,12 +350,27 @@ pub fn run_transaction_on<S: SessionApi>(
     rng: &mut StdRng,
     kind: TpccTransaction,
 ) -> IfdbResult<bool> {
+    let w = rng.gen_range(1..=config.warehouses);
+    run_transaction_at(config, session, rng, kind, w)
+}
+
+/// [`run_transaction_on`] with the home warehouse chosen by the caller:
+/// TPC-C terminals are pinned to a warehouse, and a sharded driver that
+/// pins its terminals spreads load evenly over the shards instead of
+/// letting the per-transaction warehouse draw bunch up on one node.
+pub fn run_transaction_at<S: SessionApi>(
+    config: &TpccConfig,
+    session: &mut S,
+    rng: &mut StdRng,
+    kind: TpccTransaction,
+    w: i64,
+) -> IfdbResult<bool> {
     let result = match kind {
-        TpccTransaction::NewOrder => new_order(config, session, rng),
-        TpccTransaction::Payment => payment(config, session, rng),
-        TpccTransaction::OrderStatus => order_status(config, session, rng),
-        TpccTransaction::Delivery => delivery(config, session, rng),
-        TpccTransaction::StockLevel => stock_level(config, session, rng),
+        TpccTransaction::NewOrder => new_order(config, session, rng, w),
+        TpccTransaction::Payment => payment(config, session, rng, w),
+        TpccTransaction::OrderStatus => order_status(config, session, rng, w),
+        TpccTransaction::Delivery => delivery(config, session, rng, w),
+        TpccTransaction::StockLevel => stock_level(config, session, rng, w),
     };
     match result {
         Ok(()) => Ok(true),
@@ -295,15 +389,60 @@ pub fn run_transaction_on<S: SessionApi>(
     }
 }
 
-fn pick_wd(config: &TpccConfig, rng: &mut StdRng) -> (i64, i64) {
-    (
-        rng.gen_range(1..=config.warehouses),
-        rng.gen_range(1..=config.districts_per_warehouse),
-    )
+fn pick_d(config: &TpccConfig, rng: &mut StdRng) -> i64 {
+    rng.gen_range(1..=config.districts_per_warehouse)
 }
 
-fn new_order<S: SessionApi>(config: &TpccConfig, s: &mut S, rng: &mut StdRng) -> IfdbResult<()> {
-    let (w, d) = pick_wd(config, rng);
+fn new_order<S: SessionApi>(
+    config: &TpccConfig,
+    s: &mut S,
+    rng: &mut StdRng,
+    w: i64,
+) -> IfdbResult<()> {
+    let d = pick_d(config, rng);
+    new_order_at(config, s, rng, w, d, w)
+}
+
+/// Runs one new-order transaction for district `(w, d)` whose stock is
+/// supplied by `supply_w` — the TPC-C remote-warehouse shape. With
+/// `supply_w != w` the stock reads and updates land on the supplying
+/// warehouse while the order itself lands on the home warehouse; over a
+/// sharded topology that makes the transaction cross-shard whenever the
+/// two warehouses live on different shards. Returns `true` on commit,
+/// `false` on a write-conflict rollback.
+pub fn run_new_order_with_supply<S: SessionApi>(
+    config: &TpccConfig,
+    session: &mut S,
+    rng: &mut StdRng,
+    w: i64,
+    d: i64,
+    supply_w: i64,
+) -> IfdbResult<bool> {
+    match new_order_at(config, session, rng, w, d, supply_w) {
+        Ok(()) => Ok(true),
+        Err(IfdbError::Storage(ifdb::StorageError::WriteConflict { .. })) => {
+            if session.in_transaction() {
+                let _ = session.abort();
+            }
+            Ok(false)
+        }
+        Err(e) => {
+            if session.in_transaction() {
+                let _ = session.abort();
+            }
+            Err(e)
+        }
+    }
+}
+
+fn new_order_at<S: SessionApi>(
+    config: &TpccConfig,
+    s: &mut S,
+    rng: &mut StdRng,
+    w: i64,
+    d: i64,
+    supply_w: i64,
+) -> IfdbResult<()> {
     let customer = nurand(rng, NURAND_A_C_ID, 1, config.customers_per_district as u64) as i64;
     let line_count = rng.gen_range(5..=15i64);
 
@@ -368,7 +507,7 @@ fn new_order<S: SessionApi>(config: &TpccConfig, s: &mut S, rng: &mut StdRng) ->
         ));
         reads.push(Statement::Select(
             Select::star("stock").filter(
-                Predicate::Eq("s_w_id".into(), Datum::Int(w))
+                Predicate::Eq("s_w_id".into(), Datum::Int(supply_w))
                     .and(Predicate::Eq("s_i_id".into(), Datum::Int(item))),
             ),
         ));
@@ -399,7 +538,7 @@ fn new_order<S: SessionApi>(config: &TpccConfig, s: &mut S, rng: &mut StdRng) ->
         };
         writes.push(Statement::Update(Update::new(
             "stock",
-            Predicate::Eq("s_w_id".into(), Datum::Int(w))
+            Predicate::Eq("s_w_id".into(), Datum::Int(supply_w))
                 .and(Predicate::Eq("s_i_id".into(), Datum::Int(item))),
             vec![("s_quantity", Datum::Int(new_qty))],
         )));
@@ -435,8 +574,13 @@ fn rows(r: IfdbResult<StatementResult>) -> IfdbResult<ifdb::ResultSet> {
     }
 }
 
-fn payment<S: SessionApi>(config: &TpccConfig, s: &mut S, rng: &mut StdRng) -> IfdbResult<()> {
-    let (w, d) = pick_wd(config, rng);
+fn payment<S: SessionApi>(
+    config: &TpccConfig,
+    s: &mut S,
+    rng: &mut StdRng,
+    w: i64,
+) -> IfdbResult<()> {
+    let d = pick_d(config, rng);
     let customer = nurand(rng, NURAND_A_C_ID, 1, config.customers_per_district as u64) as i64;
     let amount = rng.gen_range(1.0..5000.0);
     s.begin()?;
@@ -495,8 +639,13 @@ fn payment<S: SessionApi>(config: &TpccConfig, s: &mut S, rng: &mut StdRng) -> I
     commit_with_label(s)
 }
 
-fn order_status<S: SessionApi>(config: &TpccConfig, s: &mut S, rng: &mut StdRng) -> IfdbResult<()> {
-    let (w, d) = pick_wd(config, rng);
+fn order_status<S: SessionApi>(
+    config: &TpccConfig,
+    s: &mut S,
+    rng: &mut StdRng,
+    w: i64,
+) -> IfdbResult<()> {
+    let d = pick_d(config, rng);
     let customer = nurand(rng, NURAND_A_C_ID, 1, config.customers_per_district as u64) as i64;
     s.begin()?;
     s.select(
@@ -529,8 +678,12 @@ fn order_status<S: SessionApi>(config: &TpccConfig, s: &mut S, rng: &mut StdRng)
     commit_with_label(s)
 }
 
-fn delivery<S: SessionApi>(config: &TpccConfig, s: &mut S, rng: &mut StdRng) -> IfdbResult<()> {
-    let (w, _) = pick_wd(config, rng);
+fn delivery<S: SessionApi>(
+    config: &TpccConfig,
+    s: &mut S,
+    rng: &mut StdRng,
+    w: i64,
+) -> IfdbResult<()> {
     let carrier = rng.gen_range(1..=10i64);
     s.begin()?;
     for d in 1..=config.districts_per_warehouse {
@@ -569,8 +722,13 @@ fn delivery<S: SessionApi>(config: &TpccConfig, s: &mut S, rng: &mut StdRng) -> 
     commit_with_label(s)
 }
 
-fn stock_level<S: SessionApi>(config: &TpccConfig, s: &mut S, rng: &mut StdRng) -> IfdbResult<()> {
-    let (w, d) = pick_wd(config, rng);
+fn stock_level<S: SessionApi>(
+    config: &TpccConfig,
+    s: &mut S,
+    rng: &mut StdRng,
+    w: i64,
+) -> IfdbResult<()> {
+    let d = pick_d(config, rng);
     let threshold = rng.gen_range(10..=20i64);
     s.begin()?;
     let district = s.select(

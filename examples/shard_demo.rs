@@ -1,0 +1,190 @@
+//! Start two primary shard servers, split an `accounts` table between them
+//! by key range, and drive a shard-aware router through the full
+//! distributed-transaction repertoire: the single-shard fast path (plain
+//! `Begin`/`Commit`, no coordination), an atomic cross-shard transfer via
+//! two-phase commit, a commit-label violation on one shard vetoing the
+//! transaction on *both*, and a simulated coordinator crash resolved by a
+//! successor through the in-doubt protocol.
+//!
+//! Run with: `cargo run --example shard_demo`
+
+use std::sync::Arc;
+
+use ifdb::prelude::*;
+use ifdb::{TriggerDef, TriggerEvent, TriggerTiming};
+use ifdb_client::shard::ShardMap;
+use ifdb_client::{ClientConfig, Connection, RoutedConnection, RouterConfig};
+use ifdb_platform::Authenticator;
+use ifdb_server::{start, ServerConfig, ServerHandle};
+
+const SEED: u64 = 0x54A2;
+
+/// Account ids 0..=99 live on shard 0, 100..=199 on shard 1. The map is
+/// plain data shared by servers and clients, so both route by the same
+/// rule.
+fn shard_map() -> Arc<ShardMap> {
+    Arc::new(ShardMap::new(2).shard_table(
+        "accounts",
+        "id",
+        0,
+        ShardMap::contiguous_ranges(0, 199, 2),
+    ))
+}
+
+/// One shard's database: the `accounts` slice plus the DIFC state. The
+/// authority state is code, not data — every shard re-creates it with the
+/// same seed and in the same order, so the numeric tag ids line up across
+/// the cluster (the same contract replicas and crash recovery rely on).
+fn shard_db() -> (Database, TagId) {
+    let db = Database::new(DatabaseConfig::in_memory().with_seed(SEED));
+    let auditor = db.create_principal("auditor", PrincipalKind::User);
+    let audit = db.create_tag(auditor, "audit", &[]).unwrap();
+    db.create_table(
+        TableDef::new("accounts")
+            .column("id", DataType::Int)
+            .column("balance", DataType::Int)
+            .primary_key(&["id"]),
+    )
+    .unwrap();
+    (db, audit)
+}
+
+fn start_shard(db: Database) -> ServerHandle {
+    start(db, Arc::new(Authenticator::new()), ServerConfig::default()).expect("start shard")
+}
+
+fn router_over(shards: &[&ServerHandle]) -> RoutedConnection {
+    let nodes = shards
+        .iter()
+        .map(|s| ClientConfig::anonymous(&s.addr().to_string()))
+        .collect();
+    RoutedConnection::connect(&RouterConfig::sharded(shard_map(), nodes)).unwrap()
+}
+
+fn deposit(id: i64, amount: i64) -> Insert {
+    Insert::new("accounts", vec![Datum::Int(id), Datum::Int(amount)])
+}
+
+fn count_rows(server: &ServerHandle) -> usize {
+    let mut c = Connection::connect(&ClientConfig::anonymous(&server.addr().to_string())).unwrap();
+    let n = c.select(&Select::star("accounts")).unwrap().len();
+    c.close().unwrap();
+    n
+}
+
+fn main() {
+    let (db0, _) = shard_db();
+    let (db1, audit) = shard_db();
+    // Shard 1 audits large deposits by contaminating the writing session
+    // with the `audit` tag — which will make a cross-shard commit carrying
+    // one fail the commit-label rule on this shard only.
+    db1.create_trigger(TriggerDef {
+        name: "audit_large_deposits".into(),
+        table: "accounts".into(),
+        events: vec![TriggerEvent::Insert],
+        timing: TriggerTiming::Immediate,
+        authority: None,
+        body: Arc::new(move |session, inv| {
+            if matches!(inv.new.as_deref(), Some([_, Datum::Int(b)]) if *b >= 1_000) {
+                session.add_secrecy(audit)?;
+            }
+            Ok(())
+        }),
+    })
+    .unwrap();
+    let s0 = start_shard(db0);
+    let s1 = start_shard(db1);
+    println!("shard 0 (ids 0..=99)    listening on {}", s0.addr());
+    println!("shard 1 (ids 100..=199) listening on {}", s1.addr());
+
+    let mut router = router_over(&[&s0, &s1]);
+
+    // Single-shard transaction: both statements route to shard 0, so the
+    // router commits with a plain Begin/Commit — no coordination at all.
+    router.begin().unwrap();
+    router.insert(&deposit(1, 500)).unwrap();
+    router.insert(&deposit(2, 250)).unwrap();
+    router.commit().unwrap();
+    println!(
+        "single-shard txn: {} fast-path commit(s), {} distributed",
+        router.stats().single_shard_commits,
+        router.stats().distributed_commits
+    );
+
+    // Cross-shard transfer: the transaction touches both shards, so the
+    // router escalates to presumed-abort two-phase commit — both effects
+    // land atomically or not at all.
+    router.begin().unwrap();
+    router.insert(&deposit(3, 100)).unwrap();
+    router.insert(&deposit(103, 100)).unwrap();
+    router.commit().unwrap();
+    println!(
+        "cross-shard txn: {} distributed commit(s); shard 0 has {} rows, shard 1 has {}",
+        router.stats().distributed_commits,
+        count_rows(&s0),
+        count_rows(&s1)
+    );
+
+    // Commit-label veto: the large deposit trips shard 1's audit trigger,
+    // contaminating the inserting session there, so that participant's
+    // prepare fails the IFDB commit-label rule and votes no — and the one
+    // no vote aborts the transaction on *every* shard. The contamination
+    // still reaches the coordinator's label mirror: release through the
+    // merged output gate is now gated.
+    let rows_before = (count_rows(&s0), count_rows(&s1));
+    router.begin().unwrap();
+    router.insert(&deposit(4, 9_000)).unwrap();
+    router.insert(&deposit(104, 9_000)).unwrap();
+    let veto = router.commit().unwrap_err();
+    println!("label veto: commit refused with {veto}");
+    println!(
+        "  rows unchanged everywhere: shard 0 {} -> {}, shard 1 {} -> {}",
+        rows_before.0,
+        count_rows(&s0),
+        rows_before.1,
+        count_rows(&s1)
+    );
+    println!(
+        "  coordinator label now carries the audit tag: {}",
+        router.current_label().contains(audit)
+    );
+
+    // Coordinator crash, simulated: a raw client prepares a cross-shard
+    // transaction on both participants, delivers the commit decision to
+    // only one, and disappears. Shard 1 is left *in doubt*: the prepared
+    // transaction's writes are durable but invisible, its locks held.
+    let gid = 0xD0_D0;
+    let mut c0 = Connection::connect(&ClientConfig::anonymous(&s0.addr().to_string())).unwrap();
+    let mut c1 = Connection::connect(&ClientConfig::anonymous(&s1.addr().to_string())).unwrap();
+    c0.begin().unwrap();
+    c0.insert(&deposit(5, 42)).unwrap();
+    c1.begin().unwrap();
+    c1.insert(&deposit(105, 42)).unwrap();
+    c0.txn_prepare(gid).unwrap();
+    c1.txn_prepare(gid).unwrap();
+    c0.txn_decide(gid, true).unwrap();
+    drop(c0);
+    drop(c1); // the "crash": shard 1 never hears the decision
+    let mut c1 = Connection::connect(&ClientConfig::anonymous(&s1.addr().to_string())).unwrap();
+    println!(
+        "after coordinator crash: shard 1 in doubt on gids {:?}",
+        c1.txn_recover().unwrap()
+    );
+    c1.close().unwrap();
+
+    // A successor coordinator resolves by the presumed-abort rule: shard 0
+    // remembers the commit, so the decision was commit — the acked
+    // transfer is not lost.
+    let mut successor = router_over(&[&s0, &s1]);
+    let resolved = successor.resolve_in_doubt().unwrap();
+    println!(
+        "successor resolved {resolved:?}; shard 1 now has {} rows",
+        count_rows(&s1)
+    );
+
+    router.close().unwrap();
+    successor.close().unwrap();
+    s0.shutdown();
+    s1.shutdown();
+    println!("clean shutdown");
+}
