@@ -1,0 +1,38 @@
+//! Emits the PR 8 high-availability snapshot as `BENCH_pr8.json` in the
+//! current directory (plus the usual copy under `target/experiments/`): the
+//! failover drill's unavailability window (primary stopped → first write
+//! acknowledged by the promoted successor) and closed-loop network TPC-C
+//! NOTPM before vs after the promotion. CI uploads the file next to the
+//! earlier `BENCH_*.json` snapshots and runs `bench_gate` against it.
+
+use ifdb_bench::ExperimentScale;
+
+fn main() {
+    let report = ifdb_bench::bench_pr8_report(ExperimentScale::from_env());
+    match serde_json::to_string_pretty(&report) {
+        Ok(json) => {
+            if std::fs::write("BENCH_pr8.json", &json).is_ok() {
+                println!("\n[BENCH_pr8.json written]");
+            } else {
+                eprintln!("could not write BENCH_pr8.json");
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("could not serialize report: {e}");
+            std::process::exit(1);
+        }
+    }
+    if report.failover_unavailability_ms > 2_500.0 {
+        eprintln!(
+            "WARNING: failover unavailability window is {:.0} ms, above the 2500 ms ceiling",
+            report.failover_unavailability_ms
+        );
+    }
+    if report.notpm_post_over_pre < 0.5 {
+        eprintln!(
+            "WARNING: post-failover NOTPM is {:.2}x the pre-failover number, below the 0.5x floor",
+            report.notpm_post_over_pre
+        );
+    }
+}

@@ -95,13 +95,24 @@ const PR7_SUITE: Suite = Suite {
     bands: &[("notpm_one_shard", "baseline_notpm_one_shard")],
 };
 
+const PR8_SUITE: Suite = Suite {
+    floors: &[("notpm_post_over_pre", "min_notpm_post_over_pre")],
+    ceilings: &[(
+        "failover_unavailability_ms",
+        "max_failover_unavailability_ms",
+    )],
+    bands: &[("notpm_pre_failover", "baseline_notpm_pre_failover")],
+};
+
 /// Picks the check suite from the report's file name.
 fn suite_for(report_path: &Path) -> &'static Suite {
     let name = report_path
         .file_name()
         .map(|n| n.to_string_lossy().to_lowercase())
         .unwrap_or_default();
-    if name.contains("pr7") {
+    if name.contains("pr8") {
+        &PR8_SUITE
+    } else if name.contains("pr7") {
         &PR7_SUITE
     } else if name.contains("pr6") {
         &PR6_SUITE
@@ -209,7 +220,10 @@ mod tests {
         "min_notpm_scaling_1_to_2": 1.7,
         "min_notpm_scaling_1_to_4": 2.8,
         "max_fastpath_overhead_frac": 0.10,
-        "baseline_notpm_one_shard": 4000.0
+        "baseline_notpm_one_shard": 4000.0,
+        "min_notpm_post_over_pre": 0.5,
+        "max_failover_unavailability_ms": 2500.0,
+        "baseline_notpm_pre_failover": 3000.0
     }"#;
 
     #[test]
@@ -334,6 +348,58 @@ mod tests {
         let outcome = run_gate(&report, &baselines).unwrap();
         assert!(outcome.passed(), "{:?}", outcome.checks);
         assert_eq!(outcome.checks.len(), 4);
+        std::fs::remove_file(report).ok();
+        std::fs::remove_file(baselines).ok();
+    }
+
+    #[test]
+    fn pr8_report_runs_the_failover_suite() {
+        let report = write_tmp(
+            "pr8-ok",
+            r#"{
+                "notpm_post_over_pre": 0.93,
+                "failover_unavailability_ms": 410.0,
+                "notpm_pre_failover": 2800.0
+            }"#,
+        );
+        let baselines = write_tmp("pr8-ok-base", BASELINES);
+        let outcome = run_gate(&report, &baselines).unwrap();
+        assert!(outcome.passed(), "{:?}", outcome.checks);
+        assert_eq!(outcome.checks.len(), 3);
+        let ceilings: Vec<&str> = outcome
+            .checks
+            .iter()
+            .filter(|c| c.ceiling)
+            .map(|c| c.metric.as_str())
+            .collect();
+        assert_eq!(ceilings, vec!["failover_unavailability_ms"]);
+        std::fs::remove_file(report).ok();
+        std::fs::remove_file(baselines).ok();
+    }
+
+    #[test]
+    fn pr8_slow_failover_fails_the_ceiling() {
+        let report = write_tmp(
+            "pr8-bad",
+            r#"{
+                "notpm_post_over_pre": 0.2,
+                "failover_unavailability_ms": 9000.0,
+                "notpm_pre_failover": 2800.0
+            }"#,
+        );
+        let baselines = write_tmp("pr8-bad-base", BASELINES);
+        let outcome = run_gate(&report, &baselines).unwrap();
+        assert!(!outcome.passed());
+        let failed: Vec<&str> = outcome
+            .checks
+            .iter()
+            .filter(|c| !c.pass)
+            .map(|c| c.metric.as_str())
+            .collect();
+        assert_eq!(
+            failed,
+            vec!["notpm_post_over_pre", "failover_unavailability_ms"]
+        );
         std::fs::remove_file(report).ok();
         std::fs::remove_file(baselines).ok();
     }

@@ -18,6 +18,7 @@ pub mod pr4;
 pub mod pr5;
 pub mod pr6;
 pub mod pr7;
+pub mod pr8;
 pub mod report;
 
 pub use experiments::{
@@ -37,3 +38,4 @@ pub use pr4::{
 pub use pr5::{bench_pr5_report, BenchPr5Report};
 pub use pr6::{bench_pr6_report, BenchPr6Report};
 pub use pr7::{bench_pr7_report, BenchPr7Report};
+pub use pr8::{bench_pr8_report, measure_failover_drill, BenchPr8Report};

@@ -8,7 +8,7 @@
 //!   shards at constant per-shard scale (warehouses *and* terminals grow
 //!   with the cluster, the classic scale-out protocol). Every shard is an
 //!   on-disk database with sync-on-commit durability and an emulated
-//!   commodity-disk stable-write latency (see [`SYNC_LATENCY`] — the CI
+//!   commodity-disk stable-write latency (see `SYNC_LATENCY` — the CI
 //!   host's virtual disk acks `fdatasync` from volatile cache, which no
 //!   durable medium can), so a single shard's commits serialize behind one
 //!   WAL fsync pipeline; extra shards add *independent* WALs whose fsyncs

@@ -1,0 +1,164 @@
+//! The invariant checker: a client-side journal of attempted writes and
+//! the rules the surviving cluster is held to afterwards.
+//!
+//! Every marker write the load generator attempts is journaled with how the
+//! cluster answered:
+//!
+//! * [`Ack::Acked`] — the cluster acknowledged the commit. **The row must
+//!   exist on the post-failover primary.** With semi-synchronous
+//!   replication the ack implies a replica had applied the write, so not
+//!   even a `SIGABRT` of the primary may lose it.
+//! * [`Ack::RefusedDeterminate`] — the cluster refused with an error that
+//!   guarantees the write did not happen (fenced refusal, conflict abort,
+//!   read-only replica…). **The row must not exist anywhere** — an un-acked
+//!   effect that resurrects after failover is as much a lie as a lost ack.
+//! * [`Ack::Indeterminate`] — the outcome is unknowable from the client:
+//!   the transport died with the request in flight, or the commit was
+//!   locally durable but unconfirmed by a replica within the semi-sync
+//!   window ([`ifdb_client::is_indeterminate_commit_error`]). The row may
+//!   exist or not; either is correct.
+//!
+//! Independently of existence, **label faithfulness** is checked on every
+//! node: rows written under `alice`'s secrecy tag must be invisible to a
+//! session that does not carry the tag, promotion or no promotion.
+
+use std::collections::HashSet;
+use std::sync::Mutex;
+
+use ifdb::prelude::*;
+use ifdb::{IfdbError, IfdbResult};
+use ifdb_client::Connection;
+
+/// How the cluster answered one journaled write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ack {
+    /// Acknowledged: must survive.
+    Acked,
+    /// Determinately refused: must not exist.
+    RefusedDeterminate,
+    /// Unknown outcome: either is correct.
+    Indeterminate,
+}
+
+/// One journaled write attempt.
+#[derive(Debug, Clone)]
+pub struct JournalEntry {
+    /// The `chaos_journal.id` primary key the write carried.
+    pub id: i64,
+    /// Whether the row was written under alice's secrecy tag.
+    pub labeled: bool,
+    /// The acknowledgement outcome.
+    pub ack: Ack,
+    /// Human-readable detail (the error, for non-acked entries).
+    pub detail: String,
+}
+
+/// The shared journal; terminals record into it concurrently.
+#[derive(Debug, Default)]
+pub struct CommitJournal {
+    entries: Mutex<Vec<JournalEntry>>,
+}
+
+impl CommitJournal {
+    /// Classifies a write result. Success is an ack; errors split on
+    /// [`ifdb_client::is_indeterminate_commit_error`] — everything else is
+    /// a determinate refusal (the server answered; the answer was no).
+    pub fn classify<T>(result: &IfdbResult<T>) -> Ack {
+        match result {
+            Ok(_) => Ack::Acked,
+            Err(e) if ifdb_client::is_indeterminate_commit_error(e) => Ack::Indeterminate,
+            Err(_) => Ack::RefusedDeterminate,
+        }
+    }
+
+    /// Records one attempt.
+    pub fn record(&self, id: i64, labeled: bool, ack: Ack, detail: impl Into<String>) {
+        self.entries.lock().expect("journal").push(JournalEntry {
+            id,
+            labeled,
+            ack,
+            detail: detail.into(),
+        });
+    }
+
+    /// A snapshot of every entry.
+    pub fn entries(&self) -> Vec<JournalEntry> {
+        self.entries.lock().expect("journal").clone()
+    }
+
+    /// Counts by acknowledgement class: `(acked, refused, indeterminate)`.
+    pub fn counts(&self) -> (usize, usize, usize) {
+        let entries = self.entries.lock().expect("journal");
+        let acked = entries.iter().filter(|e| e.ack == Ack::Acked).count();
+        let refused = entries
+            .iter()
+            .filter(|e| e.ack == Ack::RefusedDeterminate)
+            .count();
+        (acked, refused, entries.len() - acked - refused)
+    }
+
+    /// Checks the journal against one node. `all` must come from a session
+    /// carrying alice's tag (sees labeled and public rows), `public` from a
+    /// session without it. Returns every violated invariant.
+    pub fn verify_against(&self, all: &[i64], public: &[i64]) -> Vec<String> {
+        let mut violations = Vec::new();
+        let mut all_set: HashSet<i64> = HashSet::with_capacity(all.len());
+        for id in all {
+            if !all_set.insert(*id) {
+                violations.push(format!(
+                    "journal id {id} appears more than once (exactly-once broken)"
+                ));
+            }
+        }
+        let public_set: HashSet<i64> = public.iter().copied().collect();
+
+        for entry in self.entries.lock().expect("journal").iter() {
+            let present = all_set.contains(&entry.id);
+            match entry.ack {
+                Ack::Acked if !present => violations.push(format!(
+                    "ACKED COMMIT LOST: journal id {} (labeled={}) was acknowledged but is absent",
+                    entry.id, entry.labeled
+                )),
+                Ack::RefusedDeterminate if present => violations.push(format!(
+                    "REFUSED WRITE RESURRECTED: journal id {} failed determinately ({}) but exists",
+                    entry.id, entry.detail
+                )),
+                _ => {}
+            }
+            // Label faithfulness holds whatever the ack outcome was: if the
+            // row exists at all, only properly labeled sessions may see it.
+            if present {
+                let visible_public = public_set.contains(&entry.id);
+                if entry.labeled && visible_public {
+                    violations.push(format!(
+                        "LABEL LEAK: labeled journal id {} is visible to an uncontaminated session",
+                        entry.id
+                    ));
+                }
+                if !entry.labeled && !visible_public {
+                    violations.push(format!(
+                        "OVER-CLASSIFIED: public journal id {} is hidden from a public session",
+                        entry.id
+                    ));
+                }
+            }
+        }
+        violations
+    }
+}
+
+/// Reads every visible `chaos_journal.id` through `conn`.
+pub fn read_journal_ids(conn: &mut Connection) -> IfdbResult<Vec<i64>> {
+    let rows = conn
+        .run(&Statement::Select(Select::star("chaos_journal")))?
+        .into_rows();
+    rows.rows
+        .iter()
+        .map(|row| match row.values.first() {
+            Some(Datum::Int(id)) => Ok(*id),
+            other => Err(IfdbError::InvalidStatement(format!(
+                "chaos_journal.id is not an int: {other:?}"
+            ))),
+        })
+        .collect()
+}

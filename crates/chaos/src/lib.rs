@@ -1,0 +1,50 @@
+//! Chaos / fault-injection harness for the IFDB reproduction.
+//!
+//! PR 8 proves the high-availability machinery — replica promotion, write
+//! failover, generation fencing — not with happy-path unit tests but by
+//! torturing a live cluster and asserting invariants afterwards. This crate
+//! generalizes the byte-corrupting proxy that earlier replication tests
+//! hand-rolled into a reusable harness:
+//!
+//! * [`proxy::FaultProxy`] — a **frame-aware** TCP proxy that injects
+//!   faults at wire-frame granularity: drop, delay, duplicate or corrupt
+//!   individual frames, partition the link, or sever live connections.
+//! * [`child::ChildPrimary`] — a primary server running in a **separate
+//!   process**, killable with `SIGABRT` (no destructors, no flushes: a real
+//!   crash, not a polite shutdown).
+//! * [`schedule::FaultSchedule`] — deterministic, seed-logged fault
+//!   scenarios. Every generated schedule prints its seed; a failing seed
+//!   prints a one-line replay command, and [`schedule::check_with_shrinking`]
+//!   greedily minimizes a failing schedule before reporting it.
+//! * [`journal::CommitJournal`] — the invariant checker. Every write the
+//!   load generator sends is journaled with its acknowledgement outcome;
+//!   after the dust settles the journal is checked against the surviving
+//!   nodes: **no acked commit may be lost, no determinately-refused write
+//!   may resurrect, and label-filtered visibility must hold on every node**
+//!   (the paper's DIFC guarantees do not get a failover exemption).
+//! * [`cluster`] — fixtures: a small TPC-C database with DIFC state that
+//!   primaries, replicas and child processes re-create identically, plus a
+//!   watchdog that promotes a replica when the primary stops answering.
+//! * [`load`] — a journaling load generator: live network TPC-C plus
+//!   journal-marker writes through failover-enabled routed connections.
+//! * [`scenario`] — the assembled end-to-end kill/failover scenario shared
+//!   by the property test, the scripted CI scenario and the benchmark.
+//!
+//! The integration tests under `tests/` are the PR's acceptance proof; the
+//! same scenarios run in CI with pinned seeds.
+
+pub mod child;
+pub mod cluster;
+pub mod journal;
+pub mod load;
+pub mod proxy;
+pub mod scenario;
+pub mod schedule;
+
+pub use child::ChildPrimary;
+pub use cluster::{HaCluster, PrimaryFixture, Watchdog, REPL_SECRET, SEED};
+pub use journal::{Ack, CommitJournal, JournalEntry};
+pub use load::{run_chaos_load, ChaosLoadConfig, ChaosLoadOutcome};
+pub use proxy::{FaultProxy, ProxyStats};
+pub use scenario::{run_kill_failover_scenario, scenario_passes, ScenarioConfig, ScenarioReport};
+pub use schedule::{check_with_shrinking, Fault, FaultEvent, FaultSchedule};

@@ -1,0 +1,289 @@
+//! A journaling load generator: live network TPC-C plus journal-marker
+//! writes, driven through failover-enabled routed connections.
+//!
+//! Each terminal runs two [`RoutedConnection`]s against the cluster — one
+//! at the plain TPC-C label ("public"), one additionally carrying alice's
+//! secrecy tag ("labeled") — and interleaves TPC-C transactions with
+//! single-row inserts into `chaos_journal`. Every journal insert is
+//! recorded in the [`CommitJournal`] with its acknowledgement class, which
+//! is what the invariant checker replays against the survivors afterwards.
+//!
+//! Terminals are deliberately stubborn: a dead connection is re-dialed
+//! (counting a reconnect) until the run deadline, because the interesting
+//! metric under failover is not "did a terminal die" but "how long was the
+//! cluster unable to acknowledge any write" — tracked globally as
+//! [`ChaosLoadOutcome::max_unavailability`].
+
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use ifdb::prelude::*;
+use ifdb::SessionApi;
+use ifdb_client::{RoutedConnection, RouterConfig};
+use ifdb_workloads::{run_transaction_on, TpccConfig, TpccTransaction};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::cluster::tpcc_client;
+use crate::journal::{Ack, CommitJournal};
+
+/// Configuration of one chaos load run.
+#[derive(Debug, Clone)]
+pub struct ChaosLoadConfig {
+    /// What terminals dial as the primary — usually a [`crate::FaultProxy`]
+    /// address, so the schedule can torture the link.
+    pub primary_addr: String,
+    /// Direct replica addresses; the routers probe these for a promoted
+    /// successor when the primary fails.
+    pub replica_addrs: Vec<String>,
+    /// Concurrent terminals (each runs two connections).
+    pub terminals: usize,
+    /// Wall-clock run length.
+    pub duration: Duration,
+    /// Seed for the per-terminal RNGs.
+    pub seed: u64,
+    /// The TPC-C scale (must match what the cluster was loaded with).
+    pub tpcc: TpccConfig,
+    /// The TPC-C benchmark label.
+    pub tpcc_label: Vec<TagId>,
+    /// Alice's secrecy tag for labeled journal rows.
+    pub alice_tag: TagId,
+    /// Router failover bound ([`RouterConfig::failover_timeout`]).
+    pub failover_timeout: Duration,
+}
+
+/// What a chaos load run observed.
+#[derive(Debug)]
+pub struct ChaosLoadOutcome {
+    /// The journal of every marker-write attempt.
+    pub journal: Arc<CommitJournal>,
+    /// TPC-C transactions committed.
+    pub tpcc_committed: u64,
+    /// TPC-C write-conflict rollbacks (normal under contention).
+    pub tpcc_conflicts: u64,
+    /// Connection re-dials across all terminals.
+    pub reconnects: u64,
+    /// Router failovers (adoption of a promoted successor).
+    pub failovers: u64,
+    /// Failover probes that found no successor in time.
+    pub failover_give_ups: u64,
+    /// The longest wall-clock window in which **no** terminal got a write
+    /// acknowledged — the observed unavailability bound.
+    pub max_unavailability: Duration,
+}
+
+/// Global acknowledgement tracker behind the unavailability metric.
+struct Pulse {
+    last_ack: Mutex<Instant>,
+    max_gap: Mutex<Duration>,
+}
+
+impl Pulse {
+    fn beat(&self) {
+        let now = Instant::now();
+        let mut last = self.last_ack.lock().expect("pulse");
+        let gap = now.duration_since(*last);
+        *last = now;
+        drop(last);
+        let mut max = self.max_gap.lock().expect("pulse max");
+        if gap > *max {
+            *max = gap;
+        }
+    }
+
+    /// Folds in the still-open gap at run end.
+    fn finish(&self) -> Duration {
+        let open = self.last_ack.lock().expect("pulse").elapsed();
+        let mut max = self.max_gap.lock().expect("pulse max");
+        if open > *max {
+            *max = open;
+        }
+        *max
+    }
+}
+
+/// Per-terminal tallies, merged at the end.
+#[derive(Default)]
+struct TerminalOutcome {
+    tpcc_committed: u64,
+    tpcc_conflicts: u64,
+    reconnects: u64,
+    failovers: u64,
+    failover_give_ups: u64,
+}
+
+/// Runs the load; returns once every terminal has stopped at the deadline.
+pub fn run_chaos_load(config: &ChaosLoadConfig) -> ChaosLoadOutcome {
+    let journal = Arc::new(CommitJournal::default());
+    let pulse = Arc::new(Pulse {
+        last_ack: Mutex::new(Instant::now()),
+        max_gap: Mutex::new(Duration::ZERO),
+    });
+    let deadline = Instant::now() + config.duration;
+
+    let outcomes: Vec<TerminalOutcome> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..config.terminals)
+            .map(|terminal| {
+                let journal = journal.clone();
+                let pulse = pulse.clone();
+                scope.spawn(move || terminal_loop(terminal, config, deadline, &journal, &pulse))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("terminal"))
+            .collect()
+    });
+
+    let mut merged = TerminalOutcome::default();
+    for o in outcomes {
+        merged.tpcc_committed += o.tpcc_committed;
+        merged.tpcc_conflicts += o.tpcc_conflicts;
+        merged.reconnects += o.reconnects;
+        merged.failovers += o.failovers;
+        merged.failover_give_ups += o.failover_give_ups;
+    }
+    ChaosLoadOutcome {
+        journal,
+        tpcc_committed: merged.tpcc_committed,
+        tpcc_conflicts: merged.tpcc_conflicts,
+        reconnects: merged.reconnects,
+        failovers: merged.failovers,
+        failover_give_ups: merged.failover_give_ups,
+        max_unavailability: pulse.finish(),
+    }
+}
+
+/// The two routers a terminal drives: public (TPC-C label) and labeled
+/// (TPC-C label plus alice's tag).
+struct TerminalConns {
+    public: RoutedConnection,
+    labeled: RoutedConnection,
+}
+
+fn router_config(config: &ChaosLoadConfig, label: &[TagId]) -> RouterConfig {
+    let mut rc = RouterConfig::new(
+        tpcc_client(&config.primary_addr, label),
+        config
+            .replica_addrs
+            .iter()
+            .map(|addr| tpcc_client(addr, label))
+            .collect(),
+    );
+    rc.failover_timeout = config.failover_timeout;
+    // Short staleness bound: under chaos a replica may be gone; reads must
+    // fall back to the primary quickly instead of stalling the terminal.
+    rc.staleness_timeout = Duration::from_millis(200);
+    rc
+}
+
+fn connect_terminal(config: &ChaosLoadConfig, deadline: Instant) -> Option<TerminalConns> {
+    let mut labeled_tags = config.tpcc_label.clone();
+    labeled_tags.push(config.alice_tag);
+    let public_config = router_config(config, &config.tpcc_label);
+    let labeled_config = router_config(config, &labeled_tags);
+    while Instant::now() < deadline {
+        let Ok(public) = RoutedConnection::connect(&public_config) else {
+            std::thread::sleep(Duration::from_millis(50));
+            continue;
+        };
+        match RoutedConnection::connect(&labeled_config) {
+            Ok(labeled) => return Some(TerminalConns { public, labeled }),
+            Err(_) => std::thread::sleep(Duration::from_millis(50)),
+        }
+    }
+    None
+}
+
+/// Accumulates a dying router's counters before it is dropped.
+fn absorb_stats(conns: &TerminalConns, out: &mut TerminalOutcome) {
+    for conn in [&conns.public, &conns.labeled] {
+        let stats = conn.stats();
+        out.failovers += stats.failovers;
+        out.failover_give_ups += stats.failover_give_ups;
+    }
+}
+
+fn terminal_loop(
+    terminal: usize,
+    config: &ChaosLoadConfig,
+    deadline: Instant,
+    journal: &CommitJournal,
+    pulse: &Pulse,
+) -> TerminalOutcome {
+    let mut out = TerminalOutcome::default();
+    let mut rng = StdRng::seed_from_u64(config.seed ^ (terminal as u64) << 32);
+    let mut counter: i64 = 0;
+    let Some(mut conns) = connect_terminal(config, deadline) else {
+        return out;
+    };
+
+    while Instant::now() < deadline {
+        counter += 1;
+        let id = (terminal as i64) * 1_000_000 + counter;
+        let labeled = counter % 3 == 0;
+        let row = Insert::new(
+            "chaos_journal",
+            vec![
+                Datum::Int(id),
+                Datum::Int(terminal as i64),
+                Datum::Int(labeled as i64),
+            ],
+        );
+        let conn = if labeled {
+            &mut conns.labeled
+        } else {
+            &mut conns.public
+        };
+        let result = conn.insert(&row);
+        let ack = CommitJournal::classify(&result);
+        let detail = result
+            .as_ref()
+            .err()
+            .map(|e| e.to_string())
+            .unwrap_or_default();
+        journal.record(id, labeled, ack, detail);
+        if ack == Ack::Acked {
+            pulse.beat();
+        } else if ack == Ack::Indeterminate {
+            // The transport died under this write; re-dial both routers.
+            absorb_stats(&conns, &mut out);
+            out.reconnects += 1;
+            match connect_terminal(config, deadline) {
+                Some(fresh) => conns = fresh,
+                None => return out,
+            }
+            continue;
+        }
+
+        // Every other iteration, a real TPC-C transaction rides along so
+        // promotion happens under live multi-statement load.
+        if counter % 2 == 0 {
+            let kind = TpccTransaction::draw(&mut rng);
+            match run_transaction_on(&config.tpcc, &mut conns.public, &mut rng, kind) {
+                Ok(true) => {
+                    out.tpcc_committed += 1;
+                    pulse.beat();
+                }
+                Ok(false) => out.tpcc_conflicts += 1,
+                Err(_) => {
+                    // An open branch may have died with the primary; drop
+                    // the state and re-dial. TPC-C effects are not part of
+                    // the journal invariants (the journal markers are), so
+                    // classification is not needed here.
+                    let _ = conns.public.abort();
+                    absorb_stats(&conns, &mut out);
+                    out.reconnects += 1;
+                    match connect_terminal(config, deadline) {
+                        Some(fresh) => conns = fresh,
+                        None => return out,
+                    }
+                }
+            }
+        }
+    }
+    absorb_stats(&conns, &mut out);
+    let _ = conns.public.close();
+    let _ = conns.labeled.close();
+    out
+}

@@ -1,0 +1,252 @@
+//! Deterministic, seed-logged fault schedules.
+//!
+//! A schedule is a list of timed fault events applied to a running cluster
+//! through a [`FaultProxy`] (and, for [`Fault::KillPrimary`], a kill
+//! action). Schedules are generated from a seed with a plain `StdRng`, so:
+//!
+//! * the CI scenario runs **pinned seeds** — the same faults, at the same
+//!   offsets, every run;
+//! * the property test draws fresh seeds from a base seed and **logs every
+//!   one**; a failure prints a one-line replay command
+//!   (`IFDB_CHAOS_SCHEDULE_SEED=0x…`) that regenerates the exact schedule;
+//! * [`check_with_shrinking`] greedily minimizes a failing schedule —
+//!   re-running the scenario with one event removed at a time and keeping
+//!   removals that still fail — before reporting, so the reported
+//!   counterexample is the smallest event set that breaks the invariant.
+
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::proxy::FaultProxy;
+
+/// Environment variable the property test reads a replay seed from.
+pub const SCHEDULE_SEED_ENV: &str = "IFDB_CHAOS_SCHEDULE_SEED";
+
+/// One injectable fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Kill the primary process with `SIGABRT`.
+    KillPrimary,
+    /// Partition the client link for `millis`, then heal.
+    Partition {
+        /// How long the partition lasts.
+        millis: u64,
+    },
+    /// Delay every frame by `frame_millis` for a `millis` window.
+    Delay {
+        /// Added per-frame latency.
+        frame_millis: u64,
+        /// How long the slow window lasts.
+        millis: u64,
+    },
+    /// Corrupt the next `n` frames (checksum-detected, connection-fatal).
+    CorruptFrames {
+        /// Number of frames to corrupt.
+        n: u64,
+    },
+    /// Drop the next `n` frames (each severing its connection).
+    DropFrames {
+        /// Number of frames to drop.
+        n: u64,
+    },
+    /// Duplicate the next `n` frames.
+    DuplicateFrames {
+        /// Number of frames to duplicate.
+        n: u64,
+    },
+}
+
+/// A fault at an offset from scenario start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Offset from the start of the scenario.
+    pub at_millis: u64,
+    /// The fault to inject.
+    pub fault: Fault,
+}
+
+/// A deterministic fault scenario.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultSchedule {
+    /// The seed this schedule was generated from (0 for hand-written ones).
+    pub seed: u64,
+    /// The events, in time order.
+    pub events: Vec<FaultEvent>,
+}
+
+impl FaultSchedule {
+    /// Generates a schedule from `seed`: one to three non-kill faults in
+    /// the first 60% of `span`, plus — when `with_kill` — a primary kill in
+    /// the middle third. The same seed always yields the same schedule.
+    pub fn random(seed: u64, span: Duration, with_kill: bool) -> FaultSchedule {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let span_ms = span.as_millis() as u64;
+        let mut events = Vec::new();
+        let n = rng.gen_range(1..=3);
+        for _ in 0..n {
+            let at_millis = rng.gen_range(span_ms / 10..span_ms * 6 / 10);
+            let fault = match rng.gen_range(0..5) {
+                0 => Fault::Partition {
+                    millis: rng.gen_range(100..400),
+                },
+                1 => Fault::Delay {
+                    frame_millis: rng.gen_range(1..8),
+                    millis: rng.gen_range(100..400),
+                },
+                2 => Fault::CorruptFrames {
+                    n: rng.gen_range(1..4),
+                },
+                3 => Fault::DropFrames {
+                    n: rng.gen_range(1..3),
+                },
+                _ => Fault::DuplicateFrames {
+                    n: rng.gen_range(1..4),
+                },
+            };
+            events.push(FaultEvent { at_millis, fault });
+        }
+        if with_kill {
+            events.push(FaultEvent {
+                at_millis: rng.gen_range(span_ms / 3..span_ms * 2 / 3),
+                fault: Fault::KillPrimary,
+            });
+        }
+        events.sort_by_key(|e| e.at_millis);
+        FaultSchedule { seed, events }
+    }
+
+    /// The one-liner that replays this schedule in the named test.
+    pub fn replay_command(&self, test: &str) -> String {
+        format!(
+            "{SCHEDULE_SEED_ENV}={:#x} cargo test -p ifdb-chaos --test {test} -- --nocapture",
+            self.seed
+        )
+    }
+
+    /// Applies the schedule against `proxy`, calling `kill` for
+    /// [`Fault::KillPrimary`]. Blocking: events are applied sequentially
+    /// and window faults (partition, delay) occupy the schedule thread for
+    /// their duration. Call from a dedicated thread when the test also
+    /// drives load.
+    pub fn execute(&self, proxy: &FaultProxy, mut kill: impl FnMut()) {
+        let start = std::time::Instant::now();
+        for event in &self.events {
+            let at = Duration::from_millis(event.at_millis);
+            if let Some(wait) = at.checked_sub(start.elapsed()) {
+                std::thread::sleep(wait);
+            }
+            match event.fault {
+                Fault::KillPrimary => kill(),
+                Fault::Partition { millis } => {
+                    proxy.set_partitioned(true);
+                    std::thread::sleep(Duration::from_millis(millis));
+                    proxy.set_partitioned(false);
+                }
+                Fault::Delay {
+                    frame_millis,
+                    millis,
+                } => {
+                    proxy.set_delay_ms(frame_millis);
+                    std::thread::sleep(Duration::from_millis(millis));
+                    proxy.set_delay_ms(0);
+                }
+                Fault::CorruptFrames { n } => proxy.corrupt_frames(n),
+                Fault::DropFrames { n } => proxy.drop_frames(n),
+                Fault::DuplicateFrames { n } => proxy.duplicate_frames(n),
+            }
+        }
+    }
+
+    /// This schedule minus the event at `index`.
+    fn without(&self, index: usize) -> FaultSchedule {
+        let mut events = self.events.clone();
+        events.remove(index);
+        FaultSchedule {
+            seed: self.seed,
+            events,
+        }
+    }
+}
+
+/// Runs `scenario` on `schedule`; on failure, greedily shrinks the
+/// schedule (dropping one event at a time, keeping removals that still
+/// fail) and returns the minimal failing schedule with its violations.
+/// Each shrink step re-runs the full scenario, so shrinking only costs
+/// time when an invariant is actually broken.
+pub fn check_with_shrinking(
+    schedule: &FaultSchedule,
+    mut scenario: impl FnMut(&FaultSchedule) -> Result<(), Vec<String>>,
+) -> Result<(), (FaultSchedule, Vec<String>)> {
+    let Err(mut violations) = scenario(schedule) else {
+        return Ok(());
+    };
+    let mut failing = schedule.clone();
+    let mut index = 0;
+    while index < failing.events.len() && failing.events.len() > 1 {
+        let candidate = failing.without(index);
+        match scenario(&candidate) {
+            Err(v) => {
+                failing = candidate;
+                violations = v;
+                // Keep the same index: it now names the next event.
+            }
+            Ok(()) => index += 1,
+        }
+    }
+    Err((failing, violations))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedules_are_deterministic_in_the_seed() {
+        let a = FaultSchedule::random(0xFEED, Duration::from_secs(3), true);
+        let b = FaultSchedule::random(0xFEED, Duration::from_secs(3), true);
+        assert_eq!(a, b);
+        let c = FaultSchedule::random(0xFEEE, Duration::from_secs(3), true);
+        assert_ne!(a, c, "a different seed should draw a different schedule");
+        assert!(a.events.iter().any(|e| e.fault == Fault::KillPrimary));
+        assert!(a
+            .events
+            .windows(2)
+            .all(|w| w[0].at_millis <= w[1].at_millis));
+    }
+
+    #[test]
+    fn shrinking_minimizes_to_the_guilty_event() {
+        // A scenario that fails iff the schedule still contains a kill:
+        // shrinking must strip everything else.
+        let schedule = FaultSchedule::random(0x5EED_0001, Duration::from_secs(4), true);
+        assert!(schedule.events.len() > 1, "want a multi-event schedule");
+        let result = check_with_shrinking(&schedule, |s| {
+            if s.events.iter().any(|e| e.fault == Fault::KillPrimary) {
+                Err(vec!["kill loses data (pretend)".into()])
+            } else {
+                Ok(())
+            }
+        });
+        let (minimal, violations) = result.expect_err("scenario fails");
+        assert_eq!(minimal.events.len(), 1);
+        assert_eq!(minimal.events[0].fault, Fault::KillPrimary);
+        assert_eq!(violations.len(), 1);
+        assert!(minimal
+            .replay_command("fault_schedule")
+            .contains("IFDB_CHAOS_SCHEDULE_SEED"));
+    }
+
+    #[test]
+    fn healthy_scenarios_pass_without_shrinking_runs() {
+        let schedule = FaultSchedule::random(7, Duration::from_secs(2), false);
+        let mut runs = 0;
+        assert!(check_with_shrinking(&schedule, |_| {
+            runs += 1;
+            Ok(())
+        })
+        .is_ok());
+        assert_eq!(runs, 1);
+    }
+}

@@ -1,0 +1,84 @@
+//! The scripted failover scenario CI runs on every push: a hand-written,
+//! fully deterministic fault schedule (wire corruption, a short partition,
+//! then `SIGABRT` of the primary process mid-load) with hard assertions on
+//! the outcome — zero invariant violations, a detected-and-promoted
+//! successor, post-failover progress, and a bounded unavailability window.
+//!
+//! The randomized sibling (`fault_schedule`) explores; this test pins one
+//! known-interesting schedule so CI failures bisect to a code change, not
+//! to a seed.
+
+use std::time::Duration;
+
+use ifdb_chaos::{run_kill_failover_scenario, Fault, FaultEvent, FaultSchedule, ScenarioConfig};
+
+/// Child-process entry point; a no-op in a normal test run (see
+/// `ifdb_chaos::child`).
+#[test]
+fn child_primary_main() {
+    ifdb_chaos::child::run_child_from_env();
+}
+
+#[test]
+fn scripted_kill_failover_keeps_every_invariant() {
+    let schedule = FaultSchedule {
+        seed: 0,
+        events: vec![
+            // Soften the cluster up first: checksum-detected corruption and
+            // a real partition, both fully healed before the kill — any
+            // invariant violation is attributable to the failover itself.
+            FaultEvent {
+                at_millis: 500,
+                fault: Fault::CorruptFrames { n: 2 },
+            },
+            FaultEvent {
+                at_millis: 800,
+                fault: Fault::Partition { millis: 250 },
+            },
+            FaultEvent {
+                at_millis: 1500,
+                fault: Fault::KillPrimary,
+            },
+        ],
+    };
+    let config = ScenarioConfig {
+        load_duration: Duration::from_millis(4500),
+        ..ScenarioConfig::default()
+    };
+
+    let report = run_kill_failover_scenario(&schedule, &config).expect("scenario runs");
+    let (acked, refused, indeterminate) = report.outcome.journal.counts();
+    eprintln!(
+        "scripted failover: acked={acked} refused={refused} indeterminate={indeterminate} \
+         tpcc_committed={} failovers={} reconnects={} max_unavailability={:?}",
+        report.outcome.tpcc_committed,
+        report.outcome.failovers,
+        report.outcome.reconnects,
+        report.outcome.max_unavailability,
+    );
+
+    assert!(
+        report.violations.is_empty(),
+        "invariant violations:\n  {}",
+        report.violations.join("\n  ")
+    );
+    assert!(report.watchdog_fired, "the kill must be detected");
+    assert_eq!(
+        report.survivor_addrs.len(),
+        1,
+        "the promoted replica is the sole survivor"
+    );
+    assert!(acked > 0, "the run must make progress at all");
+    assert!(
+        report.outcome.failovers >= 1,
+        "at least one router must adopt the promoted successor"
+    );
+    // Post-failover progress: the kill lands at 1.5s of a 4.5s run. If no
+    // write were acknowledged after it, the open gap at run end (~3s)
+    // would blow this bound.
+    assert!(
+        report.outcome.max_unavailability < Duration::from_millis(2500),
+        "unavailability window too long: {:?}",
+        report.outcome.max_unavailability
+    );
+}

@@ -660,6 +660,113 @@ impl Connection {
             other => Err(unexpected(other)),
         }
     }
+
+    /// The node's high-availability status: role (primary / replica /
+    /// fenced), promotion generation, log epoch, and watermark. Used by
+    /// failover probes to find the promoted successor after a primary
+    /// fault; needs no authentication.
+    pub fn ha_status(&mut self) -> IfdbResult<HaNodeStatus> {
+        match self.call(&Request::HaStatus)? {
+            Response::HaStatus {
+                role,
+                generation,
+                epoch,
+                seq,
+            } => Ok(HaNodeStatus {
+                role,
+                generation,
+                epoch,
+                seq,
+            }),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Promotes the replica this connection talks to into a primary,
+    /// authenticating with the replication secret. Blocks until the switch
+    /// completes (or fails); returns the node's post-promotion status.
+    /// Idempotent on a node that is already a primary.
+    pub fn promote(&mut self, secret: &str) -> IfdbResult<HaNodeStatus> {
+        match self.call(&Request::Promote {
+            secret: secret.to_string(),
+        })? {
+            Response::HaStatus {
+                role,
+                generation,
+                epoch,
+                seq,
+            } => Ok(HaNodeStatus {
+                role,
+                generation,
+                epoch,
+                seq,
+            }),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Fences the node this connection talks to: tells it a successor with
+    /// promotion generation `generation` exists. Takes effect only for a
+    /// generation strictly above the node's own. Returns the node's status
+    /// after the notice.
+    pub fn fence(&mut self, secret: &str, generation: u64) -> IfdbResult<HaNodeStatus> {
+        match self.call(&Request::Fence {
+            secret: secret.to_string(),
+            generation,
+        })? {
+            Response::HaStatus {
+                role,
+                generation,
+                epoch,
+                seq,
+            } => Ok(HaNodeStatus {
+                role,
+                generation,
+                epoch,
+                seq,
+            }),
+            other => Err(unexpected(other)),
+        }
+    }
+}
+
+/// A node's high-availability status, as reported by
+/// [`Connection::ha_status`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HaNodeStatus {
+    /// The node's role: primary, replica, or fenced ex-primary.
+    pub role: protocol::HaRole,
+    /// The promotion generation of the node's log (1 on a never-failed-over
+    /// timeline; each promotion increments it).
+    pub generation: u64,
+    /// The log epoch its watermark belongs to.
+    pub epoch: u64,
+    /// Its current watermark (last WAL seq on a primary, applied-seq on a
+    /// replica).
+    pub seq: u64,
+}
+
+/// Whether an error is the server's `FENCED` refusal: the node is a deposed
+/// primary and a successor holds a higher promotion generation. A routing
+/// client treats this as the signal to fail writes over.
+pub fn is_fenced_error(e: &IfdbError) -> bool {
+    matches!(e, IfdbError::Remote { code, .. } if *code == protocol::code::FENCED as u16)
+}
+
+/// Whether an error leaves a committed-or-not question *indeterminate*: the
+/// write may or may not be durable (and may or may not survive a failover).
+/// True for `REPLICATION_LAG` (locally durable, replication unconfirmed)
+/// and for transport-level failures (the request — or its acknowledgement —
+/// may have been lost in flight). A determinate server-side refusal (label
+/// violation, conflict, read-only, fenced, ...) returns false: the write
+/// certainly did not happen.
+pub fn is_indeterminate_commit_error(e: &IfdbError) -> bool {
+    matches!(
+        e,
+        IfdbError::Remote { code, .. }
+            if *code == protocol::code::REPLICATION_LAG as u16
+                || *code == protocol::code::PROTOCOL as u16
+    )
 }
 
 fn unexpected(resp: Response) -> IfdbError {

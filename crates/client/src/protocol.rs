@@ -34,7 +34,14 @@ use ifdb_storage::{Datum, StorageError};
 /// (so the §7.2 label piggybacking on responses stays coherent) and echoes
 /// the id on the matching response frame, which lets a client correlate a
 /// whole batch of responses read back-to-back.
-pub const PROTOCOL_VERSION: u32 = 2;
+///
+/// Version 3 (the high-availability protocol): `ReplPoll` carries the
+/// replica's applied-seq and its known primary generation, `ReplBatch`
+/// answers with the primary's generation, and the
+/// `Promote`/`Fence`/`HaStatus` messages (with the `FENCED` and
+/// `REPLICATION_LAG` error codes) drive replica promotion, old-primary
+/// fencing, and client write failover.
+pub const PROTOCOL_VERSION: u32 = 3;
 
 /// Upper bound on a frame payload. Frames beyond this are a protocol error,
 /// not an allocation request.
@@ -888,6 +895,14 @@ pub enum Request {
         from_seq: u64,
         /// Maximum records in the reply (0 = server default).
         max: u32,
+        /// The replica's durably applied sequence number (may trail
+        /// `from_seq - 1` when prefetches are in flight). Feeds the
+        /// primary's semi-synchronous commit gate.
+        applied_seq: u64,
+        /// The highest primary generation this replica has learned (0 when
+        /// it has not synced yet). A primary seeing a *higher* generation
+        /// than its own has been superseded and fences itself.
+        generation: u64,
     },
     /// Asks for the server's current watermark: on a primary, the last
     /// write-ahead-log sequence number; on a replica, its applied-seq.
@@ -923,6 +938,29 @@ pub enum Request {
         /// The global transaction id.
         gid: u64,
     },
+    /// Promotes this (replica) server to primary: its database leaves
+    /// read-only mode, the log re-anchors under a bumped generation, and
+    /// subsequent `ReplPoll`s from it fence the old primary. Requires the
+    /// replication secret; answered with [`Response::HaStatus`] describing
+    /// the node after promotion.
+    Promote {
+        /// The replication secret configured on the cluster.
+        secret: String,
+    },
+    /// Tells a (possibly zombie) primary it has been superseded by
+    /// `generation`: it must refuse writes and replication polls with
+    /// [`code::FENCED`] from here on. Requires the replication secret;
+    /// idempotent.
+    Fence {
+        /// The replication secret configured on the cluster.
+        secret: String,
+        /// The superseding generation.
+        generation: u64,
+    },
+    /// Asks for the node's high-availability status — answered with
+    /// [`Response::HaStatus`]. Requires no session, so a failover router
+    /// can probe nodes it has no credentials on yet.
+    HaStatus,
 }
 
 /// One result row on the wire: the tuple's label and its values.
@@ -1034,6 +1072,10 @@ pub enum Response {
         /// Identifies the primary's log incarnation; when it changes, the
         /// replica's watermark is meaningless and it must re-bootstrap.
         epoch: u64,
+        /// The serving node's primary generation. A replica that has seen a
+        /// higher generation (a promoted successor) must refuse this batch:
+        /// it comes from a fenced predecessor.
+        generation: u64,
         /// `true` when the replica must discard its state before applying:
         /// this batch starts the checkpoint-anchored snapshot.
         reset: bool,
@@ -1067,6 +1109,53 @@ pub enum Response {
         /// here; `Some(false)`: aborted here.
         committed: Option<bool>,
     },
+    /// The node's high-availability status ([`Request::HaStatus`],
+    /// [`Request::Promote`]).
+    HaStatus {
+        /// The node's current role.
+        role: HaRole,
+        /// The node's primary generation (for a replica: the highest
+        /// generation learned from its stream; 0 before first sync).
+        generation: u64,
+        /// The node's log epoch (for a replica: its primary's epoch as
+        /// learned from the stream; 0 before first sync).
+        epoch: u64,
+        /// The node's watermark (primary: last WAL seq; replica: applied
+        /// seq).
+        seq: u64,
+    },
+}
+
+/// A node's role in the replication topology, as reported by
+/// [`Response::HaStatus`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HaRole {
+    /// Accepting writes and serving the replication stream.
+    Primary,
+    /// Read-only, applying a primary's stream.
+    Replica,
+    /// A former primary superseded by a higher generation: refuses writes
+    /// and replication polls with [`code::FENCED`].
+    Fenced,
+}
+
+impl HaRole {
+    fn to_wire(self) -> u8 {
+        match self {
+            HaRole::Primary => 0,
+            HaRole::Replica => 1,
+            HaRole::Fenced => 2,
+        }
+    }
+
+    fn from_wire(b: u8) -> IfdbResult<Self> {
+        match b {
+            0 => Ok(HaRole::Primary),
+            1 => Ok(HaRole::Replica),
+            2 => Ok(HaRole::Fenced),
+            _ => Err(protocol_error(format!("unknown HA role {b}"))),
+        }
+    }
 }
 
 impl Request {
@@ -1163,11 +1252,15 @@ impl Request {
                 secret,
                 from_seq,
                 max,
+                applied_seq,
+                generation,
             } => {
                 w.u8(17);
                 w.str(secret);
                 w.u64(*from_seq);
                 w.u32(*max);
+                w.u64(*applied_seq);
+                w.u64(*generation);
             }
             Request::Watermark => w.u8(18),
             Request::TxnPrepare { gid } => {
@@ -1184,6 +1277,16 @@ impl Request {
                 w.u8(22);
                 w.u64(*gid);
             }
+            Request::Promote { secret } => {
+                w.u8(23);
+                w.str(secret);
+            }
+            Request::Fence { secret, generation } => {
+                w.u8(24);
+                w.str(secret);
+                w.u64(*generation);
+            }
+            Request::HaStatus => w.u8(25),
         }
         w.finish()
     }
@@ -1253,6 +1356,8 @@ impl Request {
                 secret: r.str()?,
                 from_seq: r.u64()?,
                 max: r.u32()?,
+                applied_seq: r.u64()?,
+                generation: r.u64()?,
             },
             18 => Request::Watermark,
             19 => Request::TxnPrepare { gid: r.u64()? },
@@ -1262,6 +1367,12 @@ impl Request {
             },
             21 => Request::TxnRecover,
             22 => Request::TxnOutcome { gid: r.u64()? },
+            23 => Request::Promote { secret: r.str()? },
+            24 => Request::Fence {
+                secret: r.str()?,
+                generation: r.u64()?,
+            },
+            25 => Request::HaStatus,
             t => return Err(protocol_error(format!("unknown request tag {t}"))),
         };
         if !r.at_end() {
@@ -1396,6 +1507,7 @@ impl Response {
             }
             Response::ReplBatch {
                 epoch,
+                generation,
                 reset,
                 first_seq,
                 end_seq,
@@ -1403,6 +1515,7 @@ impl Response {
             } => {
                 w.u8(138);
                 w.u64(*epoch);
+                w.u64(*generation);
                 w.u8(*reset as u8);
                 w.u64(*first_seq);
                 w.u64(*end_seq);
@@ -1428,6 +1541,18 @@ impl Response {
                     Some(true) => 1,
                     Some(false) => 2,
                 });
+            }
+            Response::HaStatus {
+                role,
+                generation,
+                epoch,
+                seq,
+            } => {
+                w.u8(142);
+                w.u8(role.to_wire());
+                w.u64(*generation);
+                w.u64(*epoch);
+                w.u64(*seq);
             }
         }
     }
@@ -1498,6 +1623,7 @@ impl Response {
             }
             138 => {
                 let epoch = r.u64()?;
+                let generation = r.u64()?;
                 let reset = r.u8()? != 0;
                 let first_seq = r.u64()?;
                 let end_seq = r.u64()?;
@@ -1512,6 +1638,7 @@ impl Response {
                 }
                 Response::ReplBatch {
                     epoch,
+                    generation,
                     reset,
                     first_seq,
                     end_seq,
@@ -1529,6 +1656,12 @@ impl Response {
                     1 => Some(true),
                     _ => Some(false),
                 },
+            },
+            142 => Response::HaStatus {
+                role: HaRole::from_wire(r.u8()?)?,
+                generation: r.u64()?,
+                epoch: r.u64()?,
+                seq: r.u64()?,
             },
             t => return Err(protocol_error(format!("unknown response tag {t}"))),
         };
@@ -1594,6 +1727,15 @@ pub mod code {
     /// Replication is not enabled on this server, or the replication secret
     /// did not match.
     pub const REPLICATION_DENIED: u8 = 21;
+    /// This node is a fenced ex-primary: a successor of a higher generation
+    /// took over (aux = that generation, when known). Writes and
+    /// replication polls are refused; clients fail over to the successor.
+    pub const FENCED: u8 = 22;
+    /// Semi-synchronous replication could not confirm the write on the
+    /// replica within the configured window. The commit is durable on the
+    /// primary but **indeterminate** under failover: a successor may or may
+    /// not carry it.
+    pub const REPLICATION_LAG: u8 = 23;
 }
 
 /// Encodes an [`IfdbError`] as a wire error response.

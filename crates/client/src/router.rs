@@ -95,6 +95,18 @@ pub struct RouterConfig {
     /// (`primary` is shard 0, the home shard); must hold exactly
     /// `shard_map.shards() - 1` entries.
     pub shard_nodes: Vec<ClientConfig>,
+    /// When `true` (the default), a write that fails because the primary is
+    /// fenced or unreachable probes the replicas for a promoted successor
+    /// (`HaStatus`) and adopts it as the new primary. Fenced refusals are
+    /// retried there (the old primary determinately refused, so the retry
+    /// is exactly-once); transport failures are *not* retried — the write
+    /// is indeterminate and the error surfaces — but the adoption still
+    /// routes every later statement to the successor.
+    pub write_failover: bool,
+    /// Bound on the write-unavailability window: how long a failed write
+    /// keeps probing for a promoted successor before giving up with the
+    /// original error.
+    pub failover_timeout: Duration,
 }
 
 impl RouterConfig {
@@ -109,6 +121,8 @@ impl RouterConfig {
             poll_interval: Duration::from_millis(1),
             shard_map: None,
             shard_nodes: Vec::new(),
+            write_failover: true,
+            failover_timeout: Duration::from_secs(10),
         }
     }
 
@@ -169,6 +183,12 @@ pub struct RouterStats {
     /// In-doubt transactions finished by
     /// [`RoutedConnection::resolve_in_doubt`].
     pub in_doubt_resolved: u64,
+    /// Write failovers: a fenced or unreachable primary was replaced by a
+    /// promoted successor found among the replicas.
+    pub failovers: u64,
+    /// Primary operations that failed, triggered a failover probe, and
+    /// found no promoted successor within the failover timeout.
+    pub failover_give_ups: u64,
 }
 
 /// A topology-aware client connection: one primary, any number of read
@@ -180,6 +200,8 @@ pub struct RoutedConnection {
     read_your_writes: bool,
     staleness_timeout: Duration,
     poll_interval: Duration,
+    write_failover: bool,
+    failover_timeout: Duration,
     /// The primary's log epoch at connect time. A replica reporting a
     /// different epoch is not comparable to this client's write barrier
     /// (the primary restarted), so read-your-writes falls back to the
@@ -251,6 +273,8 @@ impl RoutedConnection {
             read_your_writes: config.read_your_writes,
             staleness_timeout: config.staleness_timeout,
             poll_interval: config.poll_interval,
+            write_failover: config.write_failover,
+            failover_timeout: config.failover_timeout,
             primary_epoch,
             shard_map: config.shard_map.clone(),
             shard_conns,
@@ -439,6 +463,112 @@ impl RoutedConnection {
         Ok(resolved)
     }
 
+    // ---------------------------------------------------- write failover
+
+    /// Whether a failed primary operation should trigger a failover probe:
+    /// the primary refused because it is fenced (a successor exists), it
+    /// announced a shutdown (it is going away), or the transport failed
+    /// (the primary may be dead). Everything else — label violations,
+    /// conflicts, replication lag — is the primary working as intended.
+    fn failover_trigger(e: &IfdbError) -> bool {
+        Self::determinate_refusal(e)
+            || matches!(
+                e,
+                IfdbError::Remote { code, .. }
+                    if *code == crate::protocol::code::PROTOCOL as u16
+            )
+    }
+
+    /// Whether a failover-triggering error proves the operation had no
+    /// effect on the old primary, making it safe to re-run on the
+    /// successor: a `FENCED` refusal (deposed primaries refuse before
+    /// executing) or a `SHUTTING_DOWN` notice (sent unsolicited at a frame
+    /// boundary or instead of accepting — never after running a request).
+    fn determinate_refusal(e: &IfdbError) -> bool {
+        crate::is_fenced_error(e)
+            || matches!(
+                e,
+                IfdbError::Remote { code, .. }
+                    if *code == crate::protocol::code::SHUTTING_DOWN as u16
+            )
+    }
+
+    /// Probes the replicas for a node that has been promoted to primary and
+    /// adopts it: the replica connection *becomes* the primary connection
+    /// (its session already mirrors this client's principal and label), the
+    /// epoch baseline moves to the successor's log, and the read-your-writes
+    /// barrier resets — a watermark taken under the old primary's epoch must
+    /// never satisfy a barrier on the new timeline. Bounded by
+    /// [`RouterConfig::failover_timeout`].
+    fn fail_over_primary(&mut self) -> IfdbResult<()> {
+        let deadline = Instant::now() + self.failover_timeout;
+        loop {
+            for idx in 0..self.replicas.len() {
+                let Ok(status) = self.replicas[idx].ha_status() else {
+                    continue;
+                };
+                if status.role != crate::protocol::HaRole::Primary {
+                    continue;
+                }
+                let successor = self.replicas.swap_remove(idx);
+                let deposed = std::mem::replace(&mut self.primary, successor);
+                drop(deposed);
+                // The successor's log is a new timeline: sequence numbers
+                // from the old primary are incomparable, so the epoch
+                // baseline follows it and the stale barrier is void (the
+                // adopted connection has no acknowledged writes yet, so
+                // `last_write_seq` is already 0 there).
+                self.primary_epoch = status.epoch;
+                self.next_replica = 0;
+                self.stats.failovers += 1;
+                return Ok(());
+            }
+            if Instant::now() >= deadline {
+                self.stats.failover_give_ups += 1;
+                return Err(IfdbError::Remote {
+                    code: crate::protocol::code::FENCED as u16,
+                    detail: "primary unavailable and no promoted successor found".into(),
+                });
+            }
+            std::thread::sleep(self.poll_interval);
+        }
+    }
+
+    /// Runs `op` against the primary with write failover: when it fails
+    /// because the primary is fenced, shutting down, or unreachable, adopt
+    /// the promoted successor and — only when the failed attempt provably
+    /// had no effect (a fenced/shutting-down refusal is determinate for any
+    /// op; a transport failure only for effect-free ops like `begin`) —
+    /// run it once more there. A non-retriable failure still performs the
+    /// adoption so every later statement routes to the successor, but the
+    /// original (indeterminate) error surfaces to the caller.
+    fn with_primary_failover<T>(
+        &mut self,
+        transport_retriable: bool,
+        mut op: impl FnMut(&mut Connection) -> IfdbResult<T>,
+    ) -> IfdbResult<T> {
+        let in_txn = self.router_txn || self.primary.in_transaction();
+        match op(&mut self.primary) {
+            Ok(v) => Ok(v),
+            Err(e) => {
+                if !self.write_failover || !Self::failover_trigger(&e) {
+                    return Err(e);
+                }
+                let determinate = Self::determinate_refusal(&e);
+                if self.fail_over_primary().is_err() {
+                    return Err(e);
+                }
+                // A transaction that was open on the deposed primary died
+                // with it; the caller must restart it from the top. Never
+                // re-run one of its statements against the successor.
+                if in_txn || (!determinate && !transport_retriable) {
+                    return Err(e);
+                }
+                op(&mut self.primary)
+            }
+        }
+    }
+
     /// Picks the replica for the next read and waits out the
     /// read-your-writes barrier on it. Returns `None` when the read should
     /// go to the primary instead.
@@ -514,7 +644,10 @@ impl RoutedConnection {
             }
         }
         self.stats.reads_on_primary += 1;
-        self.primary.run(stmt).map(StatementResult::into_rows)
+        // Reads are effect-free, so a transport failure may retry on the
+        // promoted successor too.
+        self.with_primary_failover(true, |c| c.run(stmt))
+            .map(StatementResult::into_rows)
     }
 
     /// Executes a batch of statements **pipelined** (one flush, responses
@@ -653,7 +786,7 @@ impl SessionApi for RoutedConnection {
                 .run_on_shard(&Statement::Insert(ins.clone()))
                 .map(|_| ());
         }
-        self.primary.insert(ins)
+        self.with_primary_failover(false, |c| c.insert(ins))
     }
     fn update(&mut self, upd: &Update) -> IfdbResult<usize> {
         if self.sharded() {
@@ -661,7 +794,7 @@ impl SessionApi for RoutedConnection {
                 .run_on_shard(&Statement::Update(upd.clone()))
                 .map(|r| r.affected());
         }
-        self.primary.update(upd)
+        self.with_primary_failover(false, |c| c.update(upd))
     }
     fn delete(&mut self, del: &Delete) -> IfdbResult<usize> {
         if self.sharded() {
@@ -669,7 +802,7 @@ impl SessionApi for RoutedConnection {
                 .run_on_shard(&Statement::Delete(del.clone()))
                 .map(|r| r.affected());
         }
-        self.primary.delete(del)
+        self.with_primary_failover(false, |c| c.delete(del))
     }
     fn begin(&mut self) -> IfdbResult<()> {
         if self.sharded() {
@@ -684,7 +817,9 @@ impl SessionApi for RoutedConnection {
             self.router_txn = true;
             return Ok(());
         }
-        self.primary.begin()
+        // Begin is effect-free: safe to retry on the successor even after
+        // a transport failure.
+        self.with_primary_failover(true, |c| c.begin())
     }
     fn commit(&mut self) -> IfdbResult<()> {
         if self.sharded() && self.router_txn {
@@ -702,7 +837,11 @@ impl SessionApi for RoutedConnection {
                 _ => self.commit_two_phase(&participants),
             };
         }
-        self.primary.commit()
+        // Commit is never retried across a failover — the transaction's
+        // branch died with the deposed primary — but the adoption still
+        // happens, so the caller's *next* transaction lands on the
+        // successor immediately.
+        self.with_primary_failover(false, |c| c.commit())
     }
     fn abort(&mut self) -> IfdbResult<()> {
         if self.sharded() && self.router_txn {
@@ -744,7 +883,9 @@ impl SessionApi for RoutedConnection {
         self.primary.delegate(grantee, tag)
     }
     fn call_procedure(&mut self, name: &str, args: &[Datum]) -> IfdbResult<ResultSet> {
-        self.primary.call_procedure(name, args)
+        // Procedures can write, so a transport failure stays indeterminate
+        // (no retry); a fenced refusal fails over and retries.
+        self.with_primary_failover(false, |c| c.call_procedure(name, args))
     }
     fn principal(&self) -> PrincipalId {
         self.primary.principal()

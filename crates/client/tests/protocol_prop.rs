@@ -6,7 +6,7 @@
 use ifdb::{AggFunc, Aggregate, Delete, Insert, Join, Order, Predicate, Select, Statement, Update};
 use ifdb_client::protocol::{
     decode_template, encode_template, frame_into, read_frame, read_frame_id, try_take_frame,
-    write_frame, write_frame_id, Request, Response, WireRow,
+    write_frame, write_frame_id, HaRole, Request, Response, WireRow,
 };
 use ifdb_difc::{Label, TagId};
 use ifdb_storage::Datum;
@@ -162,7 +162,7 @@ fn gen_wire_rows(rng: &mut StdRng) -> Vec<WireRow> {
 }
 
 fn gen_request(rng: &mut StdRng) -> Request {
-    match rng.gen_range(0..18) {
+    match rng.gen_range(0..21) {
         0 => Request::Hello {
             version: rng.gen(),
             user: gen_string(rng),
@@ -214,14 +214,24 @@ fn gen_request(rng: &mut StdRng) -> Request {
             secret: gen_string(rng),
             from_seq: rng.gen(),
             max: rng.gen(),
+            applied_seq: rng.gen(),
+            generation: rng.gen(),
         },
         16 => Request::Watermark,
+        17 => Request::Promote {
+            secret: gen_string(rng),
+        },
+        18 => Request::Fence {
+            secret: gen_string(rng),
+            generation: rng.gen(),
+        },
+        19 => Request::HaStatus,
         _ => Request::Goodbye,
     }
 }
 
 fn gen_response(rng: &mut StdRng) -> Response {
-    match rng.gen_range(0..11) {
+    match rng.gen_range(0..12) {
         0 => Response::HelloOk {
             principal: rng.gen(),
             label: (0..rng.gen_range(0..4)).map(|_| rng.gen()).collect(),
@@ -266,6 +276,7 @@ fn gen_response(rng: &mut StdRng) -> Response {
         },
         9 => Response::ReplBatch {
             epoch: rng.gen(),
+            generation: rng.gen(),
             reset: rng.gen(),
             first_seq: rng.gen(),
             end_seq: rng.gen(),
@@ -276,6 +287,16 @@ fn gen_response(rng: &mut StdRng) -> Response {
                         .collect()
                 })
                 .collect(),
+        },
+        10 => Response::HaStatus {
+            role: match rng.gen_range(0..3) {
+                0 => HaRole::Primary,
+                1 => HaRole::Replica,
+                _ => HaRole::Fenced,
+            },
+            generation: rng.gen(),
+            epoch: rng.gen(),
+            seq: rng.gen(),
         },
         _ => Response::Watermark {
             seq: rng.gen(),

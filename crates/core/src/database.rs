@@ -326,6 +326,24 @@ impl Database {
             .load(std::sync::atomic::Ordering::Relaxed)
     }
 
+    /// Promotes a replica database to primary of `generation`: the engine's
+    /// log leaves discard mode, adopts the generation and re-anchors with a
+    /// checkpoint image (in-doubt 2PC transactions carried along — see
+    /// [`StorageEngine::promote_to_primary`](ifdb_storage::engine::StorageEngine::promote_to_primary)),
+    /// and the read-only gate is lifted so sessions opened from this handle
+    /// accept writes. Fails with
+    /// [`StorageError::CheckpointBusy`](ifdb_storage::StorageError::CheckpointBusy)
+    /// while replica-local read transactions are still active; callers
+    /// retry. On a database that is already a primary the call is a plain
+    /// generation bump plus checkpoint (idempotent promotion).
+    pub fn promote_to_primary(&self, generation: u64) -> IfdbResult<usize> {
+        let count = self.inner.engine.promote_to_primary(generation)?;
+        self.inner
+            .read_only
+            .store(false, std::sync::atomic::Ordering::SeqCst);
+        Ok(count)
+    }
+
     /// Checkpoints the storage engine: compacts the write-ahead log into a
     /// consistent snapshot image so that a later [`Database::open`] replays
     /// O(live data) records. Requires a quiescent engine (no open

@@ -141,6 +141,15 @@ pub struct ServerConfig {
     /// Which shard of [`ServerConfig::shard_map`] this node serves
     /// (ignored when `shard_map` is `None`).
     pub shard_id: usize,
+    /// Semi-synchronous replication: when set, a write acknowledgement
+    /// (`Commit`'s `Ok`, an auto-committed `Execute`'s `Affected`) is
+    /// withheld until a replica has reported — via the `applied_seq`
+    /// piggybacked on its `ReplPoll` — that it has applied at least the
+    /// acknowledged sequence. If no replica confirms within this window the
+    /// client gets `REPLICATION_LAG`: the commit is durable *locally* but
+    /// its replication is indeterminate, so a failover may or may not carry
+    /// it. `None` (the default) acknowledges as soon as the local log does.
+    pub sync_replication: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -161,6 +170,7 @@ impl Default for ServerConfig {
             drain_timeout: Duration::from_secs(2),
             shard_map: None,
             shard_id: 0,
+            sync_replication: None,
         }
     }
 }
@@ -262,7 +272,7 @@ const STMT_CACHE_STRIPES: usize = 16;
 /// execution from its cached bytes rather than shipped in full per request.
 ///
 /// The template→id map is striped by template hash
-/// ([`STMT_CACHE_STRIPES`] stripes); the id-ordered template list stays
+/// (`STMT_CACHE_STRIPES` stripes); the id-ordered template list stays
 /// global because it allocates the dense statement ids and enforces the
 /// capacity bound. Hit/miss accounting lives in the server's global
 /// counters and is unaffected by striping.
@@ -343,6 +353,52 @@ struct Shared {
     /// replica front end reports the applied-seq of its replication stream
     /// (with the primary's log epoch).
     watermark: WatermarkSource,
+    /// High-availability state: fencing, semi-sync acknowledgement, and the
+    /// promotion hook (replica front ends only).
+    ha: HaShared,
+}
+
+/// Server-side high-availability state shared by every connection.
+///
+/// Fencing is one-way: once a poll (or an explicit `Fence` request) proves
+/// a successor with a higher promotion generation exists, this node stops
+/// acknowledging writes and serving replication forever — a fenced primary
+/// can only be restarted as a replica of the successor. The semi-sync
+/// fields track the highest applied-seq any replica has confirmed, feeding
+/// [`ServerConfig::sync_replication`] acknowledgement gating.
+struct HaShared {
+    /// Set when a higher promotion generation has been observed; this node
+    /// is a deposed primary and refuses writes, prepares, and replication.
+    fenced: AtomicBool,
+    /// The generation that fenced us (diagnostics; 0 while unfenced).
+    fenced_by: AtomicU64,
+    /// Highest applied-seq confirmed by any replica's `ReplPoll`.
+    repl_applied: StdMutex<u64>,
+    /// Signalled whenever `repl_applied` advances.
+    repl_cvar: Condvar,
+    /// Replica front ends install a hook that funnels a wire `Promote` into
+    /// the apply loop (see `replica::start_replica`); `None` on primaries.
+    promote: StdMutex<Option<PromoteHook>>,
+    /// Set once a replica front end has been promoted: the watermark now
+    /// comes from the local write-ahead log regardless of the original
+    /// [`WatermarkSource`].
+    promoted: AtomicBool,
+}
+
+/// Blocks until promotion completes; returns the new generation.
+type PromoteHook = Box<dyn Fn() -> Result<u64, String> + Send + Sync>;
+
+impl Default for HaShared {
+    fn default() -> Self {
+        HaShared {
+            fenced: AtomicBool::new(false),
+            fenced_by: AtomicU64::new(0),
+            repl_applied: StdMutex::new(0),
+            repl_cvar: Condvar::new(),
+            promote: StdMutex::new(None),
+            promoted: AtomicBool::new(false),
+        }
+    }
 }
 
 /// Where a server's reported watermark comes from.
@@ -363,8 +419,12 @@ impl Shared {
     }
 
     /// The watermark piggybacked on responses: last WAL seq (primary) or
-    /// applied-seq (replica).
+    /// applied-seq (replica). A promoted replica front end reports its own
+    /// log again — its writes are no longer anybody else's applied-seq.
     fn current_seq(&self) -> u64 {
+        if self.ha.promoted.load(Ordering::Acquire) {
+            return self.db.engine().wal().last_seq();
+        }
         match &self.watermark {
             WatermarkSource::Wal => self.db.engine().wal().last_seq(),
             WatermarkSource::Applied { seq, .. } => seq.load(Ordering::Acquire),
@@ -373,10 +433,108 @@ impl Shared {
 
     /// The log epoch the watermark belongs to.
     fn current_epoch(&self) -> u64 {
+        if self.ha.promoted.load(Ordering::Acquire) {
+            return self.db.engine().wal().epoch();
+        }
         match &self.watermark {
             WatermarkSource::Wal => self.db.engine().wal().epoch(),
             WatermarkSource::Applied { epoch, .. } => epoch.load(Ordering::Acquire),
         }
+    }
+
+    fn is_fenced(&self) -> bool {
+        self.ha.fenced.load(Ordering::Acquire)
+    }
+
+    /// Fences this node: a successor with promotion generation `by` exists.
+    /// Idempotent; keeps the highest fencing generation for diagnostics.
+    fn fence(&self, by: u64) {
+        self.ha.fenced_by.fetch_max(by, Ordering::AcqRel);
+        self.ha.fenced.store(true, Ordering::Release);
+    }
+
+    fn fenced_error(&self) -> IfdbError {
+        IfdbError::Remote {
+            code: code::FENCED as u16,
+            detail: format!(
+                "node fenced: a successor primary with promotion generation {} exists",
+                self.ha.fenced_by.load(Ordering::Acquire)
+            ),
+        }
+    }
+
+    /// This node's role as reported by `HaStatus`.
+    fn ha_role(&self) -> ifdb_client::protocol::HaRole {
+        use ifdb_client::protocol::HaRole;
+        if self.is_fenced() {
+            HaRole::Fenced
+        } else if self.ha.promoted.load(Ordering::Acquire)
+            || matches!(self.watermark, WatermarkSource::Wal)
+        {
+            HaRole::Primary
+        } else {
+            HaRole::Replica
+        }
+    }
+
+    /// Records a replica's confirmed applied-seq (from its `ReplPoll`) and
+    /// wakes any commit waiting on semi-sync acknowledgement.
+    fn note_repl_applied(&self, applied_seq: u64) {
+        if applied_seq == 0 {
+            return;
+        }
+        let mut confirmed = self.ha.repl_applied.lock().expect("repl_applied lock");
+        if applied_seq > *confirmed {
+            *confirmed = applied_seq;
+            self.ha.repl_cvar.notify_all();
+        }
+    }
+
+    /// Semi-sync gate: waits until a replica has confirmed applying at
+    /// least `seq`, or `timeout` elapses. Returns whether it was confirmed.
+    fn wait_repl_applied(&self, seq: u64, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut confirmed = self.ha.repl_applied.lock().expect("repl_applied lock");
+        while *confirmed < seq {
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let (guard, _) = self
+                .ha
+                .repl_cvar
+                .wait_timeout(confirmed, deadline - now)
+                .expect("repl_applied lock");
+            confirmed = guard;
+        }
+        true
+    }
+
+    /// Applies the semi-sync gate to a successful write acknowledgement:
+    /// with [`ServerConfig::sync_replication`] set on a primary, the `Ok`
+    /// for `seq` is withheld until a replica confirms it, and times out as
+    /// `REPLICATION_LAG` — the write is locally durable but its replication
+    /// is indeterminate.
+    fn gate_write_ack(&self, seq: u64) -> IfdbResult<()> {
+        let Some(window) = self.config.sync_replication else {
+            return Ok(());
+        };
+        if self.ha.promoted.load(Ordering::Acquire)
+            || !matches!(self.watermark, WatermarkSource::Wal)
+        {
+            // Semi-sync gating is a primary-only concern; a freshly
+            // promoted node acks locally until its own replicas attach.
+            return Ok(());
+        }
+        if self.wait_repl_applied(seq, window) {
+            return Ok(());
+        }
+        Err(IfdbError::Remote {
+            code: code::REPLICATION_LAG as u16,
+            detail: format!(
+                "commit at seq {seq} is durable locally but no replica confirmed it within {window:?}; replication outcome indeterminate"
+            ),
+        })
     }
 
     fn past_drain_deadline(&self) -> bool {
@@ -542,6 +700,7 @@ fn start_inner(
         queue_cvar: Condvar::new(),
         counters: Counters::default(),
         watermark,
+        ha: HaShared::default(),
     });
 
     let backend = match shared.config.backend {
@@ -644,7 +803,15 @@ fn handle_request(
             secret,
             from_seq,
             max,
-        } => handle_repl_poll(shared, &secret, from_seq, max),
+            applied_seq,
+            generation,
+        } => handle_repl_poll(shared, &secret, from_seq, max, applied_seq, generation),
+        // The HA control plane is sessionless too: Promote/Fence carry the
+        // replication secret on every request, HaStatus (like Watermark) is
+        // a read of public role/position counters used by failover probes.
+        Request::Promote { secret } => handle_promote(shared, &secret),
+        Request::Fence { secret, generation } => handle_fence(shared, &secret, generation),
+        Request::HaStatus => ha_status_response(shared),
         other => {
             let Some(conn) = state.as_mut() else {
                 return encode_error(&IfdbError::Remote {
@@ -733,7 +900,14 @@ fn handle_request(
 /// asks the engine to checkpoint soon, compacting history so the snapshot
 /// the replica ships is anchored at a checkpoint image rather than the full
 /// record-by-record history.
-fn handle_repl_poll(shared: &Arc<Shared>, secret: &str, from_seq: u64, max: u32) -> Response {
+fn handle_repl_poll(
+    shared: &Arc<Shared>,
+    secret: &str,
+    from_seq: u64,
+    max: u32,
+    applied_seq: u64,
+    generation: u64,
+) -> Response {
     match &shared.config.replication_secret {
         Some(expected) if expected == secret => {}
         Some(_) => {
@@ -749,7 +923,28 @@ fn handle_repl_poll(shared: &Arc<Shared>, secret: &str, from_seq: u64, max: u32)
             })
         }
     }
+    if shared.db.is_read_only() && !shared.ha.promoted.load(Ordering::Acquire) {
+        // A replica front end does not serve replication (its log is in
+        // discard mode); after promotion the same endpoint starts serving
+        // the promotion checkpoint image under its own epoch.
+        return encode_error(&IfdbError::Remote {
+            code: code::REPLICATION_DENIED as u16,
+            detail: "node is a replica; poll the primary".into(),
+        });
+    }
     let wal = shared.db.engine().wal();
+    // Fencing: the poll carries the highest promotion generation the
+    // replica knows of. Seeing a generation above our own is proof that a
+    // successor was promoted while we were away — fence *before* serving a
+    // single record, so a deposed primary cannot feed anyone its divergent
+    // tail. The check is one-way (a fenced node never un-fences).
+    if generation > wal.generation() {
+        shared.fence(generation);
+    }
+    if shared.is_fenced() {
+        return encode_error(&shared.fenced_error());
+    }
+    shared.note_repl_applied(applied_seq);
     if from_seq <= 1 && wal.len() > shared.config.replication_batch {
         // Fresh replica, long history: anchor the snapshot at a checkpoint
         // so bootstrap replays O(live data), not O(history). Best effort —
@@ -765,6 +960,7 @@ fn handle_repl_poll(shared: &Arc<Shared>, secret: &str, from_seq: u64, max: u32)
     let batch = wal.read_replication_batch(from_seq, batch_max);
     Response::ReplBatch {
         epoch: wal.epoch(),
+        generation: wal.generation(),
         reset: batch.reset,
         first_seq: batch.first_seq,
         end_seq: batch.end_seq,
@@ -774,6 +970,72 @@ fn handle_repl_poll(shared: &Arc<Shared>, secret: &str, from_seq: u64, max: u32)
             .map(ifdb_storage::Wal::encode_record)
             .collect(),
     }
+}
+
+/// Checks the replication secret for the sessionless HA control requests.
+fn check_repl_secret(shared: &Shared, secret: &str) -> Option<Response> {
+    match &shared.config.replication_secret {
+        Some(expected) if expected == secret => None,
+        Some(_) => Some(encode_error(&IfdbError::Remote {
+            code: code::REPLICATION_DENIED as u16,
+            detail: "invalid replication secret".into(),
+        })),
+        None => Some(encode_error(&IfdbError::Remote {
+            code: code::REPLICATION_DENIED as u16,
+            detail: "replication is not enabled on this server".into(),
+        })),
+    }
+}
+
+/// Serves `HaStatus`: the node's role, promotion generation, log epoch and
+/// watermark. Unauthenticated by design — failover probes race the fault
+/// they are reacting to, and the answer reveals only topology, not data.
+fn ha_status_response(shared: &Arc<Shared>) -> Response {
+    Response::HaStatus {
+        role: shared.ha_role(),
+        generation: shared.db.engine().wal().generation(),
+        epoch: shared.current_epoch(),
+        seq: shared.current_seq(),
+    }
+}
+
+/// Serves `Promote`: turns a caught-up replica front end into a primary.
+/// On a replica the request funnels through the promotion hook into the
+/// apply loop (which owns the applier and the stream connection); on a node
+/// that is already a primary it is an idempotent success. A fenced node
+/// refuses — it has been deposed and must rejoin as a replica.
+fn handle_promote(shared: &Arc<Shared>, secret: &str) -> Response {
+    if let Some(refusal) = check_repl_secret(shared, secret) {
+        return refusal;
+    }
+    if shared.is_fenced() {
+        return encode_error(&shared.fenced_error());
+    }
+    let hook = shared.ha.promote.lock().expect("promote lock");
+    match hook.as_ref() {
+        None => ha_status_response(shared),
+        Some(run) => match run() {
+            Ok(_generation) => ha_status_response(shared),
+            Err(detail) => encode_error(&IfdbError::Remote {
+                code: code::REMOTE as u16,
+                detail: format!("promotion failed: {detail}"),
+            }),
+        },
+    }
+}
+
+/// Serves `Fence`: an out-of-band notice (normally from a freshly promoted
+/// successor) that a higher promotion generation exists. Fencing only takes
+/// effect for a strictly higher generation, so a stale or duplicate fence
+/// request cannot depose a current primary.
+fn handle_fence(shared: &Arc<Shared>, secret: &str, generation: u64) -> Response {
+    if let Some(refusal) = check_repl_secret(shared, secret) {
+        return refusal;
+    }
+    if generation > shared.db.engine().wal().generation() {
+        shared.fence(generation);
+    }
+    ha_status_response(shared)
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -925,11 +1187,33 @@ fn handle_message(
     request: Request,
 ) -> IfdbResult<Response> {
     let session = &mut conn.session;
+    // A fenced node is a deposed primary: a successor with a higher
+    // promotion generation is accepting writes, so anything that could
+    // create or acknowledge new effects here must be refused — the client
+    // treats `FENCED` as a routing signal and fails over. Reads of already
+    // durable 2PC state (`TxnRecover`/`TxnOutcome`) and externally decided
+    // outcomes (`TxnDecide`) stay allowed: successor-driven resolution must
+    // be able to settle in-doubt transactions on the old primary too.
+    if shared.is_fenced()
+        && matches!(
+            request,
+            Request::Begin
+                | Request::Commit
+                | Request::Execute { .. }
+                | Request::CallProcedure { .. }
+                | Request::TxnPrepare { .. }
+        )
+    {
+        return Err(shared.fenced_error());
+    }
     match request {
         Request::Hello { .. }
         | Request::Goodbye
         | Request::Watermark
-        | Request::ReplPoll { .. } => unreachable!("handled by caller"),
+        | Request::ReplPoll { .. }
+        | Request::Promote { .. }
+        | Request::Fence { .. }
+        | Request::HaStatus => unreachable!("handled by caller"),
         Request::Login { user, password } => {
             let principal = authenticate(shared, &user, password.as_deref(), conn.trusted)?;
             session.reset(principal);
@@ -1010,11 +1294,19 @@ fn handle_message(
                 fetch as usize
             };
             Ok(match result? {
-                StatementResult::Affected(n) => Response::Affected {
-                    n: n as u64,
-                    label: session.label().to_array(),
-                    seq: shared.current_seq(),
-                },
+                StatementResult::Affected(n) => {
+                    let seq = shared.current_seq();
+                    if !session.in_transaction() {
+                        // Auto-committed write: the Affected is its commit
+                        // acknowledgement, so the semi-sync gate applies.
+                        shared.gate_write_ack(seq)?;
+                    }
+                    Response::Affected {
+                        n: n as u64,
+                        label: session.label().to_array(),
+                        seq,
+                    }
+                }
                 StatementResult::Rows(rs) => result_rows_response(conn, rs.rows, batch),
             })
         }
@@ -1050,8 +1342,11 @@ fn handle_message(
         Request::Commit => {
             // Commit runs deferred triggers, which can change the process
             // label; the Ok response carries the post-commit label so the
-            // client mirror follows.
+            // client mirror follows. Under semi-sync replication the Ok is
+            // additionally withheld until a replica confirms the commit's
+            // sequence (timing out as indeterminate `REPLICATION_LAG`).
             session.commit()?;
+            shared.gate_write_ack(shared.current_seq())?;
             Ok(ok_with_label(shared, session))
         }
         Request::Abort => {

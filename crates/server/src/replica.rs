@@ -29,10 +29,10 @@
 use std::io::{BufReader, BufWriter};
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
 use std::time::{Duration, Instant};
 
-use ifdb::{Database, DatabaseConfig, IfdbError, IfdbResult};
+use ifdb::{Database, DatabaseConfig, IfdbError, IfdbResult, TableDef};
 use ifdb_client::protocol::{read_frame_id, write_frame_id, Request, Response};
 use ifdb_platform::Authenticator;
 use ifdb_storage::{ReplicaApplier, StorageEngine, Wal};
@@ -64,6 +64,15 @@ pub struct ReplicaConfig {
     /// replication connection occupies one worker on the primary for its
     /// lifetime; size the primary's pool accordingly.
     pub batch_max: u32,
+    /// The application's first-boot table DDL, re-run on **promotion**.
+    /// Constraints (uniques, foreign keys, label constraints) are code, not
+    /// logged data: tables arriving over the replication stream carry
+    /// `constraints_pending` and are read-only. Re-running the same
+    /// [`TableDef`]s re-attaches the constraints to the replicated rows
+    /// (exactly the `Database::open` recovery contract), which is what
+    /// lifts the promoted node's tables into writability. Tables not named
+    /// here stay read-only after promotion.
+    pub first_boot_tables: Vec<TableDef>,
 }
 
 impl ReplicaConfig {
@@ -78,7 +87,15 @@ impl ReplicaConfig {
             poll_interval: Duration::from_millis(1),
             reconnect_interval: Duration::from_millis(50),
             batch_max: 0,
+            first_boot_tables: Vec::new(),
         }
+    }
+
+    /// Sets the first-boot DDL re-run on promotion
+    /// ([`ReplicaConfig::first_boot_tables`]).
+    pub fn with_first_boot_tables(mut self, tables: Vec<TableDef>) -> Self {
+        self.first_boot_tables = tables;
+        self
     }
 }
 
@@ -99,6 +116,11 @@ pub struct ReplicaStats {
     pub resets: u64,
     /// Replication connections established (1 = never lost the stream).
     pub connects: u64,
+    /// Batches refused because they carried a promotion generation lower
+    /// than one this replica has already seen: a fenced (or not yet
+    /// self-fenced "zombie") old primary kept serving its divergent tail
+    /// after a successor was promoted, and the replica must not apply it.
+    pub stale_batches_rejected: u64,
 }
 
 struct ReplicaShared {
@@ -110,7 +132,35 @@ struct ReplicaShared {
     batches: AtomicU64,
     resets: AtomicU64,
     connects: AtomicU64,
+    stale_batches_rejected: AtomicU64,
+    /// The address the apply loop (re)connects to. Mutable so a failover
+    /// orchestrator can re-point a surviving replica at the promoted
+    /// successor; takes effect on the next reconnect.
+    primary_addr: StdMutex<String>,
+    /// Promotion rendezvous between requesters ([`ReplicaHandle::promote`],
+    /// the wire `Promote` hook) and the apply loop, which owns the applier
+    /// and performs the actual switch between polls.
+    promote: StdMutex<PromoteSlot>,
+    promote_cvar: Condvar,
 }
+
+#[derive(Default)]
+struct PromoteSlot {
+    /// Set by a requester; consumed by the apply loop.
+    requested: bool,
+    /// The apply loop's answer: the new promotion generation, or why the
+    /// promotion failed. A success is sticky (promotion is idempotent).
+    result: Option<Result<u64, String>>,
+}
+
+/// How long a promotion waits for replica-local read transactions to drain
+/// before giving up (the promotion checkpoint needs a quiesced database
+/// apart from replicated prepared transactions).
+const PROMOTE_DRAIN_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// How long [`ReplicaHandle::promote`] and the wire `Promote` hook wait for
+/// the apply loop to pick up and finish the promotion.
+const PROMOTE_WAIT_TIMEOUT: Duration = Duration::from_secs(10);
 
 /// A running replica node: the apply loop and the read front end.
 pub struct ReplicaHandle {
@@ -163,7 +213,29 @@ impl ReplicaHandle {
             batches: self.shared.batches.load(Ordering::Relaxed),
             resets: self.shared.resets.load(Ordering::Relaxed),
             connects: self.shared.connects.load(Ordering::Relaxed),
+            stale_batches_rejected: self.shared.stale_batches_rejected.load(Ordering::Relaxed),
         }
+    }
+
+    /// Promotes this replica to a primary (see the module docs): the apply
+    /// loop drains replica-local transactions, re-anchors the write-ahead
+    /// log with a promotion checkpoint under the next promotion generation,
+    /// lifts read-only mode, best-effort fences the old primary, and exits.
+    /// Blocks until the switch completes; returns the new generation.
+    /// Idempotent — promoting an already promoted node returns its
+    /// generation again.
+    pub fn promote(&self) -> IfdbResult<u64> {
+        request_promote(&self.shared, PROMOTE_WAIT_TIMEOUT).map_err(|detail| IfdbError::Remote {
+            code: ifdb_client::protocol::code::REMOTE as u16,
+            detail: format!("promotion failed: {detail}"),
+        })
+    }
+
+    /// Re-points the apply loop at a different primary (a freshly promoted
+    /// successor). Takes effect on the next reconnect; callers typically
+    /// pair it with dropping the current stream by letting it error out.
+    pub fn set_primary(&self, addr: &str) {
+        *self.shared.primary_addr.lock().expect("primary_addr lock") = addr.to_string();
     }
 
     /// Blocks until the replica's applied-seq reaches `seq` or the timeout
@@ -216,11 +288,20 @@ impl StreamConn {
         })
     }
 
-    fn send_poll(&mut self, secret: &str, from_seq: u64, max: u32) -> IfdbResult<u32> {
+    fn send_poll(
+        &mut self,
+        secret: &str,
+        from_seq: u64,
+        max: u32,
+        applied_seq: u64,
+        generation: u64,
+    ) -> IfdbResult<u32> {
         let req = Request::ReplPoll {
             secret: secret.to_string(),
             from_seq,
             max,
+            applied_seq,
+            generation,
         };
         let id = self.next_id;
         self.next_id = self.next_id.wrapping_add(1).max(1);
@@ -247,21 +328,35 @@ impl StreamConn {
     /// One poll round trip — answered by the in-flight prefetch when its
     /// position matches, otherwise by a fresh request (draining a stale
     /// prefetch first to keep the FIFO stream in sync).
-    fn poll(&mut self, secret: &str, from_seq: u64, max: u32) -> IfdbResult<Response> {
+    fn poll(
+        &mut self,
+        secret: &str,
+        from_seq: u64,
+        max: u32,
+        applied_seq: u64,
+        generation: u64,
+    ) -> IfdbResult<Response> {
         if let Some((id, p_from, p_max)) = self.pending.take() {
             if p_from == from_seq && p_max == max {
                 return self.recv(id);
             }
             let _ = self.recv(id)?;
         }
-        let id = self.send_poll(secret, from_seq, max)?;
+        let id = self.send_poll(secret, from_seq, max, applied_seq, generation)?;
         self.recv(id)
     }
 
     /// Sends the next poll without waiting for its response.
-    fn prefetch(&mut self, secret: &str, from_seq: u64, max: u32) {
+    fn prefetch(
+        &mut self,
+        secret: &str,
+        from_seq: u64,
+        max: u32,
+        applied_seq: u64,
+        generation: u64,
+    ) {
         if self.pending.is_none() {
-            if let Ok(id) = self.send_poll(secret, from_seq, max) {
+            if let Ok(id) = self.send_poll(secret, from_seq, max, applied_seq, generation) {
                 self.pending = Some((id, from_seq, max));
             }
         }
@@ -301,6 +396,10 @@ pub fn start_replica(
         batches: AtomicU64::new(0),
         resets: AtomicU64::new(0),
         connects: AtomicU64::new(0),
+        stale_batches_rejected: AtomicU64::new(0),
+        primary_addr: StdMutex::new(config.primary_addr.clone()),
+        promote: StdMutex::new(PromoteSlot::default()),
+        promote_cvar: Condvar::new(),
     });
 
     // Initial sync: catch up to the primary's position as of now, so the
@@ -318,21 +417,47 @@ pub fn start_replica(
         }
     }
 
+    // The front end authenticates HA control requests (`Promote`, `Fence`
+    // — and, after promotion, `ReplPoll`) with the same replication secret
+    // the replica uses toward its primary, unless the caller configured a
+    // different one explicitly.
+    let mut server_config = config.server.clone();
+    if server_config.replication_secret.is_none() {
+        server_config.replication_secret = Some(config.replication_secret.clone());
+    }
     let server = start_with_applied_watermark(
         db.clone(),
         auth,
-        config.server.clone(),
+        server_config,
         shared.applied_seq.clone(),
         shared.epoch.clone(),
     )?;
 
+    // Wire `Promote` requests funnel into the apply loop through the same
+    // rendezvous as `ReplicaHandle::promote`.
+    {
+        let hook_shared = shared.clone();
+        let mut hook = server.shared.ha.promote.lock().expect("promote lock");
+        *hook = Some(Box::new(move || {
+            request_promote(&hook_shared, PROMOTE_WAIT_TIMEOUT)
+        }));
+    }
+
     let loop_shared = shared.clone();
     let loop_db = db.clone();
     let loop_config = config.clone();
+    let loop_server = server.shared.clone();
     let apply_thread = std::thread::Builder::new()
         .name("ifdb-replica-apply".into())
         .spawn(move || {
-            apply_loop(loop_config, loop_db, loop_shared, applier, Some(conn));
+            apply_loop(
+                loop_config,
+                loop_db,
+                loop_shared,
+                loop_server,
+                applier,
+                Some(conn),
+            );
         })
         .expect("spawn replica apply thread");
 
@@ -353,13 +478,21 @@ fn apply_one_poll(
     applier: &mut ReplicaApplier,
     conn: &mut StreamConn,
 ) -> IfdbResult<bool> {
+    // Every poll advertises our applied-seq (feeding the primary's
+    // semi-sync acknowledgement gate) and the highest promotion generation
+    // we have seen (fencing: a deposed primary that sees a higher
+    // generation in a poll fences itself before serving a single record).
+    let known_generation = db.engine().wal().generation();
     let resp = conn.poll(
         &config.replication_secret,
         applier.applied_seq() + 1,
         config.batch_max,
+        applier.applied_seq(),
+        known_generation,
     )?;
     let Response::ReplBatch {
         epoch,
+        generation,
         reset,
         first_seq,
         end_seq,
@@ -384,6 +517,31 @@ fn apply_one_poll(
             detail: "unexpected replication response".into(),
         });
     };
+    // Generation check (the replica-side half of fencing): a batch from a
+    // lower promotion generation than one we have already seen is the
+    // divergent tail of a deposed primary — a "zombie" that kept serving
+    // before (or instead of) fencing itself. It must never be applied, not
+    // even transiently: applying it could resurrect effects the successor
+    // never acknowledged. The primary-side poll check above usually fences
+    // the zombie first; this check is the backstop when it does not (e.g. a
+    // response that was already in flight, or a primary that skips the
+    // self-fence).
+    if generation < known_generation {
+        shared
+            .stale_batches_rejected
+            .fetch_add(1, Ordering::Relaxed);
+        return Err(IfdbError::Remote {
+            code: ifdb_client::protocol::code::FENCED as u16,
+            detail: format!(
+                "rejecting batch from stale primary: generation {generation} < known {known_generation}"
+            ),
+        });
+    }
+    if generation > known_generation {
+        // Learned of a promotion from the stream itself (e.g. after being
+        // re-pointed at the successor); remember it for future polls.
+        db.engine().wal().set_generation(generation);
+    }
     let known_epoch = shared.epoch.load(Ordering::Acquire);
     let epoch_changed = known_epoch != 0 && known_epoch != epoch;
     if epoch_changed || reset {
@@ -420,7 +578,13 @@ fn apply_one_poll(
     // is only trustworthy once this batch has applied.
     let next_from = first_seq + records.len() as u64;
     if !reset && !epoch_changed && next_from <= end_seq {
-        conn.prefetch(&config.replication_secret, next_from, config.batch_max);
+        conn.prefetch(
+            &config.replication_secret,
+            next_from,
+            config.batch_max,
+            applier.applied_seq(),
+            db.engine().wal().generation(),
+        );
     }
     let mut decoded = Vec::with_capacity(records.len());
     for bytes in &records {
@@ -446,17 +610,34 @@ fn apply_one_poll(
 }
 
 /// The background apply loop: poll, apply, sleep when caught up, reconnect
-/// (resuming from the watermark) when the stream drops.
+/// (resuming from the watermark) when the stream drops. Between polls it
+/// watches for a promotion request; a successful promotion ends the loop —
+/// the node is a primary now and there is nothing left to apply.
 fn apply_loop(
     config: ReplicaConfig,
     db: Database,
     shared: Arc<ReplicaShared>,
+    server: Arc<crate::Shared>,
     mut applier: ReplicaApplier,
     mut conn: Option<StreamConn>,
 ) {
     while !shared.stop.load(Ordering::Relaxed) {
+        if take_promote_request(&shared) {
+            let result = run_promotion(&config, &db, &shared, &server);
+            let promoted = result.is_ok();
+            finish_promote(&shared, result);
+            if promoted {
+                return;
+            }
+            continue;
+        }
         let Some(stream) = conn.as_mut() else {
-            match StreamConn::connect(&config.primary_addr) {
+            let addr = shared
+                .primary_addr
+                .lock()
+                .expect("primary_addr lock")
+                .clone();
+            match StreamConn::connect(&addr) {
                 Ok(c) => {
                     shared.connects.fetch_add(1, Ordering::Relaxed);
                     conn = Some(c);
@@ -472,12 +653,132 @@ fn apply_loop(
             Ok(false) => {}
             Err(_) => {
                 // Torn frame, checksum mismatch, half-closed socket, apply
-                // failure: drop the connection and resume from the
-                // watermark on a fresh one. Records the new connection may
+                // failure, stale-generation batch: drop the connection and
+                // resume from the watermark on a fresh one (possibly to a
+                // re-pointed primary). Records the new connection may
                 // re-deliver are skipped by the applier.
                 conn = None;
                 std::thread::sleep(config.reconnect_interval);
             }
         }
     }
+}
+
+/// Consumes a pending promotion request, if any.
+fn take_promote_request(shared: &ReplicaShared) -> bool {
+    let mut slot = shared.promote.lock().expect("promote lock");
+    if slot.requested && slot.result.is_none() {
+        slot.requested = false;
+        true
+    } else {
+        false
+    }
+}
+
+/// Publishes the apply loop's promotion outcome and wakes every waiter.
+fn finish_promote(shared: &ReplicaShared, result: Result<u64, String>) {
+    let mut slot = shared.promote.lock().expect("promote lock");
+    slot.result = Some(result);
+    shared.promote_cvar.notify_all();
+}
+
+/// Requests a promotion and blocks until the apply loop reports the
+/// outcome. Sticky-idempotent: once a promotion has succeeded, every later
+/// request returns the same generation immediately.
+fn request_promote(shared: &ReplicaShared, timeout: Duration) -> Result<u64, String> {
+    let deadline = Instant::now() + timeout;
+    let mut slot = shared.promote.lock().expect("promote lock");
+    match &slot.result {
+        Some(Ok(generation)) => return Ok(*generation),
+        Some(Err(_)) => slot.result = None, // retry after a failure
+        None => {}
+    }
+    slot.requested = true;
+    loop {
+        if let Some(result) = &slot.result {
+            return result.clone();
+        }
+        let now = Instant::now();
+        if now >= deadline {
+            return Err("timed out waiting for the apply loop".into());
+        }
+        let (guard, _) = shared
+            .promote_cvar
+            .wait_timeout(slot, deadline - now)
+            .expect("promote lock");
+        slot = guard;
+    }
+}
+
+/// The promotion itself, run on the apply thread (which owns the applier,
+/// so no batch can race the switch):
+///
+/// 1. retry [`Database::promote_to_primary`] until replica-local read
+///    transactions drain (bounded by [`PROMOTE_DRAIN_TIMEOUT`]) — this
+///    re-anchors the write-ahead log with a checkpoint image that carries
+///    every replicated row *and* every still-undecided prepared transaction
+///    under the next promotion generation, and lifts read-only mode;
+/// 2. flip the front end's watermark to the local log (its own epoch);
+/// 3. best-effort fence the old primary so a zombie that comes back cannot
+///    acknowledge writes the new timeline will never contain.
+fn run_promotion(
+    config: &ReplicaConfig,
+    db: &Database,
+    shared: &ReplicaShared,
+    server: &crate::Shared,
+) -> Result<u64, String> {
+    let generation = db.engine().wal().generation() + 1;
+    let deadline = Instant::now() + PROMOTE_DRAIN_TIMEOUT;
+    loop {
+        match db.promote_to_primary(generation) {
+            Ok(_) => break,
+            Err(e) => {
+                if Instant::now() >= deadline {
+                    return Err(format!("database did not quiesce: {e}"));
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+    }
+    // Re-attach the code-not-data constraint state before the node serves
+    // its first write: replicated tables are `constraints_pending` (DDL over
+    // the stream carries schemas, not constraint code), and a primary must
+    // never run without enforcement the old primary had.
+    for def in &config.first_boot_tables {
+        if let Err(e) = db.create_table(def.clone()) {
+            return Err(format!(
+                "first-boot DDL re-run failed for {:?}: {e}",
+                def.name
+            ));
+        }
+    }
+    server.ha.promoted.store(true, Ordering::Release);
+    let old_primary = shared
+        .primary_addr
+        .lock()
+        .expect("primary_addr lock")
+        .clone();
+    // Best effort: the old primary is typically dead or partitioned (that
+    // is why we are promoting); if it is reachable, fence it immediately
+    // instead of waiting for its first stale poll or write.
+    let _ = send_fence(&old_primary, &config.replication_secret, generation);
+    Ok(generation)
+}
+
+/// One-shot `Fence` notice to `addr`: a successor with promotion
+/// generation `generation` exists.
+fn send_fence(addr: &str, secret: &str, generation: u64) -> std::io::Result<()> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    let mut writer = BufWriter::new(stream.try_clone()?);
+    let req = Request::Fence {
+        secret: secret.to_string(),
+        generation,
+    };
+    write_frame_id(&mut writer, 1, &req.encode())
+        .map_err(|e| std::io::Error::other(format!("{e}")))?;
+    let mut reader = BufReader::new(stream);
+    let _ = read_frame_id(&mut reader);
+    Ok(())
 }

@@ -1145,6 +1145,113 @@ impl StorageEngine {
                     true
                 })?;
             }
+            // Promotions survive checkpoint truncation: the image re-logs
+            // the generation the same way it re-logs live rows.
+            if self.wal.generation() > 1 {
+                image.push(LogRecord::Epoch {
+                    generation: self.wal.generation(),
+                });
+            }
+            image.push(LogRecord::Checkpoint);
+            Ok(image)
+        })?;
+        self.checkpoints.fetch_add(1, Ordering::Relaxed);
+        self.commits_since_checkpoint.store(0, Ordering::Relaxed);
+        Ok(count)
+    }
+
+    /// Turns this (replica) engine into a primary of `generation`: the log
+    /// leaves discard mode, adopts the generation, and is re-anchored with a
+    /// checkpoint image so the node's own log — empty until now — describes
+    /// the full state it will serve and replicate from here on.
+    ///
+    /// Unlike [`StorageEngine::checkpoint`], in-doubt 2PC transactions do
+    /// not block promotion (a participant crash is exactly when failover
+    /// happens): each prepared transaction is carried into the image as
+    /// `Begin` + its invisible effects + `Prepare`, so the successor — and
+    /// anyone recovering from or replicating its log — can still resolve it
+    /// when the coordinator's decision arrives. Any *other* active
+    /// transaction fails the call with [`StorageError::CheckpointBusy`];
+    /// callers retry while replica-local reads drain.
+    pub fn promote_to_primary(&self, generation: u64) -> StorageResult<usize> {
+        self.wal.set_discard(false);
+        self.wal.set_generation(generation);
+        // A primary killed mid-transaction leaves streamed `Begin`s whose
+        // outcome will never arrive; they would hold the database "busy"
+        // forever. They abort here — the crash-recovery rule applied to the
+        // dead stream — so only replica-local reads can keep the call busy.
+        self.txns.abort_orphaned_replicated();
+        let count = self.wal.rewrite_with(|| {
+            let prepared = self.txns.prepared_entries();
+            let active = self.txns.active_count();
+            let blocking = active.saturating_sub(prepared.len() as u64);
+            if blocking > 0 {
+                return Err(StorageError::CheckpointBusy { active: blocking });
+            }
+            let snap = self.txns.snapshot(BOOTSTRAP_TXN);
+            let tables = self.tables.read();
+            let mut ids: Vec<TableId> = tables.keys().copied().collect();
+            ids.sort();
+            let mut image = Vec::new();
+            for id in &ids {
+                let t = &tables[id];
+                image.push(LogRecord::CreateTable {
+                    id: id.0,
+                    schema: t.schema.clone(),
+                });
+                for entry in t.indexes.read().iter() {
+                    image.push(LogRecord::CreateIndex {
+                        table: id.0,
+                        name: entry.name.clone(),
+                        columns: entry.columns.iter().map(|c| *c as u16).collect(),
+                    });
+                }
+            }
+            for id in &ids {
+                let t = &tables[id];
+                t.heap.scan(|row, version| {
+                    if self.txns.is_visible(&snap, &version.header) {
+                        let mut v = version;
+                        v.header.xmin = BOOTSTRAP_TXN;
+                        v.header.xmax = None;
+                        image.push(LogRecord::Insert {
+                            txn: BOOTSTRAP_TXN,
+                            table: id.0,
+                            row,
+                            bytes: v.encode(),
+                        });
+                    }
+                    true
+                })?;
+            }
+            // The in-doubt transactions ride along: their effects replay
+            // invisible (the recovery and replication paths both re-register
+            // a Prepare with no Decide as in-doubt) until a decision lands.
+            for (gid, txn) in prepared {
+                image.push(LogRecord::Begin { txn });
+                for id in &ids {
+                    let t = &tables[id];
+                    t.heap.scan(|row, version| {
+                        if version.header.xmin == txn {
+                            image.push(LogRecord::Insert {
+                                txn,
+                                table: id.0,
+                                row,
+                                bytes: version.encode(),
+                            });
+                        } else if version.header.xmax == Some(txn) {
+                            image.push(LogRecord::Delete {
+                                txn,
+                                table: id.0,
+                                row,
+                            });
+                        }
+                        true
+                    })?;
+                }
+                image.push(LogRecord::Prepare { txn, gid });
+            }
+            image.push(LogRecord::Epoch { generation });
             image.push(LogRecord::Checkpoint);
             Ok(image)
         })?;
@@ -1272,12 +1379,18 @@ impl StorageEngine {
                 }
             }
             LogRecord::Checkpoint => {}
-            // 2PC on the primary mirrors onto the replica as plain commit /
-            // abort outcomes: a Prepare leaves the transaction in progress
-            // (its effects stay invisible, exactly the in-doubt state), and
+            // The stream's Epoch record names the primary's generation; the
+            // replica tracks it on its own (discarding) log so a later
+            // promotion continues the fencing order.
+            LogRecord::Epoch { generation } => self.wal.set_generation(*generation),
+            // 2PC on the primary mirrors onto the replica as a real in-doubt
+            // state: a Prepare registers the transaction under its gid (its
+            // effects stay invisible), so a replica promoted to primary can
+            // answer outcome queries and apply the coordinator's decision;
             // the Decide settles it like a Commit/Abort record would.
-            LogRecord::Prepare { .. } => {}
+            LogRecord::Prepare { txn, gid } => self.txns.mark_prepared_replicated(*txn, *gid),
             LogRecord::Decide { txn, commit } => {
+                self.txns.settle_prepared_replicated(*txn, *commit);
                 if *commit {
                     self.txns.commit_replicated(*txn);
                     if let Some(rows) = state.deletes_in_flight.remove(txn) {

@@ -259,6 +259,55 @@ impl TransactionManager {
         self.table.read().prepared.get(&gid).copied()
     }
 
+    /// Every prepared (in-doubt) transaction as `(gid, txn)` pairs, in
+    /// ascending gid order. Used by promotion to carry the in-doubt set
+    /// into the new primary's checkpoint image.
+    pub fn prepared_entries(&self) -> Vec<(u64, TxnId)> {
+        let mut entries: Vec<(u64, TxnId)> = self
+            .table
+            .read()
+            .prepared
+            .iter()
+            .map(|(g, t)| (*g, *t))
+            .collect();
+        entries.sort_unstable();
+        entries
+    }
+
+    /// Registers a prepare replicated from the primary's stream: the
+    /// transaction (already `InProgress` via
+    /// [`TransactionManager::begin_replicated`]) becomes in-doubt under
+    /// `gid`, so a replica promoted to primary can resolve it. Unlike
+    /// [`TransactionManager::mark_prepared`] there is no local commit claim
+    /// to convert. Idempotent.
+    pub fn mark_prepared_replicated(&self, txn: TxnId, gid: u64) {
+        let mut table = self.table.write();
+        table.prepared.insert(gid, txn);
+        if let std::collections::hash_map::Entry::Vacant(e) = table.status.entry(txn) {
+            // A checkpoint image can deliver the Prepare without a Begin.
+            e.insert(TxnStatus::InProgress);
+            let floor = table.next_commit_stamp;
+            table.begin_floors.insert(txn, floor);
+            self.active.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    /// Replica-side settlement of a replicated `Decide`: forgets the
+    /// prepared entry for `txn` and records the outcome under its gid (the
+    /// status flip itself is [`TransactionManager::commit_replicated`] /
+    /// `abort_replicated`, exactly as for a plain commit).
+    pub fn settle_prepared_replicated(&self, txn: TxnId, commit: bool) {
+        let mut table = self.table.write();
+        let gid = table
+            .prepared
+            .iter()
+            .find_map(|(g, t)| (*t == txn).then_some(*g));
+        if let Some(gid) = gid {
+            table.prepared.remove(&gid);
+            table.decided.insert(gid, commit);
+        }
+    }
+
     /// Global transaction ids currently prepared and awaiting a decision,
     /// in ascending order.
     pub fn in_doubt(&self) -> Vec<u64> {
@@ -499,6 +548,43 @@ impl TransactionManager {
         table.begin_floors.remove(&txn);
     }
 
+    /// Aborts every replicated transaction that is still in progress and
+    /// *not* prepared, returning how many there were. Called at promotion:
+    /// the old primary's stream is dead, so a streamed `Begin` whose
+    /// outcome never arrived can never resolve on this timeline — exactly
+    /// like in-flight work at a crash, it aborts. Prepared (in-doubt)
+    /// transactions are exempt: the successor resolves those through the
+    /// coordinator's decision. Replica-local transactions (ids in the
+    /// reserved high range) are untouched — those drain on their own.
+    ///
+    /// If the promotion that requested this ultimately fails and the node
+    /// resumes applying from a live primary, a later streamed `Commit`
+    /// simply overrides the abort (superseding stream records win), so the
+    /// node still converges to the primary's truth.
+    pub fn abort_orphaned_replicated(&self) -> u64 {
+        let mut table = self.table.write();
+        let prepared: std::collections::HashSet<TxnId> = table.prepared.values().copied().collect();
+        let orphans: Vec<TxnId> = table
+            .status
+            .iter()
+            .filter(|(id, s)| {
+                id.0 < REPLICA_LOCAL_TXN_BASE
+                    && **s == TxnStatus::InProgress
+                    && !prepared.contains(id)
+            })
+            .map(|(id, _)| *id)
+            .collect();
+        for txn in &orphans {
+            table.status.insert(*txn, TxnStatus::Aborted);
+            table.committing.remove(txn);
+            table.begin_floors.remove(txn);
+            table.commit_stamps.remove(txn);
+        }
+        self.active
+            .fetch_sub(orphans.len() as u64, Ordering::SeqCst);
+        orphans.len() as u64
+    }
+
     /// Moves local id allocation to at least `base`. Called once when an
     /// engine is put into replica mode, with [`REPLICA_LOCAL_TXN_BASE`], so
     /// replica-local read transactions can never collide with ids arriving
@@ -523,6 +609,11 @@ impl TransactionManager {
             .count() as u64;
         table.status.retain(|id, _| id.0 >= REPLICA_LOCAL_TXN_BASE);
         table.committing.retain(|id| id.0 >= REPLICA_LOCAL_TXN_BASE);
+        // Replicated in-doubt entries are rebuilt from the fresh image's
+        // Prepare records (local prepares never happen on a replica).
+        table
+            .prepared
+            .retain(|_, txn| txn.0 >= REPLICA_LOCAL_TXN_BASE);
         table
             .begin_floors
             .retain(|id, _| id.0 >= REPLICA_LOCAL_TXN_BASE);

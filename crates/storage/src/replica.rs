@@ -393,6 +393,51 @@ mod tests {
     }
 
     #[test]
+    fn promotion_aborts_a_streamed_transaction_with_no_outcome() {
+        // Regression: a primary killed mid-transaction ships a `Begin` (and
+        // effects) whose `Commit` never arrives. That transaction can never
+        // resolve on the replica's timeline; it must not hold promotion
+        // "busy" forever, and its effects must stay invisible after the
+        // switch (invariant: no un-acked effect resurrects).
+        let dir = std::env::temp_dir().join(format!("ifdb-replica-orphan-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let primary = primary_with_rows(&dir, 2);
+        let replica = StorageEngine::in_memory();
+        replica
+            .txns()
+            .reserve_local_ids(crate::mvcc::REPLICA_LOCAL_TXN_BASE);
+        let mut applier = ReplicaApplier::new();
+        pump(&primary, &replica, &mut applier);
+        // An in-flight transaction streams over (made durable by a later
+        // committer's fsync), then the primary "dies" before its commit.
+        let inflight = primary.begin().unwrap();
+        let t = primary.table_by_name("t").unwrap();
+        primary
+            .insert(inflight, t.id(), vec![], vec![Datum::Int(999)])
+            .unwrap();
+        let other = primary.begin().unwrap();
+        primary
+            .insert(other, t.id(), vec![], vec![Datum::Int(50)])
+            .unwrap();
+        primary.commit(other).unwrap();
+        pump(&primary, &replica, &mut applier);
+        assert_eq!(replica.txns().active_count(), 1, "orphan is in progress");
+        let count = replica.promote_to_primary(2).expect("promotion quiesces");
+        assert!(count > 0, "image re-anchors the live rows");
+        assert_eq!(replica.txns().active_count(), 0, "orphan aborted");
+        assert_eq!(visible_count(&replica, "t"), 3, "orphan stays invisible");
+        // The promoted node serves writes on the new timeline.
+        let txn = replica.begin().unwrap();
+        let t = replica.table_by_name("t").unwrap();
+        replica
+            .insert(txn, t.id(), vec![], vec![Datum::Int(4)])
+            .unwrap();
+        replica.commit(txn).unwrap();
+        assert_eq!(visible_count(&replica, "t"), 4);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn checkpoint_while_replica_lags_forces_reset() {
         let dir = std::env::temp_dir().join(format!("ifdb-replica-reset-{}", std::process::id()));
         std::fs::remove_dir_all(&dir).ok();

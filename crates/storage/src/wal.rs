@@ -251,6 +251,16 @@ pub enum LogRecord {
         /// need not be durable before acting on it).
         commit: bool,
     },
+    /// A promotion marker: this log's owner became primary of generation
+    /// `generation`. Written into the promotion checkpoint image so the
+    /// fencing counter survives restarts; replicated so followers (and,
+    /// through them, a fenced ex-primary) learn the new generation.
+    Epoch {
+        /// The monotonic promotion counter (1 for a never-failed-over
+        /// primary; each promotion takes the successor to
+        /// `old generation + 1`).
+        generation: u64,
+    },
 }
 
 /// What [`Wal::read_log`] found in a log file.
@@ -356,6 +366,13 @@ pub struct Wal {
     /// (primary restart) and re-bootstraps instead of trusting its
     /// watermark.
     epoch: u64,
+    /// The monotonic promotion counter ("primary generation"). Unlike
+    /// `epoch` — a random incarnation id that only supports an equality
+    /// check — generations are ordered: a node presenting a *higher*
+    /// generation is a legitimate successor and fences this one; a node
+    /// presenting a lower generation is a fenced predecessor whose batches
+    /// must be refused. Durable via [`LogRecord::Epoch`] records.
+    generation: AtomicU64,
     /// When set, appends are dropped entirely. A read replica's engine is
     /// fed by the *primary's* log; its own log is never read for recovery
     /// or replication, and without discarding, every replica-local read
@@ -399,6 +416,16 @@ impl Wal {
     ) -> Self {
         // Records loaded from an existing file are durable by definition.
         let durable = records.len() as u64;
+        // A log that has lived through promotions carries Epoch records;
+        // the last one names the generation this node last served as.
+        let generation = records
+            .iter()
+            .rev()
+            .find_map(|r| match r {
+                LogRecord::Epoch { generation } => Some(*generation),
+                _ => None,
+            })
+            .unwrap_or(1);
         Wal {
             mirror: Mutex::new(Mirror {
                 records,
@@ -420,6 +447,7 @@ impl Wal {
             fsyncs: AtomicU64::new(0),
             commits_batched: AtomicU64::new(0),
             epoch: new_epoch(),
+            generation: AtomicU64::new(generation),
             discard: AtomicBool::new(false),
         }
     }
@@ -745,6 +773,20 @@ impl Wal {
         self.epoch
     }
 
+    /// The monotonic promotion counter this log's owner serves under. A
+    /// never-failed-over primary reports 1; each promotion bumps the
+    /// successor past every generation it has seen.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+
+    /// Installs a new primary generation (promotion, or a replica learning
+    /// its primary's generation from the stream). Monotonic: a lower value
+    /// never overwrites a higher one.
+    pub fn set_generation(&self, generation: u64) {
+        self.generation.fetch_max(generation, Ordering::AcqRel);
+    }
+
     /// Sequence number of the last record appended in this incarnation
     /// (0 when nothing has been logged yet). Monotonic across checkpoint
     /// rewrites.
@@ -783,9 +825,12 @@ impl Wal {
             // The position was compacted away (or never existed here):
             // bootstrap from the image at the head of the log.
             (true, base)
-        } else if from == base && mirror.image_len > 0 {
+        } else if from == base && base > 1 && mirror.image_len > 0 {
             // Caught up through base-1: the image at [base, base+image_len)
-            // re-describes state the replica already has — skip it.
+            // re-describes state the replica already has — skip it. Only
+            // valid when there *was* something before the image: on a log
+            // re-anchored at seq 1 (promotion), "applied through 0" means
+            // the replica has nothing of this epoch and needs the image.
             (false, base + mirror.image_len as u64)
         } else {
             (false, from)
@@ -894,6 +939,10 @@ impl Wal {
                 out.extend_from_slice(&txn.0.to_le_bytes());
                 out.push(*commit as u8);
             }
+            LogRecord::Epoch { generation } => {
+                out.push(11);
+                out.extend_from_slice(&generation.to_le_bytes());
+            }
         }
         out
     }
@@ -995,6 +1044,9 @@ impl Wal {
             10 => Some(LogRecord::Decide {
                 txn: TxnId(u64_at(1)?),
                 commit: *buf.get(9)? != 0,
+            }),
+            11 => Some(LogRecord::Epoch {
+                generation: u64_at(1)?,
             }),
             _ => None,
         }

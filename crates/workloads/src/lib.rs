@@ -39,6 +39,6 @@ pub use sharded::{
     load_shard, run_sharded_tpcc, tpcc_shard_map, ShardedDriverOutcome, ShardedTpccConfig,
 };
 pub use tpcc::{
-    run_new_order_with_supply, run_transaction_at, run_transaction_on, TpccConfig, TpccDatabase,
-    TpccTransaction, WarehouseRange,
+    create_schema, run_new_order_with_supply, run_transaction_at, run_transaction_on, table_defs,
+    TpccConfig, TpccDatabase, TpccTransaction, WarehouseRange,
 };

@@ -779,17 +779,18 @@ fn commit_with_label<S: SessionApi>(s: &mut S) -> IfdbResult<()> {
     Ok(())
 }
 
-/// Creates the nine TPC-C tables.
-pub fn create_schema(db: &Database) -> IfdbResult<()> {
-    db.create_table(
+/// The nine TPC-C table definitions. Besides first-boot creation
+/// ([`create_schema`]), this is the DDL a recovered or promoted node
+/// re-runs to re-attach constraints — see `Database::open` and
+/// `ReplicaConfig::first_boot_tables` for that contract.
+pub fn table_defs() -> Vec<TableDef> {
+    vec![
         TableDef::new("warehouse")
             .column("w_id", DataType::Int)
             .column("w_name", DataType::Text)
             .column("w_tax", DataType::Float)
             .column("w_ytd", DataType::Float)
             .primary_key(&["w_id"]),
-    )?;
-    db.create_table(
         TableDef::new("district")
             .column("d_w_id", DataType::Int)
             .column("d_id", DataType::Int)
@@ -798,8 +799,6 @@ pub fn create_schema(db: &Database) -> IfdbResult<()> {
             .column("d_ytd", DataType::Float)
             .column("d_next_o_id", DataType::Int)
             .primary_key(&["d_w_id", "d_id"]),
-    )?;
-    db.create_table(
         TableDef::new("customer")
             .column("c_w_id", DataType::Int)
             .column("c_d_id", DataType::Int)
@@ -810,23 +809,17 @@ pub fn create_schema(db: &Database) -> IfdbResult<()> {
             .column("c_ytd_payment", DataType::Float)
             .column("c_payment_cnt", DataType::Int)
             .primary_key(&["c_w_id", "c_d_id", "c_id"]),
-    )?;
-    db.create_table(
         TableDef::new("history")
             .column("h_w_id", DataType::Int)
             .column("h_d_id", DataType::Int)
             .column("h_c_id", DataType::Int)
             .column("h_amount", DataType::Float)
             .column("h_date", DataType::Timestamp),
-    )?;
-    db.create_table(
         TableDef::new("item")
             .column("i_id", DataType::Int)
             .column("i_name", DataType::Text)
             .column("i_price", DataType::Float)
             .primary_key(&["i_id"]),
-    )?;
-    db.create_table(
         TableDef::new("stock")
             .column("s_w_id", DataType::Int)
             .column("s_i_id", DataType::Int)
@@ -834,8 +827,6 @@ pub fn create_schema(db: &Database) -> IfdbResult<()> {
             .column("s_ytd", DataType::Int)
             .column("s_order_cnt", DataType::Int)
             .primary_key(&["s_w_id", "s_i_id"]),
-    )?;
-    db.create_table(
         TableDef::new("orders")
             .column("o_w_id", DataType::Int)
             .column("o_d_id", DataType::Int)
@@ -845,15 +836,11 @@ pub fn create_schema(db: &Database) -> IfdbResult<()> {
             .column("o_ol_cnt", DataType::Int)
             .nullable_column("o_carrier_id", DataType::Int)
             .primary_key(&["o_w_id", "o_d_id", "o_id"]),
-    )?;
-    db.create_table(
         TableDef::new("new_order")
             .column("no_w_id", DataType::Int)
             .column("no_d_id", DataType::Int)
             .column("no_o_id", DataType::Int)
             .primary_key(&["no_w_id", "no_d_id", "no_o_id"]),
-    )?;
-    db.create_table(
         TableDef::new("order_line")
             .column("ol_w_id", DataType::Int)
             .column("ol_d_id", DataType::Int)
@@ -864,7 +851,14 @@ pub fn create_schema(db: &Database) -> IfdbResult<()> {
             .column("ol_amount", DataType::Float)
             .nullable_column("ol_delivery_d", DataType::Timestamp)
             .primary_key(&["ol_w_id", "ol_d_id", "ol_o_id", "ol_number"]),
-    )?;
+    ]
+}
+
+/// Creates the nine TPC-C tables.
+pub fn create_schema(db: &Database) -> IfdbResult<()> {
+    for def in table_defs() {
+        db.create_table(def)?;
+    }
     Ok(())
 }
 
