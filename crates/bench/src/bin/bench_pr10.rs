@@ -1,0 +1,45 @@
+//! Emits the PR 10 QoS-and-audit snapshot as `BENCH_pr10.json` in the
+//! current directory (plus the usual copy under `target/experiments/`):
+//! closed-loop network TPC-C NOTPM solo vs with a pathological full-scan
+//! neighbor (ungoverned, then governed by the QoS plane), and the audit
+//! chain's overhead on the same run plus its raw append rate. CI uploads
+//! the file next to the earlier `BENCH_*.json` snapshots and runs
+//! `bench_gate` against it.
+
+use ifdb_bench::ExperimentScale;
+
+fn main() {
+    let report = ifdb_bench::bench_pr10_report(ExperimentScale::from_env());
+    match serde_json::to_string_pretty(&report) {
+        Ok(json) => {
+            if std::fs::write("BENCH_pr10.json", &json).is_ok() {
+                println!("\n[BENCH_pr10.json written]");
+            } else {
+                eprintln!("could not write BENCH_pr10.json");
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("could not serialize report: {e}");
+            std::process::exit(1);
+        }
+    }
+    if report.isolation_ratio_protected < 0.9 {
+        eprintln!(
+            "WARNING: governed-neighbor NOTPM is {:.2}x solo, below the 0.9x floor",
+            report.isolation_ratio_protected
+        );
+    }
+    if report.audit_overhead_frac > 0.15 {
+        eprintln!(
+            "WARNING: audit-append overhead is {:.1}%, above the 15% ceiling",
+            report.audit_overhead_frac * 100.0
+        );
+    }
+    if report.terminal_errors > 0 {
+        eprintln!(
+            "WARNING: {} TPC-C terminals died during the runs",
+            report.terminal_errors
+        );
+    }
+}

@@ -104,13 +104,21 @@ const PR8_SUITE: Suite = Suite {
     bands: &[("notpm_pre_failover", "baseline_notpm_pre_failover")],
 };
 
+const PR10_SUITE: Suite = Suite {
+    floors: &[("isolation_ratio_protected", "min_isolation_ratio_protected")],
+    ceilings: &[("audit_overhead_frac", "max_audit_overhead_frac")],
+    bands: &[("notpm_solo", "baseline_notpm_qos_solo")],
+};
+
 /// Picks the check suite from the report's file name.
 fn suite_for(report_path: &Path) -> &'static Suite {
     let name = report_path
         .file_name()
         .map(|n| n.to_string_lossy().to_lowercase())
         .unwrap_or_default();
-    if name.contains("pr8") {
+    if name.contains("pr10") {
+        &PR10_SUITE
+    } else if name.contains("pr8") {
         &PR8_SUITE
     } else if name.contains("pr7") {
         &PR7_SUITE
@@ -223,7 +231,10 @@ mod tests {
         "baseline_notpm_one_shard": 4000.0,
         "min_notpm_post_over_pre": 0.5,
         "max_failover_unavailability_ms": 2500.0,
-        "baseline_notpm_pre_failover": 3000.0
+        "baseline_notpm_pre_failover": 3000.0,
+        "min_isolation_ratio_protected": 0.9,
+        "max_audit_overhead_frac": 0.15,
+        "baseline_notpm_qos_solo": 3000.0
     }"#;
 
     #[test]
@@ -399,6 +410,58 @@ mod tests {
         assert_eq!(
             failed,
             vec!["notpm_post_over_pre", "failover_unavailability_ms"]
+        );
+        std::fs::remove_file(report).ok();
+        std::fs::remove_file(baselines).ok();
+    }
+
+    #[test]
+    fn pr10_report_runs_the_qos_suite() {
+        let report = write_tmp(
+            "pr10-ok",
+            r#"{
+                "isolation_ratio_protected": 0.97,
+                "audit_overhead_frac": 0.02,
+                "notpm_solo": 2900.0
+            }"#,
+        );
+        let baselines = write_tmp("pr10-ok-base", BASELINES);
+        let outcome = run_gate(&report, &baselines).unwrap();
+        assert!(outcome.passed(), "{:?}", outcome.checks);
+        assert_eq!(outcome.checks.len(), 3);
+        let ceilings: Vec<&str> = outcome
+            .checks
+            .iter()
+            .filter(|c| c.ceiling)
+            .map(|c| c.metric.as_str())
+            .collect();
+        assert_eq!(ceilings, vec!["audit_overhead_frac"]);
+        std::fs::remove_file(report).ok();
+        std::fs::remove_file(baselines).ok();
+    }
+
+    #[test]
+    fn pr10_starved_neighbor_fails_the_floor() {
+        let report = write_tmp(
+            "pr10-bad",
+            r#"{
+                "isolation_ratio_protected": 0.4,
+                "audit_overhead_frac": 0.3,
+                "notpm_solo": 2900.0
+            }"#,
+        );
+        let baselines = write_tmp("pr10-bad-base", BASELINES);
+        let outcome = run_gate(&report, &baselines).unwrap();
+        assert!(!outcome.passed());
+        let failed: Vec<&str> = outcome
+            .checks
+            .iter()
+            .filter(|c| !c.pass)
+            .map(|c| c.metric.as_str())
+            .collect();
+        assert_eq!(
+            failed,
+            vec!["isolation_ratio_protected", "audit_overhead_frac"]
         );
         std::fs::remove_file(report).ok();
         std::fs::remove_file(baselines).ok();

@@ -12,6 +12,7 @@
 
 pub mod experiments;
 pub mod gate;
+pub mod pr10;
 pub mod pr2;
 pub mod pr3;
 pub mod pr4;
@@ -26,6 +27,7 @@ pub use experiments::{
     sensor_ingest_throughput, trusted_base_report, ExperimentScale,
 };
 pub use gate::{run_gate, GateOutcome};
+pub use pr10::{bench_pr10_report, measure_arm, measure_audit_append_rate, BenchPr10Report};
 pub use pr2::{bench_pr2_report, measure_indexed_range, measure_scan_hot, BenchPr2Report};
 pub use pr3::{
     bench_pr3_report, measure_checkpoint_effect, measure_commit_throughput, measure_recovery,

@@ -728,6 +728,30 @@ impl Connection {
             other => Err(unexpected(other)),
         }
     }
+
+    /// Hot-reloads the server's QoS policy (per-statement execution budgets,
+    /// per-principal admission quotas, scheduling weights), authenticated by
+    /// the platform secret. No restart, no dropped connections: statements
+    /// already executing finish under the limits they were admitted with,
+    /// every later statement on every connection runs under `config`.
+    pub fn reconfigure(&mut self, secret: &str, config: &ifdb::QosConfig) -> IfdbResult<()> {
+        match self.call(&Request::Reconfigure {
+            secret: secret.to_string(),
+            config: config.to_wire(),
+        })? {
+            Response::Ok { .. } => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Fetches the server's unified metrics tree: engine, server, QoS and
+    /// audit counters in one [`protocol::MetricsSnapshot`].
+    pub fn server_stats(&mut self) -> IfdbResult<protocol::MetricsSnapshot> {
+        match self.call(&Request::Stats)? {
+            Response::Stats { snapshot } => Ok(snapshot),
+            other => Err(unexpected(other)),
+        }
+    }
 }
 
 /// A node's high-availability status, as reported by

@@ -41,7 +41,13 @@ use ifdb_storage::{Datum, StorageError};
 /// `Promote`/`Fence`/`HaStatus` messages (with the `FENCED` and
 /// `REPLICATION_LAG` error codes) drive replica promotion, old-primary
 /// fencing, and client write failover.
-pub const PROTOCOL_VERSION: u32 = 3;
+///
+/// Version 4 (the QoS protocol): statements can be refused with
+/// `BUDGET_EXCEEDED` (per-statement execution budget) or `QUOTA_EXCEEDED`
+/// (per-principal admission quota); `Reconfigure` hot-swaps the server's
+/// QoS limits without a restart, and `Stats` returns the unified
+/// [`MetricsSnapshot`] tree.
+pub const PROTOCOL_VERSION: u32 = 4;
 
 /// Upper bound on a frame payload. Frames beyond this are a protocol error,
 /// not an allocation request.
@@ -961,6 +967,75 @@ pub enum Request {
     /// [`Response::HaStatus`]. Requires no session, so a failover router
     /// can probe nodes it has no credentials on yet.
     HaStatus,
+    /// Hot-swaps the server's QoS configuration — per-statement execution
+    /// budgets and per-principal admission quotas — without a restart and
+    /// without dropping connections. Requires the platform secret (the same
+    /// trust anchor as acting-for logins); answered with [`Response::Ok`].
+    /// Statements already executing finish under the budget they were armed
+    /// with; the next statement on every connection sees the new limits.
+    Reconfigure {
+        /// The platform secret configured on the server.
+        secret: String,
+        /// The new QoS configuration, encoded with `QosConfig::to_wire`.
+        config: Vec<u64>,
+    },
+    /// Asks for the unified metrics tree — answered with
+    /// [`Response::Stats`]. Requires no session, so monitoring can scrape a
+    /// node it has no credentials on.
+    Stats,
+}
+
+/// The unified observability tree ([`Request::Stats`]): named counter
+/// groups — `engine`, `server`, `qos`, `audit` — replacing the three
+/// disjoint per-crate stats surfaces. The schema is open: groups and
+/// counters are carried by name so a newer server can add counters without
+/// a protocol bump.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// The counter groups.
+    pub groups: Vec<MetricsGroup>,
+}
+
+/// One named group of counters in a [`MetricsSnapshot`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsGroup {
+    /// Group name (e.g. `"engine"`, `"qos"`).
+    pub name: String,
+    /// `(counter name, value)` pairs.
+    pub counters: Vec<(String, u64)>,
+}
+
+impl MetricsSnapshot {
+    /// Starts (or extends) a named group; returns its index.
+    pub fn group_mut(&mut self, name: &str) -> &mut MetricsGroup {
+        if let Some(i) = self.groups.iter().position(|g| g.name == name) {
+            return &mut self.groups[i];
+        }
+        self.groups.push(MetricsGroup {
+            name: name.to_string(),
+            counters: Vec::new(),
+        });
+        self.groups.last_mut().expect("just pushed")
+    }
+
+    /// Looks up `group.counter`, e.g. `get("engine", "commits")`.
+    pub fn get(&self, group: &str, counter: &str) -> Option<u64> {
+        self.groups
+            .iter()
+            .find(|g| g.name == group)?
+            .counters
+            .iter()
+            .find(|(n, _)| n == counter)
+            .map(|(_, v)| *v)
+    }
+}
+
+impl MetricsGroup {
+    /// Appends a counter.
+    pub fn push(&mut self, name: &str, value: u64) -> &mut Self {
+        self.counters.push((name.to_string(), value));
+        self
+    }
 }
 
 /// One result row on the wire: the tuple's label and its values.
@@ -1123,6 +1198,11 @@ pub enum Response {
         /// The node's watermark (primary: last WAL seq; replica: applied
         /// seq).
         seq: u64,
+    },
+    /// The unified metrics tree ([`Request::Stats`]).
+    Stats {
+        /// The counter groups.
+        snapshot: MetricsSnapshot,
     },
 }
 
@@ -1287,6 +1367,12 @@ impl Request {
                 w.u64(*generation);
             }
             Request::HaStatus => w.u8(25),
+            Request::Reconfigure { secret, config } => {
+                w.u8(26);
+                w.str(secret);
+                w.tags(config);
+            }
+            Request::Stats => w.u8(27),
         }
         w.finish()
     }
@@ -1373,6 +1459,11 @@ impl Request {
                 generation: r.u64()?,
             },
             25 => Request::HaStatus,
+            26 => Request::Reconfigure {
+                secret: r.str()?,
+                config: r.tags()?,
+            },
+            27 => Request::Stats,
             t => return Err(protocol_error(format!("unknown request tag {t}"))),
         };
         if !r.at_end() {
@@ -1554,6 +1645,18 @@ impl Response {
                 w.u64(*epoch);
                 w.u64(*seq);
             }
+            Response::Stats { snapshot } => {
+                w.u8(143);
+                w.u32(snapshot.groups.len() as u32);
+                for g in &snapshot.groups {
+                    w.str(&g.name);
+                    w.u32(g.counters.len() as u32);
+                    for (name, value) in &g.counters {
+                        w.str(name);
+                        w.u64(*value);
+                    }
+                }
+            }
         }
     }
 
@@ -1663,6 +1766,22 @@ impl Response {
                 epoch: r.u64()?,
                 seq: r.u64()?,
             },
+            143 => {
+                let ngroups = r.u32()? as usize;
+                let mut groups = Vec::with_capacity(ngroups.min(256));
+                for _ in 0..ngroups {
+                    let name = r.str()?;
+                    let ncounters = r.u32()? as usize;
+                    let mut counters = Vec::with_capacity(ncounters.min(1024));
+                    for _ in 0..ncounters {
+                        counters.push((r.str()?, r.u64()?));
+                    }
+                    groups.push(MetricsGroup { name, counters });
+                }
+                Response::Stats {
+                    snapshot: MetricsSnapshot { groups },
+                }
+            }
             t => return Err(protocol_error(format!("unknown response tag {t}"))),
         };
         if !r.at_end() {
@@ -1736,6 +1855,15 @@ pub mod code {
     /// primary but **indeterminate** under failover: a successor may or may
     /// not carry it.
     pub const REPLICATION_LAG: u8 = 23;
+    /// A statement exhausted its execution budget and was killed; the
+    /// enclosing implicit transaction was aborted (detail = resource,
+    /// aux = limit, label0 = \[used\]). Fail-closed: nothing of the
+    /// statement's effect survives.
+    pub const BUDGET_EXCEEDED: u8 = 24;
+    /// The principal is over its admission quota (in-flight statements or
+    /// requests per second); the request was refused, not executed. Safe to
+    /// retry after a backoff.
+    pub const QUOTA_EXCEEDED: u8 = 25;
 }
 
 /// Encodes an [`IfdbError`] as a wire error response.
@@ -1825,6 +1953,20 @@ pub fn encode_error(e: &IfdbError) -> Response {
             code_ = code::READ_ONLY;
             detail = String::new();
         }
+        IfdbError::BudgetExceeded {
+            resource,
+            limit,
+            used,
+        } => {
+            code_ = code::BUDGET_EXCEEDED;
+            detail = resource.clone();
+            aux = *limit;
+            label0 = vec![*used];
+        }
+        IfdbError::QuotaExceeded { detail: d } => {
+            code_ = code::QUOTA_EXCEEDED;
+            detail = d.clone();
+        }
         IfdbError::Remote { code: c, detail: d } => {
             code_ = u8::try_from(*c).unwrap_or(code::REMOTE);
             detail = d.clone();
@@ -1876,6 +2018,12 @@ pub fn decode_error(
         code::CONSTRAINTS_PENDING => IfdbError::ConstraintsPending { table: detail },
         code::INVALID_STATEMENT => IfdbError::InvalidStatement(detail),
         code::READ_ONLY => IfdbError::ReadOnlyReplica,
+        code::BUDGET_EXCEEDED => IfdbError::BudgetExceeded {
+            resource: detail,
+            limit: aux,
+            used: label0.first().copied().unwrap_or(0),
+        },
+        code::QUOTA_EXCEEDED => IfdbError::QuotaExceeded { detail },
         code::DIFC if aux != 0 && label0.len() == 1 => IfdbError::Difc(DifcError::NoAuthority {
             principal: ifdb_difc::PrincipalId(label0[0]),
             tag: TagId(aux),
@@ -1944,6 +2092,33 @@ mod tests {
     }
 
     #[test]
+    fn qos_messages_round_trip() {
+        let reqs = vec![
+            Request::Reconfigure {
+                secret: "s3cret".into(),
+                config: vec![9, 1, 0, 1, 500, 0, 0, 0, 0],
+            },
+            Request::Stats,
+        ];
+        for req in reqs {
+            assert_eq!(Request::decode(&req.encode()).unwrap(), req);
+        }
+        let mut snapshot = MetricsSnapshot::default();
+        snapshot
+            .group_mut("engine")
+            .push("commits", 42)
+            .push("aborts", 1);
+        snapshot.group_mut("qos").push("quota_refusals", 7);
+        let resp = Response::Stats {
+            snapshot: snapshot.clone(),
+        };
+        assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
+        assert_eq!(snapshot.get("engine", "commits"), Some(42));
+        assert_eq!(snapshot.get("qos", "quota_refusals"), Some(7));
+        assert_eq!(snapshot.get("qos", "missing"), None);
+    }
+
+    #[test]
     fn error_codes_round_trip_structurally() {
         let cases = vec![
             IfdbError::Storage(StorageError::WriteConflict { txn: 7, holder: 0 }),
@@ -1957,6 +2132,14 @@ mod tests {
             },
             IfdbError::ConstraintsPending { table: "t".into() },
             IfdbError::InvalidStatement("nope".into()),
+            IfdbError::BudgetExceeded {
+                resource: "rows".into(),
+                limit: 1000,
+                used: 1024,
+            },
+            IfdbError::QuotaExceeded {
+                detail: "in-flight quota (2) exhausted".into(),
+            },
         ];
         for e in cases {
             let Response::Error {

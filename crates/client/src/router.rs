@@ -151,6 +151,105 @@ impl RouterConfig {
         self.read_your_writes = on;
         self
     }
+
+    /// Starts a [`RouterConfigBuilder`] over `primary`. Unlike the direct
+    /// constructors, the builder's [`RouterConfigBuilder::build`] validates
+    /// cross-field consistency (shard node counts, read-your-writes without
+    /// replicas, zero timeouts) instead of panicking or silently
+    /// misrouting.
+    pub fn builder(primary: ClientConfig) -> RouterConfigBuilder {
+        RouterConfigBuilder {
+            config: RouterConfig::new(primary, Vec::new()),
+        }
+    }
+}
+
+/// Builder for [`RouterConfig`] that validates the topology at
+/// [`RouterConfigBuilder::build`] time.
+#[derive(Debug, Clone)]
+pub struct RouterConfigBuilder {
+    config: RouterConfig,
+}
+
+impl RouterConfigBuilder {
+    /// Adds a read replica.
+    pub fn replica(mut self, replica: ClientConfig) -> Self {
+        self.config.replicas.push(replica);
+        self
+    }
+
+    /// Enables or disables read-your-writes waiting.
+    pub fn read_your_writes(mut self, on: bool) -> Self {
+        self.config.read_your_writes = on;
+        self
+    }
+
+    /// Bounds the read-your-writes wait.
+    pub fn staleness_timeout(mut self, timeout: Duration) -> Self {
+        self.config.staleness_timeout = timeout;
+        self
+    }
+
+    /// Declares the shard topology: `map` plus one [`ClientConfig`] per
+    /// shard `1..` (the builder's primary is shard 0, the home shard).
+    pub fn shards(mut self, map: Arc<ShardMap>, nodes: Vec<ClientConfig>) -> Self {
+        self.config.shard_map = Some(map);
+        self.config.shard_nodes = nodes;
+        self
+    }
+
+    /// Enables or disables write failover to a promoted successor.
+    pub fn write_failover(mut self, on: bool) -> Self {
+        self.config.write_failover = on;
+        self
+    }
+
+    /// Applies `f` to the partially built config for fields without a
+    /// dedicated setter.
+    pub fn tune(mut self, f: impl FnOnce(&mut RouterConfig)) -> Self {
+        f(&mut self.config);
+        self
+    }
+
+    /// Validates and returns the configuration.
+    pub fn build(self) -> IfdbResult<RouterConfig> {
+        let c = &self.config;
+        let invalid = |detail: String| IfdbError::Remote {
+            code: crate::protocol::code::PROTOCOL as u16,
+            detail,
+        };
+        if let Some(map) = &c.shard_map {
+            let want = map.shards().saturating_sub(1);
+            if c.shard_nodes.len() != want {
+                return Err(invalid(format!(
+                    "shard map declares {} shards but {} non-home shard nodes were configured \
+                     (want {want}: the primary is shard 0)",
+                    map.shards(),
+                    c.shard_nodes.len()
+                )));
+            }
+            if !c.replicas.is_empty() && map.shards() > 1 {
+                return Err(invalid(
+                    "replica read routing and multi-shard routing cannot be combined: replicas \
+                     mirror a single primary's log"
+                        .into(),
+                ));
+            }
+        }
+        if c.read_your_writes && c.poll_interval.is_zero() {
+            return Err(invalid(
+                "read_your_writes requires a non-zero poll_interval".into(),
+            ));
+        }
+        if c.staleness_timeout.is_zero() && c.read_your_writes && !c.replicas.is_empty() {
+            return Err(invalid(
+                "a zero staleness_timeout with read_your_writes sends every replica read \
+                 straight back to the primary; disable read_your_writes instead"
+                    .into(),
+            ));
+        }
+        Ok(self.config)
+    }
 }
 
 /// Counters exposed by a [`RoutedConnection`].

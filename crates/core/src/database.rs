@@ -3,7 +3,7 @@
 use std::path::PathBuf;
 use std::sync::Arc;
 
-use ifdb_difc::audit::AuditLog;
+use ifdb_difc::audit::{AuditEvent, AuditLog};
 use ifdb_difc::authority::AuthorityState;
 use ifdb_difc::principal::PrincipalKind;
 use ifdb_difc::{Label, PrincipalId, TagId};
@@ -14,6 +14,7 @@ use crate::catalog::{
     Catalog, IndexSpec, StoredProcedure, TableDef, TableInfo, TriggerDef, ViewDef, ViewSource,
 };
 use crate::error::{IfdbError, IfdbResult};
+use crate::qos::ExecutionConstraints;
 use crate::session::Session;
 
 /// Configuration for creating a [`Database`].
@@ -35,6 +36,18 @@ pub struct DatabaseConfig {
     /// commit, plus the optional periodic-checkpoint policy. Only meaningful
     /// for on-disk storage.
     pub durability: DurabilityConfig,
+    /// Default per-statement execution budgets applied to every new session
+    /// (sessions may be tightened further via
+    /// [`Session::set_execution_constraints`]). Unlimited by default.
+    ///
+    /// [`Session::set_execution_constraints`]: crate::session::Session::set_execution_constraints
+    pub constraints: ExecutionConstraints,
+    /// Whether security-relevant audit events (declassify, delegate/revoke,
+    /// label raises, commit-label refusals, budget kills) are additionally
+    /// appended to the storage engine's tamper-evident, WAL-carried audit
+    /// chain. The in-memory [`AuditLog`] records regardless. On by default;
+    /// turned off only to measure the append overhead.
+    pub audit_chain: bool,
 }
 
 impl Default for DatabaseConfig {
@@ -45,6 +58,8 @@ impl Default for DatabaseConfig {
             serializable: false,
             authority_seed: None,
             durability: DurabilityConfig::default(),
+            constraints: ExecutionConstraints::default(),
+            audit_chain: true,
         }
     }
 }
@@ -89,6 +104,18 @@ impl DatabaseConfig {
         self.durability = durability;
         self
     }
+
+    /// Sets the default per-statement execution budgets.
+    pub fn with_constraints(mut self, constraints: ExecutionConstraints) -> Self {
+        self.constraints = constraints;
+        self
+    }
+
+    /// Enables or disables the durable (WAL-carried) audit chain.
+    pub fn with_audit_chain(mut self, enabled: bool) -> Self {
+        self.audit_chain = enabled;
+        self
+    }
 }
 
 pub(crate) struct DbInner {
@@ -98,6 +125,11 @@ pub(crate) struct DbInner {
     pub(crate) audit: AuditLog,
     pub(crate) difc_enabled: bool,
     pub(crate) serializable: bool,
+    /// Default execution budgets copied into every new session.
+    pub(crate) constraints: ExecutionConstraints,
+    /// Whether chain-worthy audit events are appended to the WAL-carried
+    /// audit chain (the in-memory log always records).
+    pub(crate) audit_chain: bool,
     /// `true` when this handle serves a log-shipping replica: sessions are
     /// read-only (writes fail with [`IfdbError::ReadOnlyReplica`]) and data
     /// arrives exclusively through the replication apply loop.
@@ -120,10 +152,181 @@ impl std::fmt::Debug for Database {
     }
 }
 
+/// Builder for [`Database`] handles: the single construction path behind
+/// which the historical constructors ([`Database::new`], [`Database::open`],
+/// [`Database::open_with_tables`], [`Database::replica_over`]) are thin
+/// wrappers. One fluent chain covers storage kind, durability, DIFC and
+/// serializable modes, the authority seed, QoS budgets, the audit chain,
+/// recovery (`recover`), first-boot DDL, and replica mode:
+///
+/// ```
+/// use ifdb::prelude::*;
+/// use ifdb_storage::DataType;
+///
+/// let db = Database::builder()
+///     .seed(0x1FDB)
+///     .first_boot_ddl([TableDef::new("t")
+///         .column("id", DataType::Int)
+///         .primary_key(&["id"])])
+///     .build()
+///     .unwrap();
+/// assert!(db.difc_enabled());
+/// ```
+#[derive(Debug, Default)]
+pub struct DatabaseBuilder {
+    config: DatabaseConfig,
+    recover: bool,
+    tables: Vec<TableDef>,
+    replica_engine: Option<StorageEngine>,
+}
+
+impl DatabaseBuilder {
+    /// Replaces the whole configuration at once (the historical
+    /// [`DatabaseConfig`]-taking constructors funnel through this).
+    pub fn config(mut self, config: DatabaseConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// In-memory storage (the default).
+    pub fn in_memory(mut self) -> Self {
+        self.config.storage = StorageKind::InMemory;
+        self
+    }
+
+    /// On-disk storage with the given heap directory and buffer pool size
+    /// (in pages).
+    pub fn on_disk(mut self, dir: PathBuf, buffer_pages: usize) -> Self {
+        self.config.storage = StorageKind::OnDisk { dir, buffer_pages };
+        self
+    }
+
+    /// Fixes the authority-state PRNG seed (deterministic principal and tag
+    /// ids — required for recovery and replication to line labels up).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.authority_seed = Some(seed);
+        self
+    }
+
+    /// Enables or disables DIFC enforcement (`false` is the paper's
+    /// "unmodified PostgreSQL" baseline).
+    pub fn difc(mut self, enabled: bool) -> Self {
+        self.config.difc_enabled = enabled;
+        self
+    }
+
+    /// Enables the serializable-mode transaction clearance rule.
+    pub fn serializable(mut self, on: bool) -> Self {
+        self.config.serializable = on;
+        self
+    }
+
+    /// Sets the commit-durability configuration.
+    pub fn durability(mut self, durability: DurabilityConfig) -> Self {
+        self.config.durability = durability;
+        self
+    }
+
+    /// Sets the default per-statement execution budgets for sessions.
+    pub fn constraints(mut self, constraints: ExecutionConstraints) -> Self {
+        self.config.constraints = constraints;
+        self
+    }
+
+    /// Enables or disables the durable (WAL-carried) audit chain.
+    pub fn audit_chain(mut self, enabled: bool) -> Self {
+        self.config.audit_chain = enabled;
+        self
+    }
+
+    /// Recovers an existing on-disk database (replays the write-ahead log)
+    /// instead of starting from a fresh log. Requires on-disk storage.
+    pub fn recover(mut self) -> Self {
+        self.recover = true;
+        self
+    }
+
+    /// Runs the given table definitions through [`Database::create_table`]
+    /// immediately after construction — on a fresh database this is the
+    /// first-boot DDL; combined with [`recover`](Self::recover) it re-attaches
+    /// constraint metadata so recovered tables come back writable.
+    pub fn first_boot_ddl(mut self, tables: impl IntoIterator<Item = TableDef>) -> Self {
+        self.tables.extend(tables);
+        self
+    }
+
+    /// Wraps `engine` as a **read-only replica** database instead of
+    /// creating storage from the configuration (see
+    /// [`Database::replica_over`] for the replication contract).
+    pub fn replica_over(mut self, engine: StorageEngine) -> Self {
+        self.replica_engine = Some(engine);
+        self
+    }
+
+    /// Builds the database, validating the combination first: `recover`
+    /// requires on-disk storage, and replica mode excludes both `recover`
+    /// (a replica's state arrives on the stream, not from its own log) and
+    /// first-boot DDL (a replica cannot create tables; re-run DDL after the
+    /// stream has delivered them).
+    pub fn build(self) -> IfdbResult<Database> {
+        if let Some(engine) = self.replica_engine {
+            if self.recover {
+                return Err(IfdbError::InvalidStatement(
+                    "a replica cannot recover from its own log; its state arrives on the replication stream".into(),
+                ));
+            }
+            if !self.tables.is_empty() {
+                return Err(IfdbError::InvalidStatement(
+                    "a replica cannot run first-boot DDL; re-run table definitions after the stream delivers the tables".into(),
+                ));
+            }
+            engine
+                .txns()
+                .reserve_local_ids(ifdb_storage::REPLICA_LOCAL_TXN_BASE);
+            // The replica's own log is never read (its state is a cache of
+            // the primary's log), so local read transactions must not
+            // accumulate Begin/Commit records in it forever.
+            engine.wal().set_discard(true);
+            let db = Database::from_engine(engine, self.config);
+            db.inner
+                .read_only
+                .store(true, std::sync::atomic::Ordering::SeqCst);
+            return Ok(db);
+        }
+        let db = if self.recover {
+            let StorageKind::OnDisk { dir, buffer_pages } = &self.config.storage else {
+                return Err(IfdbError::InvalidStatement(
+                    "recovery requires on-disk storage".into(),
+                ));
+            };
+            let engine = StorageEngine::open(dir, *buffer_pages, self.config.durability)?;
+            let db = Database::from_engine(engine, self.config.clone());
+            db.resync_catalog()?;
+            db
+        } else {
+            let engine =
+                StorageEngine::with_config(self.config.storage.clone(), self.config.durability)?;
+            Database::from_engine(engine, self.config)
+        };
+        for def in self.tables {
+            db.create_table(def)?;
+        }
+        Ok(db)
+    }
+}
+
 impl Database {
+    /// Starts a [`DatabaseBuilder`] — the preferred construction path; the
+    /// historical constructors are thin wrappers over it.
+    pub fn builder() -> DatabaseBuilder {
+        DatabaseBuilder::default()
+    }
+
     /// Creates a database with the given configuration. An on-disk database
     /// created this way starts from a fresh log; use [`Database::open`] to
     /// recover one from a previous run.
+    ///
+    /// Prefer [`Database::builder`] in new code.
     ///
     /// Panics if the write-ahead log cannot be created (on-disk storage
     /// only) — a database configured for durability must never silently run
@@ -134,9 +337,10 @@ impl Database {
 
     /// Fallible form of [`Database::new`]: surfaces write-ahead-log creation
     /// errors (permissions, disk) instead of panicking.
+    ///
+    /// Prefer [`Database::builder`] in new code.
     pub fn try_new(config: DatabaseConfig) -> IfdbResult<Self> {
-        let engine = StorageEngine::with_config(config.storage.clone(), config.durability)?;
-        Ok(Self::from_engine(engine, config))
+        Self::builder().config(config).build()
     }
 
     /// Opens (recovers) an on-disk database: the storage engine replays its
@@ -285,6 +489,8 @@ impl Database {
                 audit: AuditLog::new(),
                 difc_enabled: config.difc_enabled,
                 serializable: config.serializable,
+                constraints: config.constraints,
+                audit_chain: config.audit_chain,
                 read_only: std::sync::atomic::AtomicBool::new(false),
             }),
         }
@@ -411,6 +617,59 @@ impl Database {
     /// The audit log.
     pub fn audit(&self) -> &AuditLog {
         &self.inner.audit
+    }
+
+    /// Records a security-relevant event: always in the in-memory
+    /// [`AuditLog`], and — for the chain-worthy kinds the issue of
+    /// multi-tenant accountability cares about (declassify, delegate/revoke,
+    /// label raises, commit-label refusals, budget kills) — also as a link
+    /// of the storage engine's tamper-evident audit chain, carried in the
+    /// WAL so it is ordered with the transactions around it, durable,
+    /// replicated to standbys and replayable against committed history.
+    ///
+    /// High-frequency per-scan events (declassifying-view applications) and
+    /// blocked releases stay in-memory only. On a read-only replica nothing
+    /// is chained locally: the authoritative chain arrives on the
+    /// replication stream.
+    pub fn record_audit(&self, event: AuditEvent) {
+        let chain_worthy = matches!(
+            event,
+            AuditEvent::Declassify { .. }
+                | AuditEvent::Delegate { .. }
+                | AuditEvent::Revoke { .. }
+                | AuditEvent::LabelRaise { .. }
+                | AuditEvent::CommitRefused { .. }
+                | AuditEvent::BudgetKill { .. }
+        );
+        if chain_worthy && self.inner.audit_chain && !self.is_read_only() {
+            // The append is ordered in the log before we acknowledge the
+            // event; a failure (disk) is surfaced to the in-memory log via
+            // the event still being recorded below, but cannot be returned
+            // to the (infallible) audit callers — the storage engine's next
+            // commit will surface the same I/O failure loudly.
+            let _ = self.inner.engine.append_audit(event.encode());
+        }
+        self.inner.audit.record(event);
+    }
+
+    /// Decodes the engine's audit chain back into events — the replayable
+    /// view of every chained event this database (or the primary it
+    /// replicates) ever recorded. Links whose payload fails to decode are
+    /// skipped; [`verify_audit_chain`](Self::verify_audit_chain) is the
+    /// integrity check.
+    pub fn replay_audit(&self) -> Vec<AuditEvent> {
+        self.inner
+            .engine
+            .audit_records()
+            .iter()
+            .filter_map(|r| AuditEvent::decode(&r.bytes))
+            .collect()
+    }
+
+    /// Verifies the engine's audit chain link by link (sequence continuity,
+    /// predecessor-hash commitment, hash recomputation).
+    pub fn verify_audit_chain(&self) -> Result<(), ifdb_storage::AuditChainBreak> {
+        self.inner.engine.verify_audit_chain()
     }
 
     // ------------------------------------------------------------------

@@ -110,6 +110,26 @@ pub enum IfdbError {
         /// The trigger's reason.
         reason: String,
     },
+    /// A statement exhausted one of its [`ExecutionConstraints`] budgets
+    /// (rows scanned or execution time) and was killed fail-closed: no
+    /// partial result is returned. Maps to `BUDGET_EXCEEDED` on the wire.
+    ///
+    /// [`ExecutionConstraints`]: crate::qos::ExecutionConstraints
+    BudgetExceeded {
+        /// The exhausted resource (`"rows"` or `"time_ms"`).
+        resource: String,
+        /// The configured limit.
+        limit: u64,
+        /// Consumption at the moment of the kill.
+        used: u64,
+    },
+    /// The server refused admission because the principal is over its
+    /// per-principal quota (in-flight statements or requests per second).
+    /// Maps to `QUOTA_EXCEEDED` on the wire; the client may retry later.
+    QuotaExceeded {
+        /// What was exceeded.
+        detail: String,
+    },
     /// Only the administrator may perform schema changes.
     NotAdministrator,
     /// The session (or the whole database handle) is serving reads for a
@@ -174,6 +194,17 @@ impl fmt::Display for IfdbError {
             }
             IfdbError::TriggerRejected { trigger, reason } => {
                 write!(f, "trigger {trigger} rejected the operation: {reason}")
+            }
+            IfdbError::BudgetExceeded {
+                resource,
+                limit,
+                used,
+            } => write!(
+                f,
+                "execution budget exceeded: {resource} used {used} of {limit}"
+            ),
+            IfdbError::QuotaExceeded { detail } => {
+                write!(f, "admission quota exceeded: {detail}")
             }
             IfdbError::NotAdministrator => write!(f, "operation requires the administrator"),
             IfdbError::ReadOnlyReplica => write!(

@@ -332,8 +332,16 @@ impl Session {
         let engine = &db.inner.engine;
         let table_id = info.id;
 
+        // The per-scan budget probe: every tuple the scan touches — admitted
+        // or not — is charged against the statement's execution budget, so a
+        // full scan over invisible high-labeled data is throttled exactly
+        // like one over visible data (no timing channel through the budget).
+        let budget = self.budget.clone();
         let mut memo = LabelDecisionMemo::new();
         let mut visit = |rid: RowId, version: TupleVersion| -> IfdbResult<bool> {
+            if let Some(b) = &budget {
+                b.charge_row()?;
+            }
             let (_, decision) = memo.decide_raw(&version.header.label, |stored| {
                 let effective = if expanded.is_empty() {
                     stored.clone()
@@ -510,7 +518,9 @@ impl Session {
     /// Executes a single-source SELECT.
     pub fn select(&mut self, q: &Select) -> IfdbResult<ResultSet> {
         let implicit = self.ensure_txn()?;
+        let armed = self.arm_budget();
         let r = self.select_inner(q);
+        let r = self.disarm_budget(armed, r);
         self.finish_statement(implicit, r)
     }
 
@@ -590,6 +600,7 @@ impl Session {
     /// Executes a two-way join query.
     pub fn select_join(&mut self, join: &Join) -> IfdbResult<ResultSet> {
         let implicit = self.ensure_txn()?;
+        let armed = self.arm_budget();
         let r = (|| {
             let layout = self.join_layout(join)?;
             let columns = Arc::new(layout.out);
@@ -604,13 +615,16 @@ impl Session {
             })?;
             Ok(ResultSet::new(rows))
         })();
+        let r = self.disarm_budget(armed, r);
         self.finish_statement(implicit, r)
     }
 
     /// Executes an aggregate query.
     pub fn select_aggregate(&mut self, agg: &Aggregate) -> IfdbResult<ResultSet> {
         let implicit = self.ensure_txn()?;
+        let armed = self.arm_budget();
         let r = self.aggregate_inner(agg);
+        let r = self.disarm_budget(armed, r);
         self.finish_statement(implicit, r)
     }
 
@@ -733,7 +747,9 @@ impl Session {
     pub fn insert(&mut self, ins: &Insert) -> IfdbResult<()> {
         self.check_writable()?;
         let implicit = self.ensure_txn()?;
+        let armed = self.arm_budget();
         let r = self.insert_inner(ins);
+        let r = self.disarm_budget(armed, r);
         self.finish_statement(implicit, r)
     }
 
@@ -975,7 +991,9 @@ impl Session {
     pub fn update(&mut self, upd: &Update) -> IfdbResult<usize> {
         self.check_writable()?;
         let implicit = self.ensure_txn()?;
+        let armed = self.arm_budget();
         let r = self.update_inner(upd);
+        let r = self.disarm_budget(armed, r);
         self.finish_statement(implicit, r)
     }
 
@@ -1051,7 +1069,9 @@ impl Session {
     pub fn delete(&mut self, del: &Delete) -> IfdbResult<usize> {
         self.check_writable()?;
         let implicit = self.ensure_txn()?;
+        let armed = self.arm_budget();
         let r = self.delete_inner(del);
+        let r = self.disarm_budget(armed, r);
         self.finish_statement(implicit, r)
     }
 
@@ -1170,7 +1190,9 @@ impl Session {
     #[doc(hidden)]
     pub fn select_reference(&mut self, q: &Select) -> IfdbResult<ResultSet> {
         let implicit = self.ensure_txn()?;
+        let armed = self.arm_budget();
         let r = self.select_reference_inner(q);
+        let r = self.disarm_budget(armed, r);
         self.finish_statement(implicit, r)
     }
 
@@ -1360,6 +1382,7 @@ impl Session {
         let process_label = self.process.label().clone();
         let difc = self.db.difc_enabled();
         let columns = info.column_names();
+        let budget = self.budget.clone();
 
         // Per-tuple declassify-cover resolution under the authority read
         // lock, held across the entire scan — exactly the seed behavior the
@@ -1408,6 +1431,9 @@ impl Session {
                 .engine
                 .index_lookup(info.id, &index_name, &key)?;
             for rid in row_ids {
+                if let Some(b) = &budget {
+                    b.charge_row()?;
+                }
                 if let Some(version) = self
                     .db
                     .inner
@@ -1422,10 +1448,17 @@ impl Session {
                 }
             }
         } else {
+            let mut scan_err: IfdbResult<()> = Ok(());
             self.db
                 .inner
                 .engine
                 .scan_visible(&snapshot, info.id, |rid, version| {
+                    if let Some(b) = &budget {
+                        if let Err(e) = b.charge_row() {
+                            scan_err = Err(e);
+                            return false;
+                        }
+                    }
                     consider(
                         Label::from_array(&version.header.label),
                         version.data,
@@ -1433,6 +1466,7 @@ impl Session {
                     );
                     true
                 })?;
+            scan_err?;
         }
         Ok(SourceRows { columns, rows })
     }

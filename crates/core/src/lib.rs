@@ -56,6 +56,7 @@ pub mod database;
 pub mod error;
 pub mod exec;
 pub(crate) mod plan;
+pub mod qos;
 pub mod query;
 pub mod row;
 pub mod session;
@@ -65,9 +66,10 @@ pub use catalog::{
     ForeignKey, IndexSpec, LabelConstraint, StoredProcedure, TableDef, TriggerDef, TriggerEvent,
     TriggerInvocation, TriggerTiming, UniqueConstraint, ViewDef, ViewSource,
 };
-pub use database::{Database, DatabaseConfig};
+pub use database::{Database, DatabaseBuilder, DatabaseConfig};
 pub use error::{IfdbError, IfdbResult};
 pub use ifdb_storage::{DataType, Datum, DurabilityConfig, StorageError, StorageKind};
+pub use qos::{ExecutionConstraints, PrincipalQuota, QosConfig, StatementBudget};
 pub use query::{
     AggFunc, Aggregate, Delete, Insert, Join, JoinKind, Order, Predicate, Select, Update,
 };
@@ -78,8 +80,9 @@ pub use session::{Session, SessionStats, WriteRecord};
 pub mod prelude {
     pub use crate::api::{SessionApi, Statement, StatementResult};
     pub use crate::catalog::{TableDef, TriggerEvent, TriggerTiming, ViewSource};
-    pub use crate::database::{Database, DatabaseConfig};
+    pub use crate::database::{Database, DatabaseBuilder, DatabaseConfig};
     pub use crate::error::{IfdbError, IfdbResult};
+    pub use crate::qos::{ExecutionConstraints, PrincipalQuota, QosConfig};
     pub use crate::query::{
         AggFunc, Aggregate, Delete, Insert, Join, JoinKind, Order, Predicate, Select, Update,
     };

@@ -23,6 +23,7 @@ use std::sync::Arc;
 use crate::catalog::{TriggerDef, TriggerInvocation};
 use crate::database::Database;
 use crate::error::{IfdbError, IfdbResult};
+use crate::qos::{ExecutionConstraints, StatementBudget};
 
 /// A record of one tuple written during a transaction, kept for the commit
 /// label rule (Section 5.1).
@@ -55,6 +56,8 @@ pub struct SessionStats {
     pub commits: u64,
     /// Transactions aborted.
     pub aborts: u64,
+    /// Statements killed because they exhausted an execution budget.
+    pub budget_kills: u64,
 }
 
 /// A database session acting on behalf of one principal.
@@ -65,6 +68,14 @@ pub struct Session {
     pub(crate) txn: Option<TxnState>,
     pub(crate) serializable: bool,
     pub(crate) stats: SessionStats,
+    /// Per-statement execution constraints (rows scanned / wall time).
+    /// Inherited from the database config; overridable per session and
+    /// hot-reloadable by the server on admission.
+    pub(crate) constraints: ExecutionConstraints,
+    /// Budget of the statement currently executing, if one is armed. Shared
+    /// by `Arc` with the executor's per-row visit closures, which cannot
+    /// borrow the session.
+    pub(crate) budget: Option<Arc<StatementBudget>>,
     last_synced_epoch: u64,
 }
 
@@ -81,6 +92,7 @@ impl std::fmt::Debug for Session {
 impl Session {
     pub(crate) fn new(db: Database, principal: PrincipalId) -> Self {
         let serializable = db.inner.serializable;
+        let constraints = db.inner.constraints;
         Session {
             db,
             process: ProcessState::new(principal),
@@ -88,6 +100,8 @@ impl Session {
             txn: None,
             serializable,
             stats: SessionStats::default(),
+            constraints,
+            budget: None,
             last_synced_epoch: 0,
         }
     }
@@ -143,6 +157,60 @@ impl Session {
         self.serializable = on;
     }
 
+    /// Replaces this session's per-statement execution constraints. Takes
+    /// effect from the next statement; a statement already running keeps the
+    /// budget it was armed with.
+    pub fn set_execution_constraints(&mut self, constraints: ExecutionConstraints) {
+        self.constraints = constraints;
+    }
+
+    /// The per-statement execution constraints currently in force.
+    pub fn execution_constraints(&self) -> ExecutionConstraints {
+        self.constraints
+    }
+
+    /// Arms a budget for a top-level statement. Returns `true` if this call
+    /// armed it (and must disarm it); nested statements — trigger bodies,
+    /// procedure bodies — find a budget already armed and charge against the
+    /// outer statement's allowance rather than getting a fresh one.
+    pub(crate) fn arm_budget(&mut self) -> bool {
+        if self.budget.is_some() {
+            return false;
+        }
+        match StatementBudget::arm(&self.constraints) {
+            Some(b) => {
+                self.budget = Some(Arc::new(b));
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Disarms the statement budget (when this frame armed it) and, on a
+    /// budget kill, bumps the counter and records the tamper-evident
+    /// [`AuditEvent::BudgetKill`]. Passing the result through keeps call
+    /// sites to a single wrapping expression.
+    pub(crate) fn disarm_budget<T>(&mut self, armed: bool, r: IfdbResult<T>) -> IfdbResult<T> {
+        if armed {
+            self.budget = None;
+            if let Err(IfdbError::BudgetExceeded {
+                resource,
+                limit,
+                used,
+            }) = &r
+            {
+                self.stats.budget_kills += 1;
+                self.db.record_audit(AuditEvent::BudgetKill {
+                    principal: self.process.principal(),
+                    resource: resource.clone(),
+                    limit: *limit,
+                    used: *used,
+                });
+            }
+        }
+        r
+    }
+
     /// Returns `true` if this session refuses writes (it belongs to a
     /// read-only replica database).
     pub fn is_read_only(&self) -> bool {
@@ -178,7 +246,14 @@ impl Session {
                 return Err(IfdbError::ClearanceViolation { tag });
             }
         }
+        let raised = !self.process.label().contains(tag);
         self.process.add_secrecy(tag)?;
+        if raised {
+            self.db.record_audit(AuditEvent::LabelRaise {
+                principal: self.process.principal(),
+                added: Label::empty().with_tag(tag),
+            });
+        }
         Ok(())
     }
 
@@ -195,7 +270,14 @@ impl Session {
                 }
             }
         }
+        let added = other.difference(self.process.label());
         self.process.raise_to(other)?;
+        if !added.is_empty() {
+            self.db.record_audit(AuditEvent::LabelRaise {
+                principal: self.process.principal(),
+                added,
+            });
+        }
         Ok(())
     }
 
@@ -206,7 +288,7 @@ impl Session {
             let auth = self.db.inner.auth.read();
             self.process.declassify(tag, &auth)?;
         }
-        self.db.audit().record(AuditEvent::Declassify {
+        self.db.record_audit(AuditEvent::Declassify {
             principal: self.process.principal(),
             tag,
             label_before: before,
@@ -243,7 +325,7 @@ impl Session {
             .auth
             .write()
             .delegate(grantor, grantee, tag, self.process.label())?;
-        self.db.audit().record(AuditEvent::Delegate {
+        self.db.record_audit(AuditEvent::Delegate {
             grantor,
             grantee,
             tag,
@@ -260,7 +342,7 @@ impl Session {
             .auth
             .write()
             .revoke(grantor, grantee, tag, self.process.label())?;
-        self.db.audit().record(AuditEvent::Revoke {
+        self.db.record_audit(AuditEvent::Revoke {
             grantor,
             grantee,
             tag,
@@ -389,6 +471,11 @@ impl Session {
                 if !commit_label.is_subset_of(&w.label) {
                     self.db.inner.engine.abort(state.id)?;
                     self.stats.aborts += 1;
+                    self.db.record_audit(AuditEvent::CommitRefused {
+                        principal: self.process.principal(),
+                        commit_label: commit_label.clone(),
+                        tuple_label: w.label.clone(),
+                    });
                     return Err(IfdbError::CommitLabelViolation {
                         commit_label,
                         tuple_label: w.label.clone(),
@@ -439,6 +526,11 @@ impl Session {
                 if !commit_label.is_subset_of(&w.label) {
                     self.db.inner.engine.abort(state.id)?;
                     self.stats.aborts += 1;
+                    self.db.record_audit(AuditEvent::CommitRefused {
+                        principal: self.process.principal(),
+                        commit_label: commit_label.clone(),
+                        tuple_label: w.label.clone(),
+                    });
                     return Err(IfdbError::CommitLabelViolation {
                         commit_label,
                         tuple_label: w.label.clone(),
@@ -583,7 +675,7 @@ impl Session {
             let auth = self.db.inner.auth.read();
             for tag in extra.iter() {
                 if auth.has_authority(principal, tag) {
-                    self.db.audit().record(AuditEvent::Declassify {
+                    self.db.record_audit(AuditEvent::Declassify {
                         principal,
                         tag,
                         label_before: current.clone(),

@@ -59,6 +59,229 @@ pub enum AuditEvent {
         /// Tags declassified by the view.
         tags: Label,
     },
+    /// A process raised its label (contaminated itself) with new tags.
+    LabelRaise {
+        /// The acting principal.
+        principal: PrincipalId,
+        /// The tags added to the process label.
+        added: Label,
+    },
+    /// A transaction commit was refused by the commit-label rule
+    /// (Section 5.1): the process label was not a subset of a written
+    /// tuple's label.
+    CommitRefused {
+        /// The acting principal.
+        principal: PrincipalId,
+        /// The process label at commit time.
+        commit_label: Label,
+        /// The offending tuple's label.
+        tuple_label: Label,
+    },
+    /// A statement was killed because it exhausted an execution budget.
+    BudgetKill {
+        /// The acting principal.
+        principal: PrincipalId,
+        /// Which resource ran out (`"rows"` or `"time_ms"`).
+        resource: String,
+        /// The configured limit.
+        limit: u64,
+        /// Consumption at the moment of the kill.
+        used: u64,
+    },
+}
+
+/// Wire-format tags for [`AuditEvent::encode`].
+mod codec_tag {
+    pub const DECLASSIFY: u8 = 1;
+    pub const DELEGATE: u8 = 2;
+    pub const REVOKE: u8 = 3;
+    pub const BLOCKED_RELEASE: u8 = 4;
+    pub const DECLASSIFYING_VIEW: u8 = 5;
+    pub const LABEL_RAISE: u8 = 6;
+    pub const COMMIT_REFUSED: u8 = 7;
+    pub const BUDGET_KILL: u8 = 8;
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_label(out: &mut Vec<u8>, l: &Label) {
+    put_u64(out, l.len() as u64);
+    for t in l.iter() {
+        put_u64(out, t.0);
+    }
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u64(out, s.len() as u64);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Sequential reader over an encoded event; `None` on truncation.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn u8(&mut self) -> Option<u8> {
+        let b = *self.buf.get(self.pos)?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        let raw = self.buf.get(self.pos..self.pos + 8)?;
+        self.pos += 8;
+        Some(u64::from_le_bytes(raw.try_into().ok()?))
+    }
+
+    fn label(&mut self) -> Option<Label> {
+        let n = self.u64()? as usize;
+        let mut tags = Vec::with_capacity(n.min(64));
+        for _ in 0..n {
+            tags.push(TagId(self.u64()?));
+        }
+        Some(Label::from_tags(tags))
+    }
+
+    fn str(&mut self) -> Option<String> {
+        let n = self.u64()? as usize;
+        let raw = self.buf.get(self.pos..self.pos + n)?;
+        self.pos += n;
+        String::from_utf8(raw.to_vec()).ok()
+    }
+}
+
+impl AuditEvent {
+    /// Serializes the event to the compact binary form carried opaquely in
+    /// the storage layer's audit chain. Round-trips through [`Self::decode`].
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64);
+        match self {
+            AuditEvent::Declassify {
+                principal,
+                tag,
+                label_before,
+            } => {
+                out.push(codec_tag::DECLASSIFY);
+                put_u64(&mut out, principal.0);
+                put_u64(&mut out, tag.0);
+                put_label(&mut out, label_before);
+            }
+            AuditEvent::Delegate {
+                grantor,
+                grantee,
+                tag,
+            } => {
+                out.push(codec_tag::DELEGATE);
+                put_u64(&mut out, grantor.0);
+                put_u64(&mut out, grantee.0);
+                put_u64(&mut out, tag.0);
+            }
+            AuditEvent::Revoke {
+                grantor,
+                grantee,
+                tag,
+            } => {
+                out.push(codec_tag::REVOKE);
+                put_u64(&mut out, grantor.0);
+                put_u64(&mut out, grantee.0);
+                put_u64(&mut out, tag.0);
+            }
+            AuditEvent::BlockedRelease { principal, label } => {
+                out.push(codec_tag::BLOCKED_RELEASE);
+                put_u64(&mut out, principal.0);
+                put_label(&mut out, label);
+            }
+            AuditEvent::DeclassifyingView { name, tags } => {
+                out.push(codec_tag::DECLASSIFYING_VIEW);
+                put_str(&mut out, name);
+                put_label(&mut out, tags);
+            }
+            AuditEvent::LabelRaise { principal, added } => {
+                out.push(codec_tag::LABEL_RAISE);
+                put_u64(&mut out, principal.0);
+                put_label(&mut out, added);
+            }
+            AuditEvent::CommitRefused {
+                principal,
+                commit_label,
+                tuple_label,
+            } => {
+                out.push(codec_tag::COMMIT_REFUSED);
+                put_u64(&mut out, principal.0);
+                put_label(&mut out, commit_label);
+                put_label(&mut out, tuple_label);
+            }
+            AuditEvent::BudgetKill {
+                principal,
+                resource,
+                limit,
+                used,
+            } => {
+                out.push(codec_tag::BUDGET_KILL);
+                put_u64(&mut out, principal.0);
+                put_str(&mut out, resource);
+                put_u64(&mut out, *limit);
+                put_u64(&mut out, *used);
+            }
+        }
+        out
+    }
+
+    /// Deserializes an event encoded by [`Self::encode`]; `None` for an
+    /// unknown tag or a truncated buffer.
+    pub fn decode(buf: &[u8]) -> Option<Self> {
+        let mut c = Cursor { buf, pos: 0 };
+        let event = match c.u8()? {
+            codec_tag::DECLASSIFY => AuditEvent::Declassify {
+                principal: PrincipalId(c.u64()?),
+                tag: TagId(c.u64()?),
+                label_before: c.label()?,
+            },
+            codec_tag::DELEGATE => AuditEvent::Delegate {
+                grantor: PrincipalId(c.u64()?),
+                grantee: PrincipalId(c.u64()?),
+                tag: TagId(c.u64()?),
+            },
+            codec_tag::REVOKE => AuditEvent::Revoke {
+                grantor: PrincipalId(c.u64()?),
+                grantee: PrincipalId(c.u64()?),
+                tag: TagId(c.u64()?),
+            },
+            codec_tag::BLOCKED_RELEASE => AuditEvent::BlockedRelease {
+                principal: PrincipalId(c.u64()?),
+                label: c.label()?,
+            },
+            codec_tag::DECLASSIFYING_VIEW => AuditEvent::DeclassifyingView {
+                name: c.str()?,
+                tags: c.label()?,
+            },
+            codec_tag::LABEL_RAISE => AuditEvent::LabelRaise {
+                principal: PrincipalId(c.u64()?),
+                added: c.label()?,
+            },
+            codec_tag::COMMIT_REFUSED => AuditEvent::CommitRefused {
+                principal: PrincipalId(c.u64()?),
+                commit_label: c.label()?,
+                tuple_label: c.label()?,
+            },
+            codec_tag::BUDGET_KILL => AuditEvent::BudgetKill {
+                principal: PrincipalId(c.u64()?),
+                resource: c.str()?,
+                limit: c.u64()?,
+                used: c.u64()?,
+            },
+            _ => return None,
+        };
+        if c.pos == buf.len() {
+            Some(event)
+        } else {
+            None
+        }
+    }
 }
 
 impl fmt::Display for AuditEvent {
@@ -88,6 +311,26 @@ impl fmt::Display for AuditEvent {
             AuditEvent::DeclassifyingView { name, tags } => {
                 write!(f, "declassifying view {name} removed {tags}")
             }
+            AuditEvent::LabelRaise { principal, added } => {
+                write!(f, "label raise by {principal}: added {added}")
+            }
+            AuditEvent::CommitRefused {
+                principal,
+                commit_label,
+                tuple_label,
+            } => write!(
+                f,
+                "commit refused for {principal}: label {commit_label} not subset of tuple {tuple_label}"
+            ),
+            AuditEvent::BudgetKill {
+                principal,
+                resource,
+                limit,
+                used,
+            } => write!(
+                f,
+                "budget kill for {principal}: {resource} used {used} of {limit}"
+            ),
         }
     }
 }
@@ -174,5 +417,71 @@ mod tests {
             label: Label::singleton(TagId(7)),
         };
         assert!(e.to_string().contains("blocked release"));
+    }
+
+    #[test]
+    fn codec_round_trips_every_variant() {
+        let events = vec![
+            AuditEvent::Declassify {
+                principal: PrincipalId(1),
+                tag: TagId(2),
+                label_before: Label::from_tags([TagId(2), TagId(9)]),
+            },
+            AuditEvent::Delegate {
+                grantor: PrincipalId(1),
+                grantee: PrincipalId(3),
+                tag: TagId(2),
+            },
+            AuditEvent::Revoke {
+                grantor: PrincipalId(3),
+                grantee: PrincipalId(1),
+                tag: TagId(2),
+            },
+            AuditEvent::BlockedRelease {
+                principal: PrincipalId(5),
+                label: Label::singleton(TagId(7)),
+            },
+            AuditEvent::DeclassifyingView {
+                name: "PCMembers".into(),
+                tags: Label::empty(),
+            },
+            AuditEvent::LabelRaise {
+                principal: PrincipalId(8),
+                added: Label::singleton(TagId(4)),
+            },
+            AuditEvent::CommitRefused {
+                principal: PrincipalId(8),
+                commit_label: Label::singleton(TagId(4)),
+                tuple_label: Label::empty(),
+            },
+            AuditEvent::BudgetKill {
+                principal: PrincipalId(9),
+                resource: "rows".into(),
+                limit: 1000,
+                used: 1001,
+            },
+        ];
+        for e in events {
+            let bytes = e.encode();
+            assert_eq!(AuditEvent::decode(&bytes), Some(e.clone()), "{e}");
+        }
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert_eq!(AuditEvent::decode(&[]), None);
+        assert_eq!(AuditEvent::decode(&[99]), None);
+        // Truncated payload.
+        let full = AuditEvent::Delegate {
+            grantor: PrincipalId(1),
+            grantee: PrincipalId(2),
+            tag: TagId(3),
+        }
+        .encode();
+        assert_eq!(AuditEvent::decode(&full[..full.len() - 1]), None);
+        // Trailing junk.
+        let mut padded = full;
+        padded.push(0);
+        assert_eq!(AuditEvent::decode(&padded), None);
     }
 }

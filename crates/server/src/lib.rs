@@ -42,6 +42,7 @@
 #![deny(missing_docs)]
 
 mod pool;
+mod qos;
 mod reactor;
 pub mod replica;
 
@@ -54,10 +55,10 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex as StdMutex};
 use std::time::{Duration, Instant};
 
-use ifdb::{Database, IfdbError, IfdbResult, Row, Session, SessionApi, StatementResult};
+use ifdb::{Database, IfdbError, IfdbResult, QosConfig, Row, Session, SessionApi, StatementResult};
 use ifdb_client::protocol::{
-    code, decode_template, encode_error, write_frame_id, Request, Response, WireRow,
-    PROTOCOL_VERSION,
+    code, decode_template, encode_error, write_frame_id, MetricsSnapshot, Request, Response,
+    WireRow, PROTOCOL_VERSION,
 };
 use ifdb_difc::Label;
 use ifdb_platform::Authenticator;
@@ -150,6 +151,11 @@ pub struct ServerConfig {
     /// its replication is indeterminate, so a failover may or may not carry
     /// it. `None` (the default) acknowledges as soon as the local log does.
     pub sync_replication: Option<Duration>,
+    /// The initial QoS policy: per-statement execution budgets, per-principal
+    /// admission quotas, and scheduling weights. Unlimited by default; hot-
+    /// reloadable at runtime via the authenticated `Reconfigure` wire request
+    /// (admission quotas are enforced on the reactor backend only).
+    pub qos: QosConfig,
 }
 
 impl Default for ServerConfig {
@@ -171,7 +177,144 @@ impl Default for ServerConfig {
             shard_map: None,
             shard_id: 0,
             sync_replication: None,
+            qos: QosConfig::default(),
         }
+    }
+}
+
+impl ServerConfig {
+    /// Starts a [`ServerConfigBuilder`] from the defaults. Unlike mutating
+    /// the public fields directly, the builder's [`ServerConfigBuilder::build`]
+    /// cross-validates the result and refuses inconsistent combinations
+    /// (a shard id without a shard map, semi-sync without replication,
+    /// admission quotas on the thread-pool backend).
+    pub fn builder() -> ServerConfigBuilder {
+        ServerConfigBuilder {
+            config: ServerConfig::default(),
+        }
+    }
+}
+
+/// Builder for [`ServerConfig`] that validates cross-field consistency at
+/// [`ServerConfigBuilder::build`] time. Every setter mirrors one public
+/// config field; invalid *combinations* — each field being individually
+/// fine — are what the builder exists to catch before a server silently
+/// misbehaves.
+#[derive(Debug, Clone)]
+pub struct ServerConfigBuilder {
+    config: ServerConfig,
+}
+
+impl ServerConfigBuilder {
+    /// Sets the bind address (port 0 for ephemeral).
+    pub fn addr(mut self, addr: impl Into<String>) -> Self {
+        self.config.addr = addr.into();
+        self
+    }
+
+    /// Selects the serving core.
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.config.backend = backend;
+        self
+    }
+
+    /// Sets the executor/worker thread count.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.config.workers = workers;
+        self
+    }
+
+    /// Sets the statement timeout.
+    pub fn statement_timeout(mut self, timeout: Duration) -> Self {
+        self.config.statement_timeout = timeout;
+        self
+    }
+
+    /// Sets the trusted-platform secret.
+    pub fn platform_secret(mut self, secret: impl Into<String>) -> Self {
+        self.config.platform_secret = Some(secret.into());
+        self
+    }
+
+    /// Enables replication with the given shared secret.
+    pub fn replication_secret(mut self, secret: impl Into<String>) -> Self {
+        self.config.replication_secret = Some(secret.into());
+        self
+    }
+
+    /// Enables semi-synchronous replication with the given confirmation
+    /// window (requires [`Self::replication_secret`]).
+    pub fn sync_replication(mut self, window: Duration) -> Self {
+        self.config.sync_replication = Some(window);
+        self
+    }
+
+    /// Declares the shard topology and which shard this node serves.
+    pub fn shard(mut self, map: Arc<ifdb_client::shard::ShardMap>, shard_id: usize) -> Self {
+        self.config.shard_map = Some(map);
+        self.config.shard_id = shard_id;
+        self
+    }
+
+    /// Sets the initial QoS policy (budgets, quotas, weights).
+    pub fn qos(mut self, qos: QosConfig) -> Self {
+        self.config.qos = qos;
+        self
+    }
+
+    /// Applies `f` to the partially built config for the fields without a
+    /// dedicated setter — the escape hatch that keeps the builder total
+    /// over the flat struct without fifteen trivial methods.
+    pub fn tune(mut self, f: impl FnOnce(&mut ServerConfig)) -> Self {
+        f(&mut self.config);
+        self
+    }
+
+    /// Validates and returns the configuration.
+    pub fn build(self) -> IfdbResult<ServerConfig> {
+        let c = &self.config;
+        let invalid = |detail: String| IfdbError::Remote {
+            code: code::PROTOCOL as u16,
+            detail,
+        };
+        if c.workers == 0 {
+            return Err(invalid("workers must be at least 1".into()));
+        }
+        match &c.shard_map {
+            None => {
+                if c.shard_id != 0 {
+                    return Err(invalid(format!(
+                        "shard_id {} is set but no shard_map is configured",
+                        c.shard_id
+                    )));
+                }
+            }
+            Some(map) => {
+                if c.shard_id >= map.shards() {
+                    return Err(invalid(format!(
+                        "shard_id {} out of range for a {}-shard map",
+                        c.shard_id,
+                        map.shards()
+                    )));
+                }
+            }
+        }
+        if c.sync_replication.is_some() && c.replication_secret.is_none() {
+            return Err(invalid(
+                "sync_replication requires replication_secret: no replica could ever confirm"
+                    .into(),
+            ));
+        }
+        let quotas_limited =
+            c.qos.default_quota != ifdb::PrincipalQuota::unlimited() || !c.qos.overrides.is_empty();
+        if quotas_limited && c.backend == Backend::ThreadPool {
+            return Err(invalid(
+                "admission quotas require the reactor backend; the thread-pool backend does not \
+                 consult the QoS gate"
+                    .into(),
+            ));
+        }
+        Ok(self.config)
     }
 }
 
@@ -348,6 +491,9 @@ struct Shared {
     queue_cvar: Condvar,
     counters: Counters,
     cache: StatementCache,
+    /// The QoS gate: hot-reloadable execution budgets, per-principal
+    /// admission quotas, and scheduling weights.
+    qos: qos::QosGate,
     /// Watermark source for `Ok`/`Affected`/`Watermark` responses. A
     /// primary reports its write-ahead log's last sequence number; a
     /// replica front end reports the applied-seq of its replication stream
@@ -607,6 +753,12 @@ impl ServerHandle {
         }
     }
 
+    /// The unified metrics tree: engine, server, QoS and audit counters in
+    /// one snapshot — the in-process twin of the `Stats` wire request.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        metrics_snapshot(&self.shared)
+    }
+
     /// Gracefully shuts the server down: stop accepting, let connections
     /// with open transactions — or with pipelined requests still queued —
     /// finish within the drain timeout, abort the stragglers, and join
@@ -693,6 +845,7 @@ fn start_inner(
         db,
         auth,
         cache: StatementCache::new(config.stmt_cache_capacity),
+        qos: qos::QosGate::new(config.qos.clone()),
         config,
         shutdown: AtomicBool::new(false),
         shutdown_at: StdMutex::new(None),
@@ -812,6 +965,13 @@ fn handle_request(
         Request::Promote { secret } => handle_promote(shared, &secret),
         Request::Fence { secret, generation } => handle_fence(shared, &secret, generation),
         Request::HaStatus => ha_status_response(shared),
+        // The QoS control plane is sessionless as well: Reconfigure carries
+        // the platform secret on every request (same trust anchor as
+        // password-less logins), Stats is a read of public counters.
+        Request::Reconfigure { secret, config } => handle_reconfigure(shared, &secret, &config),
+        Request::Stats => Response::Stats {
+            snapshot: metrics_snapshot(shared),
+        },
         other => {
             let Some(conn) = state.as_mut() else {
                 return encode_error(&IfdbError::Remote {
@@ -1038,6 +1198,131 @@ fn handle_fence(shared: &Arc<Shared>, secret: &str, generation: u64) -> Response
     ha_status_response(shared)
 }
 
+/// Serves `Reconfigure`: swaps the QoS policy (execution budgets, admission
+/// quotas, scheduling weights) atomically, without a restart and without
+/// touching any connection. Authenticated by the platform secret — the same
+/// trust anchor that authorizes password-less user switches — so a tenant
+/// cannot raise its own limits. Statements already executing finish under
+/// the budget they were armed with; every later statement (on every already-
+/// open connection) sees the new policy.
+fn handle_reconfigure(shared: &Arc<Shared>, secret: &str, config: &[u64]) -> Response {
+    match &shared.config.platform_secret {
+        Some(expected) if expected == secret => {}
+        Some(_) => {
+            return encode_error(&IfdbError::Remote {
+                code: code::REMOTE as u16,
+                detail: "invalid platform secret".into(),
+            })
+        }
+        None => {
+            return encode_error(&IfdbError::Remote {
+                code: code::REMOTE as u16,
+                detail: "reconfiguration requires a platform secret to be configured".into(),
+            })
+        }
+    }
+    let Some(new) = QosConfig::from_wire(config) else {
+        return encode_error(&IfdbError::Remote {
+            code: code::PROTOCOL as u16,
+            detail: "malformed QoS configuration payload".into(),
+        });
+    };
+    shared.qos.reconfigure(new);
+    Response::Ok {
+        label: Vec::new(),
+        seq: shared.current_seq(),
+    }
+}
+
+/// Assembles the unified metrics tree served by `Request::Stats` (and by
+/// [`ServerHandle::metrics`] in-process): the storage engine's counters, the
+/// serving front end's, the QoS gate's, and the audit plane's, as one
+/// [`MetricsSnapshot`]. The tree is open — counters are named, not
+/// positional — so groups grow without a protocol bump.
+fn metrics_snapshot(shared: &Arc<Shared>) -> MetricsSnapshot {
+    let mut snap = MetricsSnapshot::default();
+    let c = &shared.counters;
+    let server = snap.group_mut("server");
+    server
+        .push(
+            "connections_accepted",
+            c.connections_accepted.load(Ordering::Relaxed),
+        )
+        .push(
+            "connections_rejected",
+            c.connections_rejected.load(Ordering::Relaxed),
+        )
+        .push(
+            "connections_active",
+            c.connections_active.load(Ordering::Relaxed),
+        )
+        .push("requests", c.requests.load(Ordering::Relaxed))
+        .push("statements", c.statements.load(Ordering::Relaxed))
+        .push("stmt_cache_hits", c.stmt_cache_hits.load(Ordering::Relaxed))
+        .push(
+            "stmt_cache_misses",
+            c.stmt_cache_misses.load(Ordering::Relaxed),
+        )
+        .push("stmt_cache_size", shared.cache.len() as u64)
+        .push(
+            "statement_timeouts",
+            c.statement_timeouts.load(Ordering::Relaxed),
+        )
+        .push("slow_statements", c.slow_statements.load(Ordering::Relaxed))
+        .push(
+            "backpressure_pauses",
+            c.backpressure_pauses.load(Ordering::Relaxed),
+        )
+        .push(
+            "pipelined_cancelled",
+            c.pipelined_cancelled.load(Ordering::Relaxed),
+        )
+        .push("frames_encoded", c.frames_encoded.load(Ordering::Relaxed))
+        .push("response_bytes", c.response_bytes.load(Ordering::Relaxed));
+    let e = shared.db.engine().stats();
+    let engine = snap.group_mut("engine");
+    engine
+        .push("buffer_hits", e.buffer_hits)
+        .push("buffer_misses", e.buffer_misses)
+        .push("writebacks", e.writebacks)
+        .push("evictions", e.evictions)
+        .push("tuples_inserted", e.tuples_inserted)
+        .push("tuples_deleted", e.tuples_deleted)
+        .push("tuples_scanned", e.tuples_scanned)
+        .push("full_table_scans", e.full_table_scans)
+        .push("index_point_lookups", e.index_point_lookups)
+        .push("index_range_scans", e.index_range_scans)
+        .push("txns_started", e.txns_started)
+        .push("wal_bytes", e.wal_bytes)
+        .push("wal_fsyncs", e.wal_fsyncs)
+        .push("commits_batched", e.commits_batched)
+        .push("checkpoints", e.checkpoints)
+        .push("vacuums", e.vacuums)
+        .push("replica_records_applied", e.replica_records_applied);
+    let q = &shared.qos;
+    let qos_group = snap.group_mut("qos");
+    qos_group
+        .push("admitted", q.admitted.load(Ordering::Relaxed))
+        .push("completed", q.completed.load(Ordering::Relaxed))
+        .push("in_flight", q.in_flight_total())
+        .push(
+            "refused_in_flight",
+            q.refused_in_flight.load(Ordering::Relaxed),
+        )
+        .push("refused_rate", q.refused_rate.load(Ordering::Relaxed))
+        .push("reconfigures", q.reconfigures.load(Ordering::Relaxed))
+        .push("sched_yields", q.sched_yields.load(Ordering::Relaxed));
+    let audit = snap.group_mut("audit");
+    audit
+        .push("chained_records", e.audit_records)
+        .push("events", shared.db.audit().len() as u64)
+        .push(
+            "declassifications",
+            shared.db.audit().declassification_count() as u64,
+        );
+    snap
+}
+
 #[allow(clippy::too_many_arguments)]
 fn handle_hello(
     shared: &Arc<Shared>,
@@ -1213,7 +1498,9 @@ fn handle_message(
         | Request::ReplPoll { .. }
         | Request::Promote { .. }
         | Request::Fence { .. }
-        | Request::HaStatus => unreachable!("handled by caller"),
+        | Request::HaStatus
+        | Request::Reconfigure { .. }
+        | Request::Stats => unreachable!("handled by caller"),
         Request::Login { user, password } => {
             let principal = authenticate(shared, &user, password.as_deref(), conn.trusted)?;
             session.reset(principal);
@@ -1243,6 +1530,13 @@ fn handle_message(
             params,
             fetch,
         } => {
+            // Admission: over-quota principals are refused here, before the
+            // statement touches the executor; the guard's Drop releases the
+            // in-flight slot on every exit path. The current execution
+            // budget is stamped onto the session so a Reconfigure applies
+            // from the very next statement.
+            let _admitted = shared.qos.admit(session.principal().0)?;
+            session.set_execution_constraints(shared.qos.constraints());
             shared.counters.statements.fetch_add(1, Ordering::Relaxed);
             let template = shared
                 .cache
@@ -1382,6 +1676,8 @@ fn handle_message(
             Ok(ok_with_label(shared, session))
         }
         Request::CallProcedure { name, args } => {
+            let _admitted = shared.qos.admit(session.principal().0)?;
+            session.set_execution_constraints(shared.qos.constraints());
             shared.counters.statements.fetch_add(1, Ordering::Relaxed);
             let rs = session.call_procedure(&name, &args)?;
             let columns = rs

@@ -699,6 +699,18 @@ fn executor_loop(
 /// whether any response bytes were produced.
 fn drain_inbox(shared: &Arc<Shared>, conn: &Arc<ConnShared>) -> bool {
     let mut wrote = false;
+    // Weighted scheduling (deficit round robin by connection): one executor
+    // turn drains at most the principal's quantum of messages, then yields.
+    // `executor_loop`'s inbox re-check pushes the connection to the *back*
+    // of the ready queue, so a heavy pipelining principal keeps making
+    // progress but cannot starve its neighbors' queued statements.
+    let quantum = {
+        let guard = conn.session.lock();
+        guard.as_ref().map_or(usize::MAX, |c| {
+            shared.qos.drain_quantum(c.session.principal().0)
+        })
+    };
+    let mut handled = 0usize;
     loop {
         if conn.closing.load(Ordering::Acquire) {
             // Post-Goodbye (or post-panic) frames are dead: the old server
@@ -741,6 +753,15 @@ fn drain_inbox(shared: &Arc<Shared>, conn: &Arc<ConnShared>) -> bool {
         }
         if is_goodbye {
             conn.closing.store(true, Ordering::Release);
+            break;
+        }
+        handled += 1;
+        if handled >= quantum {
+            // Quantum exhausted: yield the executor. Anything still queued
+            // re-schedules this connection behind the other ready ones.
+            if !conn.inbox.lock().is_empty() {
+                shared.qos.sched_yields.fetch_add(1, Ordering::Relaxed);
+            }
             break;
         }
         // Statement timeouts need no special-casing here: `handle_request`

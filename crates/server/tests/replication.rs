@@ -589,3 +589,58 @@ fn routed_connection_read_your_writes() {
     replica.shutdown();
     primary.shutdown();
 }
+
+/// The tamper-evident audit chain is part of the replicated state: every
+/// chain-worthy event on the primary (label raises, declassifications) must
+/// arrive on the replica in order, verify there, and — after a promotion —
+/// keep extending under the new primary without a seam.
+#[test]
+fn audit_chain_replicates_and_survives_promotion() {
+    let fx = build_primary();
+    // Audited activity beyond the fixture's inserts: a raise and a
+    // declassification, both chained links.
+    let mut s = fx.db.session(fx.difc.alice);
+    s.add_secrecy(fx.difc.alice_tag).unwrap();
+    s.declassify(fx.difc.alice_tag).unwrap();
+    fx.db.verify_audit_chain().unwrap();
+    let primary_events = fx.db.replay_audit();
+    assert!(
+        !primary_events.is_empty(),
+        "the fixture's labeled writes must have chained events"
+    );
+
+    let primary = start_primary(&fx, 4);
+    let replica = start_replica_of(&primary.addr().to_string());
+    let target = fx.db.engine().wal().last_seq();
+    assert!(
+        replica.wait_for_seq(target, Duration::from_secs(20)),
+        "replica did not catch up"
+    );
+
+    // The replica holds the same chain, link for link, and it verifies.
+    replica.database().verify_audit_chain().unwrap();
+    assert_eq!(replica.database().replay_audit(), primary_events);
+
+    // Fail over. The promoted node's chain must keep verifying and keep
+    // growing across the promotion seam.
+    primary.shutdown();
+    replica.promote().unwrap();
+    let mut s = replica.database().session(fx.difc.bob);
+    s.add_secrecy(fx.difc.bob_tag).unwrap();
+    s.declassify(fx.difc.bob_tag).unwrap();
+
+    replica.database().verify_audit_chain().unwrap();
+    let after = replica.database().replay_audit();
+    assert!(
+        after.len() >= primary_events.len() + 2,
+        "post-promotion events must extend the chain ({} -> {})",
+        primary_events.len(),
+        after.len()
+    );
+    assert_eq!(
+        &after[..primary_events.len()],
+        &primary_events[..],
+        "the pre-failover history is immutable"
+    );
+    replica.shutdown();
+}

@@ -13,8 +13,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex as StdMutex};
 use std::time::{Duration, Instant};
 
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 
+use crate::audit::{AuditChain, AuditChainRecord};
 use crate::buffer::BufferPool;
 use crate::error::{StorageError, StorageResult};
 use crate::heap::{RowId, TableHeap};
@@ -113,6 +114,15 @@ pub struct StorageEngine {
     vacuums: AtomicU64,
     commits_since_vacuum: AtomicU64,
     replica_records_applied: AtomicU64,
+    /// The tamper-evident audit chain ([`crate::audit`]): every link is also
+    /// a [`LogRecord::Audit`] in the WAL, so the chain is durable, survives
+    /// checkpoint compaction (images re-log it) and ships to replicas.
+    ///
+    /// Lock order: the chain lock is taken *before* the log's append lock
+    /// ([`StorageEngine::append_audit`] holds it across the WAL append so
+    /// chain order always matches log order), and checkpoints take it before
+    /// `rewrite_with` for the same reason. Never acquire it the other way.
+    audit: Mutex<AuditChain>,
 }
 
 impl std::fmt::Debug for StorageEngine {
@@ -186,6 +196,7 @@ impl StorageEngine {
             vacuums: AtomicU64::new(0),
             commits_since_vacuum: AtomicU64::new(0),
             replica_records_applied: AtomicU64::new(0),
+            audit: Mutex::new(AuditChain::new()),
         }
     }
 
@@ -406,6 +417,26 @@ impl StorageEngine {
                         let t = self.table(TableId(*table))?;
                         t.heap.set_xmax(*new_row, Some(*txn))?;
                     }
+                }
+                LogRecord::Audit {
+                    seq,
+                    prev,
+                    hash,
+                    bytes,
+                } => {
+                    // The chain is rebuilt in log order; a link that does not
+                    // extend the recovered head means the log was edited.
+                    self.audit
+                        .lock()
+                        .accept(AuditChainRecord {
+                            seq: *seq,
+                            prev: *prev,
+                            hash: *hash,
+                            bytes: bytes.clone(),
+                        })
+                        .map_err(|b| StorageError::Corruption {
+                            detail: format!("audit chain broken during replay: {}", b.reason),
+                        })?;
                 }
                 _ => {}
             }
@@ -856,6 +887,46 @@ impl StorageEngine {
     }
 
     // ------------------------------------------------------------------
+    // Audit chain
+    // ------------------------------------------------------------------
+
+    /// Forges the next link of the tamper-evident audit chain over `bytes`
+    /// (an event serialized by the layer above) and appends it to the
+    /// write-ahead log. The chain lock is held across the log append so the
+    /// chain's order and the log's order can never diverge. Returns the
+    /// link's sequence number.
+    ///
+    /// The link is as durable as the surrounding history: it rides the next
+    /// commit's fsync rather than paying its own, which keeps audit appends
+    /// off the commit critical path while still guaranteeing that any
+    /// committed transaction the event preceded in the log is only
+    /// recoverable *with* the event.
+    pub fn append_audit(&self, bytes: Vec<u8>) -> StorageResult<u64> {
+        let mut chain = self.audit.lock();
+        let record = chain.append(bytes);
+        let seq = record.seq;
+        self.wal.append(record.to_log_record())?;
+        Ok(seq)
+    }
+
+    /// Snapshot of every audit chain link held by this engine (recovered,
+    /// replicated, or appended live).
+    pub fn audit_records(&self) -> Vec<AuditChainRecord> {
+        self.audit.lock().records()
+    }
+
+    /// Number of links in the audit chain.
+    pub fn audit_len(&self) -> usize {
+        self.audit.lock().len()
+    }
+
+    /// Walks the whole chain verifying every link; `Err` names the first
+    /// broken one. See [`crate::audit::verify_chain`].
+    pub fn verify_audit_chain(&self) -> Result<(), crate::audit::AuditChainBreak> {
+        self.audit.lock().verify()
+    }
+
+    // ------------------------------------------------------------------
     // DML
     // ------------------------------------------------------------------
 
@@ -1102,6 +1173,10 @@ impl StorageEngine {
     ///
     /// Returns the number of records in the installed image.
     pub fn checkpoint(&self) -> StorageResult<usize> {
+        // Chain lock before the log's append lock (see the `audit` field
+        // docs): holding it across the rewrite keeps a concurrent
+        // `append_audit` from logging a link the image would then discard.
+        let audit = self.audit.lock();
         let count = self.wal.rewrite_with(|| {
             let active = self.txns.active_count();
             if active > 0 {
@@ -1145,6 +1220,11 @@ impl StorageEngine {
                     true
                 })?;
             }
+            // The audit chain survives compaction the same way live rows
+            // do: every link is re-logged into the image.
+            for r in audit.records() {
+                image.push(r.to_log_record());
+            }
             // Promotions survive checkpoint truncation: the image re-logs
             // the generation the same way it re-logs live rows.
             if self.wal.generation() > 1 {
@@ -1155,6 +1235,7 @@ impl StorageEngine {
             image.push(LogRecord::Checkpoint);
             Ok(image)
         })?;
+        drop(audit);
         self.checkpoints.fetch_add(1, Ordering::Relaxed);
         self.commits_since_checkpoint.store(0, Ordering::Relaxed);
         Ok(count)
@@ -1181,6 +1262,11 @@ impl StorageEngine {
         // forever. They abort here — the crash-recovery rule applied to the
         // dead stream — so only replica-local reads can keep the call busy.
         self.txns.abort_orphaned_replicated();
+        // Same lock order as checkpoint(): chain before the log's append
+        // lock, held across the rewrite. The replicated chain continues
+        // unbroken on the successor — its image re-logs every link, and
+        // post-promotion events extend the same chain.
+        let audit = self.audit.lock();
         let count = self.wal.rewrite_with(|| {
             let prepared = self.txns.prepared_entries();
             let active = self.txns.active_count();
@@ -1251,10 +1337,14 @@ impl StorageEngine {
                 }
                 image.push(LogRecord::Prepare { txn, gid });
             }
+            for r in audit.records() {
+                image.push(r.to_log_record());
+            }
             image.push(LogRecord::Epoch { generation });
             image.push(LogRecord::Checkpoint);
             Ok(image)
         })?;
+        drop(audit);
         self.checkpoints.fetch_add(1, Ordering::Relaxed);
         self.commits_since_checkpoint.store(0, Ordering::Relaxed);
         Ok(count)
@@ -1409,6 +1499,28 @@ impl StorageEngine {
                     }
                 }
             }
+            // The primary's audit chain mirrors onto the replica link by
+            // link. `accept` tolerates the re-delivery a checkpoint image
+            // racing the stream can produce, but a *conflicting* link means
+            // the stream (or the primary's log) was tampered with.
+            LogRecord::Audit {
+                seq,
+                prev,
+                hash,
+                bytes,
+            } => {
+                self.audit
+                    .lock()
+                    .accept(AuditChainRecord {
+                        seq: *seq,
+                        prev: *prev,
+                        hash: *hash,
+                        bytes: bytes.clone(),
+                    })
+                    .map_err(|b| StorageError::Corruption {
+                        detail: format!("replicated audit chain broken: {}", b.reason),
+                    })?;
+            }
         }
         self.replica_records_applied.fetch_add(1, Ordering::Relaxed);
         Ok(())
@@ -1428,6 +1540,9 @@ impl StorageEngine {
         by_name.clear();
         stores.clear();
         self.txns.clear_for_reset();
+        // The primary's checkpoint image re-delivers the authoritative
+        // chain; keeping stale links would make its links look conflicting.
+        self.audit.lock().clear();
     }
 
     /// Flushes all dirty pages and the WAL.
@@ -1456,6 +1571,7 @@ impl StorageEngine {
         s.checkpoints_deferred = self.checkpoints_deferred.load(Ordering::Relaxed);
         s.vacuums = self.vacuums.load(Ordering::Relaxed);
         s.replica_records_applied = self.replica_records_applied.load(Ordering::Relaxed);
+        s.audit_records = self.audit.lock().len() as u64;
         let stores = self.stores.read();
         s.store_reads = stores.values().map(|st| st.reads()).sum();
         s.store_writes = stores.values().map(|st| st.writes()).sum();

@@ -32,6 +32,7 @@
 //! The crate knows nothing about DIFC: labels are carried as opaque `u64`
 //! arrays in tuple headers. All enforcement lives in the `ifdb` crate.
 
+pub mod audit;
 pub mod buffer;
 pub mod engine;
 pub mod error;
@@ -47,6 +48,7 @@ pub mod tuple;
 pub mod value;
 pub mod wal;
 
+pub use audit::{chain_hash, verify_chain, AuditChain, AuditChainBreak, AuditChainRecord};
 pub use buffer::{BufferPool, BufferStats};
 pub use engine::{StorageEngine, StorageKind, TableId};
 pub use error::{StorageError, StorageResult};

@@ -59,6 +59,9 @@ pub struct EngineStats {
     pub store_reads: u64,
     /// Physical page writes performed by page stores.
     pub store_writes: u64,
+    /// Links in the tamper-evident audit chain held by this engine
+    /// (appended live, recovered, or replicated — see [`crate::audit`]).
+    pub audit_records: u64,
 }
 
 impl EngineStats {

@@ -261,6 +261,24 @@ pub enum LogRecord {
         /// `old generation + 1`).
         generation: u64,
     },
+    /// One link of the tamper-evident audit chain: a security-relevant event
+    /// (declassify, delegate/revoke, label raise, commit-label refusal,
+    /// budget kill) serialized by the layer above. The payload is opaque to
+    /// the storage engine; `seq`/`prev`/`hash` form a hash chain
+    /// (`hash = H(prev ‖ seq ‖ bytes)`, see [`crate::audit::chain_hash`]) so
+    /// any record dropped, reordered or altered after the fact breaks
+    /// verification. Carried in the log — and in checkpoint images — so the
+    /// chain is ordered, durable, replicated, and survives compaction.
+    Audit {
+        /// Position in the chain, starting at 1.
+        seq: u64,
+        /// Hash of the previous link (0 for the first).
+        prev: u64,
+        /// This link's hash.
+        hash: u64,
+        /// The serialized audit event (opaque here).
+        bytes: Vec<u8>,
+    },
 }
 
 /// What [`Wal::read_log`] found in a log file.
@@ -943,6 +961,19 @@ impl Wal {
                 out.push(11);
                 out.extend_from_slice(&generation.to_le_bytes());
             }
+            LogRecord::Audit {
+                seq,
+                prev,
+                hash,
+                bytes,
+            } => {
+                out.push(12);
+                out.extend_from_slice(&seq.to_le_bytes());
+                out.extend_from_slice(&prev.to_le_bytes());
+                out.extend_from_slice(&hash.to_le_bytes());
+                out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+                out.extend_from_slice(bytes);
+            }
         }
         out
     }
@@ -1048,6 +1079,15 @@ impl Wal {
             11 => Some(LogRecord::Epoch {
                 generation: u64_at(1)?,
             }),
+            12 => {
+                let len = u32_at(25)? as usize;
+                Some(LogRecord::Audit {
+                    seq: u64_at(1)?,
+                    prev: u64_at(9)?,
+                    hash: u64_at(17)?,
+                    bytes: buf.get(29..29 + len)?.to_vec(),
+                })
+            }
             _ => None,
         }
     }
@@ -1275,6 +1315,13 @@ mod tests {
             LogRecord::Decide {
                 txn: TxnId(8),
                 commit: false,
+            },
+            LogRecord::Epoch { generation: 3 },
+            LogRecord::Audit {
+                seq: 1,
+                prev: 0,
+                hash: 0xDEAD_BEEF,
+                bytes: vec![7, 7, 7],
             },
         ]
     }

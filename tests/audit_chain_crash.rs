@@ -1,0 +1,202 @@
+//! Audit-chain crash test: the tamper-evident chain must replay exactly
+//! the committed history after a `SIGABRT` — no destructors, no flushes.
+//!
+//! The child process (this test binary re-executed, same pattern as
+//! `ifdb-chaos`) runs an on-disk database and loops
+//! `add_secrecy → declassify → insert` so every committed row is preceded
+//! in the WAL by exactly one `LabelRaise` and one `Declassify` link. The
+//! parent kills it mid-loop, recovers the directory with the same seed,
+//! and checks the chain verifies and the replayed event counts bracket the
+//! number of rows that actually committed.
+//!
+//! The audit links are appended to the WAL *before* the insert's commit,
+//! and the commit's flush is what makes them durable. So with `k`
+//! committed rows the recovered log must hold at least `k` of each event —
+//! and at most `k + 1`, because the crash can land after the next
+//! iteration's links reached the device but before its insert committed.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+use ifdb_repro::difc::audit::AuditEvent;
+use ifdb_repro::ifdb::prelude::*;
+use ifdb_repro::storage::{DataType, DurabilityConfig};
+
+/// Directory the child database lives in; set only in the child.
+const ENV_DIR: &str = "IFDB_AUDIT_CRASH_DIR";
+/// File the child publishes its committed-iteration count to.
+const ENV_PROGRESS: &str = "IFDB_AUDIT_CRASH_PROGRESS";
+
+const SEED: u64 = 0xA0D17C4A;
+
+fn ledger() -> TableDef {
+    TableDef::new("ledger")
+        .column("id", DataType::Int)
+        .column("body", DataType::Text)
+        .primary_key(&["id"])
+}
+
+/// The one construction path both processes share: same directory, same
+/// authority seed, same sync-per-commit durability. Only `recover` differs.
+fn build_db(dir: &Path, recover: bool) -> Database {
+    let mut b = Database::builder()
+        .on_disk(dir.to_path_buf(), 256)
+        .seed(SEED)
+        .durability(DurabilityConfig::SYNC_EACH)
+        .first_boot_ddl([ledger()]);
+    if recover {
+        b = b.recover();
+    }
+    b.build().unwrap()
+}
+
+/// Child entry point: a no-op on a normal test run, an infinite
+/// raise/declassify/insert loop when spawned by the parent. Runs until
+/// `SIGABRT` arrives — it never exits on its own.
+#[test]
+fn audit_crash_child_main() {
+    let Ok(dir) = std::env::var(ENV_DIR) else {
+        return;
+    };
+    let progress = std::env::var(ENV_PROGRESS).expect("child needs a progress file");
+    let db = build_db(Path::new(&dir), false);
+    let worker = db.create_principal("worker", PrincipalKind::User);
+    let tag = db.create_tag(worker, "secret", &[]).unwrap();
+
+    let mut s = db.session(worker);
+    for i in 0i64.. {
+        // Both links enter the WAL before the insert; the insert's commit
+        // flush is the durability point for all three.
+        s.add_secrecy(tag).unwrap();
+        s.declassify(tag).unwrap();
+        s.insert(&Insert::new(
+            "ledger",
+            vec![Datum::Int(i), Datum::Text(format!("entry {i}"))],
+        ))
+        .unwrap();
+        // Write-then-rename so the parent never reads a torn count.
+        let tmp = format!("{progress}.tmp");
+        std::fs::write(&tmp, (i + 1).to_string()).unwrap();
+        std::fs::rename(&tmp, &progress).unwrap();
+    }
+}
+
+#[test]
+fn audit_chain_matches_committed_history_after_sigabrt() {
+    let dir = std::env::temp_dir().join(format!(
+        "ifdb-audit-crash-{}-{:x}",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos())
+            .unwrap_or_default()
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    let progress: PathBuf = dir.join("progress");
+
+    let exe = std::env::current_exe().unwrap();
+    let mut child = Command::new(exe)
+        .args([
+            "--exact",
+            "audit_crash_child_main",
+            "--nocapture",
+            "--test-threads=1",
+        ])
+        .env(ENV_DIR, &dir)
+        .env(ENV_PROGRESS, &progress)
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap();
+
+    // Let it commit a meaningful amount of history before pulling the plug.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let acked = loop {
+        let count: u64 = std::fs::read_to_string(&progress)
+            .ok()
+            .and_then(|s| s.trim().parse().ok())
+            .unwrap_or(0);
+        if count >= 20 {
+            break count;
+        }
+        if let Some(status) = child.try_wait().unwrap() {
+            panic!("audit crash child exited early: {status}");
+        }
+        assert!(
+            Instant::now() < deadline,
+            "audit crash child made no progress"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    };
+
+    // SIGABRT: the process dies mid-whatever with no cleanup. Fall back to
+    // SIGKILL where there is no `kill` binary — even less polite.
+    let pid = child.id().to_string();
+    let aborted = Command::new("kill")
+        .args(["-ABRT", &pid])
+        .status()
+        .map(|s| s.success())
+        .unwrap_or(false);
+    if !aborted {
+        let _ = child.kill();
+    }
+    let _ = child.wait();
+
+    // Recover with the same seed and the same first-boot DDL; recreating
+    // the principal and tag in the same order lines the ids up with the
+    // events in the recovered chain.
+    let db = build_db(&dir, true);
+    let worker = db.create_principal("worker", PrincipalKind::User);
+    let _tag = db.create_tag(worker, "secret", &[]).unwrap();
+
+    // The chain survived the crash intact, link by link.
+    db.verify_audit_chain().unwrap();
+
+    let mut s = db.session(worker);
+    let committed = s.select(&Select::star("ledger")).unwrap().len() as u64;
+    // Progress is published only after the commit it reports, so every
+    // acked iteration must have survived.
+    assert!(
+        committed >= acked,
+        "acked commit lost: saw {committed} rows, child acked {acked}"
+    );
+
+    // Replay ≡ committed history: exactly one raise and one declassify per
+    // committed row, plus at most one in-flight pair from the iteration the
+    // crash interrupted.
+    let events = db.replay_audit();
+    let raises = events
+        .iter()
+        .filter(|e| matches!(e, AuditEvent::LabelRaise { .. }))
+        .count() as u64;
+    let declassifies = events
+        .iter()
+        .filter(|e| matches!(e, AuditEvent::Declassify { .. }))
+        .count() as u64;
+    assert_eq!(
+        events.len() as u64,
+        raises + declassifies,
+        "unexpected event kinds in the recovered chain"
+    );
+    for (reached, name) in [(raises, "raises"), (declassifies, "declassifies")] {
+        assert!(
+            (committed..=committed + 1).contains(&reached),
+            "{name} out of range: {reached} events for {committed} committed rows"
+        );
+    }
+    assert!(declassifies <= raises, "a declassify outran its raise");
+
+    // The recovered database keeps chaining: new events extend the same
+    // chain and it still verifies end to end.
+    let tag2 = s.create_tag("post-crash", &[]).unwrap();
+    s.add_secrecy(tag2).unwrap();
+    s.declassify(tag2).unwrap();
+    db.verify_audit_chain().unwrap();
+    assert!(db.replay_audit().len() as u64 >= raises + declassifies + 2);
+
+    drop(s);
+    drop(db);
+    let _ = std::fs::remove_dir_all(&dir);
+}
